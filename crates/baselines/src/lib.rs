@@ -1,0 +1,60 @@
+//! Baseline training systems for the FlexSP evaluation (paper §6.1).
+//!
+//! The paper compares FlexSP against two state-of-the-art homogeneous
+//! systems and one ablated variant, all rebuilt here on the same simulated
+//! cluster so that every system sees identical physics:
+//!
+//! * [`DeepSpeedUlysses`] — a single static Ulysses-SP degree + ZeRO-3,
+//!   with Best-Fit-Decreasing sequence packing to the context length. The
+//!   degree is tuned once per workload (the paper hand-tunes baselines,
+//!   App. B.2) and then held fixed, as a homogeneous system must.
+//! * [`MegatronLm`] — TP (with Megatron-style SP) × CP (ring attention
+//!   with compute overlap) × DP (ZeRO-1), strategy enumerated and tuned
+//!   once per workload over the paper's search space.
+//! * [`FlexSpBatchAda`] — FlexSP restricted to one homogeneous SP degree
+//!   *per batch* (adaptive across batches, homogeneous within, §6.1).
+//! * [`FlexSpSystem`] — the full FlexSP stack behind the same
+//!   [`TrainingSystem`] interface for apples-to-apples evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsp_baselines::{evaluate_system, DeepSpeedUlysses, FlexSpSystem, TrainingSystem};
+//! use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+//! use flexsp_model::{ActivationPolicy, ModelConfig};
+//! use flexsp_sim::ClusterSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = ClusterSpec::a100_cluster(2);
+//! let model = ModelConfig::gpt_7b(64 * 1024);
+//! let policy = ActivationPolicy::None;
+//! let loader = || GlobalBatchLoader::new(
+//!     LengthDistribution::wikipedia(), 64, 64 * 1024, 1);
+//!
+//! let mut ds = DeepSpeedUlysses::new(cluster.clone(), model.clone(), policy)?;
+//! let ds_stats = evaluate_system(&mut ds, loader(), 2)?;
+//!
+//! let mut fx = FlexSpSystem::fast(cluster, model, policy);
+//! let fx_stats = evaluate_system(&mut fx, loader(), 2)?;
+//! assert!(fx_stats.mean_iteration_s() <= ds_stats.mean_iteration_s() * 1.05,
+//!         "FlexSP should not lose to a static homogeneous plan");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch_ada;
+mod deepspeed;
+mod flex_cp;
+mod flexsp_adapter;
+mod megatron;
+mod system;
+
+pub use batch_ada::FlexSpBatchAda;
+pub use deepspeed::DeepSpeedUlysses;
+pub use flex_cp::{FlexCpSystem, HomogeneousCp};
+pub use flexsp_adapter::FlexSpSystem;
+pub use megatron::{MegatronLm, MegatronStrategy};
+pub use system::{evaluate_system, BaselineError, SystemStats, SystemReport, TrainingSystem};

@@ -1,0 +1,65 @@
+//! Regenerates the paper's *figures* (2, 4, 6, 7, 8, 9) when run under
+//! `cargo bench`, then times one representative unit of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flexsp_bench::common::{DatasetKind, ModelKind};
+use flexsp_bench::{figure2, figure4, figure6, figure7, figure8, figure9};
+
+fn bench_figures(c: &mut Criterion) {
+    // Fig. 2 — corpus distributions.
+    let f2 = figure2::Config::default();
+    println!("{}", figure2::render(&figure2::run(&f2)));
+    c.bench_function("figure2_sample_and_histogram", |b| {
+        b.iter(|| {
+            figure2::run(black_box(&figure2::Config {
+                samples: 10_000,
+                seed: 3,
+            }))
+        })
+    });
+
+    // Fig. 4 — end-to-end grid (the heavyweight experiment; the printed
+    // grid is the full paper layout, the timed unit is one config).
+    let f4 = figure4::Config::default();
+    println!("{}", figure4::render(&figure4::run(&f4)));
+    c.bench_function("figure4_one_config_flexsp_vs_ds", |b| {
+        b.iter(|| {
+            figure4::run_one(
+                ModelKind::Gpt7b,
+                192 << 10,
+                DatasetKind::Wikipedia,
+                1,
+                128,
+            )
+        })
+    });
+
+    // Fig. 6 — scalability sweeps.
+    let f6 = figure6::Config::default();
+    let (gpu, ctx) = figure6::run(&f6);
+    println!("{}", figure6::render(&gpu, &ctx));
+
+    // Fig. 7 — ablations.
+    let f7 = figure7::Config::default();
+    println!("{}", figure7::render(&figure7::run(&f7)));
+
+    // Fig. 8 — solver scaling.
+    let f8 = figure8::Config::default();
+    println!("{}", figure8::render(&figure8::run(&f8)));
+
+    // Fig. 9 — cost-model accuracy.
+    let f9 = figure9::Config::default();
+    println!("{}", figure9::render(&figure9::run(&f9)));
+    c.bench_function("figure9_accuracy_grid", |b| {
+        b.iter(|| figure9::run(black_box(&f9)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the paper's *tables* (1, 3 via the case study, 4, 5) when
+//! run under `cargo bench`, then times one representative unit of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flexsp_bench::{case_study, table1, table4, table5};
+use flexsp_model::ModelConfig;
+use flexsp_sim::ClusterSpec;
+
+fn bench_tables(c: &mut Criterion) {
+    // Table 1 — full grid printed once.
+    let cfg1 = table1::Config::default();
+    println!("{}", table1::render(&cfg1, &table1::run(&cfg1)));
+    let cluster = ClusterSpec::a100_cluster(8);
+    let model = ModelConfig::gpt_7b(256 << 10);
+    c.bench_function("table1_cell_sp8_8k", |b| {
+        b.iter(|| table1::simulate_cell(black_box(&cluster), black_box(&model), 8 << 10, 512, 8))
+    });
+
+    // Table 3 + Fig. 5 case study.
+    let cs = case_study::run(&case_study::Config {
+        batch_size: 256,
+        cases: 2,
+    });
+    println!("{}", case_study::render(&cs));
+
+    // Table 4.
+    let cfg4 = table4::Config::default();
+    println!("{}", table4::render(&table4::run(&cfg4)));
+    c.bench_function("table4_one_dataset", |b| {
+        b.iter(|| {
+            table4::run(black_box(&table4::Config {
+                batches: 1,
+                ..table4::Config::default()
+            }))
+        })
+    });
+
+    // Table 5.
+    println!("{}", table5::render(&table5::run(384 << 10)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks of the FlexSP solver components: bucketing
+//! DP, blaster DP, heuristic and MILP planners, and the full Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use flexsp_core::blaster::blast;
+use flexsp_core::bucketing::bucket_dp;
+use flexsp_core::{plan_micro_batch, FlexSpSolver, PlannerConfig, SolverConfig};
+use flexsp_cost::CostModel;
+use flexsp_data::{GlobalBatchLoader, LengthDistribution, Sequence};
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::ClusterSpec;
+
+fn paper_batch(n: usize) -> Vec<Sequence> {
+    GlobalBatchLoader::new(LengthDistribution::common_crawl(), n, 384 << 10, 13).next_batch()
+}
+
+fn cost64() -> CostModel {
+    let cluster = ClusterSpec::a100_cluster(8);
+    let model = ModelConfig::gpt_7b(384 << 10);
+    CostModel::fit(&cluster, &model, ActivationPolicy::None)
+}
+
+fn bench_components(c: &mut Criterion) {
+    let batch512 = paper_batch(512);
+    let cost = cost64();
+
+    c.bench_function("bucketing_dp_512seq_q16", |b| {
+        b.iter(|| bucket_dp(black_box(&batch512), 16))
+    });
+
+    c.bench_function("blaster_dp_512seq_m8", |b| {
+        b.iter(|| blast(black_box(&batch512), 8, true))
+    });
+
+    let micro = blast(&batch512, 8, true).swap_remove(0);
+    let buckets = bucket_dp(&micro, 16);
+    c.bench_function("planner_heuristic_microbatch", |b| {
+        b.iter(|| {
+            plan_micro_batch(
+                black_box(&cost),
+                black_box(&buckets),
+                64,
+                &PlannerConfig::heuristic_only(),
+            )
+        })
+    });
+
+    c.bench_function("planner_aggregated_milp_microbatch", |b| {
+        b.iter(|| {
+            plan_micro_batch(
+                black_box(&cost),
+                black_box(&buckets),
+                64,
+                &PlannerConfig::fast(),
+            )
+        })
+    });
+
+    let solver = FlexSpSolver::new(cost.clone(), SolverConfig::fast());
+    c.bench_function("solver_full_iteration_512seq", |b| {
+        b.iter_batched(
+            || batch512.clone(),
+            |batch| solver.solve_iteration(black_box(&batch)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("cost_model_fit", |b| {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 << 10);
+        b.iter(|| CostModel::fit(black_box(&cluster), black_box(&model), ActivationPolicy::None))
+    });
+
+    // Formulation ablation (DESIGN.md §5.1): the paper-faithful per-group
+    // MILP vs the symmetry-reduced aggregated MILP on an 8-GPU instance
+    // where both are tractable.
+    let small_cluster = ClusterSpec::a100_cluster(1);
+    let small_model = ModelConfig::gpt_7b(32 << 10);
+    let small_cost = CostModel::fit(&small_cluster, &small_model, ActivationPolicy::None);
+    let small_batch: Vec<Sequence> = [16u64 << 10, 8 << 10, 8 << 10, 4 << 10, 2 << 10, 2 << 10, 1024, 1024]
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Sequence::new(i as u64, l))
+        .collect();
+    let small_buckets = bucket_dp(&small_batch, 6);
+    for (name, formulation) in [
+        ("planner_formulation_aggregated_8gpu", flexsp_core::Formulation::Aggregated),
+        ("planner_formulation_per_group_8gpu", flexsp_core::Formulation::PerGroup),
+    ] {
+        let cfg = PlannerConfig {
+            formulation,
+            milp_time_limit: std::time::Duration::from_secs(2),
+            milp_node_limit: 50_000,
+            ..PlannerConfig::default()
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| plan_micro_batch(black_box(&small_cost), black_box(&small_buckets), 8, &cfg))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Appendix E: integrating context parallelism — flexible CP group sizing
+//! (the paper's stated future work, implemented here).
+//!
+//! With TP fixed at the node width, a static CP system must size its ring
+//! for the longest sequence; flexible CP lets short sequences run on
+//! small intra-node rings. This experiment quantifies that gap and places
+//! FlexCP next to Ulysses-based FlexSP.
+
+use flexsp_baselines::{
+    evaluate_system, FlexCpSystem, HomogeneousCp, SystemStats,
+};
+use flexsp_core::SolverConfig;
+
+use crate::common::{DatasetKind, ModelKind, Workload};
+use crate::render::{pct, secs, speedup, tokens, Table};
+
+/// Appendix E configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fixed TP width (paper suggestion: the node width).
+    pub tp: u32,
+    /// Context lengths.
+    pub ctxs: Vec<u64>,
+    /// Corpus.
+    pub dataset: DatasetKind,
+    /// Iterations per point.
+    pub iterations: usize,
+    /// Global batch size.
+    pub batch_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            tp: 8,
+            ctxs: vec![192 << 10, 384 << 10],
+            dataset: DatasetKind::CommonCrawl,
+            iterations: 2,
+            batch_size: 256,
+        }
+    }
+}
+
+/// One context-length comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Context length.
+    pub ctx: u64,
+    /// The static CP degree the context forces.
+    pub static_cp: u32,
+    /// Static homogeneous CP stats.
+    pub homogeneous: Option<SystemStats>,
+    /// Flexible CP stats.
+    pub flex_cp: Option<SystemStats>,
+    /// Full FlexSP (Ulysses) stats, for context.
+    pub flexsp: Option<SystemStats>,
+}
+
+impl Row {
+    fn mean(s: &Option<SystemStats>) -> f64 {
+        s.as_ref().map(|s| s.mean_iteration_s()).unwrap_or(f64::NAN)
+    }
+
+    /// FlexCP speedup over static CP.
+    pub fn speedup(&self) -> f64 {
+        Self::mean(&self.homogeneous) / Self::mean(&self.flex_cp)
+    }
+}
+
+/// Runs the comparison.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    cfg.ctxs
+        .iter()
+        .map(|&ctx| {
+            let w = Workload {
+                batch_size: cfg.batch_size,
+                ..Workload::paper(ModelKind::Gpt7b, cfg.dataset, ctx)
+            };
+            let (cluster, model, policy) = (w.cluster(), w.model_config(), w.policy());
+            let static_cp =
+                HomogeneousCp::min_feasible_cp(&cluster, &model, policy, cfg.tp).unwrap_or(0);
+            let homogeneous = (static_cp > 0).then(|| {
+                let mut sys = HomogeneousCp::new(
+                    cluster.clone(),
+                    model.clone(),
+                    policy,
+                    cfg.tp,
+                    static_cp,
+                );
+                evaluate_system(&mut sys, w.loader(), cfg.iterations).ok()
+            }).flatten();
+            let flex_cp = {
+                let mut sys = FlexCpSystem::new(
+                    cluster.clone(),
+                    model.clone(),
+                    policy,
+                    cfg.tp,
+                    SolverConfig::fast(),
+                );
+                evaluate_system(&mut sys, w.loader(), cfg.iterations).ok()
+            };
+            let flexsp = evaluate_system(&mut w.flexsp(), w.loader(), cfg.iterations).ok();
+            Row {
+                ctx,
+                static_cp,
+                homogeneous,
+                flex_cp,
+                flexsp,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison.
+pub fn render(cfg: &Config, rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "ctx",
+        "static CP",
+        "static (s)",
+        "comm",
+        "FlexCP (s)",
+        "comm",
+        "FlexCP vs static",
+        "FlexSP-Ulysses (s)",
+    ]);
+    for r in rows {
+        let comm = |s: &Option<SystemStats>| {
+            s.as_ref()
+                .map(|s| pct(s.mean_comm_ratio()))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        t.add_row([
+            tokens(r.ctx),
+            format!("TP={}, CP={}", cfg.tp, r.static_cp),
+            secs(Row::mean(&r.homogeneous)),
+            comm(&r.homogeneous),
+            secs(Row::mean(&r.flex_cp)),
+            comm(&r.flex_cp),
+            speedup(r.speedup()),
+            secs(Row::mean(&r.flexsp)),
+        ]);
+    }
+    format!(
+        "Appendix E: flexible context parallelism (GPT-7B, {}, 64 GPUs)\n{t}",
+        cfg.dataset.name()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexible_cp_wins_at_long_context() {
+        let rows = run(&Config {
+            ctxs: vec![192 << 10],
+            iterations: 1,
+            batch_size: 128,
+            ..Config::default()
+        });
+        let r = &rows[0];
+        assert!(r.static_cp >= 2, "long context needs a multi-node ring");
+        assert!(
+            r.speedup() > 1.0,
+            "FlexCP speedup {} should exceed 1",
+            r.speedup()
+        );
+    }
+}

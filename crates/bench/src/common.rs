@@ -1,0 +1,220 @@
+//! Shared experiment setup: workloads, policy auto-selection, systems.
+
+use flexsp_baselines::{DeepSpeedUlysses, FlexSpBatchAda, FlexSpSystem, MegatronLm};
+use flexsp_core::SolverConfig;
+use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
+use flexsp_sim::ClusterSpec;
+
+/// Model preset selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// GPT-7B (Table 5).
+    Gpt7b,
+    /// GPT-13B (Table 5).
+    Gpt13b,
+    /// GPT-30B (Table 5).
+    Gpt30b,
+}
+
+impl ModelKind {
+    /// Instantiates the preset at `max_context`.
+    pub fn config(self, max_context: u64) -> ModelConfig {
+        match self {
+            ModelKind::Gpt7b => ModelConfig::gpt_7b(max_context),
+            ModelKind::Gpt13b => ModelConfig::gpt_13b(max_context),
+            ModelKind::Gpt30b => ModelConfig::gpt_30b(max_context),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gpt7b => "GPT-7B",
+            ModelKind::Gpt13b => "GPT-13B",
+            ModelKind::Gpt30b => "GPT-30B",
+        }
+    }
+}
+
+/// Corpus preset selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// GitHub-like corpus (heaviest tail).
+    Github,
+    /// CommonCrawl-like corpus.
+    CommonCrawl,
+    /// Wikipedia-like corpus (most skewed).
+    Wikipedia,
+}
+
+impl DatasetKind {
+    /// The three paper corpora in presentation order.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::Github,
+            DatasetKind::CommonCrawl,
+            DatasetKind::Wikipedia,
+        ]
+    }
+
+    /// The length distribution.
+    pub fn distribution(self) -> LengthDistribution {
+        match self {
+            DatasetKind::Github => LengthDistribution::github(),
+            DatasetKind::CommonCrawl => LengthDistribution::common_crawl(),
+            DatasetKind::Wikipedia => LengthDistribution::wikipedia(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Github => "GitHub",
+            DatasetKind::CommonCrawl => "CommonCrawl",
+            DatasetKind::Wikipedia => "Wikipedia",
+        }
+    }
+}
+
+/// One experimental workload: cluster × model × corpus × context limit.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Model preset.
+    pub model: ModelKind,
+    /// Corpus preset.
+    pub dataset: DatasetKind,
+    /// Maximum context length (tokens).
+    pub max_ctx: u64,
+    /// Cluster nodes (8 GPUs each).
+    pub num_nodes: u32,
+    /// Global batch size in sequences (paper: 512).
+    pub batch_size: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper's default 64-GPU protocol for a (model, dataset, ctx).
+    pub fn paper(model: ModelKind, dataset: DatasetKind, max_ctx: u64) -> Self {
+        Self {
+            model,
+            dataset,
+            max_ctx,
+            num_nodes: 8,
+            batch_size: 512,
+            seed: 2025,
+        }
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::a100_cluster(self.num_nodes)
+    }
+
+    /// The model at this workload's context.
+    pub fn model_config(&self) -> ModelConfig {
+        self.model.config(self.max_ctx)
+    }
+
+    /// Checkpointing policy per the paper's protocol: the cheapest policy
+    /// that lets a max-context input fit the cluster (App. B.2).
+    pub fn policy(&self) -> ActivationPolicy {
+        auto_policy(&self.cluster(), &self.model_config())
+            .unwrap_or(ActivationPolicy::Full)
+    }
+
+    /// A fresh, reproducible batch loader.
+    pub fn loader(&self) -> GlobalBatchLoader {
+        GlobalBatchLoader::new(
+            self.dataset.distribution(),
+            self.batch_size,
+            self.max_ctx,
+            self.seed,
+        )
+    }
+
+    /// Builds the four evaluated systems for this workload.
+    pub fn flexsp(&self) -> FlexSpSystem {
+        FlexSpSystem::new(
+            self.cluster(),
+            self.model_config(),
+            self.policy(),
+            SolverConfig::fast(),
+        )
+    }
+
+    /// DeepSpeed baseline (may be infeasible for extreme contexts).
+    pub fn deepspeed(&self) -> Option<DeepSpeedUlysses> {
+        DeepSpeedUlysses::new(self.cluster(), self.model_config(), self.policy()).ok()
+    }
+
+    /// Megatron-LM baseline.
+    pub fn megatron(&self) -> MegatronLm {
+        MegatronLm::new(self.cluster(), self.model_config(), self.policy())
+    }
+
+    /// FlexSP-BatchAda ablation.
+    pub fn batch_ada(&self) -> FlexSpBatchAda {
+        FlexSpBatchAda::new(self.cluster(), self.model_config(), self.policy())
+    }
+}
+
+/// Picks the cheapest checkpointing policy under which one max-context
+/// input fits the largest SP group (the paper applies checkpointing "to
+/// accommodate model training with a context length of 384K"). Returns
+/// `None` if even full checkpointing cannot fit.
+pub fn auto_policy(cluster: &ClusterSpec, model: &ModelConfig) -> Option<ActivationPolicy> {
+    let n = cluster.num_gpus() as u64;
+    let ms = model.model_state_bytes(ZeroStage::Three, n);
+    for policy in [
+        ActivationPolicy::None,
+        ActivationPolicy::MlpOnly,
+        ActivationPolicy::Full,
+    ] {
+        let free = cluster.gpu.mem_bytes.saturating_sub(ms);
+        let tokens_per_device = free / model.act_bytes_per_token(policy);
+        if tokens_per_device * n >= model.max_context {
+            return Some(policy);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_policy_matches_paper_protocol() {
+        // App. B.2: at 384K on 64 GPUs — 7B no checkpointing, 13B
+        // MLP-only, 30B (almost) full checkpointing.
+        let cluster = ClusterSpec::a100_cluster(8);
+        assert_eq!(
+            auto_policy(&cluster, &ModelConfig::gpt_7b(384 * 1024)),
+            Some(ActivationPolicy::None)
+        );
+        assert_eq!(
+            auto_policy(&cluster, &ModelConfig::gpt_13b(384 * 1024)),
+            Some(ActivationPolicy::MlpOnly)
+        );
+        assert_eq!(
+            auto_policy(&cluster, &ModelConfig::gpt_30b(384 * 1024)),
+            Some(ActivationPolicy::Full)
+        );
+    }
+
+    #[test]
+    fn workload_builds_all_systems() {
+        let w = Workload {
+            batch_size: 32,
+            num_nodes: 2,
+            ..Workload::paper(ModelKind::Gpt7b, DatasetKind::Wikipedia, 64 * 1024)
+        };
+        assert!(w.deepspeed().is_some());
+        let _ = w.megatron();
+        let _ = w.batch_ada();
+        let _ = w.flexsp();
+        assert_eq!(w.loader().next_batch().len(), 32);
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure 4: end-to-end iteration time of the four systems across models,
+//! context limits and corpora, with speedups vs DeepSpeed and Megatron-LM.
+
+use flexsp_baselines::{evaluate_system, SystemStats};
+
+use crate::common::{DatasetKind, ModelKind, Workload};
+use crate::render::{secs, speedup, tokens, Table};
+
+/// Figure 4 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Models to evaluate.
+    pub models: Vec<ModelKind>,
+    /// Maximum context lengths.
+    pub ctxs: Vec<u64>,
+    /// Corpora.
+    pub datasets: Vec<DatasetKind>,
+    /// Iterations averaged per configuration.
+    pub iterations: usize,
+    /// Global batch size (paper: 512).
+    pub batch_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            models: vec![ModelKind::Gpt7b, ModelKind::Gpt13b, ModelKind::Gpt30b],
+            ctxs: vec![192 << 10, 384 << 10],
+            datasets: DatasetKind::all().to_vec(),
+            iterations: 3,
+            batch_size: 512,
+        }
+    }
+}
+
+impl Config {
+    /// A quick single-model subset for smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            models: vec![ModelKind::Gpt7b],
+            ctxs: vec![192 << 10],
+            datasets: DatasetKind::all().to_vec(),
+            iterations: 2,
+            batch_size: 256,
+        }
+    }
+}
+
+/// One (model, ctx, dataset) comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model preset.
+    pub model: ModelKind,
+    /// Context limit.
+    pub ctx: u64,
+    /// Corpus.
+    pub dataset: DatasetKind,
+    /// Mean iteration seconds: DeepSpeed (None if infeasible).
+    pub deepspeed: Option<SystemStats>,
+    /// Megatron-LM.
+    pub megatron: Option<SystemStats>,
+    /// FlexSP-BatchAda.
+    pub batch_ada: Option<SystemStats>,
+    /// FlexSP.
+    pub flexsp: Option<SystemStats>,
+}
+
+impl Row {
+    fn mean(stats: &Option<SystemStats>) -> f64 {
+        stats
+            .as_ref()
+            .map(|s| s.mean_iteration_s())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// FlexSP speedup vs DeepSpeed.
+    pub fn speedup_vs_deepspeed(&self) -> f64 {
+        Self::mean(&self.deepspeed) / Self::mean(&self.flexsp)
+    }
+
+    /// FlexSP speedup vs Megatron-LM.
+    pub fn speedup_vs_megatron(&self) -> f64 {
+        Self::mean(&self.megatron) / Self::mean(&self.flexsp)
+    }
+
+    /// FlexSP speedup vs FlexSP-BatchAda.
+    pub fn speedup_vs_batch_ada(&self) -> f64 {
+        Self::mean(&self.batch_ada) / Self::mean(&self.flexsp)
+    }
+}
+
+/// Evaluates one (model, ctx, dataset) configuration.
+pub fn run_one(
+    model: ModelKind,
+    ctx: u64,
+    dataset: DatasetKind,
+    iterations: usize,
+    batch_size: usize,
+) -> Row {
+    let w = Workload {
+        batch_size,
+        ..Workload::paper(model, dataset, ctx)
+    };
+    let deepspeed = w
+        .deepspeed()
+        .and_then(|mut s| evaluate_system(&mut s, w.loader(), iterations).ok());
+    let megatron = evaluate_system(&mut w.megatron(), w.loader(), iterations).ok();
+    let batch_ada = evaluate_system(&mut w.batch_ada(), w.loader(), iterations).ok();
+    let flexsp = evaluate_system(&mut w.flexsp(), w.loader(), iterations).ok();
+    Row {
+        model,
+        ctx,
+        dataset,
+        deepspeed,
+        megatron,
+        batch_ada,
+        flexsp,
+    }
+}
+
+/// Runs the full grid.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &model in &cfg.models {
+        for &ctx in &cfg.ctxs {
+            for &dataset in &cfg.datasets {
+                rows.push(run_one(model, ctx, dataset, cfg.iterations, cfg.batch_size));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the comparison in the paper's layout.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "model", "ctx", "dataset", "DeepSpeed", "Megatron", "BatchAda", "FlexSP", "vs DS",
+        "vs MG", "vs BA",
+    ]);
+    for r in rows {
+        t.add_row([
+            r.model.name().to_string(),
+            tokens(r.ctx),
+            r.dataset.name().to_string(),
+            secs(Row::mean(&r.deepspeed)),
+            secs(Row::mean(&r.megatron)),
+            secs(Row::mean(&r.batch_ada)),
+            secs(Row::mean(&r.flexsp)),
+            speedup(r.speedup_vs_deepspeed()),
+            speedup(r.speedup_vs_megatron()),
+            speedup(r.speedup_vs_batch_ada()),
+        ]);
+    }
+    format!("Figure 4: end-to-end iteration time (s), 64 GPUs, global batch = 512 seqs\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexsp_wins_on_a_quick_config() {
+        // Small but real: GPT-7B at 192K on Wikipedia, 2 iterations.
+        let row = run_one(ModelKind::Gpt7b, 192 << 10, DatasetKind::Wikipedia, 2, 128);
+        let fx = Row::mean(&row.flexsp);
+        let ds = Row::mean(&row.deepspeed);
+        assert!(fx.is_finite() && ds.is_finite());
+        assert!(
+            row.speedup_vs_deepspeed() > 1.0,
+            "FlexSP {fx:.2}s vs DeepSpeed {ds:.2}s"
+        );
+        assert!(row.speedup_vs_batch_ada() >= 0.97);
+    }
+}

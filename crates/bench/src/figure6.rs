@@ -1,0 +1,162 @@
+//! Figure 6: scalability — token throughput per GPU vs cluster size and
+//! vs maximum context length, with speedups over DeepSpeed.
+
+use flexsp_baselines::{evaluate_system, SystemStats};
+
+use crate::common::{DatasetKind, ModelKind, Workload};
+use crate::render::{speedup, tokens, Table};
+
+/// Figure 6 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cluster sizes for the GPU sweep (nodes of 8 GPUs).
+    pub node_counts: Vec<u32>,
+    /// Context for the GPU sweep (paper: 128K).
+    pub gpu_sweep_ctx: u64,
+    /// Context lengths for the context sweep on the full cluster.
+    pub ctx_sweep: Vec<u64>,
+    /// Iterations per point.
+    pub iterations: usize,
+    /// Global batch size.
+    pub batch_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            node_counts: vec![2, 4, 8],
+            gpu_sweep_ctx: 128 << 10,
+            ctx_sweep: vec![64 << 10, 128 << 10, 192 << 10, 256 << 10, 384 << 10],
+            iterations: 2,
+            batch_size: 256,
+        }
+    }
+}
+
+/// One scalability point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Sweep axis label (`"16 GPUs"` or `"192K"`).
+    pub label: String,
+    /// GPUs at this point.
+    pub num_gpus: u32,
+    /// DeepSpeed stats.
+    pub deepspeed: Option<SystemStats>,
+    /// FlexSP-BatchAda stats.
+    pub batch_ada: Option<SystemStats>,
+    /// FlexSP stats.
+    pub flexsp: Option<SystemStats>,
+}
+
+impl Row {
+    /// Tokens/s/GPU for a system.
+    fn thr(stats: &Option<SystemStats>) -> f64 {
+        stats
+            .as_ref()
+            .map(|s| s.tokens_per_gpu_s())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// FlexSP speedup over DeepSpeed (throughput ratio).
+    pub fn speedup_vs_deepspeed(&self) -> f64 {
+        Self::thr(&self.flexsp) / Self::thr(&self.deepspeed)
+    }
+}
+
+fn run_point(label: String, nodes: u32, ctx: u64, cfg: &Config) -> Row {
+    let w = Workload {
+        num_nodes: nodes,
+        batch_size: cfg.batch_size,
+        ..Workload::paper(ModelKind::Gpt7b, DatasetKind::CommonCrawl, ctx)
+    };
+    Row {
+        label,
+        num_gpus: nodes * 8,
+        deepspeed: w
+            .deepspeed()
+            .and_then(|mut s| evaluate_system(&mut s, w.loader(), cfg.iterations).ok()),
+        batch_ada: evaluate_system(&mut w.batch_ada(), w.loader(), cfg.iterations).ok(),
+        flexsp: evaluate_system(&mut w.flexsp(), w.loader(), cfg.iterations).ok(),
+    }
+}
+
+/// Runs both sweeps; the GPU sweep comes first in the output.
+pub fn run(cfg: &Config) -> (Vec<Row>, Vec<Row>) {
+    let gpu_sweep = cfg
+        .node_counts
+        .iter()
+        .map(|&n| run_point(format!("{} GPUs", n * 8), n, cfg.gpu_sweep_ctx, cfg))
+        .collect();
+    let ctx_sweep = cfg
+        .ctx_sweep
+        .iter()
+        .map(|&c| run_point(tokens(c), 8, c, cfg))
+        .collect();
+    (gpu_sweep, ctx_sweep)
+}
+
+fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "point",
+        "DeepSpeed tok/s/GPU",
+        "BatchAda tok/s/GPU",
+        "FlexSP tok/s/GPU",
+        "FlexSP vs DS",
+    ]);
+    for r in rows {
+        t.add_row([
+            r.label.clone(),
+            format!("{:.0}", Row::thr(&r.deepspeed)),
+            format!("{:.0}", Row::thr(&r.batch_ada)),
+            format!("{:.0}", Row::thr(&r.flexsp)),
+            speedup(r.speedup_vs_deepspeed()),
+        ]);
+    }
+    format!("{title}\n{t}")
+}
+
+/// Renders both sweeps.
+pub fn render(gpu_sweep: &[Row], ctx_sweep: &[Row]) -> String {
+    format!(
+        "{}\n{}",
+        render_rows(
+            "Figure 6 (left): throughput vs cluster size (GPT-7B, CommonCrawl, 128K ctx)",
+            gpu_sweep
+        ),
+        render_rows(
+            "Figure 6 (right): throughput vs max context (GPT-7B, CommonCrawl, 64 GPUs)",
+            ctx_sweep
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexsp_scales_better_than_deepspeed() {
+        let cfg = Config {
+            node_counts: vec![2, 8],
+            iterations: 1,
+            batch_size: 128,
+            ctx_sweep: vec![],
+            ..Config::default()
+        };
+        let (gpu_sweep, _) = run(&cfg);
+        assert_eq!(gpu_sweep.len(), 2);
+        for r in &gpu_sweep {
+            assert!(
+                r.speedup_vs_deepspeed() > 1.0,
+                "{}: speedup {}",
+                r.label,
+                r.speedup_vs_deepspeed()
+            );
+        }
+        // Paper: the FlexSP advantage grows with cluster size because
+        // DeepSpeed suffers more from the slower inter-node fabric.
+        assert!(
+            gpu_sweep[1].speedup_vs_deepspeed() >= gpu_sweep[0].speedup_vs_deepspeed() * 0.95
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 7: ablations of the FlexSP solver — length sorting in the
+//! blaster, DP vs naive vs no bucketing.
+
+use flexsp_baselines::{evaluate_system, FlexSpSystem};
+use flexsp_core::{BucketingMode, SolverConfig};
+
+use crate::common::{DatasetKind, ModelKind, Workload};
+use crate::render::{secs, speedup, tokens, Table};
+
+/// Figure 7 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Context lengths (paper: 192K and 384K).
+    pub ctxs: Vec<u64>,
+    /// Iterations per variant.
+    pub iterations: usize,
+    /// Global batch size.
+    pub batch_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            ctxs: vec![192 << 10, 384 << 10],
+            iterations: 2,
+            batch_size: 256,
+        }
+    }
+}
+
+/// The ablated solver variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full FlexSP (sorting + DP bucketing).
+    Full,
+    /// Blaster without length sorting.
+    NoSort,
+    /// Naive fixed-interval (2K) bucketing.
+    NaiveBucketing,
+    /// No bucketing at all (one bucket per distinct length).
+    NoBucketing,
+}
+
+impl Variant {
+    /// All variants in presentation order.
+    pub fn all() -> [Variant; 4] {
+        [
+            Variant::Full,
+            Variant::NoSort,
+            Variant::NaiveBucketing,
+            Variant::NoBucketing,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "FlexSP",
+            Variant::NoSort => "w/o Sort",
+            Variant::NaiveBucketing => "w/ naive BKT",
+            Variant::NoBucketing => "w/o BKT",
+        }
+    }
+
+    /// Solver configuration of the variant.
+    pub fn solver_config(self) -> SolverConfig {
+        let mut cfg = SolverConfig::fast();
+        match self {
+            Variant::Full => {}
+            Variant::NoSort => cfg.sort_by_length = false,
+            Variant::NaiveBucketing => cfg.bucketing = BucketingMode::FixedInterval(2 << 10),
+            Variant::NoBucketing => cfg.bucketing = BucketingMode::Exact,
+        }
+        cfg
+    }
+}
+
+/// One (ctx, variant) measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Context length.
+    pub ctx: u64,
+    /// Variant.
+    pub variant: Variant,
+    /// Mean iteration seconds.
+    pub mean_s: f64,
+    /// Relative time vs the full solver at the same context (≥ 1 means
+    /// the ablation hurts).
+    pub relative: f64,
+    /// Mean wall-clock solver seconds (the paper: removing bucketing
+    /// inflates the MILP and the solver "fails to produce a satisfactory
+    /// solution within limited time").
+    pub solve_s: f64,
+}
+
+/// Runs the ablation grid.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &ctx in &cfg.ctxs {
+        let w = Workload {
+            batch_size: cfg.batch_size,
+            ..Workload::paper(ModelKind::Gpt7b, DatasetKind::CommonCrawl, ctx)
+        };
+        let mut means = Vec::new();
+        for variant in Variant::all() {
+            let mut system = FlexSpSystem::new(
+                w.cluster(),
+                w.model_config(),
+                w.policy(),
+                variant.solver_config(),
+            );
+            let (mean_s, solve_s) = evaluate_system(&mut system, w.loader(), cfg.iterations)
+                .map(|s| (s.mean_iteration_s(), s.mean_solve_s()))
+                .unwrap_or((f64::NAN, f64::NAN));
+            means.push((variant, mean_s, solve_s));
+        }
+        let full = means
+            .iter()
+            .find(|(v, _, _)| *v == Variant::Full)
+            .map(|(_, m, _)| *m)
+            .unwrap_or(f64::NAN);
+        for (variant, mean_s, solve_s) in means {
+            rows.push(Row {
+                ctx,
+                variant,
+                mean_s,
+                relative: mean_s / full,
+                solve_s,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["ctx", "variant", "iter (s)", "relative", "solve (s)"]);
+    for r in rows {
+        t.add_row([
+            tokens(r.ctx),
+            r.variant.name().to_string(),
+            secs(r.mean_s),
+            speedup(r.relative),
+            format!("{:.3}", r.solve_s),
+        ]);
+    }
+    format!("Figure 7: solver ablations (GPT-7B, CommonCrawl, 64 GPUs)\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_do_not_beat_the_full_solver() {
+        let rows = run(&Config {
+            ctxs: vec![192 << 10],
+            iterations: 1,
+            batch_size: 128,
+        });
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.relative >= 0.93,
+                "{} unexpectedly beats full FlexSP: {}",
+                r.variant.name(),
+                r.relative
+            );
+        }
+    }
+
+    #[test]
+    fn variant_configs_differ() {
+        assert!(!Variant::NoSort.solver_config().sort_by_length);
+        assert_eq!(
+            Variant::NaiveBucketing.solver_config().bucketing,
+            BucketingMode::FixedInterval(2 << 10)
+        );
+        assert_eq!(
+            Variant::NoBucketing.solver_config().bucketing,
+            BucketingMode::Exact
+        );
+    }
+}

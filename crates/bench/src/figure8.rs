@@ -1,0 +1,124 @@
+//! Figure 8: solver scalability — estimated training time, wall-clock
+//! solving time, and amortized solving time from 64 to 1024 GPUs.
+
+use std::time::Instant;
+
+use flexsp_core::{FlexSpSolver, SolverConfig};
+use flexsp_cost::CostModel;
+
+use crate::common::{DatasetKind, ModelKind, Workload};
+use crate::render::{secs, Table};
+
+/// Figure 8 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Node counts (8 GPUs each); the paper sweeps 64→1024 GPUs.
+    pub node_counts: Vec<u32>,
+    /// Batch size per 64 GPUs (scaled proportionally, as is common).
+    pub batch_per_64_gpus: usize,
+    /// Batches solved per point (averaged).
+    pub batches: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            node_counts: vec![8, 16, 32, 64, 128],
+            batch_per_64_gpus: 512,
+            batches: 2,
+        }
+    }
+}
+
+/// One cluster-size measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// GPUs.
+    pub num_gpus: u32,
+    /// Estimated (cost-model) training seconds per iteration.
+    pub train_s: f64,
+    /// Wall-clock solver seconds per iteration.
+    pub solve_s: f64,
+    /// Amortized solver seconds (÷ nodes; one solver service per node,
+    /// paper §5).
+    pub amortized_s: f64,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &nodes in &cfg.node_counts {
+        let batch_size = cfg.batch_per_64_gpus * nodes as usize / 8;
+        let w = Workload {
+            num_nodes: nodes,
+            batch_size,
+            ..Workload::paper(ModelKind::Gpt7b, DatasetKind::CommonCrawl, 192 << 10)
+        };
+        let cost = CostModel::fit(&w.cluster(), &w.model_config(), w.policy());
+        let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+        let mut loader = w.loader();
+        let (mut train, mut solve) = (0.0, 0.0);
+        for _ in 0..cfg.batches {
+            let batch = loader.next_batch();
+            let start = Instant::now();
+            let solved = solver.solve_iteration(&batch).expect("solvable");
+            solve += start.elapsed().as_secs_f64();
+            train += solved.predicted_s;
+        }
+        let n = cfg.batches as f64;
+        rows.push(Row {
+            num_gpus: nodes * 8,
+            train_s: train / n,
+            solve_s: solve / n,
+            amortized_s: solve / n / nodes as f64,
+        });
+    }
+    rows
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "GPUs",
+        "est. train (s)",
+        "solve (s)",
+        "amortized solve (s)",
+    ]);
+    for r in rows {
+        t.add_row([
+            format!("{}", r.num_gpus),
+            secs(r.train_s),
+            secs(r.solve_s),
+            format!("{:.3}", r.amortized_s),
+        ]);
+    }
+    format!(
+        "Figure 8: solver scalability (batch scaled with cluster size)\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_time_stays_flat_and_solving_amortizes() {
+        let rows = run(&Config {
+            node_counts: vec![8, 32],
+            batch_per_64_gpus: 256,
+            batches: 1,
+        });
+        assert_eq!(rows.len(), 2);
+        // Weak scaling: estimated train time stays within 2x.
+        let ratio = rows[1].train_s / rows[0].train_s;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "train time should stay flat under weak scaling: {ratio}"
+        );
+        // Amortized solving is far below raw solving at scale.
+        assert!(rows[1].amortized_s < rows[1].solve_s / 8.0);
+        // And fully overlappable: amortized < training time (paper's
+        // conclusion).
+        assert!(rows[1].amortized_s < rows[1].train_s);
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 9 / Appendix C: cost-model estimation accuracy against the
+//! simulator ground truth.
+
+use flexsp_cost::accuracy::{default_grid, evaluate_grid, max_abs_rel_err, mean_abs_rel_err, AccuracyPoint};
+use flexsp_cost::CostModel;
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::ClusterSpec;
+
+use crate::render::{pct, secs, tokens, Table};
+
+/// Figure 9 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cluster nodes.
+    pub num_nodes: u32,
+    /// Model context for the accounting.
+    pub max_ctx: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            num_nodes: 8,
+            max_ctx: 384 << 10,
+        }
+    }
+}
+
+/// The accuracy evaluation output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// Per-configuration points.
+    pub points: Vec<AccuracyPoint>,
+    /// Mean absolute relative error.
+    pub mean_abs: f64,
+    /// Max absolute relative error.
+    pub max_abs: f64,
+}
+
+/// Runs the accuracy grid.
+pub fn run(cfg: &Config) -> Output {
+    let cluster = ClusterSpec::a100_cluster(cfg.num_nodes);
+    let model = ModelConfig::gpt_7b(cfg.max_ctx);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let points = evaluate_grid(
+        &cluster,
+        &model,
+        policy,
+        &cost,
+        &default_grid(cluster.num_gpus()),
+    );
+    Output {
+        mean_abs: mean_abs_rel_err(&points),
+        max_abs: max_abs_rel_err(&points),
+        points,
+    }
+}
+
+/// Renders the scatter as a table plus summary.
+pub fn render(out: &Output) -> String {
+    let mut t = Table::new(["SP", "seq", "# seqs", "actual (s)", "predicted (s)", "error"]);
+    for p in &out.points {
+        t.add_row([
+            format!("{}", p.degree),
+            tokens(p.seq_len),
+            format!("{}", p.num_seqs),
+            secs(p.actual_s),
+            secs(p.predicted_s),
+            pct(p.rel_err()),
+        ]);
+    }
+    format!(
+        "Figure 9 (App. C): cost-model estimation accuracy\n{t}\nmean |err| = {}, max |err| = {} (paper: below ~5-6%)\n",
+        pct(out.mean_abs),
+        pct(out.max_abs)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_within_paper_band() {
+        let out = run(&Config::default());
+        assert!(out.points.len() >= 20);
+        assert!(out.mean_abs < 0.08, "mean |err| {}", out.mean_abs);
+        assert!(out.max_abs < 0.30, "max |err| {}", out.max_abs);
+    }
+}

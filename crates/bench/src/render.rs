@@ -1,0 +1,156 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+/// A text table with aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_bench::render::Table;
+/// let mut t = Table::new(["system", "time (s)"]);
+/// t.add_row(["DeepSpeed", "39.4"]);
+/// t.add_row(["FlexSP", "25.6"]);
+/// let s = t.to_string();
+/// assert!(s.contains("FlexSP"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn add_row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if !t.is_finite() {
+        "n/a".into()
+    } else if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 10.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup factor, e.g. `1.54x`.
+pub fn speedup(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}x")
+    } else {
+        "n/a".into()
+    }
+}
+
+/// Formats token counts as `4K`, `192K`, `1M`…
+pub fn tokens(t: u64) -> String {
+    if t >= 1 << 20 && t.is_multiple_of(1 << 20) {
+        format!("{}M", t >> 20)
+    } else if t >= 1024 && t.is_multiple_of(1024) {
+        format!("{}K", t >> 10)
+    } else {
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.add_row(["xxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].chars().count(), lines[2].chars().count());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(123.456), "123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(pct(0.544), "54.4%");
+        assert_eq!(speedup(1.98), "1.98x");
+        assert_eq!(tokens(4096), "4K");
+        assert_eq!(tokens(384 * 1024), "384K");
+        assert_eq!(tokens(1 << 21), "2M");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.add_row(["1"]);
+        assert_eq!(t.len(), 1);
+        let _ = t.to_string();
+    }
+}

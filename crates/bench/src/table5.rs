@@ -1,0 +1,41 @@
+//! Table 5 / Appendix B.1: model configurations.
+
+use flexsp_model::ModelConfig;
+
+use crate::render::{tokens, Table};
+
+/// Builds the three presets at the given context length (paper: 384K).
+pub fn run(max_ctx: u64) -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::gpt_7b(max_ctx),
+        ModelConfig::gpt_13b(max_ctx),
+        ModelConfig::gpt_30b(max_ctx),
+    ]
+}
+
+/// Renders the configuration table.
+pub fn render(models: &[ModelConfig]) -> String {
+    let mut t = Table::new(["model", "# layers", "hidden dim", "# params", "ctx"]);
+    for m in models {
+        t.add_row([
+            m.name.clone(),
+            format!("{}", m.num_layers),
+            format!("{}", m.hidden_size),
+            format!("{:.2}B", m.param_count() as f64 / 1e9),
+            tokens(m.max_context),
+        ]);
+    }
+    format!("Table 5: model configurations\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_presets() {
+        let s = render(&run(384 << 10));
+        assert!(s.contains("GPT-7B") && s.contains("GPT-30B"));
+        assert!(s.contains("384K"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The sequence blaster: micro-batch chunking (paper §4.2 + Appendix A).
+//!
+//! Three takeaways drive the design:
+//!
+//! 1. fewer micro-batches amortize the per-execution β overheads, so the
+//!    blaster starts from the smallest feasible count `M_min` and tries a
+//!    handful of counts above it;
+//! 2. low length-variance within a micro-batch avoids compute/memory
+//!    imbalance, so sequences are *sorted by length* before chunking
+//!    (ablated in Fig. 7);
+//! 3. token totals should be even across micro-batches to avoid OOM and
+//!    memory under-utilization, solved exactly by a min-max dynamic
+//!    program (Eq. 23–24).
+
+use flexsp_data::Sequence;
+
+/// Smallest feasible micro-batch count:
+/// `⌈ batch_tokens / cluster_token_capacity ⌉` (paper §4.2).
+///
+/// Returns at least 1. A zero `cluster_token_capacity` yields
+/// `usize::MAX` (nothing fits; caller should surface the error).
+pub fn min_micro_batches(batch: &[Sequence], cluster_token_capacity: u64) -> usize {
+    let tokens: u64 = batch.iter().map(|s| s.len).sum();
+    if tokens == 0 {
+        return 1;
+    }
+    if cluster_token_capacity == 0 {
+        return usize::MAX;
+    }
+    (tokens.div_ceil(cluster_token_capacity) as usize).max(1)
+}
+
+/// Splits `batch` into exactly `m` micro-batches.
+///
+/// When `sort_by_length` is true (the paper's default), sequences are first
+/// sorted ascending by length so each chunk has low internal variance
+/// (takeaway #2); chunk boundaries then come from the memory-balanced DP
+/// (takeaway #3). With sorting disabled (ablation), the DP still balances
+/// tokens but over the arrival order.
+///
+/// Returns fewer than `m` micro-batches only when `batch.len() < m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_core::blaster::blast;
+/// use flexsp_data::Sequence;
+/// let batch: Vec<Sequence> = [10u64, 10, 10, 10, 40]
+///     .iter().enumerate().map(|(i, &l)| Sequence::new(i as u64, l)).collect();
+/// let micro = blast(&batch, 2, true);
+/// assert_eq!(micro.len(), 2);
+/// // Min-max token split: {10,10,10,10} vs {40}.
+/// let totals: Vec<u64> = micro.iter()
+///     .map(|m| m.iter().map(|s| s.len).sum()).collect();
+/// assert_eq!(totals.iter().max(), Some(&40));
+/// ```
+pub fn blast(batch: &[Sequence], m: usize, sort_by_length: bool) -> Vec<Vec<Sequence>> {
+    assert!(m > 0, "need at least one micro-batch");
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let mut seqs = batch.to_vec();
+    if sort_by_length {
+        seqs.sort_by(|a, b| a.len.cmp(&b.len).then(a.id.cmp(&b.id)));
+    }
+    let bounds = balanced_boundaries(&seqs, m.min(seqs.len()));
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut prev = 0usize;
+    for b in bounds {
+        out.push(seqs[prev..b].to_vec());
+        prev = b;
+    }
+    out
+}
+
+/// Exact min-max token chunking of `seqs` (in order) into `m` consecutive
+/// chunks. Small inputs use the paper's DP verbatim (Appendix A, Eq. 24);
+/// large inputs switch to binary search on the achievable maximum with a
+/// greedy feasibility check, which finds the same optimal min-max value in
+/// `O(K·log ΣS)` (the chunk count is monotone in the cap). Returns the
+/// exclusive end index of each chunk.
+fn balanced_boundaries(seqs: &[Sequence], m: usize) -> Vec<usize> {
+    if seqs.len() > 2048 {
+        return balanced_boundaries_search(seqs, m);
+    }
+    balanced_boundaries_dp(seqs, m)
+}
+
+fn balanced_boundaries_dp(seqs: &[Sequence], m: usize) -> Vec<usize> {
+    let k = seqs.len();
+    let mut prefix = vec![0u64; k + 1];
+    for (i, s) in seqs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + s.len;
+    }
+    let seg = |j: usize, i: usize| prefix[i] - prefix[j];
+
+    const INF: u64 = u64::MAX / 2;
+    // dp[i][b] = min over j of max(dp[j][b-1], seg(j, i)).
+    let mut dp = vec![vec![INF; m + 1]; k + 1];
+    let mut from = vec![vec![0usize; m + 1]; k + 1];
+    dp[0][0] = 0;
+    for b in 1..=m {
+        for i in b..=k {
+            for j in (b - 1)..i {
+                if dp[j][b - 1] == INF {
+                    continue;
+                }
+                let v = dp[j][b - 1].max(seg(j, i));
+                if v < dp[i][b] {
+                    dp[i][b] = v;
+                    from[i][b] = j;
+                }
+            }
+        }
+    }
+    let mut bounds = Vec::with_capacity(m);
+    let (mut i, mut b) = (k, m);
+    while b > 0 {
+        bounds.push(i);
+        i = from[i][b];
+        b -= 1;
+    }
+    bounds.reverse();
+    bounds
+}
+
+/// Binary search on the optimal min-max chunk total; `fits(cap)` greedily
+/// checks whether `m` chunks of at most `cap` tokens suffice.
+fn balanced_boundaries_search(seqs: &[Sequence], m: usize) -> Vec<usize> {
+    let total: u64 = seqs.iter().map(|s| s.len).sum();
+    let max_item = seqs.iter().map(|s| s.len).max().unwrap_or(0);
+    let chunks_needed = |cap: u64| -> usize {
+        let mut chunks = 1usize;
+        let mut acc = 0u64;
+        for s in seqs {
+            if acc + s.len > cap {
+                chunks += 1;
+                acc = 0;
+            }
+            acc += s.len;
+        }
+        chunks
+    };
+    let (mut lo, mut hi) = (max_item.max(total.div_ceil(m as u64)), total);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if chunks_needed(mid) <= m {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Emit boundaries greedily at the optimal cap, but never leave fewer
+    // sequences than remaining chunks.
+    let cap = lo;
+    let mut bounds = Vec::with_capacity(m);
+    let mut acc = 0u64;
+    let mut start = 0usize;
+    for (i, s) in seqs.iter().enumerate() {
+        if acc + s.len > cap && i > start {
+            bounds.push(i);
+            start = i;
+            acc = 0;
+        }
+        acc += s.len;
+    }
+    bounds.push(seqs.len());
+    debug_assert!(bounds.len() <= m);
+    bounds
+}
+
+/// The max micro-batch token total achieved by [`blast`] — the DP's
+/// objective value, exposed for tests and diagnostics.
+pub fn max_chunk_tokens(micro_batches: &[Vec<Sequence>]) -> u64 {
+    micro_batches
+        .iter()
+        .map(|m| m.iter().map(|s| s.len).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    /// Brute-force min-max chunking for validation.
+    fn brute_force_minmax(lens: &[u64], m: usize) -> u64 {
+        fn rec(lens: &[u64], m: usize) -> u64 {
+            if m == 1 {
+                return lens.iter().sum();
+            }
+            if lens.len() <= m {
+                return lens.iter().copied().max().unwrap_or(0);
+            }
+            let mut best = u64::MAX;
+            for cut in 1..=(lens.len() - (m - 1)) {
+                let first: u64 = lens[..cut].iter().sum();
+                let rest = rec(&lens[cut..], m - 1);
+                best = best.min(first.max(rest));
+            }
+            best
+        }
+        rec(lens, m)
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let cases: Vec<(Vec<u64>, usize)> = vec![
+            (vec![10, 20, 30, 40], 2),
+            (vec![1, 1, 1, 1, 100], 2),
+            (vec![5, 9, 2, 8, 3, 7], 3),
+            (vec![100, 1, 1, 1, 1, 1, 1], 4),
+        ];
+        for (lens, m) in cases {
+            // Compare on the given order (sorting off) for a pure DP test.
+            let micro = blast(&seqs(&lens), m, false);
+            assert_eq!(max_chunk_tokens(&micro), brute_force_minmax(&lens, m));
+        }
+    }
+
+    #[test]
+    fn all_sequences_preserved() {
+        let lens: Vec<u64> = (1..=50).map(|i| i * 13 % 997 + 1).collect();
+        let micro = blast(&seqs(&lens), 7, true);
+        let mut ids: Vec<u64> = micro.iter().flatten().map(|s| s.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sorting_reduces_within_chunk_variance() {
+        // Alternating short/long input: sorted blasting must separate them.
+        let lens: Vec<u64> = (0..40)
+            .map(|i| if i % 2 == 0 { 100 } else { 10_000 })
+            .collect();
+        let sorted = blast(&seqs(&lens), 4, true);
+        let spread = |m: &Vec<Sequence>| {
+            let lo = m.iter().map(|s| s.len).min().unwrap();
+            let hi = m.iter().map(|s| s.len).max().unwrap();
+            hi - lo
+        };
+        // With sorting, at least 3 of 4 chunks are homogeneous.
+        let homogeneous = sorted.iter().filter(|m| spread(m) == 0).count();
+        assert!(homogeneous >= 3, "only {homogeneous} homogeneous chunks");
+    }
+
+    #[test]
+    fn min_micro_batches_formula() {
+        let batch = seqs(&[1000, 1000, 1000]);
+        assert_eq!(min_micro_batches(&batch, 1500), 2);
+        assert_eq!(min_micro_batches(&batch, 3000), 1);
+        assert_eq!(min_micro_batches(&batch, 100_000), 1);
+        assert_eq!(min_micro_batches(&[], 100), 1);
+        assert_eq!(min_micro_batches(&batch, 0), usize::MAX);
+    }
+
+    #[test]
+    fn more_chunks_than_sequences_collapses() {
+        let micro = blast(&seqs(&[5, 6]), 10, true);
+        assert_eq!(micro.len(), 2);
+    }
+
+    #[test]
+    fn balanced_totals_on_uniform_input() {
+        let lens = vec![100u64; 32];
+        let micro = blast(&seqs(&lens), 4, true);
+        for m in &micro {
+            assert_eq!(m.iter().map(|s| s.len).sum::<u64>(), 800);
+        }
+    }
+}

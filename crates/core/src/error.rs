@@ -1,0 +1,42 @@
+//! Planning and execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while planning an iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A sequence cannot fit device memory even on the largest SP group.
+    SequenceTooLong {
+        /// Offending sequence length (tokens).
+        len: u64,
+        /// Largest token count any group can hold.
+        max_supported: u64,
+    },
+    /// No feasible assignment was found for a micro-batch.
+    Infeasible(String),
+    /// A plan references more GPUs than the cluster has.
+    GpuBudgetExceeded {
+        /// GPUs requested.
+        requested: u32,
+        /// GPUs available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::SequenceTooLong { len, max_supported } => write!(
+                f,
+                "sequence of {len} tokens exceeds the largest group capacity of {max_supported} tokens"
+            ),
+            PlanError::Infeasible(why) => write!(f, "no feasible plan: {why}"),
+            PlanError::GpuBudgetExceeded { requested, available } => {
+                write!(f, "plan requests {requested} GPUs, cluster has {available}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}

@@ -1,0 +1,326 @@
+//! The FlexSP executor (paper §5): hot switching over pooled
+//! communicators, plan dispatch, and simulated execution with time and
+//! memory accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use flexsp_cost::{sp_step_spec, ulysses_zero_spec};
+use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
+use flexsp_sim::{
+    allocate_aligned, simulate_sp_step, AllocError, ClusterSpec, GroupPool, MemoryTracker,
+    OomError,
+};
+
+use crate::plan::IterationPlan;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A device ran out of memory executing the plan.
+    Oom(OomError),
+    /// Group placement failed (bad degrees or GPU budget).
+    Alloc(AllocError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Oom(e) => write!(f, "execution failed: {e}"),
+            ExecError::Alloc(e) => write!(f, "group placement failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+impl From<OomError> for ExecError {
+    fn from(e: OomError) -> Self {
+        ExecError::Oom(e)
+    }
+}
+
+impl From<AllocError> for ExecError {
+    fn from(e: AllocError) -> Self {
+        ExecError::Alloc(e)
+    }
+}
+
+/// Per-micro-batch execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBatchReport {
+    /// Wall time of the micro-batch (slowest concurrent group).
+    pub time_s: f64,
+    /// All-to-All seconds on the critical group.
+    pub alltoall_s: f64,
+    /// Compute seconds on the critical group.
+    pub compute_s: f64,
+    /// Exposed ZeRO seconds on the critical group.
+    pub zero_s: f64,
+    /// GPU-seconds wasted waiting for the critical group.
+    pub idle_gpu_s: f64,
+    /// Degree signature, e.g. `<32, 8x4>`.
+    pub signature: String,
+}
+
+/// Execution record of one training iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IterationReport {
+    /// End-to-end iteration seconds (micro-batches + optimizer step;
+    /// excludes one-time communicator setup, reported separately).
+    pub total_s: f64,
+    /// All-to-All seconds along the critical path.
+    pub alltoall_s: f64,
+    /// Compute seconds along the critical path.
+    pub compute_s: f64,
+    /// Exposed ZeRO seconds along the critical path.
+    pub zero_s: f64,
+    /// One-time communicator creation seconds charged by this iteration.
+    pub setup_s: f64,
+    /// Optimizer step and miscellaneous per-iteration overhead.
+    pub overhead_s: f64,
+    /// Per-micro-batch breakdowns.
+    pub micro_batches: Vec<MicroBatchReport>,
+    /// Peak per-GPU memory across the iteration (bytes).
+    pub peak_mem_bytes: u64,
+}
+
+impl IterationReport {
+    /// Fraction of the iteration spent in All-to-All (paper Fig. 5a).
+    pub fn alltoall_ratio(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            self.alltoall_s / self.total_s
+        }
+    }
+}
+
+/// Executes [`IterationPlan`]s on the simulated cluster.
+///
+/// Groups are fetched from a [`GroupPool`]; only the first use of a degree
+/// placement creates a communicator ("hot switching" costs nothing once
+/// cached, §5). Memory is tracked per GPU: model states (ZeRO-3 over the
+/// whole cluster) plus the activation shard of each assigned group, with
+/// OOM surfacing as [`ExecError::Oom`].
+#[derive(Debug)]
+pub struct Executor {
+    cluster: ClusterSpec,
+    model: ModelConfig,
+    policy: ActivationPolicy,
+    pool: GroupPool,
+    optimizer_overhead_s: f64,
+}
+
+impl Executor {
+    /// Creates an executor with the default communicator creation cost
+    /// (1.5 s, paper: ≈10 s for the six groups of a 64-GPU run) and a
+    /// 0.25 s optimizer-step overhead.
+    pub fn new(cluster: ClusterSpec, model: ModelConfig, policy: ActivationPolicy) -> Self {
+        Self {
+            cluster,
+            model,
+            policy,
+            pool: GroupPool::new(1.5),
+            optimizer_overhead_s: 0.25,
+        }
+    }
+
+    /// The communicator pool (for cache statistics).
+    pub fn pool(&self) -> &GroupPool {
+        &self.pool
+    }
+
+    /// The cluster being simulated.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Executes `plan`, returning the time/memory report.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Alloc`] if a micro-batch requests more GPUs than the
+    /// cluster has (or non-power-of-two degrees); [`ExecError::Oom`] if a
+    /// device exceeds its memory budget.
+    pub fn execute(&self, plan: &IterationPlan) -> Result<IterationReport, ExecError> {
+        let n = self.cluster.num_gpus();
+        let mut report = IterationReport::default();
+        let mut mem = MemoryTracker::new(self.cluster.gpu.mem_bytes);
+        let model_state_bytes = self
+            .model
+            .model_state_bytes(ZeroStage::Three, n as u64);
+        let act_per_token = self.model.act_bytes_per_token(self.policy);
+        let zero = ulysses_zero_spec(&self.cluster, &self.model);
+
+        for mb in &plan.micro_batches {
+            let degrees: Vec<u32> = mb.groups.iter().map(|g| g.degree).collect();
+            let placements = allocate_aligned(n, &degrees)?;
+
+            mem.reset_current();
+            // Model states live on every GPU all the time.
+            for gpu in 0..n {
+                mem.alloc(flexsp_sim::GpuId(gpu), model_state_bytes)?;
+            }
+
+            let mut times = Vec::with_capacity(mb.groups.len());
+            for (g, device_group) in mb.groups.iter().zip(&placements) {
+                let fetch = self.pool.get_or_create(device_group);
+                report.setup_s += fetch.setup_cost_s;
+
+                let shard_tokens = g.total_tokens().div_ceil(g.degree as u64);
+                for gpu in device_group.gpus() {
+                    mem.alloc(*gpu, shard_tokens * act_per_token)?;
+                }
+
+                let spec = sp_step_spec(
+                    &self.model,
+                    self.policy,
+                    g.degree,
+                    &g.lengths(),
+                    Some(zero.clone()),
+                );
+                times.push(simulate_sp_step(&self.cluster, device_group, &spec));
+            }
+
+            let critical = times
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_s().total_cmp(&b.1.total_s()))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let t_max = times.get(critical).map(|r| r.total_s()).unwrap_or(0.0);
+            let idle_gpu_s: f64 = times
+                .iter()
+                .zip(&mb.groups)
+                .map(|(r, g)| (t_max - r.total_s()) * g.degree as f64)
+                .sum();
+            let c = times.get(critical).copied().unwrap_or_default();
+            report.micro_batches.push(MicroBatchReport {
+                time_s: t_max,
+                alltoall_s: c.alltoall_s,
+                compute_s: c.compute_s,
+                zero_s: c.zero_exposed_s,
+                idle_gpu_s,
+                signature: mb.degree_signature(),
+            });
+            report.total_s += t_max;
+            report.alltoall_s += c.alltoall_s;
+            report.compute_s += c.compute_s;
+            report.zero_s += c.zero_exposed_s;
+        }
+
+        report.overhead_s = self.optimizer_overhead_s;
+        report.total_s += self.optimizer_overhead_s;
+        report.peak_mem_bytes = mem.max_peak();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_cost::CostModel;
+    use flexsp_data::Sequence;
+
+    use crate::plan::{GroupAssignment, MicroBatchPlan};
+
+    fn setup() -> (Executor, CostModel) {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        (
+            Executor::new(cluster, model, ActivationPolicy::None),
+            cost,
+        )
+    }
+
+    fn seqs(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    #[test]
+    fn executes_heterogeneous_plan() {
+        let (ex, _) = setup();
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            GroupAssignment::new(32, seqs(&[100 * 1024])),
+            GroupAssignment::new(8, seqs(&[48 * 1024])),
+            GroupAssignment::new(8, seqs(&[48 * 1024])),
+            GroupAssignment::new(8, seqs(&[48 * 1024])),
+            GroupAssignment::new(8, seqs(&[48 * 1024])),
+        ])]);
+        let r = ex.execute(&plan).unwrap();
+        assert!(r.total_s > 0.0);
+        assert_eq!(r.micro_batches.len(), 1);
+        assert!(r.peak_mem_bytes <= ex.cluster().gpu.mem_bytes);
+        assert!(r.alltoall_ratio() > 0.0 && r.alltoall_ratio() < 1.0);
+    }
+
+    #[test]
+    fn oom_detected_for_oversized_group() {
+        let (ex, cost) = setup();
+        let too_many = cost.max_group_tokens(8) + 4096;
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
+            8,
+            seqs(&[too_many / 2, too_many / 2, 4096]),
+        )])]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Oom(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn gpu_budget_enforced() {
+        let (ex, _) = setup();
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            GroupAssignment::new(64, seqs(&[1024])),
+            GroupAssignment::new(8, seqs(&[1024])),
+        ])]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Alloc(_)));
+    }
+
+    #[test]
+    fn hot_switching_pays_setup_once() {
+        let (ex, _) = setup();
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
+            8,
+            seqs(&[8192]),
+        )])]);
+        let r1 = ex.execute(&plan).unwrap();
+        let r2 = ex.execute(&plan).unwrap();
+        assert!(r1.setup_s > 0.0);
+        assert_eq!(r2.setup_s, 0.0, "cached communicator must be free");
+        assert_eq!(ex.pool().stats().creations, 1);
+    }
+
+    #[test]
+    fn micro_batches_accumulate_time() {
+        let (ex, _) = setup();
+        let one = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
+            8,
+            seqs(&[16384]),
+        )])]);
+        let two = IterationPlan::new(vec![
+            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[16384]))]),
+            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[16384]))]),
+        ]);
+        let r1 = ex.execute(&one).unwrap();
+        let r2 = ex.execute(&two).unwrap();
+        assert!(r2.total_s > 1.8 * (r1.total_s - r1.overhead_s));
+    }
+
+    #[test]
+    fn idle_time_reflects_imbalance() {
+        let (ex, _) = setup();
+        // One loaded group + one nearly idle group.
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            GroupAssignment::new(8, seqs(&[24 * 1024, 24 * 1024])),
+            GroupAssignment::new(8, seqs(&[1024])),
+        ])]);
+        let r = ex.execute(&plan).unwrap();
+        assert!(r.micro_batches[0].idle_gpu_s > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! FlexSP: heterogeneity-adaptive flexible sequence parallelism for LLM
+//! training — the primary contribution of the ASPLOS 2025 paper, rebuilt in
+//! Rust on a simulated cluster.
+//!
+//! Given a global batch of variable-length sequences, FlexSP decides, per
+//! training step:
+//!
+//! 1. how to chunk the batch into micro-batches (the **sequence blaster**,
+//!    [`blaster`], §4.2 + Appendix A of the paper),
+//! 2. which heterogeneous SP groups to form and which sequence goes where
+//!    (the **parallelism planner**, [`planner`], §4.1), after compressing
+//!    the problem with dynamic-programming **sequence bucketing**
+//!    ([`bucketing`], §4.1.3),
+//! 3. and then executes the plan with hot-switched, pooled communicators
+//!    (the **executor**, [`executor`], §5).
+//!
+//! The top-level entry points are [`FlexSpSolver`] (Algorithm 1: parallel
+//! exploration of micro-batch counts, bucketing, MILP planning) and
+//! [`Trainer`] (solve → execute loop with disaggregated-solving overlap
+//! accounting).
+//!
+//! # Example
+//!
+//! ```
+//! use flexsp_core::{Executor, FlexSpSolver, SolverConfig};
+//! use flexsp_cost::CostModel;
+//! use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+//! use flexsp_model::{ActivationPolicy, ModelConfig};
+//! use flexsp_sim::ClusterSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = ClusterSpec::a100_cluster(2); // 16 GPUs for a quick demo
+//! let model = ModelConfig::gpt_7b(64 * 1024);
+//! let policy = ActivationPolicy::None;
+//! let cost = CostModel::fit(&cluster, &model, policy);
+//!
+//! let mut loader = GlobalBatchLoader::new(
+//!     LengthDistribution::wikipedia(), 64, 64 * 1024, 0);
+//! let batch = loader.next_batch();
+//!
+//! let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+//! let solved = solver.solve_iteration(&batch)?;
+//! let executor = Executor::new(cluster, model, policy);
+//! let report = executor.execute(&solved.plan)?;
+//! assert!(report.total_s > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blaster;
+pub mod bucketing;
+pub mod executor;
+pub mod planner;
+
+mod error;
+mod milp_formulations;
+mod plan;
+mod service;
+mod trainer;
+mod workflow;
+
+pub use error::PlanError;
+pub use executor::{Executor, IterationReport, MicroBatchReport};
+pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan};
+pub use planner::{plan_homogeneous, plan_micro_batch, Formulation, PlannerConfig};
+pub use service::SolverService;
+pub use trainer::{IterationStats, Trainer, TrainingStats};
+pub use workflow::{BucketingMode, FlexSpSolver, SolvedIteration, SolverConfig};

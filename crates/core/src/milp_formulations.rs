@@ -1,0 +1,413 @@
+//! MILP formulations of the planning problem (paper §4.1.1/§4.1.3).
+
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+use flexsp_milp::{LinExpr, MilpSolver, Problem, VarKind};
+
+use crate::bucketing::Bucket;
+use crate::plan::{GroupAssignment, MicroBatchPlan};
+use crate::planner::{available_degrees, lpt_split, PlannerConfig};
+
+/// Degree-aggregated formulation with binary search on the makespan `C`.
+///
+/// For fixed `C`, feasibility is a small MILP over per-degree group counts
+/// `n_d` and per-(bucket, degree) assignment counts `x_{q,d}`:
+///
+/// ```text
+/// Σ_d d·n_d ≤ N                    (GPU budget, Eq. 20)
+/// Σ_d x_{q,d} = b̂_q   ∀q          (assignment, Eq. 22)
+/// Σ_q x_{q,d}·w(ŝ_q,d) ≤ (C − β_d)·n_d  ∀d  (aggregate time, Eq. 18)
+/// Σ_q x_{q,d}·ŝ_q ≤ cap(d)·n_d    ∀d   (aggregate memory, Eq. 19)
+/// ```
+///
+/// Each feasible `(n, x)` is split into concrete groups by LPT; if the
+/// split respects memory, `C` is achievable and the search tightens.
+pub(crate) fn plan_aggregated(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    n_gpus: u32,
+    config: &PlannerConfig,
+    warm: &MicroBatchPlan,
+) -> Option<MicroBatchPlan> {
+    let degrees = available_degrees(cost, n_gpus);
+    if degrees.is_empty() || buckets.is_empty() {
+        return None;
+    }
+
+    // Bracket: the warm plan is a feasible witness for its own makespan;
+    // the lower bound combines the best single-sequence time of the
+    // largest bucket with the total-work bound.
+    let hi0 = warm.predicted_time(cost);
+    let mut lo = lower_bound(cost, buckets, n_gpus, &degrees);
+    let mut hi = hi0.max(lo);
+    let mut best: Option<MicroBatchPlan> = None;
+    let mut best_time = hi0;
+
+    for _ in 0..config.search_iters {
+        if hi - lo <= config.search_rel_tol * hi {
+            break;
+        }
+        let c = 0.5 * (lo + hi);
+        match solve_feasibility(cost, buckets, n_gpus, &degrees, c, config) {
+            Some((counts, assignment)) => {
+                match split_into_groups(cost, buckets, &degrees, &counts, &assignment) {
+                    Some(plan) => {
+                        let t = plan.predicted_time(cost);
+                        if t < best_time {
+                            best_time = t;
+                            best = Some(plan);
+                        }
+                        // The achieved makespan may be well below c.
+                        hi = c.min(best_time);
+                    }
+                    None => lo = c,
+                }
+            }
+            None => lo = c,
+        }
+    }
+    best
+}
+
+fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32]) -> f64 {
+    // Every sequence needs at least its cheapest feasible placement.
+    let per_seq = buckets
+        .iter()
+        .map(|b| {
+            degrees
+                .iter()
+                .filter(|&&d| b.upper <= cost.max_group_tokens(d))
+                .map(|&d| cost.seq_time(b.upper, d) + cost.group_overhead(d))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max);
+    // Total GPU-seconds of the cheapest placements spread over all GPUs.
+    let work: f64 = buckets
+        .iter()
+        .map(|b| {
+            let cheapest = degrees
+                .iter()
+                .filter(|&&d| b.upper <= cost.max_group_tokens(d))
+                .map(|&d| d as f64 * cost.seq_time(b.upper, d))
+                .fold(f64::INFINITY, f64::min);
+            cheapest * b.count() as f64
+        })
+        .sum();
+    per_seq.max(work / n_gpus as f64)
+}
+
+type Assignment = Vec<Vec<u64>>; // [bucket][degree index] -> count
+
+fn solve_feasibility(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    n_gpus: u32,
+    degrees: &[u32],
+    c: f64,
+    config: &PlannerConfig,
+) -> Option<(Vec<u64>, Assignment)> {
+    let q = buckets.len();
+    let nd = degrees.len();
+    let mut p = Problem::minimize();
+
+    // n_d: number of degree-d groups.
+    let n_vars: Vec<_> = degrees
+        .iter()
+        .map(|&d| {
+            p.add_var(
+                format!("n_{d}"),
+                VarKind::Integer,
+                0.0,
+                (n_gpus / d) as f64,
+            )
+        })
+        .collect();
+    // x_{q,d}: sequences of bucket q on degree-d groups.
+    let mut x_vars = vec![Vec::with_capacity(nd); q];
+    for (qi, b) in buckets.iter().enumerate() {
+        for &d in degrees {
+            let fits_mem = b.upper <= cost.max_group_tokens(d);
+            let fits_time = cost.seq_time(b.upper, d) + cost.group_overhead(d) <= c;
+            let ub = if fits_mem && fits_time {
+                b.count() as f64
+            } else {
+                0.0
+            };
+            x_vars[qi].push(p.add_var(format!("x_{qi}_{d}"), VarKind::Integer, 0.0, ub));
+        }
+    }
+
+    // GPU budget.
+    p.add_le(
+        LinExpr::from_terms(
+            n_vars
+                .iter()
+                .zip(degrees)
+                .map(|(&v, &d)| (v, d as f64)),
+        ),
+        n_gpus as f64,
+    );
+    // Assignment completeness.
+    for (qi, b) in buckets.iter().enumerate() {
+        p.add_eq(
+            LinExpr::from_terms(x_vars[qi].iter().map(|&v| (v, 1.0))),
+            b.count() as f64,
+        );
+    }
+    // Aggregate time and memory per degree.
+    for (di, &d) in degrees.iter().enumerate() {
+        let mut time = LinExpr::new();
+        let mut mem = LinExpr::new();
+        for (qi, b) in buckets.iter().enumerate() {
+            time.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
+            mem.add_term(x_vars[qi][di], b.upper as f64);
+        }
+        let slack = c - cost.group_overhead(d);
+        time.add_term(n_vars[di], -slack.max(0.0));
+        p.add_le(time, 0.0);
+        mem.add_term(n_vars[di], -(cost.max_group_tokens(d) as f64));
+        p.add_le(mem, 0.0);
+    }
+    // Objective: total predicted work (prefers efficient degrees), plus a
+    // tiny GPU-parsimony term so spare groups are not opened for free.
+    let mut obj = LinExpr::new();
+    for (qi, b) in buckets.iter().enumerate() {
+        for (di, &d) in degrees.iter().enumerate() {
+            obj.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
+        }
+    }
+    for (di, &d) in degrees.iter().enumerate() {
+        obj.add_term(n_vars[di], 1e-6 * d as f64);
+    }
+    p.set_objective(obj);
+
+    let sol = MilpSolver::new()
+        .time_limit(config.milp_time_limit)
+        .node_limit(config.milp_node_limit)
+        .relative_gap(0.02)
+        .solve(&p)
+        .ok()?;
+    if !sol.status().has_solution() {
+        return None;
+    }
+    let counts: Vec<u64> = n_vars.iter().map(|&v| sol.value(v).round() as u64).collect();
+    let assignment: Assignment = x_vars
+        .iter()
+        .map(|row| row.iter().map(|&v| sol.value(v).round() as u64).collect())
+        .collect();
+    Some((counts, assignment))
+}
+
+/// Splits the per-degree aggregate assignment into concrete groups (LPT),
+/// validating per-group memory. Longer sequences in a bucket are handed
+/// out first so the representative-length approximation stays safe.
+fn split_into_groups(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    degrees: &[u32],
+    counts: &[u64],
+    assignment: &Assignment,
+) -> Option<MicroBatchPlan> {
+    // Per-bucket dealing cursors: longest members first.
+    let mut pools: Vec<Vec<Sequence>> = buckets
+        .iter()
+        .map(|b| {
+            let mut v = b.seqs.clone();
+            v.sort_by(|a, b| b.len.cmp(&a.len));
+            v
+        })
+        .collect();
+
+    let mut groups = Vec::new();
+    for (di, &d) in degrees.iter().enumerate() {
+        let n_d = counts[di] as usize;
+        let mut members: Vec<Sequence> = Vec::new();
+        for (qi, pool) in pools.iter_mut().enumerate() {
+            let take = assignment[qi][di] as usize;
+            for _ in 0..take {
+                members.push(pool.pop()?);
+            }
+        }
+        if members.is_empty() {
+            continue;
+        }
+        if n_d == 0 {
+            return None; // assignment without groups: infeasible split
+        }
+        let cap = cost.max_group_tokens(d);
+        let bins = lpt_split(cost, &members, d, n_d, cap)?;
+        for bin in bins.into_iter().filter(|b| !b.is_empty()) {
+            groups.push(GroupAssignment::new(d, bin));
+        }
+    }
+    // All pools must be drained.
+    if pools.iter().any(|p| !p.is_empty()) {
+        return None;
+    }
+    Some(MicroBatchPlan::new(groups))
+}
+
+/// Paper-faithful per-group formulation (Eq. 17–22): one binary `m_p` per
+/// virtual group, an integer assignment matrix `Â ∈ N^{Q×P}`, and a free
+/// makespan `C`, with symmetry-breaking ordering within each degree class.
+///
+/// Only tractable for small clusters (the virtual-group count is
+/// `Σ_d N/d ≈ 2N`); production planning uses [`plan_aggregated`].
+pub(crate) fn plan_per_group(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    n_gpus: u32,
+    config: &PlannerConfig,
+    warm: &MicroBatchPlan,
+) -> Option<MicroBatchPlan> {
+    let degrees = available_degrees(cost, n_gpus);
+    let q = buckets.len();
+    if degrees.is_empty() || q == 0 {
+        return None;
+    }
+    // Virtual groups: N/d slots per degree.
+    let mut slots: Vec<u32> = Vec::new(); // degree per slot
+    for &d in &degrees {
+        for _ in 0..(n_gpus / d) {
+            slots.push(d);
+        }
+    }
+    let np = slots.len();
+
+    let mut p = Problem::minimize();
+    let c_var = p.add_var("C", VarKind::Continuous, 0.0, f64::INFINITY);
+    let m_vars: Vec<_> = (0..np).map(|pi| p.add_binary(format!("m_{pi}"))).collect();
+    let mut a_vars = vec![Vec::with_capacity(np); q];
+    for (qi, b) in buckets.iter().enumerate() {
+        for (pi, &d) in slots.iter().enumerate() {
+            let ub = if b.upper <= cost.max_group_tokens(d) {
+                b.count() as f64
+            } else {
+                0.0
+            };
+            a_vars[qi].push(p.add_var(format!("A_{qi}_{pi}"), VarKind::Integer, 0.0, ub));
+        }
+    }
+
+    // Eq. 18 time + Eq. 19 memory per virtual group (memory doubles as the
+    // Eq. 21 linking constraint: no sequences on unselected groups).
+    for (pi, &d) in slots.iter().enumerate() {
+        let mut time = LinExpr::term(m_vars[pi], cost.group_overhead(d));
+        let mut mem = LinExpr::new();
+        for (qi, b) in buckets.iter().enumerate() {
+            time.add_term(a_vars[qi][pi], cost.seq_time(b.upper, d));
+            mem.add_term(a_vars[qi][pi], b.upper as f64);
+        }
+        time.add_term(c_var, -1.0);
+        p.add_le(time, 0.0);
+        mem.add_term(m_vars[pi], -(cost.max_group_tokens(d) as f64));
+        p.add_le(mem, 0.0);
+    }
+    // Eq. 20 GPU budget.
+    p.add_le(
+        LinExpr::from_terms(m_vars.iter().zip(&slots).map(|(&m, &d)| (m, d as f64))),
+        n_gpus as f64,
+    );
+    // Eq. 22 assignment completeness.
+    for (qi, b) in buckets.iter().enumerate() {
+        p.add_eq(
+            LinExpr::from_terms(a_vars[qi].iter().map(|&v| (v, 1.0))),
+            b.count() as f64,
+        );
+    }
+    // Symmetry breaking: within a degree class, slots activate in order.
+    for w in (0..np).collect::<Vec<_>>().windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if slots[a] == slots[b] {
+            p.add_ge(
+                LinExpr::term(m_vars[a], 1.0) - LinExpr::term(m_vars[b], 1.0),
+                0.0,
+            );
+        }
+    }
+    p.set_objective(LinExpr::term(c_var, 1.0));
+
+    // Warm start from the heuristic plan.
+    let warm_values = warm_start_values(
+        cost, buckets, &slots, warm, 1 + np, q, np,
+    );
+
+    let mut solver = MilpSolver::new()
+        .time_limit(config.milp_time_limit)
+        .node_limit(config.milp_node_limit)
+        .relative_gap(config.search_rel_tol);
+    if let Some(ws) = warm_values {
+        solver = solver.warm_start(ws);
+    }
+    let sol = solver.solve(&p).ok()?;
+    if !sol.status().has_solution() {
+        return None;
+    }
+
+    // Extract: per selected slot, pull counts from each bucket pool.
+    let mut pools: Vec<Vec<Sequence>> = buckets
+        .iter()
+        .map(|b| {
+            let mut v = b.seqs.clone();
+            v.sort_by(|a, b| b.len.cmp(&a.len));
+            v
+        })
+        .collect();
+    let mut groups = Vec::new();
+    for (pi, &d) in slots.iter().enumerate() {
+        let mut members = Vec::new();
+        for (qi, pool) in pools.iter_mut().enumerate() {
+            let take = sol.value(a_vars[qi][pi]).round() as usize;
+            for _ in 0..take {
+                members.push(pool.pop()?);
+            }
+        }
+        if !members.is_empty() {
+            groups.push(GroupAssignment::new(d, members));
+        }
+    }
+    if pools.iter().any(|p| !p.is_empty()) {
+        return None;
+    }
+    Some(MicroBatchPlan::new(groups))
+}
+
+/// Maps a concrete plan onto the per-group decision variables
+/// (`[C, m…, Â…]` in declaration order) for use as a MILP warm start.
+fn warm_start_values(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    slots: &[u32],
+    warm: &MicroBatchPlan,
+    total_vars: usize,
+    q: usize,
+    np: usize,
+) -> Option<Vec<f64>> {
+    let _ = total_vars;
+    let mut values = vec![0.0; 1 + np + q * np];
+    values[0] = warm.predicted_time(cost);
+    // Slot indices per degree, in declaration order.
+    let mut free_slots: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (pi, &d) in slots.iter().enumerate() {
+        free_slots.entry(d).or_default().push(pi);
+    }
+    for (d, v) in free_slots.iter_mut() {
+        let _ = d;
+        v.reverse(); // pop() yields the lowest index first
+    }
+    // Bucket lookup: length -> bucket index (buckets are disjoint ranges).
+    let bucket_of = |len: u64| -> Option<usize> {
+        buckets.iter().position(|b| {
+            len <= b.upper && b.seqs.iter().any(|s| s.len == len)
+        })
+    };
+    for g in &warm.groups {
+        let pi = free_slots.get_mut(&g.degree)?.pop()?;
+        values[1 + pi] = 1.0;
+        for s in &g.seqs {
+            let qi = bucket_of(s.len)?;
+            values[1 + np + qi * np + pi] += 1.0;
+        }
+    }
+    Some(values)
+}

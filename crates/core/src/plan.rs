@@ -1,0 +1,215 @@
+//! Parallelism plan types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+
+/// One SP group in a micro-batch plan: a parallelism degree plus the
+/// sequences dispatched to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// SP degree (power of two).
+    pub degree: u32,
+    /// The sequences the group processes in this micro-batch.
+    pub seqs: Vec<Sequence>,
+}
+
+impl GroupAssignment {
+    /// Creates an assignment.
+    pub fn new(degree: u32, seqs: Vec<Sequence>) -> Self {
+        Self { degree, seqs }
+    }
+
+    /// Total tokens assigned.
+    pub fn total_tokens(&self) -> u64 {
+        self.seqs.iter().map(|s| s.len).sum()
+    }
+
+    /// Constituent lengths.
+    pub fn lengths(&self) -> Vec<u64> {
+        self.seqs.iter().map(|s| s.len).collect()
+    }
+
+    /// Predicted execution time under `cost`.
+    pub fn predicted_time(&self, cost: &CostModel) -> f64 {
+        cost.group_time(&self.lengths(), self.degree)
+    }
+}
+
+/// The concurrent heterogeneous SP groups of one micro-batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MicroBatchPlan {
+    /// The groups, executing concurrently on disjoint GPUs.
+    pub groups: Vec<GroupAssignment>,
+}
+
+impl MicroBatchPlan {
+    /// Creates a micro-batch plan.
+    pub fn new(groups: Vec<GroupAssignment>) -> Self {
+        Self { groups }
+    }
+
+    /// Sum of group degrees (GPUs in use).
+    pub fn gpus_used(&self) -> u32 {
+        self.groups.iter().map(|g| g.degree).sum()
+    }
+
+    /// All sequences in the micro-batch.
+    pub fn num_seqs(&self) -> usize {
+        self.groups.iter().map(|g| g.seqs.len()).sum()
+    }
+
+    /// Total tokens in the micro-batch.
+    pub fn total_tokens(&self) -> u64 {
+        self.groups.iter().map(|g| g.total_tokens()).sum()
+    }
+
+    /// Predicted micro-batch time: the max over concurrent groups
+    /// (paper Eq. 5/6 objective).
+    pub fn predicted_time(&self, cost: &CostModel) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.predicted_time(cost))
+            .fold(0.0, f64::max)
+    }
+
+    /// Degree multiset in the paper's Table 3 notation, e.g. `⟨32, 8×4⟩`.
+    pub fn degree_signature(&self) -> String {
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+        for g in &self.groups {
+            *counts.entry(g.degree).or_insert(0) += 1;
+        }
+        let parts: Vec<String> = counts
+            .iter()
+            .rev()
+            .map(|(d, c)| {
+                if *c == 1 {
+                    format!("{d}")
+                } else {
+                    format!("{d}x{c}")
+                }
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+impl fmt::Display for MicroBatchPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.degree_signature())
+    }
+}
+
+/// A full iteration plan: gradient-accumulated micro-batches executed
+/// sequentially.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IterationPlan {
+    /// Micro-batches in execution order.
+    pub micro_batches: Vec<MicroBatchPlan>,
+}
+
+impl IterationPlan {
+    /// Creates an iteration plan.
+    pub fn new(micro_batches: Vec<MicroBatchPlan>) -> Self {
+        Self { micro_batches }
+    }
+
+    /// Total sequences across micro-batches.
+    pub fn num_seqs(&self) -> usize {
+        self.micro_batches.iter().map(|m| m.num_seqs()).sum()
+    }
+
+    /// Total tokens across micro-batches.
+    pub fn total_tokens(&self) -> u64 {
+        self.micro_batches.iter().map(|m| m.total_tokens()).sum()
+    }
+
+    /// Predicted iteration time: micro-batches run sequentially.
+    pub fn predicted_time(&self, cost: &CostModel) -> f64 {
+        self.micro_batches
+            .iter()
+            .map(|m| m.predicted_time(cost))
+            .sum()
+    }
+
+    /// Paper-style multi-line summary (Table 3): one degree signature per
+    /// micro-batch, with repeats collapsed (`<8x8> x2`).
+    pub fn signature(&self) -> String {
+        let mut lines: Vec<(String, u32)> = Vec::new();
+        for m in &self.micro_batches {
+            let sig = m.degree_signature();
+            match lines.last_mut() {
+                Some((s, c)) if *s == sig => *c += 1,
+                _ => lines.push((sig, 1)),
+            }
+        }
+        lines
+            .into_iter()
+            .map(|(s, c)| if c == 1 { s } else { format!("{s} x{c}") })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Sequence lengths grouped by assigned SP degree (paper Fig. 5b).
+    pub fn lengths_by_degree(&self) -> BTreeMap<u32, Vec<u64>> {
+        let mut map: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for m in &self.micro_batches {
+            for g in &m.groups {
+                map.entry(g.degree).or_default().extend(g.lengths());
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    #[test]
+    fn signatures_match_paper_notation() {
+        let m = MicroBatchPlan::new(vec![
+            GroupAssignment::new(32, seqs(&[100])),
+            GroupAssignment::new(8, seqs(&[1])),
+            GroupAssignment::new(8, seqs(&[2])),
+            GroupAssignment::new(16, seqs(&[3])),
+        ]);
+        assert_eq!(m.degree_signature(), "<32, 16, 8x2>");
+        assert_eq!(m.gpus_used(), 64);
+    }
+
+    #[test]
+    fn iteration_signature_collapses_repeats() {
+        let mb = |d: u32| MicroBatchPlan::new(vec![GroupAssignment::new(d, seqs(&[1]))]);
+        let plan = IterationPlan::new(vec![mb(8), mb(8), mb(64)]);
+        assert_eq!(plan.signature(), "<8> x2\n<64>");
+    }
+
+    #[test]
+    fn token_accounting() {
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            GroupAssignment::new(8, seqs(&[10, 20])),
+            GroupAssignment::new(4, seqs(&[5])),
+        ])]);
+        assert_eq!(plan.total_tokens(), 35);
+        assert_eq!(plan.num_seqs(), 3);
+    }
+
+    #[test]
+    fn lengths_by_degree_collects_across_microbatches() {
+        let plan = IterationPlan::new(vec![
+            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[10]))]),
+            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[30]))]),
+        ]);
+        assert_eq!(plan.lengths_by_degree()[&8], vec![10, 30]);
+    }
+}

@@ -1,0 +1,583 @@
+//! The parallelism planner (paper §4.1): choose heterogeneous SP groups
+//! and assign every sequence to one of them, minimizing the makespan.
+//!
+//! Three interchangeable strategies:
+//!
+//! * [`Formulation::Heuristic`] — greedy LPT-style construction plus local
+//!   search. Always available, always fast; serves as the MILP warm start.
+//! * [`Formulation::Aggregated`] (default) — the paper's MILP after a
+//!   documented symmetry reduction: groups of equal degree are
+//!   interchangeable, so we decide *per-degree group counts* `n_d` and
+//!   *per-(bucket, degree) assignment counts* `x_{q,d}`, then split each
+//!   degree's pool into concrete groups by LPT. The min-max objective is
+//!   recovered by binary-searching the makespan `C` over feasibility MILPs
+//!   (each linear because `C` is fixed), sidestepping the `C·n_d`
+//!   bilinearity that the aggregation would otherwise introduce.
+//! * [`Formulation::PerGroup`] — the paper's Eq. 17–22 verbatim (one
+//!   binary `m_p` per virtual group, integer assignment matrix `Â`, free
+//!   makespan variable `C`) with symmetry-breaking row ordering. Exact but
+//!   only tractable for small clusters; used in tests to validate the
+//!   aggregated formulation.
+
+use std::time::Duration;
+
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+
+use crate::bucketing::Bucket;
+use crate::error::PlanError;
+use crate::milp_formulations;
+use crate::plan::{GroupAssignment, MicroBatchPlan};
+
+/// Which optimization strategy the planner runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Formulation {
+    /// Greedy + local search only (no MILP).
+    Heuristic,
+    /// Degree-aggregated MILP with makespan binary search (default).
+    Aggregated,
+    /// Paper-faithful per-group MILP (small clusters / validation).
+    PerGroup,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Optimization strategy.
+    pub formulation: Formulation,
+    /// Wall-clock budget per MILP solve.
+    pub milp_time_limit: Duration,
+    /// Node budget per MILP solve.
+    pub milp_node_limit: u64,
+    /// Binary-search iterations over the makespan (aggregated form).
+    pub search_iters: usize,
+    /// Stop the binary search when the bracket is this tight (relative).
+    pub search_rel_tol: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            formulation: Formulation::Aggregated,
+            milp_time_limit: Duration::from_millis(250),
+            milp_node_limit: 4_000,
+            search_iters: 14,
+            search_rel_tol: 0.01,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Experiment-throughput settings: shorter MILP budgets.
+    pub fn fast() -> Self {
+        Self {
+            milp_time_limit: Duration::from_millis(40),
+            milp_node_limit: 400,
+            search_iters: 9,
+            search_rel_tol: 0.02,
+            ..Self::default()
+        }
+    }
+
+    /// Heuristic-only settings (the MILP-free ablation).
+    pub fn heuristic_only() -> Self {
+        Self {
+            formulation: Formulation::Heuristic,
+            ..Self::default()
+        }
+    }
+}
+
+/// Plans one micro-batch: forms heterogeneous SP groups over `n_gpus` GPUs
+/// and assigns every bucketed sequence (paper problem (17)).
+///
+/// # Errors
+///
+/// * [`PlanError::SequenceTooLong`] if a sequence cannot fit memory even on
+///   the largest group.
+/// * [`PlanError::Infeasible`] if no assignment satisfies the memory
+///   constraints (the caller should split into more micro-batches).
+pub fn plan_micro_batch(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    n_gpus: u32,
+    config: &PlannerConfig,
+) -> Result<MicroBatchPlan, PlanError> {
+    let degrees = available_degrees(cost, n_gpus);
+    let max_cap = degrees
+        .iter()
+        .map(|&d| cost.max_group_tokens(d))
+        .max()
+        .unwrap_or(0);
+    for b in buckets {
+        if b.upper > max_cap {
+            return Err(PlanError::SequenceTooLong {
+                len: b.upper,
+                max_supported: max_cap,
+            });
+        }
+    }
+    if buckets.iter().all(|b| b.seqs.is_empty()) {
+        return Ok(MicroBatchPlan::default());
+    }
+
+    // Candidate portfolio: greedy heuristic and the best homogeneous plan
+    // (both inside the MILP's search space, but a short time budget may
+    // miss them), then the MILP improvement seeded by the best candidate.
+    // Near the memory wall the greedy can fail where the LPT-packed
+    // homogeneous plans still fit, so neither failure alone is fatal.
+    let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, n_gpus).ok();
+    let mut best_time = best
+        .as_ref()
+        .map(|p| p.predicted_time(cost))
+        .unwrap_or(f64::INFINITY);
+    let all_seqs: Vec<Sequence> = buckets.iter().flat_map(|b| b.seqs.clone()).collect();
+    for &d in &degrees {
+        if let Ok(p) = plan_homogeneous(cost, &all_seqs, n_gpus, d) {
+            let t = p.predicted_time(cost);
+            if t < best_time {
+                best_time = t;
+                best = Some(p);
+            }
+        }
+    }
+    let Some(best) = best else {
+        return Err(PlanError::Infeasible(format!(
+            "no candidate plan fits {} sequences ({} tokens) on {n_gpus} GPUs",
+            all_seqs.len(),
+            all_seqs.iter().map(|s| s.len).sum::<u64>(),
+        )));
+    };
+    let improved = match config.formulation {
+        Formulation::Heuristic => None,
+        Formulation::Aggregated => {
+            milp_formulations::plan_aggregated(cost, buckets, n_gpus, config, &best)
+        }
+        Formulation::PerGroup => {
+            milp_formulations::plan_per_group(cost, buckets, n_gpus, config, &best)
+        }
+    };
+    Ok(match improved {
+        Some(p) if p.predicted_time(cost) < best_time => p,
+        _ => best,
+    })
+}
+
+/// Plans a micro-batch under a *homogeneous* constraint: `n_gpus / degree`
+/// identical groups (the FlexSP-BatchAda building block, §6.1).
+///
+/// # Errors
+///
+/// [`PlanError::Infeasible`] if any sequence or the balanced assignment
+/// exceeds the per-group token capacity.
+pub fn plan_homogeneous(
+    cost: &CostModel,
+    seqs: &[Sequence],
+    n_gpus: u32,
+    degree: u32,
+) -> Result<MicroBatchPlan, PlanError> {
+    if degree == 0 || degree > n_gpus {
+        return Err(PlanError::Infeasible(format!(
+            "degree {degree} invalid for {n_gpus} GPUs"
+        )));
+    }
+    let num_groups = (n_gpus / degree) as usize;
+    let cap = cost.max_group_tokens(degree);
+    if let Some(s) = seqs.iter().find(|s| s.len > cap) {
+        return Err(PlanError::Infeasible(format!(
+            "sequence of {} tokens exceeds SP={degree} capacity {cap}",
+            s.len
+        )));
+    }
+    let groups = lpt_split(cost, seqs, degree, num_groups, cap)
+        .ok_or_else(|| PlanError::Infeasible(format!("SP={degree} groups overflow memory")))?;
+    Ok(MicroBatchPlan::new(
+        groups
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| GroupAssignment::new(degree, g))
+            .collect(),
+    ))
+}
+
+/// Power-of-two degrees with fitted cost coefficients, capped at `n_gpus`.
+pub(crate) fn available_degrees(cost: &CostModel, n_gpus: u32) -> Vec<u32> {
+    cost.degrees().into_iter().filter(|&d| d <= n_gpus).collect()
+}
+
+/// LPT (longest-processing-time) split of `seqs` into `num_groups` bins of
+/// degree `degree`, respecting the per-group token capacity. Returns
+/// `None` when a capacity-respecting placement cannot be found greedily.
+pub(crate) fn lpt_split(
+    cost: &CostModel,
+    seqs: &[Sequence],
+    degree: u32,
+    num_groups: usize,
+    cap: u64,
+) -> Option<Vec<Vec<Sequence>>> {
+    if num_groups == 0 {
+        return if seqs.is_empty() { Some(Vec::new()) } else { None };
+    }
+    let mut order: Vec<&Sequence> = seqs.iter().collect();
+    order.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
+    let mut bins: Vec<(f64, u64, Vec<Sequence>)> = vec![(0.0, 0, Vec::new()); num_groups];
+    for s in order {
+        let t = cost.seq_time(s.len, degree);
+        // Least-loaded bin with room.
+        let slot = bins
+            .iter_mut()
+            .filter(|(_, tokens, _)| tokens + s.len <= cap)
+            .min_by(|a, b| a.0.total_cmp(&b.0))?;
+        slot.0 += t;
+        slot.1 += s.len;
+        slot.2.push(*s);
+    }
+    Some(bins.into_iter().map(|(_, _, v)| v).collect())
+}
+
+/// Greedy construction + local search (also the MILP warm start).
+fn heuristic_plan(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    n_gpus: u32,
+) -> Result<MicroBatchPlan, PlanError> {
+    let degrees = available_degrees(cost, n_gpus);
+    let mut seqs: Vec<Sequence> = buckets.iter().flat_map(|b| b.seqs.clone()).collect();
+    seqs.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
+
+    struct Slot {
+        degree: u32,
+        load: f64,
+        tokens: u64,
+        seqs: Vec<Sequence>,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free = n_gpus;
+
+    for s in &seqs {
+        // Option A: append to an existing group with memory headroom,
+        // preferring the resulting minimum load.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, g) in slots.iter().enumerate() {
+            if g.tokens + s.len > cost.max_group_tokens(g.degree) {
+                continue;
+            }
+            let new_load = g.load + cost.seq_time(s.len, g.degree);
+            if best.is_none_or(|(l, _)| new_load < l) {
+                best = Some((new_load, i));
+            }
+        }
+        // Option B: open the cheapest feasible new group.
+        let mut open: Option<(f64, u32)> = None;
+        for &d in &degrees {
+            if d > free || s.len > cost.max_group_tokens(d) {
+                continue;
+            }
+            let load = cost.group_overhead(d) + cost.seq_time(s.len, d);
+            if open.is_none_or(|(l, _)| load < l) {
+                open = Some((load, d));
+            }
+        }
+        match (best, open) {
+            (Some((la, i)), Some((lb, d))) => {
+                if lb < la {
+                    slots.push(Slot {
+                        degree: d,
+                        load: lb,
+                        tokens: s.len,
+                        seqs: vec![*s],
+                    });
+                    free -= d;
+                } else {
+                    let g = &mut slots[i];
+                    g.load = la;
+                    g.tokens += s.len;
+                    g.seqs.push(*s);
+                }
+            }
+            (Some((la, i)), None) => {
+                let g = &mut slots[i];
+                g.load = la;
+                g.tokens += s.len;
+                g.seqs.push(*s);
+            }
+            (None, Some((lb, d))) => {
+                slots.push(Slot {
+                    degree: d,
+                    load: lb,
+                    tokens: s.len,
+                    seqs: vec![*s],
+                });
+                free -= d;
+            }
+            (None, None) => {
+                return Err(PlanError::Infeasible(format!(
+                    "no group can absorb a {}-token sequence ({} free GPUs)",
+                    s.len, free
+                )));
+            }
+        }
+    }
+
+    // Local search: repeatedly move a sequence off the bottleneck group.
+    for _ in 0..200 {
+        let Some((bi, _)) = slots
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.load.total_cmp(&b.1.load))
+        else {
+            break;
+        };
+        let bottleneck_load = slots[bi].load;
+        let mut best_move: Option<(usize, usize, f64)> = None; // (seq idx, dest, new max)
+        for (si, s) in slots[bi].seqs.iter().enumerate() {
+            let t_src = cost.seq_time(s.len, slots[bi].degree);
+            for (di, dst) in slots.iter().enumerate() {
+                if di == bi || dst.tokens + s.len > cost.max_group_tokens(dst.degree) {
+                    continue;
+                }
+                let dst_new = dst.load + cost.seq_time(s.len, dst.degree);
+                let src_new = bottleneck_load - t_src;
+                let local_max = dst_new.max(src_new);
+                if local_max < bottleneck_load - 1e-9
+                    && best_move.is_none_or(|(_, _, m)| local_max < m)
+                {
+                    best_move = Some((si, di, local_max));
+                }
+            }
+        }
+        match best_move {
+            None => break,
+            Some((si, di, _)) => {
+                let s = slots[bi].seqs.remove(si);
+                slots[bi].load -= cost.seq_time(s.len, slots[bi].degree);
+                slots[bi].tokens -= s.len;
+                slots[di].load += cost.seq_time(s.len, slots[di].degree);
+                slots[di].tokens += s.len;
+                slots[di].seqs.push(s);
+            }
+        }
+    }
+
+    Ok(MicroBatchPlan::new(
+        slots
+            .into_iter()
+            .filter(|g| !g.seqs.is_empty())
+            .map(|g| GroupAssignment::new(g.degree, g.seqs))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_cost::CostModel;
+    use flexsp_model::{ActivationPolicy, ModelConfig};
+    use flexsp_sim::ClusterSpec;
+
+    use crate::bucketing::bucket_dp;
+
+    fn cost64() -> CostModel {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        CostModel::fit(&cluster, &model, ActivationPolicy::None)
+    }
+
+    fn seqs(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    fn check_plan(plan: &MicroBatchPlan, cost: &CostModel, input: &[Sequence], n_gpus: u32) {
+        assert!(plan.gpus_used() <= n_gpus, "GPU budget");
+        let mut ids: Vec<u64> = plan
+            .groups
+            .iter()
+            .flat_map(|g| g.seqs.iter().map(|s| s.id))
+            .collect();
+        ids.sort_unstable();
+        let mut expect: Vec<u64> = input.iter().map(|s| s.id).collect();
+        expect.sort_unstable();
+        assert_eq!(ids, expect, "every sequence assigned exactly once");
+        for g in &plan.groups {
+            assert!(
+                g.total_tokens() <= cost.max_group_tokens(g.degree),
+                "group SP={} over memory",
+                g.degree
+            );
+            assert!(g.degree.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn motivating_example_uses_heterogeneous_groups() {
+        // Paper Fig. 1: one 100K sequence + four 48K sequences on 64 GPUs.
+        // FlexSP should NOT put everything at SP=32; short sequences get
+        // smaller groups and the plan beats the homogeneous alternative.
+        let cost = cost64();
+        let input = seqs(&[100 * 1024, 48 * 1024, 48 * 1024, 48 * 1024, 48 * 1024]);
+        let buckets = bucket_dp(&input, 16);
+        let plan = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::default()).unwrap();
+        check_plan(&plan, &cost, &input, 64);
+        let homo = plan_homogeneous(&cost, &input, 64, 32).unwrap();
+        assert!(
+            plan.predicted_time(&cost) < homo.predicted_time(&cost),
+            "hetero {} vs homo SP=32 {}",
+            plan.predicted_time(&cost),
+            homo.predicted_time(&cost)
+        );
+        // The long sequence must sit on a group large enough for memory.
+        let long_group = plan
+            .groups
+            .iter()
+            .find(|g| g.seqs.iter().any(|s| s.len == 100 * 1024))
+            .unwrap();
+        assert!(long_group.degree >= cost.min_degree_for(100 * 1024).unwrap());
+    }
+
+    #[test]
+    fn short_batches_prefer_small_groups() {
+        let cost = cost64();
+        let input = seqs(&[4096; 64]);
+        let buckets = bucket_dp(&input, 16);
+        let plan = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::default()).unwrap();
+        check_plan(&plan, &cost, &input, 64);
+        // No group should span nodes for such short sequences.
+        assert!(
+            plan.groups.iter().all(|g| g.degree <= 8),
+            "plan {} uses inter-node groups",
+            plan.degree_signature()
+        );
+    }
+
+    #[test]
+    fn heuristic_only_matches_validity() {
+        let cost = cost64();
+        let input = seqs(&[64 * 1024, 32 * 1024, 8192, 8192, 4096, 2048, 2048, 1024]);
+        let buckets = bucket_dp(&input, 8);
+        let plan =
+            plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only()).unwrap();
+        check_plan(&plan, &cost, &input, 64);
+    }
+
+    #[test]
+    fn milp_never_worse_than_heuristic() {
+        let cost = cost64();
+        let input = seqs(&[
+            100 * 1024,
+            64 * 1024,
+            32 * 1024,
+            16 * 1024,
+            16 * 1024,
+            8192,
+            8192,
+            8192,
+            4096,
+            4096,
+            2048,
+            1024,
+        ]);
+        let buckets = bucket_dp(&input, 16);
+        let h = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only())
+            .unwrap()
+            .predicted_time(&cost);
+        let m = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::default())
+            .unwrap()
+            .predicted_time(&cost);
+        assert!(m <= h + 1e-9, "milp {m} vs heuristic {h}");
+    }
+
+    #[test]
+    fn too_long_sequence_is_rejected() {
+        let cost = cost64();
+        let too_long = cost.max_group_tokens(64) + 1;
+        let input = seqs(&[too_long]);
+        let buckets = bucket_dp(&input, 4);
+        let err = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::default()).unwrap_err();
+        assert!(matches!(err, PlanError::SequenceTooLong { .. }));
+    }
+
+    #[test]
+    fn overloaded_micro_batch_is_infeasible() {
+        // More tokens than the whole cluster can hold at once.
+        let cost = cost64();
+        let cap = cost.cluster_token_capacity();
+        let n = (cap / (64 * 1024) + 10) as usize;
+        let input = seqs(&vec![64 * 1024; n]);
+        let buckets = bucket_dp(&input, 8);
+        let err = plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only());
+        assert!(matches!(err, Err(PlanError::Infeasible(_))));
+    }
+
+    #[test]
+    fn homogeneous_plan_balances_groups() {
+        let cost = cost64();
+        let input = seqs(&[8192; 32]);
+        let plan = plan_homogeneous(&cost, &input, 64, 8).unwrap();
+        check_plan(&plan, &cost, &input, 64);
+        assert!(plan.groups.len() <= 8);
+        let loads: Vec<usize> = plan.groups.iter().map(|g| g.seqs.len()).collect();
+        let (min, max) = (
+            loads.iter().min().copied().unwrap(),
+            loads.iter().max().copied().unwrap(),
+        );
+        assert!(max - min <= 1, "unbalanced homogeneous split {loads:?}");
+    }
+
+    #[test]
+    fn empty_buckets_yield_empty_plan() {
+        let cost = cost64();
+        let plan = plan_micro_batch(&cost, &[], 64, &PlannerConfig::default()).unwrap();
+        assert!(plan.groups.is_empty());
+    }
+
+    #[test]
+    fn per_group_formulation_on_small_cluster() {
+        // Paper-exact MILP on 8 GPUs; must be valid and no worse than the
+        // heuristic.
+        let cluster = ClusterSpec::a100_cluster(1);
+        let model = ModelConfig::gpt_7b(32 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let input = seqs(&[16 * 1024, 8192, 8192, 4096, 2048, 2048, 1024, 1024]);
+        let buckets = bucket_dp(&input, 6);
+        let cfg = PlannerConfig {
+            formulation: Formulation::PerGroup,
+            milp_time_limit: Duration::from_secs(2),
+            milp_node_limit: 50_000,
+            ..PlannerConfig::default()
+        };
+        let pg = plan_micro_batch(&cost, &buckets, 8, &cfg).unwrap();
+        check_plan(&pg, &cost, &input, 8);
+        let h = plan_micro_batch(&cost, &buckets, 8, &PlannerConfig::heuristic_only()).unwrap();
+        assert!(pg.predicted_time(&cost) <= h.predicted_time(&cost) + 1e-9);
+    }
+
+    #[test]
+    fn aggregated_close_to_per_group_on_small_cluster() {
+        // The symmetry-reduced formulation should match the paper-exact one
+        // within the binary-search tolerance on a small instance.
+        let cluster = ClusterSpec::a100_cluster(1);
+        let model = ModelConfig::gpt_7b(32 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let input = seqs(&[16 * 1024, 8192, 8192, 4096, 2048, 2048, 1024, 1024]);
+        let buckets = bucket_dp(&input, 6);
+        let exact_cfg = PlannerConfig {
+            formulation: Formulation::PerGroup,
+            milp_time_limit: Duration::from_secs(2),
+            milp_node_limit: 50_000,
+            ..PlannerConfig::default()
+        };
+        let exact = plan_micro_batch(&cost, &buckets, 8, &exact_cfg)
+            .unwrap()
+            .predicted_time(&cost);
+        let agg = plan_micro_batch(&cost, &buckets, 8, &PlannerConfig::default())
+            .unwrap()
+            .predicted_time(&cost);
+        assert!(
+            agg <= exact * 1.10 + 1e-9,
+            "aggregated {agg} vs per-group {exact}"
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Disaggregated solver service (paper §5).
+//!
+//! FlexSP separates problem solving (CPUs) from training (GPUs): each
+//! node runs a solver service, plans are staged in a distributed store,
+//! and the executor consumes one plan per iteration — so solving for
+//! future batches overlaps with training the current one, and the
+//! effective solver cost divides by the node count (paper Fig. 8).
+//!
+//! [`SolverService`] reproduces that architecture with worker threads: a
+//! submission queue fans batches out to parallel [`FlexSpSolver`] workers
+//! and a reorder buffer delivers plans strictly in submission order.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use flexsp_data::Sequence;
+
+use crate::error::PlanError;
+use crate::workflow::{FlexSpSolver, SolvedIteration};
+
+type Job = (u64, Vec<Sequence>);
+type JobResult = (u64, Result<SolvedIteration, PlanError>);
+
+/// A pool of solver workers delivering plans in submission order.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_core::{FlexSpSolver, SolverConfig, SolverService};
+/// use flexsp_cost::CostModel;
+/// use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+/// use flexsp_model::{ActivationPolicy, ModelConfig};
+/// use flexsp_sim::ClusterSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = ClusterSpec::a100_cluster(2);
+/// let model = ModelConfig::gpt_7b(64 * 1024);
+/// let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+/// let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+///
+/// let service = SolverService::spawn(solver, 2);
+/// let mut loader = GlobalBatchLoader::new(
+///     LengthDistribution::wikipedia(), 32, 64 * 1024, 1);
+/// for _ in 0..3 {
+///     service.submit(loader.next_batch());
+/// }
+/// for _ in 0..3 {
+///     let solved = service.recv_plan()?; // in submission order
+///     assert!(solved.predicted_s > 0.0);
+/// }
+/// service.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SolverService {
+    jobs: Sender<Job>,
+    results: Receiver<JobResult>,
+    workers: Vec<JoinHandle<()>>,
+    next_submit: std::cell::Cell<u64>,
+    next_deliver: std::cell::Cell<u64>,
+    reorder: std::cell::RefCell<HashMap<u64, Result<SolvedIteration, PlanError>>>,
+}
+
+impl SolverService {
+    /// Spawns `workers` solver threads sharing clones of `solver` (the
+    /// paper runs one service per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn(solver: FlexSpSolver, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (res_tx, res_rx) = unbounded::<JobResult>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                let solver = solver.clone();
+                std::thread::spawn(move || {
+                    while let Ok((idx, batch)) = rx.recv() {
+                        let result = solver.solve_iteration(&batch);
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self {
+            jobs: job_tx,
+            results: res_rx,
+            workers: handles,
+            next_submit: std::cell::Cell::new(0),
+            next_deliver: std::cell::Cell::new(0),
+            reorder: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Queues a batch for solving; returns its sequence number.
+    pub fn submit(&self, batch: Vec<Sequence>) -> u64 {
+        let idx = self.next_submit.get();
+        self.next_submit.set(idx + 1);
+        self.jobs
+            .send((idx, batch))
+            .expect("solver workers alive while the service exists");
+        idx
+    }
+
+    /// Number of submitted batches whose plans have not been delivered.
+    pub fn pending(&self) -> u64 {
+        self.next_submit.get() - self.next_deliver.get()
+    }
+
+    /// Blocks until the plan for the *next submission in order* is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns the solver's [`PlanError`] for that batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no pending submissions.
+    pub fn recv_plan(&self) -> Result<SolvedIteration, PlanError> {
+        let want = self.next_deliver.get();
+        assert!(
+            want < self.next_submit.get(),
+            "recv_plan without a pending submission"
+        );
+        loop {
+            if let Some(res) = self.reorder.borrow_mut().remove(&want) {
+                self.next_deliver.set(want + 1);
+                return res;
+            }
+            let (idx, res) = self
+                .results
+                .recv()
+                .expect("workers alive while jobs are pending");
+            self.reorder.borrow_mut().insert(idx, res);
+        }
+    }
+
+    /// Stops accepting jobs and joins the workers.
+    pub fn shutdown(self) {
+        drop(self.jobs);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::SolverConfig;
+    use flexsp_cost::CostModel;
+    use flexsp_model::{ActivationPolicy, ModelConfig};
+    use flexsp_sim::ClusterSpec;
+
+    fn solver() -> FlexSpSolver {
+        let cluster = ClusterSpec::a100_cluster(2);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        FlexSpSolver::new(
+            CostModel::fit(&cluster, &model, ActivationPolicy::None),
+            SolverConfig::fast(),
+        )
+    }
+
+    fn batch(seed: u64, n: usize) -> Vec<Sequence> {
+        use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+        GlobalBatchLoader::new(LengthDistribution::wikipedia(), n, 48 * 1024, seed).next_batch()
+    }
+
+    #[test]
+    fn plans_arrive_in_submission_order() {
+        let service = SolverService::spawn(solver(), 3);
+        // Batches of very different sizes finish out of order internally.
+        let sizes = [64usize, 4, 32, 2, 16];
+        let expected: Vec<usize> = sizes.to_vec();
+        for (i, &n) in sizes.iter().enumerate() {
+            service.submit(batch(i as u64, n));
+        }
+        for &n in &expected {
+            let solved = service.recv_plan().expect("solvable");
+            assert_eq!(solved.plan.num_seqs(), n, "plans must arrive in order");
+        }
+        assert_eq!(service.pending(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn failures_are_delivered_in_order_too() {
+        let service = SolverService::spawn(solver(), 2);
+        service.submit(batch(1, 8));
+        // An impossible batch: one sequence larger than the cluster.
+        service.submit(vec![Sequence::new(0, 10 << 20)]);
+        service.submit(batch(2, 8));
+        assert!(service.recv_plan().is_ok());
+        assert!(matches!(
+            service.recv_plan(),
+            Err(PlanError::SequenceTooLong { .. })
+        ));
+        assert!(service.recv_plan().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending submission")]
+    fn recv_without_submit_panics() {
+        let service = SolverService::spawn(solver(), 1);
+        let _ = service.recv_plan();
+    }
+}

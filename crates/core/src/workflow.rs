@@ -1,0 +1,348 @@
+//! The FlexSP solver workflow (paper Algorithm 1).
+//!
+//! For each candidate micro-batch count `M ∈ [M_min, M_min + M′)`, blast
+//! the batch into micro-batches, bucket each micro-batch, plan each with
+//! the parallelism planner, and keep the plan with the lowest total
+//! predicted time. Candidate counts are explored in parallel (the paper's
+//! "two-level multi-process solving", realized with scoped threads).
+
+use std::time::Instant;
+
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+
+use crate::blaster::{blast, min_micro_batches};
+use crate::bucketing::{bucket_dp, bucket_exact, bucket_fixed_interval, Bucket};
+use crate::error::PlanError;
+use crate::plan::IterationPlan;
+use crate::planner::{plan_micro_batch, PlannerConfig};
+
+/// Sequence-bucketing strategy (§4.1.3 + the Fig. 7 / Table 4 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketingMode {
+    /// Dynamic-programming optimal bucketing (default; paper Eq. 15–16).
+    Dp,
+    /// Naive fixed-width buckets with the given interval in tokens.
+    FixedInterval(u64),
+    /// No bucketing: one bucket per distinct length (ablation; inflates
+    /// the MILP).
+    Exact,
+}
+
+/// Solver configuration (paper defaults: `Q = 16` buckets, `M′ = 5`
+/// trials, length-sorted blasting, DP bucketing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Bucket count `Q` handed to the planner.
+    pub num_buckets: usize,
+    /// Number of micro-batch counts to try (`M′`).
+    pub trials: usize,
+    /// Sort sequences by length before chunking (takeaway #2).
+    pub sort_by_length: bool,
+    /// Bucketing strategy.
+    pub bucketing: BucketingMode,
+    /// Parallelism-planner settings.
+    pub planner: PlannerConfig,
+    /// Explore micro-batch counts on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            num_buckets: 16,
+            trials: 5,
+            sort_by_length: true,
+            bucketing: BucketingMode::Dp,
+            planner: PlannerConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Experiment-throughput settings: fewer trials, faster MILPs.
+    pub fn fast() -> Self {
+        Self {
+            trials: 3,
+            planner: PlannerConfig::fast(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of solving one iteration.
+#[derive(Debug, Clone)]
+pub struct SolvedIteration {
+    /// The chosen plan.
+    pub plan: IterationPlan,
+    /// Its total predicted time (seconds).
+    pub predicted_s: f64,
+    /// Wall-clock seconds the solver itself took (Fig. 8's solving time).
+    pub solve_wall_s: f64,
+    /// Per-trial outcome: `(micro-batch count, predicted seconds)`;
+    /// `None` marks an infeasible count.
+    pub trials: Vec<(usize, Option<f64>)>,
+}
+
+/// The FlexSP solver (paper Fig. 3: sequence blaster + parallelism
+/// planner). See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct FlexSpSolver {
+    cost: CostModel,
+    config: SolverConfig,
+}
+
+impl FlexSpSolver {
+    /// Creates a solver over a fitted cost model.
+    pub fn new(cost: CostModel, config: SolverConfig) -> Self {
+        Self { cost, config }
+    }
+
+    /// The underlying cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Buckets one micro-batch according to the configured mode.
+    fn bucket(&self, seqs: &[Sequence]) -> Vec<Bucket> {
+        match self.config.bucketing {
+            BucketingMode::Dp => bucket_dp(seqs, self.config.num_buckets),
+            BucketingMode::FixedInterval(w) => bucket_fixed_interval(seqs, w),
+            BucketingMode::Exact => bucket_exact(seqs),
+        }
+    }
+
+    /// Solves one training iteration for `batch` (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::SequenceTooLong`] if a sequence cannot fit on any
+    ///   group — no micro-batch count can fix that.
+    /// * [`PlanError::Infeasible`] if every candidate count fails.
+    pub fn solve_iteration(&self, batch: &[Sequence]) -> Result<SolvedIteration, PlanError> {
+        let start = Instant::now();
+        let capacity = self.cost.cluster_token_capacity();
+        let m_min = min_micro_batches(batch, capacity);
+        if m_min == usize::MAX {
+            return Err(PlanError::Infeasible(
+                "cluster token capacity is zero".into(),
+            ));
+        }
+        if let Some(s) = batch.iter().max_by_key(|s| s.len) {
+            let max_cap = self
+                .cost
+                .degrees()
+                .iter()
+                .map(|&d| self.cost.max_group_tokens(d))
+                .max()
+                .unwrap_or(0);
+            if s.len > max_cap {
+                return Err(PlanError::SequenceTooLong {
+                    len: s.len,
+                    max_supported: max_cap,
+                });
+            }
+        }
+
+        let counts: Vec<usize> = (m_min..m_min + self.config.trials.max(1)).collect();
+        let parallel = self.config.parallel;
+        let solve_one = |m: usize| -> Result<(IterationPlan, f64), PlanError> {
+            let micro_batches = blast(batch, m, self.config.sort_by_length);
+            // Second level of the paper's two-level parallel solving: the
+            // micro-batches of one trial are planned concurrently.
+            let solve_mb = |mb: &Vec<flexsp_data::Sequence>| {
+                let buckets = self.bucket(mb);
+                plan_micro_batch(
+                    &self.cost,
+                    &buckets,
+                    self.cost.num_gpus(),
+                    &self.config.planner,
+                )
+            };
+            let results: Vec<Result<_, PlanError>> = if parallel && micro_batches.len() > 1 {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = micro_batches
+                        .iter()
+                        .map(|mb| scope.spawn(move |_| solve_mb(mb)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("micro-batch planner panicked"))
+                        .collect()
+                })
+                .expect("micro-batch scope panicked")
+            } else {
+                micro_batches.iter().map(solve_mb).collect()
+            };
+            let mut plans = Vec::with_capacity(results.len());
+            let mut total = 0.0;
+            for r in results {
+                let plan = r?;
+                total += plan.predicted_time(&self.cost);
+                plans.push(plan);
+            }
+            Ok((IterationPlan::new(plans), total))
+        };
+
+        let results: Vec<(usize, Result<(IterationPlan, f64), PlanError>)> =
+            if self.config.parallel && counts.len() > 1 {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = counts
+                        .iter()
+                        .map(|&m| scope.spawn(move |_| (m, solve_one(m))))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("solver thread panicked"))
+                        .collect()
+                })
+                .expect("solver scope panicked")
+            } else {
+                counts.iter().map(|&m| (m, solve_one(m))).collect()
+            };
+
+        let mut best: Option<(IterationPlan, f64)> = None;
+        let mut trials = Vec::with_capacity(results.len());
+        let mut fatal: Option<PlanError> = None;
+        for (m, r) in results {
+            match r {
+                Ok((plan, t)) => {
+                    trials.push((m, Some(t)));
+                    if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                        best = Some((plan, t));
+                    }
+                }
+                Err(e @ PlanError::SequenceTooLong { .. }) => {
+                    fatal = Some(e);
+                    trials.push((m, None));
+                }
+                Err(_) => trials.push((m, None)),
+            }
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        // Escape hatch for workloads sitting right at the memory wall:
+        // when every count in the window fails, keep increasing M until
+        // one succeeds (bounded; each extra micro-batch strictly loosens
+        // the per-micro-batch memory constraint).
+        if best.is_none() {
+            let from = m_min + self.config.trials.max(1);
+            for m in from..from + 12 {
+                match solve_one(m) {
+                    Ok((plan, t)) => {
+                        trials.push((m, Some(t)));
+                        best = Some((plan, t));
+                        break;
+                    }
+                    Err(e @ PlanError::SequenceTooLong { .. }) => return Err(e),
+                    Err(_) => trials.push((m, None)),
+                }
+            }
+        }
+        match best {
+            Some((plan, predicted_s)) => Ok(SolvedIteration {
+                plan,
+                predicted_s,
+                solve_wall_s: start.elapsed().as_secs_f64(),
+                trials,
+            }),
+            None => Err(PlanError::Infeasible(format!(
+                "all micro-batch counts {counts:?} (and 12 fallbacks) failed"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_model::{ActivationPolicy, ModelConfig};
+    use flexsp_sim::ClusterSpec;
+
+    fn solver(cfg: SolverConfig) -> FlexSpSolver {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        FlexSpSolver::new(CostModel::fit(&cluster, &model, ActivationPolicy::None), cfg)
+    }
+
+    fn seqs(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    #[test]
+    fn small_batch_single_micro_batch() {
+        let s = solver(SolverConfig::fast());
+        let batch = seqs(&[8192, 4096, 4096, 2048]);
+        let out = s.solve_iteration(&batch).unwrap();
+        assert_eq!(out.plan.micro_batches.len(), 1);
+        assert_eq!(out.plan.num_seqs(), 4);
+        assert!(out.predicted_s > 0.0);
+    }
+
+    #[test]
+    fn big_batch_needs_accumulation() {
+        // Far more tokens than the cluster holds at once.
+        let s = solver(SolverConfig::fast());
+        let cap = s.cost().cluster_token_capacity();
+        let n = (3 * cap / 16_384) as usize;
+        let batch = seqs(&vec![16_384; n]);
+        let out = s.solve_iteration(&batch).unwrap();
+        assert!(out.plan.micro_batches.len() >= 3);
+        assert_eq!(out.plan.num_seqs(), n);
+        // Every trial's count was at least M_min.
+        let m_min = crate::blaster::min_micro_batches(&batch, cap);
+        assert!(out.trials.iter().all(|(m, _)| *m >= m_min));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut cfg = SolverConfig::fast();
+        cfg.parallel = true;
+        let sp = solver(cfg.clone());
+        cfg.parallel = false;
+        let ss = solver(cfg);
+        let batch = seqs(&[65536, 32768, 8192, 8192, 8192, 4096, 4096, 2048, 2048, 1024]);
+        let a = sp.solve_iteration(&batch).unwrap();
+        let b = ss.solve_iteration(&batch).unwrap();
+        assert_eq!(a.plan.num_seqs(), b.plan.num_seqs());
+        // Both explored the same trial counts.
+        let ms = |t: &[(usize, Option<f64>)]| t.iter().map(|(m, _)| *m).collect::<Vec<_>>();
+        assert_eq!(ms(&a.trials), ms(&b.trials));
+    }
+
+    #[test]
+    fn oversized_sequence_is_fatal() {
+        let s = solver(SolverConfig::fast());
+        let too_long = s.cost().max_group_tokens(64) + 1000;
+        let err = s.solve_iteration(&seqs(&[too_long])).unwrap_err();
+        assert!(matches!(err, PlanError::SequenceTooLong { .. }));
+    }
+
+    #[test]
+    fn bucketing_modes_all_solve() {
+        for mode in [
+            BucketingMode::Dp,
+            BucketingMode::FixedInterval(2048),
+            BucketingMode::Exact,
+        ] {
+            let cfg = SolverConfig {
+                bucketing: mode,
+                ..SolverConfig::fast()
+            };
+            let s = solver(cfg);
+            let batch = seqs(&[16384, 8192, 5000, 3000, 2048, 1024, 900, 800]);
+            let out = s.solve_iteration(&batch).unwrap();
+            assert_eq!(out.plan.num_seqs(), 8, "mode {mode:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based validation of the solver's DP components against brute
+//! force: bucketing (Eq. 15–16) and the blaster's min-max chunking
+//! (Eq. 23–24).
+
+use flexsp_core::blaster::{blast, max_chunk_tokens, min_micro_batches};
+use flexsp_core::bucketing::{bucket_dp, bucket_exact, total_token_error};
+use flexsp_data::Sequence;
+use proptest::prelude::*;
+
+fn seqs(lens: &[u64]) -> Vec<Sequence> {
+    lens.iter()
+        .enumerate()
+        .map(|(i, &l)| Sequence::new(i as u64, l))
+        .collect()
+}
+
+/// Exhaustive optimal bucketing error for tiny inputs: enumerate the
+/// boundary of the last bucket, recurse on the prefix with one fewer.
+fn brute_bucket_error(lens: &[u64], q: usize) -> u64 {
+    fn rec(sorted: &[u64], q: usize) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let top = *sorted.last().unwrap();
+        if q == 1 {
+            return sorted.iter().map(|&s| top - s).sum();
+        }
+        let mut best = u64::MAX;
+        for cut in 1..=sorted.len() {
+            // Last bucket = sorted[cut..] (may be empty), represented by
+            // the global maximum.
+            let last_err: u64 = sorted[cut..].iter().map(|&s| top - s).sum();
+            let rest = rec(&sorted[..cut], q - 1);
+            best = best.min(rest.saturating_add(last_err));
+        }
+        best
+    }
+    let mut sorted = lens.to_vec();
+    sorted.sort_unstable();
+    rec(&sorted, q)
+}
+
+/// Brute-force min-max chunk total for tiny inputs (order preserved).
+fn brute_minmax(lens: &[u64], m: usize) -> u64 {
+    fn rec(lens: &[u64], m: usize) -> u64 {
+        if m == 1 {
+            return lens.iter().sum();
+        }
+        if lens.len() <= m {
+            return lens.iter().copied().max().unwrap_or(0);
+        }
+        let mut best = u64::MAX;
+        for cut in 1..=(lens.len() - (m - 1)) {
+            let first: u64 = lens[..cut].iter().sum();
+            best = best.min(first.max(rec(&lens[cut..], m - 1)));
+        }
+        best
+    }
+    rec(lens, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bucketing_matches_brute_force(
+        lens in prop::collection::vec(1u64..500, 1..9),
+        q in 1usize..4,
+    ) {
+        let dp = total_token_error(&bucket_dp(&seqs(&lens), q));
+        let bf = brute_bucket_error(&lens, q);
+        prop_assert_eq!(dp, bf, "lens {:?} q={}", lens, q);
+    }
+
+    #[test]
+    fn bucketing_invariants(
+        lens in prop::collection::vec(1u64..100_000, 1..120),
+        q in 1usize..20,
+    ) {
+        let input = seqs(&lens);
+        let buckets = bucket_dp(&input, q);
+        // Partition.
+        let count: usize = buckets.iter().map(|b| b.count()).sum();
+        prop_assert_eq!(count, input.len());
+        // Bounded members, ascending disjoint ranges.
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].upper < w[1].upper);
+        }
+        for b in &buckets {
+            prop_assert!(b.seqs.iter().all(|s| s.len <= b.upper));
+        }
+        // Never worse than exact bucketing is impossible; exact has 0 error.
+        prop_assert_eq!(total_token_error(&bucket_exact(&input)), 0);
+        // More buckets never hurt.
+        let more = total_token_error(&bucket_dp(&input, q + 1));
+        prop_assert!(more <= total_token_error(&buckets));
+    }
+
+    #[test]
+    fn blaster_matches_brute_force(
+        lens in prop::collection::vec(1u64..300, 1..9),
+        m in 1usize..4,
+    ) {
+        // Unsorted mode isolates the DP itself.
+        let micro = blast(&seqs(&lens), m, false);
+        prop_assert_eq!(max_chunk_tokens(&micro), brute_minmax(&lens, m));
+    }
+
+    #[test]
+    fn blaster_invariants(
+        lens in prop::collection::vec(1u64..50_000, 1..150),
+        m in 1usize..12,
+        sort in any::<bool>(),
+    ) {
+        let input = seqs(&lens);
+        let micro = blast(&input, m, sort);
+        // All sequences preserved exactly once.
+        let mut ids: Vec<u64> = micro.iter().flatten().map(|s| s.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids.len(), input.len());
+        ids.dedup();
+        prop_assert_eq!(ids.len(), input.len());
+        // Chunk count bounded.
+        prop_assert!(micro.len() <= m.min(input.len()));
+        // The min-max value can never beat the averages-or-longest bound.
+        let total: u64 = lens.iter().sum();
+        let bound = (total.div_ceil(m as u64)).max(lens.iter().copied().max().unwrap_or(0));
+        prop_assert!(max_chunk_tokens(&micro) >= bound.min(total));
+    }
+
+    #[test]
+    fn m_min_bounds_the_feasible_window(
+        lens in prop::collection::vec(1u64..10_000, 1..100),
+        capacity in 10_000u64..100_000,
+    ) {
+        let input = seqs(&lens);
+        let m_min = min_micro_batches(&input, capacity);
+        prop_assume!(m_min != usize::MAX);
+        // M_min is a LOWER bound (item granularity can force more chunks
+        // — the workflow's trial window exists for exactly this reason):
+        // m_min − 1 chunks cannot fit by pigeonhole.
+        if m_min > 1 {
+            let total: u64 = lens.iter().sum();
+            prop_assert!(total > capacity * (m_min as u64 - 1));
+        }
+        // And some m within a bounded window above M_min is feasible when
+        // every item fits a chunk.
+        if lens.iter().all(|&l| l <= capacity) {
+            let feasible = (m_min..m_min + 40.min(input.len() + 1))
+                .any(|m| max_chunk_tokens(&blast(&input, m, true)) <= capacity)
+                || input.len() < m_min;
+            prop_assert!(feasible, "no feasible m near M_min={}", m_min);
+        }
+    }
+}

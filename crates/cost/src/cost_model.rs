@@ -1,0 +1,336 @@
+//! The fitted α-β cost model used by the FlexSP planner.
+
+use std::collections::BTreeMap;
+
+use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
+use flexsp_sim::ClusterSpec;
+
+use crate::fit::lstsq;
+use crate::profiler::{ProfilePoint, Profiler};
+
+/// Fitted computation coefficients (paper Eq. 12):
+/// `T = (α₁·Σs² + α₂·Σs)/d + β₁`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeFit {
+    /// Seconds per squared token (attention).
+    pub alpha1: f64,
+    /// Seconds per token (linear modules).
+    pub alpha2: f64,
+    /// Fixed per-execution overhead in seconds.
+    pub beta1: f64,
+}
+
+/// Fitted communication coefficients for one SP degree (paper Eq. 13 with
+/// `α₃/(d·v_p)` folded into a per-degree slope): `T = slope·Σs + β₂`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommFit {
+    /// Seconds per assigned token.
+    pub per_token: f64,
+    /// Fixed per-execution overhead in seconds.
+    pub base: f64,
+}
+
+/// Linear memory model (paper Eq. 11):
+/// `M = ⌈Σs/d⌉·M_token + M_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Activation bytes per token on one device.
+    pub act_bytes_per_token: f64,
+    /// Model-state bytes per device (ZeRO-3 over the whole cluster).
+    pub model_state_bytes: f64,
+    /// Usable device memory in bytes.
+    pub capacity_bytes: f64,
+}
+
+impl MemoryModel {
+    /// Token capacity of a single device (activations only).
+    pub fn tokens_per_device(&self) -> u64 {
+        let free = (self.capacity_bytes - self.model_state_bytes).max(0.0);
+        (free / self.act_bytes_per_token) as u64
+    }
+}
+
+/// The planner-facing cost model: per-degree linear time estimates and a
+/// linear memory estimate, fitted by profiling the simulator.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    compute: ComputeFit,
+    comm: BTreeMap<u32, CommFit>,
+    memory: MemoryModel,
+    num_gpus: u32,
+}
+
+impl CostModel {
+    /// Profiles `cluster` running `model` under `policy` and fits all
+    /// coefficients (paper: "obtained through profiling").
+    pub fn fit(cluster: &ClusterSpec, model: &ModelConfig, policy: ActivationPolicy) -> Self {
+        let points = Profiler::new(cluster, model, policy).run();
+        let memory = MemoryModel {
+            act_bytes_per_token: model.act_bytes_per_token(policy) as f64,
+            model_state_bytes: model.model_state_bytes(ZeroStage::Three, cluster.num_gpus() as u64)
+                as f64,
+            capacity_bytes: cluster.gpu.mem_bytes as f64,
+        };
+        Self::fit_from_points(&points, memory, cluster.num_gpus())
+    }
+
+    /// Fits the α-β coefficients from arbitrary profiled measurements.
+    ///
+    /// This is the generalization behind the paper's Appendix E: any
+    /// parallelism whose per-group cost is linear in the assigned
+    /// sequences (flexible CP with fixed TP, for instance) can reuse the
+    /// whole FlexSP planner by fitting a [`CostModel`] from its own
+    /// profile (see [`crate::cp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or covers no degree.
+    pub fn fit_from_points(points: &[ProfilePoint], memory: MemoryModel, num_gpus: u32) -> Self {
+        assert!(!points.is_empty(), "no profile points");
+        // Compute fit over the whole grid: features [Σs²/d, Σs/d, 1].
+        let xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| {
+                let d = p.degree as f64;
+                vec![p.sum_sq / d, p.tokens as f64 / d, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.compute_s).collect();
+        let beta = lstsq(&xs, &ys);
+        let compute = ComputeFit {
+            alpha1: beta[0].max(0.0),
+            alpha2: beta[1].max(0.0),
+            beta1: beta[2].max(0.0),
+        };
+
+        // Per-degree communication fit: T = slope·tokens + base.
+        let mut comm = BTreeMap::new();
+        let mut degrees: Vec<u32> = points.iter().map(|p| p.degree).collect();
+        degrees.sort_unstable();
+        degrees.dedup();
+        for d in degrees {
+            let pts: Vec<_> = points.iter().filter(|p| p.degree == d).collect();
+            if d == 1 || pts.iter().all(|p| p.alltoall_s == 0.0) {
+                comm.insert(d, CommFit { per_token: 0.0, base: 0.0 });
+                continue;
+            }
+            let xs: Vec<Vec<f64>> = pts.iter().map(|p| vec![p.tokens as f64, 1.0]).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.alltoall_s).collect();
+            let b = lstsq(&xs, &ys);
+            comm.insert(
+                d,
+                CommFit {
+                    per_token: b[0].max(0.0),
+                    base: b[1].max(0.0),
+                },
+            );
+        }
+
+        Self {
+            compute,
+            comm,
+            memory,
+            num_gpus,
+        }
+    }
+
+    /// Builds a cost model from explicit parts (tests, what-if studies).
+    pub fn from_parts(
+        compute: ComputeFit,
+        comm: BTreeMap<u32, CommFit>,
+        memory: MemoryModel,
+        num_gpus: u32,
+    ) -> Self {
+        Self {
+            compute,
+            comm,
+            memory,
+            num_gpus,
+        }
+    }
+
+    /// Cluster size this model was fitted for.
+    pub fn num_gpus(&self) -> u32 {
+        self.num_gpus
+    }
+
+    /// The SP degrees with fitted coefficients (powers of two ≤ N).
+    pub fn degrees(&self) -> Vec<u32> {
+        self.comm.keys().copied().collect()
+    }
+
+    /// The compute coefficients.
+    pub fn compute_fit(&self) -> ComputeFit {
+        self.compute
+    }
+
+    /// The communication coefficients for `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` was not profiled.
+    pub fn comm_fit(&self, degree: u32) -> CommFit {
+        self.comm[&degree]
+    }
+
+    /// The memory model.
+    pub fn memory_model(&self) -> MemoryModel {
+        self.memory
+    }
+
+    /// Estimated time contribution of a single sequence of length `len`
+    /// assigned to a degree-`degree` group (excludes the group constant).
+    pub fn seq_time(&self, len: u64, degree: u32) -> f64 {
+        let s = len as f64;
+        let d = degree as f64;
+        let c = self.comm[&degree];
+        (self.compute.alpha1 * s * s + self.compute.alpha2 * s) / d + c.per_token * s
+    }
+
+    /// Fixed per-execution overhead of a degree-`degree` group (β₁ + β₂).
+    pub fn group_overhead(&self, degree: u32) -> f64 {
+        self.compute.beta1 + self.comm[&degree].base
+    }
+
+    /// Estimated execution time of a degree-`degree` group processing
+    /// sequences `lens` (paper Eq. 14).
+    pub fn group_time(&self, lens: &[u64], degree: u32) -> f64 {
+        lens.iter().map(|&l| self.seq_time(l, degree)).sum::<f64>()
+            + self.group_overhead(degree)
+    }
+
+    /// Predicted per-device memory bytes for `tokens` on a degree-`degree`
+    /// group (paper Eq. 11).
+    pub fn mem_per_device_bytes(&self, tokens: u64, degree: u32) -> f64 {
+        let shard = tokens.div_ceil(degree as u64) as f64;
+        shard * self.memory.act_bytes_per_token + self.memory.model_state_bytes
+    }
+
+    /// Whether `tokens` fit in device memory on a degree-`degree` group.
+    pub fn fits_memory(&self, tokens: u64, degree: u32) -> bool {
+        self.mem_per_device_bytes(tokens, degree) <= self.memory.capacity_bytes
+    }
+
+    /// Maximum tokens a degree-`degree` group can hold.
+    pub fn max_group_tokens(&self, degree: u32) -> u64 {
+        self.memory.tokens_per_device() * degree as u64
+    }
+
+    /// The smallest profiled degree whose group can hold a single sequence
+    /// of `len` tokens, or `None` if even the largest cannot.
+    pub fn min_degree_for(&self, len: u64) -> Option<u32> {
+        self.degrees()
+            .into_iter()
+            .find(|&d| self.max_group_tokens(d) >= len)
+    }
+
+    /// Token capacity of the whole cluster in one micro-batch (activations
+    /// only), used for the blaster's `M_min` (paper §4.2).
+    pub fn cluster_token_capacity(&self) -> u64 {
+        self.memory.tokens_per_device() * self.num_gpus as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_model::ActivationPolicy;
+
+    fn fitted() -> CostModel {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        CostModel::fit(&cluster, &model, ActivationPolicy::None)
+    }
+
+    #[test]
+    fn degrees_are_powers_of_two() {
+        let cm = fitted();
+        assert_eq!(cm.degrees(), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn coefficients_are_sane() {
+        let cm = fitted();
+        let c = cm.compute_fit();
+        assert!(c.alpha1 > 0.0 && c.alpha2 > 0.0);
+        // Per assigned token the rate is α₃/(d·v_p) (Eq. 13): the slower
+        // network still shows through the 8× larger degree.
+        let intra = cm.comm_fit(8).per_token;
+        let inter = cm.comm_fit(64).per_token;
+        assert!(inter > 1.1 * intra, "intra {intra} vs inter {inter}");
+        // At equal per-GPU shard (tokens ∝ degree), inter-node All-to-All
+        // is many times slower — the Table 1 effect.
+        assert!(64.0 * inter > 5.0 * 8.0 * intra);
+        assert_eq!(cm.comm_fit(1).per_token, 0.0);
+    }
+
+    #[test]
+    fn short_sequences_prefer_small_groups() {
+        // The paper's central claim at the cost-model level: processing a
+        // batch of short sequences as eight concurrent SP=8 groups beats
+        // one SP=64 group with the same per-GPU load, because All-to-All
+        // stays on NVLink.
+        let cm = fitted();
+        let t8 = cm.group_time(&[8 * 1024; 16], 8); // 1/8 of the batch
+        let t64 = cm.group_time(&[8 * 1024; 128], 64); // the whole batch
+        assert!(t8 < t64, "SP8 {t8} vs SP64 {t64}");
+    }
+
+    #[test]
+    fn long_sequences_need_large_groups() {
+        // Table 1 OOM pattern: 128K does not fit at SP=16 but fits at 32.
+        let cm = fitted();
+        assert!(!cm.fits_memory(128 * 1024, 16));
+        assert!(cm.fits_memory(128 * 1024, 32));
+        assert_eq!(cm.min_degree_for(128 * 1024), Some(32));
+        // And 384K requires the full cluster.
+        assert_eq!(cm.min_degree_for(384 * 1024), Some(64));
+    }
+
+    #[test]
+    fn memory_is_monotone_in_tokens_and_antitone_in_degree() {
+        let cm = fitted();
+        assert!(
+            cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(32 * 1024, 8)
+        );
+        assert!(
+            cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(64 * 1024, 16)
+        );
+    }
+
+    #[test]
+    fn cluster_capacity_is_sum_of_devices() {
+        let cm = fitted();
+        assert_eq!(
+            cm.cluster_token_capacity(),
+            cm.memory_model().tokens_per_device() * 64
+        );
+        assert!(cm.cluster_token_capacity() > 0);
+    }
+
+    #[test]
+    fn prediction_accuracy_within_paper_band() {
+        // Appendix C: estimation error below ~6 %. Check a few in-grid
+        // configurations against the simulator ground truth.
+        use flexsp_sim::{simulate_sp_step, DeviceGroup};
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        let cm = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        for (d, len, n) in [(8u32, 8u64 << 10, 64usize), (32, 32 << 10, 16), (64, 128 << 10, 4)] {
+            let seqs = vec![len; n];
+            let spec = crate::workload::sp_step_spec(
+                &model,
+                ActivationPolicy::None,
+                d,
+                &seqs,
+                None,
+            );
+            let actual = simulate_sp_step(&cluster, &DeviceGroup::aligned(0, d), &spec);
+            let predicted = cm.group_time(&seqs, d);
+            let rel = (predicted - actual.total_s()).abs() / actual.total_s();
+            assert!(rel < 0.15, "d={d} len={len}: rel err {rel:.3}");
+        }
+    }
+}

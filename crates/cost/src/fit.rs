@@ -1,0 +1,146 @@
+//! Small dense least-squares solver (normal equations).
+
+/// Solves `min ‖X·β − y‖²` via the normal equations with Gaussian
+/// elimination and partial pivoting. `xs[i]` is the feature row of sample
+/// `i`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, rows have inconsistent lengths, `xs.len() !=
+/// ys.len()`, or the normal matrix is numerically singular (collinear
+/// features).
+///
+/// # Example
+///
+/// ```
+/// use flexsp_cost::fit::lstsq;
+/// // y = 2·a + 3·b + 1, exactly.
+/// let xs = vec![
+///     vec![1.0, 0.0, 1.0],
+///     vec![0.0, 1.0, 1.0],
+///     vec![2.0, 1.0, 1.0],
+///     vec![1.0, 4.0, 1.0],
+/// ];
+/// let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] + 3.0 * r[1] + r[2]).collect();
+/// let beta = lstsq(&xs, &ys);
+/// assert!((beta[0] - 2.0).abs() < 1e-9);
+/// assert!((beta[1] - 3.0).abs() < 1e-9);
+/// assert!((beta[2] - 1.0).abs() < 1e-9);
+/// ```
+pub fn lstsq(xs: &[Vec<f64>], ys: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "no samples");
+    assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+    let k = xs[0].len();
+    assert!(xs.iter().all(|r| r.len() == k), "ragged feature rows");
+
+    // Normal matrix A = XᵀX (k×k) and rhs b = Xᵀy.
+    let mut a = vec![0.0f64; k * k];
+    let mut b = vec![0.0f64; k];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..k {
+            b[i] += row[i] * y;
+            for j in 0..k {
+                a[i * k + j] += row[i] * row[j];
+            }
+        }
+    }
+    solve_dense(&mut a, &mut b, k);
+    b
+}
+
+/// Gaussian elimination with partial pivoting; solution overwrites `b`.
+fn solve_dense(a: &mut [f64], b: &mut [f64], k: usize) {
+    for col in 0..k {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..k)
+            .map(|r| (r, a[r * k + col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty");
+        assert!(
+            pivot_val > 1e-12,
+            "singular normal matrix (collinear features) at column {col}"
+        );
+        if pivot_row != col {
+            for j in 0..k {
+                a.swap(pivot_row * k + j, col * k + j);
+            }
+            b.swap(pivot_row, col);
+        }
+        let inv = 1.0 / a[col * k + col];
+        for r in 0..k {
+            if r == col {
+                continue;
+            }
+            let f = a[r * k + col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..k {
+                a[r * k + j] -= f * a[col * k + j];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    for i in 0..k {
+        b[i] /= a[i * k + i];
+    }
+}
+
+/// Coefficient of determination of predictions `pred` against `ys`.
+pub fn r_squared(pred: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(pred.len(), ys.len());
+    let n = ys.len() as f64;
+    let mean = ys.iter().sum::<f64>() / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = pred.iter().zip(ys).map(|(p, y)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_noiseless_coefficients() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64, 1.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 5.0 * r[0] - 0.5 * r[1] + 2.0).collect();
+        let beta = lstsq(&xs, &ys);
+        assert!((beta[0] - 5.0).abs() < 1e-8);
+        assert!((beta[1] + 0.5).abs() < 1e-8);
+        assert!((beta[2] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn averages_noise() {
+        // y = 3x with ±1 alternating noise: slope stays ≈3 and the
+        // intercept absorbs nothing on symmetric noise.
+        let xs: Vec<Vec<f64>> = (1..=100).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (1..=100)
+            .map(|i| 3.0 * i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let beta = lstsq(&xs, &ys);
+        assert!((beta[0] - 3.0).abs() < 0.01, "slope {}", beta[0]);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_poor() {
+        let ys = [1.0, 2.0, 3.0];
+        assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-12);
+        let flat = [2.0, 2.0, 2.0];
+        assert!(r_squared(&flat, &ys) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn collinear_features_detected() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        lstsq(&xs, &ys);
+    }
+}

@@ -1,0 +1,52 @@
+//! α-β cost models and profiler-based coefficient fitting (paper §4.1.2,
+//! Appendix C).
+//!
+//! FlexSP's planner needs *linear* estimates of per-group execution time and
+//! memory so the planning problem stays a MILP:
+//!
+//! * compute (Eq. 12): `T = (α₁·Σs² + α₂·Σs)/d + β₁`
+//! * communication (Eq. 13): `T = α₃·Σs/(d·v_p) + β₂`, with the group
+//!   bandwidth `v_p` profiled per degree
+//! * memory (Eq. 11): `M = Σs·M_token/d + M_ms`
+//!
+//! The coefficients are obtained exactly as in the paper — by profiling.
+//! [`Profiler`] runs micro-benchmarks on the `flexsp-sim` cluster across a
+//! grid of sequence compositions and SP degrees, then fits the
+//! coefficients by least squares ([`fit::lstsq`]). Because the simulator is
+//! nonlinear (bandwidth and utilization ramps), the fit has genuine
+//! residuals; [`accuracy`] quantifies them, reproducing the paper's
+//! Appendix C claim that estimation error stays within a few percent.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsp_cost::CostModel;
+//! use flexsp_model::{ActivationPolicy, ModelConfig};
+//! use flexsp_sim::ClusterSpec;
+//!
+//! let cluster = ClusterSpec::a100_cluster(8);
+//! let model = ModelConfig::gpt_7b(192 * 1024);
+//! let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+//!
+//! // Short sequences run faster on eight concurrent intra-node SP=8
+//! // groups than on one SP=64 group at equal per-GPU load (the paper's
+//! // core observation).
+//! let t8 = cost.group_time(&[16 * 1024; 8], 8); // one-eighth of the batch
+//! let t64 = cost.group_time(&[16 * 1024; 64], 64); // the whole batch
+//! assert!(t8 < t64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod cp;
+pub mod fit;
+
+mod cost_model;
+mod profiler;
+mod workload;
+
+pub use cost_model::{CommFit, ComputeFit, CostModel, MemoryModel};
+pub use profiler::{ProfilePoint, Profiler};
+pub use workload::{sp_step_spec, ulysses_zero_spec, KERNELS_PER_LAYER};

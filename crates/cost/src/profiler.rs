@@ -1,0 +1,116 @@
+//! Simulated micro-benchmark profiling (the paper obtains its α-β
+//! coefficients "through profiling"; we profile the simulator).
+
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::{simulate_sp_step, ClusterSpec, DeviceGroup};
+
+use crate::workload::sp_step_spec;
+
+/// One profiled measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePoint {
+    /// SP degree of the profiled group.
+    pub degree: u32,
+    /// Total tokens processed by the group.
+    pub tokens: u64,
+    /// Σ s² of the constituent sequences.
+    pub sum_sq: f64,
+    /// Measured compute seconds.
+    pub compute_s: f64,
+    /// Measured All-to-All seconds.
+    pub alltoall_s: f64,
+}
+
+/// Runs the micro-benchmark grid used to fit [`CostModel`](crate::CostModel).
+///
+/// For every power-of-two degree and a grid of token counts × constituent
+/// sequence lengths, the profiler executes one simulated SP step and
+/// records the compute/communication split.
+#[derive(Debug, Clone)]
+pub struct Profiler<'a> {
+    cluster: &'a ClusterSpec,
+    model: &'a ModelConfig,
+    policy: ActivationPolicy,
+}
+
+impl<'a> Profiler<'a> {
+    /// Creates a profiler for a (cluster, model, checkpointing) triple.
+    pub fn new(cluster: &'a ClusterSpec, model: &'a ModelConfig, policy: ActivationPolicy) -> Self {
+        Self {
+            cluster,
+            model,
+            policy,
+        }
+    }
+
+    /// The power-of-two degrees available on the cluster.
+    pub fn degrees(&self) -> Vec<u32> {
+        let n = self.cluster.num_gpus();
+        (0..)
+            .map(|e| 1u32 << e)
+            .take_while(|&d| d <= n)
+            .collect()
+    }
+
+    /// Profiles the full grid.
+    pub fn run(&self) -> Vec<ProfilePoint> {
+        let mut points = Vec::new();
+        // Token grid spans short packed batches to long-context inputs;
+        // sequence lengths vary the Σs² / Σs ratio so α₁ and α₂ separate.
+        let token_grid: [u64; 5] = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+        let seq_lens: [u64; 4] = [2 << 10, 8 << 10, 32 << 10, 128 << 10];
+        for &d in &self.degrees() {
+            let group = DeviceGroup::aligned(0, d);
+            for &tokens in &token_grid {
+                for &len in &seq_lens {
+                    if len > tokens {
+                        continue;
+                    }
+                    let n_seqs = (tokens / len).max(1);
+                    let seqs = vec![len; n_seqs as usize];
+                    let spec = sp_step_spec(self.model, self.policy, d, &seqs, None);
+                    let r = simulate_sp_step(self.cluster, &group, &spec);
+                    let actual_tokens: u64 = seqs.iter().sum();
+                    points.push(ProfilePoint {
+                        degree: d,
+                        tokens: actual_tokens,
+                        sum_sq: seqs.iter().map(|&s| (s as f64).powi(2)).sum(),
+                        compute_s: r.compute_s,
+                        alltoall_s: r.alltoall_s,
+                    });
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_degrees() {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(192 * 1024);
+        let prof = Profiler::new(&cluster, &model, ActivationPolicy::None);
+        assert_eq!(prof.degrees(), vec![1, 2, 4, 8, 16, 32, 64]);
+        let pts = prof.run();
+        for d in prof.degrees() {
+            assert!(pts.iter().any(|p| p.degree == d), "degree {d} missing");
+        }
+        // Measurements must be positive and finite.
+        assert!(pts.iter().all(|p| p.compute_s > 0.0 && p.compute_s.is_finite()));
+    }
+
+    #[test]
+    fn single_gpu_has_no_alltoall() {
+        let cluster = ClusterSpec::a100_cluster(1);
+        let model = ModelConfig::gpt_7b(64 * 1024);
+        let pts = Profiler::new(&cluster, &model, ActivationPolicy::None).run();
+        assert!(pts
+            .iter()
+            .filter(|p| p.degree == 1)
+            .all(|p| p.alltoall_s == 0.0));
+    }
+}

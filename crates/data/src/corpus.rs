@@ -1,0 +1,196 @@
+//! Corpus materialization and the fixed-size global-batch loader.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist::LengthDistribution;
+use crate::seq::Sequence;
+
+/// A materialized corpus of sequences (lengths only).
+///
+/// # Example
+///
+/// ```
+/// use flexsp_data::{Corpus, LengthDistribution};
+/// let corpus = Corpus::generate(&LengthDistribution::common_crawl(), 1000, 7);
+/// assert_eq!(corpus.len(), 1000);
+/// let same = Corpus::generate(&LengthDistribution::common_crawl(), 1000, 7);
+/// assert_eq!(corpus.sequences(), same.sequences());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    name: String,
+    sequences: Vec<Sequence>,
+}
+
+impl Corpus {
+    /// Samples `n` sequences from `dist` with the given `seed`.
+    pub fn generate(dist: &LengthDistribution, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sequences = dist
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, len)| Sequence::new(i as u64, len))
+            .collect();
+        Self {
+            name: dist.name().to_string(),
+            sequences,
+        }
+    }
+
+    /// Builds a corpus from explicit lengths (ids are positional).
+    pub fn from_lengths<I: IntoIterator<Item = u64>>(name: impl Into<String>, lens: I) -> Self {
+        Self {
+            name: name.into(),
+            sequences: lens
+                .into_iter()
+                .enumerate()
+                .map(|(i, len)| Sequence::new(i as u64, len))
+                .collect(),
+        }
+    }
+
+    /// Corpus name (distribution name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All sequences.
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.sequences
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True if the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total token count.
+    pub fn total_tokens(&self) -> u64 {
+        crate::seq::total_tokens(&self.sequences)
+    }
+}
+
+/// Streams fixed-size global batches, applying the paper's protocol: the
+/// global batch size is fixed (512 sequences in §6.1) and sequences longer
+/// than the maximum context length are *eliminated* from training.
+///
+/// Batches are reproducible: loader state is a seeded RNG, and two loaders
+/// with the same construction parameters yield identical batch streams.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_data::{GlobalBatchLoader, LengthDistribution};
+/// let mut loader = GlobalBatchLoader::new(LengthDistribution::github(), 512, 384 * 1024, 0);
+/// let b0 = loader.next_batch();
+/// let b1 = loader.next_batch();
+/// assert_eq!(b0.len(), 512);
+/// assert_ne!(b0, b1, "consecutive batches differ");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalBatchLoader {
+    dist: LengthDistribution,
+    batch_size: usize,
+    max_context: u64,
+    rng: StdRng,
+    next_id: u64,
+    eliminated: u64,
+}
+
+impl GlobalBatchLoader {
+    /// Creates a loader yielding `batch_size`-sequence batches with
+    /// sequences longer than `max_context` dropped.
+    pub fn new(dist: LengthDistribution, batch_size: usize, max_context: u64, seed: u64) -> Self {
+        Self {
+            dist,
+            batch_size,
+            max_context,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            eliminated: 0,
+        }
+    }
+
+    /// The next global batch (always exactly `batch_size` sequences).
+    pub fn next_batch(&mut self) -> Vec<Sequence> {
+        let mut out = Vec::with_capacity(self.batch_size);
+        while out.len() < self.batch_size {
+            let len = self.dist.sample(&mut self.rng);
+            if len > self.max_context {
+                self.eliminated += 1;
+                continue;
+            }
+            out.push(Sequence::new(self.next_id, len));
+            self.next_id += 1;
+        }
+        out
+    }
+
+    /// Number of sequences dropped so far for exceeding the context limit.
+    pub fn eliminated(&self) -> u64 {
+        self.eliminated
+    }
+
+    /// The configured maximum context length.
+    pub fn max_context(&self) -> u64 {
+        self.max_context
+    }
+
+    /// The configured global batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_respect_context_limit() {
+        let mut loader =
+            GlobalBatchLoader::new(LengthDistribution::github(), 256, 16 * 1024, 3);
+        for _ in 0..5 {
+            let b = loader.next_batch();
+            assert_eq!(b.len(), 256);
+            assert!(b.iter().all(|s| s.len <= 16 * 1024));
+        }
+        assert!(loader.eliminated() > 0, "github should exceed 16K sometimes");
+    }
+
+    #[test]
+    fn loader_streams_are_reproducible() {
+        let mk = || GlobalBatchLoader::new(LengthDistribution::common_crawl(), 64, 1 << 19, 11);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..3 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_batches() {
+        let mut loader = GlobalBatchLoader::new(LengthDistribution::wikipedia(), 128, 1 << 19, 5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            for s in loader.next_batch() {
+                assert!(seen.insert(s.id));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_totals_and_determinism() {
+        let c = Corpus::generate(&LengthDistribution::wikipedia(), 500, 1);
+        assert_eq!(c.len(), 500);
+        assert_eq!(c.total_tokens(), c.sequences().iter().map(|s| s.len).sum());
+        assert!(!c.is_empty());
+        assert_eq!(c.name(), "Wikipedia");
+    }
+}

@@ -1,0 +1,253 @@
+//! Long-tail sequence-length distributions (paper §3, Fig. 2).
+
+use rand::Rng;
+
+/// One lognormal mixture component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Component {
+    /// Mixture weight (components sum to 1).
+    weight: f64,
+    /// Mean of `ln(length)`.
+    mu: f64,
+    /// Standard deviation of `ln(length)`.
+    sigma: f64,
+}
+
+/// A sequence-length distribution: a mixture of lognormals clamped to
+/// `[min_len, max_len]`.
+///
+/// The presets are calibrated to the qualitative facts the paper reports
+/// about its three corpora (Fig. 2 and §6.2):
+///
+/// * all three are unimodal with a pronounced long tail;
+/// * Wikipedia is the most skewed — over 96 % of sequences below 8K and the
+///   fewest beyond 32K;
+/// * GitHub has the heaviest >32K tail, CommonCrawl sits in between.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_data::LengthDistribution;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let wiki = LengthDistribution::wikipedia();
+/// let lens: Vec<u64> = (0..10_000).map(|_| wiki.sample(&mut rng)).collect();
+/// let below_8k = lens.iter().filter(|&&l| l < 8 * 1024).count();
+/// assert!(below_8k as f64 / lens.len() as f64 > 0.95);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDistribution {
+    name: String,
+    components: Vec<Component>,
+    min_len: u64,
+    max_len: u64,
+}
+
+impl LengthDistribution {
+    /// GitHub-like corpus: heaviest long tail (source files and notebooks
+    /// frequently exceed 32K tokens).
+    pub fn github() -> Self {
+        Self::mixture(
+            "GitHub",
+            &[
+                (0.90, 2200.0, 1.25),
+                (0.10, 40_000.0, 0.95),
+            ],
+        )
+    }
+
+    /// CommonCrawl-like corpus: moderate long tail.
+    pub fn common_crawl() -> Self {
+        Self::mixture(
+            "CommonCrawl",
+            &[
+                (0.93, 1900.0, 1.10),
+                (0.07, 28_000.0, 0.90),
+            ],
+        )
+    }
+
+    /// Wikipedia-like corpus: the most skewed — >96 % of sequences below
+    /// 8K, very few beyond 32K.
+    pub fn wikipedia() -> Self {
+        Self::mixture(
+            "Wikipedia",
+            &[
+                (0.98, 1150.0, 0.90),
+                (0.02, 16_000.0, 0.80),
+            ],
+        )
+    }
+
+    /// The three paper corpora in presentation order.
+    pub fn paper_presets() -> Vec<Self> {
+        vec![Self::github(), Self::common_crawl(), Self::wikipedia()]
+    }
+
+    /// A degenerate distribution that always returns `len` — used for the
+    /// fixed-length microbenchmarks of Table 1.
+    pub fn fixed(len: u64) -> Self {
+        Self {
+            name: format!("Fixed-{len}"),
+            components: vec![Component {
+                weight: 1.0,
+                mu: (len as f64).ln(),
+                sigma: 0.0,
+            }],
+            min_len: len,
+            max_len: len,
+        }
+    }
+
+    /// Builds a custom mixture from `(weight, median_len, sigma)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty, weights are not positive, or a
+    /// median is not positive.
+    pub fn mixture(name: impl Into<String>, components: &[(f64, f64, f64)]) -> Self {
+        assert!(!components.is_empty(), "at least one component required");
+        let total_w: f64 = components.iter().map(|c| c.0).sum();
+        assert!(total_w > 0.0, "weights must be positive");
+        let components = components
+            .iter()
+            .map(|&(w, median, sigma)| {
+                assert!(w > 0.0 && median > 0.0 && sigma >= 0.0);
+                Component {
+                    weight: w / total_w,
+                    mu: median.ln(),
+                    sigma,
+                }
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            components,
+            min_len: 32,
+            max_len: 1 << 20, // 1M tokens; experiments clamp further
+        }
+    }
+
+    /// The distribution's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Draws one sequence length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut pick = rng.gen::<f64>();
+        let mut comp = &self.components[self.components.len() - 1];
+        for c in &self.components {
+            if pick < c.weight {
+                comp = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let z = standard_normal(rng);
+        let len = (comp.mu + comp.sigma * z).exp();
+        (len.round() as u64).clamp(self.min_len, self.max_len)
+    }
+
+    /// Draws `n` lengths.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Empirical fraction of mass at or below `len`, estimated from
+    /// `n` samples with a deterministic internal stream of `rng`.
+    pub fn empirical_cdf<R: Rng + ?Sized>(&self, rng: &mut R, len: u64, n: usize) -> f64 {
+        let below = (0..n).filter(|_| self.sample(rng) <= len).count();
+        below as f64 / n as f64
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 ships no Gaussian sampler and
+/// the offline dependency policy excludes `rand_distr`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frac_above(dist: &LengthDistribution, cutoff: u64, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let above = (0..n).filter(|_| dist.sample(&mut rng) > cutoff).count();
+        above as f64 / n as f64
+    }
+
+    #[test]
+    fn wikipedia_is_most_skewed() {
+        // Fig. 2 / §6.2: >96 % of Wikipedia below 8K.
+        let mut rng = StdRng::seed_from_u64(7);
+        let cdf = LengthDistribution::wikipedia().empirical_cdf(&mut rng, 8 * 1024, 50_000);
+        assert!(cdf > 0.96, "wikipedia below-8K fraction {cdf}");
+    }
+
+    #[test]
+    fn tail_mass_ordering_github_cc_wiki() {
+        let n = 50_000;
+        let git = frac_above(&LengthDistribution::github(), 32 * 1024, n, 1);
+        let cc = frac_above(&LengthDistribution::common_crawl(), 32 * 1024, n, 2);
+        let wiki = frac_above(&LengthDistribution::wikipedia(), 32 * 1024, n, 3);
+        assert!(
+            git > cc && cc > wiki,
+            "tail masses github={git} cc={cc} wiki={wiki}"
+        );
+        assert!(wiki < 0.01, "wikipedia tail should be tiny: {wiki}");
+    }
+
+    #[test]
+    fn majority_below_8k_everywhere() {
+        // Fig. 2: "the majority of sequences falling below 8K" in all three.
+        for (i, d) in LengthDistribution::paper_presets().iter().enumerate() {
+            let below = 1.0 - frac_above(d, 8 * 1024, 50_000, 10 + i as u64);
+            assert!(below > 0.5, "{}: below-8K = {below}", d.name());
+        }
+    }
+
+    #[test]
+    fn fixed_distribution_is_degenerate() {
+        let d = LengthDistribution::fixed(4096);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 4096);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LengthDistribution::github();
+        let a = d.sample_n(&mut StdRng::seed_from_u64(9), 100);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(9), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_respect_clamps() {
+        let d = LengthDistribution::github();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((32..=(1 << 20)).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        LengthDistribution::mixture("bad", &[]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Length histograms and summary statistics (paper Fig. 2, Fig. 5b).
+
+use std::fmt;
+
+/// A histogram over power-of-two length buckets, matching the x-axis of the
+/// paper's Fig. 2 (1K, 2K, 4K, … 256K, >256K).
+///
+/// # Example
+///
+/// ```
+/// use flexsp_data::Histogram;
+/// let h = Histogram::from_lengths(&[500, 1500, 3000, 40_000]);
+/// assert_eq!(h.total(), 4);
+/// // Shares sum to 1.
+/// let sum: f64 = h.buckets().iter().map(|b| b.share).sum();
+/// assert!((sum - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    total: usize,
+}
+
+/// One histogram bucket `(lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Exclusive lower edge in tokens (0 for the first bucket).
+    pub lo: u64,
+    /// Inclusive upper edge in tokens (`u64::MAX` for the overflow bucket).
+    pub hi: u64,
+    /// Number of sequences in the bucket.
+    pub count: usize,
+    /// Fraction of all sequences in the bucket.
+    pub share: f64,
+}
+
+impl Histogram {
+    /// Default paper-style edges: ≤1K, 2K, 4K, …, 256K, >256K.
+    pub fn paper_edges() -> Vec<u64> {
+        (10..=18).map(|e| 1u64 << e).collect() // 1K .. 256K
+    }
+
+    /// Builds a histogram with [`Histogram::paper_edges`].
+    pub fn from_lengths(lens: &[u64]) -> Self {
+        Self::with_edges(lens, &Self::paper_edges())
+    }
+
+    /// Builds a histogram with custom ascending inclusive upper `edges`;
+    /// an overflow bucket is appended automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn with_edges(lens: &[u64], edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "at least one edge required");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let mut counts = vec![0usize; edges.len() + 1];
+        for &l in lens {
+            let idx = edges.partition_point(|&e| e < l);
+            counts[idx] += 1;
+        }
+        let total = lens.len();
+        let mut lo = 0u64;
+        let mut buckets = Vec::with_capacity(counts.len());
+        for (i, &count) in counts.iter().enumerate() {
+            let hi = if i < edges.len() { edges[i] } else { u64::MAX };
+            buckets.push(Bucket {
+                lo,
+                hi,
+                count,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    count as f64 / total as f64
+                },
+            });
+            lo = hi;
+        }
+        Self { buckets, total }
+    }
+
+    /// The buckets, ascending.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of sequences counted.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of sequences with length ≤ `len`.
+    pub fn cdf_at(&self, len: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0usize;
+        for b in &self.buckets {
+            if b.hi <= len {
+                acc += b.count;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.buckets {
+            let label = if b.hi == u64::MAX {
+                format!(">{}", human(b.lo))
+            } else {
+                format!("≤{}", human(b.hi))
+            };
+            let bar_len = (b.share * 60.0).round() as usize;
+            writeln!(
+                f,
+                "{label:>8} {:>7.3}% |{}",
+                b.share * 100.0,
+                "#".repeat(bar_len)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn human(tokens: u64) -> String {
+    if tokens >= 1024 && tokens.is_multiple_of(1024) {
+        format!("{}K", tokens / 1024)
+    } else {
+        tokens.to_string()
+    }
+}
+
+/// Order statistics of a set of lengths (Fig. 5b reports medians and
+/// spreads per SP degree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Number of lengths summarized.
+    pub count: usize,
+    /// Minimum length.
+    pub min: u64,
+    /// 25th percentile.
+    pub p25: u64,
+    /// Median.
+    pub median: u64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// Maximum length.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LengthStats {
+    /// Computes order statistics; returns `None` for an empty slice.
+    pub fn from_lengths(lens: &[u64]) -> Option<Self> {
+        if lens.is_empty() {
+            return None;
+        }
+        let mut sorted = lens.to_vec();
+        sorted.sort_unstable();
+        let q = |p: f64| -> u64 {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        Some(Self {
+            count: sorted.len(),
+            min: sorted[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_everything() {
+        let lens = [100, 1024, 1025, 4096, 300_000];
+        let h = Histogram::from_lengths(&lens);
+        assert_eq!(h.total(), lens.len());
+        assert_eq!(h.buckets().iter().map(|b| b.count).sum::<usize>(), lens.len());
+        // 100 and 1024 land in ≤1K; 1025 in ≤2K.
+        assert_eq!(h.buckets()[0].count, 2);
+        assert_eq!(h.buckets()[1].count, 1);
+        // 300_000 > 256K goes to the overflow bucket.
+        assert_eq!(h.buckets().last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let lens: Vec<u64> = (1..2000).map(|i| i * 37 % 50_000 + 1).collect();
+        let h = Histogram::from_lengths(&lens);
+        let mut prev = 0.0;
+        for e in Histogram::paper_edges() {
+            let c = h.cdf_at(e);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn stats_order() {
+        let s = LengthStats::from_lengths(&[5, 1, 9, 3, 7]).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 5);
+        assert_eq!(s.max, 9);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_is_none() {
+        assert!(LengthStats::from_lengths(&[]).is_none());
+    }
+
+    #[test]
+    fn display_renders_all_buckets() {
+        let h = Histogram::from_lengths(&[100, 5000, 70_000]);
+        let s = h.to_string();
+        assert!(s.lines().count() == h.buckets().len());
+    }
+}

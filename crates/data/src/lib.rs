@@ -1,0 +1,47 @@
+//! Synthetic long-tail LLM training corpora, sequence packing, and batching
+//! for the FlexSP reproduction.
+//!
+//! The FlexSP paper's speedups are driven entirely by the *shape* of
+//! sequence-length distributions in real corpora (§3, Fig. 2): unimodal,
+//! heavily long-tailed, with most sequences below 8K tokens and a thin tail
+//! past 32K. The proprietary GitHub / CommonCrawl / Wikipedia dumps used in
+//! the paper are unavailable, so this crate provides seeded
+//! mixture-of-lognormal generators calibrated to the published histograms
+//! ([`LengthDistribution::github`], [`LengthDistribution::common_crawl`],
+//! [`LengthDistribution::wikipedia`]), the Best-Fit-Decreasing sequence
+//! packing the baselines rely on (§2.2.2), and the fixed-512-sequence
+//! global-batch loader of the experimental protocol (§6.1).
+//!
+//! # Example
+//!
+//! ```
+//! use flexsp_data::{GlobalBatchLoader, LengthDistribution, pack_best_fit_decreasing};
+//!
+//! let dist = LengthDistribution::wikipedia();
+//! let mut loader = GlobalBatchLoader::new(dist, 512, 192 * 1024, 42);
+//! let batch = loader.next_batch();
+//! assert_eq!(batch.len(), 512);
+//! assert!(batch.iter().all(|s| s.len <= 192 * 1024));
+//!
+//! // Pack the batch into 192K-token bins for a homogeneous-SP baseline.
+//! let packed = pack_best_fit_decreasing(&batch, 192 * 1024);
+//! assert!(packed.iter().all(|p| p.total_tokens() <= 192 * 1024));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod dist;
+mod hist;
+mod pack;
+mod seq;
+
+pub use corpus::{Corpus, GlobalBatchLoader};
+pub use dist::LengthDistribution;
+pub use hist::{Histogram, LengthStats};
+pub use pack::{
+    pack_best_fit_decreasing, pack_first_fit_decreasing, pack_sequential, packing_stats,
+    PackedInput, PackingStats,
+};
+pub use seq::Sequence;

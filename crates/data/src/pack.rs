@@ -1,0 +1,287 @@
+//! Sequence packing (paper §2.2.2).
+//!
+//! Homogeneous-SP systems concatenate variable-length sequences into
+//! fixed-capacity packed inputs. The paper's baselines use Best-Fit
+//! Packing (Ding et al., ICML 2024), i.e. Best-Fit-Decreasing bin packing;
+//! first-fit-decreasing and order-preserving sequential packing are
+//! provided for comparison and tests.
+
+use std::collections::BTreeMap;
+
+use crate::seq::Sequence;
+
+/// A packed training input: several sequences concatenated into one, with
+/// attention masks keeping them independent (so attention cost is the sum
+/// of per-constituent quadratics, not the square of the total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedInput {
+    segments: Vec<Sequence>,
+}
+
+impl PackedInput {
+    /// Creates a packed input from constituent sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty.
+    pub fn new(segments: Vec<Sequence>) -> Self {
+        assert!(!segments.is_empty(), "a packed input holds >= 1 sequence");
+        Self { segments }
+    }
+
+    /// The constituent sequences in packing order.
+    pub fn segments(&self) -> &[Sequence] {
+        &self.segments
+    }
+
+    /// Constituent lengths (for attention-FLOPs accounting).
+    pub fn segment_lengths(&self) -> Vec<u64> {
+        self.segments.iter().map(|s| s.len).collect()
+    }
+
+    /// Total tokens in the packed input.
+    pub fn total_tokens(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Number of constituent sequences.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Summary statistics of a packing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackingStats {
+    /// Number of packed inputs (bins).
+    pub bins: usize,
+    /// Total tokens packed.
+    pub total_tokens: u64,
+    /// Mean bin fill fraction relative to capacity.
+    pub utilization: f64,
+}
+
+/// Computes packing statistics for `packed` at bin `capacity`.
+pub fn packing_stats(packed: &[PackedInput], capacity: u64) -> PackingStats {
+    let total_tokens: u64 = packed.iter().map(|p| p.total_tokens()).sum();
+    let utilization = if packed.is_empty() {
+        0.0
+    } else {
+        total_tokens as f64 / (packed.len() as u64 * capacity) as f64
+    };
+    PackingStats {
+        bins: packed.len(),
+        total_tokens,
+        utilization,
+    }
+}
+
+/// Best-Fit-Decreasing packing into bins of `capacity` tokens.
+///
+/// Sequences longer than `capacity` are truncated to `capacity` (paper:
+/// "a sequence will be truncated if it exceeds c by itself").
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_data::{pack_best_fit_decreasing, Sequence};
+/// let seqs = vec![
+///     Sequence::new(0, 60), Sequence::new(1, 50),
+///     Sequence::new(2, 40), Sequence::new(3, 30),
+/// ];
+/// let packed = pack_best_fit_decreasing(&seqs, 100);
+/// assert_eq!(packed.len(), 2); // {60,40} and {50,30}
+/// assert!(packed.iter().all(|p| p.total_tokens() <= 100));
+/// ```
+pub fn pack_best_fit_decreasing(seqs: &[Sequence], capacity: u64) -> Vec<PackedInput> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut sorted: Vec<Sequence> = seqs
+        .iter()
+        .map(|s| Sequence::new(s.id, s.len.min(capacity)))
+        .collect();
+    sorted.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
+
+    // bins keyed by remaining capacity -> indices of bins with that gap.
+    let mut bins: Vec<Vec<Sequence>> = Vec::new();
+    let mut by_gap: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for s in sorted {
+        // Best fit: the smallest remaining gap that still fits.
+        let slot = by_gap
+            .range(s.len..)
+            .next()
+            .map(|(gap, idxs)| (*gap, *idxs.last().expect("non-empty bucket")));
+        match slot {
+            Some((gap, bin_idx)) => {
+                let bucket = by_gap.get_mut(&gap).expect("bucket exists");
+                bucket.pop();
+                if bucket.is_empty() {
+                    by_gap.remove(&gap);
+                }
+                bins[bin_idx].push(s);
+                let new_gap = gap - s.len;
+                if new_gap > 0 {
+                    by_gap.entry(new_gap).or_default().push(bin_idx);
+                }
+            }
+            None => {
+                bins.push(vec![s]);
+                let new_gap = capacity - s.len;
+                if new_gap > 0 {
+                    by_gap.entry(new_gap).or_default().push(bins.len() - 1);
+                }
+            }
+        }
+    }
+    bins.into_iter().map(PackedInput::new).collect()
+}
+
+/// First-Fit-Decreasing packing (classic comparator to BFD).
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn pack_first_fit_decreasing(seqs: &[Sequence], capacity: u64) -> Vec<PackedInput> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut sorted: Vec<Sequence> = seqs
+        .iter()
+        .map(|s| Sequence::new(s.id, s.len.min(capacity)))
+        .collect();
+    sorted.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
+    let mut bins: Vec<(u64, Vec<Sequence>)> = Vec::new();
+    for s in sorted {
+        match bins.iter_mut().find(|(used, _)| used + s.len <= capacity) {
+            Some((used, bin)) => {
+                *used += s.len;
+                bin.push(s);
+            }
+            None => bins.push((s.len, vec![s])),
+        }
+    }
+    bins.into_iter()
+        .map(|(_, b)| PackedInput::new(b))
+        .collect()
+}
+
+/// Order-preserving greedy packing: fill each bin until the next sequence
+/// would overflow. Fast, used where packing quality is irrelevant.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn pack_sequential(seqs: &[Sequence], capacity: u64) -> Vec<PackedInput> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut bins = Vec::new();
+    let mut cur: Vec<Sequence> = Vec::new();
+    let mut used = 0u64;
+    for s in seqs {
+        let s = Sequence::new(s.id, s.len.min(capacity));
+        if used + s.len > capacity && !cur.is_empty() {
+            bins.push(PackedInput::new(std::mem::take(&mut cur)));
+            used = 0;
+        }
+        used += s.len;
+        cur.push(s);
+    }
+    if !cur.is_empty() {
+        bins.push(PackedInput::new(cur));
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lens: &[u64]) -> Vec<Sequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| Sequence::new(i as u64, l))
+            .collect()
+    }
+
+    fn check_valid(seqs: &[Sequence], packed: &[PackedInput], capacity: u64) {
+        for p in packed {
+            assert!(p.total_tokens() <= capacity, "bin overflow");
+        }
+        let mut ids: Vec<u64> = packed
+            .iter()
+            .flat_map(|p| p.segments().iter().map(|s| s.id))
+            .collect();
+        ids.sort_unstable();
+        let mut expect: Vec<u64> = seqs.iter().map(|s| s.id).collect();
+        expect.sort_unstable();
+        assert_eq!(ids, expect, "every sequence packed exactly once");
+    }
+
+    #[test]
+    fn bfd_examples() {
+        let seqs = mk(&[60, 50, 40, 30]);
+        let packed = pack_best_fit_decreasing(&seqs, 100);
+        check_valid(&seqs, &packed, 100);
+        assert_eq!(packed.len(), 2);
+    }
+
+    #[test]
+    fn bfd_prefers_tightest_bin() {
+        // After placing 70 and 50, a 30 fits both (gaps 30 and 50);
+        // best fit picks the gap-30 bin.
+        let seqs = mk(&[70, 50, 30]);
+        let packed = pack_best_fit_decreasing(&seqs, 100);
+        check_valid(&seqs, &packed, 100);
+        let with70 = packed
+            .iter()
+            .find(|p| p.segments().iter().any(|s| s.len == 70))
+            .unwrap();
+        assert!(with70.segments().iter().any(|s| s.len == 30));
+    }
+
+    #[test]
+    fn oversized_sequences_are_truncated() {
+        let seqs = mk(&[250, 10]);
+        let packed = pack_best_fit_decreasing(&seqs, 100);
+        check_valid(&seqs, &packed, 100);
+        let longest = packed.iter().map(|p| p.total_tokens()).max().unwrap();
+        assert_eq!(longest, 100);
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let seqs = mk(&[10, 20, 80, 30]);
+        let packed = pack_sequential(&seqs, 100);
+        check_valid(&seqs, &packed, 100);
+        let order: Vec<u64> = packed
+            .iter()
+            .flat_map(|p| p.segments().iter().map(|s| s.id))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_compute_utilization() {
+        let seqs = mk(&[50, 50]);
+        let packed = pack_best_fit_decreasing(&seqs, 100);
+        let stats = packing_stats(&packed, 100);
+        assert_eq!(stats.bins, 1);
+        assert_eq!(stats.total_tokens, 100);
+        assert!((stats.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ffd_matches_bfd_bin_count_on_simple_inputs() {
+        let seqs = mk(&[60, 50, 40, 30, 20, 10]);
+        let bfd = pack_best_fit_decreasing(&seqs, 100);
+        let ffd = pack_first_fit_decreasing(&seqs, 100);
+        check_valid(&seqs, &ffd, 100);
+        assert_eq!(bfd.len(), ffd.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        pack_best_fit_decreasing(&mk(&[1]), 0);
+    }
+}

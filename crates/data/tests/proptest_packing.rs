@@ -1,0 +1,96 @@
+//! Property-based validation of sequence packing and histograms.
+
+use flexsp_data::{
+    pack_best_fit_decreasing, pack_first_fit_decreasing, pack_sequential, packing_stats,
+    Histogram, Sequence,
+};
+use proptest::prelude::*;
+
+fn arbitrary_seqs() -> impl Strategy<Value = (Vec<Sequence>, u64)> {
+    (1u64..5_000).prop_flat_map(|capacity| {
+        let lens = prop::collection::vec(1u64..8_000, 1..60);
+        (
+            lens.prop_map(|v| {
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, l)| Sequence::new(i as u64, l))
+                    .collect::<Vec<_>>()
+            }),
+            Just(capacity),
+        )
+    })
+}
+
+fn check_packing(
+    seqs: &[Sequence],
+    capacity: u64,
+    packed: &[flexsp_data::PackedInput],
+) -> Result<(), TestCaseError> {
+    // No bin overflows.
+    for p in packed {
+        prop_assert!(p.total_tokens() <= capacity);
+        prop_assert!(p.num_segments() >= 1);
+    }
+    // Every sequence packed exactly once (possibly truncated to capacity).
+    let mut ids: Vec<u64> = packed
+        .iter()
+        .flat_map(|p| p.segments().iter().map(|s| s.id))
+        .collect();
+    ids.sort_unstable();
+    let mut expect: Vec<u64> = seqs.iter().map(|s| s.id).collect();
+    expect.sort_unstable();
+    prop_assert_eq!(ids, expect);
+    // Token conservation modulo truncation.
+    let clamped: u64 = seqs.iter().map(|s| s.len.min(capacity)).sum();
+    let packed_tokens: u64 = packed.iter().map(|p| p.total_tokens()).sum();
+    prop_assert_eq!(clamped, packed_tokens);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_packers_produce_valid_packings((seqs, capacity) in arbitrary_seqs()) {
+        for packed in [
+            pack_best_fit_decreasing(&seqs, capacity),
+            pack_first_fit_decreasing(&seqs, capacity),
+            pack_sequential(&seqs, capacity),
+        ] {
+            check_packing(&seqs, capacity, &packed)?;
+        }
+    }
+
+    #[test]
+    fn bfd_never_needs_more_bins_than_sequential((seqs, capacity) in arbitrary_seqs()) {
+        let bfd = pack_best_fit_decreasing(&seqs, capacity);
+        let seq = pack_sequential(&seqs, capacity);
+        prop_assert!(bfd.len() <= seq.len(),
+            "BFD used {} bins, sequential {}", bfd.len(), seq.len());
+    }
+
+    #[test]
+    fn bin_count_lower_bound_holds((seqs, capacity) in arbitrary_seqs()) {
+        // No packing can beat ceil(total/capacity).
+        let total: u64 = seqs.iter().map(|s| s.len.min(capacity)).sum();
+        let lower = total.div_ceil(capacity) as usize;
+        let bfd = pack_best_fit_decreasing(&seqs, capacity);
+        prop_assert!(bfd.len() >= lower.max(1).min(seqs.len()));
+        let stats = packing_stats(&bfd, capacity);
+        prop_assert!(stats.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn histogram_partitions_any_input(lens in prop::collection::vec(1u64..1_000_000, 0..200)) {
+        let h = Histogram::from_lengths(&lens);
+        prop_assert_eq!(h.total(), lens.len());
+        let counted: usize = h.buckets().iter().map(|b| b.count).sum();
+        prop_assert_eq!(counted, lens.len());
+        if !lens.is_empty() {
+            let share: f64 = h.buckets().iter().map(|b| b.share).sum();
+            prop_assert!((share - 1.0).abs() < 1e-9);
+        }
+        // CDF hits 1.0 past the largest bucket edge.
+        prop_assert!(h.cdf_at(u64::MAX) > 0.999 || lens.is_empty());
+    }
+}

@@ -1,0 +1,620 @@
+//! Best-first branch and bound over the simplex relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::SolveError;
+use crate::problem::{ObjectiveSense, Problem, VarKind};
+use crate::simplex::{solve_lp, LpOutcome};
+use crate::solution::{MilpSolution, MilpStatus};
+use crate::{FEAS_TOL, INT_TOL};
+
+/// Counters describing a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes processed.
+    pub nodes: u64,
+    /// Linear relaxations solved (including heuristic completions).
+    pub lp_solves: u64,
+    /// Incumbents discovered by the fix-and-complete rounding heuristic.
+    pub heuristic_incumbents: u64,
+}
+
+/// Configurable branch-and-bound MILP solver.
+///
+/// The solver is a *good-incumbent-fast* design matching how the FlexSP
+/// paper uses SCIP: it accepts a warm-start incumbent, hunts for feasible
+/// solutions with a fix-and-complete rounding heuristic, and stops at a
+/// time, node, or relative-gap limit, reporting [`MilpStatus::Feasible`]
+/// when optimality was not proven.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use flexsp_milp::{LinExpr, MilpSolver, Problem, VarKind};
+/// # fn main() -> Result<(), flexsp_milp::SolveError> {
+/// // 0/1 knapsack: max 10a + 13b + 7c, 5a + 7b + 4c <= 9.
+/// let mut p = Problem::maximize();
+/// let a = p.add_binary("a");
+/// let b = p.add_binary("b");
+/// let c = p.add_binary("c");
+/// p.add_le(LinExpr::from_terms([(a, 5.0), (b, 7.0), (c, 4.0)]), 9.0);
+/// p.set_objective(LinExpr::from_terms([(a, 10.0), (b, 13.0), (c, 7.0)]));
+/// let sol = MilpSolver::new()
+///     .time_limit(Duration::from_secs(5))
+///     .solve(&p)?;
+/// assert!((sol.objective() - 17.0).abs() < 1e-6); // a + c
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MilpSolver {
+    time_limit: Duration,
+    node_limit: u64,
+    relative_gap: f64,
+    warm_start: Option<Vec<f64>>,
+    rounding_heuristic: bool,
+}
+
+impl Default for MilpSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MilpSolver {
+    /// Creates a solver with defaults: 30 s time limit, 200 000 nodes,
+    /// 10⁻⁶ relative gap, rounding heuristic enabled.
+    pub fn new() -> Self {
+        Self {
+            time_limit: Duration::from_secs(30),
+            node_limit: 200_000,
+            relative_gap: 1e-6,
+            warm_start: None,
+            rounding_heuristic: true,
+        }
+    }
+
+    /// Sets the wall-clock budget. When exhausted, the best incumbent is
+    /// returned with [`MilpStatus::Feasible`].
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the relative optimality gap at which the search stops and the
+    /// incumbent is declared [`MilpStatus::Optimal`].
+    pub fn relative_gap(mut self, gap: f64) -> Self {
+        self.relative_gap = gap.max(0.0);
+        self
+    }
+
+    /// Supplies a known feasible assignment (full variable vector) used as
+    /// the initial incumbent. Invalid warm starts are silently ignored.
+    pub fn warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm_start = Some(values);
+        self
+    }
+
+    /// Enables or disables the fix-and-complete rounding heuristic.
+    pub fn rounding_heuristic(mut self, enabled: bool) -> Self {
+        self.rounding_heuristic = enabled;
+        self
+    }
+
+    /// Solves `problem` to the configured limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the underlying simplex (iteration
+    /// limits / numerical breakdown).
+    pub fn solve(&self, problem: &Problem) -> Result<MilpSolution, SolveError> {
+        let start = Instant::now();
+        let mut stats = SolveStats::default();
+        let sense_sign = match problem.sense() {
+            ObjectiveSense::Minimize => 1.0,
+            ObjectiveSense::Maximize => -1.0,
+        };
+        // Internally we always minimize `score = sense_sign * objective`.
+        let int_vars: Vec<usize> = (0..problem.num_vars())
+            .filter(|&j| {
+                matches!(
+                    problem.vars[j].kind,
+                    VarKind::Integer | VarKind::Binary
+                )
+            })
+            .collect();
+
+        let root_bounds: Vec<(f64, f64)> = problem
+            .vars
+            .iter()
+            .map(|v| (v.lower, v.upper))
+            .collect();
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, score)
+        if let Some(ws) = &self.warm_start {
+            if problem.is_feasible(ws, 1e-6) {
+                let mut vals = ws.clone();
+                for &j in &int_vars {
+                    vals[j] = vals[j].round();
+                }
+                let score = sense_sign * problem.objective_value(&vals);
+                incumbent = Some((vals, score));
+            }
+        }
+
+        stats.lp_solves += 1;
+        let root = match solve_lp(problem, Some(&root_bounds))? {
+            LpOutcome::Infeasible => {
+                return Ok(self.finish(
+                    problem,
+                    incumbent,
+                    f64::NEG_INFINITY,
+                    sense_sign,
+                    MilpStatus::Infeasible,
+                    stats,
+                    start,
+                ));
+            }
+            LpOutcome::Unbounded => {
+                // If a warm start exists the problem is feasible but the
+                // relaxation is unbounded; report unbounded either way, as
+                // the true MILP optimum cannot be bounded.
+                return Ok(self.finish(
+                    problem,
+                    None,
+                    f64::NEG_INFINITY,
+                    sense_sign,
+                    MilpStatus::Unbounded,
+                    stats,
+                    start,
+                ));
+            }
+            LpOutcome::Optimal(s) => s,
+        };
+
+        let mut heap = BinaryHeap::new();
+        heap.push(OpenNode {
+            score: sense_sign * root.objective,
+            depth: 0,
+            bounds: root_bounds,
+        });
+
+        let mut status = MilpStatus::Optimal;
+        while let Some(node) = heap.pop() {
+            // Global bound = best open node (best-first ⇒ the popped one).
+            let bound = match &incumbent {
+                Some((_, inc)) => node.score.min(*inc),
+                None => node.score,
+            };
+            if let Some((_, inc)) = &incumbent {
+                if self.gap_closed(*inc, bound) {
+                    return Ok(self.finish(
+                        problem,
+                        incumbent,
+                        bound,
+                        sense_sign,
+                        MilpStatus::Optimal,
+                        stats,
+                        start,
+                    ));
+                }
+                if node.score >= *inc - 1e-9 {
+                    // Nothing left can improve the incumbent.
+                    return Ok(self.finish(
+                        problem, incumbent, bound, sense_sign, MilpStatus::Optimal, stats, start,
+                    ));
+                }
+            }
+            if start.elapsed() > self.time_limit || stats.nodes >= self.node_limit {
+                status = if incumbent.is_some() {
+                    MilpStatus::Feasible
+                } else {
+                    MilpStatus::Infeasible
+                };
+                return Ok(self.finish(problem, incumbent, bound, sense_sign, status, stats, start));
+            }
+
+            stats.nodes += 1;
+            stats.lp_solves += 1;
+            let lp = match solve_lp(problem, Some(&node.bounds))? {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => {
+                    // Can only happen at the root, handled above.
+                    continue;
+                }
+                LpOutcome::Optimal(s) => s,
+            };
+            let lp_score = sense_sign * lp.objective;
+            if let Some((_, inc)) = &incumbent {
+                if lp_score >= *inc - 1e-9 {
+                    continue;
+                }
+            }
+
+            let frac = most_fractional(&lp.values, &int_vars);
+            match frac {
+                None => {
+                    // Integral: new incumbent.
+                    let mut vals = lp.values.clone();
+                    for &j in &int_vars {
+                        vals[j] = vals[j].round();
+                    }
+                    let score = sense_sign * problem.objective_value(&vals);
+                    if incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
+                        incumbent = Some((vals, score));
+                    }
+                }
+                Some((bvar, bval)) => {
+                    if self.rounding_heuristic {
+                        if let Some((vals, score)) = self.fix_and_complete(
+                            problem,
+                            &node.bounds,
+                            &lp.values,
+                            &int_vars,
+                            sense_sign,
+                            &mut stats,
+                        )? {
+                            if incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
+                                incumbent = Some((vals, score));
+                                stats.heuristic_incumbents += 1;
+                            }
+                        }
+                    }
+                    // Branch on the most fractional variable.
+                    let (lo, hi) = node.bounds[bvar];
+                    let floor = bval.floor();
+                    if floor >= lo - FEAS_TOL {
+                        let mut b = node.bounds.clone();
+                        b[bvar] = (lo, floor.min(hi));
+                        if b[bvar].0 <= b[bvar].1 + FEAS_TOL {
+                            heap.push(OpenNode {
+                                score: lp_score,
+                                depth: node.depth + 1,
+                                bounds: b,
+                            });
+                        }
+                    }
+                    let ceil = bval.ceil();
+                    if ceil <= hi + FEAS_TOL {
+                        let mut b = node.bounds.clone();
+                        b[bvar] = (ceil.max(lo), hi);
+                        if b[bvar].0 <= b[bvar].1 + FEAS_TOL {
+                            heap.push(OpenNode {
+                                score: lp_score,
+                                depth: node.depth + 1,
+                                bounds: b,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Heap exhausted: incumbent (if any) is optimal.
+        let bound = incumbent
+            .as_ref()
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::INFINITY);
+        let status = if incumbent.is_some() {
+            status
+        } else {
+            MilpStatus::Infeasible
+        };
+        Ok(self.finish(problem, incumbent, bound, sense_sign, status, stats, start))
+    }
+
+    /// Rounds the integer part of an LP solution, fixes it, and re-solves
+    /// the LP for the continuous completion.
+    fn fix_and_complete(
+        &self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+        lp_values: &[f64],
+        int_vars: &[usize],
+        sense_sign: f64,
+        stats: &mut SolveStats,
+    ) -> Result<Option<(Vec<f64>, f64)>, SolveError> {
+        let mut fixed = bounds.to_vec();
+        for &j in int_vars {
+            let r = lp_values[j].round().clamp(bounds[j].0, bounds[j].1);
+            let r = r.round();
+            fixed[j] = (r, r);
+        }
+        stats.lp_solves += 1;
+        match solve_lp(problem, Some(&fixed))? {
+            LpOutcome::Optimal(s) => {
+                let mut vals = s.values;
+                for &j in int_vars {
+                    vals[j] = vals[j].round();
+                }
+                if problem.is_feasible(&vals, 1e-6) {
+                    let score = sense_sign * problem.objective_value(&vals);
+                    Ok(Some((vals, score)))
+                } else {
+                    Ok(None)
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn gap_closed(&self, incumbent_score: f64, bound: f64) -> bool {
+        (incumbent_score - bound) <= self.relative_gap * incumbent_score.abs().max(1.0) + 1e-12
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        problem: &Problem,
+        incumbent: Option<(Vec<f64>, f64)>,
+        bound_score: f64,
+        sense_sign: f64,
+        status: MilpStatus,
+        stats: SolveStats,
+        start: Instant,
+    ) -> MilpSolution {
+        let (values, objective) = match &incumbent {
+            Some((vals, _)) => (vals.clone(), problem.objective_value(vals)),
+            None => (Vec::new(), f64::NAN),
+        };
+        let status = match (status, incumbent.is_some()) {
+            (MilpStatus::Optimal, false) => MilpStatus::Infeasible,
+            (s, _) => s,
+        };
+        MilpSolution {
+            status,
+            values,
+            objective,
+            best_bound: sense_sign * bound_score,
+            nodes: stats.nodes,
+            solve_time_secs: start.elapsed().as_secs_f64(),
+            stats,
+        }
+    }
+}
+
+fn most_fractional(values: &[f64], int_vars: &[usize]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None; // (var, value, dist to 0.5)
+    for &j in int_vars {
+        let v = values[j];
+        let frac = v - v.floor();
+        let dist = (frac - 0.5).abs();
+        if frac > INT_TOL && frac < 1.0 - INT_TOL
+            && best.is_none_or(|(_, _, d)| dist < d) {
+                best = Some((j, v, dist));
+            }
+    }
+    best.map(|(j, v, _)| (j, v))
+}
+
+struct OpenNode {
+    score: f64,
+    depth: u32,
+    bounds: Vec<(f64, f64)>,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.depth == other.depth
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *smallest* score first
+        // (best-first for minimization), breaking ties toward deeper nodes
+        // so dives finish and produce incumbents.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Problem, VarKind};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_exact() {
+        // max Σ v x, Σ w x <= 26; optimum 51 with items {1,2,4} (w 25).
+        let v = [24.0, 13.0, 23.0, 15.0, 16.0];
+        let w = [12.0, 7.0, 11.0, 8.0, 9.0];
+        let mut p = Problem::maximize();
+        let xs: Vec<_> = (0..5).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_le(
+            LinExpr::from_terms(xs.iter().copied().zip(w.iter().copied())),
+            26.0,
+        );
+        p.set_objective(LinExpr::from_terms(
+            xs.iter().copied().zip(v.iter().copied()),
+        ));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        // Brute-force optimum for this instance:
+        let mut best = 0.0f64;
+        for mask in 0u32..32 {
+            let (mut tv, mut tw) = (0.0, 0.0);
+            for i in 0..5 {
+                if mask & (1 << i) != 0 {
+                    tv += v[i];
+                    tw += w[i];
+                }
+            }
+            if tw <= 26.0 {
+                best = best.max(tv);
+            }
+        }
+        approx(sol.objective(), best);
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3×3 assignment, cost matrix; optimum picks one per row/col.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut p = Problem::minimize();
+        let mut x = [[None; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i][j] = Some(p.add_binary(format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            p.add_eq(
+                LinExpr::from_terms((0..3).map(|j| (x[i][j].unwrap(), 1.0))),
+                1.0,
+            );
+            p.add_eq(
+                LinExpr::from_terms((0..3).map(|j| (x[j][i].unwrap(), 1.0))),
+                1.0,
+            );
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.add_term(x[i][j].unwrap(), cost[i][j]);
+            }
+        }
+        p.set_objective(obj);
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        approx(sol.objective(), 5.0); // (0,1)=1 + (1,0)=2 + (2,2)=2
+    }
+
+    #[test]
+    fn general_integers() {
+        // min 3x + 4y s.t. 2x + y >= 7, x + 3y >= 9, x,y ∈ Z≥0.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, 100.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, 100.0);
+        p.add_ge(LinExpr::from_terms([(x, 2.0), (y, 1.0)]), 7.0);
+        p.add_ge(LinExpr::from_terms([(x, 1.0), (y, 3.0)]), 9.0);
+        p.set_objective(LinExpr::from_terms([(x, 3.0), (y, 4.0)]));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        // Brute force over a small grid:
+        let mut best = f64::INFINITY;
+        for xi in 0..20 {
+            for yi in 0..20 {
+                let (xf, yf) = (xi as f64, yi as f64);
+                if 2.0 * xf + yf >= 7.0 && xf + 3.0 * yf >= 9.0 {
+                    best = best.min(3.0 * xf + 4.0 * yf);
+                }
+            }
+        }
+        approx(sol.objective(), best);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_ge(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), 3.0);
+        p.set_objective(LinExpr::term(x, 1.0));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_milp() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::term(x, 1.0));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Unbounded);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_improved() {
+        // Knapsack where warm start is suboptimal.
+        let mut p = Problem::maximize();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.add_le(LinExpr::from_terms([(a, 1.0), (b, 1.0)]), 1.0);
+        p.set_objective(LinExpr::from_terms([(a, 1.0), (b, 2.0)]));
+        let sol = MilpSolver::new()
+            .warm_start(vec![1.0, 0.0])
+            .solve(&p)
+            .unwrap();
+        approx(sol.objective(), 2.0);
+    }
+
+    #[test]
+    fn zero_node_budget_returns_warm_start() {
+        let mut p = Problem::maximize();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.add_le(LinExpr::from_terms([(a, 1.0), (b, 1.0)]), 1.0);
+        p.set_objective(LinExpr::from_terms([(a, 1.0), (b, 2.0)]));
+        let sol = MilpSolver::new()
+            .node_limit(0)
+            .warm_start(vec![1.0, 0.0])
+            .solve(&p)
+            .unwrap();
+        assert_eq!(sol.status(), MilpStatus::Feasible);
+        approx(sol.objective(), 1.0);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y, x integer ≤ 2.5 constraint, y continuous ≤ 1.7.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, 10.0);
+        p.add_le(LinExpr::term(x, 1.0), 2.5);
+        p.add_le(LinExpr::term(y, 1.0), 1.7);
+        p.set_objective(LinExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        approx(sol.objective(), 3.7);
+        approx(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn minmax_via_auxiliary_variable() {
+        // Mirror of the planner's makespan objective: minimize C with
+        // C >= load_g for two "groups"; items: 5, 3, 2 assigned binarily.
+        let mut p = Problem::minimize();
+        let c = p.add_var("C", VarKind::Continuous, 0.0, f64::INFINITY);
+        let w = [5.0, 3.0, 2.0];
+        let mut assign = Vec::new();
+        for (i, _) in w.iter().enumerate() {
+            let a = p.add_binary(format!("a{i}")); // 1 = group A, 0 = group B
+            assign.push(a);
+        }
+        let mut load_a = LinExpr::new();
+        let mut load_b = LinExpr::constant_expr(w.iter().sum());
+        for (i, &a) in assign.iter().enumerate() {
+            load_a.add_term(a, w[i]);
+            load_b.add_term(a, -w[i]);
+        }
+        p.add_constraint(
+            load_a.clone() - LinExpr::term(c, 1.0),
+            crate::Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(load_b.clone() - LinExpr::term(c, 1.0), crate::Cmp::Le, 0.0);
+        p.set_objective(LinExpr::term(c, 1.0));
+        let sol = MilpSolver::new().solve(&p).unwrap();
+        approx(sol.objective(), 5.0); // {5} vs {3,2}
+    }
+}

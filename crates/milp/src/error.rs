@@ -1,0 +1,41 @@
+//! Solver error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the LP/MILP solvers.
+///
+/// Infeasibility and unboundedness are *outcomes*, not errors — see
+/// [`LpOutcome`](crate::LpOutcome) and [`MilpStatus`](crate::MilpStatus).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The simplex exceeded its pivot budget, which indicates numerical
+    /// trouble (e.g. cycling that Bland's rule failed to break).
+    IterationLimit(u64),
+    /// A bound-override slice had the wrong length.
+    BoundMismatch {
+        /// Number of variables in the problem.
+        expected: usize,
+        /// Length of the supplied override slice.
+        got: usize,
+    },
+    /// Numerical breakdown with a short description.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::IterationLimit(n) => {
+                write!(f, "simplex exceeded the pivot budget of {n} iterations")
+            }
+            SolveError::BoundMismatch { expected, got } => write!(
+                f,
+                "bound overrides have length {got} but the problem has {expected} variables"
+            ),
+            SolveError::Numerical(msg) => write!(f, "numerical breakdown: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}

@@ -1,0 +1,63 @@
+//! Linear and mixed-integer linear programming for the FlexSP parallelism
+//! planner.
+//!
+//! The FlexSP paper (ASPLOS 2025) formulates heterogeneous sequence-parallel
+//! group selection and sequence assignment as a mixed-integer linear program
+//! (MILP) and solves it with SCIP. This crate is a from-scratch replacement
+//! for that dependency: a dense, bounded-variable, two-phase primal simplex
+//! for linear relaxations ([`solve_lp`]) and a best-first branch-and-bound
+//! driver with warm starts, a rounding heuristic, and time/node/gap limits
+//! ([`MilpSolver`]).
+//!
+//! The solver is deliberately engineered for the planner's regime — dense
+//! problems with a few hundred rows and a few hundred to a couple of
+//! thousand variables, solved under a wall-clock budget (the paper reports
+//! 5–15 s per solve) where a good *feasible* plan matters more than a proven
+//! optimum.
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y <= 4`, `x + 3y <= 6` with integral
+//! `x, y ∈ [0, 10]`:
+//!
+//! ```
+//! use flexsp_milp::{LinExpr, MilpSolver, Problem, VarKind};
+//!
+//! # fn main() -> Result<(), flexsp_milp::SolveError> {
+//! let mut p = Problem::maximize();
+//! let x = p.add_var("x", VarKind::Integer, 0.0, 10.0);
+//! let y = p.add_var("y", VarKind::Integer, 0.0, 10.0);
+//! p.add_le(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), 4.0);
+//! p.add_le(LinExpr::from_terms([(x, 1.0), (y, 3.0)]), 6.0);
+//! p.set_objective(LinExpr::from_terms([(x, 3.0), (y, 2.0)]));
+//!
+//! let sol = MilpSolver::new().solve(&p)?;
+//! assert_eq!(sol.value(x).round() as i64, 4);
+//! assert_eq!(sol.value(y).round() as i64, 0);
+//! assert!((sol.objective() - 12.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use branch_bound::{MilpSolver, SolveStats};
+pub use error::SolveError;
+pub use expr::{LinExpr, VarId};
+pub use problem::{Cmp, Constraint, ObjectiveSense, Problem, VarKind};
+pub use simplex::{solve_lp, LpOutcome, LpSolution};
+pub use solution::{MilpSolution, MilpStatus};
+
+/// Feasibility tolerance used throughout the crate.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Integrality tolerance: a value within this distance of an integer is
+/// considered integral.
+pub const INT_TOL: f64 = 1e-6;

@@ -1,0 +1,153 @@
+//! Analytic FLOPs accounting for GPT-family models.
+
+use crate::config::ModelConfig;
+use crate::memory::ActivationPolicy;
+
+/// FLOPs model for one transformer forward+backward pass.
+///
+/// Two components, mirroring the paper's cost decomposition (§4.1.2):
+///
+/// * **Linear** (projections, MLP, LM head): proportional to the number of
+///   tokens. Forward ≈ `2 · P_matmul` FLOPs/token, backward ≈ double.
+/// * **Attention** (`QKᵀ` and `PV`): proportional to `Σ sᵢ²` over the
+///   constituent sequences of a (packed) input — flash-attn varlen applies
+///   block-diagonal masking, so sequences never attend across packing
+///   boundaries. Causality halves the effective score area.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_model::{FlopsModel, ModelConfig};
+/// let m = ModelConfig::gpt_7b(192 * 1024);
+/// let f = FlopsModel::new(&m);
+/// // Attention cost is quadratic: doubling a sequence quadruples it.
+/// let a1 = f.attention_flops(&[16 * 1024]);
+/// let a2 = f.attention_flops(&[32 * 1024]);
+/// assert!((a2 / a1 - 4.0).abs() < 1e-9);
+/// // But two 16K sequences cost half of one 32K sequence.
+/// let packed = f.attention_flops(&[16 * 1024, 16 * 1024]);
+/// assert!((a2 / packed - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlopsModel {
+    /// Forward FLOPs per token from matmuls linear in sequence length.
+    pub fwd_linear_per_token: f64,
+    /// Forward attention FLOPs per unit of `s²` (already includes the
+    /// causal ½ factor and the layer count).
+    pub fwd_attn_per_sq_token: f64,
+    /// Backward/forward FLOPs ratio (2: recompute both input and weight
+    /// gradients).
+    pub bwd_ratio: f64,
+}
+
+impl FlopsModel {
+    /// Builds the FLOPs model for `config`.
+    pub fn new(config: &ModelConfig) -> Self {
+        let h = config.hidden_size as f64;
+        let layers = config.num_layers as f64;
+        // Per layer: QKV+O (4h²) + MLP (2·ffn·h²) matmuls, 2 FLOPs per MAC.
+        let per_layer = 2.0 * config.params_per_layer() as f64;
+        // LM head: h × vocab matmul once.
+        let lm_head = 2.0 * h * config.vocab_size as f64;
+        let fwd_linear_per_token = per_layer * layers + lm_head;
+        // Attention per layer forward: QKᵀ (2s²h) + PV (2s²h), causal ½.
+        let fwd_attn_per_sq_token = 0.5 * 4.0 * h * layers;
+        Self {
+            fwd_linear_per_token,
+            fwd_attn_per_sq_token,
+            bwd_ratio: 2.0,
+        }
+    }
+
+    /// Forward FLOPs for `tokens` total tokens whose constituent sequence
+    /// lengths are `seqs` (attention part).
+    pub fn fwd_flops(&self, tokens: u64, seqs: &[u64]) -> f64 {
+        self.fwd_linear_per_token * tokens as f64 + self.attn_fwd(seqs)
+    }
+
+    /// Forward+backward FLOPs including checkpoint recomputation.
+    pub fn train_flops(&self, tokens: u64, seqs: &[u64], policy: ActivationPolicy) -> f64 {
+        let lin = self.fwd_linear_per_token * tokens as f64;
+        let attn = self.attn_fwd(seqs);
+        let fwd = lin + attn;
+        let bwd = self.bwd_ratio * fwd;
+        let recompute = policy.recompute_linear_fraction() * lin
+            + policy.recompute_attn_fraction() * attn;
+        fwd + bwd + recompute
+    }
+
+    /// Forward-only attention FLOPs for the given constituent lengths
+    /// (flash-attn varlen: block-diagonal, causal).
+    pub fn attention_flops(&self, seqs: &[u64]) -> f64 {
+        self.attn_fwd(seqs)
+    }
+
+    fn attn_fwd(&self, seqs: &[u64]) -> f64 {
+        let sum_sq: f64 = seqs.iter().map(|&s| (s as f64) * (s as f64)).sum();
+        self.fwd_attn_per_sq_token * sum_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (ModelConfig, FlopsModel) {
+        let m = ModelConfig::gpt_7b(384 * 1024);
+        let f = FlopsModel::new(&m);
+        (m, f)
+    }
+
+    #[test]
+    fn six_params_per_token_rule_of_thumb() {
+        // fwd+bwd linear FLOPs/token ≈ 6 × matmul params (the standard
+        // "6·N·D" training-FLOPs rule).
+        let (m, f) = model();
+        let matmul_params =
+            (m.params_per_layer() * m.num_layers + m.vocab_size * m.hidden_size) as f64;
+        let per_token = f.fwd_linear_per_token * (1.0 + f.bwd_ratio);
+        let ratio = per_token / (6.0 * matmul_params);
+        assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn packing_reduces_attention_cost() {
+        let (_, f) = model();
+        let one_big = f.attention_flops(&[64 * 1024]);
+        let packed = f.attention_flops(&[32 * 1024, 16 * 1024, 16 * 1024]);
+        assert!(packed < one_big * 0.5);
+    }
+
+    #[test]
+    fn full_checkpointing_adds_one_forward() {
+        let (_, f) = model();
+        let tokens = 128 * 1024;
+        let seqs = [64 * 1024u64, 64 * 1024];
+        let base = f.train_flops(tokens, &seqs, ActivationPolicy::None);
+        let full = f.train_flops(tokens, &seqs, ActivationPolicy::Full);
+        let fwd = f.fwd_flops(tokens, &seqs);
+        assert!((full - base - fwd).abs() / base < 1e-12);
+    }
+
+    #[test]
+    fn mlp_checkpointing_cheaper_than_full() {
+        let (_, f) = model();
+        let seqs = [32 * 1024u64];
+        let none = f.train_flops(32 * 1024, &seqs, ActivationPolicy::None);
+        let mlp = f.train_flops(32 * 1024, &seqs, ActivationPolicy::MlpOnly);
+        let full = f.train_flops(32 * 1024, &seqs, ActivationPolicy::Full);
+        assert!(none < mlp && mlp < full);
+    }
+
+    #[test]
+    fn attention_dominates_at_long_context() {
+        // At 256K, attention FLOPs exceed linear FLOPs for GPT-7B — the
+        // effect behind Table 1's superlinear time growth.
+        let (_, f) = model();
+        let s = 256 * 1024u64;
+        assert!(f.attention_flops(&[s]) > f.fwd_linear_per_token * s as f64);
+        // And at 4K they are a small fraction.
+        let s = 4 * 1024u64;
+        assert!(f.attention_flops(&[s]) < 0.2 * f.fwd_linear_per_token * s as f64);
+    }
+}

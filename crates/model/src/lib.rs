@@ -1,0 +1,49 @@
+//! Transformer model configurations and analytic FLOPs / memory accounting
+//! for the FlexSP reproduction.
+//!
+//! The FlexSP paper evaluates GPT-7B, GPT-13B and GPT-30B (Appendix B.1,
+//! Table 5). This crate provides those presets plus the analytic cost
+//! quantities every other crate consumes:
+//!
+//! * **FLOPs** ([`FlopsModel`]): a linear term per token (projections, MLP,
+//!   LM head) and a quadratic attention term per sequence. Packed inputs
+//!   use flash-attn varlen semantics — attention cost is `Σ sᵢ²` over the
+//!   *constituent* sequences, never the square of the packed length.
+//! * **Activation memory** ([`ActivationPolicy`], [`ModelConfig::act_bytes_per_token`]):
+//!   per-token bytes under the three checkpointing policies the paper's
+//!   protocol uses (none for 7B, MLP-only for 13B, full for 30B).
+//! * **Model states** ([`ZeroStage`], [`ModelConfig::model_state_bytes`]):
+//!   mixed-precision Adam layout (2 B bf16 params + 2 B grads + 12 B fp32
+//!   master/optimizer) sharded per DeepSpeed-ZeRO stage.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
+//!
+//! let m = ModelConfig::gpt_7b(384 * 1024);
+//! assert_eq!(m.num_layers, 32);
+//! // ~7–8 B parameters at 384K context (positional table included).
+//! let p = m.param_count();
+//! assert!(p > 7_000_000_000 && p < 9_000_000_000);
+//! // ZeRO-3 over 64 GPUs shards the 16 B/param states evenly.
+//! let ms = m.model_state_bytes(ZeroStage::Three, 64);
+//! assert!(ms < 16 * p / 60);
+//! let _per_token = m.act_bytes_per_token(ActivationPolicy::None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod flops;
+mod memory;
+
+pub use config::ModelConfig;
+pub use flops::FlopsModel;
+pub use memory::{ActivationPolicy, ZeroStage};
+
+/// Bytes per bf16 element.
+pub const BF16_BYTES: u64 = 2;
+/// Bytes per fp32 element.
+pub const FP32_BYTES: u64 = 4;

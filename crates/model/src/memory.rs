@@ -1,0 +1,89 @@
+//! Activation-checkpointing policies and ZeRO sharding stages.
+
+/// Activation checkpointing policy (paper Appendix B.2).
+///
+/// The per-token activation footprint of one transformer layer is modelled
+/// as `coeff · hidden · 2 bytes`. The coefficients follow the usual
+/// flash-attention accounting (Korthikanti et al., "Reducing Activation
+/// Recomputation"): without checkpointing a layer keeps ≈ 18–20 hidden-sized
+/// tensors per token; checkpointing the MLP drops the 4·ffn intermediate
+/// activations; full checkpointing keeps only layer inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivationPolicy {
+    /// No recomputation (paper protocol for GPT-7B).
+    #[default]
+    None,
+    /// Checkpoint the MLP blocks only (paper protocol for GPT-13B).
+    MlpOnly,
+    /// Checkpoint every layer (paper protocol for GPT-30B).
+    Full,
+}
+
+impl ActivationPolicy {
+    /// Hidden-multiples of bf16 activation bytes stored per token per layer.
+    pub fn act_coeff(self) -> f64 {
+        match self {
+            // ~18.5·h·2B per layer-token: QKV inputs, attention output,
+            // MLP intermediates, norms, residuals (flash-attn: no s² term).
+            ActivationPolicy::None => 18.5,
+            // MLP intermediates (≈ 8·h) recomputed, rest kept.
+            ActivationPolicy::MlpOnly => 10.5,
+            // Only layer inputs + a small live working set.
+            ActivationPolicy::Full => 2.5,
+        }
+    }
+
+    /// Fraction of the *forward* linear FLOPs that must be re-executed
+    /// during the backward pass because of checkpointing.
+    pub fn recompute_linear_fraction(self) -> f64 {
+        match self {
+            ActivationPolicy::None => 0.0,
+            // The MLP is 2·ffn·h² of the (4 + 2·ffn)·h² per-layer matmuls.
+            ActivationPolicy::MlpOnly => 8.0 / 12.0,
+            ActivationPolicy::Full => 1.0,
+        }
+    }
+
+    /// Fraction of the forward attention FLOPs re-executed in backward.
+    pub fn recompute_attn_fraction(self) -> f64 {
+        match self {
+            ActivationPolicy::None | ActivationPolicy::MlpOnly => 0.0,
+            ActivationPolicy::Full => 1.0,
+        }
+    }
+}
+
+/// DeepSpeed-ZeRO sharding stage for model states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ZeroStage {
+    /// Fully replicated model states (plain DP).
+    None,
+    /// Optimizer states sharded (paper: Megatron-LM baseline runs ZeRO-1).
+    One,
+    /// Optimizer states and gradients sharded.
+    Two,
+    /// Everything sharded (paper: DeepSpeed and FlexSP run ZeRO-3).
+    #[default]
+    Three,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recompute_fractions_are_consistent() {
+        assert_eq!(ActivationPolicy::None.recompute_linear_fraction(), 0.0);
+        assert!(ActivationPolicy::MlpOnly.recompute_linear_fraction() < 1.0);
+        assert_eq!(ActivationPolicy::Full.recompute_linear_fraction(), 1.0);
+        assert_eq!(ActivationPolicy::Full.recompute_attn_fraction(), 1.0);
+    }
+
+    #[test]
+    fn coefficients_strictly_ordered() {
+        assert!(
+            ActivationPolicy::None.act_coeff() > ActivationPolicy::MlpOnly.act_coeff()
+                && ActivationPolicy::MlpOnly.act_coeff() > ActivationPolicy::Full.act_coeff()
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Collective-communication cost models.
+
+use crate::group::DeviceGroup;
+use crate::spec::ClusterSpec;
+
+/// A collective operation with its per-GPU payload.
+///
+/// Payload conventions follow NCCL:
+///
+/// * `AllToAll { per_gpu_bytes }` — each GPU holds `per_gpu_bytes` and
+///   exchanges all but its own `1/d` share.
+/// * `AllGather { shard_bytes }` — each GPU contributes `shard_bytes` and
+///   receives the other `d − 1` shards.
+/// * `ReduceScatter { shard_bytes }` — dual of all-gather.
+/// * `AllReduce { bytes }` — full-buffer reduction (≈ RS + AG).
+/// * `Broadcast { bytes }` — root sends `bytes` to all members.
+/// * `RingStep { bytes }` — one hop of a ring exchange (context
+///   parallelism): every GPU concurrently sends `bytes` to its successor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Collective {
+    /// Uniform personalized all-to-all.
+    AllToAll {
+        /// Bytes resident on each GPU before the shuffle.
+        per_gpu_bytes: u64,
+    },
+    /// All-gather of equal shards.
+    AllGather {
+        /// Bytes contributed by each GPU.
+        shard_bytes: u64,
+    },
+    /// Reduce-scatter of equal shards.
+    ReduceScatter {
+        /// Bytes received by each GPU after reduction.
+        shard_bytes: u64,
+    },
+    /// All-reduce over the full buffer.
+    AllReduce {
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// One-to-all broadcast.
+    Broadcast {
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// One ring hop (used by context-parallel attention).
+    RingStep {
+        /// Bytes sent by each GPU to its ring successor.
+        bytes: u64,
+    },
+}
+
+/// Time in seconds for `collective` over `group` on `cluster`.
+///
+/// Key modelling decisions (see crate docs):
+///
+/// * **All-to-All traffic is irreducible**: every byte crossing a node
+///   boundary is unique, so the per-GPU NIC share is the bottleneck. This
+///   is what makes large SP groups expensive in the paper.
+/// * **Gather/reduce collectives are node-aware** (NCCL trees/hierarchies):
+///   inter-node traffic is paid once per *node*, so their effective
+///   inter-node bandwidth is the whole NIC, not the per-GPU share.
+/// * Intra- and inter-node phases overlap; the slower one dominates.
+///
+/// Single-GPU groups cost zero.
+pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: Collective) -> f64 {
+    let d = group.degree() as f64;
+    if group.degree() <= 1 {
+        return 0.0;
+    }
+    let gpn = cluster.gpus_per_node;
+    let inter_frac = group.inter_node_fraction(gpn);
+    let intra = group.is_intra_node(gpn);
+    let latency = if intra {
+        cluster.net.nvlink_latency_s
+    } else {
+        cluster.net.nic_latency_s
+    };
+
+    match collective {
+        Collective::AllToAll { per_gpu_bytes } => {
+            // Each GPU ships (d-1)/d of its payload, split intra/inter.
+            let egress = per_gpu_bytes as f64 * (d - 1.0) / d;
+            let per_peer_msg = per_gpu_bytes as f64 / d;
+            let t_intra = egress * (1.0 - inter_frac) / cluster.nvlink_eff_bw(per_peer_msg);
+            let t_inter = if inter_frac > 0.0 {
+                egress * inter_frac / cluster.nic_eff_bw_per_gpu(per_peer_msg)
+            } else {
+                0.0
+            };
+            latency + t_intra.max(t_inter)
+        }
+        Collective::AllGather { shard_bytes } => {
+            gather_family_time(cluster, group, shard_bytes, 1.0)
+        }
+        Collective::ReduceScatter { shard_bytes } => {
+            gather_family_time(cluster, group, shard_bytes, 1.0)
+        }
+        Collective::AllReduce { bytes } => {
+            // RS + AG of bytes/d shards.
+            2.0 * gather_family_time(cluster, group, (bytes as f64 / d) as u64, 1.0)
+        }
+        Collective::Broadcast { bytes } => {
+            // Pipeline broadcast: limited by the slowest link on the path.
+            let nodes = group.nodes_spanned(gpn) as f64;
+            let inter_t = if nodes > 1.0 {
+                bytes as f64 / cluster.node_nic_eff_bw(bytes as f64)
+            } else {
+                0.0
+            };
+            let intra_t = bytes as f64 / cluster.nvlink_eff_bw(bytes as f64);
+            latency + intra_t.max(inter_t)
+        }
+        Collective::RingStep { bytes } => {
+            // All GPUs send concurrently; the slowest hop gates the step.
+            // A ring over >1 node has node-crossing hops paid at the
+            // per-GPU NIC share.
+            let b = bytes as f64;
+            let link_bw = if intra {
+                cluster.nvlink_eff_bw(b)
+            } else {
+                cluster.nic_eff_bw_per_gpu(b)
+            };
+            latency + b / link_bw
+        }
+    }
+}
+
+/// Shared model for all-gather / reduce-scatter: each GPU moves
+/// `(d−1)·shard` intra-node at NVLink speed while each *node* moves the
+/// off-node shards once across its NIC.
+fn gather_family_time(
+    cluster: &ClusterSpec,
+    group: &DeviceGroup,
+    shard_bytes: u64,
+    rounds: f64,
+) -> f64 {
+    let d = group.degree() as f64;
+    let gpn = cluster.gpus_per_node;
+    let shard = shard_bytes as f64;
+    let latency = if group.is_intra_node(gpn) {
+        cluster.net.nvlink_latency_s
+    } else {
+        cluster.net.nic_latency_s
+    };
+    let t_intra = (d - 1.0) * shard / cluster.nvlink_eff_bw(shard);
+    let nodes = group.nodes_spanned(gpn) as f64;
+    let t_inter = if nodes > 1.0 {
+        // A node must import every shard it does not host: (d − d/nodes)
+        // shards through the whole node NIC.
+        let import = (d - d / nodes) * shard;
+        import / cluster.node_nic_eff_bw(shard)
+    } else {
+        0.0
+    };
+    rounds * (latency + t_intra.max(t_inter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::a100_cluster(8)
+    }
+
+    #[test]
+    fn single_gpu_groups_are_free() {
+        let c = cluster();
+        let g = DeviceGroup::aligned(3, 1);
+        assert_eq!(
+            collective_time(&c, &g, Collective::AllToAll { per_gpu_bytes: 1 << 30 }),
+            0.0
+        );
+    }
+
+    #[test]
+    fn alltoall_inter_node_penalty() {
+        // Same per-GPU payload: SP=64 must be several times slower than
+        // SP=8 (paper Table 1: 20.2 s vs 1.6 s at fixed total tokens).
+        let c = cluster();
+        let bytes = 512 * 1024 * 1024u64;
+        let t8 = collective_time(&c, &DeviceGroup::aligned(0, 8), Collective::AllToAll { per_gpu_bytes: bytes });
+        let t64 = collective_time(&c, &DeviceGroup::aligned(0, 64), Collective::AllToAll { per_gpu_bytes: bytes });
+        let ratio = t64 / t8;
+        assert!(ratio > 6.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alltoall_monotone_in_bytes_and_degree() {
+        let c = cluster();
+        let mut prev = 0.0;
+        for d in [2u32, 4, 8, 16, 32, 64] {
+            let t = collective_time(
+                &c,
+                &DeviceGroup::aligned(0, d),
+                Collective::AllToAll { per_gpu_bytes: 64 << 20 },
+            );
+            assert!(t >= prev, "degree {d}");
+            prev = t;
+        }
+        let small = collective_time(&c, &DeviceGroup::aligned(0, 16), Collective::AllToAll { per_gpu_bytes: 1 << 20 });
+        let big = collective_time(&c, &DeviceGroup::aligned(0, 16), Collective::AllToAll { per_gpu_bytes: 1 << 26 });
+        assert!(big > small);
+    }
+
+    #[test]
+    fn gather_family_is_node_aware() {
+        // All-gather across 8 nodes should be far cheaper per byte than
+        // all-to-all across 8 nodes: bytes cross IB once per node.
+        let c = cluster();
+        let g = DeviceGroup::aligned(0, 64);
+        let shard = 8 << 20; // 8 MB per GPU
+        let ag = collective_time(&c, &g, Collective::AllGather { shard_bytes: shard });
+        let a2a = collective_time(&c, &g, Collective::AllToAll { per_gpu_bytes: shard * 64 });
+        // Equal total received bytes per GPU; all-gather must win clearly.
+        assert!(a2a > 3.0 * ag, "a2a {a2a} vs ag {ag}");
+    }
+
+    #[test]
+    fn allreduce_is_twice_gather_family() {
+        let c = cluster();
+        let g = DeviceGroup::aligned(0, 16);
+        let bytes = 256 << 20;
+        let ar = collective_time(&c, &g, Collective::AllReduce { bytes });
+        let rs = collective_time(
+            &c,
+            &g,
+            Collective::ReduceScatter { shard_bytes: bytes / 16 },
+        );
+        assert!((ar - 2.0 * rs).abs() / ar < 1e-9);
+    }
+
+    #[test]
+    fn ring_step_slower_across_nodes() {
+        let c = cluster();
+        let bytes = 32 << 20;
+        let intra = collective_time(&c, &DeviceGroup::aligned(0, 8), Collective::RingStep { bytes });
+        let inter = collective_time(&c, &DeviceGroup::aligned(0, 32), Collective::RingStep { bytes });
+        assert!(inter > 5.0 * intra);
+    }
+
+    #[test]
+    fn broadcast_scales_with_bytes() {
+        let c = cluster();
+        let g = DeviceGroup::aligned(0, 16);
+        let t1 = collective_time(&c, &g, Collective::Broadcast { bytes: 1 << 20 });
+        let t2 = collective_time(&c, &g, Collective::Broadcast { bytes: 1 << 28 });
+        assert!(t2 > t1);
+    }
+}

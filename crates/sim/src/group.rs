@@ -1,0 +1,168 @@
+//! GPUs and device groups.
+
+use std::fmt;
+
+/// Global GPU index within the cluster (node-major: GPU `g` lives on node
+/// `g / gpus_per_node`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    /// The node hosting this GPU for a given node width.
+    pub fn node(self, gpus_per_node: u32) -> u32 {
+        self.0 / gpus_per_node
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// An ordered set of GPUs forming one communicator (an "SP group" in the
+/// paper). Groups created by [`DeviceGroup::aligned`] are contiguous,
+/// power-of-two-aligned blocks — the placement discipline the paper uses so
+/// each GPU ever joins at most `log₂ N` cached groups.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceGroup {
+    gpus: Vec<GpuId>,
+}
+
+impl DeviceGroup {
+    /// A contiguous group `[start, start + degree)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn aligned(start: u32, degree: u32) -> Self {
+        assert!(degree > 0, "a group holds at least one GPU");
+        Self {
+            gpus: (start..start + degree).map(GpuId).collect(),
+        }
+    }
+
+    /// A group from explicit GPU ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is empty or contains duplicates.
+    pub fn from_gpus(mut gpus: Vec<GpuId>) -> Self {
+        assert!(!gpus.is_empty(), "a group holds at least one GPU");
+        gpus.sort_unstable();
+        assert!(
+            gpus.windows(2).all(|w| w[0] != w[1]),
+            "duplicate GPU in group"
+        );
+        Self { gpus }
+    }
+
+    /// The member GPUs, ascending.
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// Parallelism degree (number of member GPUs).
+    pub fn degree(&self) -> u32 {
+        self.gpus.len() as u32
+    }
+
+    /// Number of distinct nodes the group touches.
+    pub fn nodes_spanned(&self, gpus_per_node: u32) -> u32 {
+        let mut nodes: Vec<u32> = self.gpus.iter().map(|g| g.node(gpus_per_node)).collect();
+        nodes.dedup();
+        nodes.len() as u32
+    }
+
+    /// True if every member lives on one node.
+    pub fn is_intra_node(&self, gpus_per_node: u32) -> bool {
+        self.nodes_spanned(gpus_per_node) == 1
+    }
+
+    /// For uniform all-to-all traffic, the fraction of each GPU's egress
+    /// that crosses a node boundary: with `g` co-located peers out of
+    /// `d − 1`, the off-node share is `(d − g) / (d − 1)`.
+    ///
+    /// Returns 0 for single-GPU or single-node groups.
+    pub fn inter_node_fraction(&self, gpus_per_node: u32) -> f64 {
+        let d = self.degree() as f64;
+        if self.degree() <= 1 || self.is_intra_node(gpus_per_node) {
+            return 0.0;
+        }
+        // Average co-located peers (aligned groups have an equal share per
+        // node; compute exactly for irregular groups).
+        let mut per_node = std::collections::HashMap::new();
+        for g in &self.gpus {
+            *per_node.entry(g.node(gpus_per_node)).or_insert(0u32) += 1;
+        }
+        let mut frac = 0.0;
+        for g in &self.gpus {
+            let local = per_node[&g.node(gpus_per_node)] as f64;
+            frac += (d - local) / (d - 1.0);
+        }
+        frac / d
+    }
+
+    /// A short human-readable description, e.g. `SP8@gpu16`.
+    pub fn label(&self) -> String {
+        format!("SP{}@{}", self.degree(), self.gpus[0])
+    }
+}
+
+impl fmt::Display for DeviceGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_groups_are_contiguous() {
+        let g = DeviceGroup::aligned(8, 4);
+        assert_eq!(
+            g.gpus(),
+            &[GpuId(8), GpuId(9), GpuId(10), GpuId(11)]
+        );
+        assert_eq!(g.degree(), 4);
+    }
+
+    #[test]
+    fn node_spanning() {
+        assert!(DeviceGroup::aligned(0, 8).is_intra_node(8));
+        assert!(!DeviceGroup::aligned(0, 16).is_intra_node(8));
+        assert_eq!(DeviceGroup::aligned(0, 16).nodes_spanned(8), 2);
+        assert_eq!(DeviceGroup::aligned(4, 8).nodes_spanned(8), 2); // misaligned straddles
+    }
+
+    #[test]
+    fn inter_fraction_matches_formula() {
+        let gpn = 8;
+        assert_eq!(DeviceGroup::aligned(0, 8).inter_node_fraction(gpn), 0.0);
+        // d = 16 over 2 full nodes: (16 − 8) / 15.
+        let f = DeviceGroup::aligned(0, 16).inter_node_fraction(gpn);
+        assert!((f - 8.0 / 15.0).abs() < 1e-12);
+        // d = 64 over 8 nodes: 56/63.
+        let f = DeviceGroup::aligned(0, 64).inter_node_fraction(gpn);
+        assert!((f - 56.0 / 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_fraction_grows_with_degree() {
+        let gpn = 8;
+        let mut prev = 0.0;
+        for d in [8u32, 16, 32, 64] {
+            let f = DeviceGroup::aligned(0, d).inter_node_fraction(gpn);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate GPU")]
+    fn duplicate_rejected() {
+        DeviceGroup::from_gpus(vec![GpuId(1), GpuId(1)]);
+    }
+}

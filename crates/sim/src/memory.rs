@@ -1,0 +1,157 @@
+//! Per-GPU memory accounting and OOM detection.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::group::GpuId;
+
+/// Out-of-memory error: the simulated analogue of a CUDA OOM, used to mark
+/// the infeasible cells of the paper's Table 1 and to reject invalid plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// The GPU that overflowed.
+    pub gpu: GpuId,
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes still free before the allocation.
+    pub available: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory on {}: requested {} MiB, {} MiB available",
+            self.gpu,
+            self.requested >> 20,
+            self.available >> 20
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Tracks live allocations per GPU against a fixed capacity.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_sim::{GpuId, MemoryTracker};
+/// let mut mem = MemoryTracker::new(1024);
+/// mem.alloc(GpuId(0), 1000).unwrap();
+/// assert!(mem.alloc(GpuId(0), 100).is_err());
+/// mem.free(GpuId(0), 1000);
+/// assert!(mem.alloc(GpuId(0), 100).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryTracker {
+    capacity: u64,
+    used: HashMap<GpuId, u64>,
+    peak: HashMap<GpuId, u64>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with `capacity` bytes per GPU.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: HashMap::new(),
+            peak: HashMap::new(),
+        }
+    }
+
+    /// Capacity per GPU in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Attempts to allocate `bytes` on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] (leaving state unchanged) if the allocation
+    /// would exceed capacity.
+    pub fn alloc(&mut self, gpu: GpuId, bytes: u64) -> Result<(), OomError> {
+        let used = self.used.entry(gpu).or_insert(0);
+        let available = self.capacity - *used;
+        if bytes > available {
+            return Err(OomError {
+                gpu,
+                requested: bytes,
+                available,
+            });
+        }
+        *used += bytes;
+        let peak = self.peak.entry(gpu).or_insert(0);
+        *peak = (*peak).max(*used);
+        Ok(())
+    }
+
+    /// Releases `bytes` on `gpu` (saturating at zero).
+    pub fn free(&mut self, gpu: GpuId, bytes: u64) {
+        if let Some(used) = self.used.get_mut(&gpu) {
+            *used = used.saturating_sub(bytes);
+        }
+    }
+
+    /// Currently allocated bytes on `gpu`.
+    pub fn used(&self, gpu: GpuId) -> u64 {
+        self.used.get(&gpu).copied().unwrap_or(0)
+    }
+
+    /// Peak allocated bytes observed on `gpu`.
+    pub fn peak(&self, gpu: GpuId) -> u64 {
+        self.peak.get(&gpu).copied().unwrap_or(0)
+    }
+
+    /// Highest peak across all GPUs.
+    pub fn max_peak(&self) -> u64 {
+        self.peak.values().copied().max().unwrap_or(0)
+    }
+
+    /// Releases everything (e.g. between micro-batches), keeping peaks.
+    pub fn reset_current(&mut self) {
+        self.used.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_reports_context_and_preserves_state() {
+        let mut mem = MemoryTracker::new(100);
+        mem.alloc(GpuId(1), 60).unwrap();
+        let err = mem.alloc(GpuId(1), 50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+        assert_eq!(mem.used(GpuId(1)), 60, "failed alloc must not commit");
+    }
+
+    #[test]
+    fn peaks_survive_reset() {
+        let mut mem = MemoryTracker::new(100);
+        mem.alloc(GpuId(0), 80).unwrap();
+        mem.reset_current();
+        mem.alloc(GpuId(0), 10).unwrap();
+        assert_eq!(mem.peak(GpuId(0)), 80);
+        assert_eq!(mem.used(GpuId(0)), 10);
+        assert_eq!(mem.max_peak(), 80);
+    }
+
+    #[test]
+    fn per_gpu_isolation() {
+        let mut mem = MemoryTracker::new(100);
+        mem.alloc(GpuId(0), 100).unwrap();
+        assert!(mem.alloc(GpuId(1), 100).is_ok());
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut mem = MemoryTracker::new(100);
+        mem.alloc(GpuId(0), 10).unwrap();
+        mem.free(GpuId(0), 50);
+        assert_eq!(mem.used(GpuId(0)), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Cluster autotuner: how the baseline systems pick their static
+//! strategies, and what that costs them against FlexSP.
+//!
+//! ```text
+//! cargo run --release --example cluster_autotuner
+//! ```
+//!
+//! Enumerates DeepSpeed's feasible SP degrees and Megatron's (TP, CP, DP)
+//! space at two context lengths, shows the tuned winners (compare with the
+//! paper's App. B.2: SP=64/SP=32 and TP=8/CP=8-style optima), then runs a
+//! 3-iteration shootout of all four systems.
+
+use flexsp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for max_ctx in [192 * 1024u64, 384 * 1024] {
+        println!("=== max context {}K ===", max_ctx / 1024);
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(max_ctx);
+        let policy = ActivationPolicy::None;
+        let loader =
+            || GlobalBatchLoader::new(LengthDistribution::common_crawl(), 256, max_ctx, 3);
+
+        // Megatron's strategy space (memory-feasible points only).
+        let megatron = MegatronLm::new(cluster.clone(), model.clone(), policy);
+        let space = megatron.feasible_strategies();
+        println!("Megatron feasible strategies: {}", space.len());
+        for s in &space {
+            println!("  {s}");
+        }
+
+        // Run every system; each tunes itself on the first batch.
+        let mut systems: Vec<Box<dyn TrainingSystem>> = vec![
+            Box::new(DeepSpeedUlysses::new(cluster.clone(), model.clone(), policy)?),
+            Box::new(megatron),
+            Box::new(FlexSpBatchAda::new(cluster.clone(), model.clone(), policy)),
+            Box::new(FlexSpSystem::fast(cluster.clone(), model.clone(), policy)),
+        ];
+        for system in &mut systems {
+            let stats = evaluate_system(system.as_mut(), loader(), 3)?;
+            println!(
+                "{:<16} {:>7.2}s/iter  comm {:>5.1}%  strategy: {}",
+                stats.name,
+                stats.mean_iteration_s(),
+                100.0 * stats.mean_comm_ratio(),
+                stats.strategy
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: solve and execute one FlexSP training iteration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's 64-GPU cluster, fits the cost model, draws one
+//! 512-sequence CommonCrawl batch at 192K max context, solves the flexible
+//! sequence-parallel plan, executes it on the simulator, and compares
+//! against the best static homogeneous plan.
+
+use flexsp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's testbed: 8 nodes × 8 A100-40GB.
+    let cluster = ClusterSpec::a100_cluster(8);
+    let model = ModelConfig::gpt_7b(192 * 1024);
+    let policy = ActivationPolicy::None;
+
+    println!("cluster : {} GPUs ({} nodes)", cluster.num_gpus(), cluster.num_nodes);
+    println!("model   : {} ({:.2}B params)", model.name, model.param_count() as f64 / 1e9);
+
+    // Profile the simulator and fit the α-β cost model (paper §4.1.2).
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let fit = cost.compute_fit();
+    println!(
+        "cost fit: alpha1={:.3e} s/token^2, alpha2={:.3e} s/token, beta1={:.3} s",
+        fit.alpha1, fit.alpha2, fit.beta1
+    );
+
+    // One global batch of 512 varied-length sequences (paper protocol).
+    let mut loader =
+        GlobalBatchLoader::new(LengthDistribution::common_crawl(), 512, 192 * 1024, 7);
+    let batch = loader.next_batch();
+    let tokens: u64 = batch.iter().map(|s| s.len).sum();
+    let longest = batch.iter().map(|s| s.len).max().unwrap_or(0);
+    println!("batch   : 512 seqs, {:.2}M tokens, longest {}K", tokens as f64 / 1e6, longest / 1024);
+
+    // Solve (Algorithm 1) and execute (§5).
+    let solver = FlexSpSolver::new(cost.clone(), SolverConfig::default());
+    let solved = solver.solve_iteration(&batch)?;
+    println!("\nFlexSP plan ({} micro-batches, solved in {:.2}s wall):",
+        solved.plan.micro_batches.len(), solved.solve_wall_s);
+    for (i, mb) in solved.plan.micro_batches.iter().enumerate() {
+        println!(
+            "  micro-batch {i}: {}  ({} seqs, {:.2}M tokens)",
+            mb.degree_signature(),
+            mb.num_seqs(),
+            mb.total_tokens() as f64 / 1e6
+        );
+    }
+
+    let executor = Executor::new(cluster.clone(), model.clone(), policy);
+    let report = executor.execute(&solved.plan)?;
+    println!(
+        "\nexecuted: {:.2}s total — compute {:.2}s, All-to-All {:.2}s ({:.1}%), ZeRO {:.2}s",
+        report.total_s,
+        report.compute_s,
+        report.alltoall_s,
+        100.0 * report.alltoall_ratio(),
+        report.zero_s
+    );
+
+    // Compare against the best static homogeneous plan (what a
+    // DeepSpeed-style system would do).
+    let mut ds = DeepSpeedUlysses::new(cluster, model, policy)?;
+    let ds_report = ds.run_iteration(&batch)?;
+    println!(
+        "\nDeepSpeed ({}) takes {:.2}s ({:.1}% All-to-All) -> FlexSP speedup {:.2}x",
+        ds.strategy(),
+        ds_report.total_s,
+        100.0 * ds_report.comm_ratio(),
+        ds_report.total_s / report.total_s
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! **FlexSP** — heterogeneity-adaptive flexible sequence parallelism for
+//! LLM training (Wang et al., ASPLOS 2025), reproduced in Rust on a
+//! simulated GPU cluster.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] (`flexsp-core`) | the paper's solver (blaster, bucketing, MILP planner) and executor |
+//! | [`milp`] (`flexsp-milp`) | simplex + branch-and-bound MILP solver (SCIP replacement) |
+//! | [`model`] (`flexsp-model`) | GPT configs, FLOPs and memory accounting |
+//! | [`data`] (`flexsp-data`) | long-tail corpora, packing, batching |
+//! | [`sim`] (`flexsp-sim`) | cluster / collective-communication simulator |
+//! | [`cost`] (`flexsp-cost`) | α-β cost models + profiler fitting |
+//! | [`baselines`] (`flexsp-baselines`) | DeepSpeed-, Megatron-like systems, BatchAda |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexsp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 16-GPU cluster training GPT-7B at 64K context on Wikipedia-like data.
+//! let cluster = ClusterSpec::a100_cluster(2);
+//! let model = ModelConfig::gpt_7b(64 * 1024);
+//! let policy = ActivationPolicy::None;
+//!
+//! let cost = CostModel::fit(&cluster, &model, policy);
+//! let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+//! let executor = Executor::new(cluster, model, policy);
+//!
+//! let mut loader = GlobalBatchLoader::new(
+//!     LengthDistribution::wikipedia(), 64, 64 * 1024, 42);
+//! let solved = solver.solve_iteration(&loader.next_batch())?;
+//! let report = executor.execute(&solved.plan)?;
+//! println!("plan {} ran in {:.2}s ({:.1}% All-to-All)",
+//!     solved.plan.signature(), report.total_s, 100.0 * report.alltoall_ratio());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flexsp_baselines as baselines;
+pub use flexsp_core as core;
+pub use flexsp_cost as cost;
+pub use flexsp_data as data;
+pub use flexsp_milp as milp;
+pub use flexsp_model as model;
+pub use flexsp_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use flexsp_baselines::{
+        evaluate_system, DeepSpeedUlysses, FlexCpSystem, FlexSpBatchAda, FlexSpSystem,
+        HomogeneousCp, MegatronLm, TrainingSystem,
+    };
+    pub use flexsp_core::{
+        Executor, FlexSpSolver, IterationPlan, PlannerConfig, SolverConfig, SolverService,
+        Trainer,
+    };
+    pub use flexsp_cost::CostModel;
+    pub use flexsp_data::{Corpus, GlobalBatchLoader, LengthDistribution, Sequence};
+    pub use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
+    pub use flexsp_sim::{ClusterSpec, DeviceGroup};
+}

@@ -1,0 +1,105 @@
+//! Property-based integration tests: for random long-tail batches, every
+//! plan the solver emits must satisfy the paper's constraints (Eq. 7–10)
+//! and execute successfully on the simulator.
+
+use proptest::prelude::*;
+
+use flexsp::prelude::*;
+
+/// One shared cost model / executor per process (fitting is deterministic).
+fn setup() -> (CostModel, Executor) {
+    let cluster = ClusterSpec::a100_cluster(2); // 16 GPUs keeps cases fast
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let executor = Executor::new(cluster, model, policy);
+    (cost, executor)
+}
+
+fn arbitrary_batch() -> impl Strategy<Value = Vec<Sequence>> {
+    // Long-tail-ish lengths: mostly short, occasionally up to 48K.
+    let len = prop_oneof![
+        4 => 64u64..4096,
+        2 => 4096u64..16_384,
+        1 => 16_384u64..48_000,
+    ];
+    prop::collection::vec(len, 1..40).prop_map(|lens| {
+        lens.into_iter()
+            .enumerate()
+            .map(|(i, l)| Sequence::new(i as u64, l))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plans_satisfy_paper_constraints(batch in arbitrary_batch()) {
+        let (cost, executor) = setup();
+        let solver = FlexSpSolver::new(cost.clone(), SolverConfig::fast());
+        let solved = solver.solve_iteration(&batch).expect("feasible batch");
+        let plan = &solved.plan;
+
+        // Eq. 10: every sequence assigned exactly once.
+        let mut ids: Vec<u64> = plan
+            .micro_batches
+            .iter()
+            .flat_map(|m| m.groups.iter())
+            .flat_map(|g| g.seqs.iter().map(|s| s.id))
+            .collect();
+        ids.sort_unstable();
+        let mut expect: Vec<u64> = batch.iter().map(|s| s.id).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ids, expect);
+
+        for mb in &plan.micro_batches {
+            // Eq. 8: GPU budget.
+            prop_assert!(mb.gpus_used() <= 16);
+            for g in &mb.groups {
+                // Power-of-two degrees (§4.1.1 footnote).
+                prop_assert!(g.degree.is_power_of_two());
+                // Eq. 7: memory constraint via the cost model.
+                prop_assert!(
+                    g.total_tokens() <= cost.max_group_tokens(g.degree),
+                    "group SP={} holds {} tokens > cap {}",
+                    g.degree, g.total_tokens(), cost.max_group_tokens(g.degree)
+                );
+            }
+        }
+
+        // The executor (ground truth) accepts the plan: no OOM, no
+        // placement failure, and the predicted time is in the ballpark.
+        let report = executor.execute(plan).expect("plan must execute");
+        prop_assert!(report.total_s > 0.0);
+        // The cost model deliberately omits per-iteration constants
+        // (optimizer step, exposed ZeRO slivers), which dominate tiny
+        // batches — so bound the error relatively OR absolutely.
+        let abs = (solved.predicted_s - report.total_s).abs();
+        let rel = abs / report.total_s;
+        prop_assert!(rel < 0.6 || abs < 2.0, "prediction off by {rel:.2} ({abs:.2}s)");
+    }
+
+    #[test]
+    fn more_skew_never_helps_homogeneous(extra_long in 20_000u64..47_000) {
+        // Adding one long sequence to a short batch cannot make the best
+        // homogeneous plan faster (sanity of the cost model's monotonicity).
+        let (cost, _) = setup();
+        let mut batch: Vec<Sequence> =
+            (0..16).map(|i| Sequence::new(i, 2048)).collect();
+        let base = best_homogeneous(&cost, &batch);
+        batch.push(Sequence::new(99, extra_long));
+        let with_long = best_homogeneous(&cost, &batch);
+        prop_assert!(with_long >= base - 1e-9);
+    }
+}
+
+fn best_homogeneous(cost: &CostModel, batch: &[Sequence]) -> f64 {
+    use flexsp::core::plan_homogeneous;
+    cost.degrees()
+        .into_iter()
+        .filter(|&d| d <= 16)
+        .filter_map(|d| plan_homogeneous(cost, batch, 16, d).ok())
+        .map(|p| p.predicted_time(cost))
+        .fold(f64::INFINITY, f64::min)
+}
