@@ -177,8 +177,7 @@ mod tests {
     #[test]
     fn runs_realistic_batches() {
         let mut sys = system(2, 64 * 1024);
-        let mut loader =
-            GlobalBatchLoader::new(LengthDistribution::wikipedia(), 48, 64 * 1024, 2);
+        let mut loader = GlobalBatchLoader::new(LengthDistribution::wikipedia(), 48, 64 * 1024, 2);
         for _ in 0..2 {
             let r = sys.run_iteration(&loader.next_batch()).unwrap();
             assert!(r.total_s > 0.0);

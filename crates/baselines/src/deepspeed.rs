@@ -89,7 +89,7 @@ impl DeepSpeedUlysses {
         // the least-loaded replica (each replica accumulates gradients
         // over its own micro-batches).
         let mut order: Vec<&PackedInput> = packed.iter().collect();
-        order.sort_by(|a, b| b.total_tokens().cmp(&a.total_tokens()));
+        order.sort_by_key(|p| std::cmp::Reverse(p.total_tokens()));
         let zero = ulysses_zero_spec(&self.cluster, &self.model);
         let mut loads: Vec<SpStepReport> = vec![SpStepReport::default(); replicas];
         for p in order {

@@ -76,8 +76,8 @@ impl FlexCpSystem {
         let mut compute = 0.0;
         for mb in &plan.micro_batches {
             let degrees: Vec<u32> = mb.groups.iter().map(|g| g.degree).collect();
-            let placements = allocate_aligned(n, &degrees)
-                .map_err(|e| BaselineError::Exec(e.to_string()))?;
+            let placements =
+                allocate_aligned(n, &degrees).map_err(|e| BaselineError::Exec(e.to_string()))?;
             let mut worst = SpStepReport::default();
             for (g, place) in mb.groups.iter().zip(&placements) {
                 if g.degree % self.tp != 0 {
@@ -212,7 +212,7 @@ impl TrainingSystem for HomogeneousCp {
         let packed = flexsp_data::pack_best_fit_decreasing(batch, self.model.max_context);
         let mut loads: Vec<SpStepReport> = vec![SpStepReport::default(); replicas as usize];
         let mut order: Vec<_> = packed.iter().collect();
-        order.sort_by(|a, b| b.total_tokens().cmp(&a.total_tokens()));
+        order.sort_by_key(|p| std::cmp::Reverse(p.total_tokens()));
         for p in order {
             let (idx, _) = loads
                 .iter()
@@ -259,11 +259,9 @@ mod tests {
         let model = ModelConfig::gpt_7b(192 << 10);
         let policy = ActivationPolicy::None;
         let tp = 8;
-        let loader =
-            || GlobalBatchLoader::new(LengthDistribution::wikipedia(), 128, 192 << 10, 31);
+        let loader = || GlobalBatchLoader::new(LengthDistribution::wikipedia(), 128, 192 << 10, 31);
 
-        let cp =
-            HomogeneousCp::min_feasible_cp(&cluster, &model, policy, tp).expect("fits");
+        let cp = HomogeneousCp::min_feasible_cp(&cluster, &model, policy, tp).expect("fits");
         let mut homo = HomogeneousCp::new(cluster.clone(), model.clone(), policy, tp, cp);
         let mut flex = FlexCpSystem::new(cluster, model, policy, tp, SolverConfig::fast());
 

@@ -57,4 +57,4 @@ pub use deepspeed::DeepSpeedUlysses;
 pub use flex_cp::{FlexCpSystem, HomogeneousCp};
 pub use flexsp_adapter::FlexSpSystem;
 pub use megatron::{MegatronLm, MegatronStrategy};
-pub use system::{evaluate_system, BaselineError, SystemStats, SystemReport, TrainingSystem};
+pub use system::{evaluate_system, BaselineError, SystemReport, SystemStats, TrainingSystem};

@@ -153,19 +153,8 @@ impl MegatronLm {
         let tp_comm_s = if s.tp > 1 {
             let shard_bytes = tokens.div_ceil(shard) * self.model.hidden_bytes_per_token();
             let g = self.tp_group(s);
-            let per = collective_time(
-                &self.cluster,
-                &g,
-                Collective::AllGather {
-                    shard_bytes,
-                },
-            ) + collective_time(
-                &self.cluster,
-                &g,
-                Collective::ReduceScatter {
-                    shard_bytes,
-                },
-            );
+            let per = collective_time(&self.cluster, &g, Collective::AllGather { shard_bytes })
+                + collective_time(&self.cluster, &g, Collective::ReduceScatter { shard_bytes });
             4.0 * per * layers as f64
         } else {
             0.0
@@ -175,17 +164,14 @@ impl MegatronLm {
         // overlapped against the layer's attention compute.
         let cp_comm_s = if s.cp > 1 {
             let g = self.cp_group(s);
-            let kv_bytes = (tokens.div_ceil(s.cp as u64) / s.tp as u64)
-                .max(1)
+            let kv_bytes = (tokens.div_ceil(s.cp as u64) / s.tp as u64).max(1)
                 * self.model.kv_bytes_per_token_per_layer();
             let hop = collective_time(&self.cluster, &g, Collective::RingStep { bytes: kv_bytes });
             let ring_per_layer = hop * 3.0 * (s.cp - 1) as f64;
-            let attn_per_layer = self
-                .cluster
-                .compute_time(
-                    self.flops.attention_flops(&segments) * 3.0 / (shard as f64 * layers as f64),
-                    s.cp as u64,
-                );
+            let attn_per_layer = self.cluster.compute_time(
+                self.flops.attention_flops(&segments) * 3.0 / (shard as f64 * layers as f64),
+                s.cp as u64,
+            );
             (ring_per_layer - attn_per_layer).max(0.15 * ring_per_layer) * layers as f64
         } else {
             0.0
@@ -199,7 +185,7 @@ impl MegatronLm {
     fn simulate(&self, s: &MegatronStrategy, packed: &[PackedInput]) -> SystemReport {
         // Distribute packed inputs over dp replicas (least-loaded first).
         let mut order: Vec<&PackedInput> = packed.iter().collect();
-        order.sort_by(|a, b| b.total_tokens().cmp(&a.total_tokens()));
+        order.sort_by_key(|p| std::cmp::Reverse(p.total_tokens()));
         let mut loads = vec![(0.0f64, 0.0f64, 0.0f64); s.dp as usize];
         for p in order {
             let idx = loads

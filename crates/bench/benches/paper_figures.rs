@@ -25,15 +25,7 @@ fn bench_figures(c: &mut Criterion) {
     let f4 = figure4::Config::default();
     println!("{}", figure4::render(&figure4::run(&f4)));
     c.bench_function("figure4_one_config_flexsp_vs_ds", |b| {
-        b.iter(|| {
-            figure4::run_one(
-                ModelKind::Gpt7b,
-                192 << 10,
-                DatasetKind::Wikipedia,
-                1,
-                128,
-            )
-        })
+        b.iter(|| figure4::run_one(ModelKind::Gpt7b, 192 << 10, DatasetKind::Wikipedia, 1, 128))
     });
 
     // Fig. 6 — scalability sweeps.

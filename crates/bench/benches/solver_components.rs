@@ -1,12 +1,17 @@
 //! Criterion microbenchmarks of the FlexSP solver components: bucketing
-//! DP, blaster DP, heuristic and MILP planners, and the full Algorithm 1.
+//! DP, blaster DP, heuristic and MILP planners, and the full Algorithm 1 —
+//! plus a per-phase solver-trajectory report (build / LP+branch-and-bound
+//! per engine / basis-reuse hit rate) emitted as one JSON line so future
+//! PRs can track the solver's speed trajectory without parsing bench
+//! prose.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use flexsp_core::blaster::blast;
 use flexsp_core::bucketing::bucket_dp;
-use flexsp_core::{plan_micro_batch, FlexSpSolver, PlannerConfig, SolverConfig};
+use flexsp_core::{plan_micro_batch, FlexSpSolver, LpEngine, PlannerConfig, SolverConfig};
 use flexsp_cost::CostModel;
 use flexsp_data::{GlobalBatchLoader, LengthDistribution, Sequence};
 use flexsp_model::{ActivationPolicy, ModelConfig};
@@ -70,7 +75,13 @@ fn bench_components(c: &mut Criterion) {
     c.bench_function("cost_model_fit", |b| {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(384 << 10);
-        b.iter(|| CostModel::fit(black_box(&cluster), black_box(&model), ActivationPolicy::None))
+        b.iter(|| {
+            CostModel::fit(
+                black_box(&cluster),
+                black_box(&model),
+                ActivationPolicy::None,
+            )
+        })
     });
 
     // Formulation ablation (DESIGN.md §5.1): the paper-faithful per-group
@@ -79,15 +90,30 @@ fn bench_components(c: &mut Criterion) {
     let small_cluster = ClusterSpec::a100_cluster(1);
     let small_model = ModelConfig::gpt_7b(32 << 10);
     let small_cost = CostModel::fit(&small_cluster, &small_model, ActivationPolicy::None);
-    let small_batch: Vec<Sequence> = [16u64 << 10, 8 << 10, 8 << 10, 4 << 10, 2 << 10, 2 << 10, 1024, 1024]
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| Sequence::new(i as u64, l))
-        .collect();
+    let small_batch: Vec<Sequence> = [
+        16u64 << 10,
+        8 << 10,
+        8 << 10,
+        4 << 10,
+        2 << 10,
+        2 << 10,
+        1024,
+        1024,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &l)| Sequence::new(i as u64, l))
+    .collect();
     let small_buckets = bucket_dp(&small_batch, 6);
     for (name, formulation) in [
-        ("planner_formulation_aggregated_8gpu", flexsp_core::Formulation::Aggregated),
-        ("planner_formulation_per_group_8gpu", flexsp_core::Formulation::PerGroup),
+        (
+            "planner_formulation_aggregated_8gpu",
+            flexsp_core::Formulation::Aggregated,
+        ),
+        (
+            "planner_formulation_per_group_8gpu",
+            flexsp_core::Formulation::PerGroup,
+        ),
     ] {
         let cfg = PlannerConfig {
             formulation,
@@ -101,9 +127,87 @@ fn bench_components(c: &mut Criterion) {
     }
 }
 
+/// Times `reps` runs of `f` and returns mean seconds per run.
+fn mean_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Per-phase solver trajectory on a fixed instance that the MILP solves
+/// to completion: build (bucketing), candidate portfolio (heuristic), and
+/// the MILP search under each LP engine on identical inputs, with the
+/// engine counters (pivots, nodes, basis-reuse hit rate) attached.
+fn bench_trajectory(c: &mut Criterion) {
+    let _ = c;
+    let cost = cost64();
+    // Deterministic mixed-length micro-batch (cycled 1K..16K lengths):
+    // small enough to solve to optimality under a generous budget, so the
+    // engines do the same logical work and wall times are comparable.
+    let input: Vec<Sequence> = (0..12)
+        .map(|i| Sequence::new(i, 1024 * (1 + (i % 16))))
+        .collect();
+    let reps = 5;
+
+    let build_s = mean_secs(reps, || bucket_dp(&input, 16));
+    let buckets = bucket_dp(&input, 16);
+    let portfolio_s = mean_secs(reps, || {
+        plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only())
+    });
+
+    let ample = PlannerConfig {
+        milp_time_limit: Duration::from_secs(20),
+        milp_node_limit: 100_000,
+        ..PlannerConfig::default()
+    };
+    let dense_cfg = PlannerConfig {
+        lp_engine: LpEngine::DenseTableau,
+        ..ample.clone()
+    };
+    let sparse_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &ample));
+    let dense_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &dense_cfg));
+    let stats = plan_micro_batch(&cost, &buckets, 64, &ample)
+        .expect("trajectory instance is feasible")
+        .stats;
+
+    let speedup = dense_s / sparse_s;
+    println!(
+        "{{\"solver_trajectory\":{{\
+         \"build_s\":{build_s:.6},\
+         \"portfolio_s\":{portfolio_s:.6},\
+         \"milp_sparse_s\":{sparse_s:.6},\
+         \"milp_dense_s\":{dense_s:.6},\
+         \"speedup_sparse_vs_dense\":{speedup:.3},\
+         \"model_builds\":{},\
+         \"search_steps\":{},\
+         \"bnb_nodes\":{},\
+         \"lp_solves\":{},\
+         \"primal_pivots\":{},\
+         \"dual_pivots\":{},\
+         \"refactorizations\":{},\
+         \"basis_reuse_hit_rate\":{:.4}}}}}",
+        stats.model_builds,
+        stats.search_steps,
+        stats.milp.nodes,
+        stats.milp.lp_solves,
+        stats.milp.primal_pivots,
+        stats.milp.dual_pivots,
+        stats.milp.refactorizations,
+        stats.milp.basis_reuse_rate(),
+    );
+    if speedup < 1.0 {
+        // Wall-clock comparison: flag regressions without panicking the
+        // whole bench run over scheduler noise.
+        eprintln!("WARNING: sparse warm path slower than dense cold path ({speedup:.2}x)");
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_components
+    targets = bench_components, bench_trajectory
 }
 criterion_main!(benches);

@@ -6,9 +6,7 @@
 //! small intra-node rings. This experiment quantifies that gap and places
 //! FlexCP next to Ulysses-based FlexSP.
 
-use flexsp_baselines::{
-    evaluate_system, FlexCpSystem, HomogeneousCp, SystemStats,
-};
+use flexsp_baselines::{evaluate_system, FlexCpSystem, HomogeneousCp, SystemStats};
 use flexsp_core::SolverConfig;
 
 use crate::common::{DatasetKind, ModelKind, Workload};
@@ -79,16 +77,18 @@ pub fn run(cfg: &Config) -> Vec<Row> {
             let (cluster, model, policy) = (w.cluster(), w.model_config(), w.policy());
             let static_cp =
                 HomogeneousCp::min_feasible_cp(&cluster, &model, policy, cfg.tp).unwrap_or(0);
-            let homogeneous = (static_cp > 0).then(|| {
-                let mut sys = HomogeneousCp::new(
-                    cluster.clone(),
-                    model.clone(),
-                    policy,
-                    cfg.tp,
-                    static_cp,
-                );
-                evaluate_system(&mut sys, w.loader(), cfg.iterations).ok()
-            }).flatten();
+            let homogeneous = (static_cp > 0)
+                .then(|| {
+                    let mut sys = HomogeneousCp::new(
+                        cluster.clone(),
+                        model.clone(),
+                        policy,
+                        cfg.tp,
+                        static_cp,
+                    );
+                    evaluate_system(&mut sys, w.loader(), cfg.iterations).ok()
+                })
+                .flatten();
             let flex_cp = {
                 let mut sys = FlexCpSystem::new(
                     cluster.clone(),

@@ -9,7 +9,8 @@
 use std::time::Instant;
 
 use flexsp_bench::{
-    appendix_e, case_study, figure2, figure4, figure6, figure7, figure8, figure9, table1, table4, table5,
+    appendix_e, case_study, figure2, figure4, figure6, figure7, figure8, figure9, table1, table4,
+    table5,
 };
 
 const ALL: &[&str] = &[

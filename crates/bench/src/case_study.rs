@@ -105,9 +105,8 @@ pub fn run(cfg: &Config) -> Output {
 
 /// Renders Table 3, Fig. 5a and Fig. 5b.
 pub fn render(out: &Output) -> String {
-    let mut s = String::from(
-        "Table 3: SP groups per micro-batch (GPT-7B, CommonCrawl, 384K ctx)\n",
-    );
+    let mut s =
+        String::from("Table 3: SP groups per micro-batch (GPT-7B, CommonCrawl, 384K ctx)\n");
     let mut t3 = Table::new(["case", "system", "groups per micro-batch"]);
     for e in &out.entries {
         t3.add_row([

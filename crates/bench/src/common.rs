@@ -120,8 +120,7 @@ impl Workload {
     /// Checkpointing policy per the paper's protocol: the cheapest policy
     /// that lets a max-context input fit the cluster (App. B.2).
     pub fn policy(&self) -> ActivationPolicy {
-        auto_policy(&self.cluster(), &self.model_config())
-            .unwrap_or(ActivationPolicy::Full)
+        auto_policy(&self.cluster(), &self.model_config()).unwrap_or(ActivationPolicy::Full)
     }
 
     /// A fresh, reproducible batch loader.

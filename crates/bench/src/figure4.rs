@@ -134,8 +134,16 @@ pub fn run(cfg: &Config) -> Vec<Row> {
 /// Renders the comparison in the paper's layout.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new([
-        "model", "ctx", "dataset", "DeepSpeed", "Megatron", "BatchAda", "FlexSP", "vs DS",
-        "vs MG", "vs BA",
+        "model",
+        "ctx",
+        "dataset",
+        "DeepSpeed",
+        "Megatron",
+        "BatchAda",
+        "FlexSP",
+        "vs DS",
+        "vs MG",
+        "vs BA",
     ]);
     for r in rows {
         t.add_row([
@@ -169,6 +177,11 @@ mod tests {
             row.speedup_vs_deepspeed() > 1.0,
             "FlexSP {fx:.2}s vs DeepSpeed {ds:.2}s"
         );
-        assert!(row.speedup_vs_batch_ada() >= 0.97);
+        let ba = Row::mean(&row.batch_ada);
+        assert!(
+            row.speedup_vs_batch_ada() >= 0.97,
+            "FlexSP {fx:.3}s vs BatchAda {ba:.3}s (ratio {:.3})",
+            row.speedup_vs_batch_ada()
+        );
     }
 }

@@ -155,8 +155,6 @@ mod tests {
         }
         // Paper: the FlexSP advantage grows with cluster size because
         // DeepSpeed suffers more from the slower inter-node fabric.
-        assert!(
-            gpu_sweep[1].speedup_vs_deepspeed() >= gpu_sweep[0].speedup_vs_deepspeed() * 0.95
-        );
+        assert!(gpu_sweep[1].speedup_vs_deepspeed() >= gpu_sweep[0].speedup_vs_deepspeed() * 0.95);
     }
 }

@@ -78,12 +78,7 @@ pub fn run(cfg: &Config) -> Vec<Row> {
 
 /// Renders the sweep.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new([
-        "GPUs",
-        "est. train (s)",
-        "solve (s)",
-        "amortized solve (s)",
-    ]);
+    let mut t = Table::new(["GPUs", "est. train (s)", "solve (s)", "amortized solve (s)"]);
     for r in rows {
         t.add_row([
             format!("{}", r.num_gpus),
@@ -92,9 +87,7 @@ pub fn render(rows: &[Row]) -> String {
             format!("{:.3}", r.amortized_s),
         ]);
     }
-    format!(
-        "Figure 8: solver scalability (batch scaled with cluster size)\n{t}"
-    )
+    format!("Figure 8: solver scalability (batch scaled with cluster size)\n{t}")
 }
 
 #[cfg(test)]

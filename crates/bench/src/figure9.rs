@@ -1,7 +1,9 @@
 //! Figure 9 / Appendix C: cost-model estimation accuracy against the
 //! simulator ground truth.
 
-use flexsp_cost::accuracy::{default_grid, evaluate_grid, max_abs_rel_err, mean_abs_rel_err, AccuracyPoint};
+use flexsp_cost::accuracy::{
+    default_grid, evaluate_grid, max_abs_rel_err, mean_abs_rel_err, AccuracyPoint,
+};
 use flexsp_cost::CostModel;
 use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::ClusterSpec;
@@ -59,7 +61,14 @@ pub fn run(cfg: &Config) -> Output {
 
 /// Renders the scatter as a table plus summary.
 pub fn render(out: &Output) -> String {
-    let mut t = Table::new(["SP", "seq", "# seqs", "actual (s)", "predicted (s)", "error"]);
+    let mut t = Table::new([
+        "SP",
+        "seq",
+        "# seqs",
+        "actual (s)",
+        "predicted (s)",
+        "error",
+    ]);
     for p in &out.points {
         t.add_row([
             format!("{}", p.degree),

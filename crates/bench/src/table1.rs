@@ -129,9 +129,7 @@ pub fn render(cfg: &Config, cells: &[Cell]) -> String {
         }
         t.add_row(row);
     }
-    format!(
-        "Table 1: GPT-7B iteration time (s) and All-to-All share vs SP degree, 64 GPUs\n{t}"
-    )
+    format!("Table 1: GPT-7B iteration time (s) and All-to-All share vs SP degree, 64 GPUs\n{t}")
 }
 
 #[cfg(test)]

@@ -136,6 +136,10 @@ mod tests {
             .iter()
             .find(|r| r.dataset == DatasetKind::Wikipedia)
             .unwrap();
-        assert!(wiki.naive_error > 0.08, "naive on wiki: {}", wiki.naive_error);
+        assert!(
+            wiki.naive_error > 0.08,
+            "naive on wiki: {}",
+            wiki.naive_error
+        );
     }
 }

@@ -1,0 +1,205 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides `Criterion`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is
+//! deliberately simple — a short warmup followed by `sample_size` timed
+//! samples — and every result is printed both human-readably and as a
+//! JSON line (`{"bench": ..., "mean_s": ..., "samples": ...}`) so CI and
+//! trend tooling can scrape timings without a parser for criterion's
+//! native output format.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should size its input batches (ignored: every
+/// invocation is measured individually here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement collector for one benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Times `routine` over `sample_size` samples (after one warmup call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean seconds per sample.
+    pub mean_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is count-based.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let mean = b.samples.iter().sum::<f64>() / n as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            mean_s: mean,
+            samples: b.samples.len(),
+        };
+        println!(
+            "bench {:<48} mean {:>12.6} ms over {} samples",
+            result.name,
+            result.mean_s * 1e3,
+            result.samples
+        );
+        println!(
+            "{{\"bench\":\"{}\",\"mean_s\":{:.9},\"samples\":{}}}",
+            result.name, result.mean_s, result.samples
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the JSON summary of every recorded benchmark.
+    pub fn final_summary(&self) {
+        let entries: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"bench\":\"{}\",\"mean_s\":{:.9},\"samples\":{}}}",
+                    r.name, r.mean_s, r.samples
+                )
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn records_results() {
+        let mut c = Criterion::default().sample_size(3);
+        quick(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.samples == 3));
+    }
+}

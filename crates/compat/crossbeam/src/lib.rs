@@ -1,0 +1,237 @@
+//! Offline drop-in subset of `crossbeam`: scoped threads (over
+//! `std::thread::scope`) and an unbounded MPMC channel (the `std` mpsc
+//! receiver is single-consumer, so the channel is reimplemented on a
+//! mutex + condvar). Only the surface the workspace uses is provided.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads compatible with `crossbeam::thread::scope` call sites.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// A thread scope. The spawn closure receives a unit placeholder where
+    /// `crossbeam` passes the scope itself (every call site here ignores
+    /// the argument).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are joined before
+    /// `scope` returns. Always `Ok` (panics propagate, as the call sites
+    /// immediately `expect` the result anyway).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Unbounded MPMC channel compatible with `crossbeam::channel` call sites.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            let disconnect = inner.senders == 0;
+            drop(inner);
+            if disconnect {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty;
+        /// fails once it is empty with every sender dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let out = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(out, 12);
+    }
+
+    #[test]
+    fn channel_is_multi_consumer() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+            if let Ok(v2) = rx2.recv() {
+                got.push(v2);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

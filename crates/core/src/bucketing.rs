@@ -111,9 +111,8 @@ pub fn bucket_dp(seqs: &[Sequence], q: usize) -> Vec<Bucket> {
     }
     // cost(j, i): one bucket over distinct[j..i] represented by its top
     // value: Σ count·(top − len).
-    let cost = |j: usize, i: usize| -> u64 {
-        (pc[i] - pc[j]) * distinct[i - 1].0 - (ps[i] - ps[j])
-    };
+    let cost =
+        |j: usize, i: usize| -> u64 { (pc[i] - pc[j]) * distinct[i - 1].0 - (ps[i] - ps[j]) };
 
     // err[i][b]: min error bucketing the first i distinct values into b
     // buckets (Eq. 16).
@@ -250,7 +249,7 @@ mod tests {
         }
         rec(&sorted, &mut Vec::new(), 1, q.min(k) - 1, &mut best);
         if q >= k {
-            best = best.min(0);
+            best = 0;
         }
         best
     }
@@ -299,10 +298,9 @@ mod tests {
                 if i % 19 == 0 {
                     base + 30_000 + i * 13
                 } else {
-                    base as u64
+                    base
                 }
             })
-            .map(|x| x as u64)
             .collect();
         let naive = bucket_fixed_interval(&seqs(&lens), 2048);
         let dp = bucket_dp(&seqs(&lens), naive.len());

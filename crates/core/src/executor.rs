@@ -8,8 +8,7 @@ use std::fmt;
 use flexsp_cost::{sp_step_spec, ulysses_zero_spec};
 use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
 use flexsp_sim::{
-    allocate_aligned, simulate_sp_step, AllocError, ClusterSpec, GroupPool, MemoryTracker,
-    OomError,
+    allocate_aligned, simulate_sp_step, AllocError, ClusterSpec, GroupPool, MemoryTracker, OomError,
 };
 
 use crate::plan::IterationPlan;
@@ -147,9 +146,7 @@ impl Executor {
         let n = self.cluster.num_gpus();
         let mut report = IterationReport::default();
         let mut mem = MemoryTracker::new(self.cluster.gpu.mem_bytes);
-        let model_state_bytes = self
-            .model
-            .model_state_bytes(ZeroStage::Three, n as u64);
+        let model_state_bytes = self.model.model_state_bytes(ZeroStage::Three, n as u64);
         let act_per_token = self.model.act_bytes_per_token(self.policy);
         let zero = ulysses_zero_spec(&self.cluster, &self.model);
 
@@ -229,10 +226,7 @@ mod tests {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(384 * 1024);
         let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
-        (
-            Executor::new(cluster, model, ActivationPolicy::None),
-            cost,
-        )
+        (Executor::new(cluster, model, ActivationPolicy::None), cost)
     }
 
     fn seqs(lens: &[u64]) -> Vec<Sequence> {

@@ -64,8 +64,11 @@ mod workflow;
 
 pub use error::PlanError;
 pub use executor::{Executor, IterationReport, MicroBatchReport};
-pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan};
+pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan, PlanStats};
 pub use planner::{plan_homogeneous, plan_micro_batch, Formulation, PlannerConfig};
-pub use service::SolverService;
+pub use service::{CacheStats, SolverService};
 pub use trainer::{IterationStats, Trainer, TrainingStats};
 pub use workflow::{BucketingMode, FlexSpSolver, SolvedIteration, SolverConfig};
+
+// Solver internals callers commonly need alongside the planner API.
+pub use flexsp_milp::{LpEngine, SolveStats};

@@ -2,10 +2,10 @@
 
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
-use flexsp_milp::{LinExpr, MilpSolver, Problem, VarKind};
+use flexsp_milp::{Basis, LinExpr, MilpSolver, Problem, VarId, VarKind};
 
 use crate::bucketing::Bucket;
-use crate::plan::{GroupAssignment, MicroBatchPlan};
+use crate::plan::{GroupAssignment, MicroBatchPlan, PlanStats};
 use crate::planner::{available_degrees, lpt_split, PlannerConfig};
 
 /// Degree-aggregated formulation with binary search on the makespan `C`.
@@ -22,16 +22,26 @@ use crate::planner::{available_degrees, lpt_split, PlannerConfig};
 ///
 /// Each feasible `(n, x)` is split into concrete groups by LPT; if the
 /// split respects memory, `C` is achievable and the search tightens.
+///
+/// The binary-search steps differ **only** in the `C`-dependent numbers:
+/// the `(C − β_d)` coefficient on `n_d` in each aggregate-time row and
+/// the time-gated upper bounds of the `x_{q,d}`. So the model is built
+/// once ([`AggregatedModel`]) and mutated in place between steps via the
+/// `flexsp-milp` mutation API, and each step's root relaxation warm
+/// starts from the previous step's basis — the incremental-LP pattern
+/// this crate's [`PlanStats`] counters make observable
+/// (`model_builds == 1`, `search_steps == N`, basis-reuse hits).
 pub(crate) fn plan_aggregated(
     cost: &CostModel,
     buckets: &[Bucket],
     n_gpus: u32,
     config: &PlannerConfig,
     warm: &MicroBatchPlan,
-) -> Option<MicroBatchPlan> {
+) -> (Option<MicroBatchPlan>, PlanStats) {
+    let mut stats = PlanStats::default();
     let degrees = available_degrees(cost, n_gpus);
     if degrees.is_empty() || buckets.is_empty() {
-        return None;
+        return (None, stats);
     }
 
     // Bracket: the warm plan is a feasible witness for its own makespan;
@@ -43,12 +53,44 @@ pub(crate) fn plan_aggregated(
     let mut best: Option<MicroBatchPlan> = None;
     let mut best_time = hi0;
 
+    let mut model = AggregatedModel::build(cost, buckets, n_gpus, &degrees);
+    stats.model_builds += 1;
+    // Basis of the previous step's root relaxation, carried across the
+    // binary search so each re-solve starts from the last optimum.
+    let mut carried: Option<Basis> = None;
+
     for _ in 0..config.search_iters {
         if hi - lo <= config.search_rel_tol * hi {
             break;
         }
         let c = 0.5 * (lo + hi);
-        match solve_feasibility(cost, buckets, n_gpus, &degrees, c, config) {
+        stats.search_steps += 1;
+        model.set_makespan(cost, buckets, &degrees, c);
+        let mut solver = MilpSolver::new()
+            .time_limit(config.milp_time_limit)
+            .node_limit(config.milp_node_limit)
+            .relative_gap(0.02)
+            .lp_engine(config.lp_engine);
+        if let Some(basis) = carried.clone() {
+            solver = solver.root_basis(basis);
+        }
+        let feasible = match solver.solve(&model.problem) {
+            Ok(mut sol) => {
+                stats.milp.absorb(&sol.stats());
+                if let Some(basis) = sol.take_root_basis() {
+                    carried = Some(basis);
+                }
+                if sol.status().has_solution() {
+                    Some(model.extract(&sol))
+                } else {
+                    None
+                }
+            }
+            // Numerical trouble at one step just counts as infeasible; the
+            // search continues on the rest of the bracket.
+            Err(_) => None,
+        };
+        match feasible {
             Some((counts, assignment)) => {
                 match split_into_groups(cost, buckets, &degrees, &counts, &assignment) {
                     Some(plan) => {
@@ -66,7 +108,7 @@ pub(crate) fn plan_aggregated(
             None => lo = c,
         }
     }
-    best
+    (best, stats)
 }
 
 fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32]) -> f64 {
@@ -98,104 +140,123 @@ fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32
 
 type Assignment = Vec<Vec<u64>>; // [bucket][degree index] -> count
 
-fn solve_feasibility(
-    cost: &CostModel,
-    buckets: &[Bucket],
-    n_gpus: u32,
-    degrees: &[u32],
-    c: f64,
-    config: &PlannerConfig,
-) -> Option<(Vec<u64>, Assignment)> {
-    let q = buckets.len();
-    let nd = degrees.len();
-    let mut p = Problem::minimize();
+/// The feasibility MILP of the aggregated formulation, built once per
+/// `plan_micro_batch` call and mutated between binary-search steps.
+struct AggregatedModel {
+    problem: Problem,
+    n_vars: Vec<VarId>,
+    x_vars: Vec<Vec<VarId>>,
+    /// Constraint index of the aggregate-time row, per degree.
+    time_rows: Vec<usize>,
+}
 
-    // n_d: number of degree-d groups.
-    let n_vars: Vec<_> = degrees
-        .iter()
-        .map(|&d| {
-            p.add_var(
-                format!("n_{d}"),
-                VarKind::Integer,
-                0.0,
-                (n_gpus / d) as f64,
-            )
-        })
-        .collect();
-    // x_{q,d}: sequences of bucket q on degree-d groups.
-    let mut x_vars = vec![Vec::with_capacity(nd); q];
-    for (qi, b) in buckets.iter().enumerate() {
-        for &d in degrees {
-            let fits_mem = b.upper <= cost.max_group_tokens(d);
-            let fits_time = cost.seq_time(b.upper, d) + cost.group_overhead(d) <= c;
-            let ub = if fits_mem && fits_time {
-                b.count() as f64
-            } else {
-                0.0
-            };
-            x_vars[qi].push(p.add_var(format!("x_{qi}_{d}"), VarKind::Integer, 0.0, ub));
-        }
-    }
+impl AggregatedModel {
+    fn build(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32]) -> Self {
+        let q = buckets.len();
+        let nd = degrees.len();
+        let mut p = Problem::minimize();
 
-    // GPU budget.
-    p.add_le(
-        LinExpr::from_terms(
-            n_vars
-                .iter()
-                .zip(degrees)
-                .map(|(&v, &d)| (v, d as f64)),
-        ),
-        n_gpus as f64,
-    );
-    // Assignment completeness.
-    for (qi, b) in buckets.iter().enumerate() {
-        p.add_eq(
-            LinExpr::from_terms(x_vars[qi].iter().map(|&v| (v, 1.0))),
-            b.count() as f64,
-        );
-    }
-    // Aggregate time and memory per degree.
-    for (di, &d) in degrees.iter().enumerate() {
-        let mut time = LinExpr::new();
-        let mut mem = LinExpr::new();
+        // n_d: number of degree-d groups.
+        let n_vars: Vec<_> = degrees
+            .iter()
+            .map(|&d| p.add_var(format!("n_{d}"), VarKind::Integer, 0.0, (n_gpus / d) as f64))
+            .collect();
+        // x_{q,d}: sequences of bucket q on degree-d groups. Bounds are
+        // C-dependent (time gating) and set by `set_makespan`.
+        let mut x_vars = vec![Vec::with_capacity(nd); q];
         for (qi, b) in buckets.iter().enumerate() {
-            time.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
-            mem.add_term(x_vars[qi][di], b.upper as f64);
+            for &d in degrees {
+                let fits_mem = b.upper <= cost.max_group_tokens(d);
+                let ub = if fits_mem { b.count() as f64 } else { 0.0 };
+                x_vars[qi].push(p.add_var(format!("x_{qi}_{d}"), VarKind::Integer, 0.0, ub));
+            }
         }
-        let slack = c - cost.group_overhead(d);
-        time.add_term(n_vars[di], -slack.max(0.0));
-        p.add_le(time, 0.0);
-        mem.add_term(n_vars[di], -(cost.max_group_tokens(d) as f64));
-        p.add_le(mem, 0.0);
-    }
-    // Objective: total predicted work (prefers efficient degrees), plus a
-    // tiny GPU-parsimony term so spare groups are not opened for free.
-    let mut obj = LinExpr::new();
-    for (qi, b) in buckets.iter().enumerate() {
-        for (di, &d) in degrees.iter().enumerate() {
-            obj.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
-        }
-    }
-    for (di, &d) in degrees.iter().enumerate() {
-        obj.add_term(n_vars[di], 1e-6 * d as f64);
-    }
-    p.set_objective(obj);
 
-    let sol = MilpSolver::new()
-        .time_limit(config.milp_time_limit)
-        .node_limit(config.milp_node_limit)
-        .relative_gap(0.02)
-        .solve(&p)
-        .ok()?;
-    if !sol.status().has_solution() {
-        return None;
+        // GPU budget (row 0).
+        p.add_le(
+            LinExpr::from_terms(n_vars.iter().zip(degrees).map(|(&v, &d)| (v, d as f64))),
+            n_gpus as f64,
+        );
+        // Assignment completeness (rows 1..=q).
+        for (qi, b) in buckets.iter().enumerate() {
+            p.add_eq(
+                LinExpr::from_terms(x_vars[qi].iter().map(|&v| (v, 1.0))),
+                b.count() as f64,
+            );
+        }
+        // Aggregate time and memory per degree. The `n_d` coefficient of
+        // the time row is the C-dependent `−(C − β_d)`; a placeholder is
+        // installed here and overwritten by `set_makespan` before every
+        // solve (the term must exist so the sparsity pattern — and with
+        // it any carried basis — survives the mutation).
+        let mut time_rows = Vec::with_capacity(nd);
+        for (di, &d) in degrees.iter().enumerate() {
+            let mut time = LinExpr::new();
+            let mut mem = LinExpr::new();
+            for (qi, b) in buckets.iter().enumerate() {
+                time.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
+                mem.add_term(x_vars[qi][di], b.upper as f64);
+            }
+            time.add_term(n_vars[di], -1.0);
+            time_rows.push(p.num_constraints());
+            p.add_le(time, 0.0);
+            mem.add_term(n_vars[di], -(cost.max_group_tokens(d) as f64));
+            p.add_le(mem, 0.0);
+        }
+        // Objective: total predicted work (prefers efficient degrees), plus
+        // a tiny GPU-parsimony term so spare groups are not opened for free.
+        let mut obj = LinExpr::new();
+        for (qi, b) in buckets.iter().enumerate() {
+            for (di, &d) in degrees.iter().enumerate() {
+                obj.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
+            }
+        }
+        for (di, &d) in degrees.iter().enumerate() {
+            obj.add_term(n_vars[di], 1e-6 * d as f64);
+        }
+        p.set_objective(obj);
+
+        Self {
+            problem: p,
+            n_vars,
+            x_vars,
+            time_rows,
+        }
     }
-    let counts: Vec<u64> = n_vars.iter().map(|&v| sol.value(v).round() as u64).collect();
-    let assignment: Assignment = x_vars
-        .iter()
-        .map(|row| row.iter().map(|&v| sol.value(v).round() as u64).collect())
-        .collect();
-    Some((counts, assignment))
+
+    /// Installs the makespan `c` into the C-dependent coefficients and
+    /// bounds — the only numbers that move between binary-search steps.
+    fn set_makespan(&mut self, cost: &CostModel, buckets: &[Bucket], degrees: &[u32], c: f64) {
+        for (di, &d) in degrees.iter().enumerate() {
+            let slack = (c - cost.group_overhead(d)).max(0.0);
+            self.problem
+                .set_constraint_coef(self.time_rows[di], self.n_vars[di], -slack);
+            for (qi, b) in buckets.iter().enumerate() {
+                let fits_mem = b.upper <= cost.max_group_tokens(d);
+                let fits_time = cost.seq_time(b.upper, d) + cost.group_overhead(d) <= c;
+                let ub = if fits_mem && fits_time {
+                    b.count() as f64
+                } else {
+                    0.0
+                };
+                self.problem.set_bounds(self.x_vars[qi][di], 0.0, ub);
+            }
+        }
+    }
+
+    fn extract(&self, sol: &flexsp_milp::MilpSolution) -> (Vec<u64>, Assignment) {
+        let counts: Vec<u64> = self
+            .n_vars
+            .iter()
+            .map(|&v| sol.value(v).round() as u64)
+            .collect();
+        let assignment: Assignment = self
+            .x_vars
+            .iter()
+            .map(|row| row.iter().map(|&v| sol.value(v).round() as u64).collect())
+            .collect();
+        (counts, assignment)
+    }
 }
 
 /// Splits the per-degree aggregate assignment into concrete groups (LPT),
@@ -213,7 +274,7 @@ fn split_into_groups(
         .iter()
         .map(|b| {
             let mut v = b.seqs.clone();
-            v.sort_by(|a, b| b.len.cmp(&a.len));
+            v.sort_by_key(|s| std::cmp::Reverse(s.len));
             v
         })
         .collect();
@@ -252,18 +313,22 @@ fn split_into_groups(
 /// makespan `C`, with symmetry-breaking ordering within each degree class.
 ///
 /// Only tractable for small clusters (the virtual-group count is
-/// `Σ_d N/d ≈ 2N`); production planning uses [`plan_aggregated`].
+/// `Σ_d N/d ≈ 2N`); production planning uses [`plan_aggregated`]. Inside
+/// the single branch-and-bound run, child nodes re-solve from their
+/// parent's basis (see `flexsp-milp`), which is where this formulation's
+/// basis reuse shows up in [`PlanStats`].
 pub(crate) fn plan_per_group(
     cost: &CostModel,
     buckets: &[Bucket],
     n_gpus: u32,
     config: &PlannerConfig,
     warm: &MicroBatchPlan,
-) -> Option<MicroBatchPlan> {
+) -> (Option<MicroBatchPlan>, PlanStats) {
+    let mut stats = PlanStats::default();
     let degrees = available_degrees(cost, n_gpus);
     let q = buckets.len();
     if degrees.is_empty() || q == 0 {
-        return None;
+        return (None, stats);
     }
     // Virtual groups: N/d slots per degree.
     let mut slots: Vec<u32> = Vec::new(); // degree per slot
@@ -328,20 +393,24 @@ pub(crate) fn plan_per_group(
     p.set_objective(LinExpr::term(c_var, 1.0));
 
     // Warm start from the heuristic plan.
-    let warm_values = warm_start_values(
-        cost, buckets, &slots, warm, 1 + np, q, np,
-    );
+    let warm_values = warm_start_values(cost, buckets, &slots, warm, 1 + np, q, np);
 
     let mut solver = MilpSolver::new()
         .time_limit(config.milp_time_limit)
         .node_limit(config.milp_node_limit)
-        .relative_gap(config.search_rel_tol);
+        .relative_gap(config.search_rel_tol)
+        .lp_engine(config.lp_engine);
     if let Some(ws) = warm_values {
         solver = solver.warm_start(ws);
     }
-    let sol = solver.solve(&p).ok()?;
+    stats.model_builds += 1;
+    stats.search_steps += 1;
+    let Ok(sol) = solver.solve(&p) else {
+        return (None, stats);
+    };
+    stats.milp.absorb(&sol.stats());
     if !sol.status().has_solution() {
-        return None;
+        return (None, stats);
     }
 
     // Extract: per selected slot, pull counts from each bucket pool.
@@ -349,7 +418,7 @@ pub(crate) fn plan_per_group(
         .iter()
         .map(|b| {
             let mut v = b.seqs.clone();
-            v.sort_by(|a, b| b.len.cmp(&a.len));
+            v.sort_by_key(|s| std::cmp::Reverse(s.len));
             v
         })
         .collect();
@@ -359,7 +428,10 @@ pub(crate) fn plan_per_group(
         for (qi, pool) in pools.iter_mut().enumerate() {
             let take = sol.value(a_vars[qi][pi]).round() as usize;
             for _ in 0..take {
-                members.push(pool.pop()?);
+                let Some(s) = pool.pop() else {
+                    return (None, stats);
+                };
+                members.push(s);
             }
         }
         if !members.is_empty() {
@@ -367,9 +439,9 @@ pub(crate) fn plan_per_group(
         }
     }
     if pools.iter().any(|p| !p.is_empty()) {
-        return None;
+        return (None, stats);
     }
-    Some(MicroBatchPlan::new(groups))
+    (Some(MicroBatchPlan::new(groups)), stats)
 }
 
 /// Maps a concrete plan onto the per-group decision variables
@@ -397,9 +469,9 @@ fn warm_start_values(
     }
     // Bucket lookup: length -> bucket index (buckets are disjoint ranges).
     let bucket_of = |len: u64| -> Option<usize> {
-        buckets.iter().position(|b| {
-            len <= b.upper && b.seqs.iter().any(|s| s.len == len)
-        })
+        buckets
+            .iter()
+            .position(|b| len <= b.upper && b.seqs.iter().any(|s| s.len == len))
     };
     for g in &warm.groups {
         let pi = free_slots.get_mut(&g.degree)?.pop()?;

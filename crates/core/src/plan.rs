@@ -5,6 +5,36 @@ use std::fmt;
 
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
+use flexsp_milp::SolveStats;
+
+/// Solver-effort counters attached to a plan so callers (and benches)
+/// can attribute planning time: how many MILP models were built, how many
+/// makespan binary-search steps ran, and the aggregated simplex /
+/// branch-and-bound counters underneath them.
+///
+/// The aggregated formulation builds its feasibility model **once** per
+/// [`plan_micro_batch`](crate::plan_micro_batch) call and mutates it
+/// between binary-search steps, so `model_builds` stays at 1 while
+/// `search_steps` counts the re-solves and `milp.basis_reuse_hits` shows
+/// how many relaxations resumed from a carried basis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// MILP models constructed from scratch.
+    pub model_builds: u32,
+    /// Makespan binary-search steps (feasibility MILP solves).
+    pub search_steps: u32,
+    /// Aggregated branch-and-bound / simplex counters across all solves.
+    pub milp: SolveStats,
+}
+
+impl PlanStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &PlanStats) {
+        self.model_builds += other.model_builds;
+        self.search_steps += other.search_steps;
+        self.milp.absorb(&other.milp);
+    }
+}
 
 /// One SP group in a micro-batch plan: a parallelism degree plus the
 /// sequences dispatched to it.
@@ -39,16 +69,37 @@ impl GroupAssignment {
 }
 
 /// The concurrent heterogeneous SP groups of one micro-batch.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MicroBatchPlan {
     /// The groups, executing concurrently on disjoint GPUs.
     pub groups: Vec<GroupAssignment>,
+    /// Solver-effort counters for the planning of this micro-batch.
+    pub stats: PlanStats,
 }
+
+/// Plan equality is *assignment* equality: two plans with the same groups
+/// are the same plan, regardless of how much solver effort produced them.
+impl PartialEq for MicroBatchPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.groups == other.groups
+    }
+}
+
+impl Eq for MicroBatchPlan {}
 
 impl MicroBatchPlan {
     /// Creates a micro-batch plan.
     pub fn new(groups: Vec<GroupAssignment>) -> Self {
-        Self { groups }
+        Self {
+            groups,
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// Attaches solver-effort counters.
+    pub fn with_stats(mut self, stats: PlanStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Sum of group degrees (GPUs in use).
@@ -150,6 +201,15 @@ impl IterationPlan {
             .map(|(s, c)| if c == 1 { s } else { format!("{s} x{c}") })
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// Aggregated solver-effort counters across the micro-batches.
+    pub fn solver_stats(&self) -> PlanStats {
+        let mut total = PlanStats::default();
+        for m in &self.micro_batches {
+            total.absorb(&m.stats);
+        }
+        total
     }
 
     /// Sequence lengths grouped by assigned SP degree (paper Fig. 5b).

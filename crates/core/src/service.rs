@@ -9,8 +9,17 @@
 //! [`SolverService`] reproduces that architecture with worker threads: a
 //! submission queue fans batches out to parallel [`FlexSpSolver`] workers
 //! and a reorder buffer delivers plans strictly in submission order.
+//!
+//! Workers additionally share an **LRU plan cache** keyed by the batch's
+//! length histogram (plus GPU count and solver-config fingerprint):
+//! training corpora repeat batch *shapes* constantly — identical sorted
+//! length multisets whose sequence ids differ — and for a recurring shape
+//! the cached [`SolvedIteration`] is rebound to the new ids instead of
+//! re-running the whole MILP workflow. Cache hits are delivered with
+//! `from_cache = true` and near-zero `solve_wall_s`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -22,7 +31,131 @@ use crate::workflow::{FlexSpSolver, SolvedIteration};
 type Job = (u64, Vec<Sequence>);
 type JobResult = (u64, Result<SolvedIteration, PlanError>);
 
-/// A pool of solver workers delivering plans in submission order.
+/// Cache key: sorted sequence lengths (the batch's exact histogram), GPU
+/// count, and a fingerprint of the solver configuration.
+type CacheKey = (Vec<u64>, u32, u64);
+
+/// Counters for the service's plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Batches answered by rebinding a cached plan.
+    pub hits: u64,
+    /// Batches that required a fresh solve.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct PlanCache {
+    capacity: usize,
+    map: HashMap<CacheKey, SolvedIteration>,
+    /// LRU order: front = coldest, back = hottest.
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position just found");
+            self.order.push_back(k);
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<SolvedIteration> {
+        match self.map.get(key).cloned() {
+            Some(hit) => {
+                self.hits += 1;
+                self.touch(key);
+                Some(hit)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, value: SolvedIteration) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        } else {
+            self.touch(&key);
+        }
+        while self.map.len() > self.capacity {
+            let Some(coldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&coldest);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+}
+
+fn cache_key(batch: &[Sequence], n_gpus: u32, config_fp: u64) -> CacheKey {
+    let mut lens: Vec<u64> = batch.iter().map(|s| s.len).collect();
+    lens.sort_unstable();
+    (lens, n_gpus, config_fp)
+}
+
+fn config_fingerprint(solver: &FlexSpSolver) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    // The config and cost model determine planning behavior; their debug
+    // representations capture every field without a bespoke Hash impl.
+    format!("{:?}", solver.config()).hash(&mut h);
+    solver.cost().num_gpus().hash(&mut h);
+    format!("{:?}", solver.cost().memory_model()).hash(&mut h);
+    h.finish()
+}
+
+/// Rewrites a cached iteration onto the concrete sequence ids of `batch`
+/// (same length multiset, different ids). Returns `None` if the batch
+/// does not actually match the cached plan's lengths.
+fn rebind(mut out: SolvedIteration, batch: &[Sequence]) -> Option<SolvedIteration> {
+    let mut by_len: HashMap<u64, Vec<u64>> = HashMap::new();
+    for s in batch {
+        by_len.entry(s.len).or_default().push(s.id);
+    }
+    for mb in &mut out.plan.micro_batches {
+        for g in &mut mb.groups {
+            for s in &mut g.seqs {
+                s.id = by_len.get_mut(&s.len)?.pop()?;
+            }
+        }
+    }
+    if by_len.values().any(|v| !v.is_empty()) {
+        return None;
+    }
+    out.from_cache = true;
+    out.solve_wall_s = 0.0;
+    Some(out)
+}
+
+/// A pool of solver workers delivering plans in submission order, with a
+/// shared LRU cache over recurring batch shapes.
 ///
 /// # Example
 ///
@@ -58,30 +191,67 @@ pub struct SolverService {
     jobs: Sender<Job>,
     results: Receiver<JobResult>,
     workers: Vec<JoinHandle<()>>,
+    cache: Arc<Mutex<PlanCache>>,
     next_submit: std::cell::Cell<u64>,
     next_deliver: std::cell::Cell<u64>,
     reorder: std::cell::RefCell<HashMap<u64, Result<SolvedIteration, PlanError>>>,
 }
 
+/// Default plan-cache capacity (plans are a few kilobytes each).
+const DEFAULT_CACHE_CAPACITY: usize = 128;
+
 impl SolverService {
     /// Spawns `workers` solver threads sharing clones of `solver` (the
-    /// paper runs one service per node).
+    /// paper runs one service per node) and a plan cache of
+    /// [`DEFAULT_CACHE_CAPACITY`] entries.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn spawn(solver: FlexSpSolver, workers: usize) -> Self {
+        Self::spawn_with_cache(solver, workers, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Spawns the service with an explicit plan-cache capacity
+    /// (`0` disables caching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_with_cache(solver: FlexSpSolver, workers: usize, cache_capacity: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         let (job_tx, job_rx) = unbounded::<Job>();
         let (res_tx, res_rx) = unbounded::<JobResult>();
+        let cache = Arc::new(Mutex::new(PlanCache::new(cache_capacity)));
+        let n_gpus = solver.cost().num_gpus();
+        let config_fp = config_fingerprint(&solver);
         let handles = (0..workers)
             .map(|_| {
                 let rx = job_rx.clone();
                 let tx = res_tx.clone();
                 let solver = solver.clone();
+                let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     while let Ok((idx, batch)) = rx.recv() {
-                        let result = solver.solve_iteration(&batch);
+                        let key = cache_key(&batch, n_gpus, config_fp);
+                        let cached = cache
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get(&key)
+                            .and_then(|hit| rebind(hit, &batch));
+                        let result = match cached {
+                            Some(hit) => Ok(hit),
+                            None => {
+                                let solved = solver.solve_iteration(&batch);
+                                if let Ok(plan) = &solved {
+                                    cache
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .insert(key, plan.clone());
+                                }
+                                solved
+                            }
+                        };
                         if tx.send((idx, result)).is_err() {
                             break;
                         }
@@ -93,6 +263,7 @@ impl SolverService {
             jobs: job_tx,
             results: res_rx,
             workers: handles,
+            cache,
             next_submit: std::cell::Cell::new(0),
             next_deliver: std::cell::Cell::new(0),
             reorder: std::cell::RefCell::new(HashMap::new()),
@@ -112,6 +283,11 @@ impl SolverService {
     /// Number of submitted batches whose plans have not been delivered.
     pub fn pending(&self) -> u64 {
         self.next_submit.get() - self.next_deliver.get()
+    }
+
+    /// Plan-cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats()
     }
 
     /// Blocks until the plan for the *next submission in order* is ready.
@@ -203,6 +379,70 @@ mod tests {
             Err(PlanError::SequenceTooLong { .. })
         ));
         assert!(service.recv_plan().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn recurring_batch_shapes_hit_the_plan_cache() {
+        let service = SolverService::spawn(solver(), 1);
+        let first = batch(7, 24);
+        // Same length multiset, different ids (as a repeating corpus
+        // shape would produce).
+        let second: Vec<Sequence> = first
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Sequence::new(1000 + i as u64, s.len))
+            .collect();
+        service.submit(first.clone());
+        service.submit(second.clone());
+
+        let a = service.recv_plan().expect("solvable");
+        assert!(!a.from_cache);
+        let b = service.recv_plan().expect("solvable");
+        assert!(b.from_cache, "second identical shape must be a cache hit");
+        assert_eq!(b.predicted_s, a.predicted_s);
+        // The rebound plan covers exactly the new batch's ids.
+        let mut got: Vec<u64> = b
+            .plan
+            .micro_batches
+            .iter()
+            .flat_map(|m| m.groups.iter().flat_map(|g| g.seqs.iter().map(|s| s.id)))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = second.iter().map(|s| s.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let service = SolverService::spawn_with_cache(solver(), 1, 0);
+        let b = batch(3, 16);
+        service.submit(b.clone());
+        service.submit(b);
+        assert!(!service.recv_plan().unwrap().from_cache);
+        assert!(!service.recv_plan().unwrap().from_cache);
+        assert_eq!(service.cache_stats().entries, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_shape() {
+        let service = SolverService::spawn_with_cache(solver(), 1, 2);
+        // Three distinct shapes through a 2-entry cache, oldest first out.
+        for seed in 0..3 {
+            service.submit(batch(seed, 4 + seed as usize));
+            service.recv_plan().unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 3);
         service.shutdown();
     }
 

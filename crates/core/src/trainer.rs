@@ -108,8 +108,7 @@ impl TrainingStats {
         if self.iterations.is_empty() {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.solve_wall_s).sum::<f64>()
-            / self.iterations.len() as f64
+        self.iterations.iter().map(|i| i.solve_wall_s).sum::<f64>() / self.iterations.len() as f64
     }
 
     /// Amortized solver seconds per iteration: FlexSP runs one solver

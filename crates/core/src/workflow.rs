@@ -14,7 +14,7 @@ use flexsp_data::Sequence;
 use crate::blaster::{blast, min_micro_batches};
 use crate::bucketing::{bucket_dp, bucket_exact, bucket_fixed_interval, Bucket};
 use crate::error::PlanError;
-use crate::plan::IterationPlan;
+use crate::plan::{IterationPlan, PlanStats};
 use crate::planner::{plan_micro_batch, PlannerConfig};
 
 /// Sequence-bucketing strategy (§4.1.3 + the Fig. 7 / Table 4 ablations).
@@ -83,6 +83,13 @@ pub struct SolvedIteration {
     /// Per-trial outcome: `(micro-batch count, predicted seconds)`;
     /// `None` marks an infeasible count.
     pub trials: Vec<(usize, Option<f64>)>,
+    /// Solver-effort counters aggregated over the chosen plan's
+    /// micro-batches (model builds, search steps, pivots, basis reuse).
+    pub stats: PlanStats,
+    /// Whether this result was served from a
+    /// [`SolverService`](crate::SolverService) plan cache instead of a
+    /// fresh solve.
+    pub from_cache: bool,
 }
 
 /// The FlexSP solver (paper Fig. 3: sequence blaster + parallelism
@@ -150,7 +157,27 @@ impl FlexSpSolver {
             }
         }
 
-        let counts: Vec<usize> = (m_min..m_min + self.config.trials.max(1)).collect();
+        let mut counts: Vec<usize> = (m_min..m_min + self.config.trials.max(1)).collect();
+        // The candidate portfolio inside each trial contains every
+        // homogeneous plan — but only at the counts this loop tries. Each
+        // degree's own minimum count (under *its* capacity) can sit
+        // outside the default window, which would leave the homogeneous
+        // baselines' search space only partially covered; add those
+        // counts (and one LPT-imbalance spare) explicitly.
+        for &d in &self.cost.degrees() {
+            let groups = (self.cost.num_gpus() / d) as u64;
+            let cap_d = self.cost.max_group_tokens(d).saturating_mul(groups);
+            let m_d = min_micro_batches(batch, cap_d);
+            if m_d == usize::MAX {
+                continue;
+            }
+            for extra in [m_d, m_d + 1] {
+                if !counts.contains(&extra) {
+                    counts.push(extra);
+                }
+            }
+        }
+        counts.sort_unstable();
         let parallel = self.config.parallel;
         let solve_one = |m: usize| -> Result<(IterationPlan, f64), PlanError> {
             let micro_batches = blast(batch, m, self.config.sort_by_length);
@@ -190,22 +217,22 @@ impl FlexSpSolver {
             Ok((IterationPlan::new(plans), total))
         };
 
-        let results: Vec<(usize, Result<(IterationPlan, f64), PlanError>)> =
-            if self.config.parallel && counts.len() > 1 {
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = counts
-                        .iter()
-                        .map(|&m| scope.spawn(move |_| (m, solve_one(m))))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("solver thread panicked"))
-                        .collect()
-                })
-                .expect("solver scope panicked")
-            } else {
-                counts.iter().map(|&m| (m, solve_one(m))).collect()
-            };
+        type TrialResult = (usize, Result<(IterationPlan, f64), PlanError>);
+        let results: Vec<TrialResult> = if self.config.parallel && counts.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = counts
+                    .iter()
+                    .map(|&m| scope.spawn(move |_| (m, solve_one(m))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("solver thread panicked"))
+                    .collect()
+            })
+            .expect("solver scope panicked")
+        } else {
+            counts.iter().map(|&m| (m, solve_one(m))).collect()
+        };
 
         let mut best: Option<(IterationPlan, f64)> = None;
         let mut trials = Vec::with_capacity(results.len());
@@ -248,10 +275,12 @@ impl FlexSpSolver {
         }
         match best {
             Some((plan, predicted_s)) => Ok(SolvedIteration {
+                stats: plan.solver_stats(),
                 plan,
                 predicted_s,
                 solve_wall_s: start.elapsed().as_secs_f64(),
                 trials,
+                from_cache: false,
             }),
             None => Err(PlanError::Infeasible(format!(
                 "all micro-batch counts {counts:?} (and 12 fallbacks) failed"
@@ -269,7 +298,10 @@ mod tests {
     fn solver(cfg: SolverConfig) -> FlexSpSolver {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(384 * 1024);
-        FlexSpSolver::new(CostModel::fit(&cluster, &model, ActivationPolicy::None), cfg)
+        FlexSpSolver::new(
+            CostModel::fit(&cluster, &model, ActivationPolicy::None),
+            cfg,
+        )
     }
 
     fn seqs(lens: &[u64]) -> Vec<Sequence> {

@@ -4,7 +4,7 @@ use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::{simulate_sp_step, ClusterSpec, DeviceGroup};
 
 use crate::cost_model::CostModel;
-use crate::workload::sp_step_spec;
+use crate::workload::{sp_step_spec, ulysses_zero_spec};
 
 /// One (configuration, ground truth, prediction) triple.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +45,14 @@ pub fn evaluate_grid(
         if !cost.fits_memory(tokens, degree) {
             continue;
         }
-        let spec = sp_step_spec(model, policy, degree, &seqs, None);
+        // Ground truth matches the executor: ZeRO-3 traffic included.
+        let spec = sp_step_spec(
+            model,
+            policy,
+            degree,
+            &seqs,
+            Some(ulysses_zero_spec(cluster, model)),
+        );
         let actual = simulate_sp_step(cluster, &DeviceGroup::aligned(0, degree), &spec).total_s();
         let predicted = cost.group_time(&seqs, degree);
         out.push(AccuracyPoint {
@@ -84,10 +91,7 @@ pub fn default_grid(num_gpus: u32) -> Vec<(u64, usize, u32)> {
 
 /// Largest absolute relative error across `points`.
 pub fn max_abs_rel_err(points: &[AccuracyPoint]) -> f64 {
-    points
-        .iter()
-        .map(|p| p.rel_err().abs())
-        .fold(0.0, f64::max)
+    points.iter().map(|p| p.rel_err().abs()).fold(0.0, f64::max)
 }
 
 /// Mean absolute relative error across `points`.

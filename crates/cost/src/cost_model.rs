@@ -60,6 +60,10 @@ pub struct CostModel {
     comm: BTreeMap<u32, CommFit>,
     memory: MemoryModel,
     num_gpus: u32,
+    /// Un-overlapped ZeRO-3 traffic seconds per step (0 when not modeled).
+    zero_raw_s: f64,
+    /// Fraction of a group's compute that hides ZeRO traffic.
+    zero_overlap: f64,
 }
 
 impl CostModel {
@@ -73,7 +77,27 @@ impl CostModel {
                 as f64,
             capacity_bytes: cluster.gpu.mem_bytes as f64,
         };
-        Self::fit_from_points(&points, memory, cluster.num_gpus())
+        let mut fitted = Self::fit_from_points(&points, memory, cluster.num_gpus());
+        // ZeRO-3 exposure term, measured exactly as the executor charges
+        // it: a zero-compute probe step leaves the full un-overlapped
+        // parameter-gather / gradient-scatter time exposed.
+        let zero = crate::workload::ulysses_zero_spec(cluster, model);
+        let overlap = zero.overlap;
+        let probe = flexsp_sim::SpStepSpec {
+            layers: model.num_layers,
+            flops_per_gpu: 0.0,
+            kernels: 0,
+            alltoall_bytes_per_gpu: 0,
+            fwd_rounds_per_layer: 0,
+            bwd_rounds_per_layer: 0,
+            zero: Some(zero),
+        };
+        let raw =
+            flexsp_sim::simulate_sp_step(cluster, &flexsp_sim::DeviceGroup::aligned(0, 1), &probe)
+                .zero_exposed_s;
+        fitted.zero_raw_s = raw;
+        fitted.zero_overlap = overlap;
+        fitted
     }
 
     /// Fits the α-β coefficients from arbitrary profiled measurements.
@@ -113,7 +137,13 @@ impl CostModel {
         for d in degrees {
             let pts: Vec<_> = points.iter().filter(|p| p.degree == d).collect();
             if d == 1 || pts.iter().all(|p| p.alltoall_s == 0.0) {
-                comm.insert(d, CommFit { per_token: 0.0, base: 0.0 });
+                comm.insert(
+                    d,
+                    CommFit {
+                        per_token: 0.0,
+                        base: 0.0,
+                    },
+                );
                 continue;
             }
             let xs: Vec<Vec<f64>> = pts.iter().map(|p| vec![p.tokens as f64, 1.0]).collect();
@@ -133,6 +163,8 @@ impl CostModel {
             comm,
             memory,
             num_gpus,
+            zero_raw_s: 0.0,
+            zero_overlap: 0.0,
         }
     }
 
@@ -148,6 +180,8 @@ impl CostModel {
             comm,
             memory,
             num_gpus,
+            zero_raw_s: 0.0,
+            zero_overlap: 0.0,
         }
     }
 
@@ -194,11 +228,51 @@ impl CostModel {
         self.compute.beta1 + self.comm[&degree].base
     }
 
+    /// Compute-only seconds of a degree-`degree` group (no All-to-All),
+    /// the quantity ZeRO-3 traffic can overlap with.
+    fn compute_only_time(&self, lens: &[u64], degree: u32) -> f64 {
+        let d = degree as f64;
+        lens.iter()
+            .map(|&l| {
+                let s = l as f64;
+                (self.compute.alpha1 * s * s + self.compute.alpha2 * s) / d
+            })
+            .sum::<f64>()
+            + self.compute.beta1
+    }
+
+    /// Exposed (non-overlapped) ZeRO-3 traffic seconds for a group whose
+    /// compute takes `compute_s` — the same `max(raw − overlap·compute, 0)`
+    /// shape the executor's simulator charges. Zero when the model was
+    /// fitted without ZeRO accounting ([`CostModel::fit_from_points`] /
+    /// [`CostModel::from_parts`]).
+    pub fn zero_exposed_s(&self, compute_s: f64) -> f64 {
+        (self.zero_raw_s - self.zero_overlap * compute_s).max(0.0)
+    }
+
+    /// Enables the ZeRO-3 exposure term on a hand-built model: `raw_s`
+    /// un-overlapped traffic seconds per step, `overlap` the fraction of
+    /// compute that hides it.
+    pub fn with_zero_exposure(mut self, raw_s: f64, overlap: f64) -> Self {
+        self.zero_raw_s = raw_s.max(0.0);
+        self.zero_overlap = overlap.clamp(0.0, 1.0);
+        self
+    }
+
     /// Estimated execution time of a degree-`degree` group processing
-    /// sequences `lens` (paper Eq. 14).
+    /// sequences `lens` (paper Eq. 14, plus the ZeRO-3 exposure term the
+    /// executor charges lightly loaded groups).
+    ///
+    /// The exposure term is deliberately *outside* the per-sequence /
+    /// per-group linear decomposition ([`CostModel::seq_time`] /
+    /// [`CostModel::group_overhead`]) the MILP formulations use — the MILP
+    /// stays linear and slightly optimistic, while plan *selection*
+    /// (which compares candidate plans by this function) sees the true
+    /// shape.
     pub fn group_time(&self, lens: &[u64], degree: u32) -> f64 {
-        lens.iter().map(|&l| self.seq_time(l, degree)).sum::<f64>()
-            + self.group_overhead(degree)
+        let linear = lens.iter().map(|&l| self.seq_time(l, degree)).sum::<f64>()
+            + self.group_overhead(degree);
+        linear + self.zero_exposed_s(self.compute_only_time(lens, degree))
     }
 
     /// Predicted per-device memory bytes for `tokens` on a degree-`degree`
@@ -292,12 +366,8 @@ mod tests {
     #[test]
     fn memory_is_monotone_in_tokens_and_antitone_in_degree() {
         let cm = fitted();
-        assert!(
-            cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(32 * 1024, 8)
-        );
-        assert!(
-            cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(64 * 1024, 16)
-        );
+        assert!(cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(32 * 1024, 8));
+        assert!(cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(64 * 1024, 16));
     }
 
     #[test]
@@ -318,14 +388,18 @@ mod tests {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(384 * 1024);
         let cm = CostModel::fit(&cluster, &model, ActivationPolicy::None);
-        for (d, len, n) in [(8u32, 8u64 << 10, 64usize), (32, 32 << 10, 16), (64, 128 << 10, 4)] {
+        for (d, len, n) in [
+            (8u32, 8u64 << 10, 64usize),
+            (32, 32 << 10, 16),
+            (64, 128 << 10, 4),
+        ] {
             let seqs = vec![len; n];
             let spec = crate::workload::sp_step_spec(
                 &model,
                 ActivationPolicy::None,
                 d,
                 &seqs,
-                None,
+                Some(crate::workload::ulysses_zero_spec(&cluster, &model)),
             );
             let actual = simulate_sp_step(&cluster, &DeviceGroup::aligned(0, d), &spec);
             let predicted = cm.group_time(&seqs, d);

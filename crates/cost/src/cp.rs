@@ -37,8 +37,7 @@ pub fn cp_step_spec(
     let tokens: u64 = seqs.iter().sum();
     let flops = FlopsModel::new(model);
     let train_flops = flops.train_flops(tokens, seqs, policy) / replica as f64;
-    let attn_layer =
-        3.0 * flops.attention_flops(seqs) / (replica as f64 * model.num_layers as f64);
+    let attn_layer = 3.0 * flops.attention_flops(seqs) / (replica as f64 * model.num_layers as f64);
     let recompute_kernels = (KERNELS_PER_LAYER as f64 * policy.recompute_linear_fraction()) as u64;
     CpStepSpec {
         layers: model.num_layers,
@@ -58,6 +57,7 @@ pub fn cp_step_spec(
 
 /// Simulates one TP×CP replica (ground truth for the flexible-CP
 /// executor), with the replica placed at GPU `start`.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_cp_replica(
     cluster: &ClusterSpec,
     model: &ModelConfig,
@@ -146,10 +146,7 @@ mod tests {
     use super::*;
 
     fn setup() -> (ClusterSpec, ModelConfig) {
-        (
-            ClusterSpec::a100_cluster(8),
-            ModelConfig::gpt_7b(384 << 10),
-        )
+        (ClusterSpec::a100_cluster(8), ModelConfig::gpt_7b(384 << 10))
     }
 
     #[test]
@@ -179,12 +176,24 @@ mod tests {
         // Same tokens: many short vs few long on a cp=8 replica. The long
         // sequences' attention hides ring traffic better.
         let short = simulate_cp_replica(
-            &cluster, &model, ActivationPolicy::None, 8, 8, 0,
-            &[4 << 10; 64], None,
+            &cluster,
+            &model,
+            ActivationPolicy::None,
+            8,
+            8,
+            0,
+            &[4 << 10; 64],
+            None,
         );
         let long = simulate_cp_replica(
-            &cluster, &model, ActivationPolicy::None, 8, 8, 0,
-            &[128 << 10; 2], None,
+            &cluster,
+            &model,
+            ActivationPolicy::None,
+            8,
+            8,
+            0,
+            &[128 << 10; 2],
+            None,
         );
         let short_ratio = short.alltoall_s / short.total_s();
         let long_ratio = long.alltoall_s / long.total_s();

@@ -46,10 +46,7 @@ impl<'a> Profiler<'a> {
     /// The power-of-two degrees available on the cluster.
     pub fn degrees(&self) -> Vec<u32> {
         let n = self.cluster.num_gpus();
-        (0..)
-            .map(|e| 1u32 << e)
-            .take_while(|&d| d <= n)
-            .collect()
+        (0..).map(|e| 1u32 << e).take_while(|&d| d <= n).collect()
     }
 
     /// Profiles the full grid.
@@ -100,7 +97,9 @@ mod tests {
             assert!(pts.iter().any(|p| p.degree == d), "degree {d} missing");
         }
         // Measurements must be positive and finite.
-        assert!(pts.iter().all(|p| p.compute_s > 0.0 && p.compute_s.is_finite()));
+        assert!(pts
+            .iter()
+            .all(|p| p.compute_s > 0.0 && p.compute_s.is_finite()));
     }
 
     #[test]

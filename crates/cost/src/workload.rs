@@ -40,8 +40,7 @@ pub fn sp_step_spec(
     assert!(degree > 0, "degree must be positive");
     let tokens: u64 = seqs.iter().sum();
     let flops = FlopsModel::new(model).train_flops(tokens, seqs, policy);
-    let recompute_kernels =
-        (KERNELS_PER_LAYER as f64 * policy.recompute_linear_fraction()) as u64;
+    let recompute_kernels = (KERNELS_PER_LAYER as f64 * policy.recompute_linear_fraction()) as u64;
     let kernels = model.num_layers * (2 * KERNELS_PER_LAYER + recompute_kernels);
     let shard_tokens = tokens.div_ceil(degree as u64);
     SpStepSpec {

@@ -155,14 +155,16 @@ mod tests {
 
     #[test]
     fn batches_respect_context_limit() {
-        let mut loader =
-            GlobalBatchLoader::new(LengthDistribution::github(), 256, 16 * 1024, 3);
+        let mut loader = GlobalBatchLoader::new(LengthDistribution::github(), 256, 16 * 1024, 3);
         for _ in 0..5 {
             let b = loader.next_batch();
             assert_eq!(b.len(), 256);
             assert!(b.iter().all(|s| s.len <= 16 * 1024));
         }
-        assert!(loader.eliminated() > 0, "github should exceed 16K sometimes");
+        assert!(
+            loader.eliminated() > 0,
+            "github should exceed 16K sometimes"
+        );
     }
 
     #[test]

@@ -48,36 +48,21 @@ impl LengthDistribution {
     /// GitHub-like corpus: heaviest long tail (source files and notebooks
     /// frequently exceed 32K tokens).
     pub fn github() -> Self {
-        Self::mixture(
-            "GitHub",
-            &[
-                (0.90, 2200.0, 1.25),
-                (0.10, 40_000.0, 0.95),
-            ],
-        )
+        Self::mixture("GitHub", &[(0.90, 2200.0, 1.25), (0.10, 40_000.0, 0.95)])
     }
 
     /// CommonCrawl-like corpus: moderate long tail.
     pub fn common_crawl() -> Self {
         Self::mixture(
             "CommonCrawl",
-            &[
-                (0.93, 1900.0, 1.10),
-                (0.07, 28_000.0, 0.90),
-            ],
+            &[(0.93, 1900.0, 1.10), (0.07, 28_000.0, 0.90)],
         )
     }
 
     /// Wikipedia-like corpus: the most skewed — >96 % of sequences below
     /// 8K, very few beyond 32K.
     pub fn wikipedia() -> Self {
-        Self::mixture(
-            "Wikipedia",
-            &[
-                (0.98, 1150.0, 0.90),
-                (0.02, 16_000.0, 0.80),
-            ],
-        )
+        Self::mixture("Wikipedia", &[(0.98, 1150.0, 0.90), (0.02, 16_000.0, 0.80)])
     }
 
     /// The three paper corpora in presentation order.

@@ -188,7 +188,10 @@ mod tests {
         let lens = [100, 1024, 1025, 4096, 300_000];
         let h = Histogram::from_lengths(&lens);
         assert_eq!(h.total(), lens.len());
-        assert_eq!(h.buckets().iter().map(|b| b.count).sum::<usize>(), lens.len());
+        assert_eq!(
+            h.buckets().iter().map(|b| b.count).sum::<usize>(),
+            lens.len()
+        );
         // 100 and 1024 land in ≤1K; 1025 in ≤2K.
         assert_eq!(h.buckets()[0].count, 2);
         assert_eq!(h.buckets()[1].count, 1);

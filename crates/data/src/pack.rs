@@ -161,9 +161,7 @@ pub fn pack_first_fit_decreasing(seqs: &[Sequence], capacity: u64) -> Vec<Packed
             None => bins.push((s.len, vec![s])),
         }
     }
-    bins.into_iter()
-        .map(|(_, b)| PackedInput::new(b))
-        .collect()
+    bins.into_iter().map(|(_, b)| PackedInput::new(b)).collect()
 }
 
 /// Order-preserving greedy packing: fill each bin until the next sequence

@@ -1,8 +1,8 @@
 //! Property-based validation of sequence packing and histograms.
 
 use flexsp_data::{
-    pack_best_fit_decreasing, pack_first_fit_decreasing, pack_sequential, packing_stats,
-    Histogram, Sequence,
+    pack_best_fit_decreasing, pack_first_fit_decreasing, pack_sequential, packing_stats, Histogram,
+    Sequence,
 };
 use proptest::prelude::*;
 

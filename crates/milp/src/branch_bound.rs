@@ -4,9 +4,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use crate::basis::Basis;
 use crate::error::SolveError;
 use crate::problem::{ObjectiveSense, Problem, VarKind};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::simplex::{solve_lp_opts, LpEngine, LpOptions, LpOutcome, LpStats};
 use crate::solution::{MilpSolution, MilpStatus};
 use crate::{FEAS_TOL, INT_TOL};
 
@@ -19,6 +20,60 @@ pub struct SolveStats {
     pub lp_solves: u64,
     /// Incumbents discovered by the fix-and-complete rounding heuristic.
     pub heuristic_incumbents: u64,
+    /// Primal simplex pivots across all relaxations.
+    pub primal_pivots: u64,
+    /// Dual simplex pivots (warm re-solves) across all relaxations.
+    pub dual_pivots: u64,
+    /// Basis refactorizations across all relaxations.
+    pub refactorizations: u64,
+    /// Relaxations completed from a reused (parent or caller) basis.
+    pub basis_reuse_hits: u64,
+    /// Relaxations where a supplied basis had to be dropped for a cold
+    /// start.
+    pub basis_reuse_misses: u64,
+}
+
+impl SolveStats {
+    /// Total simplex pivots across both variants.
+    pub fn pivots(&self) -> u64 {
+        self.primal_pivots + self.dual_pivots
+    }
+
+    /// Fraction of relaxations that ran warm from a reused basis (0 when
+    /// none attempted).
+    pub fn basis_reuse_rate(&self) -> f64 {
+        let attempts = self.basis_reuse_hits + self.basis_reuse_misses;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.basis_reuse_hits as f64 / attempts as f64
+    }
+
+    /// Accumulates `other` into `self` (used when aggregating across
+    /// binary-search steps or micro-batches).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.lp_solves += other.lp_solves;
+        self.heuristic_incumbents += other.heuristic_incumbents;
+        self.primal_pivots += other.primal_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.refactorizations += other.refactorizations;
+        self.basis_reuse_hits += other.basis_reuse_hits;
+        self.basis_reuse_misses += other.basis_reuse_misses;
+    }
+
+    fn absorb_lp(&mut self, lp: &LpStats) {
+        self.primal_pivots += lp.primal_pivots;
+        self.dual_pivots += lp.dual_pivots;
+        self.refactorizations += lp.refactorizations;
+        if lp.warm_attempted {
+            if lp.warm_used {
+                self.basis_reuse_hits += 1;
+            } else {
+                self.basis_reuse_misses += 1;
+            }
+        }
+    }
 }
 
 /// Configurable branch-and-bound MILP solver.
@@ -56,6 +111,9 @@ pub struct MilpSolver {
     relative_gap: f64,
     warm_start: Option<Vec<f64>>,
     rounding_heuristic: bool,
+    lp_engine: LpEngine,
+    reuse_bases: bool,
+    root_basis: Option<Basis>,
 }
 
 impl Default for MilpSolver {
@@ -66,7 +124,8 @@ impl Default for MilpSolver {
 
 impl MilpSolver {
     /// Creates a solver with defaults: 30 s time limit, 200 000 nodes,
-    /// 10⁻⁶ relative gap, rounding heuristic enabled.
+    /// 10⁻⁶ relative gap, rounding heuristic enabled, sparse LP engine
+    /// with parent-basis reuse.
     pub fn new() -> Self {
         Self {
             time_limit: Duration::from_secs(30),
@@ -74,6 +133,9 @@ impl MilpSolver {
             relative_gap: 1e-6,
             warm_start: None,
             rounding_heuristic: true,
+            lp_engine: LpEngine::default(),
+            reuse_bases: true,
+            root_basis: None,
         }
     }
 
@@ -110,6 +172,30 @@ impl MilpSolver {
         self
     }
 
+    /// Selects the LP engine for every relaxation. The dense tableau
+    /// engine implies cold starts (basis reuse is a sparse-engine
+    /// feature).
+    pub fn lp_engine(mut self, engine: LpEngine) -> Self {
+        self.lp_engine = engine;
+        self
+    }
+
+    /// Enables or disables dual-simplex re-solves of child nodes from the
+    /// parent's basis (on by default with the sparse engine).
+    pub fn reuse_bases(mut self, enabled: bool) -> Self {
+        self.reuse_bases = enabled;
+        self
+    }
+
+    /// Seeds the root relaxation with a basis from a previous solve of
+    /// the same-shaped (possibly mutated) problem — the cross-solve warm
+    /// start the makespan binary search uses. Unusable bases are dropped
+    /// silently.
+    pub fn root_basis(mut self, basis: Basis) -> Self {
+        self.root_basis = Some(basis);
+        self
+    }
+
     /// Solves `problem` to the configured limits.
     ///
     /// # Errors
@@ -125,19 +211,11 @@ impl MilpSolver {
         };
         // Internally we always minimize `score = sense_sign * objective`.
         let int_vars: Vec<usize> = (0..problem.num_vars())
-            .filter(|&j| {
-                matches!(
-                    problem.vars[j].kind,
-                    VarKind::Integer | VarKind::Binary
-                )
-            })
+            .filter(|&j| matches!(problem.vars[j].kind, VarKind::Integer | VarKind::Binary))
             .collect();
 
-        let root_bounds: Vec<(f64, f64)> = problem
-            .vars
-            .iter()
-            .map(|v| (v.lower, v.upper))
-            .collect();
+        let root_bounds: Vec<(f64, f64)> =
+            problem.vars.iter().map(|v| (v.lower, v.upper)).collect();
 
         let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, score)
         if let Some(ws) = &self.warm_start {
@@ -152,7 +230,16 @@ impl MilpSolver {
         }
 
         stats.lp_solves += 1;
-        let root = match solve_lp(problem, Some(&root_bounds))? {
+        let (root_outcome, root_lp_stats) = solve_lp_opts(
+            problem,
+            &LpOptions {
+                bound_overrides: Some(&root_bounds),
+                warm_basis: self.root_basis.as_ref(),
+                engine: self.lp_engine,
+            },
+        )?;
+        stats.absorb_lp(&root_lp_stats);
+        let mut root = match root_outcome {
             LpOutcome::Infeasible => {
                 return Ok(self.finish(
                     problem,
@@ -162,6 +249,7 @@ impl MilpSolver {
                     MilpStatus::Infeasible,
                     stats,
                     start,
+                    None,
                 ));
             }
             LpOutcome::Unbounded => {
@@ -176,16 +264,21 @@ impl MilpSolver {
                     MilpStatus::Unbounded,
                     stats,
                     start,
+                    None,
                 ));
             }
             LpOutcome::Optimal(s) => s,
         };
+        // The root relaxation's basis is handed back to the caller (for
+        // the next binary-search step) and down to the root's children.
+        let root_basis = root.take_basis();
 
         let mut heap = BinaryHeap::new();
         heap.push(OpenNode {
             score: sense_sign * root.objective,
             depth: 0,
             bounds: root_bounds,
+            basis: root_basis.clone(),
         });
 
         let mut status = MilpStatus::Optimal;
@@ -205,12 +298,20 @@ impl MilpSolver {
                         MilpStatus::Optimal,
                         stats,
                         start,
+                        root_basis,
                     ));
                 }
                 if node.score >= *inc - 1e-9 {
                     // Nothing left can improve the incumbent.
                     return Ok(self.finish(
-                        problem, incumbent, bound, sense_sign, MilpStatus::Optimal, stats, start,
+                        problem,
+                        incumbent,
+                        bound,
+                        sense_sign,
+                        MilpStatus::Optimal,
+                        stats,
+                        start,
+                        root_basis,
                     ));
                 }
             }
@@ -220,12 +321,28 @@ impl MilpSolver {
                 } else {
                     MilpStatus::Infeasible
                 };
-                return Ok(self.finish(problem, incumbent, bound, sense_sign, status, stats, start));
+                return Ok(self.finish(
+                    problem, incumbent, bound, sense_sign, status, stats, start, root_basis,
+                ));
             }
 
             stats.nodes += 1;
             stats.lp_solves += 1;
-            let lp = match solve_lp(problem, Some(&node.bounds))? {
+            let warm = if self.reuse_bases {
+                node.basis.as_ref()
+            } else {
+                None
+            };
+            let (node_outcome, node_lp_stats) = solve_lp_opts(
+                problem,
+                &LpOptions {
+                    bound_overrides: Some(&node.bounds),
+                    warm_basis: warm,
+                    engine: self.lp_engine,
+                },
+            )?;
+            stats.absorb_lp(&node_lp_stats);
+            let mut lp = match node_outcome {
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded => {
                     // Can only happen at the root, handled above.
@@ -233,6 +350,9 @@ impl MilpSolver {
                 }
                 LpOutcome::Optimal(s) => s,
             };
+            // Children re-solve from this node's optimal basis with the
+            // dual simplex instead of cold-starting.
+            let child_basis = lp.take_basis();
             let lp_score = sense_sign * lp.objective;
             if let Some((_, inc)) = &incumbent {
                 if lp_score >= *inc - 1e-9 {
@@ -259,6 +379,7 @@ impl MilpSolver {
                             problem,
                             &node.bounds,
                             &lp.values,
+                            child_basis.as_ref(),
                             &int_vars,
                             sense_sign,
                             &mut stats,
@@ -280,6 +401,7 @@ impl MilpSolver {
                                 score: lp_score,
                                 depth: node.depth + 1,
                                 bounds: b,
+                                basis: child_basis.clone(),
                             });
                         }
                     }
@@ -292,6 +414,7 @@ impl MilpSolver {
                                 score: lp_score,
                                 depth: node.depth + 1,
                                 bounds: b,
+                                basis: child_basis,
                             });
                         }
                     }
@@ -300,25 +423,26 @@ impl MilpSolver {
         }
 
         // Heap exhausted: incumbent (if any) is optimal.
-        let bound = incumbent
-            .as_ref()
-            .map(|(_, s)| *s)
-            .unwrap_or(f64::INFINITY);
+        let bound = incumbent.as_ref().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
         let status = if incumbent.is_some() {
             status
         } else {
             MilpStatus::Infeasible
         };
-        Ok(self.finish(problem, incumbent, bound, sense_sign, status, stats, start))
+        Ok(self.finish(
+            problem, incumbent, bound, sense_sign, status, stats, start, root_basis,
+        ))
     }
 
     /// Rounds the integer part of an LP solution, fixes it, and re-solves
-    /// the LP for the continuous completion.
+    /// the LP for the continuous completion (warm from the node's basis).
+    #[allow(clippy::too_many_arguments)]
     fn fix_and_complete(
         &self,
         problem: &Problem,
         bounds: &[(f64, f64)],
         lp_values: &[f64],
+        node_basis: Option<&Basis>,
         int_vars: &[usize],
         sense_sign: f64,
         stats: &mut SolveStats,
@@ -330,7 +454,17 @@ impl MilpSolver {
             fixed[j] = (r, r);
         }
         stats.lp_solves += 1;
-        match solve_lp(problem, Some(&fixed))? {
+        let warm = if self.reuse_bases { node_basis } else { None };
+        let (outcome, lp_stats) = solve_lp_opts(
+            problem,
+            &LpOptions {
+                bound_overrides: Some(&fixed),
+                warm_basis: warm,
+                engine: self.lp_engine,
+            },
+        )?;
+        stats.absorb_lp(&lp_stats);
+        match outcome {
             LpOutcome::Optimal(s) => {
                 let mut vals = s.values;
                 for &j in int_vars {
@@ -361,6 +495,7 @@ impl MilpSolver {
         status: MilpStatus,
         stats: SolveStats,
         start: Instant,
+        root_basis: Option<Basis>,
     ) -> MilpSolution {
         let (values, objective) = match &incumbent {
             Some((vals, _)) => (vals.clone(), problem.objective_value(vals)),
@@ -378,6 +513,7 @@ impl MilpSolver {
             nodes: stats.nodes,
             solve_time_secs: start.elapsed().as_secs_f64(),
             stats,
+            root_basis,
         }
     }
 }
@@ -388,10 +524,9 @@ fn most_fractional(values: &[f64], int_vars: &[usize]) -> Option<(usize, f64)> {
         let v = values[j];
         let frac = v - v.floor();
         let dist = (frac - 0.5).abs();
-        if frac > INT_TOL && frac < 1.0 - INT_TOL
-            && best.is_none_or(|(_, _, d)| dist < d) {
-                best = Some((j, v, dist));
-            }
+        if frac > INT_TOL && frac < 1.0 - INT_TOL && best.is_none_or(|(_, _, d)| dist < d) {
+            best = Some((j, v, dist));
+        }
     }
     best.map(|(j, v, _)| (j, v))
 }
@@ -400,6 +535,8 @@ struct OpenNode {
     score: f64,
     depth: u32,
     bounds: Vec<(f64, f64)>,
+    /// Parent relaxation's optimal basis (warm start for this node).
+    basis: Option<Basis>,
 }
 
 impl PartialEq for OpenNode {
@@ -469,14 +606,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // x[i][j] and x[j][i] in one loop
     fn assignment_problem() {
         // 3×3 assignment, cost matrix; optimum picks one per row/col.
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
         let mut p = Problem::minimize();
         let mut x = [[None; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                x[i][j] = Some(p.add_binary(format!("x{i}{j}")));
+        for (i, row) in x.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = Some(p.add_binary(format!("x{i}{j}")));
             }
         }
         for i in 0..3 {
@@ -607,11 +745,7 @@ mod tests {
             load_a.add_term(a, w[i]);
             load_b.add_term(a, -w[i]);
         }
-        p.add_constraint(
-            load_a.clone() - LinExpr::term(c, 1.0),
-            crate::Cmp::Le,
-            0.0,
-        );
+        p.add_constraint(load_a.clone() - LinExpr::term(c, 1.0), crate::Cmp::Le, 0.0);
         p.add_constraint(load_b.clone() - LinExpr::term(c, 1.0), crate::Cmp::Le, 0.0);
         p.set_objective(LinExpr::term(c, 1.0));
         let sol = MilpSolver::new().solve(&p).unwrap();

@@ -94,6 +94,25 @@ impl LinExpr {
         &self.terms
     }
 
+    /// The merged coefficient of `var` (0 if absent).
+    pub fn coef_of(&self, var: VarId) -> f64 {
+        self.terms
+            .iter()
+            .filter(|&&(v, _)| v == var)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Sets the *total* coefficient of `var`, merging any duplicate terms
+    /// it had. The term is kept even when `coef` is zero so the sparsity
+    /// pattern of a mutated problem stays stable — which is what lets a
+    /// [`Basis`](crate::Basis) survive coefficient edits.
+    pub fn set_coef(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.retain(|&(v, _)| v != var);
+        self.terms.push((var, coef));
+        self
+    }
+
     /// The constant offset.
     pub fn constant(&self) -> f64 {
         self.constant

@@ -1,0 +1,246 @@
+//! Factorized representation of the simplex basis matrix.
+//!
+//! The basis `B` is held as a dense LU factorization with partial
+//! pivoting plus a product-form eta file: each pivot appends one eta
+//! vector instead of refactorizing, and the factorization is rebuilt from
+//! scratch every [`REFACTOR_INTERVAL`] updates (or when numerics degrade).
+//! The planner's bases are small (tens to a few hundred rows), so a dense
+//! LU is both simpler and faster than a sparse one at this scale, while
+//! the eta file keeps per-pivot cost at `O(m²)` worst case and `O(m)`
+//! typical.
+
+/// Updates between refactorizations of the basis.
+pub(crate) const REFACTOR_INTERVAL: usize = 64;
+
+/// Pivot threshold below which the basis is declared singular.
+const SINGULAR_TOL: f64 = 1e-10;
+
+/// One product-form update: column `r` of the identity replaced by `w`,
+/// the transformed entering column at pivot time.
+struct Eta {
+    r: usize,
+    /// Nonzero entries of `w` excluding row `r`.
+    idx: Vec<u32>,
+    val: Vec<f64>,
+    /// `w[r]`, the pivot element.
+    wr: f64,
+}
+
+/// Dense LU factors of the basis with an eta file of later pivots.
+pub(crate) struct Factorization {
+    m: usize,
+    /// Row-major `m × m`: `L` strictly below the diagonal (unit diagonal
+    /// implicit), `U` on and above it.
+    lu: Vec<f64>,
+    /// `perm[i]` = source row of pivot row `i` (`P·A = L·U`).
+    perm: Vec<usize>,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// Factorizes the dense row-major `m × m` matrix `a`. Returns `None`
+    /// if the matrix is numerically singular.
+    pub fn factor(m: usize, mut a: Vec<f64>) -> Option<Self> {
+        debug_assert_eq!(a.len(), m * m);
+        let mut perm: Vec<usize> = (0..m).collect();
+        for k in 0..m {
+            // Partial pivoting: largest |entry| in column k at/below row k.
+            let mut best = k;
+            let mut best_abs = a[k * m + k].abs();
+            for i in k + 1..m {
+                let v = a[i * m + k].abs();
+                if v > best_abs {
+                    best = i;
+                    best_abs = v;
+                }
+            }
+            if best_abs <= SINGULAR_TOL {
+                return None;
+            }
+            if best != k {
+                for j in 0..m {
+                    a.swap(k * m + j, best * m + j);
+                }
+                perm.swap(k, best);
+            }
+            let pivot = a[k * m + k];
+            for i in k + 1..m {
+                let f = a[i * m + k] / pivot;
+                a[i * m + k] = f;
+                if f != 0.0 {
+                    for j in k + 1..m {
+                        a[i * m + j] -= f * a[k * m + j];
+                    }
+                }
+            }
+        }
+        Some(Self {
+            m,
+            lu: a,
+            perm,
+            etas: Vec::new(),
+        })
+    }
+
+    /// Number of eta updates since the last refactorization.
+    pub fn updates(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Records the pivot `(r, w)` where `w = B⁻¹·a_entering`. Returns
+    /// `false` (update refused) when the pivot element is too small.
+    pub fn push_update(&mut self, r: usize, w: &[f64]) -> bool {
+        let wr = w[r];
+        if wr.abs() <= SINGULAR_TOL {
+            return false;
+        }
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                idx.push(i as u32);
+                val.push(wi);
+            }
+        }
+        self.etas.push(Eta { r, idx, val, wr });
+        true
+    }
+
+    /// Solves `B·x = v` in place (`v` becomes `x`).
+    pub fn ftran(&self, v: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        // Apply the permutation, then L (unit lower), then U.
+        let mut x: Vec<f64> = (0..m).map(|i| v[self.perm[i]]).collect();
+        for i in 1..m {
+            let mut s = x[i];
+            let row = &self.lu[i * m..i * m + i];
+            for (j, &lij) in row.iter().enumerate() {
+                s -= lij * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..m).rev() {
+            let mut s = x[i];
+            let row = &self.lu[i * m..(i + 1) * m];
+            for j in i + 1..m {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        v.copy_from_slice(&x);
+        // Eta file, oldest first: B = B₀·E₁…E_k ⇒ B⁻¹v = E_k⁻¹…E₁⁻¹B₀⁻¹v.
+        for eta in &self.etas {
+            let t = v[eta.r] / eta.wr;
+            if t != 0.0 {
+                for (&i, &wi) in eta.idx.iter().zip(&eta.val) {
+                    v[i as usize] -= wi * t;
+                }
+            }
+            v[eta.r] = t;
+        }
+    }
+
+    /// Solves `Bᵀ·y = c` in place (`c` becomes `y`).
+    pub fn btran(&self, c: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        // Eta file newest first: Bᵀ = E_kᵀ…E₁ᵀB₀ᵀ ⇒ solve eta transposes
+        // before the LU transpose. Eᵀz = c keeps z_i = c_i off the pivot
+        // row and z_r = (c_r − Σ_{i≠r} w_i·c_i) / w_r.
+        for eta in self.etas.iter().rev() {
+            let mut s = c[eta.r];
+            for (&i, &wi) in eta.idx.iter().zip(&eta.val) {
+                s -= wi * c[i as usize];
+            }
+            c[eta.r] = s / eta.wr;
+        }
+        // B₀ᵀ = Uᵀ·Lᵀ·P: solve Uᵀw = c (forward), Lᵀu = w (backward),
+        // then y = Pᵀu.
+        let mut w = vec![0.0; m];
+        for i in 0..m {
+            let mut s = c[i];
+            for (j, wj) in w.iter().enumerate().take(i) {
+                s -= self.lu[j * m + i] * wj;
+            }
+            w[i] = s / self.lu[i * m + i];
+        }
+        for i in (0..m).rev() {
+            let mut s = w[i];
+            for (j, &wj) in w.iter().enumerate().skip(i + 1) {
+                s -= self.lu[j * m + i] * wj;
+            }
+            w[i] = s;
+        }
+        for i in 0..m {
+            c[self.perm[i]] = w[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn matvec_t(a: &[f64], m: usize, y: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|j| (0..m).map(|i| a[i * m + j] * y[i]).sum())
+            .collect()
+    }
+
+    fn approx(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-8, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ftran_btran_invert_small_matrix() {
+        let m = 3;
+        let a = vec![2.0, 1.0, 0.0, -1.0, 3.0, 2.0, 0.5, 0.0, 1.0];
+        let f = Factorization::factor(m, a.clone()).unwrap();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut v = matvec(&a, m, &x_true);
+        f.ftran(&mut v);
+        approx(&v, &x_true);
+        let y_true = vec![0.5, 1.5, -1.0];
+        let mut c = matvec_t(&a, m, &y_true);
+        f.btran(&mut c);
+        approx(&c, &y_true);
+    }
+
+    #[test]
+    fn eta_updates_track_column_replacement() {
+        let m = 3;
+        let mut a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut f = Factorization::factor(m, a.clone()).unwrap();
+        // Replace column 1 with a_new = [2, 4, 1]ᵀ.
+        let a_new = [2.0, 4.0, 1.0];
+        let mut w = a_new.to_vec();
+        f.ftran(&mut w); // w = B⁻¹ a_new
+        assert!(f.push_update(1, &w));
+        for (i, &v) in a_new.iter().enumerate() {
+            a[i * m + 1] = v;
+        }
+        let x_true = vec![2.0, -1.0, 0.5];
+        let mut v = matvec(&a, m, &x_true);
+        f.ftran(&mut v);
+        approx(&v, &x_true);
+        let y_true = vec![-1.0, 0.25, 2.0];
+        let mut c = matvec_t(&a, m, &y_true);
+        f.btran(&mut c);
+        approx(&c, &y_true);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(Factorization::factor(2, a).is_none());
+    }
+}

@@ -223,6 +223,75 @@ impl Problem {
         self.objective = expr;
     }
 
+    // --- In-place mutation API -------------------------------------------
+    //
+    // The planner edits one model across the makespan binary search (and
+    // branch and bound edits bounds per node) instead of rebuilding it, so
+    // a `Basis` extracted from the previous solve can warm start the next
+    // one. Mutations keep the problem *shape* (variable and constraint
+    // counts, term sparsity) fixed; only numbers move.
+
+    /// Replaces the right-hand side of constraint `idx`.
+    ///
+    /// The value is the *effective* RHS, i.e. after the expression
+    /// constant was folded at construction time (what
+    /// [`Constraint::rhs`] reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `rhs` is not finite.
+    pub fn set_rhs(&mut self, idx: usize, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint RHS must be finite");
+        self.constraints[idx].rhs = rhs;
+    }
+
+    /// Replaces the bounds of `var`, applying the same binary clamping and
+    /// integral tightening as [`Problem::add_var`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Problem::add_var`].
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(!upper.is_nan(), "upper bound must not be NaN");
+        let kind = self.vars[var.index()].kind;
+        let (mut lower, mut upper) = (lower, upper);
+        if kind == VarKind::Binary {
+            lower = lower.max(0.0);
+            upper = upper.min(1.0);
+        }
+        if matches!(kind, VarKind::Integer | VarKind::Binary) {
+            lower = lower.ceil();
+            if upper.is_finite() {
+                upper = upper.floor();
+            }
+        }
+        assert!(
+            lower <= upper + FEAS_TOL,
+            "empty domain for variable {:?}: [{lower}, {upper}]",
+            self.vars[var.index()].name
+        );
+        let def = &mut self.vars[var.index()];
+        def.lower = lower;
+        def.upper = upper;
+    }
+
+    /// Sets the total objective coefficient of `var`.
+    pub fn set_objective_coef(&mut self, var: VarId, coef: f64) {
+        self.objective.set_coef(var, coef);
+    }
+
+    /// Sets the total coefficient of `var` in constraint `idx`. The term
+    /// stays in the constraint even at zero, keeping the sparsity pattern
+    /// (and therefore any extracted [`crate::Basis`]) stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_constraint_coef(&mut self, idx: usize, var: VarId, coef: f64) {
+        self.constraints[idx].expr.set_coef(var, coef);
+    }
+
     /// The optimization sense.
     pub fn sense(&self) -> ObjectiveSense {
         self.sense

@@ -1,26 +1,72 @@
-//! Dense two-phase primal simplex with bounded variables.
+//! LP entry points: engine selection, warm starts, and solve statistics.
 //!
-//! The implementation keeps a full dense tableau `T = B⁻¹·A` over all
-//! columns (structural variables, slacks, artificials) together with the
-//! *current values* of the basic variables, and supports nonbasic variables
-//! resting at either their lower or upper bound (with bound-flip steps).
-//! Phase 1 minimizes the sum of one artificial per row; phase 2 optimizes
-//! the true objective with artificials pinned to zero.
+//! Two interchangeable engines solve the linear relaxation:
 //!
-//! This is O(m·n) memory and O(m·n) per pivot — entirely adequate for the
-//! FlexSP planner's problems (hundreds of rows, up to a few thousand
-//! columns) while staying simple enough to audit.
+//! * [`LpEngine::SparseRevised`] (default) — revised simplex over sparse
+//!   columns with an LU-factored basis, product-form eta updates, and
+//!   periodic refactorization ([`crate::revised`]). Supports warm-basis
+//!   re-solves: install a [`Basis`] from a previous solution and the
+//!   bounded dual simplex repairs primal feasibility after RHS/bound
+//!   edits instead of re-running phase 1.
+//! * [`LpEngine::DenseTableau`] — the original dense two-phase tableau
+//!   ([`crate::dense`]), kept as an always-available A/B reference.
+//!
+//! [`solve_lp`] keeps the original cold-start signature; [`solve_lp_opts`]
+//! exposes warm starts and per-solve [`LpStats`].
 
+use crate::basis::Basis;
 use crate::error::SolveError;
-use crate::problem::{Cmp, ObjectiveSense, Problem};
+use crate::problem::Problem;
+use crate::revised::Engine;
+use crate::sparse::{BuildOutcome, SparseModel};
 use crate::FEAS_TOL;
 
-/// Tolerance below which a pivot element is considered zero.
-const PIVOT_TOL: f64 = 1e-9;
-/// Tolerance on reduced costs for optimality.
-const COST_TOL: f64 = 1e-9;
-/// Number of consecutive degenerate pivots before switching to Bland's rule.
-const DEGENERATE_STREAK: u32 = 64;
+/// Which LP algorithm runs the relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex with warm-basis support (default).
+    #[default]
+    SparseRevised,
+    /// Legacy dense tableau (cold starts only; A/B reference).
+    DenseTableau,
+}
+
+/// Options for [`solve_lp_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpOptions<'a> {
+    /// Per-variable `(lower, upper)` overrides (used by branch and bound).
+    pub bound_overrides: Option<&'a [(f64, f64)]>,
+    /// Basis from a previous solve of the same-shaped problem to warm
+    /// start from. Ignored by the dense engine; silently dropped when it
+    /// no longer fits.
+    pub warm_basis: Option<&'a Basis>,
+    /// Engine selection.
+    pub engine: LpEngine,
+}
+
+/// Counters describing one LP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Primal simplex basis changes.
+    pub primal_pivots: u64,
+    /// Dual simplex basis changes (warm re-solves only).
+    pub dual_pivots: u64,
+    /// Nonbasic bound flips.
+    pub bound_flips: u64,
+    /// Basis refactorizations (beyond the initial factorization).
+    pub refactorizations: u64,
+    /// A warm basis was supplied and installation was attempted.
+    pub warm_attempted: bool,
+    /// The warm basis carried the solve to completion (no cold fallback).
+    pub warm_used: bool,
+}
+
+impl LpStats {
+    /// Total basis changes across both simplex variants.
+    pub fn pivots(&self) -> u64 {
+        self.primal_pivots + self.dual_pivots
+    }
+}
 
 /// Result of solving a linear program.
 #[derive(Debug, Clone)]
@@ -52,248 +98,30 @@ pub struct LpSolution {
     /// Objective value in the problem's own sense (including the
     /// objective's constant term).
     pub objective: f64,
+    /// The optimal basis (sparse engine only), reusable via
+    /// [`LpOptions::warm_basis`].
+    pub(crate) basis: Option<Basis>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NonBasicState {
-    AtLower,
-    AtUpper,
-}
-
-struct Tableau {
-    m: usize,
-    n: usize,
-    /// Row-major `m × n` tableau body.
-    t: Vec<f64>,
-    /// Current values of the basic variables (one per row).
-    xb: Vec<f64>,
-    /// Basic variable (column index) per row.
-    basis: Vec<usize>,
-    /// Nonbasic rest state per column (ignored while basic).
-    state: Vec<NonBasicState>,
-    /// Whether a column is currently basic.
-    in_basis: Vec<bool>,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Reduced-cost row for the current phase.
-    d: Vec<f64>,
-    /// Columns barred from entering (artificials in phase 2).
-    barred: Vec<bool>,
-    degenerate_streak: u32,
-    iterations: u64,
-}
-
-impl Tableau {
-    #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
-        self.t[r * self.n + c]
+impl LpSolution {
+    /// The optimal basis, when the solving engine produced one. Feed it
+    /// back through [`LpOptions::warm_basis`] (or
+    /// [`MilpSolver::root_basis`](crate::MilpSolver::root_basis)) after
+    /// mutating the problem's RHS, bounds, or coefficients to re-solve
+    /// incrementally.
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
     }
 
-    fn value_of(&self, col: usize) -> f64 {
-        match self.state[col] {
-            NonBasicState::AtLower => self.lower[col],
-            NonBasicState::AtUpper => self.upper[col],
-        }
-    }
-
-    /// Recomputes the reduced-cost row for cost vector `c` (length `n`).
-    fn reset_costs(&mut self, c: &[f64]) {
-        self.d.copy_from_slice(c);
-        for r in 0..self.m {
-            let cb = c[self.basis[r]];
-            if cb != 0.0 {
-                let row = &self.t[r * self.n..(r + 1) * self.n];
-                for (dj, &tj) in self.d.iter_mut().zip(row) {
-                    *dj -= cb * tj;
-                }
-            }
-        }
-    }
-
-    /// Chooses an entering column; `None` means optimal.
-    fn price(&self, bland: bool) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for j in 0..self.n {
-            if self.in_basis[j] || self.barred[j] {
-                continue;
-            }
-            // A variable fixed by equal bounds can never improve.
-            if self.upper[j] - self.lower[j] <= FEAS_TOL {
-                continue;
-            }
-            let dj = self.d[j];
-            let improving = match self.state[j] {
-                NonBasicState::AtLower => dj < -COST_TOL,
-                NonBasicState::AtUpper => dj > COST_TOL,
-            };
-            if improving {
-                if bland {
-                    return Some(j);
-                }
-                let score = dj.abs();
-                if best.is_none_or(|(_, s)| score > s) {
-                    best = Some((j, score));
-                }
-            }
-        }
-        best.map(|(j, _)| j)
-    }
-
-    /// One simplex iteration. Returns `Ok(true)` if optimal, `Ok(false)` to
-    /// continue, `Err` for unboundedness signalled via `SimplexStep`.
-    fn step(&mut self) -> StepOutcome {
-        let bland = self.degenerate_streak >= DEGENERATE_STREAK;
-        let Some(e) = self.price(bland) else {
-            return StepOutcome::Optimal;
-        };
-        // Direction the entering variable moves: +1 when leaving its lower
-        // bound, -1 when descending from its upper bound.
-        let dir = match self.state[e] {
-            NonBasicState::AtLower => 1.0,
-            NonBasicState::AtUpper => -1.0,
-        };
-
-        // Ratio test: θ is how far the entering variable travels.
-        let mut theta = self.upper[e] - self.lower[e]; // bound-flip limit
-        let mut leaving: Option<(usize, bool)> = None; // (row, hits_upper)
-        for r in 0..self.m {
-            let alpha = self.at(r, e);
-            if alpha.abs() <= PIVOT_TOL {
-                continue;
-            }
-            // Basic variable rate of change per unit θ.
-            let delta = -dir * alpha;
-            let b = self.basis[r];
-            let limit = if delta < 0.0 {
-                (self.xb[r] - self.lower[b]) / -delta
-            } else {
-                if self.upper[b].is_infinite() {
-                    continue;
-                }
-                (self.upper[b] - self.xb[r]) / delta
-            };
-            let limit = limit.max(0.0);
-            let better = match leaving {
-                None => limit < theta - PIVOT_TOL,
-                Some((lr, _)) => {
-                    limit < theta - PIVOT_TOL
-                        || (bland
-                            && (limit - theta).abs() <= PIVOT_TOL
-                            && self.basis[r] < self.basis[lr])
-                }
-            };
-            if better {
-                theta = limit;
-                leaving = Some((r, delta > 0.0));
-            }
-        }
-
-        if theta.is_infinite() {
-            return StepOutcome::Unbounded;
-        }
-        self.iterations += 1;
-        if theta <= PIVOT_TOL {
-            self.degenerate_streak += 1;
-        } else {
-            self.degenerate_streak = 0;
-        }
-
-        match leaving {
-            None => {
-                // Pure bound flip of the entering variable.
-                let step = dir * theta;
-                for r in 0..self.m {
-                    let alpha = self.at(r, e);
-                    if alpha != 0.0 {
-                        self.xb[r] -= alpha * step;
-                    }
-                }
-                self.state[e] = match self.state[e] {
-                    NonBasicState::AtLower => NonBasicState::AtUpper,
-                    NonBasicState::AtUpper => NonBasicState::AtLower,
-                };
-                StepOutcome::Continue
-            }
-            Some((r, hits_upper)) => {
-                // Move all basic variables, then swap e into the basis.
-                let step = dir * theta;
-                for i in 0..self.m {
-                    let alpha = self.at(i, e);
-                    if alpha != 0.0 {
-                        self.xb[i] -= alpha * step;
-                    }
-                }
-                let new_val = self.value_of(e) + step;
-                let old = self.basis[r];
-                self.state[old] = if hits_upper {
-                    NonBasicState::AtUpper
-                } else {
-                    NonBasicState::AtLower
-                };
-                self.in_basis[old] = false;
-                self.basis[r] = e;
-                self.in_basis[e] = true;
-                self.xb[r] = new_val;
-                self.eliminate(r, e);
-                StepOutcome::Continue
-            }
-        }
-    }
-
-    /// Gaussian elimination making column `e` the unit vector of row `r`
-    /// (tableau body and reduced-cost row; `xb` is maintained separately).
-    fn eliminate(&mut self, r: usize, e: usize) {
-        let n = self.n;
-        let pivot = self.t[r * n + e];
-        debug_assert!(pivot.abs() > PIVOT_TOL, "pivot too small: {pivot}");
-        let inv = 1.0 / pivot;
-        for j in 0..n {
-            self.t[r * n + j] *= inv;
-        }
-        self.t[r * n + e] = 1.0;
-        let (before, rest) = self.t.split_at_mut(r * n);
-        let (prow, after) = rest.split_at_mut(n);
-        let apply = |row: &mut [f64]| {
-            let f = row[e];
-            if f != 0.0 {
-                for (x, &p) in row.iter_mut().zip(prow.iter()) {
-                    *x -= f * p;
-                }
-                row[e] = 0.0;
-            }
-        };
-        for row in before.chunks_exact_mut(n) {
-            apply(row);
-        }
-        for row in after.chunks_exact_mut(n) {
-            apply(row);
-        }
-        apply(&mut self.d);
-    }
-
-    fn run(&mut self, max_iters: u64) -> Result<StepOutcome, SolveError> {
-        loop {
-            match self.step() {
-                StepOutcome::Continue => {
-                    if self.iterations > max_iters {
-                        return Err(SolveError::IterationLimit(max_iters));
-                    }
-                }
-                other => return Ok(other),
-            }
-        }
+    /// Extracts the basis, leaving `None` behind.
+    pub fn take_basis(&mut self) -> Option<Basis> {
+        self.basis.take()
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepOutcome {
-    Continue,
-    Optimal,
-    Unbounded,
-}
-
-/// Solves the linear relaxation of `problem`, optionally overriding variable
-/// bounds (used by branch and bound).
+/// Solves the linear relaxation of `problem`, optionally overriding
+/// variable bounds (used by branch and bound). Cold start on the default
+/// (sparse revised) engine; see [`solve_lp_opts`] for warm starts.
 ///
 /// Integer/binary kinds are ignored — every variable is relaxed to its
 /// (possibly overridden) continuous range.
@@ -326,8 +154,34 @@ pub fn solve_lp(
     problem: &Problem,
     bound_overrides: Option<&[(f64, f64)]>,
 ) -> Result<LpOutcome, SolveError> {
+    solve_lp_opts(
+        problem,
+        &LpOptions {
+            bound_overrides,
+            warm_basis: None,
+            engine: LpEngine::SparseRevised,
+        },
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// Solves the linear relaxation with full control over engine, bound
+/// overrides, and warm-basis reuse, returning per-solve [`LpStats`].
+///
+/// A warm basis that cannot be installed (shape mismatch, singular after
+/// coefficient edits) or whose dual repair stalls is dropped and the
+/// solve silently restarts cold — `stats.warm_attempted` and
+/// `stats.warm_used` report what actually happened.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lp`].
+pub fn solve_lp_opts(
+    problem: &Problem,
+    opts: &LpOptions<'_>,
+) -> Result<(LpOutcome, LpStats), SolveError> {
     let nv = problem.num_vars();
-    if let Some(b) = bound_overrides {
+    if let Some(b) = opts.bound_overrides {
         if b.len() != nv {
             return Err(SolveError::BoundMismatch {
                 expected: nv,
@@ -336,7 +190,7 @@ pub fn solve_lp(
         }
     }
     let bound = |j: usize| -> (f64, f64) {
-        match bound_overrides {
+        match opts.bound_overrides {
             Some(b) => b[j],
             None => {
                 let d = &problem.vars[j];
@@ -347,170 +201,35 @@ pub fn solve_lp(
     for j in 0..nv {
         let (l, u) = bound(j);
         if l > u + FEAS_TOL {
-            return Ok(LpOutcome::Infeasible);
+            return Ok((LpOutcome::Infeasible, LpStats::default()));
         }
     }
 
-    // Gather usable rows, dropping constant (empty) constraints after
-    // checking them directly.
-    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
-    for c in problem.constraints() {
-        let dense = c.expr().to_dense(nv);
-        if dense.iter().all(|&a| a == 0.0) {
-            let ok = match c.cmp() {
-                Cmp::Le => 0.0 <= c.rhs() + FEAS_TOL,
-                Cmp::Ge => 0.0 >= c.rhs() - FEAS_TOL,
-                Cmp::Eq => c.rhs().abs() <= FEAS_TOL,
-            };
-            if !ok {
-                return Ok(LpOutcome::Infeasible);
-            }
-            continue;
-        }
-        rows.push((dense, c.cmp(), c.rhs()));
+    if opts.engine == LpEngine::DenseTableau {
+        let outcome = crate::dense::solve_dense(problem, opts.bound_overrides)?;
+        return Ok((outcome, LpStats::default()));
     }
 
-    let m = rows.len();
-    let n_slack = rows
-        .iter()
-        .filter(|(_, cmp, _)| *cmp != Cmp::Eq)
-        .count();
-    let n = nv + n_slack + m; // structural + slacks + one artificial per row
-
-    let mut lower = vec![0.0; n];
-    let mut upper = vec![f64::INFINITY; n];
-    for j in 0..nv {
-        let (l, u) = bound(j);
-        lower[j] = l;
-        upper[j] = u;
-    }
-
-    // Build the m×n matrix with slack columns, then normalize each row so
-    // the phase-1 residual is nonnegative and attach the artificial.
-    let mut t = vec![0.0; m * n];
-    let mut xb = vec![0.0; m];
-    let mut basis = vec![0usize; m];
-    let mut slack_idx = nv;
-    for (r, (dense, cmp, rhs)) in rows.iter().enumerate() {
-        let row = &mut t[r * n..(r + 1) * n];
-        row[..nv].copy_from_slice(dense);
-        match cmp {
-            Cmp::Le => {
-                row[slack_idx] = 1.0;
-                slack_idx += 1;
-            }
-            Cmp::Ge => {
-                row[slack_idx] = -1.0;
-                slack_idx += 1;
-            }
-            Cmp::Eq => {}
+    let model = match SparseModel::build(problem) {
+        BuildOutcome::Model(m) => m,
+        BuildOutcome::TriviallyInfeasible => {
+            return Ok((LpOutcome::Infeasible, LpStats::default()))
         }
-        // Residual with every non-artificial column at its initial value
-        // (structural at lower bound, slack at 0).
-        let mut residual = *rhs;
-        for j in 0..nv {
-            residual -= row[j] * lower[j];
-        }
-        if residual < 0.0 {
-            for v in row.iter_mut() {
-                *v = -*v;
-            }
-            residual = -residual;
-        }
-        let art = nv + n_slack + r;
-        row[art] = 1.0;
-        xb[r] = residual;
-        basis[r] = art;
-    }
-
-    let mut tab = Tableau {
-        m,
-        n,
-        t,
-        xb,
-        basis,
-        state: vec![NonBasicState::AtLower; n],
-        in_basis: {
-            let mut v = vec![false; n];
-            for r in 0..m {
-                v[nv + n_slack + r] = true;
-            }
-            v
-        },
-        lower,
-        upper,
-        d: vec![0.0; n],
-        barred: vec![false; n],
-        degenerate_streak: 0,
-        iterations: 0,
     };
 
-    let max_iters = (200 * (m + n) as u64).max(20_000);
-
-    // Phase 1: minimize the sum of artificials.
-    if m > 0 {
-        let mut c1 = vec![0.0; n];
-        for a in nv + n_slack..n {
-            c1[a] = 1.0;
-        }
-        tab.reset_costs(&c1);
-        match tab.run(max_iters)? {
-            StepOutcome::Optimal => {}
-            StepOutcome::Unbounded => {
-                // Phase 1 objective is bounded below by 0; unboundedness here
-                // indicates numerical trouble.
-                return Err(SolveError::Numerical("phase-1 unbounded".into()));
+    if let Some(warm) = opts.warm_basis {
+        match Engine::solve_warm(problem, &model, &bound, warm) {
+            Ok(result) => return Ok(result),
+            Err(_) => {
+                // Fall through to a cold solve, remembering the miss.
+                let (outcome, mut stats) = Engine::solve_cold(problem, &model, &bound)?;
+                stats.warm_attempted = true;
+                stats.warm_used = false;
+                return Ok((outcome, stats));
             }
-            StepOutcome::Continue => unreachable!(),
-        }
-        let infeas: f64 = (0..m)
-            .filter(|&r| tab.basis[r] >= nv + n_slack)
-            .map(|r| tab.xb[r])
-            .sum();
-        if infeas > 1e-6 {
-            return Ok(LpOutcome::Infeasible);
-        }
-        // Pin artificials to zero and bar them from entering.
-        for a in nv + n_slack..n {
-            tab.lower[a] = 0.0;
-            tab.upper[a] = 0.0;
-            tab.barred[a] = true;
         }
     }
-
-    // Phase 2: the real objective (internally minimized).
-    let sign = match problem.sense() {
-        ObjectiveSense::Minimize => 1.0,
-        ObjectiveSense::Maximize => -1.0,
-    };
-    let mut c2 = vec![0.0; n];
-    for &(v, coef) in problem.objective.terms() {
-        c2[v.index()] += sign * coef;
-    }
-    tab.reset_costs(&c2);
-    match tab.run(max_iters)? {
-        StepOutcome::Optimal => {}
-        StepOutcome::Unbounded => return Ok(LpOutcome::Unbounded),
-        StepOutcome::Continue => unreachable!(),
-    }
-
-    let mut values = vec![0.0; nv];
-    for (j, val) in values.iter_mut().enumerate() {
-        *val = tab.value_of(j);
-    }
-    for r in 0..m {
-        let b = tab.basis[r];
-        if b < nv {
-            values[b] = tab.xb[r];
-        }
-    }
-    // Clamp tiny bound violations from floating-point drift.
-    for (j, val) in values.iter_mut().enumerate() {
-        let (l, u) = bound(j);
-        *val = val.max(l).min(u);
-    }
-    let objective = problem.objective_value(&values);
-    Ok(LpOutcome::Optimal(LpSolution { values, objective }))
+    Engine::solve_cold(problem, &model, &bound)
 }
 
 #[cfg(test)]
@@ -522,6 +241,28 @@ mod tests {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
     }
 
+    /// Runs both engines and asserts they agree before returning the
+    /// sparse result.
+    fn solve_both(p: &Problem) -> LpOutcome {
+        let sparse = solve_lp(p, None).unwrap();
+        let dense = solve_lp_opts(
+            p,
+            &LpOptions {
+                engine: LpEngine::DenseTableau,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .0;
+        match (&sparse, &dense) {
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => approx(a.objective, b.objective),
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+            other => panic!("engines disagree: {other:?}"),
+        }
+        sparse
+    }
+
     #[test]
     fn textbook_max_lp() {
         // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 → x=3, y=1.5, obj=21.
@@ -531,7 +272,7 @@ mod tests {
         p.add_le(LinExpr::from_terms([(x, 6.0), (y, 4.0)]), 24.0);
         p.add_le(LinExpr::from_terms([(x, 1.0), (y, 2.0)]), 6.0);
         p.set_objective(LinExpr::from_terms([(x, 5.0), (y, 4.0)]));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         let s = sol.optimal().unwrap();
         approx(s.objective, 21.0);
         approx(s.values[0], 3.0);
@@ -548,7 +289,7 @@ mod tests {
         p.add_ge(LinExpr::term(x, 1.0), 3.0);
         p.add_ge(LinExpr::term(y, 1.0), 2.0);
         p.set_objective(LinExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, 10.0);
     }
 
@@ -558,7 +299,7 @@ mod tests {
         let x = p.add_var("x", VarKind::Continuous, 0.0, 1.0);
         p.add_ge(LinExpr::term(x, 1.0), 5.0);
         p.set_objective(LinExpr::term(x, 1.0));
-        assert!(matches!(solve_lp(&p, None).unwrap(), LpOutcome::Infeasible));
+        assert!(matches!(solve_both(&p), LpOutcome::Infeasible));
     }
 
     #[test]
@@ -566,7 +307,7 @@ mod tests {
         let mut p = Problem::maximize();
         let x = p.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
         p.set_objective(LinExpr::term(x, 1.0));
-        assert!(matches!(solve_lp(&p, None).unwrap(), LpOutcome::Unbounded));
+        assert!(matches!(solve_both(&p), LpOutcome::Unbounded));
     }
 
     #[test]
@@ -577,7 +318,7 @@ mod tests {
         let y = p.add_var("y", VarKind::Continuous, 0.0, 2.0);
         p.add_le(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), 3.0);
         p.set_objective(LinExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, 3.0);
     }
 
@@ -593,14 +334,13 @@ mod tests {
 
     #[test]
     fn nonzero_lower_bounds() {
-        // min x + 2y, x ∈ [2, 5], y ∈ [1, 4], x + y >= 5 → x=4? No:
-        // cheaper to raise x: x=4,y=1 (obj 6) vs x=2,y=3 (obj 8) → 6.
+        // min x + 2y, x ∈ [2, 5], y ∈ [1, 4], x + y >= 5 → x=4,y=1 → 6.
         let mut p = Problem::minimize();
         let x = p.add_var("x", VarKind::Continuous, 2.0, 5.0);
         let y = p.add_var("y", VarKind::Continuous, 1.0, 4.0);
         p.add_ge(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), 5.0);
         p.set_objective(LinExpr::from_terms([(x, 1.0), (y, 2.0)]));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, 6.0);
     }
 
@@ -611,7 +351,7 @@ mod tests {
         let x = p.add_var("x", VarKind::Continuous, -5.0, 5.0);
         p.add_ge(LinExpr::term(x, 1.0), -3.0);
         p.set_objective(LinExpr::term(x, 1.0));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, -3.0);
     }
 
@@ -626,7 +366,7 @@ mod tests {
         p.add_le(LinExpr::from_terms([(x, 0.5), (y, -1.5), (z, -0.5)]), 0.0);
         p.add_le(LinExpr::term(x, 1.0), 1.0);
         p.set_objective(LinExpr::from_terms([(x, 10.0), (y, -57.0), (z, -9.0)]));
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         assert!(sol.optimal().is_some());
     }
 
@@ -635,14 +375,14 @@ mod tests {
         let mut p = Problem::minimize();
         let x = p.add_var("x", VarKind::Continuous, 1.0, 3.0);
         p.set_objective(LinExpr::term(x, 2.0) + 7.0);
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, 9.0);
     }
 
     #[test]
     fn empty_problem_is_trivially_optimal() {
         let p = Problem::minimize();
-        let sol = solve_lp(&p, None).unwrap();
+        let sol = solve_both(&p);
         approx(sol.optimal().unwrap().objective, 0.0);
     }
 
@@ -651,6 +391,82 @@ mod tests {
         let mut p = Problem::minimize();
         let _x = p.add_var("x", VarKind::Continuous, 0.0, 1.0);
         p.add_ge(LinExpr::new(), 1.0); // 0 >= 1
-        assert!(matches!(solve_lp(&p, None).unwrap(), LpOutcome::Infeasible));
+        assert!(matches!(solve_both(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn warm_resolve_after_rhs_tightening() {
+        // max 5x + 4y s.t. 6x + 4y <= b, x + 2y <= 6.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        p.add_le(LinExpr::from_terms([(x, 6.0), (y, 4.0)]), 24.0);
+        p.add_le(LinExpr::from_terms([(x, 1.0), (y, 2.0)]), 6.0);
+        p.set_objective(LinExpr::from_terms([(x, 5.0), (y, 4.0)]));
+        let (out, _) = solve_lp_opts(&p, &LpOptions::default()).unwrap();
+        let basis = out.optimal().unwrap().basis().unwrap().clone();
+
+        p.set_rhs(0, 18.0); // tighten the first row
+        let (warm, stats) = solve_lp_opts(
+            &p,
+            &LpOptions {
+                warm_basis: Some(&basis),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(stats.warm_attempted && stats.warm_used, "{stats:?}");
+        let (cold, _) = solve_lp_opts(&p, &LpOptions::default()).unwrap();
+        approx(
+            warm.optimal().unwrap().objective,
+            cold.optimal().unwrap().objective,
+        );
+    }
+
+    #[test]
+    fn warm_resolve_detects_new_infeasibility() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 1.0);
+        p.add_ge(LinExpr::term(x, 1.0), 0.5);
+        p.set_objective(LinExpr::term(x, 1.0));
+        let (out, _) = solve_lp_opts(&p, &LpOptions::default()).unwrap();
+        let basis = out.optimal().unwrap().basis().unwrap().clone();
+        p.set_rhs(0, 5.0); // now impossible with x ≤ 1
+        let (warm, _) = solve_lp_opts(
+            &p,
+            &LpOptions {
+                warm_basis: Some(&basis),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(warm, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_cold() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, 3.0);
+        p.add_le(LinExpr::term(x, 1.0), 2.0);
+        p.set_objective(LinExpr::term(x, 1.0));
+        let (out, _) = solve_lp_opts(&p, &LpOptions::default()).unwrap();
+        let basis = out.optimal().unwrap().basis().unwrap().clone();
+
+        // A different-shaped problem rejects the basis but still solves.
+        let mut q = Problem::maximize();
+        let a = q.add_var("a", VarKind::Continuous, 0.0, 1.0);
+        let b = q.add_var("b", VarKind::Continuous, 0.0, 1.0);
+        q.add_le(LinExpr::from_terms([(a, 1.0), (b, 1.0)]), 1.5);
+        q.set_objective(LinExpr::from_terms([(a, 1.0), (b, 1.0)]));
+        let (warm, stats) = solve_lp_opts(
+            &q,
+            &LpOptions {
+                warm_basis: Some(&basis),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(stats.warm_attempted && !stats.warm_used);
+        approx(warm.optimal().unwrap().objective, 1.5);
     }
 }

@@ -1,5 +1,6 @@
 //! MILP solution types.
 
+use crate::basis::Basis;
 use crate::branch_bound::SolveStats;
 use crate::expr::VarId;
 
@@ -34,6 +35,7 @@ pub struct MilpSolution {
     pub(crate) nodes: u64,
     pub(crate) solve_time_secs: f64,
     pub(crate) stats: SolveStats,
+    pub(crate) root_basis: Option<Basis>,
 }
 
 impl MilpSolution {
@@ -91,5 +93,19 @@ impl MilpSolution {
     /// Detailed search counters.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Optimal basis of the *root* relaxation, if the sparse engine
+    /// produced one. Feed it to
+    /// [`MilpSolver::root_basis`](crate::MilpSolver::root_basis) on the
+    /// next solve of the same-shaped (mutated) problem — the pattern the
+    /// planner's makespan binary search uses between steps.
+    pub fn root_basis(&self) -> Option<&Basis> {
+        self.root_basis.as_ref()
+    }
+
+    /// Extracts the root-relaxation basis, leaving `None` behind.
+    pub fn take_root_basis(&mut self) -> Option<Basis> {
+        self.root_basis.take()
     }
 }

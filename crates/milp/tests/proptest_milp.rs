@@ -19,11 +19,7 @@ fn random_ip() -> impl Strategy<Value = RandomIp> {
     (2usize..=4).prop_flat_map(|n| {
         let upper = prop::collection::vec(1i32..=4, n);
         let obj = prop::collection::vec(-5i32..=5, n);
-        let row = (
-            prop::collection::vec(-4i32..=4, n),
-            0u8..=1,
-            -6i32..=12,
-        );
+        let row = (prop::collection::vec(-4i32..=4, n), 0u8..=1, -6i32..=12);
         let rows = prop::collection::vec(row, 1..=3);
         (upper, obj, any::<bool>(), rows).prop_map(move |(upper, obj, maximize, rows)| RandomIp {
             n_vars: n,

@@ -159,7 +159,11 @@ mod tests {
         for (m, expect) in cases {
             let got = m.param_count() as f64;
             let rel = (got - expect).abs() / expect;
-            assert!(rel < 0.10, "{}: {got:.3e} vs {expect:.3e} (rel {rel:.3})", m.name);
+            assert!(
+                rel < 0.10,
+                "{}: {got:.3e} vs {expect:.3e} (rel {rel:.3})",
+                m.name
+            );
         }
     }
 

@@ -71,8 +71,8 @@ impl FlopsModel {
         let attn = self.attn_fwd(seqs);
         let fwd = lin + attn;
         let bwd = self.bwd_ratio * fwd;
-        let recompute = policy.recompute_linear_fraction() * lin
-            + policy.recompute_attn_fraction() * attn;
+        let recompute =
+            policy.recompute_linear_fraction() * lin + policy.recompute_attn_fraction() * attn;
         fwd + bwd + recompute
     }
 

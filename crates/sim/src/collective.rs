@@ -169,7 +169,13 @@ mod tests {
         let c = cluster();
         let g = DeviceGroup::aligned(3, 1);
         assert_eq!(
-            collective_time(&c, &g, Collective::AllToAll { per_gpu_bytes: 1 << 30 }),
+            collective_time(
+                &c,
+                &g,
+                Collective::AllToAll {
+                    per_gpu_bytes: 1 << 30
+                }
+            ),
             0.0
         );
     }
@@ -180,8 +186,20 @@ mod tests {
         // SP=8 (paper Table 1: 20.2 s vs 1.6 s at fixed total tokens).
         let c = cluster();
         let bytes = 512 * 1024 * 1024u64;
-        let t8 = collective_time(&c, &DeviceGroup::aligned(0, 8), Collective::AllToAll { per_gpu_bytes: bytes });
-        let t64 = collective_time(&c, &DeviceGroup::aligned(0, 64), Collective::AllToAll { per_gpu_bytes: bytes });
+        let t8 = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 8),
+            Collective::AllToAll {
+                per_gpu_bytes: bytes,
+            },
+        );
+        let t64 = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 64),
+            Collective::AllToAll {
+                per_gpu_bytes: bytes,
+            },
+        );
         let ratio = t64 / t8;
         assert!(ratio > 6.0 && ratio < 20.0, "ratio {ratio}");
     }
@@ -194,13 +212,27 @@ mod tests {
             let t = collective_time(
                 &c,
                 &DeviceGroup::aligned(0, d),
-                Collective::AllToAll { per_gpu_bytes: 64 << 20 },
+                Collective::AllToAll {
+                    per_gpu_bytes: 64 << 20,
+                },
             );
             assert!(t >= prev, "degree {d}");
             prev = t;
         }
-        let small = collective_time(&c, &DeviceGroup::aligned(0, 16), Collective::AllToAll { per_gpu_bytes: 1 << 20 });
-        let big = collective_time(&c, &DeviceGroup::aligned(0, 16), Collective::AllToAll { per_gpu_bytes: 1 << 26 });
+        let small = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 16),
+            Collective::AllToAll {
+                per_gpu_bytes: 1 << 20,
+            },
+        );
+        let big = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 16),
+            Collective::AllToAll {
+                per_gpu_bytes: 1 << 26,
+            },
+        );
         assert!(big > small);
     }
 
@@ -212,7 +244,13 @@ mod tests {
         let g = DeviceGroup::aligned(0, 64);
         let shard = 8 << 20; // 8 MB per GPU
         let ag = collective_time(&c, &g, Collective::AllGather { shard_bytes: shard });
-        let a2a = collective_time(&c, &g, Collective::AllToAll { per_gpu_bytes: shard * 64 });
+        let a2a = collective_time(
+            &c,
+            &g,
+            Collective::AllToAll {
+                per_gpu_bytes: shard * 64,
+            },
+        );
         // Equal total received bytes per GPU; all-gather must win clearly.
         assert!(a2a > 3.0 * ag, "a2a {a2a} vs ag {ag}");
     }
@@ -226,7 +264,9 @@ mod tests {
         let rs = collective_time(
             &c,
             &g,
-            Collective::ReduceScatter { shard_bytes: bytes / 16 },
+            Collective::ReduceScatter {
+                shard_bytes: bytes / 16,
+            },
         );
         assert!((ar - 2.0 * rs).abs() / ar < 1e-9);
     }
@@ -235,8 +275,16 @@ mod tests {
     fn ring_step_slower_across_nodes() {
         let c = cluster();
         let bytes = 32 << 20;
-        let intra = collective_time(&c, &DeviceGroup::aligned(0, 8), Collective::RingStep { bytes });
-        let inter = collective_time(&c, &DeviceGroup::aligned(0, 32), Collective::RingStep { bytes });
+        let intra = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 8),
+            Collective::RingStep { bytes },
+        );
+        let inter = collective_time(
+            &c,
+            &DeviceGroup::aligned(0, 32),
+            Collective::RingStep { bytes },
+        );
         assert!(inter > 5.0 * intra);
     }
 

@@ -90,9 +90,8 @@ pub fn simulate_cp_step(
     // Ring KV exchange, overlapped against per-layer attention compute.
     let ring_exposed_s = if cp > 1 && spec.ring_hops_per_layer > 0 {
         let base = replica.gpus()[0].0;
-        let ring = DeviceGroup::from_gpus(
-            (0..cp).map(|i| GpuId(base + i * spec.tp_degree)).collect(),
-        );
+        let ring =
+            DeviceGroup::from_gpus((0..cp).map(|i| GpuId(base + i * spec.tp_degree)).collect());
         let hop = collective_time(
             cluster,
             &ring,
@@ -115,9 +114,12 @@ pub fn simulate_cp_step(
         Some(z) => {
             let world = z.world.degree().max(1) as u64;
             let shard = z.param_bytes_per_layer / world;
-            let per_layer = 2.0
-                * collective_time(cluster, &z.world, Collective::AllGather { shard_bytes: shard })
-                + collective_time(
+            let per_layer =
+                2.0 * collective_time(
+                    cluster,
+                    &z.world,
+                    Collective::AllGather { shard_bytes: shard },
+                ) + collective_time(
                     cluster,
                     &z.world,
                     Collective::ReduceScatter { shard_bytes: shard },

@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn aligned_groups_are_contiguous() {
         let g = DeviceGroup::aligned(8, 4);
-        assert_eq!(
-            g.gpus(),
-            &[GpuId(8), GpuId(9), GpuId(10), GpuId(11)]
-        );
+        assert_eq!(g.gpus(), &[GpuId(8), GpuId(9), GpuId(10), GpuId(11)]);
         assert_eq!(g.degree(), 4);
     }
 

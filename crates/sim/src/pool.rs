@@ -25,8 +25,14 @@ impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::BadDegree(d) => write!(f, "group degree {d} is not a power of two"),
-            AllocError::OutOfGpus { requested, available } => {
-                write!(f, "requested {requested} GPUs but only {available} available")
+            AllocError::OutOfGpus {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} GPUs but only {available} available"
+                )
             }
         }
     }
@@ -228,13 +234,13 @@ mod tests {
 
     #[test]
     fn allocation_errors() {
-        assert_eq!(
-            allocate_aligned(8, &[3]),
-            Err(AllocError::BadDegree(3))
-        );
+        assert_eq!(allocate_aligned(8, &[3]), Err(AllocError::BadDegree(3)));
         assert_eq!(
             allocate_aligned(8, &[8, 2]),
-            Err(AllocError::OutOfGpus { requested: 10, available: 8 })
+            Err(AllocError::OutOfGpus {
+                requested: 10,
+                available: 8
+            })
         );
     }
 

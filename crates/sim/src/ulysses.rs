@@ -136,9 +136,12 @@ pub fn simulate_sp_step(
             let shard = z.param_bytes_per_layer / world.max(1);
             // Forward gather + backward re-gather + gradient reduce-scatter
             // per layer.
-            let per_layer = 2.0
-                * collective_time(cluster, &z.world, Collective::AllGather { shard_bytes: shard })
-                + collective_time(
+            let per_layer =
+                2.0 * collective_time(
+                    cluster,
+                    &z.world,
+                    Collective::AllGather { shard_bytes: shard },
+                ) + collective_time(
                     cluster,
                     &z.world,
                     Collective::ReduceScatter { shard_bytes: shard },

@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(max_ctx);
         let policy = ActivationPolicy::None;
-        let loader =
-            || GlobalBatchLoader::new(LengthDistribution::common_crawl(), 256, max_ctx, 3);
+        let loader = || GlobalBatchLoader::new(LengthDistribution::common_crawl(), 256, max_ctx, 3);
 
         // Megatron's strategy space (memory-feasible points only).
         let megatron = MegatronLm::new(cluster.clone(), model.clone(), policy);
@@ -31,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Run every system; each tunes itself on the first batch.
         let mut systems: Vec<Box<dyn TrainingSystem>> = vec![
-            Box::new(DeepSpeedUlysses::new(cluster.clone(), model.clone(), policy)?),
+            Box::new(DeepSpeedUlysses::new(
+                cluster.clone(),
+                model.clone(),
+                policy,
+            )?),
             Box::new(megatron),
             Box::new(FlexSpBatchAda::new(cluster.clone(), model.clone(), policy)),
             Box::new(FlexSpSystem::fast(cluster.clone(), model.clone(), policy)),

@@ -19,11 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tp = 8;
 
     // --- Appendix E: static CP vs flexible CP --------------------------
-    let loader = || GlobalBatchLoader::new(
-        LengthDistribution::common_crawl(), 256, 192 * 1024, 9);
+    let loader = || GlobalBatchLoader::new(LengthDistribution::common_crawl(), 256, 192 * 1024, 9);
 
-    let static_cp = HomogeneousCp::min_feasible_cp(&cluster, &model, policy, tp)
-        .expect("context fits");
+    let static_cp =
+        HomogeneousCp::min_feasible_cp(&cluster, &model, policy, tp).expect("context fits");
     let mut homo = HomogeneousCp::new(cluster.clone(), model.clone(), policy, tp, static_cp);
     let homo_stats = evaluate_system(&mut homo, loader(), 2)?;
 

@@ -17,8 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::gpt_7b(192 * 1024);
     let policy = ActivationPolicy::None;
 
-    println!("cluster : {} GPUs ({} nodes)", cluster.num_gpus(), cluster.num_nodes);
-    println!("model   : {} ({:.2}B params)", model.name, model.param_count() as f64 / 1e9);
+    println!(
+        "cluster : {} GPUs ({} nodes)",
+        cluster.num_gpus(),
+        cluster.num_nodes
+    );
+    println!(
+        "model   : {} ({:.2}B params)",
+        model.name,
+        model.param_count() as f64 / 1e9
+    );
 
     // Profile the simulator and fit the α-β cost model (paper §4.1.2).
     let cost = CostModel::fit(&cluster, &model, policy);
@@ -29,18 +37,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // One global batch of 512 varied-length sequences (paper protocol).
-    let mut loader =
-        GlobalBatchLoader::new(LengthDistribution::common_crawl(), 512, 192 * 1024, 7);
+    let mut loader = GlobalBatchLoader::new(LengthDistribution::common_crawl(), 512, 192 * 1024, 7);
     let batch = loader.next_batch();
     let tokens: u64 = batch.iter().map(|s| s.len).sum();
     let longest = batch.iter().map(|s| s.len).max().unwrap_or(0);
-    println!("batch   : 512 seqs, {:.2}M tokens, longest {}K", tokens as f64 / 1e6, longest / 1024);
+    println!(
+        "batch   : 512 seqs, {:.2}M tokens, longest {}K",
+        tokens as f64 / 1e6,
+        longest / 1024
+    );
 
     // Solve (Algorithm 1) and execute (§5).
     let solver = FlexSpSolver::new(cost.clone(), SolverConfig::default());
     let solved = solver.solve_iteration(&batch)?;
-    println!("\nFlexSP plan ({} micro-batches, solved in {:.2}s wall):",
-        solved.plan.micro_batches.len(), solved.solve_wall_s);
+    println!(
+        "\nFlexSP plan ({} micro-batches, solved in {:.2}s wall):",
+        solved.plan.micro_batches.len(),
+        solved.solve_wall_s
+    );
     for (i, mb) in solved.plan.micro_batches.iter().enumerate() {
         println!(
             "  micro-batch {i}: {}  ({} seqs, {:.2}M tokens)",

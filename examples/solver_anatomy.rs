@@ -31,12 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 1: the blaster decides this fits one micro-batch.
     let m_min = blaster::min_micro_batches(&batch, cost.cluster_token_capacity());
-    println!("blaster: M_min = {m_min} (cluster holds {} tokens/micro-batch)",
-        cost.cluster_token_capacity());
+    println!(
+        "blaster: M_min = {m_min} (cluster holds {} tokens/micro-batch)",
+        cost.cluster_token_capacity()
+    );
 
     // Stage 2: bucketing compresses the lengths.
     let buckets = bucket_dp(&batch, 16);
-    println!("buckets: {:?}", buckets.iter().map(|b| (b.upper, b.count())).collect::<Vec<_>>());
+    println!(
+        "buckets: {:?}",
+        buckets
+            .iter()
+            .map(|b| (b.upper, b.count()))
+            .collect::<Vec<_>>()
+    );
 
     // Homogeneous alternatives (what packing-based systems must do).
     for d in [32u32, 64] {

@@ -62,23 +62,36 @@ fn systems_rank_as_in_the_paper() {
     let cluster = ClusterSpec::a100_cluster(8);
     let model = ModelConfig::gpt_7b(192 * 1024);
     let policy = ActivationPolicy::None;
-    let loader =
-        || GlobalBatchLoader::new(LengthDistribution::wikipedia(), 128, 192 * 1024, 4);
+    let loader = || GlobalBatchLoader::new(LengthDistribution::wikipedia(), 128, 192 * 1024, 4);
 
     let mut ds = DeepSpeedUlysses::new(cluster.clone(), model.clone(), policy).unwrap();
     let mut mg = MegatronLm::new(cluster.clone(), model.clone(), policy);
     let mut ada = FlexSpBatchAda::new(cluster.clone(), model.clone(), policy);
     let mut fx = FlexSpSystem::fast(cluster, model, policy);
 
-    let t_ds = evaluate_system(&mut ds, loader(), 2).unwrap().mean_iteration_s();
-    let t_mg = evaluate_system(&mut mg, loader(), 2).unwrap().mean_iteration_s();
-    let t_ada = evaluate_system(&mut ada, loader(), 2).unwrap().mean_iteration_s();
-    let t_fx = evaluate_system(&mut fx, loader(), 2).unwrap().mean_iteration_s();
+    let t_ds = evaluate_system(&mut ds, loader(), 2)
+        .unwrap()
+        .mean_iteration_s();
+    let t_mg = evaluate_system(&mut mg, loader(), 2)
+        .unwrap()
+        .mean_iteration_s();
+    let t_ada = evaluate_system(&mut ada, loader(), 2)
+        .unwrap()
+        .mean_iteration_s();
+    let t_fx = evaluate_system(&mut fx, loader(), 2)
+        .unwrap()
+        .mean_iteration_s();
 
     assert!(t_fx < t_ds, "FlexSP {t_fx:.2} vs DeepSpeed {t_ds:.2}");
     assert!(t_fx < t_mg, "FlexSP {t_fx:.2} vs Megatron {t_mg:.2}");
-    assert!(t_fx <= t_ada * 1.02, "FlexSP {t_fx:.2} vs BatchAda {t_ada:.2}");
-    assert!(t_ada < t_ds * 1.02, "BatchAda {t_ada:.2} vs DeepSpeed {t_ds:.2}");
+    assert!(
+        t_fx <= t_ada * 1.02,
+        "FlexSP {t_fx:.2} vs BatchAda {t_ada:.2}"
+    );
+    assert!(
+        t_ada < t_ds * 1.02,
+        "BatchAda {t_ada:.2} vs DeepSpeed {t_ds:.2}"
+    );
 }
 
 #[test]
