@@ -53,12 +53,9 @@ impl FlexSpBatchAda {
         // share, so the usable cluster capacity is N/d groups × cap(d).
         let groups = self.num_gpus / degree;
         let capacity = self.cost.max_group_tokens(degree) * groups as u64;
-        let m_min = blaster::min_micro_batches(batch, capacity);
-        if m_min == usize::MAX {
-            return Err(BaselineError::NoFeasibleStrategy(format!(
-                "SP={degree} has zero capacity"
-            )));
-        }
+        let m_min = blaster::min_micro_batches(batch, capacity).ok_or_else(|| {
+            BaselineError::NoFeasibleStrategy(format!("SP={degree} has zero capacity"))
+        })?;
         // Extra micro-batches absorb LPT imbalance; near the memory wall
         // (e.g. GPT-30B at long context) several extra steps can be needed.
         for m in m_min..m_min + 10 {

@@ -10,10 +10,10 @@
 use std::time::Instant;
 
 use flexsp_core::{FlexSpSolver, IterationPlan, SolverConfig};
-use flexsp_cost::cp::{cp_zero_spec, fit_cp, simulate_cp_replica};
+use flexsp_cost::cp::{cp_zero_spec, fit_cp, simulate_cp_group, simulate_cp_replica};
 use flexsp_data::Sequence;
 use flexsp_model::{ActivationPolicy, ModelConfig};
-use flexsp_sim::{allocate_aligned, ClusterSpec, SpStepReport};
+use flexsp_sim::{ClusterSpec, SpStepReport};
 
 use crate::system::{BaselineError, SystemReport, TrainingSystem};
 
@@ -67,33 +67,35 @@ impl FlexCpSystem {
         &self.last_signature
     }
 
-    /// Executes a replica-size plan with the CP ground-truth simulator.
+    /// Executes a replica-size plan with the CP ground-truth simulator,
+    /// on the plan's own placements.
     fn execute(&self, plan: &IterationPlan) -> Result<SystemReport, BaselineError> {
-        let n = self.cluster.num_gpus();
         let zero = cp_zero_spec(&self.cluster, &self.model, self.tp);
         let mut total = 0.0;
         let mut comm = 0.0;
         let mut compute = 0.0;
         for mb in &plan.micro_batches {
-            let degrees: Vec<u32> = mb.groups.iter().map(|g| g.degree).collect();
-            let placements =
-                allocate_aligned(n, &degrees).map_err(|e| BaselineError::Exec(e.to_string()))?;
             let mut worst = SpStepReport::default();
-            for (g, place) in mb.groups.iter().zip(&placements) {
-                if g.degree % self.tp != 0 {
+            for g in &mb.groups {
+                if g.degree() % self.tp != 0 {
                     return Err(BaselineError::Exec(format!(
                         "replica of {} GPUs incompatible with TP={}",
-                        g.degree, self.tp
+                        g.degree(),
+                        self.tp
                     )));
                 }
-                let cp = g.degree / self.tp;
-                let r = simulate_cp_replica(
+                let cp = g.degree() / self.tp;
+                let replica = g
+                    .placement
+                    .as_ref()
+                    .ok_or_else(|| BaselineError::Exec("plan arrived without placements".into()))?;
+                let r = simulate_cp_group(
                     &self.cluster,
                     &self.model,
                     self.policy,
                     self.tp,
                     cp,
-                    place.gpus()[0].0,
+                    replica,
                     &g.lengths(),
                     Some(zero.clone()),
                 );

@@ -15,6 +15,10 @@
 //!   *per batch* (adaptive across batches, homogeneous within, §6.1).
 //! * [`FlexSpSystem`] — the full FlexSP stack behind the same
 //!   [`TrainingSystem`] interface for apples-to-apples evaluation.
+//! * [`DegreeOnlyFlexSp`] — FlexSP with the pre-refactor degree-keyed
+//!   cost model and flat-aligned placement, the ablation the
+//!   topology-sweep scenarios compare the placement-aware planner
+//!   against.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 
 mod batch_ada;
 mod deepspeed;
+mod degree_only;
 mod flex_cp;
 mod flexsp_adapter;
 mod megatron;
@@ -54,6 +59,7 @@ mod system;
 
 pub use batch_ada::FlexSpBatchAda;
 pub use deepspeed::DeepSpeedUlysses;
+pub use degree_only::DegreeOnlyFlexSp;
 pub use flex_cp::{FlexCpSystem, HomogeneousCp};
 pub use flexsp_adapter::FlexSpSystem;
 pub use megatron::{MegatronLm, MegatronStrategy};

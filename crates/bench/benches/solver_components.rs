@@ -39,6 +39,14 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| blast(black_box(&batch512), 8, true))
     });
 
+    // The placement engine on a realistic heterogeneous degree mix.
+    let topo = flexsp_sim::Topology::new(8, 8);
+    c.bench_function("placement_engine_64gpu", |b| {
+        b.iter(|| {
+            flexsp_core::place_degrees(black_box(&topo), black_box(&[32, 8, 8, 4, 4, 2, 2, 1, 1]))
+        })
+    });
+
     let micro = blast(&batch512, 8, true).swap_remove(0);
     let buckets = bucket_dp(&micro, 16);
     c.bench_function("planner_heuristic_microbatch", |b| {
@@ -169,9 +177,9 @@ fn bench_trajectory(c: &mut Criterion) {
     };
     let sparse_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &ample));
     let dense_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &dense_cfg));
-    let stats = plan_micro_batch(&cost, &buckets, 64, &ample)
-        .expect("trajectory instance is feasible")
-        .stats;
+    let plan = plan_micro_batch(&cost, &buckets, 64, &ample).expect("trajectory instance feasible");
+    let shape_signature = plan.shape_signature();
+    let stats = plan.stats;
 
     let speedup = dense_s / sparse_s;
     println!(
@@ -188,7 +196,8 @@ fn bench_trajectory(c: &mut Criterion) {
          \"primal_pivots\":{},\
          \"dual_pivots\":{},\
          \"refactorizations\":{},\
-         \"basis_reuse_hit_rate\":{:.4}}}}}",
+         \"basis_reuse_hit_rate\":{:.4},\
+         \"shape_signature\":\"{shape_signature}\"}}}}",
         stats.model_builds,
         stats.search_steps,
         stats.milp.nodes,

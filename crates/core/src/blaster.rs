@@ -17,17 +17,18 @@ use flexsp_data::Sequence;
 /// Smallest feasible micro-batch count:
 /// `⌈ batch_tokens / cluster_token_capacity ⌉` (paper §4.2).
 ///
-/// Returns at least 1. A zero `cluster_token_capacity` yields
-/// `usize::MAX` (nothing fits; caller should surface the error).
-pub fn min_micro_batches(batch: &[Sequence], cluster_token_capacity: u64) -> usize {
+/// Returns at least 1, or `None` when a non-empty batch meets a zero
+/// `cluster_token_capacity` — nothing fits, and the caller should surface
+/// a typed planning error rather than propagate a sentinel count.
+pub fn min_micro_batches(batch: &[Sequence], cluster_token_capacity: u64) -> Option<usize> {
     let tokens: u64 = batch.iter().map(|s| s.len).sum();
     if tokens == 0 {
-        return 1;
+        return Some(1);
     }
     if cluster_token_capacity == 0 {
-        return usize::MAX;
+        return None;
     }
-    (tokens.div_ceil(cluster_token_capacity) as usize).max(1)
+    Some((tokens.div_ceil(cluster_token_capacity) as usize).max(1))
 }
 
 /// Splits `batch` into exactly `m` micro-batches.
@@ -258,11 +259,13 @@ mod tests {
     #[test]
     fn min_micro_batches_formula() {
         let batch = seqs(&[1000, 1000, 1000]);
-        assert_eq!(min_micro_batches(&batch, 1500), 2);
-        assert_eq!(min_micro_batches(&batch, 3000), 1);
-        assert_eq!(min_micro_batches(&batch, 100_000), 1);
-        assert_eq!(min_micro_batches(&[], 100), 1);
-        assert_eq!(min_micro_batches(&batch, 0), usize::MAX);
+        assert_eq!(min_micro_batches(&batch, 1500), Some(2));
+        assert_eq!(min_micro_batches(&batch, 3000), Some(1));
+        assert_eq!(min_micro_batches(&batch, 100_000), Some(1));
+        assert_eq!(min_micro_batches(&[], 100), Some(1));
+        // Zero capacity is a typed "nothing fits", not a sentinel count.
+        assert_eq!(min_micro_batches(&batch, 0), None);
+        assert_eq!(min_micro_batches(&[], 0), Some(1));
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! The FlexSP executor (paper §5): hot switching over pooled
 //! communicators, plan dispatch, and simulated execution with time and
 //! memory accounting.
+//!
+//! The executor consumes the plan's **own placement**: every group must
+//! carry the [`flexsp_sim::DeviceGroup`] the planner's placement engine chose (see
+//! [`MicroBatchPlan::place`](crate::MicroBatchPlan::place)). It never
+//! re-derives a layout of its own — that was the fidelity gap that let
+//! predicted and simulated costs diverge whenever the planner assumed
+//! one span and the executor realized another.
 
 use std::error::Error;
 use std::fmt;
 
 use flexsp_cost::{sp_step_spec, ulysses_zero_spec};
 use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-use flexsp_sim::{
-    allocate_aligned, simulate_sp_step, AllocError, ClusterSpec, GroupPool, MemoryTracker, OomError,
-};
+use flexsp_sim::{simulate_sp_step, ClusterSpec, GroupPool, MemoryTracker, OomError};
 
 use crate::plan::IterationPlan;
 
@@ -18,15 +23,15 @@ use crate::plan::IterationPlan;
 pub enum ExecError {
     /// A device ran out of memory executing the plan.
     Oom(OomError),
-    /// Group placement failed (bad degrees or GPU budget).
-    Alloc(AllocError),
+    /// A group arrived without, or with an invalid, placement.
+    Placement(String),
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Oom(e) => write!(f, "execution failed: {e}"),
-            ExecError::Alloc(e) => write!(f, "group placement failed: {e}"),
+            ExecError::Placement(why) => write!(f, "invalid plan placement: {why}"),
         }
     }
 }
@@ -36,12 +41,6 @@ impl Error for ExecError {}
 impl From<OomError> for ExecError {
     fn from(e: OomError) -> Self {
         ExecError::Oom(e)
-    }
-}
-
-impl From<AllocError> for ExecError {
-    fn from(e: AllocError) -> Self {
-        ExecError::Alloc(e)
     }
 }
 
@@ -97,11 +96,12 @@ impl IterationReport {
 
 /// Executes [`IterationPlan`]s on the simulated cluster.
 ///
-/// Groups are fetched from a [`GroupPool`]; only the first use of a degree
-/// placement creates a communicator ("hot switching" costs nothing once
-/// cached, §5). Memory is tracked per GPU: model states (ZeRO-3 over the
-/// whole cluster) plus the activation shard of each assigned group, with
-/// OOM surfacing as [`ExecError::Oom`].
+/// Groups run on the exact GPUs their plan placement names; communicators
+/// are fetched from a [`GroupPool`], so only the first use of a placement
+/// creates one ("hot switching" costs nothing once cached, §5). Memory is
+/// tracked per GPU: model states (ZeRO-3 over the whole cluster) plus the
+/// activation shard of each assigned group, with OOM surfacing as
+/// [`ExecError::Oom`].
 #[derive(Debug)]
 pub struct Executor {
     cluster: ClusterSpec,
@@ -139,11 +139,14 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// [`ExecError::Alloc`] if a micro-batch requests more GPUs than the
-    /// cluster has (or non-power-of-two degrees); [`ExecError::Oom`] if a
-    /// device exceeds its memory budget.
+    /// [`ExecError::Placement`] if any group lacks a placement, a
+    /// placement references GPUs outside the cluster or reuses a GPU
+    /// within a micro-batch, or a placement disagrees with its group's
+    /// declared shape; [`ExecError::Oom`] if a device exceeds its memory
+    /// budget.
     pub fn execute(&self, plan: &IterationPlan) -> Result<IterationReport, ExecError> {
         let n = self.cluster.num_gpus();
+        let gpn = self.cluster.gpus_per_node;
         let mut report = IterationReport::default();
         let mut mem = MemoryTracker::new(self.cluster.gpu.mem_bytes);
         let model_state_bytes = self.model.model_state_bytes(ZeroStage::Three, n as u64);
@@ -151,8 +154,37 @@ impl Executor {
         let zero = ulysses_zero_spec(&self.cluster, &self.model);
 
         for mb in &plan.micro_batches {
-            let degrees: Vec<u32> = mb.groups.iter().map(|g| g.degree).collect();
-            let placements = allocate_aligned(n, &degrees)?;
+            // Validate the micro-batch's placement before touching state:
+            // every group placed, inside the cluster, disjoint.
+            let mut used = std::collections::HashSet::new();
+            for g in &mb.groups {
+                let Some(p) = g.placement.as_ref() else {
+                    return Err(ExecError::Placement(format!(
+                        "group {} has no placement; place the plan before executing",
+                        g.shape
+                    )));
+                };
+                if p.degree() != g.degree() || p.nodes_spanned(gpn) != g.shape.nodes_spanned {
+                    return Err(ExecError::Placement(format!(
+                        "group declared {} but its placement realizes SP{}/{}n",
+                        g.shape,
+                        p.degree(),
+                        p.nodes_spanned(gpn)
+                    )));
+                }
+                for gpu in p.gpus() {
+                    if gpu.0 >= n {
+                        return Err(ExecError::Placement(format!(
+                            "{gpu} outside the {n}-GPU cluster"
+                        )));
+                    }
+                    if !used.insert(*gpu) {
+                        return Err(ExecError::Placement(format!(
+                            "{gpu} assigned to two concurrent groups"
+                        )));
+                    }
+                }
+            }
 
             mem.reset_current();
             // Model states live on every GPU all the time.
@@ -161,11 +193,12 @@ impl Executor {
             }
 
             let mut times = Vec::with_capacity(mb.groups.len());
-            for (g, device_group) in mb.groups.iter().zip(&placements) {
+            for g in &mb.groups {
+                let device_group = g.placement.as_ref().expect("validated above");
                 let fetch = self.pool.get_or_create(device_group);
                 report.setup_s += fetch.setup_cost_s;
 
-                let shard_tokens = g.total_tokens().div_ceil(g.degree as u64);
+                let shard_tokens = g.total_tokens().div_ceil(g.degree() as u64);
                 for gpu in device_group.gpus() {
                     mem.alloc(*gpu, shard_tokens * act_per_token)?;
                 }
@@ -173,7 +206,7 @@ impl Executor {
                 let spec = sp_step_spec(
                     &self.model,
                     self.policy,
-                    g.degree,
+                    g.degree(),
                     &g.lengths(),
                     Some(zero.clone()),
                 );
@@ -190,7 +223,7 @@ impl Executor {
             let idle_gpu_s: f64 = times
                 .iter()
                 .zip(&mb.groups)
-                .map(|(r, g)| (t_max - r.total_s()) * g.degree as f64)
+                .map(|(r, g)| (t_max - r.total_s()) * g.degree() as f64)
                 .sum();
             let c = times.get(critical).copied().unwrap_or_default();
             report.micro_batches.push(MicroBatchReport {
@@ -219,6 +252,7 @@ mod tests {
     use super::*;
     use flexsp_cost::CostModel;
     use flexsp_data::Sequence;
+    use flexsp_sim::{DeviceGroup, GroupShape};
 
     use crate::plan::{GroupAssignment, MicroBatchPlan};
 
@@ -236,16 +270,27 @@ mod tests {
             .collect()
     }
 
+    fn ga(degree: u32, lens: &[u64]) -> GroupAssignment {
+        GroupAssignment::new(GroupShape::packed(degree, 8), seqs(lens))
+    }
+
+    /// A placed iteration plan over the 64-GPU test cluster.
+    fn placed(groups: Vec<GroupAssignment>) -> IterationPlan {
+        let mut plan = IterationPlan::new(vec![MicroBatchPlan::new(groups)]);
+        plan.place(&flexsp_sim::Topology::new(8, 8)).unwrap();
+        plan
+    }
+
     #[test]
     fn executes_heterogeneous_plan() {
         let (ex, _) = setup();
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            GroupAssignment::new(32, seqs(&[100 * 1024])),
-            GroupAssignment::new(8, seqs(&[48 * 1024])),
-            GroupAssignment::new(8, seqs(&[48 * 1024])),
-            GroupAssignment::new(8, seqs(&[48 * 1024])),
-            GroupAssignment::new(8, seqs(&[48 * 1024])),
-        ])]);
+        let plan = placed(vec![
+            ga(32, &[100 * 1024]),
+            ga(8, &[48 * 1024]),
+            ga(8, &[48 * 1024]),
+            ga(8, &[48 * 1024]),
+            ga(8, &[48 * 1024]),
+        ]);
         let r = ex.execute(&plan).unwrap();
         assert!(r.total_s > 0.0);
         assert_eq!(r.micro_batches.len(), 1);
@@ -254,35 +299,65 @@ mod tests {
     }
 
     #[test]
+    fn unplaced_plan_is_rejected() {
+        let (ex, _) = setup();
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![ga(8, &[8192])])]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Placement(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn overlapping_placements_are_rejected() {
+        let (ex, _) = setup();
+        // Two groups hand-placed on the same GPUs.
+        let overlapping = DeviceGroup::aligned(0, 8);
+        let groups = vec![
+            ga(8, &[8192]).with_placement(overlapping.clone(), 8),
+            ga(8, &[4096]).with_placement(overlapping, 8),
+        ];
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(groups)]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Placement(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn out_of_cluster_placement_is_rejected() {
+        let (ex, _) = setup();
+        let outside = DeviceGroup::aligned(64, 8); // GPUs 64..72 on a 64-GPU cluster
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            ga(8, &[8192]).with_placement(outside, 8)
+        ])]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Placement(_)), "got {err:?}");
+    }
+
+    #[test]
     fn oom_detected_for_oversized_group() {
         let (ex, cost) = setup();
         let too_many = cost.max_group_tokens(8) + 4096;
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
-            8,
-            seqs(&[too_many / 2, too_many / 2, 4096]),
-        )])]);
+        let plan = placed(vec![ga(8, &[too_many / 2, too_many / 2, 4096])]);
         let err = ex.execute(&plan).unwrap_err();
         assert!(matches!(err, ExecError::Oom(_)), "got {err:?}");
     }
 
     #[test]
-    fn gpu_budget_enforced() {
-        let (ex, _) = setup();
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            GroupAssignment::new(64, seqs(&[1024])),
-            GroupAssignment::new(8, seqs(&[1024])),
+    fn gpu_budget_enforced_at_placement() {
+        // A 64 + 8 plan cannot be placed on 64 GPUs at all.
+        let mut plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            ga(64, &[1024]),
+            ga(8, &[1024]),
         ])]);
-        let err = ex.execute(&plan).unwrap_err();
-        assert!(matches!(err, ExecError::Alloc(_)));
+        let err = plan.place(&flexsp_sim::Topology::new(8, 8)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::placement::PlaceError::OutOfGpus { .. }
+        ));
     }
 
     #[test]
     fn hot_switching_pays_setup_once() {
         let (ex, _) = setup();
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
-            8,
-            seqs(&[8192]),
-        )])]);
+        let plan = placed(vec![ga(8, &[8192])]);
         let r1 = ex.execute(&plan).unwrap();
         let r2 = ex.execute(&plan).unwrap();
         assert!(r1.setup_s > 0.0);
@@ -293,14 +368,12 @@ mod tests {
     #[test]
     fn micro_batches_accumulate_time() {
         let (ex, _) = setup();
-        let one = IterationPlan::new(vec![MicroBatchPlan::new(vec![GroupAssignment::new(
-            8,
-            seqs(&[16384]),
-        )])]);
-        let two = IterationPlan::new(vec![
-            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[16384]))]),
-            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[16384]))]),
+        let one = placed(vec![ga(8, &[16384])]);
+        let mut two = IterationPlan::new(vec![
+            MicroBatchPlan::new(vec![ga(8, &[16384])]),
+            MicroBatchPlan::new(vec![ga(8, &[16384])]),
         ]);
+        two.place(&flexsp_sim::Topology::new(8, 8)).unwrap();
         let r1 = ex.execute(&one).unwrap();
         let r2 = ex.execute(&two).unwrap();
         assert!(r2.total_s > 1.8 * (r1.total_s - r1.overhead_s));
@@ -310,11 +383,31 @@ mod tests {
     fn idle_time_reflects_imbalance() {
         let (ex, _) = setup();
         // One loaded group + one nearly idle group.
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            GroupAssignment::new(8, seqs(&[24 * 1024, 24 * 1024])),
-            GroupAssignment::new(8, seqs(&[1024])),
-        ])]);
+        let plan = placed(vec![
+            ga(8, &[24 * 1024, 24 * 1024]),
+            GroupAssignment::new(GroupShape::intra(8), seqs(&[1024])),
+        ]);
         let r = ex.execute(&plan).unwrap();
         assert!(r.micro_batches[0].idle_gpu_s > 0.0);
+    }
+
+    #[test]
+    fn spanning_placement_simulates_slower_than_intra() {
+        // The fidelity the refactor buys: the same degree-8 workload on a
+        // node-spanning placement pays NIC All-to-All.
+        let (ex, _) = setup();
+        let intra = placed(vec![ga(8, &[32 * 1024])]);
+        let spanning_group = DeviceGroup::for_shape(GroupShape::new(8, 2), 8, 0);
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
+            ga(8, &[32 * 1024]).with_placement(spanning_group, 8)
+        ])]);
+        let fast = ex.execute(&intra).unwrap();
+        let slow = ex.execute(&plan).unwrap();
+        assert!(
+            slow.alltoall_s > 2.0 * fast.alltoall_s,
+            "spanning {} vs intra {}",
+            slow.alltoall_s,
+            fast.alltoall_s
+        );
     }
 }

@@ -2,22 +2,42 @@
 //! training — the primary contribution of the ASPLOS 2025 paper, rebuilt in
 //! Rust on a simulated cluster.
 //!
-//! Given a global batch of variable-length sequences, FlexSP decides, per
-//! training step:
+//! # Architecture: solve → place → execute
 //!
-//! 1. how to chunk the batch into micro-batches (the **sequence blaster**,
-//!    [`blaster`], §4.2 + Appendix A of the paper),
-//! 2. which heterogeneous SP groups to form and which sequence goes where
-//!    (the **parallelism planner**, [`planner`], §4.1), after compressing
-//!    the problem with dynamic-programming **sequence bucketing**
-//!    ([`bucketing`], §4.1.3),
-//! 3. and then executes the plan with hot-switched, pooled communicators
-//!    (the **executor**, [`executor`], §5).
+//! Given a global batch of variable-length sequences, every training step
+//! flows through one pipeline, and each stage hands the next a *fully
+//! specified* artifact — no stage re-derives what an earlier one decided:
+//!
+//! 1. **Solve.** The **sequence blaster** ([`blaster`], §4.2 + Appendix A)
+//!    chunks the batch into micro-batches; dynamic-programming **sequence
+//!    bucketing** ([`bucketing`], §4.1.3) compresses each micro-batch; and
+//!    the **parallelism planner** ([`planner`], §4.1) chooses heterogeneous
+//!    SP groups and assigns every sequence. The planner's decision unit is
+//!    the [`flexsp_sim::GroupShape`] — degree × nodes spanned — so its
+//!    MILP can price an intra-node degree-8 group (NVLink All-to-All)
+//!    differently from one straddling nodes (NIC-bound), using per-shape
+//!    fits from `flexsp-cost`.
+//! 2. **Place.** The **placement engine** ([`placement`]) packs the chosen
+//!    group degrees onto concrete GPUs, node-aware: decreasing-degree
+//!    packing over per-node free slots, fullest node first, which keeps
+//!    every group intra-node whenever an all-intra layout exists (SP
+//!    degrees are powers of two — a divisible size family — so the greedy
+//!    is optimal). The realized [`flexsp_sim::DeviceGroup`]s and spans are
+//!    written back into the plan ([`MicroBatchPlan::place`]), and the
+//!    plan's predicted time is computed from those *realized* shapes.
+//! 3. **Execute.** The **executor** ([`executor`], §5) consumes the plan's
+//!    own placement verbatim — it validates it (disjointness, cluster
+//!    bounds, shape agreement) but never re-derives a layout — and
+//!    simulates each group on its exact GPUs with hot-switched, pooled
+//!    communicators. Predicted and simulated costs therefore price the
+//!    same layout, closing the planner/executor fidelity gap that a
+//!    degree-keyed stack cannot close on non-uniform topologies.
 //!
 //! The top-level entry points are [`FlexSpSolver`] (Algorithm 1: parallel
-//! exploration of micro-batch counts, bucketing, MILP planning) and
-//! [`Trainer`] (solve → execute loop with disaggregated-solving overlap
-//! accounting).
+//! exploration of micro-batch counts, bucketing, MILP planning, placement)
+//! and [`Trainer`] (solve → place → execute loop with
+//! disaggregated-solving overlap accounting). [`SolverService`] adds plan
+//! caching keyed by batch histogram *and* a full topology fingerprint.
 //!
 //! # Example
 //!
@@ -53,6 +73,7 @@
 pub mod blaster;
 pub mod bucketing;
 pub mod executor;
+pub mod placement;
 pub mod planner;
 
 mod error;
@@ -63,12 +84,15 @@ mod trainer;
 mod workflow;
 
 pub use error::PlanError;
-pub use executor::{Executor, IterationReport, MicroBatchReport};
+pub use executor::{ExecError, Executor, IterationReport, MicroBatchReport};
+pub use placement::{place_degrees, PlaceError};
 pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan, PlanStats};
 pub use planner::{plan_homogeneous, plan_micro_batch, Formulation, PlannerConfig};
 pub use service::{CacheStats, SolverService};
-pub use trainer::{IterationStats, Trainer, TrainingStats};
+pub use trainer::{IterationStats, TrainError, Trainer, TrainingStats};
 pub use workflow::{BucketingMode, FlexSpSolver, SolvedIteration, SolverConfig};
 
 // Solver internals callers commonly need alongside the planner API.
 pub use flexsp_milp::{LpEngine, SolveStats};
+// Placement vocabulary callers need alongside plans.
+pub use flexsp_sim::{GroupShape, Topology};

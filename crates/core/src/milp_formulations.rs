@@ -1,31 +1,42 @@
-//! MILP formulations of the planning problem (paper §4.1.1/§4.1.3).
+//! MILP formulations of the planning problem (paper §4.1.1/§4.1.3),
+//! placement-aware: decision variables are keyed by [`GroupShape`]
+//! (degree × nodes spanned), so the optimizer can trade an intra-node
+//! degree-8 group against a node-spanning one at their *different* fitted
+//! communication costs.
 
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::{Basis, LinExpr, MilpSolver, Problem, VarId, VarKind};
+use flexsp_sim::GroupShape;
 
 use crate::bucketing::Bucket;
 use crate::plan::{GroupAssignment, MicroBatchPlan, PlanStats};
-use crate::planner::{available_degrees, lpt_split, PlannerConfig};
+use crate::planner::{available_shapes, finalize, lpt_split, PlannerConfig};
 
-/// Degree-aggregated formulation with binary search on the makespan `C`.
+/// Shape-aggregated formulation with binary search on the makespan `C`.
 ///
-/// For fixed `C`, feasibility is a small MILP over per-degree group counts
-/// `n_d` and per-(bucket, degree) assignment counts `x_{q,d}`:
+/// For fixed `C`, feasibility is a small MILP over per-shape group counts
+/// `n_s` and per-(bucket, shape) assignment counts `x_{q,s}`:
 ///
 /// ```text
-/// Σ_d d·n_d ≤ N                    (GPU budget, Eq. 20)
-/// Σ_d x_{q,d} = b̂_q   ∀q          (assignment, Eq. 22)
-/// Σ_q x_{q,d}·w(ŝ_q,d) ≤ (C − β_d)·n_d  ∀d  (aggregate time, Eq. 18)
-/// Σ_q x_{q,d}·ŝ_q ≤ cap(d)·n_d    ∀d   (aggregate memory, Eq. 19)
+/// Σ_s d(s)·n_s ≤ N                  (GPU budget, Eq. 20)
+/// n_s ≤ cap_topo(s)                 (node capacity: intra shapes are
+///                                    bounded by per-node slots)
+/// Σ_s x_{q,s} = b̂_q   ∀q           (assignment, Eq. 22)
+/// Σ_q x_{q,s}·w(ŝ_q,s) ≤ (C − β_s)·n_s  ∀s  (aggregate time, Eq. 18)
+/// Σ_q x_{q,s}·ŝ_q ≤ cap(d(s))·n_s  ∀s   (aggregate memory, Eq. 19)
 /// ```
 ///
-/// Each feasible `(n, x)` is split into concrete groups by LPT; if the
-/// split respects memory, `C` is achievable and the search tightens.
+/// Each feasible `(n, x)` is split into concrete groups by LPT and then
+/// run through the [placement engine](crate::placement); if the realized
+/// plan respects memory and the cluster, `C` is achievable and the search
+/// tightens. Because the candidate is *placed* before evaluation, its
+/// predicted time reflects realized spans — the engine may even tighten a
+/// planned spanning shape into an intra-node one when slots allow.
 ///
 /// The binary-search steps differ **only** in the `C`-dependent numbers:
-/// the `(C − β_d)` coefficient on `n_d` in each aggregate-time row and
-/// the time-gated upper bounds of the `x_{q,d}`. So the model is built
+/// the `(C − β_s)` coefficient on `n_s` in each aggregate-time row and
+/// the time-gated upper bounds of the `x_{q,s}`. So the model is built
 /// once ([`AggregatedModel`]) and mutated in place between steps via the
 /// `flexsp-milp` mutation API, and each step's root relaxation warm
 /// starts from the previous step's basis — the incremental-LP pattern
@@ -39,8 +50,8 @@ pub(crate) fn plan_aggregated(
     warm: &MicroBatchPlan,
 ) -> (Option<MicroBatchPlan>, PlanStats) {
     let mut stats = PlanStats::default();
-    let degrees = available_degrees(cost, n_gpus);
-    if degrees.is_empty() || buckets.is_empty() {
+    let shapes = available_shapes(cost, n_gpus);
+    if shapes.is_empty() || buckets.is_empty() {
         return (None, stats);
     }
 
@@ -48,12 +59,12 @@ pub(crate) fn plan_aggregated(
     // the lower bound combines the best single-sequence time of the
     // largest bucket with the total-work bound.
     let hi0 = warm.predicted_time(cost);
-    let mut lo = lower_bound(cost, buckets, n_gpus, &degrees);
+    let mut lo = lower_bound(cost, buckets, n_gpus, &shapes);
     let mut hi = hi0.max(lo);
     let mut best: Option<MicroBatchPlan> = None;
     let mut best_time = hi0;
 
-    let mut model = AggregatedModel::build(cost, buckets, n_gpus, &degrees);
+    let mut model = AggregatedModel::build(cost, buckets, n_gpus, &shapes);
     stats.model_builds += 1;
     // Basis of the previous step's root relaxation, carried across the
     // binary search so each re-solve starts from the last optimum.
@@ -65,7 +76,7 @@ pub(crate) fn plan_aggregated(
         }
         let c = 0.5 * (lo + hi);
         stats.search_steps += 1;
-        model.set_makespan(cost, buckets, &degrees, c);
+        model.set_makespan(cost, buckets, &shapes, c);
         let mut solver = MilpSolver::new()
             .time_limit(config.milp_time_limit)
             .node_limit(config.milp_node_limit)
@@ -92,7 +103,7 @@ pub(crate) fn plan_aggregated(
         };
         match feasible {
             Some((counts, assignment)) => {
-                match split_into_groups(cost, buckets, &degrees, &counts, &assignment) {
+                match split_into_groups(cost, buckets, &shapes, &counts, &assignment) {
                     Some(plan) => {
                         let t = plan.predicted_time(cost);
                         if t < best_time {
@@ -111,15 +122,15 @@ pub(crate) fn plan_aggregated(
     (best, stats)
 }
 
-fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32]) -> f64 {
+fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, shapes: &[GroupShape]) -> f64 {
     // Every sequence needs at least its cheapest feasible placement.
     let per_seq = buckets
         .iter()
         .map(|b| {
-            degrees
+            shapes
                 .iter()
-                .filter(|&&d| b.upper <= cost.max_group_tokens(d))
-                .map(|&d| cost.seq_time(b.upper, d) + cost.group_overhead(d))
+                .filter(|&&s| b.upper <= cost.max_group_tokens(s.degree))
+                .map(|&s| cost.seq_time(b.upper, s) + cost.group_overhead(s))
                 .fold(f64::INFINITY, f64::min)
         })
         .fold(0.0, f64::max);
@@ -127,10 +138,10 @@ fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32
     let work: f64 = buckets
         .iter()
         .map(|b| {
-            let cheapest = degrees
+            let cheapest = shapes
                 .iter()
-                .filter(|&&d| b.upper <= cost.max_group_tokens(d))
-                .map(|&d| d as f64 * cost.seq_time(b.upper, d))
+                .filter(|&&s| b.upper <= cost.max_group_tokens(s.degree))
+                .map(|&s| s.degree as f64 * cost.seq_time(b.upper, s))
                 .fold(f64::INFINITY, f64::min);
             cheapest * b.count() as f64
         })
@@ -138,7 +149,7 @@ fn lower_bound(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32
     per_seq.max(work / n_gpus as f64)
 }
 
-type Assignment = Vec<Vec<u64>>; // [bucket][degree index] -> count
+type Assignment = Vec<Vec<u64>>; // [bucket][shape index] -> count
 
 /// The feasibility MILP of the aggregated formulation, built once per
 /// `plan_micro_batch` call and mutated between binary-search steps.
@@ -146,35 +157,61 @@ struct AggregatedModel {
     problem: Problem,
     n_vars: Vec<VarId>,
     x_vars: Vec<Vec<VarId>>,
-    /// Constraint index of the aggregate-time row, per degree.
+    /// Constraint index of the aggregate-time row, per shape.
     time_rows: Vec<usize>,
 }
 
+/// The most degree-`s` groups the topology can host concurrently — the
+/// node-capacity cap installed as the `n_s` upper bound. Intra-node
+/// shapes are limited by per-node slots, spanning shapes by the GPU
+/// budget.
+fn shape_count_cap(cost: &CostModel, n_gpus: u32, s: GroupShape) -> f64 {
+    let topo = cost.topology();
+    let budget = (n_gpus / s.degree) as f64;
+    if s.is_intra() {
+        budget.min(topo.intra_capacity(s.degree) as f64)
+    } else {
+        budget
+    }
+}
+
 impl AggregatedModel {
-    fn build(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, degrees: &[u32]) -> Self {
+    fn build(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, shapes: &[GroupShape]) -> Self {
         let q = buckets.len();
-        let nd = degrees.len();
+        let ns = shapes.len();
         let mut p = Problem::minimize();
 
-        // n_d: number of degree-d groups.
-        let n_vars: Vec<_> = degrees
+        // n_s: number of shape-s groups, capped by node capacity.
+        let n_vars: Vec<_> = shapes
             .iter()
-            .map(|&d| p.add_var(format!("n_{d}"), VarKind::Integer, 0.0, (n_gpus / d) as f64))
+            .map(|&s| {
+                p.add_var(
+                    format!("n_{s}"),
+                    VarKind::Integer,
+                    0.0,
+                    shape_count_cap(cost, n_gpus, s),
+                )
+            })
             .collect();
-        // x_{q,d}: sequences of bucket q on degree-d groups. Bounds are
+        // x_{q,s}: sequences of bucket q on shape-s groups. Bounds are
         // C-dependent (time gating) and set by `set_makespan`.
-        let mut x_vars = vec![Vec::with_capacity(nd); q];
+        let mut x_vars = vec![Vec::with_capacity(ns); q];
         for (qi, b) in buckets.iter().enumerate() {
-            for &d in degrees {
-                let fits_mem = b.upper <= cost.max_group_tokens(d);
+            for &s in shapes {
+                let fits_mem = b.upper <= cost.max_group_tokens(s.degree);
                 let ub = if fits_mem { b.count() as f64 } else { 0.0 };
-                x_vars[qi].push(p.add_var(format!("x_{qi}_{d}"), VarKind::Integer, 0.0, ub));
+                x_vars[qi].push(p.add_var(format!("x_{qi}_{s}"), VarKind::Integer, 0.0, ub));
             }
         }
 
         // GPU budget (row 0).
         p.add_le(
-            LinExpr::from_terms(n_vars.iter().zip(degrees).map(|(&v, &d)| (v, d as f64))),
+            LinExpr::from_terms(
+                n_vars
+                    .iter()
+                    .zip(shapes)
+                    .map(|(&v, &s)| (v, s.degree as f64)),
+            ),
             n_gpus as f64,
         );
         // Assignment completeness (rows 1..=q).
@@ -184,35 +221,35 @@ impl AggregatedModel {
                 b.count() as f64,
             );
         }
-        // Aggregate time and memory per degree. The `n_d` coefficient of
-        // the time row is the C-dependent `−(C − β_d)`; a placeholder is
+        // Aggregate time and memory per shape. The `n_s` coefficient of
+        // the time row is the C-dependent `−(C − β_s)`; a placeholder is
         // installed here and overwritten by `set_makespan` before every
         // solve (the term must exist so the sparsity pattern — and with
         // it any carried basis — survives the mutation).
-        let mut time_rows = Vec::with_capacity(nd);
-        for (di, &d) in degrees.iter().enumerate() {
+        let mut time_rows = Vec::with_capacity(ns);
+        for (si, &s) in shapes.iter().enumerate() {
             let mut time = LinExpr::new();
             let mut mem = LinExpr::new();
             for (qi, b) in buckets.iter().enumerate() {
-                time.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
-                mem.add_term(x_vars[qi][di], b.upper as f64);
+                time.add_term(x_vars[qi][si], cost.seq_time(b.upper, s));
+                mem.add_term(x_vars[qi][si], b.upper as f64);
             }
-            time.add_term(n_vars[di], -1.0);
+            time.add_term(n_vars[si], -1.0);
             time_rows.push(p.num_constraints());
             p.add_le(time, 0.0);
-            mem.add_term(n_vars[di], -(cost.max_group_tokens(d) as f64));
+            mem.add_term(n_vars[si], -(cost.max_group_tokens(s.degree) as f64));
             p.add_le(mem, 0.0);
         }
-        // Objective: total predicted work (prefers efficient degrees), plus
+        // Objective: total predicted work (prefers efficient shapes), plus
         // a tiny GPU-parsimony term so spare groups are not opened for free.
         let mut obj = LinExpr::new();
         for (qi, b) in buckets.iter().enumerate() {
-            for (di, &d) in degrees.iter().enumerate() {
-                obj.add_term(x_vars[qi][di], cost.seq_time(b.upper, d));
+            for (si, &s) in shapes.iter().enumerate() {
+                obj.add_term(x_vars[qi][si], cost.seq_time(b.upper, s));
             }
         }
-        for (di, &d) in degrees.iter().enumerate() {
-            obj.add_term(n_vars[di], 1e-6 * d as f64);
+        for (si, &s) in shapes.iter().enumerate() {
+            obj.add_term(n_vars[si], 1e-6 * s.degree as f64);
         }
         p.set_objective(obj);
 
@@ -226,20 +263,26 @@ impl AggregatedModel {
 
     /// Installs the makespan `c` into the C-dependent coefficients and
     /// bounds — the only numbers that move between binary-search steps.
-    fn set_makespan(&mut self, cost: &CostModel, buckets: &[Bucket], degrees: &[u32], c: f64) {
-        for (di, &d) in degrees.iter().enumerate() {
-            let slack = (c - cost.group_overhead(d)).max(0.0);
+    fn set_makespan(
+        &mut self,
+        cost: &CostModel,
+        buckets: &[Bucket],
+        shapes: &[GroupShape],
+        c: f64,
+    ) {
+        for (si, &s) in shapes.iter().enumerate() {
+            let slack = (c - cost.group_overhead(s)).max(0.0);
             self.problem
-                .set_constraint_coef(self.time_rows[di], self.n_vars[di], -slack);
+                .set_constraint_coef(self.time_rows[si], self.n_vars[si], -slack);
             for (qi, b) in buckets.iter().enumerate() {
-                let fits_mem = b.upper <= cost.max_group_tokens(d);
-                let fits_time = cost.seq_time(b.upper, d) + cost.group_overhead(d) <= c;
+                let fits_mem = b.upper <= cost.max_group_tokens(s.degree);
+                let fits_time = cost.seq_time(b.upper, s) + cost.group_overhead(s) <= c;
                 let ub = if fits_mem && fits_time {
                     b.count() as f64
                 } else {
                     0.0
                 };
-                self.problem.set_bounds(self.x_vars[qi][di], 0.0, ub);
+                self.problem.set_bounds(self.x_vars[qi][si], 0.0, ub);
             }
         }
     }
@@ -259,13 +302,14 @@ impl AggregatedModel {
     }
 }
 
-/// Splits the per-degree aggregate assignment into concrete groups (LPT),
-/// validating per-group memory. Longer sequences in a bucket are handed
-/// out first so the representative-length approximation stays safe.
+/// Splits the per-shape aggregate assignment into concrete groups (LPT),
+/// validating per-group memory, then places the whole micro-batch onto
+/// the topology. Longer sequences in a bucket are handed out first so the
+/// representative-length approximation stays safe.
 fn split_into_groups(
     cost: &CostModel,
     buckets: &[Bucket],
-    degrees: &[u32],
+    shapes: &[GroupShape],
     counts: &[u64],
     assignment: &Assignment,
 ) -> Option<MicroBatchPlan> {
@@ -280,11 +324,11 @@ fn split_into_groups(
         .collect();
 
     let mut groups = Vec::new();
-    for (di, &d) in degrees.iter().enumerate() {
-        let n_d = counts[di] as usize;
+    for (si, &s) in shapes.iter().enumerate() {
+        let n_s = counts[si] as usize;
         let mut members: Vec<Sequence> = Vec::new();
         for (qi, pool) in pools.iter_mut().enumerate() {
-            let take = assignment[qi][di] as usize;
+            let take = assignment[qi][si] as usize;
             for _ in 0..take {
                 members.push(pool.pop()?);
             }
@@ -292,28 +336,29 @@ fn split_into_groups(
         if members.is_empty() {
             continue;
         }
-        if n_d == 0 {
+        if n_s == 0 {
             return None; // assignment without groups: infeasible split
         }
-        let cap = cost.max_group_tokens(d);
-        let bins = lpt_split(cost, &members, d, n_d, cap)?;
+        let cap = cost.max_group_tokens(s.degree);
+        let bins = lpt_split(cost, &members, s, n_s, cap)?;
         for bin in bins.into_iter().filter(|b| !b.is_empty()) {
-            groups.push(GroupAssignment::new(d, bin));
+            groups.push(GroupAssignment::new(s, bin));
         }
     }
     // All pools must be drained.
     if pools.iter().any(|p| !p.is_empty()) {
         return None;
     }
-    Some(MicroBatchPlan::new(groups))
+    finalize(cost, MicroBatchPlan::new(groups))
 }
 
 /// Paper-faithful per-group formulation (Eq. 17–22): one binary `m_p` per
 /// virtual group, an integer assignment matrix `Â ∈ N^{Q×P}`, and a free
-/// makespan `C`, with symmetry-breaking ordering within each degree class.
+/// makespan `C`, with symmetry-breaking ordering within each shape class.
 ///
+/// Virtual groups are enumerated per *shape* up to the node-capacity cap.
 /// Only tractable for small clusters (the virtual-group count is
-/// `Σ_d N/d ≈ 2N`); production planning uses [`plan_aggregated`]. Inside
+/// `Σ_s cap(s)`); production planning uses [`plan_aggregated`]. Inside
 /// the single branch-and-bound run, child nodes re-solve from their
 /// parent's basis (see `flexsp-milp`), which is where this formulation's
 /// basis reuse shows up in [`PlanStats`].
@@ -325,16 +370,16 @@ pub(crate) fn plan_per_group(
     warm: &MicroBatchPlan,
 ) -> (Option<MicroBatchPlan>, PlanStats) {
     let mut stats = PlanStats::default();
-    let degrees = available_degrees(cost, n_gpus);
+    let shapes = available_shapes(cost, n_gpus);
     let q = buckets.len();
-    if degrees.is_empty() || q == 0 {
+    if shapes.is_empty() || q == 0 {
         return (None, stats);
     }
-    // Virtual groups: N/d slots per degree.
-    let mut slots: Vec<u32> = Vec::new(); // degree per slot
-    for &d in &degrees {
-        for _ in 0..(n_gpus / d) {
-            slots.push(d);
+    // Virtual groups: node-capacity-capped slots per shape.
+    let mut slots: Vec<GroupShape> = Vec::new(); // shape per slot
+    for &s in &shapes {
+        for _ in 0..shape_count_cap(cost, n_gpus, s) as u32 {
+            slots.push(s);
         }
     }
     let np = slots.len();
@@ -344,8 +389,8 @@ pub(crate) fn plan_per_group(
     let m_vars: Vec<_> = (0..np).map(|pi| p.add_binary(format!("m_{pi}"))).collect();
     let mut a_vars = vec![Vec::with_capacity(np); q];
     for (qi, b) in buckets.iter().enumerate() {
-        for (pi, &d) in slots.iter().enumerate() {
-            let ub = if b.upper <= cost.max_group_tokens(d) {
+        for (pi, &s) in slots.iter().enumerate() {
+            let ub = if b.upper <= cost.max_group_tokens(s.degree) {
                 b.count() as f64
             } else {
                 0.0
@@ -356,21 +401,26 @@ pub(crate) fn plan_per_group(
 
     // Eq. 18 time + Eq. 19 memory per virtual group (memory doubles as the
     // Eq. 21 linking constraint: no sequences on unselected groups).
-    for (pi, &d) in slots.iter().enumerate() {
-        let mut time = LinExpr::term(m_vars[pi], cost.group_overhead(d));
+    for (pi, &s) in slots.iter().enumerate() {
+        let mut time = LinExpr::term(m_vars[pi], cost.group_overhead(s));
         let mut mem = LinExpr::new();
         for (qi, b) in buckets.iter().enumerate() {
-            time.add_term(a_vars[qi][pi], cost.seq_time(b.upper, d));
+            time.add_term(a_vars[qi][pi], cost.seq_time(b.upper, s));
             mem.add_term(a_vars[qi][pi], b.upper as f64);
         }
         time.add_term(c_var, -1.0);
         p.add_le(time, 0.0);
-        mem.add_term(m_vars[pi], -(cost.max_group_tokens(d) as f64));
+        mem.add_term(m_vars[pi], -(cost.max_group_tokens(s.degree) as f64));
         p.add_le(mem, 0.0);
     }
     // Eq. 20 GPU budget.
     p.add_le(
-        LinExpr::from_terms(m_vars.iter().zip(&slots).map(|(&m, &d)| (m, d as f64))),
+        LinExpr::from_terms(
+            m_vars
+                .iter()
+                .zip(&slots)
+                .map(|(&m, &s)| (m, s.degree as f64)),
+        ),
         n_gpus as f64,
     );
     // Eq. 22 assignment completeness.
@@ -380,7 +430,7 @@ pub(crate) fn plan_per_group(
             b.count() as f64,
         );
     }
-    // Symmetry breaking: within a degree class, slots activate in order.
+    // Symmetry breaking: within a shape class, slots activate in order.
     for w in (0..np).collect::<Vec<_>>().windows(2) {
         let (a, b) = (w[0], w[1]);
         if slots[a] == slots[b] {
@@ -423,7 +473,7 @@ pub(crate) fn plan_per_group(
         })
         .collect();
     let mut groups = Vec::new();
-    for (pi, &d) in slots.iter().enumerate() {
+    for (pi, &s) in slots.iter().enumerate() {
         let mut members = Vec::new();
         for (qi, pool) in pools.iter_mut().enumerate() {
             let take = sol.value(a_vars[qi][pi]).round() as usize;
@@ -435,13 +485,13 @@ pub(crate) fn plan_per_group(
             }
         }
         if !members.is_empty() {
-            groups.push(GroupAssignment::new(d, members));
+            groups.push(GroupAssignment::new(s, members));
         }
     }
     if pools.iter().any(|p| !p.is_empty()) {
         return (None, stats);
     }
-    (Some(MicroBatchPlan::new(groups)), stats)
+    (finalize(cost, MicroBatchPlan::new(groups)), stats)
 }
 
 /// Maps a concrete plan onto the per-group decision variables
@@ -449,7 +499,7 @@ pub(crate) fn plan_per_group(
 fn warm_start_values(
     cost: &CostModel,
     buckets: &[Bucket],
-    slots: &[u32],
+    slots: &[GroupShape],
     warm: &MicroBatchPlan,
     total_vars: usize,
     q: usize,
@@ -458,13 +508,15 @@ fn warm_start_values(
     let _ = total_vars;
     let mut values = vec![0.0; 1 + np + q * np];
     values[0] = warm.predicted_time(cost);
-    // Slot indices per degree, in declaration order.
-    let mut free_slots: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
-    for (pi, &d) in slots.iter().enumerate() {
-        free_slots.entry(d).or_default().push(pi);
+    // Slot indices per shape, in declaration order. The warm plan carries
+    // *realized* shapes, which may not all be virtual-slot shapes (e.g. a
+    // fragmented three-node span); match by degree, preferring the exact
+    // shape.
+    let mut free_slots: std::collections::BTreeMap<GroupShape, Vec<usize>> = Default::default();
+    for (pi, &s) in slots.iter().enumerate() {
+        free_slots.entry(s).or_default().push(pi);
     }
-    for (d, v) in free_slots.iter_mut() {
-        let _ = d;
+    for v in free_slots.values_mut() {
         v.reverse(); // pop() yields the lowest index first
     }
     // Bucket lookup: length -> bucket index (buckets are disjoint ranges).
@@ -474,7 +526,16 @@ fn warm_start_values(
             .position(|b| len <= b.upper && b.seqs.iter().any(|s| s.len == len))
     };
     for g in &warm.groups {
-        let pi = free_slots.get_mut(&g.degree)?.pop()?;
+        let slot_shape = if free_slots.get(&g.shape).is_some_and(|v| !v.is_empty()) {
+            g.shape
+        } else {
+            *free_slots
+                .iter()
+                .filter(|(s, v)| s.degree == g.degree() && !v.is_empty())
+                .map(|(s, _)| s)
+                .next()?
+        };
+        let pi = free_slots.get_mut(&slot_shape)?.pop()?;
         values[1 + pi] = 1.0;
         for s in &g.seqs {
             let qi = bucket_of(s.len)?;

@@ -1,0 +1,173 @@
+//! The node-packing placement engine: map a micro-batch's planned group
+//! degrees onto concrete GPUs, node-aware.
+//!
+//! The planner decides *shapes* (degree × nodes spanned); this engine
+//! decides *which GPUs*. It packs groups in decreasing-degree order onto
+//! the per-node free-slot ledger ([`NodeSlots`]), always drawing from the
+//! fullest node first. Two properties follow:
+//!
+//! * **Intra-node preference.** A group only spans nodes when no single
+//!   node has enough free GPUs at its turn. Because SP degrees are powers
+//!   of two — a *divisible* item-size family — decreasing-order packing
+//!   into equal-capacity bins is optimal, so whenever an all-intra-node
+//!   layout exists the engine finds one.
+//! * **Minimal span.** When a group must span, drawing from the fullest
+//!   nodes minimizes the number of nodes touched and maximizes co-located
+//!   All-to-All peers.
+//!
+//! The realized [`flexsp_sim::GroupShape`] of every placed group is reported back so
+//! plans always carry the span their groups will actually execute at —
+//! the executor consumes these placements verbatim instead of re-deriving
+//! its own layout.
+
+use std::fmt;
+
+use flexsp_sim::{DeviceGroup, NodeSlots, Topology};
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The degrees sum past the cluster's GPU count.
+    OutOfGpus {
+        /// GPUs requested in total.
+        requested: u32,
+        /// GPUs available.
+        available: u32,
+    },
+    /// A degree was zero.
+    ZeroDegree,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::OutOfGpus {
+                requested,
+                available,
+            } => write!(
+                f,
+                "placement requests {requested} GPUs but only {available} available"
+            ),
+            PlaceError::ZeroDegree => write!(f, "cannot place a zero-degree group"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Places groups of the given `degrees` onto `topo`, returning one
+/// [`DeviceGroup`] per input degree, in input order.
+///
+/// Groups are packed largest-first from the fullest nodes (see the module
+/// docs for the guarantees). Unlike the legacy flat-aligned allocator,
+/// degrees need not be powers of two and node widths need not divide
+/// them — the engine simply never splits a group across more nodes than
+/// the free-slot pattern forces.
+///
+/// # Errors
+///
+/// [`PlaceError::OutOfGpus`] if `Σ degrees` exceeds the cluster;
+/// [`PlaceError::ZeroDegree`] for a zero degree.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_core::placement::place_degrees;
+/// use flexsp_sim::Topology;
+///
+/// // Four 6-GPU nodes: two degree-8 groups must span, the degree-4
+/// // groups stay intra-node on the remaining slots.
+/// let topo = Topology::new(4, 6);
+/// let groups = place_degrees(&topo, &[8, 8, 4, 4]).unwrap();
+/// assert_eq!(groups[0].nodes_spanned(6), 2);
+/// assert!(groups[2].is_intra_node(6));
+/// assert!(groups[3].is_intra_node(6));
+/// ```
+pub fn place_degrees(topo: &Topology, degrees: &[u32]) -> Result<Vec<DeviceGroup>, PlaceError> {
+    if degrees.contains(&0) {
+        return Err(PlaceError::ZeroDegree);
+    }
+    let requested: u32 = degrees.iter().sum();
+    if requested > topo.num_gpus() {
+        return Err(PlaceError::OutOfGpus {
+            requested,
+            available: topo.num_gpus(),
+        });
+    }
+    let mut order: Vec<usize> = (0..degrees.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
+    let mut slots = NodeSlots::new(*topo);
+    let mut out: Vec<Option<DeviceGroup>> = vec![None; degrees.len()];
+    for i in order {
+        let group = slots
+            .take_packed(degrees[i])
+            .expect("budget checked upfront");
+        out[i] = Some(group);
+    }
+    Ok(out.into_iter().map(|g| g.expect("placed")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_sim::GroupShape;
+
+    #[test]
+    fn groups_returned_in_input_order() {
+        let topo = Topology::new(8, 8);
+        let groups = place_degrees(&topo, &[8, 32, 16, 4, 4]).unwrap();
+        let degrees: Vec<u32> = groups.iter().map(|g| g.degree()).collect();
+        assert_eq!(degrees, vec![8, 32, 16, 4, 4]);
+    }
+
+    #[test]
+    fn gpus_used_at_most_once() {
+        let topo = Topology::new(8, 8);
+        let groups = place_degrees(&topo, &[32, 16, 8, 4, 2, 1, 1]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for gpu in g.gpus() {
+                assert!(seen.insert(*gpu), "GPU {gpu} reused");
+                assert!(gpu.0 < topo.num_gpus());
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_mix_stays_intra_when_it_can() {
+        // 2 nodes × 8: [8, 4, 4] packs all-intra.
+        let topo = Topology::new(2, 8);
+        let groups = place_degrees(&topo, &[4, 8, 4]).unwrap();
+        assert!(groups.iter().all(|g| g.is_intra_node(8)), "{groups:?}");
+    }
+
+    #[test]
+    fn spans_only_under_fragmentation() {
+        // 2 nodes × 6: [4, 4, 4] — the third group has 2 + 2 left.
+        let topo = Topology::new(2, 6);
+        let groups = place_degrees(&topo, &[4, 4, 4]).unwrap();
+        let spanning = groups.iter().filter(|g| !g.is_intra_node(6)).count();
+        assert_eq!(spanning, 1);
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        let topo = Topology::new(1, 8);
+        assert_eq!(
+            place_degrees(&topo, &[8, 2]),
+            Err(PlaceError::OutOfGpus {
+                requested: 10,
+                available: 8
+            })
+        );
+        assert_eq!(place_degrees(&topo, &[0]), Err(PlaceError::ZeroDegree));
+    }
+
+    #[test]
+    fn whole_cluster_group_spans_everything() {
+        let topo = Topology::new(4, 8);
+        let groups = place_degrees(&topo, &[32]).unwrap();
+        assert_eq!(groups[0].nodes_spanned(8), 4);
+        assert_eq!(GroupShape::of(&groups[0], 8), GroupShape::new(32, 4));
+    }
+}

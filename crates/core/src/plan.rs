@@ -1,4 +1,10 @@
 //! Parallelism plan types.
+//!
+//! A plan is placement-aware end to end: every [`GroupAssignment`]
+//! carries a [`GroupShape`] (degree × nodes spanned) and — once
+//! [`MicroBatchPlan::place`] has run — the concrete [`DeviceGroup`] the
+//! executor must use. Predicted times are computed from the realized
+//! shapes, so planner and executor price the *same* layout.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -6,6 +12,9 @@ use std::fmt;
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::SolveStats;
+use flexsp_sim::{DeviceGroup, GroupShape, Topology};
+
+use crate::placement::{place_degrees, PlaceError};
 
 /// Solver-effort counters attached to a plan so callers (and benches)
 /// can attribute planning time: how many MILP models were built, how many
@@ -36,20 +45,50 @@ impl PlanStats {
     }
 }
 
-/// One SP group in a micro-batch plan: a parallelism degree plus the
-/// sequences dispatched to it.
+/// One SP group in a micro-batch plan: a placement class, the sequences
+/// dispatched to it, and (after placement) the concrete GPUs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupAssignment {
-    /// SP degree (power of two).
-    pub degree: u32,
+    /// Placement class: degree × nodes spanned.
+    pub shape: GroupShape,
     /// The sequences the group processes in this micro-batch.
     pub seqs: Vec<Sequence>,
+    /// The concrete GPUs executing this group, filled in by
+    /// [`MicroBatchPlan::place`] (or by a caller supplying its own
+    /// layout). `None` means not yet placed.
+    pub placement: Option<DeviceGroup>,
 }
 
 impl GroupAssignment {
-    /// Creates an assignment.
-    pub fn new(degree: u32, seqs: Vec<Sequence>) -> Self {
-        Self { degree, seqs }
+    /// Creates an unplaced assignment.
+    pub fn new(shape: GroupShape, seqs: Vec<Sequence>) -> Self {
+        Self {
+            shape,
+            seqs,
+            placement: None,
+        }
+    }
+
+    /// Attaches a concrete placement and syncs the shape to the realized
+    /// span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group's GPU count differs from the shape's degree.
+    pub fn with_placement(mut self, group: DeviceGroup, gpus_per_node: u32) -> Self {
+        assert_eq!(
+            group.degree(),
+            self.shape.degree,
+            "placement degree mismatch"
+        );
+        self.shape = GroupShape::of(&group, gpus_per_node);
+        self.placement = Some(group);
+        self
+    }
+
+    /// Parallelism degree (member GPU count).
+    pub fn degree(&self) -> u32 {
+        self.shape.degree
     }
 
     /// Total tokens assigned.
@@ -62,9 +101,9 @@ impl GroupAssignment {
         self.seqs.iter().map(|s| s.len).collect()
     }
 
-    /// Predicted execution time under `cost`.
+    /// Predicted execution time under `cost` at this group's shape.
     pub fn predicted_time(&self, cost: &CostModel) -> f64 {
-        cost.group_time(&self.lengths(), self.degree)
+        cost.group_time(&self.lengths(), self.shape)
     }
 }
 
@@ -104,7 +143,7 @@ impl MicroBatchPlan {
 
     /// Sum of group degrees (GPUs in use).
     pub fn gpus_used(&self) -> u32 {
-        self.groups.iter().map(|g| g.degree).sum()
+        self.groups.iter().map(|g| g.degree()).sum()
     }
 
     /// All sequences in the micro-batch.
@@ -115,6 +154,28 @@ impl MicroBatchPlan {
     /// Total tokens in the micro-batch.
     pub fn total_tokens(&self) -> u64 {
         self.groups.iter().map(|g| g.total_tokens()).sum()
+    }
+
+    /// Runs the placement engine over this micro-batch's degrees and
+    /// attaches the resulting device groups, updating every group's shape
+    /// to the realized span (see [`crate::placement`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::OutOfGpus`] if the degrees oversubscribe `topo`.
+    pub fn place(&mut self, topo: &Topology) -> Result<(), PlaceError> {
+        let degrees: Vec<u32> = self.groups.iter().map(|g| g.degree()).collect();
+        let placements = place_degrees(topo, &degrees)?;
+        for (g, p) in self.groups.iter_mut().zip(placements) {
+            g.shape = GroupShape::of(&p, topo.gpus_per_node);
+            g.placement = Some(p);
+        }
+        Ok(())
+    }
+
+    /// True if every group carries a concrete placement.
+    pub fn is_placed(&self) -> bool {
+        self.groups.iter().all(|g| g.placement.is_some())
     }
 
     /// Predicted micro-batch time: the max over concurrent groups
@@ -130,7 +191,7 @@ impl MicroBatchPlan {
     pub fn degree_signature(&self) -> String {
         let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for g in &self.groups {
-            *counts.entry(g.degree).or_insert(0) += 1;
+            *counts.entry(g.degree()).or_insert(0) += 1;
         }
         let parts: Vec<String> = counts
             .iter()
@@ -140,6 +201,32 @@ impl MicroBatchPlan {
                     format!("{d}")
                 } else {
                     format!("{d}x{c}")
+                }
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// Placement-aware signature: degrees annotated with their span,
+    /// e.g. `<32/4n, 8x4>` (intra-node groups carry no suffix).
+    pub fn shape_signature(&self) -> String {
+        let mut counts: BTreeMap<GroupShape, u32> = BTreeMap::new();
+        for g in &self.groups {
+            *counts.entry(g.shape).or_insert(0) += 1;
+        }
+        let parts: Vec<String> = counts
+            .iter()
+            .rev()
+            .map(|(s, c)| {
+                let base = if s.is_intra() {
+                    format!("{}", s.degree)
+                } else {
+                    format!("{}/{}n", s.degree, s.nodes_spanned)
+                };
+                if *c == 1 {
+                    base
+                } else {
+                    format!("{base}x{c}")
                 }
             })
             .collect();
@@ -167,6 +254,24 @@ impl IterationPlan {
         Self { micro_batches }
     }
 
+    /// Places every micro-batch (each micro-batch packs the whole cluster
+    /// afresh; micro-batches run sequentially).
+    ///
+    /// # Errors
+    ///
+    /// The first [`PlaceError`] encountered.
+    pub fn place(&mut self, topo: &Topology) -> Result<(), PlaceError> {
+        for mb in &mut self.micro_batches {
+            mb.place(topo)?;
+        }
+        Ok(())
+    }
+
+    /// True if every group of every micro-batch carries a placement.
+    pub fn is_placed(&self) -> bool {
+        self.micro_batches.iter().all(|m| m.is_placed())
+    }
+
     /// Total sequences across micro-batches.
     pub fn num_seqs(&self) -> usize {
         self.micro_batches.iter().map(|m| m.num_seqs()).sum()
@@ -188,9 +293,18 @@ impl IterationPlan {
     /// Paper-style multi-line summary (Table 3): one degree signature per
     /// micro-batch, with repeats collapsed (`<8x8> x2`).
     pub fn signature(&self) -> String {
+        self.collapsed(MicroBatchPlan::degree_signature)
+    }
+
+    /// Placement-aware multi-line summary (spans annotated).
+    pub fn shape_signature(&self) -> String {
+        self.collapsed(MicroBatchPlan::shape_signature)
+    }
+
+    fn collapsed(&self, sig: impl Fn(&MicroBatchPlan) -> String) -> String {
         let mut lines: Vec<(String, u32)> = Vec::new();
         for m in &self.micro_batches {
-            let sig = m.degree_signature();
+            let sig = sig(m);
             match lines.last_mut() {
                 Some((s, c)) if *s == sig => *c += 1,
                 _ => lines.push((sig, 1)),
@@ -217,7 +331,7 @@ impl IterationPlan {
         let mut map: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for m in &self.micro_batches {
             for g in &m.groups {
-                map.entry(g.degree).or_default().extend(g.lengths());
+                map.entry(g.degree()).or_default().extend(g.lengths());
             }
         }
         map
@@ -235,21 +349,52 @@ mod tests {
             .collect()
     }
 
+    fn ga(degree: u32, lens: &[u64]) -> GroupAssignment {
+        GroupAssignment::new(GroupShape::packed(degree, 8), seqs(lens))
+    }
+
     #[test]
     fn signatures_match_paper_notation() {
-        let m = MicroBatchPlan::new(vec![
-            GroupAssignment::new(32, seqs(&[100])),
-            GroupAssignment::new(8, seqs(&[1])),
-            GroupAssignment::new(8, seqs(&[2])),
-            GroupAssignment::new(16, seqs(&[3])),
-        ]);
+        let m = MicroBatchPlan::new(vec![ga(32, &[100]), ga(8, &[1]), ga(8, &[2]), ga(16, &[3])]);
         assert_eq!(m.degree_signature(), "<32, 16, 8x2>");
         assert_eq!(m.gpus_used(), 64);
     }
 
     #[test]
+    fn shape_signature_annotates_spans() {
+        let m = MicroBatchPlan::new(vec![
+            ga(32, &[100]), // packed(32, 8) spans 4 nodes
+            ga(8, &[1]),
+            ga(8, &[2]),
+        ]);
+        assert_eq!(m.shape_signature(), "<32/4n, 8x2>");
+    }
+
+    #[test]
+    fn placement_realizes_shapes() {
+        let topo = Topology::new(8, 8);
+        let mut m = MicroBatchPlan::new(vec![ga(32, &[100]), ga(8, &[1]), ga(8, &[2])]);
+        assert!(!m.is_placed());
+        m.place(&topo).unwrap();
+        assert!(m.is_placed());
+        // Each GPU at most once across the micro-batch.
+        let mut seen = std::collections::HashSet::new();
+        for g in &m.groups {
+            let p = g.placement.as_ref().unwrap();
+            assert_eq!(p.degree(), g.degree());
+            assert_eq!(GroupShape::of(p, 8), g.shape);
+            for gpu in p.gpus() {
+                assert!(seen.insert(*gpu));
+            }
+        }
+        // The 8-GPU groups stay on one node.
+        assert!(m.groups[1].shape.is_intra());
+        assert!(m.groups[2].shape.is_intra());
+    }
+
+    #[test]
     fn iteration_signature_collapses_repeats() {
-        let mb = |d: u32| MicroBatchPlan::new(vec![GroupAssignment::new(d, seqs(&[1]))]);
+        let mb = |d: u32| MicroBatchPlan::new(vec![ga(d, &[1])]);
         let plan = IterationPlan::new(vec![mb(8), mb(8), mb(64)]);
         assert_eq!(plan.signature(), "<8> x2\n<64>");
     }
@@ -257,8 +402,8 @@ mod tests {
     #[test]
     fn token_accounting() {
         let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            GroupAssignment::new(8, seqs(&[10, 20])),
-            GroupAssignment::new(4, seqs(&[5])),
+            ga(8, &[10, 20]),
+            ga(4, &[5]),
         ])]);
         assert_eq!(plan.total_tokens(), 35);
         assert_eq!(plan.num_seqs(), 3);
@@ -267,8 +412,8 @@ mod tests {
     #[test]
     fn lengths_by_degree_collects_across_microbatches() {
         let plan = IterationPlan::new(vec![
-            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[10]))]),
-            MicroBatchPlan::new(vec![GroupAssignment::new(8, seqs(&[30]))]),
+            MicroBatchPlan::new(vec![ga(8, &[10])]),
+            MicroBatchPlan::new(vec![ga(8, &[30])]),
         ]);
         assert_eq!(plan.lengths_by_degree()[&8], vec![10, 30]);
     }

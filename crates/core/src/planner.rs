@@ -1,29 +1,39 @@
-//! The parallelism planner (paper §4.1): choose heterogeneous SP groups
-//! and assign every sequence to one of them, minimizing the makespan.
+//! The parallelism planner (paper §4.1): choose heterogeneous SP group
+//! *shapes* (degree × nodes spanned) and assign every sequence to one of
+//! them, minimizing the makespan.
 //!
 //! Three interchangeable strategies:
 //!
 //! * [`Formulation::Heuristic`] — greedy LPT-style construction plus local
-//!   search. Always available, always fast; serves as the MILP warm start.
+//!   search, tracking per-node free slots so every opened group is priced
+//!   at the span it will actually realize. Always available, always fast;
+//!   serves as the MILP warm start.
 //! * [`Formulation::Aggregated`] (default) — the paper's MILP after a
-//!   documented symmetry reduction: groups of equal degree are
-//!   interchangeable, so we decide *per-degree group counts* `n_d` and
-//!   *per-(bucket, degree) assignment counts* `x_{q,d}`, then split each
-//!   degree's pool into concrete groups by LPT. The min-max objective is
-//!   recovered by binary-searching the makespan `C` over feasibility MILPs
-//!   (each linear because `C` is fixed), sidestepping the `C·n_d`
-//!   bilinearity that the aggregation would otherwise introduce.
+//!   documented symmetry reduction: groups of equal shape are
+//!   interchangeable, so we decide *per-shape group counts* `n_s` and
+//!   *per-(bucket, shape) assignment counts* `x_{q,s}` under node-capacity
+//!   caps, then split each shape's pool into concrete groups by LPT. The
+//!   min-max objective is recovered by binary-searching the makespan `C`
+//!   over feasibility MILPs (each linear because `C` is fixed),
+//!   sidestepping the `C·n_s` bilinearity that the aggregation would
+//!   otherwise introduce.
 //! * [`Formulation::PerGroup`] — the paper's Eq. 17–22 verbatim (one
 //!   binary `m_p` per virtual group, integer assignment matrix `Â`, free
 //!   makespan variable `C`) with symmetry-breaking row ordering. Exact but
 //!   only tractable for small clusters; used in tests to validate the
 //!   aggregated formulation.
+//!
+//! Whatever the strategy, every returned plan has been run through the
+//! [placement engine](crate::placement): its groups carry concrete
+//! [`DeviceGroup`](flexsp_sim::DeviceGroup)s and the *realized* shapes,
+//! and its predicted time is computed from those shapes.
 
 use std::time::Duration;
 
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::LpEngine;
+use flexsp_sim::{GroupShape, NodeSlots};
 
 use crate::bucketing::Bucket;
 use crate::error::PlanError;
@@ -35,7 +45,7 @@ use crate::plan::{GroupAssignment, MicroBatchPlan, PlanStats};
 pub enum Formulation {
     /// Greedy + local search only (no MILP).
     Heuristic,
-    /// Degree-aggregated MILP with makespan binary search (default).
+    /// Shape-aggregated MILP with makespan binary search (default).
     Aggregated,
     /// Paper-faithful per-group MILP (small clusters / validation).
     PerGroup,
@@ -94,8 +104,9 @@ impl PlannerConfig {
     }
 }
 
-/// Plans one micro-batch: forms heterogeneous SP groups over `n_gpus` GPUs
-/// and assigns every bucketed sequence (paper problem (17)).
+/// Plans one micro-batch: forms heterogeneous SP groups over `n_gpus` GPUs,
+/// assigns every bucketed sequence (paper problem (17)), and places the
+/// groups onto concrete GPUs node-aware.
 ///
 /// # Errors
 ///
@@ -109,10 +120,10 @@ pub fn plan_micro_batch(
     n_gpus: u32,
     config: &PlannerConfig,
 ) -> Result<MicroBatchPlan, PlanError> {
-    let degrees = available_degrees(cost, n_gpus);
-    let max_cap = degrees
+    let shapes = available_shapes(cost, n_gpus);
+    let max_cap = shapes
         .iter()
-        .map(|&d| cost.max_group_tokens(d))
+        .map(|s| cost.max_group_tokens(s.degree))
         .max()
         .unwrap_or(0);
     for b in buckets {
@@ -132,13 +143,20 @@ pub fn plan_micro_batch(
     // miss them), then the MILP improvement seeded by the best candidate.
     // Near the memory wall the greedy can fail where the LPT-packed
     // homogeneous plans still fit, so neither failure alone is fatal.
-    let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, n_gpus).ok();
+    // Every candidate is placed before comparison, so predicted times
+    // reflect realized spans.
+    let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, n_gpus)
+        .ok()
+        .and_then(|p| finalize(cost, p));
     let mut best_time = best
         .as_ref()
         .map(|p| p.predicted_time(cost))
         .unwrap_or(f64::INFINITY);
     let all_seqs: Vec<Sequence> = buckets.iter().flat_map(|b| b.seqs.clone()).collect();
-    for &d in &degrees {
+    for &d in &cost.degrees() {
+        if d > n_gpus {
+            continue;
+        }
         if let Ok(p) = plan_homogeneous(cost, &all_seqs, n_gpus, d) {
             let t = p.predicted_time(cost);
             if t < best_time {
@@ -171,8 +189,17 @@ pub fn plan_micro_batch(
     })
 }
 
+/// Places `plan` on the model's topology, realizing every group's span.
+/// Returns `None` when the degrees oversubscribe the cluster.
+pub(crate) fn finalize(cost: &CostModel, mut plan: MicroBatchPlan) -> Option<MicroBatchPlan> {
+    plan.place(&cost.topology()).ok()?;
+    Some(plan)
+}
+
 /// Plans a micro-batch under a *homogeneous* constraint: `n_gpus / degree`
-/// identical groups (the FlexSP-BatchAda building block, §6.1).
+/// identical groups (the FlexSP-BatchAda building block, §6.1). The plan
+/// is placed; on topologies whose node width does not divide the degree,
+/// some groups realize spanning shapes and are priced accordingly.
 ///
 /// # Errors
 ///
@@ -197,32 +224,54 @@ pub fn plan_homogeneous(
             s.len
         )));
     }
-    let groups = lpt_split(cost, seqs, degree, num_groups, cap)
+    let shape = cost.packed_shape(degree);
+    let groups = lpt_split(cost, seqs, shape, num_groups, cap)
         .ok_or_else(|| PlanError::Infeasible(format!("SP={degree} groups overflow memory")))?;
-    Ok(MicroBatchPlan::new(
+    let plan = MicroBatchPlan::new(
         groups
             .into_iter()
             .filter(|g| !g.is_empty())
-            .map(|g| GroupAssignment::new(degree, g))
+            .map(|g| GroupAssignment::new(shape, g))
             .collect(),
-    ))
+    );
+    finalize(cost, plan)
+        .ok_or_else(|| PlanError::Infeasible(format!("SP={degree} groups exceed the cluster")))
 }
 
-/// Power-of-two degrees with fitted cost coefficients, capped at `n_gpus`.
-pub(crate) fn available_degrees(cost: &CostModel, n_gpus: u32) -> Vec<u32> {
-    cost.degrees()
+/// Placement classes the MILP should hold decision variables for: fitted
+/// shapes that fit the model's topology, capped at `n_gpus`, minus
+/// *dominated* spanning variants.
+///
+/// A wider-than-minimal span of a degree is slower per token at equal
+/// memory, so it can only be worth choosing when the packed shape's
+/// node-capacity cap binds (fragmented odd-width nodes). Where the intra
+/// capacity already covers the whole GPU budget — every divisible
+/// topology, e.g. the paper's 8-GPU nodes — the variant is pruned, which
+/// keeps the MILP's variable count (and branch-and-bound tree) at the
+/// degree-keyed formulation's size. Realized fragmented spans are still
+/// priced via the cost model's nearest-span fallback.
+pub(crate) fn available_shapes(cost: &CostModel, n_gpus: u32) -> Vec<GroupShape> {
+    let topo = cost.topology();
+    cost.shapes()
         .into_iter()
-        .filter(|&d| d <= n_gpus)
+        .filter(|s| s.degree <= n_gpus && s.fits(&topo))
+        .filter(|s| {
+            let packed = GroupShape::packed(s.degree, topo.gpus_per_node);
+            if *s == packed {
+                return true; // minimal span is always needed
+            }
+            !(packed.is_intra() && topo.intra_capacity(s.degree) >= n_gpus / s.degree)
+        })
         .collect()
 }
 
 /// LPT (longest-processing-time) split of `seqs` into `num_groups` bins of
-/// degree `degree`, respecting the per-group token capacity. Returns
+/// the given shape, respecting the per-group token capacity. Returns
 /// `None` when a capacity-respecting placement cannot be found greedily.
 pub(crate) fn lpt_split(
     cost: &CostModel,
     seqs: &[Sequence],
-    degree: u32,
+    shape: GroupShape,
     num_groups: usize,
     cap: u64,
 ) -> Option<Vec<Vec<Sequence>>> {
@@ -237,7 +286,7 @@ pub(crate) fn lpt_split(
     order.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
     let mut bins: Vec<(f64, u64, Vec<Sequence>)> = vec![(0.0, 0, Vec::new()); num_groups];
     for s in order {
-        let t = cost.seq_time(s.len, degree);
+        let t = cost.seq_time(s.len, shape);
         // Least-loaded bin with room.
         let slot = bins
             .iter_mut()
@@ -250,59 +299,128 @@ pub(crate) fn lpt_split(
     Some(bins.into_iter().map(|(_, _, v)| v).collect())
 }
 
+/// Free-slot ledger for the greedy heuristic, backed by the *same*
+/// [`NodeSlots`] packing policy the placement engine commits with — one
+/// source of truth for what span a prospective group would realize. A
+/// per-degree span cache is refreshed only when a group is actually
+/// opened, so pricing candidate degrees per sequence stays O(1).
+struct HeuristicSlots {
+    slots: NodeSlots,
+    /// Realizable span per candidate degree at the current free state.
+    spans: Vec<(u32, Option<u32>)>,
+}
+
+impl HeuristicSlots {
+    fn new(cost: &CostModel, degrees: &[u32], n_gpus: u32) -> Self {
+        let topo = cost.topology();
+        let mut slots = NodeSlots::new(topo);
+        // A budget below the full cluster is modeled by removing whole
+        // missing nodes first, then a partial node (highest indices).
+        let mut over = topo.num_gpus().saturating_sub(n_gpus);
+        for node in (0..topo.num_nodes).rev() {
+            if over == 0 {
+                break;
+            }
+            let cut = over.min(slots.free_on(node));
+            slots.take(node, cut);
+            over -= cut;
+        }
+        let mut out = Self {
+            slots,
+            spans: degrees.iter().map(|&d| (d, None)).collect(),
+        };
+        out.refresh();
+        out
+    }
+
+    fn refresh(&mut self) {
+        for (d, span) in &mut self.spans {
+            *span = self.slots.span_if_packed(*d);
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.slots.total_free()
+    }
+
+    /// The span a degree-`d` group would realize if opened now, or
+    /// `None` if `d` GPUs are not free.
+    fn span_for(&self, d: u32) -> Option<u32> {
+        self.spans
+            .iter()
+            .find(|(degree, _)| *degree == d)
+            .and_then(|(_, span)| *span)
+    }
+
+    /// Commits a degree-`d` draw (fullest nodes first).
+    fn commit(&mut self, d: u32) {
+        self.slots.take_packed(d).expect("span_for said it fits");
+        self.refresh();
+    }
+}
+
 /// Greedy construction + local search (also the MILP warm start).
 fn heuristic_plan(
     cost: &CostModel,
     buckets: &[Bucket],
     n_gpus: u32,
 ) -> Result<MicroBatchPlan, PlanError> {
-    let degrees = available_degrees(cost, n_gpus);
+    let degrees: Vec<u32> = cost
+        .degrees()
+        .into_iter()
+        .filter(|&d| d <= n_gpus)
+        .collect();
     let mut seqs: Vec<Sequence> = buckets.iter().flat_map(|b| b.seqs.clone()).collect();
     seqs.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
 
     struct Slot {
-        degree: u32,
+        shape: GroupShape,
         load: f64,
         tokens: u64,
         seqs: Vec<Sequence>,
     }
     let mut slots: Vec<Slot> = Vec::new();
-    let mut free = n_gpus;
+    let mut free = HeuristicSlots::new(cost, &degrees, n_gpus);
 
     for s in &seqs {
         // Option A: append to an existing group with memory headroom,
         // preferring the resulting minimum load.
         let mut best: Option<(f64, usize)> = None;
         for (i, g) in slots.iter().enumerate() {
-            if g.tokens + s.len > cost.max_group_tokens(g.degree) {
+            if g.tokens + s.len > cost.max_group_tokens(g.shape.degree) {
                 continue;
             }
-            let new_load = g.load + cost.seq_time(s.len, g.degree);
+            let new_load = g.load + cost.seq_time(s.len, g.shape);
             if best.is_none_or(|(l, _)| new_load < l) {
                 best = Some((new_load, i));
             }
         }
-        // Option B: open the cheapest feasible new group.
-        let mut open: Option<(f64, u32)> = None;
+        // Option B: open the cheapest feasible new group, priced at the
+        // span the current free-slot pattern would realize.
+        let mut open: Option<(f64, GroupShape)> = None;
         for &d in &degrees {
-            if d > free || s.len > cost.max_group_tokens(d) {
+            if s.len > cost.max_group_tokens(d) {
                 continue;
             }
-            let load = cost.group_overhead(d) + cost.seq_time(s.len, d);
+            let Some(span) = free.span_for(d) else {
+                continue;
+            };
+            let shape = GroupShape::new(d, span);
+            let load = cost.group_overhead(shape) + cost.seq_time(s.len, shape);
             if open.is_none_or(|(l, _)| load < l) {
-                open = Some((load, d));
+                open = Some((load, shape));
             }
         }
         match (best, open) {
-            (Some((la, i)), Some((lb, d))) => {
+            (Some((la, i)), Some((lb, shape))) => {
                 if lb < la {
+                    free.commit(shape.degree);
                     slots.push(Slot {
-                        degree: d,
+                        shape,
                         load: lb,
                         tokens: s.len,
                         seqs: vec![*s],
                     });
-                    free -= d;
                 } else {
                     let g = &mut slots[i];
                     g.load = la;
@@ -316,19 +434,20 @@ fn heuristic_plan(
                 g.tokens += s.len;
                 g.seqs.push(*s);
             }
-            (None, Some((lb, d))) => {
+            (None, Some((lb, shape))) => {
+                free.commit(shape.degree);
                 slots.push(Slot {
-                    degree: d,
+                    shape,
                     load: lb,
                     tokens: s.len,
                     seqs: vec![*s],
                 });
-                free -= d;
             }
             (None, None) => {
                 return Err(PlanError::Infeasible(format!(
                     "no group can absorb a {}-token sequence ({} free GPUs)",
-                    s.len, free
+                    s.len,
+                    free.total()
                 )));
             }
         }
@@ -346,12 +465,12 @@ fn heuristic_plan(
         let bottleneck_load = slots[bi].load;
         let mut best_move: Option<(usize, usize, f64)> = None; // (seq idx, dest, new max)
         for (si, s) in slots[bi].seqs.iter().enumerate() {
-            let t_src = cost.seq_time(s.len, slots[bi].degree);
+            let t_src = cost.seq_time(s.len, slots[bi].shape);
             for (di, dst) in slots.iter().enumerate() {
-                if di == bi || dst.tokens + s.len > cost.max_group_tokens(dst.degree) {
+                if di == bi || dst.tokens + s.len > cost.max_group_tokens(dst.shape.degree) {
                     continue;
                 }
-                let dst_new = dst.load + cost.seq_time(s.len, dst.degree);
+                let dst_new = dst.load + cost.seq_time(s.len, dst.shape);
                 let src_new = bottleneck_load - t_src;
                 let local_max = dst_new.max(src_new);
                 if local_max < bottleneck_load - 1e-9
@@ -365,9 +484,9 @@ fn heuristic_plan(
             None => break,
             Some((si, di, _)) => {
                 let s = slots[bi].seqs.remove(si);
-                slots[bi].load -= cost.seq_time(s.len, slots[bi].degree);
+                slots[bi].load -= cost.seq_time(s.len, slots[bi].shape);
                 slots[bi].tokens -= s.len;
-                slots[di].load += cost.seq_time(s.len, slots[di].degree);
+                slots[di].load += cost.seq_time(s.len, slots[di].shape);
                 slots[di].tokens += s.len;
                 slots[di].seqs.push(s);
             }
@@ -378,7 +497,7 @@ fn heuristic_plan(
         slots
             .into_iter()
             .filter(|g| !g.seqs.is_empty())
-            .map(|g| GroupAssignment::new(g.degree, g.seqs))
+            .map(|g| GroupAssignment::new(g.shape, g.seqs))
             .collect(),
     ))
 }
@@ -407,6 +526,7 @@ mod tests {
 
     fn check_plan(plan: &MicroBatchPlan, cost: &CostModel, input: &[Sequence], n_gpus: u32) {
         assert!(plan.gpus_used() <= n_gpus, "GPU budget");
+        assert!(plan.is_placed(), "planner output must carry placements");
         let mut ids: Vec<u64> = plan
             .groups
             .iter()
@@ -416,13 +536,23 @@ mod tests {
         let mut expect: Vec<u64> = input.iter().map(|s| s.id).collect();
         expect.sort_unstable();
         assert_eq!(ids, expect, "every sequence assigned exactly once");
+        let mut used = std::collections::HashSet::new();
         for g in &plan.groups {
             assert!(
-                g.total_tokens() <= cost.max_group_tokens(g.degree),
+                g.total_tokens() <= cost.max_group_tokens(g.degree()),
                 "group SP={} over memory",
-                g.degree
+                g.degree()
             );
-            assert!(g.degree.is_power_of_two());
+            assert!(g.degree().is_power_of_two());
+            let p = g.placement.as_ref().expect("placed");
+            assert_eq!(
+                GroupShape::of(p, cost.topology().gpus_per_node),
+                g.shape,
+                "shape must match the realized placement"
+            );
+            for gpu in p.gpus() {
+                assert!(used.insert(*gpu), "GPU reused within a micro-batch");
+            }
         }
     }
 
@@ -449,11 +579,11 @@ mod tests {
             .iter()
             .find(|g| g.seqs.iter().any(|s| s.len == 100 * 1024))
             .unwrap();
-        assert!(long_group.degree >= cost.min_degree_for(100 * 1024).unwrap());
+        assert!(long_group.degree() >= cost.min_degree_for(100 * 1024).unwrap());
     }
 
     #[test]
-    fn short_batches_prefer_small_groups() {
+    fn short_batches_prefer_small_intra_groups() {
         let cost = cost64();
         let input = seqs(&[4096; 64]);
         let buckets = bucket_dp(&input, 16);
@@ -461,9 +591,9 @@ mod tests {
         check_plan(&plan, &cost, &input, 64);
         // No group should span nodes for such short sequences.
         assert!(
-            plan.groups.iter().all(|g| g.degree <= 8),
-            "plan {} uses inter-node groups",
-            plan.degree_signature()
+            plan.groups.iter().all(|g| g.shape.is_intra()),
+            "plan {} uses node-spanning groups",
+            plan.shape_signature()
         );
     }
 
@@ -593,6 +723,26 @@ mod tests {
             loads.iter().max().copied().unwrap(),
         );
         assert!(max - min <= 1, "unbalanced homogeneous split {loads:?}");
+    }
+
+    #[test]
+    fn homogeneous_plan_on_odd_node_width_realizes_spans() {
+        // 4 nodes × 6 GPUs, SP=4: six groups fit, but only four can stay
+        // intra-node — the realized plan must price the spanning pair
+        // honestly instead of assuming the aligned-offset fiction.
+        let cluster = ClusterSpec::a100_nodes_of(4, 6);
+        let model = ModelConfig::gpt_7b(32 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let input = seqs(&[4096; 12]);
+        let plan = plan_homogeneous(&cost, &input, 24, 4).unwrap();
+        check_plan(&plan, &cost, &input, 24);
+        let spanning = plan.groups.iter().filter(|g| !g.shape.is_intra()).count();
+        assert!(spanning >= 1, "plan {}", plan.shape_signature());
+        assert!(
+            plan.groups.iter().filter(|g| g.shape.is_intra()).count() >= 4,
+            "plan {}",
+            plan.shape_signature()
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ type Job = (u64, Vec<Sequence>);
 type JobResult = (u64, Result<SolvedIteration, PlanError>);
 
 /// Cache key: sorted sequence lengths (the batch's exact histogram), GPU
-/// count, and a fingerprint of the solver configuration.
+/// count, and a fingerprint of the solver configuration *and the full
+/// cluster topology / cost model*. The GPU count alone is not a topology:
+/// two clusters with equal GPU counts but different `gpus_per_node` or
+/// interconnects fit different cost models and must never share plans.
 type CacheKey = (Vec<u64>, u32, u64);
 
 /// Counters for the service's plan cache.
@@ -125,9 +128,12 @@ fn config_fingerprint(solver: &FlexSpSolver) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     // The config and cost model determine planning behavior; their debug
     // representations capture every field without a bespoke Hash impl.
+    // Hashing the *whole* cost model fingerprints the cluster topology
+    // (node count × width) and every per-shape communication fit, so
+    // same-size clusters with different node widths or interconnect
+    // speeds get distinct cache keys.
     format!("{:?}", solver.config()).hash(&mut h);
-    solver.cost().num_gpus().hash(&mut h);
-    format!("{:?}", solver.cost().memory_model()).hash(&mut h);
+    format!("{:?}", solver.cost()).hash(&mut h);
     h.finish()
 }
 
@@ -203,7 +209,7 @@ const DEFAULT_CACHE_CAPACITY: usize = 128;
 impl SolverService {
     /// Spawns `workers` solver threads sharing clones of `solver` (the
     /// paper runs one service per node) and a plan cache of
-    /// [`DEFAULT_CACHE_CAPACITY`] entries.
+    /// `DEFAULT_CACHE_CAPACITY` (128) entries.
     ///
     /// # Panics
     ///
@@ -451,5 +457,23 @@ mod tests {
     fn recv_without_submit_panics() {
         let service = SolverService::spawn(solver(), 1);
         let _ = service.recv_plan();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_equal_gpu_count_topologies() {
+        let model = ModelConfig::gpt_7b(32 * 1024);
+        let fp = |cluster: ClusterSpec| {
+            let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+            config_fingerprint(&FlexSpSolver::new(cost, SolverConfig::fast()))
+        };
+        // 2×8 and 4×4 both have 16 GPUs but different node widths.
+        let a = fp(ClusterSpec::a100_cluster(2));
+        let b = fp(ClusterSpec::a100_nodes_of(4, 4));
+        assert_ne!(a, b, "node width must be part of the cache key");
+        // Same topology, degraded interconnect: also distinct.
+        let mut degraded = ClusterSpec::a100_cluster(2);
+        degraded.net.nic_bw_per_gpu /= 4.0;
+        let c = fp(degraded);
+        assert_ne!(a, c, "interconnect must be part of the cache key");
     }
 }

@@ -135,12 +135,11 @@ impl FlexSpSolver {
     pub fn solve_iteration(&self, batch: &[Sequence]) -> Result<SolvedIteration, PlanError> {
         let start = Instant::now();
         let capacity = self.cost.cluster_token_capacity();
-        let m_min = min_micro_batches(batch, capacity);
-        if m_min == usize::MAX {
+        let Some(m_min) = min_micro_batches(batch, capacity) else {
             return Err(PlanError::Infeasible(
                 "cluster token capacity is zero".into(),
             ));
-        }
+        };
         if let Some(s) = batch.iter().max_by_key(|s| s.len) {
             let max_cap = self
                 .cost
@@ -167,10 +166,9 @@ impl FlexSpSolver {
         for &d in &self.cost.degrees() {
             let groups = (self.cost.num_gpus() / d) as u64;
             let cap_d = self.cost.max_group_tokens(d).saturating_mul(groups);
-            let m_d = min_micro_batches(batch, cap_d);
-            if m_d == usize::MAX {
+            let Some(m_d) = min_micro_batches(batch, cap_d) else {
                 continue;
-            }
+            };
             for extra in [m_d, m_d + 1] {
                 if !counts.contains(&extra) {
                     counts.push(extra);
@@ -332,7 +330,7 @@ mod tests {
         assert!(out.plan.micro_batches.len() >= 3);
         assert_eq!(out.plan.num_seqs(), n);
         // Every trial's count was at least M_min.
-        let m_min = crate::blaster::min_micro_batches(&batch, cap);
+        let m_min = crate::blaster::min_micro_batches(&batch, cap).unwrap();
         assert!(out.trials.iter().all(|(m, _)| *m >= m_min));
     }
 

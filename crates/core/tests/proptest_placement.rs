@@ -1,0 +1,174 @@
+//! Property-based validation of the node-packing placement engine and of
+//! the placements the planner stack emits.
+
+use std::collections::HashSet;
+
+use flexsp_core::{place_degrees, plan_micro_batch, PlannerConfig};
+use flexsp_sim::Topology;
+use proptest::prelude::*;
+
+/// Random topology in the sweep band: 1–5 nodes of 1–16 GPUs.
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (1u32..=5, 1u32..=16).prop_map(|(n, g)| Topology::new(n, g))
+}
+
+/// A random power-of-two degree multiset that fits `topo`'s GPU budget.
+fn degrees_for(topo: Topology) -> impl Strategy<Value = Vec<u32>> {
+    let n = topo.num_gpus();
+    prop::collection::vec(0u32..=6, 1..24).prop_map(move |exps| {
+        let mut out = Vec::new();
+        let mut sum = 0u32;
+        for e in exps {
+            let d = 1u32 << e;
+            if d <= n && sum + d <= n {
+                out.push(d);
+                sum += d;
+            }
+        }
+        if out.is_empty() {
+            out.push(1);
+        }
+        out
+    })
+}
+
+/// A degree multiset that is intra-node placeable *by construction*:
+/// sampled as per-node knapsacks, then shuffled (seeded Fisher–Yates) to
+/// hide the witness order.
+fn intra_feasible_for(topo: Topology) -> impl Strategy<Value = Vec<u32>> {
+    (
+        prop::collection::vec(
+            prop::collection::vec(0u32..=4, 0..8),
+            topo.num_nodes as usize,
+        ),
+        0u64..u64::MAX,
+    )
+        .prop_map(move |(per_node, seed)| {
+            let mut all = Vec::new();
+            for exps in per_node {
+                let mut free = topo.gpus_per_node;
+                for e in exps {
+                    let d = 1u32 << e;
+                    if d <= free {
+                        all.push(d);
+                        free -= d;
+                    }
+                }
+            }
+            if all.is_empty() {
+                all.push(1);
+            }
+            let mut state = seed | 1;
+            for i in (1..all.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                all.swap(i, j);
+            }
+            all
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn placements_are_disjoint_and_complete(
+        (topo, degrees) in topo_strategy().prop_flat_map(|t| (Just(t), degrees_for(t))),
+    ) {
+        let groups = place_degrees(&topo, &degrees).expect("budget-respecting multiset");
+        // Every planned group placed, at its degree, in input order.
+        prop_assert_eq!(groups.len(), degrees.len());
+        let mut used = HashSet::new();
+        for (g, &d) in groups.iter().zip(&degrees) {
+            prop_assert_eq!(g.degree(), d);
+            for gpu in g.gpus() {
+                // Each GPU at most once, and inside the cluster.
+                prop_assert!(gpu.0 < topo.num_gpus(), "{gpu} outside {topo}");
+                prop_assert!(used.insert(*gpu), "{gpu} used twice");
+            }
+        }
+    }
+
+    #[test]
+    fn never_spans_when_intra_fits(
+        (topo, degrees) in topo_strategy().prop_flat_map(|t| (Just(t), intra_feasible_for(t))),
+    ) {
+        // The multiset was built from per-node knapsacks, so an all-intra
+        // layout exists; decreasing-order packing of divisible (power-of-
+        // two) sizes must find one.
+        let groups = place_degrees(&topo, &degrees).expect("intra-feasible multiset");
+        for g in &groups {
+            prop_assert!(
+                g.is_intra_node(topo.gpus_per_node),
+                "group {g} spans nodes although an all-intra layout exists \
+                 (topo {topo}, degrees {degrees:?})"
+            );
+        }
+    }
+}
+
+/// Planner-level placement invariants on a real cost model: slower to
+/// fit, so fewer cases than the engine-level properties above.
+mod planner_level {
+    use super::*;
+    use flexsp_core::bucketing::bucket_dp;
+    use flexsp_cost::CostModel;
+    use flexsp_data::Sequence;
+    use flexsp_model::{ActivationPolicy, ModelConfig};
+    use flexsp_sim::{ClusterSpec, GroupShape};
+
+    fn cost_4x6() -> CostModel {
+        // An odd node width, so realized spans genuinely vary.
+        let cluster = ClusterSpec::a100_nodes_of(4, 6);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        CostModel::fit(&cluster, &model, ActivationPolicy::None)
+    }
+
+    fn batch_strategy() -> impl Strategy<Value = Vec<Sequence>> {
+        let len = prop_oneof![
+            4 => 256u64..4096,
+            2 => 4096u64..16_384,
+            1 => 16_384u64..48_000,
+        ];
+        prop::collection::vec(len, 1..24).prop_map(|lens| {
+            lens.into_iter()
+                .enumerate()
+                .map(|(i, l)| Sequence::new(i as u64, l))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn planner_output_is_fully_placed_and_disjoint(batch in batch_strategy()) {
+            let cost = cost_4x6();
+            let buckets = bucket_dp(&batch, 8);
+            let Ok(plan) = plan_micro_batch(&cost, &buckets, 24, &PlannerConfig::fast()) else {
+                // Memory-infeasible micro-batches are the caller's business.
+                return Ok(());
+            };
+            prop_assert!(plan.is_placed());
+            let mut used = HashSet::new();
+            for g in &plan.groups {
+                let p = g.placement.as_ref().expect("placed");
+                prop_assert_eq!(GroupShape::of(p, 6), g.shape, "shape matches placement");
+                for gpu in p.gpus() {
+                    prop_assert!(gpu.0 < 24);
+                    prop_assert!(used.insert(*gpu), "GPU reused");
+                }
+            }
+            // Every sequence assigned exactly once.
+            let mut ids: Vec<u64> = plan
+                .groups
+                .iter()
+                .flat_map(|g| g.seqs.iter().map(|s| s.id))
+                .collect();
+            ids.sort_unstable();
+            let mut expect: Vec<u64> = batch.iter().map(|s| s.id).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(ids, expect);
+        }
+    }
+}

@@ -134,8 +134,7 @@ proptest! {
         capacity in 10_000u64..100_000,
     ) {
         let input = seqs(&lens);
-        let m_min = min_micro_batches(&input, capacity);
-        prop_assume!(m_min != usize::MAX);
+        let m_min = min_micro_batches(&input, capacity).expect("capacity > 0");
         // M_min is a LOWER bound (item granularity can force more chunks
         // — the workflow's trial window exists for exactly this reason):
         // m_min − 1 chunks cannot fit by pigeonhole.

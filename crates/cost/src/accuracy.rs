@@ -45,7 +45,8 @@ pub fn evaluate_grid(
         if !cost.fits_memory(tokens, degree) {
             continue;
         }
-        // Ground truth matches the executor: ZeRO-3 traffic included.
+        // Ground truth matches the executor: ZeRO-3 traffic included and
+        // the group placed at the shape's canonical balanced layout.
         let spec = sp_step_spec(
             model,
             policy,
@@ -53,8 +54,10 @@ pub fn evaluate_grid(
             &seqs,
             Some(ulysses_zero_spec(cluster, model)),
         );
-        let actual = simulate_sp_step(cluster, &DeviceGroup::aligned(0, degree), &spec).total_s();
-        let predicted = cost.group_time(&seqs, degree);
+        let shape = cost.packed_shape(degree);
+        let group = DeviceGroup::for_shape(shape, cluster.gpus_per_node, 0);
+        let actual = simulate_sp_step(cluster, &group, &spec).total_s();
+        let predicted = cost.group_time(&seqs, shape);
         out.push(AccuracyPoint {
             degree,
             seq_len,

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-use flexsp_sim::ClusterSpec;
+use flexsp_sim::{ClusterSpec, GroupShape, Topology};
 
 use crate::fit::lstsq;
 use crate::profiler::{ProfilePoint, Profiler};
@@ -20,8 +20,11 @@ pub struct ComputeFit {
     pub beta1: f64,
 }
 
-/// Fitted communication coefficients for one SP degree (paper Eq. 13 with
-/// `α₃/(d·v_p)` folded into a per-degree slope): `T = slope·Σs + β₂`.
+/// Fitted communication coefficients for one placement class (paper
+/// Eq. 13 with `α₃/(d·v_p)` folded into a per-shape slope):
+/// `T = slope·Σs + β₂`. The group "bandwidth" `v_p` is profiled per
+/// [`GroupShape`], so an intra-node degree-8 group and a two-node
+/// degree-8 group carry different slopes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommFit {
     /// Seconds per assigned token.
@@ -50,16 +53,18 @@ impl MemoryModel {
     }
 }
 
-/// The planner-facing cost model: per-degree linear time estimates and a
+/// The planner-facing cost model: per-shape linear time estimates and a
 /// linear memory estimate, fitted by profiling the simulator.
 ///
-/// See the crate docs for an end-to-end example.
+/// Time queries are keyed by [`GroupShape`] (degree × nodes spanned);
+/// memory depends only on the degree. See the crate docs for an
+/// end-to-end example.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     compute: ComputeFit,
-    comm: BTreeMap<u32, CommFit>,
+    comm: BTreeMap<GroupShape, CommFit>,
     memory: MemoryModel,
-    num_gpus: u32,
+    topo: Topology,
     /// Un-overlapped ZeRO-3 traffic seconds per step (0 when not modeled).
     zero_raw_s: f64,
     /// Fraction of a group's compute that hides ZeRO traffic.
@@ -68,16 +73,40 @@ pub struct CostModel {
 
 impl CostModel {
     /// Profiles `cluster` running `model` under `policy` and fits all
-    /// coefficients (paper: "obtained through profiling").
+    /// coefficients (paper: "obtained through profiling"), including the
+    /// spanning placement variants of each degree.
     pub fn fit(cluster: &ClusterSpec, model: &ModelConfig, policy: ActivationPolicy) -> Self {
         let points = Profiler::new(cluster, model, policy).run();
+        Self::fit_cluster_points(cluster, model, policy, &points)
+    }
+
+    /// Fits the *degree-keyed* legacy model: one placement class per
+    /// degree, measured at the flat-aligned layout
+    /// (`DeviceGroup::aligned(0, d)`) the pre-placement executor used.
+    /// Kept for ablations and as the "degree-only planner" baseline in
+    /// topology sweeps.
+    pub fn fit_flat_aligned(
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        policy: ActivationPolicy,
+    ) -> Self {
+        let points = Profiler::new(cluster, model, policy).run_flat_aligned();
+        Self::fit_cluster_points(cluster, model, policy, &points)
+    }
+
+    fn fit_cluster_points(
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        policy: ActivationPolicy,
+        points: &[ProfilePoint],
+    ) -> Self {
         let memory = MemoryModel {
             act_bytes_per_token: model.act_bytes_per_token(policy) as f64,
             model_state_bytes: model.model_state_bytes(ZeroStage::Three, cluster.num_gpus() as u64)
                 as f64,
             capacity_bytes: cluster.gpu.mem_bytes as f64,
         };
-        let mut fitted = Self::fit_from_points(&points, memory, cluster.num_gpus());
+        let mut fitted = Self::fit_from_points(points, memory, cluster.topology());
         // ZeRO-3 exposure term, measured exactly as the executor charges
         // it: a zero-compute probe step leaves the full un-overlapped
         // parameter-gather / gradient-scatter time exposed.
@@ -110,14 +139,14 @@ impl CostModel {
     ///
     /// # Panics
     ///
-    /// Panics if `points` is empty or covers no degree.
-    pub fn fit_from_points(points: &[ProfilePoint], memory: MemoryModel, num_gpus: u32) -> Self {
+    /// Panics if `points` is empty or covers no shape.
+    pub fn fit_from_points(points: &[ProfilePoint], memory: MemoryModel, topo: Topology) -> Self {
         assert!(!points.is_empty(), "no profile points");
         // Compute fit over the whole grid: features [Σs²/d, Σs/d, 1].
         let xs: Vec<Vec<f64>> = points
             .iter()
             .map(|p| {
-                let d = p.degree as f64;
+                let d = p.shape.degree as f64;
                 vec![p.sum_sq / d, p.tokens as f64 / d, 1.0]
             })
             .collect();
@@ -129,16 +158,16 @@ impl CostModel {
             beta1: beta[2].max(0.0),
         };
 
-        // Per-degree communication fit: T = slope·tokens + base.
+        // Per-shape communication fit: T = slope·tokens + base.
         let mut comm = BTreeMap::new();
-        let mut degrees: Vec<u32> = points.iter().map(|p| p.degree).collect();
-        degrees.sort_unstable();
-        degrees.dedup();
-        for d in degrees {
-            let pts: Vec<_> = points.iter().filter(|p| p.degree == d).collect();
-            if d == 1 || pts.iter().all(|p| p.alltoall_s == 0.0) {
+        let mut shapes: Vec<GroupShape> = points.iter().map(|p| p.shape).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        for s in shapes {
+            let pts: Vec<_> = points.iter().filter(|p| p.shape == s).collect();
+            if s.degree == 1 || pts.iter().all(|p| p.alltoall_s == 0.0) {
                 comm.insert(
-                    d,
+                    s,
                     CommFit {
                         per_token: 0.0,
                         base: 0.0,
@@ -150,7 +179,7 @@ impl CostModel {
             let ys: Vec<f64> = pts.iter().map(|p| p.alltoall_s).collect();
             let b = lstsq(&xs, &ys);
             comm.insert(
-                d,
+                s,
                 CommFit {
                     per_token: b[0].max(0.0),
                     base: b[1].max(0.0),
@@ -162,7 +191,7 @@ impl CostModel {
             compute,
             comm,
             memory,
-            num_gpus,
+            topo,
             zero_raw_s: 0.0,
             zero_overlap: 0.0,
         }
@@ -171,15 +200,15 @@ impl CostModel {
     /// Builds a cost model from explicit parts (tests, what-if studies).
     pub fn from_parts(
         compute: ComputeFit,
-        comm: BTreeMap<u32, CommFit>,
+        comm: BTreeMap<GroupShape, CommFit>,
         memory: MemoryModel,
-        num_gpus: u32,
+        topo: Topology,
     ) -> Self {
         Self {
             compute,
             comm,
             memory,
-            num_gpus,
+            topo,
             zero_raw_s: 0.0,
             zero_overlap: 0.0,
         }
@@ -187,12 +216,40 @@ impl CostModel {
 
     /// Cluster size this model was fitted for.
     pub fn num_gpus(&self) -> u32 {
-        self.num_gpus
+        self.topo.num_gpus()
     }
 
-    /// The SP degrees with fitted coefficients (powers of two ≤ N).
-    pub fn degrees(&self) -> Vec<u32> {
+    /// The node-level geometry this model was fitted for.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The placement classes with fitted coefficients, ascending by
+    /// (degree, span).
+    pub fn shapes(&self) -> Vec<GroupShape> {
         self.comm.keys().copied().collect()
+    }
+
+    /// The distinct SP degrees with fitted coefficients (powers of two
+    /// ≤ N on the standard profile).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut ds: Vec<u32> = self.comm.keys().map(|s| s.degree).collect();
+        ds.dedup();
+        ds
+    }
+
+    /// The tightest fitted shape for `degree` — intra-node when a node
+    /// can hold the whole group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` was not profiled.
+    pub fn packed_shape(&self, degree: u32) -> GroupShape {
+        *self
+            .comm
+            .keys()
+            .find(|s| s.degree == degree)
+            .unwrap_or_else(|| panic!("degree {degree} not profiled"))
     }
 
     /// The compute coefficients.
@@ -200,13 +257,33 @@ impl CostModel {
         self.compute
     }
 
-    /// The communication coefficients for `degree`.
+    /// The communication coefficients for `shape`.
+    ///
+    /// Queries for an un-profiled span fall back to the profiled shape of
+    /// the same degree with the nearest span (placement can realize
+    /// spans — e.g. a fragmented 3-node spread — that the profiler's
+    /// canonical grid does not enumerate).
     ///
     /// # Panics
     ///
-    /// Panics if `degree` was not profiled.
-    pub fn comm_fit(&self, degree: u32) -> CommFit {
-        self.comm[&degree]
+    /// Panics if no shape of `shape.degree` was profiled.
+    pub fn comm_fit(&self, shape: GroupShape) -> CommFit {
+        if let Some(&fit) = self.comm.get(&shape) {
+            return fit;
+        }
+        let nearest = self
+            .comm
+            .keys()
+            .filter(|s| s.degree == shape.degree)
+            .min_by_key(|s| {
+                (
+                    s.nodes_spanned.abs_diff(shape.nodes_spanned),
+                    // Ties prefer the wider (more pessimistic) span.
+                    std::cmp::Reverse(s.nodes_spanned),
+                )
+            })
+            .unwrap_or_else(|| panic!("degree {} not profiled", shape.degree));
+        self.comm[nearest]
     }
 
     /// The memory model.
@@ -215,17 +292,17 @@ impl CostModel {
     }
 
     /// Estimated time contribution of a single sequence of length `len`
-    /// assigned to a degree-`degree` group (excludes the group constant).
-    pub fn seq_time(&self, len: u64, degree: u32) -> f64 {
+    /// assigned to a `shape` group (excludes the group constant).
+    pub fn seq_time(&self, len: u64, shape: GroupShape) -> f64 {
         let s = len as f64;
-        let d = degree as f64;
-        let c = self.comm[&degree];
+        let d = shape.degree as f64;
+        let c = self.comm_fit(shape);
         (self.compute.alpha1 * s * s + self.compute.alpha2 * s) / d + c.per_token * s
     }
 
-    /// Fixed per-execution overhead of a degree-`degree` group (β₁ + β₂).
-    pub fn group_overhead(&self, degree: u32) -> f64 {
-        self.compute.beta1 + self.comm[&degree].base
+    /// Fixed per-execution overhead of a `shape` group (β₁ + β₂).
+    pub fn group_overhead(&self, shape: GroupShape) -> f64 {
+        self.compute.beta1 + self.comm_fit(shape).base
     }
 
     /// Compute-only seconds of a degree-`degree` group (no All-to-All),
@@ -259,9 +336,9 @@ impl CostModel {
         self
     }
 
-    /// Estimated execution time of a degree-`degree` group processing
-    /// sequences `lens` (paper Eq. 14, plus the ZeRO-3 exposure term the
-    /// executor charges lightly loaded groups).
+    /// Estimated execution time of a `shape` group processing sequences
+    /// `lens` (paper Eq. 14, plus the ZeRO-3 exposure term the executor
+    /// charges lightly loaded groups).
     ///
     /// The exposure term is deliberately *outside* the per-sequence /
     /// per-group linear decomposition ([`CostModel::seq_time`] /
@@ -269,14 +346,15 @@ impl CostModel {
     /// stays linear and slightly optimistic, while plan *selection*
     /// (which compares candidate plans by this function) sees the true
     /// shape.
-    pub fn group_time(&self, lens: &[u64], degree: u32) -> f64 {
-        let linear = lens.iter().map(|&l| self.seq_time(l, degree)).sum::<f64>()
-            + self.group_overhead(degree);
-        linear + self.zero_exposed_s(self.compute_only_time(lens, degree))
+    pub fn group_time(&self, lens: &[u64], shape: GroupShape) -> f64 {
+        let linear =
+            lens.iter().map(|&l| self.seq_time(l, shape)).sum::<f64>() + self.group_overhead(shape);
+        linear + self.zero_exposed_s(self.compute_only_time(lens, shape.degree))
     }
 
     /// Predicted per-device memory bytes for `tokens` on a degree-`degree`
-    /// group (paper Eq. 11).
+    /// group (paper Eq. 11). Memory depends only on the degree — a
+    /// group's activation shard is the same wherever its members sit.
     pub fn mem_per_device_bytes(&self, tokens: u64, degree: u32) -> f64 {
         let shard = tokens.div_ceil(degree as u64) as f64;
         shard * self.memory.act_bytes_per_token + self.memory.model_state_bytes
@@ -303,7 +381,7 @@ impl CostModel {
     /// Token capacity of the whole cluster in one micro-batch (activations
     /// only), used for the blaster's `M_min` (paper §4.2).
     pub fn cluster_token_capacity(&self) -> u64 {
-        self.memory.tokens_per_device() * self.num_gpus as u64
+        self.memory.tokens_per_device() * self.num_gpus() as u64
     }
 }
 
@@ -322,6 +400,10 @@ mod tests {
     fn degrees_are_powers_of_two() {
         let cm = fitted();
         assert_eq!(cm.degrees(), vec![1, 2, 4, 8, 16, 32, 64]);
+        // Each single-node degree also carries a spanning variant.
+        assert!(cm.shapes().contains(&GroupShape::new(8, 2)));
+        assert_eq!(cm.packed_shape(8), GroupShape::intra(8));
+        assert_eq!(cm.packed_shape(16), GroupShape::new(16, 2));
     }
 
     #[test]
@@ -331,13 +413,39 @@ mod tests {
         assert!(c.alpha1 > 0.0 && c.alpha2 > 0.0);
         // Per assigned token the rate is α₃/(d·v_p) (Eq. 13): the slower
         // network still shows through the 8× larger degree.
-        let intra = cm.comm_fit(8).per_token;
-        let inter = cm.comm_fit(64).per_token;
+        let intra = cm.comm_fit(GroupShape::intra(8)).per_token;
+        let inter = cm.comm_fit(GroupShape::new(64, 8)).per_token;
         assert!(inter > 1.1 * intra, "intra {intra} vs inter {inter}");
         // At equal per-GPU shard (tokens ∝ degree), inter-node All-to-All
         // is many times slower — the Table 1 effect.
         assert!(64.0 * inter > 5.0 * 8.0 * intra);
-        assert_eq!(cm.comm_fit(1).per_token, 0.0);
+        assert_eq!(cm.comm_fit(GroupShape::intra(1)).per_token, 0.0);
+    }
+
+    #[test]
+    fn spanning_variant_is_more_expensive() {
+        // The refactor's point: the same degree priced differently by
+        // placement. A degree-8 group spanning two nodes pays NIC-bound
+        // All-to-All; the planner can now see that.
+        let cm = fitted();
+        let intra = cm.comm_fit(GroupShape::intra(8)).per_token;
+        let spanning = cm.comm_fit(GroupShape::new(8, 2)).per_token;
+        assert!(
+            spanning > 2.0 * intra,
+            "spanning {spanning} vs intra {intra}"
+        );
+        let t_intra = cm.group_time(&[8 * 1024; 16], GroupShape::intra(8));
+        let t_span = cm.group_time(&[8 * 1024; 16], GroupShape::new(8, 2));
+        assert!(t_span > t_intra);
+    }
+
+    #[test]
+    fn unprofiled_span_falls_back_to_nearest() {
+        let cm = fitted();
+        // Span 3 of degree 8 is not on the canonical grid; the query must
+        // resolve to the two-node variant rather than panic.
+        let f = cm.comm_fit(GroupShape::new(8, 3));
+        assert_eq!(f, cm.comm_fit(GroupShape::new(8, 2)));
     }
 
     #[test]
@@ -347,8 +455,8 @@ mod tests {
         // one SP=64 group with the same per-GPU load, because All-to-All
         // stays on NVLink.
         let cm = fitted();
-        let t8 = cm.group_time(&[8 * 1024; 16], 8); // 1/8 of the batch
-        let t64 = cm.group_time(&[8 * 1024; 128], 64); // the whole batch
+        let t8 = cm.group_time(&[8 * 1024; 16], GroupShape::intra(8)); // 1/8 of the batch
+        let t64 = cm.group_time(&[8 * 1024; 128], GroupShape::new(64, 8)); // the whole batch
         assert!(t8 < t64, "SP8 {t8} vs SP64 {t64}");
     }
 
@@ -394,6 +502,7 @@ mod tests {
             (64, 128 << 10, 4),
         ] {
             let seqs = vec![len; n];
+            let shape = cm.packed_shape(d);
             let spec = crate::workload::sp_step_spec(
                 &model,
                 ActivationPolicy::None,
@@ -401,8 +510,9 @@ mod tests {
                 &seqs,
                 Some(crate::workload::ulysses_zero_spec(&cluster, &model)),
             );
-            let actual = simulate_sp_step(&cluster, &DeviceGroup::aligned(0, d), &spec);
-            let predicted = cm.group_time(&seqs, d);
+            let group = DeviceGroup::for_shape(shape, cluster.gpus_per_node, 0);
+            let actual = simulate_sp_step(&cluster, &group, &spec);
+            let predicted = cm.group_time(&seqs, shape);
             let rel = (predicted - actual.total_s()).abs() / actual.total_s();
             assert!(rel < 0.15, "d={d} len={len}: rel err {rel:.3}");
         }

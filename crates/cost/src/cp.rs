@@ -5,14 +5,16 @@
 //! groups adaptively per batch. Because a TP×CP replica's cost is still
 //! linear in the assigned sequences per "degree" (here: replica GPU
 //! count), the entire planner stack is reusable — all that changes is the
-//! profile the [`CostModel`](crate::CostModel) is fitted from.
+//! profile the [`CostModel`] is fitted from.
 //!
 //! [`fit_cp`] profiles simulated TP×CP replicas (Megatron-SP collectives
 //! on the TP subgroup + ring KV exchange overlapped against attention) and
 //! returns a `CostModel` whose degrees are replica sizes `tp·cp`.
 
 use flexsp_model::{ActivationPolicy, FlopsModel, ModelConfig, ZeroStage, BF16_BYTES};
-use flexsp_sim::{simulate_cp_step, ClusterSpec, CpStepSpec, DeviceGroup, SpStepReport};
+use flexsp_sim::{
+    simulate_cp_step, ClusterSpec, CpStepSpec, DeviceGroup, GroupShape, SpStepReport,
+};
 
 use crate::cost_model::{CostModel, MemoryModel};
 use crate::profiler::ProfilePoint;
@@ -56,7 +58,24 @@ pub fn cp_step_spec(
 }
 
 /// Simulates one TP×CP replica (ground truth for the flexible-CP
-/// executor), with the replica placed at GPU `start`.
+/// executor) on an explicit device group — the planner's own placement.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_cp_group(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    policy: ActivationPolicy,
+    tp: u32,
+    cp: u32,
+    replica: &DeviceGroup,
+    seqs: &[u64],
+    zero: Option<flexsp_sim::ZeroTrafficSpec>,
+) -> SpStepReport {
+    let spec = cp_step_spec(model, policy, tp, cp, seqs, zero);
+    simulate_cp_step(cluster, replica, &spec)
+}
+
+/// Simulates one TP×CP replica placed as a contiguous block at GPU
+/// `start` (the profiler's canonical layout).
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_cp_replica(
     cluster: &ClusterSpec,
@@ -68,9 +87,8 @@ pub fn simulate_cp_replica(
     seqs: &[u64],
     zero: Option<flexsp_sim::ZeroTrafficSpec>,
 ) -> SpStepReport {
-    let spec = cp_step_spec(model, policy, tp, cp, seqs, zero);
     let replica = DeviceGroup::aligned(start, tp * cp);
-    simulate_cp_step(cluster, &replica, &spec)
+    simulate_cp_group(cluster, model, policy, tp, cp, &replica, seqs, zero)
 }
 
 /// Fits a [`CostModel`] for flexible CP at fixed TP degree `tp`.
@@ -94,11 +112,13 @@ pub fn fit_cp(
         "invalid TP degree {tp} for {n} GPUs"
     );
     let mut points = Vec::new();
-    let token_grid: [u64; 5] = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
-    let seq_lens: [u64; 4] = [2 << 10, 8 << 10, 32 << 10, 128 << 10];
+    let token_grid = crate::profiler::TOKEN_GRID;
+    let seq_lens = crate::profiler::SEQ_LEN_GRID;
     let mut cp = 1u32;
     while tp * cp <= n {
         let degree = tp * cp;
+        let replica = DeviceGroup::aligned(0, degree);
+        let shape = GroupShape::of(&replica, cluster.gpus_per_node);
         for &tokens in &token_grid {
             for &len in &seq_lens {
                 if len > tokens {
@@ -106,10 +126,10 @@ pub fn fit_cp(
                 }
                 let n_seqs = (tokens / len).max(1);
                 let seqs = vec![len; n_seqs as usize];
-                let r = simulate_cp_replica(cluster, model, policy, tp, cp, 0, &seqs, None);
+                let r = simulate_cp_group(cluster, model, policy, tp, cp, &replica, &seqs, None);
                 let actual: u64 = seqs.iter().sum();
                 points.push(ProfilePoint {
-                    degree,
+                    shape,
                     tokens: actual,
                     sum_sq: seqs.iter().map(|&s| (s as f64).powi(2)).sum(),
                     compute_s: r.compute_s,
@@ -124,7 +144,7 @@ pub fn fit_cp(
         model_state_bytes: model.model_state_bytes(ZeroStage::Three, n as u64) as f64,
         capacity_bytes: cluster.gpu.mem_bytes as f64,
     };
-    CostModel::fit_from_points(&points, memory, n)
+    CostModel::fit_from_points(&points, memory, cluster.topology())
 }
 
 /// The ZeRO traffic spec shared by CP replicas (whole-cluster sharding,
@@ -155,7 +175,7 @@ mod tests {
         let cm = fit_cp(&cluster, &model, ActivationPolicy::None, 8);
         assert_eq!(cm.degrees(), vec![8, 16, 32, 64]);
         // TP-only replicas still pay Megatron-SP collectives.
-        assert!(cm.comm_fit(8).per_token > 0.0);
+        assert!(cm.comm_fit(cm.packed_shape(8)).per_token > 0.0);
     }
 
     #[test]
@@ -165,8 +185,8 @@ mod tests {
         // beat the full-cluster ring for short sequences.
         let (cluster, model) = setup();
         let cm = fit_cp(&cluster, &model, ActivationPolicy::None, 8);
-        let t8 = cm.group_time(&[8 << 10; 16], 8);
-        let t64 = cm.group_time(&[8 << 10; 128], 64);
+        let t8 = cm.group_time(&[8 << 10; 16], cm.packed_shape(8));
+        let t64 = cm.group_time(&[8 << 10; 128], cm.packed_shape(64));
         assert!(t8 < t64, "tp8/cp1 {t8} vs tp8/cp8 {t64}");
     }
 

@@ -11,18 +11,23 @@
 //!
 //! The coefficients are obtained exactly as in the paper — by profiling.
 //! [`Profiler`] runs micro-benchmarks on the `flexsp-sim` cluster across a
-//! grid of sequence compositions and SP degrees, then fits the
-//! coefficients by least squares ([`fit::lstsq`]). Because the simulator is
-//! nonlinear (bandwidth and utilization ramps), the fit has genuine
-//! residuals; [`accuracy`] quantifies them, reproducing the paper's
-//! Appendix C claim that estimation error stays within a few percent.
+//! grid of sequence compositions and *placement classes*
+//! ([`flexsp_sim::GroupShape`]: degree × nodes spanned), then fits the
+//! coefficients by least squares ([`fit::lstsq`]). Keying the
+//! communication fit by shape instead of bare degree is what lets the
+//! planner price an intra-node degree-8 group (NVLink All-to-All)
+//! differently from one straddling two nodes (NIC-bound). Because the
+//! simulator is nonlinear (bandwidth and utilization ramps), the fit has
+//! genuine residuals; [`accuracy`] quantifies them, reproducing the
+//! paper's Appendix C claim that estimation error stays within a few
+//! percent.
 //!
 //! # Example
 //!
 //! ```
 //! use flexsp_cost::CostModel;
 //! use flexsp_model::{ActivationPolicy, ModelConfig};
-//! use flexsp_sim::ClusterSpec;
+//! use flexsp_sim::{ClusterSpec, GroupShape};
 //!
 //! let cluster = ClusterSpec::a100_cluster(8);
 //! let model = ModelConfig::gpt_7b(192 * 1024);
@@ -31,9 +36,11 @@
 //! // Short sequences run faster on eight concurrent intra-node SP=8
 //! // groups than on one SP=64 group at equal per-GPU load (the paper's
 //! // core observation).
-//! let t8 = cost.group_time(&[16 * 1024; 8], 8); // one-eighth of the batch
-//! let t64 = cost.group_time(&[16 * 1024; 64], 64); // the whole batch
+//! let t8 = cost.group_time(&[16 * 1024; 8], GroupShape::intra(8));
+//! let t64 = cost.group_time(&[16 * 1024; 64], cost.packed_shape(64));
 //! assert!(t8 < t64);
+//! // And the same degree is dearer when its members straddle nodes.
+//! assert!(cost.group_time(&[16 * 1024; 8], GroupShape::new(8, 2)) > t8);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,16 +1,21 @@
 //! Simulated micro-benchmark profiling (the paper obtains its α-β
 //! coefficients "through profiling"; we profile the simulator).
+//!
+//! Profiling is *placement-aware*: each [`GroupShape`] — degree ×
+//! nodes-spanned — is measured at its canonical balanced layout, so the
+//! fitted communication coefficients distinguish an intra-node degree-8
+//! group (NVLink All-to-All) from one straddling two nodes (NIC-bound).
 
 use flexsp_model::{ActivationPolicy, ModelConfig};
-use flexsp_sim::{simulate_sp_step, ClusterSpec, DeviceGroup};
+use flexsp_sim::{enumerate_shapes, simulate_sp_step, ClusterSpec, DeviceGroup, GroupShape};
 
 use crate::workload::sp_step_spec;
 
 /// One profiled measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfilePoint {
-    /// SP degree of the profiled group.
-    pub degree: u32,
+    /// Placement class of the profiled group.
+    pub shape: GroupShape,
     /// Total tokens processed by the group.
     pub tokens: u64,
     /// Σ s² of the constituent sequences.
@@ -23,15 +28,21 @@ pub struct ProfilePoint {
 
 /// Runs the micro-benchmark grid used to fit [`CostModel`](crate::CostModel).
 ///
-/// For every power-of-two degree and a grid of token counts × constituent
-/// sequence lengths, the profiler executes one simulated SP step and
-/// records the compute/communication split.
+/// For every placement class (see [`enumerate_shapes`]) and a grid of
+/// token counts × constituent sequence lengths, the profiler executes one
+/// simulated SP step and records the compute/communication split.
 #[derive(Debug, Clone)]
 pub struct Profiler<'a> {
     cluster: &'a ClusterSpec,
     model: &'a ModelConfig,
     policy: ActivationPolicy,
 }
+
+/// The token-count × sequence-length measurement grid shared by the SP
+/// and CP profilers.
+pub(crate) const TOKEN_GRID: [u64; 5] = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+/// Sequence lengths varying the Σs² / Σs ratio so α₁ and α₂ separate.
+pub(crate) const SEQ_LEN_GRID: [u64; 4] = [2 << 10, 8 << 10, 32 << 10, 128 << 10];
 
 impl<'a> Profiler<'a> {
     /// Creates a profiler for a (cluster, model, checkpointing) triple.
@@ -49,33 +60,59 @@ impl<'a> Profiler<'a> {
         (0..).map(|e| 1u32 << e).take_while(|&d| d <= n).collect()
     }
 
-    /// Profiles the full grid.
+    /// The placement classes the profiler measures: for every degree the
+    /// tightest packing plus a two-node spanning variant where one exists.
+    pub fn shapes(&self) -> Vec<GroupShape> {
+        enumerate_shapes(&self.cluster.topology(), &self.degrees())
+    }
+
+    /// Profiles the full placement-aware grid.
     pub fn run(&self) -> Vec<ProfilePoint> {
+        let gpn = self.cluster.gpus_per_node;
+        self.shapes()
+            .into_iter()
+            .flat_map(|shape| {
+                let group = DeviceGroup::for_shape(shape, gpn, 0);
+                self.run_group(shape, &group)
+            })
+            .collect()
+    }
+
+    /// Profiles only the *flat-aligned* layout the pre-placement executor
+    /// used — one group per degree at GPU offset 0, oblivious to node
+    /// boundaries. This reproduces the degree-keyed cost model for
+    /// ablations and topology-sweep baselines.
+    pub fn run_flat_aligned(&self) -> Vec<ProfilePoint> {
+        let gpn = self.cluster.gpus_per_node;
+        self.degrees()
+            .into_iter()
+            .flat_map(|d| {
+                let group = DeviceGroup::aligned(0, d);
+                let shape = GroupShape::of(&group, gpn);
+                self.run_group(shape, &group)
+            })
+            .collect()
+    }
+
+    fn run_group(&self, shape: GroupShape, group: &DeviceGroup) -> Vec<ProfilePoint> {
         let mut points = Vec::new();
-        // Token grid spans short packed batches to long-context inputs;
-        // sequence lengths vary the Σs² / Σs ratio so α₁ and α₂ separate.
-        let token_grid: [u64; 5] = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
-        let seq_lens: [u64; 4] = [2 << 10, 8 << 10, 32 << 10, 128 << 10];
-        for &d in &self.degrees() {
-            let group = DeviceGroup::aligned(0, d);
-            for &tokens in &token_grid {
-                for &len in &seq_lens {
-                    if len > tokens {
-                        continue;
-                    }
-                    let n_seqs = (tokens / len).max(1);
-                    let seqs = vec![len; n_seqs as usize];
-                    let spec = sp_step_spec(self.model, self.policy, d, &seqs, None);
-                    let r = simulate_sp_step(self.cluster, &group, &spec);
-                    let actual_tokens: u64 = seqs.iter().sum();
-                    points.push(ProfilePoint {
-                        degree: d,
-                        tokens: actual_tokens,
-                        sum_sq: seqs.iter().map(|&s| (s as f64).powi(2)).sum(),
-                        compute_s: r.compute_s,
-                        alltoall_s: r.alltoall_s,
-                    });
+        for &tokens in &TOKEN_GRID {
+            for &len in &SEQ_LEN_GRID {
+                if len > tokens {
+                    continue;
                 }
+                let n_seqs = (tokens / len).max(1);
+                let seqs = vec![len; n_seqs as usize];
+                let spec = sp_step_spec(self.model, self.policy, shape.degree, &seqs, None);
+                let r = simulate_sp_step(self.cluster, group, &spec);
+                let actual_tokens: u64 = seqs.iter().sum();
+                points.push(ProfilePoint {
+                    shape,
+                    tokens: actual_tokens,
+                    sum_sq: seqs.iter().map(|&s| (s as f64).powi(2)).sum(),
+                    compute_s: r.compute_s,
+                    alltoall_s: r.alltoall_s,
+                });
             }
         }
         points
@@ -87,19 +124,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_covers_all_degrees() {
+    fn grid_covers_all_shapes() {
         let cluster = ClusterSpec::a100_cluster(8);
         let model = ModelConfig::gpt_7b(192 * 1024);
         let prof = Profiler::new(&cluster, &model, ActivationPolicy::None);
         assert_eq!(prof.degrees(), vec![1, 2, 4, 8, 16, 32, 64]);
         let pts = prof.run();
-        for d in prof.degrees() {
-            assert!(pts.iter().any(|p| p.degree == d), "degree {d} missing");
+        for s in prof.shapes() {
+            assert!(pts.iter().any(|p| p.shape == s), "shape {s} missing");
         }
         // Measurements must be positive and finite.
         assert!(pts
             .iter()
             .all(|p| p.compute_s > 0.0 && p.compute_s.is_finite()));
+    }
+
+    #[test]
+    fn spanning_variant_measures_slower_alltoall() {
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(192 * 1024);
+        let pts = Profiler::new(&cluster, &model, ActivationPolicy::None).run();
+        let sum = |shape: GroupShape| -> f64 {
+            pts.iter()
+                .filter(|p| p.shape == shape)
+                .map(|p| p.alltoall_s)
+                .sum()
+        };
+        let intra = sum(GroupShape::intra(8));
+        let spanning = sum(GroupShape::new(8, 2));
+        assert!(
+            spanning > 2.0 * intra,
+            "spanning {spanning} vs intra {intra}"
+        );
     }
 
     #[test]
@@ -109,7 +165,22 @@ mod tests {
         let pts = Profiler::new(&cluster, &model, ActivationPolicy::None).run();
         assert!(pts
             .iter()
-            .filter(|p| p.degree == 1)
+            .filter(|p| p.shape.degree == 1)
             .all(|p| p.alltoall_s == 0.0));
+    }
+
+    #[test]
+    fn flat_aligned_profile_is_degree_keyed() {
+        let cluster = ClusterSpec::a100_nodes_of(2, 6);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        let prof = Profiler::new(&cluster, &model, ActivationPolicy::None);
+        let pts = prof.run_flat_aligned();
+        // One shape per degree, derived from the flat layout: degree 8 on
+        // 6-GPU nodes straddles two nodes even at offset 0.
+        let mut shapes: Vec<GroupShape> = pts.iter().map(|p| p.shape).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        assert_eq!(shapes.len(), prof.degrees().len());
+        assert!(shapes.contains(&GroupShape::new(8, 2)));
     }
 }

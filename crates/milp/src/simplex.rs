@@ -92,8 +92,8 @@ impl LpOutcome {
 /// An optimal solution to a linear program.
 #[derive(Debug, Clone)]
 pub struct LpSolution {
-    /// Values of the structural variables, indexed by [`VarId::index`]
-    /// (see [`crate::VarId`]).
+    /// Values of the structural variables, indexed by [`crate::VarId::index`]
+    /// position.
     pub values: Vec<f64>,
     /// Objective value in the problem's own sense (including the
     /// objective's constant term).

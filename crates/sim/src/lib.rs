@@ -48,6 +48,7 @@ mod context_parallel;
 mod group;
 mod memory;
 mod pool;
+mod shape;
 mod spec;
 mod ulysses;
 
@@ -56,5 +57,6 @@ pub use context_parallel::{simulate_cp_step, CpStepSpec};
 pub use group::{DeviceGroup, GpuId};
 pub use memory::{MemoryTracker, OomError};
 pub use pool::{allocate_aligned, AllocError, GroupPool, PoolFetch, PoolStats};
-pub use spec::{ClusterSpec, GpuSpec, InterconnectSpec};
+pub use shape::{enumerate_shapes, GroupShape, NodeSlots, Topology};
+pub use spec::{ClusterSpec, GpuSpec, InterconnectSpec, SpecError};
 pub use ulysses::{simulate_sp_step, SpStepReport, SpStepSpec, ZeroTrafficSpec};

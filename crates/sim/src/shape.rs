@@ -1,0 +1,396 @@
+//! Placement classes and node-slot accounting.
+//!
+//! A bare SP *degree* under-specifies a group's cost: a degree-8 group
+//! confined to one node rides NVLink for every All-to-All byte, while the
+//! same degree spread over two nodes pays the NIC for roughly half its
+//! egress. [`GroupShape`] — degree × nodes spanned — is the placement
+//! class the planner stack keys its cost fits and MILP decisions by, and
+//! [`NodeSlots`] is the per-node free-GPU ledger the placement engine
+//! packs those shapes onto.
+
+use std::fmt;
+
+use crate::group::{DeviceGroup, GpuId};
+use crate::spec::ClusterSpec;
+
+/// Node-level geometry of a cluster: how many nodes, how wide each one is.
+///
+/// This is the slice of [`ClusterSpec`] that placement decisions depend
+/// on; it travels with fitted cost models so planners can reason about
+/// node capacity without dragging the full performance constants along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Number of nodes.
+    pub num_nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_nodes: u32, gpus_per_node: u32) -> Self {
+        assert!(num_nodes > 0, "topology needs at least one node");
+        assert!(gpus_per_node > 0, "nodes need at least one GPU");
+        Self {
+            num_nodes,
+            gpus_per_node,
+        }
+    }
+
+    /// Total GPU count.
+    pub fn num_gpus(&self) -> u32 {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// The fewest nodes a degree-`degree` group can span.
+    pub fn min_span(&self, degree: u32) -> u32 {
+        degree.div_ceil(self.gpus_per_node)
+    }
+
+    /// The most intra-node groups of `degree` GPUs the cluster can host.
+    pub fn intra_capacity(&self, degree: u32) -> u32 {
+        self.num_nodes * (self.gpus_per_node / degree.max(1))
+    }
+}
+
+impl From<&ClusterSpec> for Topology {
+    fn from(c: &ClusterSpec) -> Self {
+        Topology::new(c.num_nodes, c.gpus_per_node)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.num_nodes, self.gpus_per_node)
+    }
+}
+
+/// A group's placement class: its parallelism degree and how many nodes
+/// its members are spread across. Two groups of equal degree but
+/// different span have very different All-to-All profiles, so the whole
+/// planner stack — cost fits, MILP variables, plans — is keyed by shape,
+/// not by bare degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupShape {
+    /// Parallelism degree (member GPU count).
+    pub degree: u32,
+    /// Distinct nodes the members occupy (1 = intra-node).
+    pub nodes_spanned: u32,
+}
+
+impl GroupShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`, `nodes_spanned == 0`, or the span exceeds
+    /// the degree (a node must host at least one member).
+    pub fn new(degree: u32, nodes_spanned: u32) -> Self {
+        assert!(degree > 0, "shape needs at least one GPU");
+        assert!(
+            (1..=degree).contains(&nodes_spanned),
+            "span {nodes_spanned} invalid for degree {degree}"
+        );
+        Self {
+            degree,
+            nodes_spanned,
+        }
+    }
+
+    /// An intra-node shape.
+    pub fn intra(degree: u32) -> Self {
+        Self::new(degree, 1)
+    }
+
+    /// The tightest shape for `degree` on nodes of `gpus_per_node` GPUs
+    /// (spans the minimum number of nodes).
+    pub fn packed(degree: u32, gpus_per_node: u32) -> Self {
+        assert!(gpus_per_node > 0, "nodes need at least one GPU");
+        Self::new(degree, degree.div_ceil(gpus_per_node))
+    }
+
+    /// The shape of a concrete device group.
+    pub fn of(group: &DeviceGroup, gpus_per_node: u32) -> Self {
+        Self::new(group.degree(), group.nodes_spanned(gpus_per_node))
+    }
+
+    /// True if the shape keeps all members on one node.
+    pub fn is_intra(&self) -> bool {
+        self.nodes_spanned == 1
+    }
+
+    /// GPUs the shape needs on its fullest node under a balanced spread.
+    pub fn max_gpus_per_node(&self) -> u32 {
+        self.degree.div_ceil(self.nodes_spanned)
+    }
+
+    /// True if the shape fits `topo` at all (enough nodes, and the
+    /// balanced per-node share fits a node).
+    pub fn fits(&self, topo: &Topology) -> bool {
+        self.nodes_spanned <= topo.num_nodes && self.max_gpus_per_node() <= topo.gpus_per_node
+    }
+
+    /// Canonical label: `SP8` intra-node, `SP16/2n` spanning two nodes.
+    pub fn label(&self) -> String {
+        if self.is_intra() {
+            format!("SP{}", self.degree)
+        } else {
+            format!("SP{}/{}n", self.degree, self.nodes_spanned)
+        }
+    }
+}
+
+impl fmt::Display for GroupShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The placement-class portfolio a planner should consider on `topo`: for
+/// every degree in `degrees` that fits the cluster, the tightest (packed)
+/// shape, plus — for degrees that fit a single node — a two-node spanning
+/// variant as the fragmentation fallback.
+pub fn enumerate_shapes(topo: &Topology, degrees: &[u32]) -> Vec<GroupShape> {
+    let mut shapes = Vec::new();
+    for &d in degrees {
+        if d == 0 || d > topo.num_gpus() {
+            continue;
+        }
+        let packed = GroupShape::packed(d, topo.gpus_per_node);
+        if packed.fits(topo) {
+            shapes.push(packed);
+        }
+        if d >= 2 && packed.is_intra() && topo.num_nodes >= 2 {
+            let spanning = GroupShape::new(d, 2);
+            if spanning.fits(topo) {
+                shapes.push(spanning);
+            }
+        }
+    }
+    shapes.sort_unstable();
+    shapes.dedup();
+    shapes
+}
+
+impl DeviceGroup {
+    /// A concrete group realizing `shape` with members spread as evenly
+    /// as possible over nodes `start_node .. start_node + span` of a
+    /// cluster with `gpus_per_node`-wide nodes (each node contributes its
+    /// lowest-indexed GPUs). This is the canonical layout the profiler
+    /// measures a shape at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the balanced per-node share exceeds `gpus_per_node`.
+    pub fn for_shape(shape: GroupShape, gpus_per_node: u32, start_node: u32) -> Self {
+        let k = shape.nodes_spanned;
+        let base = shape.degree / k;
+        let extra = shape.degree % k;
+        let mut gpus = Vec::with_capacity(shape.degree as usize);
+        for i in 0..k {
+            let count = base + u32::from(i < extra);
+            assert!(
+                count <= gpus_per_node,
+                "{shape} needs {count} GPUs on one node but nodes have {gpus_per_node}"
+            );
+            let node_base = (start_node + i) * gpus_per_node;
+            gpus.extend((node_base..node_base + count).map(GpuId));
+        }
+        DeviceGroup::from_gpus(gpus)
+    }
+}
+
+/// Per-node free-GPU ledger used by placement engines: which GPUs of each
+/// node are still unassigned within the current micro-batch.
+#[derive(Debug, Clone)]
+pub struct NodeSlots {
+    topo: Topology,
+    /// Free GPUs per node, ascending.
+    free: Vec<Vec<GpuId>>,
+}
+
+impl NodeSlots {
+    /// A fully free cluster.
+    pub fn new(topo: Topology) -> Self {
+        let gpn = topo.gpus_per_node;
+        let free = (0..topo.num_nodes)
+            .map(|n| (n * gpn..(n + 1) * gpn).map(GpuId).collect())
+            .collect();
+        Self { topo, free }
+    }
+
+    /// The topology this ledger tracks.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Free GPUs on `node`.
+    pub fn free_on(&self, node: u32) -> u32 {
+        self.free[node as usize].len() as u32
+    }
+
+    /// Total free GPUs.
+    pub fn total_free(&self) -> u32 {
+        self.free.iter().map(|f| f.len() as u32).sum()
+    }
+
+    /// The node with the most free GPUs (lowest index wins ties), or
+    /// `None` if the cluster is fully allocated.
+    pub fn most_free_node(&self) -> Option<u32> {
+        (0..self.topo.num_nodes)
+            .filter(|&n| self.free_on(n) > 0)
+            .max_by_key(|&n| (self.free_on(n), std::cmp::Reverse(n)))
+    }
+
+    /// Takes `count` GPUs from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has fewer than `count` free GPUs.
+    pub fn take(&mut self, node: u32, count: u32) -> Vec<GpuId> {
+        let slot = &mut self.free[node as usize];
+        assert!(
+            count as usize <= slot.len(),
+            "node {node} has {} free GPUs, need {count}",
+            slot.len()
+        );
+        slot.drain(..count as usize).collect()
+    }
+
+    /// The span a [`take_packed`](NodeSlots::take_packed) draw of
+    /// `degree` GPUs would realize right now, without committing it —
+    /// `None` if fewer than `degree` GPUs are free. Planners use this to
+    /// price a prospective group at the placement class it would actually
+    /// get.
+    pub fn span_if_packed(&self, degree: u32) -> Option<u32> {
+        if self.total_free() < degree {
+            return None;
+        }
+        // Walking the free counts in descending order reproduces the
+        // fullest-node-first draw of `take_packed` exactly.
+        let mut counts: Vec<u32> = self.free.iter().map(|f| f.len() as u32).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let mut remaining = degree;
+        let mut span = 0u32;
+        for c in counts {
+            if remaining == 0 || c == 0 {
+                break;
+            }
+            remaining -= remaining.min(c);
+            span += 1;
+        }
+        Some(span.max(1))
+    }
+
+    /// Takes `degree` GPUs greedily from the fullest nodes — the packing
+    /// move that minimizes the resulting span and maximizes co-location.
+    /// Returns `None` (ledger untouched) if fewer than `degree` GPUs are
+    /// free in total.
+    pub fn take_packed(&mut self, degree: u32) -> Option<DeviceGroup> {
+        if self.total_free() < degree {
+            return None;
+        }
+        let mut gpus = Vec::with_capacity(degree as usize);
+        let mut remaining = degree;
+        while remaining > 0 {
+            let node = self.most_free_node().expect("free GPUs remain");
+            let take = remaining.min(self.free_on(node));
+            gpus.extend(self.take(node, take));
+            remaining -= take;
+        }
+        Some(DeviceGroup::from_gpus(gpus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_shapes_span_minimally() {
+        assert_eq!(GroupShape::packed(8, 8), GroupShape::intra(8));
+        assert_eq!(GroupShape::packed(16, 8).nodes_spanned, 2);
+        assert_eq!(GroupShape::packed(8, 6).nodes_spanned, 2);
+        assert_eq!(GroupShape::packed(8, 3).nodes_spanned, 3);
+        assert!(GroupShape::packed(64, 8).max_gpus_per_node() == 8);
+    }
+
+    #[test]
+    fn shape_of_concrete_groups() {
+        let g = DeviceGroup::for_shape(GroupShape::new(8, 2), 8, 0);
+        assert_eq!(GroupShape::of(&g, 8), GroupShape::new(8, 2));
+        assert_eq!(g.gpus().len(), 8);
+        // Balanced 4 + 4 split across nodes 0 and 1.
+        assert_eq!(g.gpus()[3].0, 3);
+        assert_eq!(g.gpus()[4].0, 8);
+    }
+
+    #[test]
+    fn enumerate_covers_packed_and_spanning() {
+        let topo = Topology::new(4, 8);
+        let shapes = enumerate_shapes(&topo, &[1, 2, 4, 8, 16, 32, 64]);
+        assert!(shapes.contains(&GroupShape::intra(8)));
+        assert!(shapes.contains(&GroupShape::new(8, 2)), "fallback variant");
+        assert!(shapes.contains(&GroupShape::new(16, 2)));
+        assert!(shapes.contains(&GroupShape::new(32, 4)));
+        // 64 does not fit 32 GPUs.
+        assert!(shapes.iter().all(|s| s.degree <= 32));
+        // Degree 1 has no spanning variant.
+        assert_eq!(
+            shapes.iter().filter(|s| s.degree == 1).count(),
+            1,
+            "{shapes:?}"
+        );
+    }
+
+    #[test]
+    fn enumerate_on_odd_node_width() {
+        let topo = Topology::new(4, 6);
+        let shapes = enumerate_shapes(&topo, &[1, 2, 4, 8, 16]);
+        // Degree 8 cannot be intra-node on 6-GPU nodes.
+        assert!(shapes.contains(&GroupShape::new(8, 2)));
+        assert!(!shapes.contains(&GroupShape::intra(8)));
+        assert!(shapes.contains(&GroupShape::new(16, 3)));
+    }
+
+    #[test]
+    fn node_slots_pack_greedily() {
+        let mut slots = NodeSlots::new(Topology::new(2, 8));
+        let a = slots.take_packed(8).unwrap();
+        assert!(a.is_intra_node(8));
+        let b = slots.take_packed(4).unwrap();
+        assert!(b.is_intra_node(8));
+        let c = slots.take_packed(4).unwrap();
+        assert!(c.is_intra_node(8));
+        assert_eq!(slots.total_free(), 0);
+        assert!(slots.take_packed(1).is_none());
+    }
+
+    #[test]
+    fn node_slots_span_when_fragmented() {
+        let mut slots = NodeSlots::new(Topology::new(2, 6));
+        slots.take_packed(4).unwrap();
+        slots.take_packed(4).unwrap();
+        // 2 + 2 GPUs left on two nodes: a degree-4 group must span, and
+        // the preview agrees with the committed draw.
+        assert_eq!(slots.span_if_packed(4), Some(2));
+        assert_eq!(slots.span_if_packed(2), Some(1));
+        assert_eq!(slots.span_if_packed(8), None);
+        let g = slots.take_packed(4).unwrap();
+        assert_eq!(g.nodes_spanned(6), 2);
+    }
+
+    #[test]
+    fn min_span_and_capacity() {
+        let topo = Topology::new(4, 6);
+        assert_eq!(topo.min_span(4), 1);
+        assert_eq!(topo.min_span(8), 2);
+        assert_eq!(topo.intra_capacity(4), 4);
+        assert_eq!(topo.intra_capacity(2), 12);
+        assert_eq!(topo.num_gpus(), 24);
+    }
+}

@@ -1,5 +1,39 @@
 //! Cluster topology and calibrated performance constants.
 
+use std::fmt;
+
+use crate::shape::Topology;
+
+/// Rejected [`ClusterSpec`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `num_nodes` was zero.
+    NoNodes,
+    /// `gpus_per_node` was zero.
+    NoGpusPerNode,
+    /// A bandwidth constant was zero, negative, or non-finite.
+    BadBandwidth(&'static str),
+    /// A GPU compute constant was zero, negative, or non-finite.
+    BadCompute(&'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoNodes => write!(f, "cluster needs at least one node"),
+            SpecError::NoGpusPerNode => write!(f, "nodes need at least one GPU"),
+            SpecError::BadBandwidth(which) => {
+                write!(f, "bandwidth `{which}` must be positive and finite")
+            }
+            SpecError::BadCompute(which) => {
+                write!(f, "GPU constant `{which}` must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Per-GPU compute/memory characteristics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSpec {
@@ -53,17 +87,65 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
+    /// Validating constructor: rejects degenerate topologies
+    /// (`num_nodes == 0`, `gpus_per_node == 0`) and non-positive or
+    /// non-finite bandwidth constants before they can poison downstream
+    /// cost fits with NaNs or divide-by-zero.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the first rejected parameter.
+    pub fn new(
+        num_nodes: u32,
+        gpus_per_node: u32,
+        gpu: GpuSpec,
+        net: InterconnectSpec,
+    ) -> Result<Self, SpecError> {
+        if num_nodes == 0 {
+            return Err(SpecError::NoNodes);
+        }
+        if gpus_per_node == 0 {
+            return Err(SpecError::NoGpusPerNode);
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(net.nvlink_bw) {
+            return Err(SpecError::BadBandwidth("nvlink_bw"));
+        }
+        if !positive(net.nic_bw_per_gpu) {
+            return Err(SpecError::BadBandwidth("nic_bw_per_gpu"));
+        }
+        if !positive(gpu.peak_flops) {
+            return Err(SpecError::BadCompute("peak_flops"));
+        }
+        Ok(Self {
+            num_nodes,
+            gpus_per_node,
+            gpu,
+            net,
+        })
+    }
+
     /// The paper's testbed scaled to `num_nodes` nodes of 8× A100-40GB.
     ///
     /// # Panics
     ///
     /// Panics if `num_nodes == 0`.
     pub fn a100_cluster(num_nodes: u32) -> Self {
-        assert!(num_nodes > 0, "cluster needs at least one node");
-        Self {
+        Self::a100_nodes_of(num_nodes, 8)
+    }
+
+    /// The A100 preset with a custom node width (for topology studies:
+    /// partial nodes, fat nodes). Per-GPU NIC share is held at the
+    /// preset's 6.25 GB/s regardless of width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn a100_nodes_of(num_nodes: u32, gpus_per_node: u32) -> Self {
+        Self::new(
             num_nodes,
-            gpus_per_node: 8,
-            gpu: GpuSpec {
+            gpus_per_node,
+            GpuSpec {
                 peak_flops: 312e12,
                 max_utilization: 0.58,
                 util_half_flops: 4e10,
@@ -71,7 +153,7 @@ impl ClusterSpec {
                 // 40 GB minus ~3 GB CUDA/framework reserve.
                 mem_bytes: 37 * (1 << 30),
             },
-            net: InterconnectSpec {
+            InterconnectSpec {
                 nvlink_bw: 70e9,
                 nvlink_half_msg: 512e3,
                 nvlink_latency_s: 15e-6,
@@ -79,12 +161,18 @@ impl ClusterSpec {
                 nic_half_msg: 128e3,
                 nic_latency_s: 30e-6,
             },
-        }
+        )
+        .expect("the A100 preset is valid for non-zero dimensions")
     }
 
     /// Total GPU count.
     pub fn num_gpus(&self) -> u32 {
         self.num_nodes * self.gpus_per_node
+    }
+
+    /// The node-level geometry (for placement engines and cost models).
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.num_nodes, self.gpus_per_node)
     }
 
     /// Effective NVLink bandwidth for per-peer messages of `msg` bytes.
@@ -160,6 +248,46 @@ mod tests {
         let c = ClusterSpec::a100_cluster(8);
         assert_eq!(c.num_gpus(), 64);
         assert!(c.gpu.mem_bytes > 30 * (1 << 30));
+        assert_eq!(c.topology(), Topology::new(8, 8));
+    }
+
+    #[test]
+    fn constructor_rejects_degenerate_specs() {
+        let ok = ClusterSpec::a100_cluster(2);
+        assert_eq!(
+            ClusterSpec::new(0, 8, ok.gpu, ok.net),
+            Err(SpecError::NoNodes)
+        );
+        assert_eq!(
+            ClusterSpec::new(2, 0, ok.gpu, ok.net),
+            Err(SpecError::NoGpusPerNode)
+        );
+        let mut bad_net = ok.net;
+        bad_net.nic_bw_per_gpu = 0.0;
+        assert_eq!(
+            ClusterSpec::new(2, 8, ok.gpu, bad_net),
+            Err(SpecError::BadBandwidth("nic_bw_per_gpu"))
+        );
+        let mut bad_net = ok.net;
+        bad_net.nvlink_bw = -1.0;
+        assert_eq!(
+            ClusterSpec::new(2, 8, ok.gpu, bad_net),
+            Err(SpecError::BadBandwidth("nvlink_bw"))
+        );
+        let mut bad_gpu = ok.gpu;
+        bad_gpu.peak_flops = 0.0;
+        assert_eq!(
+            ClusterSpec::new(2, 8, bad_gpu, ok.net),
+            Err(SpecError::BadCompute("peak_flops"))
+        );
+        assert!(ClusterSpec::new(2, 8, ok.gpu, ok.net).is_ok());
+    }
+
+    #[test]
+    fn custom_node_width_preset() {
+        let c = ClusterSpec::a100_nodes_of(4, 6);
+        assert_eq!(c.num_gpus(), 24);
+        assert_eq!(c.topology().gpus_per_node, 6);
     }
 
     #[test]

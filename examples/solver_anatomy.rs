@@ -30,7 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("batch: 1 x 100K + 4 x 48K sequences, 64 GPUs\n");
 
     // Stage 1: the blaster decides this fits one micro-batch.
-    let m_min = blaster::min_micro_batches(&batch, cost.cluster_token_capacity());
+    let m_min = blaster::min_micro_batches(&batch, cost.cluster_token_capacity())
+        .expect("cluster capacity is non-zero");
     println!(
         "blaster: M_min = {m_min} (cluster holds {} tokens/micro-batch)",
         cost.cluster_token_capacity()

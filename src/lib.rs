@@ -6,7 +6,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`core`] (`flexsp-core`) | the paper's solver (blaster, bucketing, MILP planner), executor, and the caching solver service |
+//! | [`core`] (`flexsp-core`) | the paper's solver (blaster, bucketing, MILP planner), the node-packing placement engine, the executor, and the caching solver service |
 //! | [`milp`] (`flexsp-milp`) | incremental sparse LP/MILP solver (SCIP replacement): sparse revised simplex, [`milp::Basis`] warm re-solves, the `Problem` mutation API, branch and bound |
 //! | [`model`] (`flexsp-model`) | GPT configs, FLOPs and memory accounting |
 //! | [`data`] (`flexsp-data`) | long-tail corpora, packing, batching |
@@ -68,8 +68,8 @@ pub use flexsp_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use flexsp_baselines::{
-        evaluate_system, DeepSpeedUlysses, FlexCpSystem, FlexSpBatchAda, FlexSpSystem,
-        HomogeneousCp, MegatronLm, TrainingSystem,
+        evaluate_system, DeepSpeedUlysses, DegreeOnlyFlexSp, FlexCpSystem, FlexSpBatchAda,
+        FlexSpSystem, HomogeneousCp, MegatronLm, TrainingSystem,
     };
     pub use flexsp_core::{
         Executor, FlexSpSolver, IterationPlan, PlannerConfig, SolverConfig, SolverService, Trainer,
@@ -77,5 +77,5 @@ pub mod prelude {
     pub use flexsp_cost::CostModel;
     pub use flexsp_data::{Corpus, GlobalBatchLoader, LengthDistribution, Sequence};
     pub use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-    pub use flexsp_sim::{ClusterSpec, DeviceGroup};
+    pub use flexsp_sim::{ClusterSpec, DeviceGroup, GroupShape, Topology};
 }

@@ -33,7 +33,7 @@ fn heterogeneous_groups_beat_homogeneous_packings() {
         .plan
         .micro_batches
         .iter()
-        .flat_map(|m| m.groups.iter().map(|g| g.degree))
+        .flat_map(|m| m.groups.iter().map(|g| g.degree()))
         .collect();
     assert!(
         degrees.len() >= 2,
@@ -69,7 +69,7 @@ fn heterogeneous_groups_beat_homogeneous_packings() {
     for mb in &solved.plan.micro_batches {
         for g in &mb.groups {
             if g.seqs.iter().any(|s| s.len == 100 * 1024) {
-                assert!(g.degree >= min_degree_100k);
+                assert!(g.degree() >= min_degree_100k);
             }
         }
     }

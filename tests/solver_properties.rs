@@ -56,15 +56,24 @@ proptest! {
         for mb in &plan.micro_batches {
             // Eq. 8: GPU budget.
             prop_assert!(mb.gpus_used() <= 16);
+            // Placement invariants: every group placed, GPUs disjoint
+            // within the micro-batch, shape matching the realized layout.
+            prop_assert!(mb.is_placed(), "solver output must carry placements");
+            let mut used = std::collections::HashSet::new();
             for g in &mb.groups {
                 // Power-of-two degrees (§4.1.1 footnote).
-                prop_assert!(g.degree.is_power_of_two());
+                prop_assert!(g.degree().is_power_of_two());
                 // Eq. 7: memory constraint via the cost model.
                 prop_assert!(
-                    g.total_tokens() <= cost.max_group_tokens(g.degree),
+                    g.total_tokens() <= cost.max_group_tokens(g.degree()),
                     "group SP={} holds {} tokens > cap {}",
-                    g.degree, g.total_tokens(), cost.max_group_tokens(g.degree)
+                    g.degree(), g.total_tokens(), cost.max_group_tokens(g.degree())
                 );
+                let p = g.placement.as_ref().expect("placed");
+                prop_assert!(p.gpus().iter().all(|gpu| gpu.0 < 16));
+                for gpu in p.gpus() {
+                    prop_assert!(used.insert(*gpu), "GPU {} reused", gpu);
+                }
             }
         }
 
