@@ -19,7 +19,7 @@ use flexsp_core::{Executor, FlexSpSolver, IterationPlan, SolverConfig};
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_model::{ActivationPolicy, ModelConfig};
-use flexsp_sim::{allocate_aligned, ClusterSpec, GroupShape};
+use flexsp_sim::{allocate_aligned, ClusterSpec, GroupShape, Topology};
 
 use crate::system::{BaselineError, SystemReport, TrainingSystem};
 
@@ -30,7 +30,7 @@ pub struct DegreeOnlyFlexSp {
     solver: FlexSpSolver,
     executor: Executor,
     num_gpus: u32,
-    gpus_per_node: u32,
+    topo: Topology,
     last_plan: Option<IterationPlan>,
 }
 
@@ -44,12 +44,12 @@ impl DegreeOnlyFlexSp {
     ) -> Self {
         let cost = CostModel::fit_flat_aligned(&cluster, &model, policy);
         let num_gpus = cluster.num_gpus();
-        let gpus_per_node = cluster.gpus_per_node;
+        let topo = cluster.topology().clone();
         Self {
             solver: FlexSpSolver::new(cost, config),
             executor: Executor::new(cluster, model, policy),
             num_gpus,
-            gpus_per_node,
+            topo,
             last_plan: None,
         }
     }
@@ -85,9 +85,9 @@ impl DegreeOnlyFlexSp {
             let placements = allocate_aligned(self.num_gpus, &degrees)
                 .map_err(|e| BaselineError::Exec(e.to_string()))?;
             for (g, p) in mb.groups.iter_mut().zip(placements) {
-                // Record the span the flat layout *actually* realizes, so
+                // Record the class the flat layout *actually* realizes, so
                 // the executor's validation and the simulation agree.
-                g.shape = GroupShape::of(&p, self.gpus_per_node);
+                g.shape = GroupShape::of(&p, &self.topo);
                 g.placement = Some(p);
             }
         }

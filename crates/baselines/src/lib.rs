@@ -20,6 +20,11 @@
 //!   topology-sweep scenarios compare the placement-aware planner
 //!   against.
 //!
+//! When each system is the right comparison — the full ablation ladder,
+//! including the SKU-blind homogeneous-assumption baseline of
+//! `examples/hetero_sweep.rs` — is documented in `docs/BASELINES.md` at
+//! the repository root (the pipeline itself in `docs/ARCHITECTURE.md`).
+//!
 //! # Example
 //!
 //! ```

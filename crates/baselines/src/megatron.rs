@@ -116,7 +116,7 @@ impl MegatronLm {
         let act = shard_tokens * self.model.act_bytes_per_token(policy);
         // ZeRO-1 over dp, tensor-sharded over tp (CP replicates weights).
         let states = self.model.model_state_bytes(ZeroStage::One, s.dp as u64) / s.tp as u64;
-        act + states <= self.cluster.gpu.mem_bytes
+        act + states <= self.cluster.min_mem_bytes()
     }
 
     /// TP group: contiguous GPUs (innermost placement, intra-node for
@@ -143,9 +143,13 @@ impl MegatronLm {
         let policy = self.policy_for(s).unwrap_or(ActivationPolicy::Full);
 
         // Compute: full fwd+bwd+recompute FLOPs split over the replica.
+        // Megatron's DP world covers the whole cluster, so on mixed-SKU
+        // clusters the slowest SKU present gates every synchronous step
+        // (the same straggler rule the other simulated systems apply).
+        let slowest = self.cluster.topology().slowest_sku();
         let flops = self.flops.train_flops(tokens, &segments, policy) / shard as f64;
         let kernels = layers * (2 * flexsp_cost::KERNELS_PER_LAYER);
-        let compute_s = self.cluster.compute_time(flops, kernels);
+        let compute_s = self.cluster.compute_time_on(slowest, flops, kernels);
 
         // Megatron-SP traffic: 4 all-gathers + 4 reduce-scatters per layer
         // of the per-device activation shard (exposed; the paper treats
@@ -168,7 +172,8 @@ impl MegatronLm {
                 * self.model.kv_bytes_per_token_per_layer();
             let hop = collective_time(&self.cluster, &g, Collective::RingStep { bytes: kv_bytes });
             let ring_per_layer = hop * 3.0 * (s.cp - 1) as f64;
-            let attn_per_layer = self.cluster.compute_time(
+            let attn_per_layer = self.cluster.compute_time_on(
+                slowest,
                 self.flops.attention_flops(&segments) * 3.0 / (shard as f64 * layers as f64),
                 s.cp as u64,
             );

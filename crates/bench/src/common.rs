@@ -171,7 +171,7 @@ pub fn auto_policy(cluster: &ClusterSpec, model: &ModelConfig) -> Option<Activat
         ActivationPolicy::MlpOnly,
         ActivationPolicy::Full,
     ] {
-        let free = cluster.gpu.mem_bytes.saturating_sub(ms);
+        let free = cluster.min_mem_bytes().saturating_sub(ms);
         let tokens_per_device = free / model.act_bytes_per_token(policy);
         if tokens_per_device * n >= model.max_context {
             return Some(policy);

@@ -1,5 +1,7 @@
 //! Experiment harness regenerating every table and figure of the FlexSP
 //! paper (ASPLOS 2025) on the simulated cluster.
+//! (Where this crate sits in the solve → place → execute pipeline is
+//! described in `docs/ARCHITECTURE.md` at the repository root.)
 //!
 //! Each `expNN` module exposes a `run(config) -> rows` driver and a
 //! `render(&rows) -> String` pretty-printer producing the same rows/series

@@ -65,7 +65,7 @@ pub fn simulate_cell(
     }
     // Per-group memory capacity in tokens.
     let ms = model.model_state_bytes(ZeroStage::Three, n as u64);
-    let free = cluster.gpu.mem_bytes.checked_sub(ms)?;
+    let free = cluster.min_mem_bytes().checked_sub(ms)?;
     let cap = (free / model.act_bytes_per_token(policy)) * degree as u64;
     if seq > cap {
         return None; // the paper's OOM cells

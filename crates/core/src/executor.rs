@@ -146,16 +146,20 @@ impl Executor {
     /// budget.
     pub fn execute(&self, plan: &IterationPlan) -> Result<IterationReport, ExecError> {
         let n = self.cluster.num_gpus();
-        let gpn = self.cluster.gpus_per_node;
+        let topo = self.cluster.topology();
         let mut report = IterationReport::default();
-        let mut mem = MemoryTracker::new(self.cluster.gpu.mem_bytes);
+        // Heterogeneous clusters mix 40 GB and 80 GB devices: every GPU
+        // is tracked against its own budget.
+        let mut mem = MemoryTracker::with_capacities(self.cluster.per_gpu_mem_budgets());
         let model_state_bytes = self.model.model_state_bytes(ZeroStage::Three, n as u64);
         let act_per_token = self.model.act_bytes_per_token(self.policy);
         let zero = ulysses_zero_spec(&self.cluster, &self.model);
 
         for mb in &plan.micro_batches {
             // Validate the micro-batch's placement before touching state:
-            // every group placed, inside the cluster, disjoint.
+            // every group placed, inside the cluster, disjoint, and at
+            // the class (span *and* SKU) its plan declares — a plan
+            // priced for one SKU must not silently execute on another.
             let mut used = std::collections::HashSet::new();
             for g in &mb.groups {
                 let Some(p) = g.placement.as_ref() else {
@@ -164,14 +168,6 @@ impl Executor {
                         g.shape
                     )));
                 };
-                if p.degree() != g.degree() || p.nodes_spanned(gpn) != g.shape.nodes_spanned {
-                    return Err(ExecError::Placement(format!(
-                        "group declared {} but its placement realizes SP{}/{}n",
-                        g.shape,
-                        p.degree(),
-                        p.nodes_spanned(gpn)
-                    )));
-                }
                 for gpu in p.gpus() {
                     if gpu.0 >= n {
                         return Err(ExecError::Placement(format!(
@@ -183,6 +179,13 @@ impl Executor {
                             "{gpu} assigned to two concurrent groups"
                         )));
                     }
+                }
+                let realized = flexsp_sim::GroupShape::of(p, topo);
+                if realized != g.shape {
+                    return Err(ExecError::Placement(format!(
+                        "group declared {} but its placement realizes {realized}",
+                        g.shape
+                    )));
                 }
             }
 
@@ -294,7 +297,7 @@ mod tests {
         let r = ex.execute(&plan).unwrap();
         assert!(r.total_s > 0.0);
         assert_eq!(r.micro_batches.len(), 1);
-        assert!(r.peak_mem_bytes <= ex.cluster().gpu.mem_bytes);
+        assert!(r.peak_mem_bytes <= ex.cluster().gpu().mem_bytes);
         assert!(r.alltoall_ratio() > 0.0 && r.alltoall_ratio() < 1.0);
     }
 
@@ -309,11 +312,12 @@ mod tests {
     #[test]
     fn overlapping_placements_are_rejected() {
         let (ex, _) = setup();
+        let topo = flexsp_sim::Topology::new(8, 8);
         // Two groups hand-placed on the same GPUs.
         let overlapping = DeviceGroup::aligned(0, 8);
         let groups = vec![
-            ga(8, &[8192]).with_placement(overlapping.clone(), 8),
-            ga(8, &[4096]).with_placement(overlapping, 8),
+            ga(8, &[8192]).with_placement(overlapping.clone(), &topo),
+            ga(8, &[4096]).with_placement(overlapping, &topo),
         ];
         let plan = IterationPlan::new(vec![MicroBatchPlan::new(groups)]);
         let err = ex.execute(&plan).unwrap_err();
@@ -324,11 +328,33 @@ mod tests {
     fn out_of_cluster_placement_is_rejected() {
         let (ex, _) = setup();
         let outside = DeviceGroup::aligned(64, 8); // GPUs 64..72 on a 64-GPU cluster
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            ga(8, &[8192]).with_placement(outside, 8)
-        ])]);
+        let mut ga = ga(8, &[8192]);
+        ga.placement = Some(outside);
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![ga])]);
         let err = ex.execute(&plan).unwrap_err();
         assert!(matches!(err, ExecError::Placement(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn sku_disagreement_is_rejected() {
+        // A plan priced for the fast class but placed on slow-class GPUs
+        // must be refused, not silently executed at the wrong speed.
+        let cluster = ClusterSpec::a100_h100_mix(2, 2, 8);
+        let topo = cluster.topology().clone();
+        let model = ModelConfig::gpt_7b(64 * 1024);
+        let ex = Executor::new(cluster, model, ActivationPolicy::None);
+        // GPUs 0..8 are A100s (SkuId 1); claim the H100 class (SkuId 0).
+        let fast_claim = GroupAssignment::new(GroupShape::intra(8), seqs(&[8192]));
+        let mut g = fast_claim;
+        g.placement = Some(DeviceGroup::aligned(0, 8));
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![g])]);
+        let err = ex.execute(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::Placement(_)), "got {err:?}");
+        // The honest declaration executes fine.
+        let honest = GroupAssignment::new(GroupShape::intra(8), seqs(&[8192]))
+            .with_placement(DeviceGroup::aligned(0, 8), &topo);
+        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![honest])]);
+        assert!(ex.execute(&plan).is_ok());
     }
 
     #[test]
@@ -398,9 +424,9 @@ mod tests {
         let (ex, _) = setup();
         let intra = placed(vec![ga(8, &[32 * 1024])]);
         let spanning_group = DeviceGroup::for_shape(GroupShape::new(8, 2), 8, 0);
-        let plan = IterationPlan::new(vec![MicroBatchPlan::new(vec![
-            ga(8, &[32 * 1024]).with_placement(spanning_group, 8)
-        ])]);
+        let plan =
+            IterationPlan::new(vec![MicroBatchPlan::new(vec![ga(8, &[32 * 1024])
+                .with_placement(spanning_group, &flexsp_sim::Topology::new(8, 8))])]);
         let fast = ex.execute(&intra).unwrap();
         let slow = ex.execute(&plan).unwrap();
         assert!(

@@ -4,40 +4,41 @@
 //!
 //! # Architecture: solve → place → execute
 //!
-//! Given a global batch of variable-length sequences, every training step
-//! flows through one pipeline, and each stage hands the next a *fully
-//! specified* artifact — no stage re-derives what an earlier one decided:
+//! Every training step flows through one pipeline — each stage hands the
+//! next a *fully specified* artifact, and no stage re-derives what an
+//! earlier one decided. The full narrative lives in
+//! `docs/ARCHITECTURE.md` at the repository root; in brief:
 //!
-//! 1. **Solve.** The **sequence blaster** ([`blaster`], §4.2 + Appendix A)
-//!    chunks the batch into micro-batches; dynamic-programming **sequence
-//!    bucketing** ([`bucketing`], §4.1.3) compresses each micro-batch; and
-//!    the **parallelism planner** ([`planner`], §4.1) chooses heterogeneous
-//!    SP groups and assigns every sequence. The planner's decision unit is
-//!    the [`flexsp_sim::GroupShape`] — degree × nodes spanned — so its
-//!    MILP can price an intra-node degree-8 group (NVLink All-to-All)
-//!    differently from one straddling nodes (NIC-bound), using per-shape
-//!    fits from `flexsp-cost`.
-//! 2. **Place.** The **placement engine** ([`placement`]) packs the chosen
-//!    group degrees onto concrete GPUs, node-aware: decreasing-degree
-//!    packing over per-node free slots, fullest node first, which keeps
-//!    every group intra-node whenever an all-intra layout exists (SP
-//!    degrees are powers of two — a divisible size family — so the greedy
-//!    is optimal). The realized [`flexsp_sim::DeviceGroup`]s and spans are
-//!    written back into the plan ([`MicroBatchPlan::place`]), and the
-//!    plan's predicted time is computed from those *realized* shapes.
-//! 3. **Execute.** The **executor** ([`executor`], §5) consumes the plan's
-//!    own placement verbatim — it validates it (disjointness, cluster
-//!    bounds, shape agreement) but never re-derives a layout — and
+//! 1. **Solve.** The **sequence blaster** ([`blaster`], §4.2 + App. A)
+//!    chunks the batch into micro-batches; DP **sequence bucketing**
+//!    ([`bucketing`], §4.1.3) compresses each one; the **parallelism
+//!    planner** ([`planner`], §4.1) chooses heterogeneous SP groups and
+//!    assigns every sequence. The decision unit is the
+//!    [`flexsp_sim::GroupShape`] — degree × nodes spanned × SKU class —
+//!    so the MILP can trade an intra-node group (NVLink All-to-All)
+//!    against a node-spanning one (NIC-bound), and an A100-class group
+//!    against an H100-class one, at their *different* fitted costs.
+//! 2. **Place.** The **placement engine** ([`placement`]) packs the
+//!    chosen shapes onto concrete GPUs: decreasing-degree packing over
+//!    per-node free slots, fullest node first, **SKU-affine** (a group
+//!    drains its own class before touching another). Realized
+//!    [`flexsp_sim::DeviceGroup`]s and classes are written back into the
+//!    plan ([`MicroBatchPlan::place`]); predicted times use those
+//!    *realized* classes.
+//! 3. **Execute.** The **executor** ([`executor`], §5) consumes the
+//!    plan's own placement verbatim — validating disjointness, cluster
+//!    bounds, and span/SKU agreement, never re-deriving a layout — and
 //!    simulates each group on its exact GPUs with hot-switched, pooled
-//!    communicators. Predicted and simulated costs therefore price the
-//!    same layout, closing the planner/executor fidelity gap that a
-//!    degree-keyed stack cannot close on non-uniform topologies.
+//!    communicators and per-GPU memory budgets. Predicted and simulated
+//!    costs therefore price the same layout, on uniform *and*
+//!    heterogeneous (mixed-SKU, uneven-node) clusters.
 //!
 //! The top-level entry points are [`FlexSpSolver`] (Algorithm 1: parallel
 //! exploration of micro-batch counts, bucketing, MILP planning, placement)
 //! and [`Trainer`] (solve → place → execute loop with
 //! disaggregated-solving overlap accounting). [`SolverService`] adds plan
-//! caching keyed by batch histogram *and* a full topology fingerprint.
+//! caching keyed by batch histogram *and* a full topology fingerprint
+//! (per-node widths and SKUs included).
 //!
 //! # Example
 //!
@@ -85,7 +86,7 @@ mod workflow;
 
 pub use error::PlanError;
 pub use executor::{ExecError, Executor, IterationReport, MicroBatchReport};
-pub use placement::{place_degrees, PlaceError};
+pub use placement::{place_degrees, place_shapes, PlaceError};
 pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan, PlanStats};
 pub use planner::{plan_homogeneous, plan_micro_batch, Formulation, PlannerConfig};
 pub use service::{CacheStats, SolverService};
@@ -95,4 +96,4 @@ pub use workflow::{BucketingMode, FlexSpSolver, SolvedIteration, SolverConfig};
 // Solver internals callers commonly need alongside the planner API.
 pub use flexsp_milp::{LpEngine, SolveStats};
 // Placement vocabulary callers need alongside plans.
-pub use flexsp_sim::{GroupShape, Topology};
+pub use flexsp_sim::{GroupShape, NodeSpec, SkuId, Topology};

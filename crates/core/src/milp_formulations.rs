@@ -20,8 +20,11 @@ use crate::planner::{available_shapes, finalize, lpt_split, PlannerConfig};
 ///
 /// ```text
 /// Σ_s d(s)·n_s ≤ N                  (GPU budget, Eq. 20)
+/// Σ_{s: sku(s)=k} d(s)·n_s ≤ N_k    (per-SKU-class budget, mixed
+///                                    clusters only)
 /// n_s ≤ cap_topo(s)                 (node capacity: intra shapes are
-///                                    bounded by per-node slots)
+///                                    bounded by their class's per-node
+///                                    slots)
 /// Σ_s x_{q,s} = b̂_q   ∀q           (assignment, Eq. 22)
 /// Σ_q x_{q,s}·w(ŝ_q,s) ≤ (C − β_s)·n_s  ∀s  (aggregate time, Eq. 18)
 /// Σ_q x_{q,s}·ŝ_q ≤ cap(d(s))·n_s  ∀s   (aggregate memory, Eq. 19)
@@ -161,17 +164,22 @@ struct AggregatedModel {
     time_rows: Vec<usize>,
 }
 
-/// The most degree-`s` groups the topology can host concurrently — the
+/// The most shape-`s` groups the topology can host concurrently — the
 /// node-capacity cap installed as the `n_s` upper bound. Intra-node
-/// shapes are limited by per-node slots, spanning shapes by the GPU
-/// budget.
+/// shapes are limited by their SKU class's per-node slots, spanning
+/// shapes by the class's GPU budget (cross-class shapes — whose SKU
+/// class cannot host them alone — by the whole GPU budget).
 fn shape_count_cap(cost: &CostModel, n_gpus: u32, s: GroupShape) -> f64 {
     let topo = cost.topology();
     let budget = (n_gpus / s.degree) as f64;
+    if topo.min_span_sku(s.degree, s.sku).is_none() {
+        return budget; // cross-class: bounded by the global GPU row
+    }
+    let class_budget = budget.min((topo.sku_gpus(s.sku) / s.degree) as f64);
     if s.is_intra() {
-        budget.min(topo.intra_capacity(s.degree) as f64)
+        class_budget.min(topo.intra_capacity_sku(s.degree, s.sku) as f64)
     } else {
-        budget
+        class_budget
     }
 }
 
@@ -214,7 +222,27 @@ impl AggregatedModel {
             ),
             n_gpus as f64,
         );
-        // Assignment completeness (rows 1..=q).
+        // Per-SKU-class GPU budgets (mixed clusters only): class-hosted
+        // shapes cannot jointly exceed their class's GPUs. Cross-class
+        // shapes draw from several classes and stay under the global row
+        // only; their spill pricing is handled at placement time.
+        let topo = cost.topology();
+        if !topo.is_single_sku() {
+            for sku in topo.skus() {
+                let expr = LinExpr::from_terms(
+                    n_vars
+                        .iter()
+                        .zip(shapes)
+                        .filter(|(_, &s)| {
+                            s.sku == sku && topo.min_span_sku(s.degree, s.sku).is_some()
+                        })
+                        .map(|(&v, &s)| (v, s.degree as f64)),
+                );
+                p.add_le(expr, topo.sku_gpus(sku).min(n_gpus) as f64);
+            }
+        }
+        // Assignment completeness (the next q rows; on mixed clusters
+        // the per-class budget rows sit between them and row 0).
         for (qi, b) in buckets.iter().enumerate() {
             p.add_eq(
                 LinExpr::from_terms(x_vars[qi].iter().map(|&v| (v, 1.0))),
@@ -423,6 +451,21 @@ pub(crate) fn plan_per_group(
         ),
         n_gpus as f64,
     );
+    // Per-SKU-class GPU budgets (mixed clusters only), as in the
+    // aggregated formulation.
+    let topo = cost.topology();
+    if !topo.is_single_sku() {
+        for sku in topo.skus() {
+            let expr = LinExpr::from_terms(
+                m_vars
+                    .iter()
+                    .zip(&slots)
+                    .filter(|(_, &s)| s.sku == sku && topo.min_span_sku(s.degree, s.sku).is_some())
+                    .map(|(&m, &s)| (m, s.degree as f64)),
+            );
+            p.add_le(expr, topo.sku_gpus(sku).min(n_gpus) as f64);
+        }
+    }
     // Eq. 22 assignment completeness.
     for (qi, b) in buckets.iter().enumerate() {
         p.add_eq(

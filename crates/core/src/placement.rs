@@ -1,28 +1,35 @@
 //! The node-packing placement engine: map a micro-batch's planned group
-//! degrees onto concrete GPUs, node-aware.
+//! shapes onto concrete GPUs, node- and SKU-aware.
 //!
-//! The planner decides *shapes* (degree × nodes spanned); this engine
-//! decides *which GPUs*. It packs groups in decreasing-degree order onto
-//! the per-node free-slot ledger ([`NodeSlots`]), always drawing from the
-//! fullest node first. Two properties follow:
+//! The planner decides *shapes* (degree × nodes spanned × SKU class);
+//! this engine decides *which GPUs*. It packs groups in decreasing-degree
+//! order onto the per-node free-slot ledger ([`NodeSlots`]), always
+//! drawing from the fullest node first, with **SKU affinity**: nodes of a
+//! group's own class are drained before any other class is touched.
+//! Three properties follow:
 //!
 //! * **Intra-node preference.** A group only spans nodes when no single
 //!   node has enough free GPUs at its turn. Because SP degrees are powers
 //!   of two — a *divisible* item-size family — decreasing-order packing
 //!   into equal-capacity bins is optimal, so whenever an all-intra-node
 //!   layout exists the engine finds one.
+//! * **SKU homogeneity.** A group only mixes SKU classes when its own
+//!   class is out of free GPUs at its turn; per-class plans that respect
+//!   class capacity always realize SKU-homogeneous groups. Spill groups
+//!   are re-classed at their realized (slowest-member) SKU, so they are
+//!   priced honestly rather than optimistically.
 //! * **Minimal span.** When a group must span, drawing from the fullest
 //!   nodes minimizes the number of nodes touched and maximizes co-located
 //!   All-to-All peers.
 //!
 //! The realized [`flexsp_sim::GroupShape`] of every placed group is reported back so
-//! plans always carry the span their groups will actually execute at —
+//! plans always carry the class their groups will actually execute at —
 //! the executor consumes these placements verbatim instead of re-deriving
 //! its own layout.
 
 use std::fmt;
 
-use flexsp_sim::{DeviceGroup, NodeSlots, Topology};
+use flexsp_sim::{DeviceGroup, GroupShape, NodeSlots, Topology};
 
 /// Placement failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,11 +103,52 @@ pub fn place_degrees(topo: &Topology, degrees: &[u32]) -> Result<Vec<DeviceGroup
     }
     let mut order: Vec<usize> = (0..degrees.len()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
-    let mut slots = NodeSlots::new(*topo);
+    let mut slots = NodeSlots::new(topo);
     let mut out: Vec<Option<DeviceGroup>> = vec![None; degrees.len()];
     for i in order {
         let group = slots
             .take_packed(degrees[i])
+            .expect("budget checked upfront");
+        out[i] = Some(group);
+    }
+    Ok(out.into_iter().map(|g| g.expect("placed")).collect())
+}
+
+/// Places groups of the given `shapes` onto `topo` with **SKU affinity**,
+/// returning one [`DeviceGroup`] per input shape, in input order.
+///
+/// Like [`place_degrees`], groups are packed largest-first from the
+/// fullest nodes — but each draw prefers the nodes of its shape's SKU
+/// class, touching other classes only when the preferred class has no
+/// free GPUs left (see the module docs for the guarantees). Callers
+/// should re-derive each group's realized class with
+/// [`flexsp_sim::GroupShape::of`]: a spill draw may widen the span or
+/// slow the class relative to the plan.
+///
+/// # Errors
+///
+/// [`PlaceError::OutOfGpus`] if `Σ degrees` exceeds the cluster.
+pub fn place_shapes(
+    topo: &Topology,
+    shapes: &[GroupShape],
+) -> Result<Vec<DeviceGroup>, PlaceError> {
+    let requested: u32 = shapes.iter().map(|s| s.degree).sum();
+    if requested > topo.num_gpus() {
+        return Err(PlaceError::OutOfGpus {
+            requested,
+            available: topo.num_gpus(),
+        });
+    }
+    let mut order: Vec<usize> = (0..shapes.len()).collect();
+    // Decreasing degree keeps the divisible-packing optimality; equal
+    // degrees group by SKU class so one class's draws do not interleave
+    // with (and fragment) another's.
+    order.sort_by_key(|&i| (std::cmp::Reverse(shapes[i].degree), shapes[i].sku, i));
+    let mut slots = NodeSlots::new(topo);
+    let mut out: Vec<Option<DeviceGroup>> = vec![None; shapes.len()];
+    for i in order {
+        let group = slots
+            .take_packed_for(shapes[i].degree, shapes[i].sku)
             .expect("budget checked upfront");
         out[i] = Some(group);
     }
@@ -168,6 +216,48 @@ mod tests {
         let topo = Topology::new(4, 8);
         let groups = place_degrees(&topo, &[32]).unwrap();
         assert_eq!(groups[0].nodes_spanned(8), 4);
-        assert_eq!(GroupShape::of(&groups[0], 8), GroupShape::new(32, 4));
+        assert_eq!(GroupShape::of(&groups[0], &topo), GroupShape::new(32, 4));
+    }
+
+    #[test]
+    fn shapes_stay_in_their_sku_class() {
+        use flexsp_sim::{NodeSpec, SkuId};
+        let topo = Topology::from_nodes(vec![
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(1)),
+            NodeSpec::new(8, SkuId(1)),
+        ]);
+        // One fast-class 16, one slow-class 16: both classes exactly full.
+        let shapes = vec![
+            GroupShape::new(16, 2).with_sku(SkuId(1)),
+            GroupShape::new(16, 2),
+        ];
+        let groups = place_shapes(&topo, &shapes).unwrap();
+        assert_eq!(GroupShape::of(&groups[0], &topo), shapes[0]);
+        assert_eq!(GroupShape::of(&groups[1], &topo), shapes[1]);
+        // Per-class intra mixes: four intra-8 groups, two per class.
+        let shapes: Vec<GroupShape> = [SkuId(0), SkuId(1), SkuId(0), SkuId(1)]
+            .into_iter()
+            .map(|s| GroupShape::intra(8).with_sku(s))
+            .collect();
+        let groups = place_shapes(&topo, &shapes).unwrap();
+        for (g, s) in groups.iter().zip(&shapes) {
+            assert_eq!(&GroupShape::of(g, &topo), s, "class preserved");
+        }
+    }
+
+    #[test]
+    fn shapes_spill_honestly_under_scarcity() {
+        use flexsp_sim::{NodeSpec, SkuId};
+        let topo =
+            Topology::from_nodes(vec![NodeSpec::new(8, SkuId(0)), NodeSpec::new(8, SkuId(1))]);
+        // Two fast-class intra-8 groups, but only one fast node: the
+        // second spills onto the slow node and must be re-classed there.
+        let shapes = vec![GroupShape::intra(8), GroupShape::intra(8)];
+        let groups = place_shapes(&topo, &shapes).unwrap();
+        let classes: Vec<GroupShape> = groups.iter().map(|g| GroupShape::of(g, &topo)).collect();
+        assert!(classes.contains(&GroupShape::intra(8)));
+        assert!(classes.contains(&GroupShape::intra(8).with_sku(SkuId(1))));
     }
 }

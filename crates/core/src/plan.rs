@@ -14,7 +14,7 @@ use flexsp_data::Sequence;
 use flexsp_milp::SolveStats;
 use flexsp_sim::{DeviceGroup, GroupShape, Topology};
 
-use crate::placement::{place_degrees, PlaceError};
+use crate::placement::{place_shapes, PlaceError};
 
 /// Solver-effort counters attached to a plan so callers (and benches)
 /// can attribute planning time: how many MILP models were built, how many
@@ -70,18 +70,18 @@ impl GroupAssignment {
     }
 
     /// Attaches a concrete placement and syncs the shape to the realized
-    /// span.
+    /// class (span and slowest-member SKU on `topo`).
     ///
     /// # Panics
     ///
     /// Panics if the group's GPU count differs from the shape's degree.
-    pub fn with_placement(mut self, group: DeviceGroup, gpus_per_node: u32) -> Self {
+    pub fn with_placement(mut self, group: DeviceGroup, topo: &Topology) -> Self {
         assert_eq!(
             group.degree(),
             self.shape.degree,
             "placement degree mismatch"
         );
-        self.shape = GroupShape::of(&group, gpus_per_node);
+        self.shape = GroupShape::of(&group, topo);
         self.placement = Some(group);
         self
     }
@@ -156,18 +156,19 @@ impl MicroBatchPlan {
         self.groups.iter().map(|g| g.total_tokens()).sum()
     }
 
-    /// Runs the placement engine over this micro-batch's degrees and
-    /// attaches the resulting device groups, updating every group's shape
-    /// to the realized span (see [`crate::placement`]).
+    /// Runs the placement engine over this micro-batch's planned shapes
+    /// (SKU-affine, node-packing) and attaches the resulting device
+    /// groups, updating every group's shape to the realized class (see
+    /// [`crate::placement`]).
     ///
     /// # Errors
     ///
     /// [`PlaceError::OutOfGpus`] if the degrees oversubscribe `topo`.
     pub fn place(&mut self, topo: &Topology) -> Result<(), PlaceError> {
-        let degrees: Vec<u32> = self.groups.iter().map(|g| g.degree()).collect();
-        let placements = place_degrees(topo, &degrees)?;
+        let shapes: Vec<GroupShape> = self.groups.iter().map(|g| g.shape).collect();
+        let placements = place_shapes(topo, &shapes)?;
         for (g, p) in self.groups.iter_mut().zip(placements) {
-            g.shape = GroupShape::of(&p, topo.gpus_per_node);
+            g.shape = GroupShape::of(&p, topo);
             g.placement = Some(p);
         }
         Ok(())
@@ -207,8 +208,9 @@ impl MicroBatchPlan {
         format!("<{}>", parts.join(", "))
     }
 
-    /// Placement-aware signature: degrees annotated with their span,
-    /// e.g. `<32/4n, 8x4>` (intra-node groups carry no suffix).
+    /// Placement-aware signature: degrees annotated with their span and
+    /// SKU class, e.g. `<32/4n, 8#1x2, 8x2>` (intra-node groups carry no
+    /// span suffix; fastest-SKU groups no class suffix).
     pub fn shape_signature(&self) -> String {
         let mut counts: BTreeMap<GroupShape, u32> = BTreeMap::new();
         for g in &self.groups {
@@ -218,11 +220,14 @@ impl MicroBatchPlan {
             .iter()
             .rev()
             .map(|(s, c)| {
-                let base = if s.is_intra() {
+                let mut base = if s.is_intra() {
                     format!("{}", s.degree)
                 } else {
                     format!("{}/{}n", s.degree, s.nodes_spanned)
                 };
+                if s.sku.0 != 0 {
+                    base.push_str(&format!("#{}", s.sku.0));
+                }
                 if *c == 1 {
                     base
                 } else {
@@ -382,7 +387,7 @@ mod tests {
         for g in &m.groups {
             let p = g.placement.as_ref().unwrap();
             assert_eq!(p.degree(), g.degree());
-            assert_eq!(GroupShape::of(p, 8), g.shape);
+            assert_eq!(GroupShape::of(p, &topo), g.shape);
             for gpu in p.gpus() {
                 assert!(seen.insert(*gpu));
             }

@@ -189,10 +189,10 @@ pub fn plan_micro_batch(
     })
 }
 
-/// Places `plan` on the model's topology, realizing every group's span.
+/// Places `plan` on the model's topology, realizing every group's class.
 /// Returns `None` when the degrees oversubscribe the cluster.
 pub(crate) fn finalize(cost: &CostModel, mut plan: MicroBatchPlan) -> Option<MicroBatchPlan> {
-    plan.place(&cost.topology()).ok()?;
+    plan.place(cost.topology()).ok()?;
     Some(plan)
 }
 
@@ -242,25 +242,29 @@ pub fn plan_homogeneous(
 /// shapes that fit the model's topology, capped at `n_gpus`, minus
 /// *dominated* spanning variants.
 ///
-/// A wider-than-minimal span of a degree is slower per token at equal
-/// memory, so it can only be worth choosing when the packed shape's
-/// node-capacity cap binds (fragmented odd-width nodes). Where the intra
-/// capacity already covers the whole GPU budget — every divisible
-/// topology, e.g. the paper's 8-GPU nodes — the variant is pruned, which
-/// keeps the MILP's variable count (and branch-and-bound tree) at the
-/// degree-keyed formulation's size. Realized fragmented spans are still
-/// priced via the cost model's nearest-span fallback.
+/// A wider-than-minimal span of a degree (within its SKU class) is slower
+/// per token at equal memory, so it can only be worth choosing when the
+/// packed shape's node-capacity cap binds (fragmented odd-width nodes).
+/// Where the class's intra capacity already covers the class's whole GPU
+/// budget — every divisible topology, e.g. the paper's 8-GPU nodes — the
+/// variant is pruned, which keeps the MILP's variable count (and
+/// branch-and-bound tree) at the degree-keyed formulation's size on
+/// homogeneous clusters. Realized fragmented or spill classes are still
+/// priced via the cost model's nearest-class fallback.
 pub(crate) fn available_shapes(cost: &CostModel, n_gpus: u32) -> Vec<GroupShape> {
     let topo = cost.topology();
     cost.shapes()
         .into_iter()
-        .filter(|s| s.degree <= n_gpus && s.fits(&topo))
+        .filter(|s| s.degree <= n_gpus && s.fits(topo))
         .filter(|s| {
-            let packed = GroupShape::packed(s.degree, topo.gpus_per_node);
-            if *s == packed {
+            let Some(packed_span) = topo.min_span_sku(s.degree, s.sku) else {
+                return true; // cross-class shape: only one variant exists
+            };
+            if s.nodes_spanned == packed_span {
                 return true; // minimal span is always needed
             }
-            !(packed.is_intra() && topo.intra_capacity(s.degree) >= n_gpus / s.degree)
+            let class_budget = topo.sku_gpus(s.sku).min(n_gpus) / s.degree;
+            !(packed_span == 1 && topo.intra_capacity_sku(s.degree, s.sku) >= class_budget)
         })
         .collect()
 }
@@ -301,23 +305,24 @@ pub(crate) fn lpt_split(
 
 /// Free-slot ledger for the greedy heuristic, backed by the *same*
 /// [`NodeSlots`] packing policy the placement engine commits with — one
-/// source of truth for what span a prospective group would realize. A
-/// per-degree span cache is refreshed only when a group is actually
-/// opened, so pricing candidate degrees per sequence stays O(1).
+/// source of truth for what class a prospective group would realize. A
+/// per-(degree, SKU) class cache is refreshed only when a group is
+/// actually opened, so pricing candidate classes per sequence stays O(1).
 struct HeuristicSlots {
     slots: NodeSlots,
-    /// Realizable span per candidate degree at the current free state.
-    spans: Vec<(u32, Option<u32>)>,
+    /// Realizable class per candidate (degree, preferred SKU) at the
+    /// current free state.
+    classes: Vec<((u32, flexsp_sim::SkuId), Option<GroupShape>)>,
 }
 
 impl HeuristicSlots {
-    fn new(cost: &CostModel, degrees: &[u32], n_gpus: u32) -> Self {
+    fn new(cost: &CostModel, candidates: &[(u32, flexsp_sim::SkuId)], n_gpus: u32) -> Self {
         let topo = cost.topology();
         let mut slots = NodeSlots::new(topo);
         // A budget below the full cluster is modeled by removing whole
         // missing nodes first, then a partial node (highest indices).
         let mut over = topo.num_gpus().saturating_sub(n_gpus);
-        for node in (0..topo.num_nodes).rev() {
+        for node in (0..topo.num_nodes()).rev() {
             if over == 0 {
                 break;
             }
@@ -327,15 +332,15 @@ impl HeuristicSlots {
         }
         let mut out = Self {
             slots,
-            spans: degrees.iter().map(|&d| (d, None)).collect(),
+            classes: candidates.iter().map(|&c| (c, None)).collect(),
         };
         out.refresh();
         out
     }
 
     fn refresh(&mut self) {
-        for (d, span) in &mut self.spans {
-            *span = self.slots.span_if_packed(*d);
+        for ((d, sku), class) in &mut self.classes {
+            *class = self.slots.class_if_packed_for(*d, *sku);
         }
     }
 
@@ -343,18 +348,21 @@ impl HeuristicSlots {
         self.slots.total_free()
     }
 
-    /// The span a degree-`d` group would realize if opened now, or
-    /// `None` if `d` GPUs are not free.
-    fn span_for(&self, d: u32) -> Option<u32> {
-        self.spans
+    /// The class a degree-`d` group preferring SKU `sku` would realize if
+    /// opened now, or `None` if `d` GPUs are not free.
+    fn class_for(&self, d: u32, sku: flexsp_sim::SkuId) -> Option<GroupShape> {
+        self.classes
             .iter()
-            .find(|(degree, _)| *degree == d)
-            .and_then(|(_, span)| *span)
+            .find(|((degree, s), _)| *degree == d && *s == sku)
+            .and_then(|(_, class)| *class)
     }
 
-    /// Commits a degree-`d` draw (fullest nodes first).
-    fn commit(&mut self, d: u32) {
-        self.slots.take_packed(d).expect("span_for said it fits");
+    /// Commits a degree-`d` draw preferring SKU `sku` (own class first,
+    /// fullest nodes first).
+    fn commit(&mut self, d: u32, sku: flexsp_sim::SkuId) {
+        self.slots
+            .take_packed_for(d, sku)
+            .expect("class_for said it fits");
         self.refresh();
     }
 }
@@ -365,11 +373,18 @@ fn heuristic_plan(
     buckets: &[Bucket],
     n_gpus: u32,
 ) -> Result<MicroBatchPlan, PlanError> {
-    let degrees: Vec<u32> = cost
-        .degrees()
+    // Candidate classes: every (degree, SKU) pair the fitted portfolio
+    // offers. On homogeneous clusters this degenerates to the degrees.
+    let mut candidates: Vec<(u32, flexsp_sim::SkuId)> = cost
+        .shapes()
         .into_iter()
-        .filter(|&d| d <= n_gpus)
+        .filter(|s| s.degree <= n_gpus)
+        .map(|s| (s.degree, s.sku))
         .collect();
+    // Shapes interleave SKUs within a degree, so adjacent-dedup is not
+    // enough: sort first.
+    candidates.sort_unstable();
+    candidates.dedup();
     let mut seqs: Vec<Sequence> = buckets.iter().flat_map(|b| b.seqs.clone()).collect();
     seqs.sort_by(|a, b| b.len.cmp(&a.len).then(a.id.cmp(&b.id)));
 
@@ -380,7 +395,7 @@ fn heuristic_plan(
         seqs: Vec<Sequence>,
     }
     let mut slots: Vec<Slot> = Vec::new();
-    let mut free = HeuristicSlots::new(cost, &degrees, n_gpus);
+    let mut free = HeuristicSlots::new(cost, &candidates, n_gpus);
 
     for s in &seqs {
         // Option A: append to an existing group with memory headroom,
@@ -396,25 +411,26 @@ fn heuristic_plan(
             }
         }
         // Option B: open the cheapest feasible new group, priced at the
-        // span the current free-slot pattern would realize.
-        let mut open: Option<(f64, GroupShape)> = None;
-        for &d in &degrees {
+        // class (span and SKU) the current free-slot pattern would
+        // realize — a draw preferring a drained class is priced at the
+        // slower class it would actually spill onto.
+        let mut open: Option<(f64, GroupShape, flexsp_sim::SkuId)> = None;
+        for &(d, sku) in &candidates {
             if s.len > cost.max_group_tokens(d) {
                 continue;
             }
-            let Some(span) = free.span_for(d) else {
+            let Some(shape) = free.class_for(d, sku) else {
                 continue;
             };
-            let shape = GroupShape::new(d, span);
             let load = cost.group_overhead(shape) + cost.seq_time(s.len, shape);
-            if open.is_none_or(|(l, _)| load < l) {
-                open = Some((load, shape));
+            if open.is_none_or(|(l, _, _)| load < l) {
+                open = Some((load, shape, sku));
             }
         }
         match (best, open) {
-            (Some((la, i)), Some((lb, shape))) => {
+            (Some((la, i)), Some((lb, shape, sku))) => {
                 if lb < la {
-                    free.commit(shape.degree);
+                    free.commit(shape.degree, sku);
                     slots.push(Slot {
                         shape,
                         load: lb,
@@ -434,8 +450,8 @@ fn heuristic_plan(
                 g.tokens += s.len;
                 g.seqs.push(*s);
             }
-            (None, Some((lb, shape))) => {
-                free.commit(shape.degree);
+            (None, Some((lb, shape, sku))) => {
+                free.commit(shape.degree, sku);
                 slots.push(Slot {
                     shape,
                     load: lb,
@@ -546,7 +562,7 @@ mod tests {
             assert!(g.degree().is_power_of_two());
             let p = g.placement.as_ref().expect("placed");
             assert_eq!(
-                GroupShape::of(p, cost.topology().gpus_per_node),
+                GroupShape::of(p, cost.topology()),
                 g.shape,
                 "shape must match the realized placement"
             );

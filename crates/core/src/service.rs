@@ -476,4 +476,33 @@ mod tests {
         let c = fp(degraded);
         assert_ne!(a, c, "interconnect must be part of the cache key");
     }
+
+    #[test]
+    fn fingerprint_distinguishes_sku_mixes_and_node_widths() {
+        // 4×(8×A100) vs 2×(8×A100)+2×(8×H100): equal GPU counts, equal
+        // node counts and widths — only the SKUs differ. The cache key
+        // fingerprints the full topology (per-node widths *and* SKUs), so
+        // these must never share plans.
+        let model = ModelConfig::gpt_7b(32 * 1024);
+        let fp = |cluster: ClusterSpec| {
+            let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+            config_fingerprint(&FlexSpSolver::new(cost, SolverConfig::fast()))
+        };
+        let uniform = fp(ClusterSpec::a100_cluster(4));
+        let mixed = fp(ClusterSpec::a100_h100_mix(2, 2, 8));
+        assert_ne!(uniform, mixed, "SKU mix must be part of the cache key");
+        // Partially reserved node: same 32-GPU total as 4×8 via 3×8+2×4.
+        let reserved = fp(ClusterSpec::from_nodes(
+            vec![
+                (8, ClusterSpec::a100_gpu()),
+                (8, ClusterSpec::a100_gpu()),
+                (8, ClusterSpec::a100_gpu()),
+                (4, ClusterSpec::a100_gpu()),
+                (4, ClusterSpec::a100_gpu()),
+            ],
+            ClusterSpec::a100_net(),
+        )
+        .unwrap());
+        assert_ne!(uniform, reserved, "node widths must be part of the key");
+    }
 }

@@ -198,7 +198,7 @@ impl Trainer {
         let mut stats = TrainingStats {
             iterations: Vec::with_capacity(iterations),
             num_gpus: self.executor.cluster().num_gpus(),
-            num_nodes: self.executor.cluster().num_nodes,
+            num_nodes: self.executor.cluster().num_nodes(),
         };
         for it in 0..iterations {
             let batch = self.loader.next_batch();

@@ -1,20 +1,45 @@
 //! Property-based validation of the node-packing placement engine and of
-//! the placements the planner stack emits.
+//! the placements the planner stack emits — on uniform *and*
+//! heterogeneous (mixed-SKU, uneven-width) topologies.
 
 use std::collections::HashSet;
 
-use flexsp_core::{place_degrees, plan_micro_batch, PlannerConfig};
-use flexsp_sim::Topology;
+use flexsp_core::{place_degrees, place_shapes, plan_micro_batch, PlannerConfig};
+use flexsp_sim::{GroupShape, NodeSpec, SkuId, Topology};
 use proptest::prelude::*;
 
-/// Random topology in the sweep band: 1–5 nodes of 1–16 GPUs.
+/// Random uniform topology in the sweep band: 1–5 nodes of 1–16 GPUs.
 fn topo_strategy() -> impl Strategy<Value = Topology> {
     (1u32..=5, 1u32..=16).prop_map(|(n, g)| Topology::new(n, g))
 }
 
+/// Random heterogeneous topology: 1–3 nodes per SKU class (up to two
+/// classes), widths 1–8, in interleaved order so class node indices are
+/// not contiguous.
+fn hetero_topo_strategy() -> impl Strategy<Value = Topology> {
+    (
+        prop::collection::vec(1u32..=8, 1..=3),
+        prop::collection::vec(1u32..=8, 0..=3),
+    )
+        .prop_map(|(fast, slow)| {
+            let mut nodes = Vec::new();
+            let mut fi = fast.iter();
+            let mut si = slow.iter();
+            loop {
+                let f = fi.next().map(|&w| NodeSpec::new(w, SkuId(0)));
+                let s = si.next().map(|&w| NodeSpec::new(w, SkuId(1)));
+                if f.is_none() && s.is_none() {
+                    break;
+                }
+                nodes.extend(f);
+                nodes.extend(s);
+            }
+            Topology::from_nodes(nodes)
+        })
+}
+
 /// A random power-of-two degree multiset that fits `topo`'s GPU budget.
-fn degrees_for(topo: Topology) -> impl Strategy<Value = Vec<u32>> {
-    let n = topo.num_gpus();
+fn degrees_for(n: u32) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..=6, 1..24).prop_map(move |exps| {
         let mut out = Vec::new();
         let mut sum = 0u32;
@@ -34,29 +59,28 @@ fn degrees_for(topo: Topology) -> impl Strategy<Value = Vec<u32>> {
 
 /// A degree multiset that is intra-node placeable *by construction*:
 /// sampled as per-node knapsacks, then shuffled (seeded Fisher–Yates) to
-/// hide the witness order.
-fn intra_feasible_for(topo: Topology) -> impl Strategy<Value = Vec<u32>> {
+/// hide the witness order. Each degree is tagged with its witness node's
+/// SKU, so the multiset is also per-class feasible.
+fn intra_feasible_for(topo: &Topology) -> impl Strategy<Value = Vec<(u32, SkuId)>> {
+    let widths: Vec<(u32, SkuId)> = topo.nodes().iter().map(|n| (n.width, n.sku)).collect();
     (
-        prop::collection::vec(
-            prop::collection::vec(0u32..=4, 0..8),
-            topo.num_nodes as usize,
-        ),
+        prop::collection::vec(prop::collection::vec(0u32..=4, 0..8), widths.len()),
         0u64..u64::MAX,
     )
         .prop_map(move |(per_node, seed)| {
             let mut all = Vec::new();
-            for exps in per_node {
-                let mut free = topo.gpus_per_node;
-                for e in exps {
+            for (exps, &(width, sku)) in per_node.iter().zip(&widths) {
+                let mut free = width;
+                for &e in exps {
                     let d = 1u32 << e;
                     if d <= free {
-                        all.push(d);
+                        all.push((d, sku));
                         free -= d;
                     }
                 }
             }
             if all.is_empty() {
-                all.push(1);
+                all.push((1, widths[0].1));
             }
             let mut state = seed | 1;
             for i in (1..all.len()).rev() {
@@ -73,7 +97,8 @@ proptest! {
 
     #[test]
     fn placements_are_disjoint_and_complete(
-        (topo, degrees) in topo_strategy().prop_flat_map(|t| (Just(t), degrees_for(t))),
+        (topo, degrees) in topo_strategy()
+            .prop_flat_map(|t| { let n = t.num_gpus(); (Just(t), degrees_for(n)) }),
     ) {
         let groups = place_degrees(&topo, &degrees).expect("budget-respecting multiset");
         // Every planned group placed, at its degree, in input order.
@@ -83,25 +108,78 @@ proptest! {
             prop_assert_eq!(g.degree(), d);
             for gpu in g.gpus() {
                 // Each GPU at most once, and inside the cluster.
-                prop_assert!(gpu.0 < topo.num_gpus(), "{gpu} outside {topo}");
-                prop_assert!(used.insert(*gpu), "{gpu} used twice");
+                prop_assert!(gpu.0 < topo.num_gpus(), "{} outside {}", gpu, topo);
+                prop_assert!(used.insert(*gpu), "{} used twice", gpu);
             }
         }
     }
 
     #[test]
     fn never_spans_when_intra_fits(
-        (topo, degrees) in topo_strategy().prop_flat_map(|t| (Just(t), intra_feasible_for(t))),
+        (topo, degrees) in topo_strategy()
+            .prop_flat_map(|t| (intra_feasible_for(&t), Just(t)).prop_map(|(d, t)| (t, d))),
     ) {
         // The multiset was built from per-node knapsacks, so an all-intra
         // layout exists; decreasing-order packing of divisible (power-of-
         // two) sizes must find one.
-        let groups = place_degrees(&topo, &degrees).expect("intra-feasible multiset");
+        let flat: Vec<u32> = degrees.iter().map(|&(d, _)| d).collect();
+        let groups = place_degrees(&topo, &flat).expect("intra-feasible multiset");
         for g in &groups {
             prop_assert!(
-                g.is_intra_node(topo.gpus_per_node),
-                "group {g} spans nodes although an all-intra layout exists \
-                 (topo {topo}, degrees {degrees:?})"
+                g.is_intra_node_on(&topo),
+                "group {} spans nodes although an all-intra layout exists \
+                 (topo {}, degrees {:?})", g, topo, flat
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_placements_are_disjoint_and_complete(
+        (topo, degrees) in hetero_topo_strategy()
+            .prop_flat_map(|t| { let n = t.num_gpus(); (Just(t), degrees_for(n)) }),
+    ) {
+        // Every GPU used at most once even with SKU-affine draws; shapes
+        // request the slow class to force affinity reordering.
+        let shapes: Vec<GroupShape> = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let sku = if i % 2 == 0 { SkuId(0) } else { SkuId(1) };
+                GroupShape::new(d, 1).with_sku(sku)
+            })
+            .collect();
+        let groups = place_shapes(&topo, &shapes).expect("budget-respecting multiset");
+        prop_assert_eq!(groups.len(), shapes.len());
+        let mut used = HashSet::new();
+        for (g, s) in groups.iter().zip(&shapes) {
+            prop_assert_eq!(g.degree(), s.degree);
+            for gpu in g.gpus() {
+                prop_assert!(gpu.0 < topo.num_gpus(), "{} outside {}", gpu, topo);
+                prop_assert!(used.insert(*gpu), "{} used twice", gpu);
+            }
+        }
+    }
+
+    #[test]
+    fn never_mixes_skus_when_homogeneous_packing_exists(
+        (topo, tagged) in hetero_topo_strategy()
+            .prop_flat_map(|t| (intra_feasible_for(&t), Just(t)).prop_map(|(d, t)| (t, d))),
+    ) {
+        // The multiset was built from per-node knapsacks, so a packing
+        // exists in which every group is intra-node *within its own SKU
+        // class*; SKU-affine decreasing-order packing must find one —
+        // no group may mix SKUs (and none may span nodes).
+        let shapes: Vec<GroupShape> = tagged
+            .iter()
+            .map(|&(d, sku)| GroupShape::new(d, 1).with_sku(sku))
+            .collect();
+        let groups = place_shapes(&topo, &shapes).expect("per-class-feasible multiset");
+        for (g, s) in groups.iter().zip(&shapes) {
+            let realized = GroupShape::of(g, &topo);
+            prop_assert_eq!(
+                realized, *s,
+                "group {} realized {} instead of its class (topo {}, degrees {:?})",
+                g, realized, topo, tagged
             );
         }
     }
@@ -153,7 +231,7 @@ mod planner_level {
             let mut used = HashSet::new();
             for g in &plan.groups {
                 let p = g.placement.as_ref().expect("placed");
-                prop_assert_eq!(GroupShape::of(p, 6), g.shape, "shape matches placement");
+                prop_assert_eq!(GroupShape::of(p, cost.topology()), g.shape, "shape matches placement");
                 for gpu in p.gpus() {
                     prop_assert!(gpu.0 < 24);
                     prop_assert!(used.insert(*gpu), "GPU reused");

@@ -55,7 +55,7 @@ pub fn evaluate_grid(
             Some(ulysses_zero_spec(cluster, model)),
         );
         let shape = cost.packed_shape(degree);
-        let group = DeviceGroup::for_shape(shape, cluster.gpus_per_node, 0);
+        let group = DeviceGroup::for_shape_on(shape, cluster.topology(), 0);
         let actual = simulate_sp_step(cluster, &group, &spec).total_s();
         let predicted = cost.group_time(&seqs, shape);
         out.push(AccuracyPoint {

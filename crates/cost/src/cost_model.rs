@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-use flexsp_sim::{ClusterSpec, GroupShape, Topology};
+use flexsp_sim::{ClusterSpec, GroupShape, SkuId, Topology};
 
 use crate::fit::lstsq;
 use crate::profiler::{ProfilePoint, Profiler};
@@ -56,12 +56,17 @@ impl MemoryModel {
 /// The planner-facing cost model: per-shape linear time estimates and a
 /// linear memory estimate, fitted by profiling the simulator.
 ///
-/// Time queries are keyed by [`GroupShape`] (degree × nodes spanned);
-/// memory depends only on the degree. See the crate docs for an
-/// end-to-end example.
+/// Time queries are keyed by [`GroupShape`] (degree × nodes spanned ×
+/// SKU class): communication coefficients are fitted per shape, compute
+/// coefficients per **SKU** — a group's `seq_time` uses its class SKU,
+/// which for mixed groups is the *slowest* member (the Ulysses straggler
+/// rule). Memory depends only on the degree, priced at the cluster's
+/// smallest per-GPU capacity so plans never OOM on the tightest device.
+/// See the crate docs for an end-to-end example.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
-    compute: ComputeFit,
+    /// Per-SKU compute coefficients (one entry on homogeneous clusters).
+    compute: BTreeMap<SkuId, ComputeFit>,
     comm: BTreeMap<GroupShape, CommFit>,
     memory: MemoryModel,
     topo: Topology,
@@ -74,7 +79,25 @@ pub struct CostModel {
 impl CostModel {
     /// Profiles `cluster` running `model` under `policy` and fits all
     /// coefficients (paper: "obtained through profiling"), including the
-    /// spanning placement variants of each degree.
+    /// spanning placement variants of each degree and — on mixed-SKU
+    /// clusters — one compute fit per SKU class.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flexsp_cost::CostModel;
+    /// use flexsp_model::{ActivationPolicy, ModelConfig};
+    /// use flexsp_sim::{ClusterSpec, GroupShape};
+    ///
+    /// let cluster = ClusterSpec::a100_cluster(2); // 16 GPUs
+    /// let model = ModelConfig::gpt_7b(64 * 1024);
+    /// let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    ///
+    /// // Same degree, different placement class, different price.
+    /// let intra = cost.group_time(&[16 * 1024; 4], GroupShape::intra(8));
+    /// let spanning = cost.group_time(&[16 * 1024; 4], GroupShape::new(8, 2));
+    /// assert!(spanning > intra);
+    /// ```
     pub fn fit(cluster: &ClusterSpec, model: &ModelConfig, policy: ActivationPolicy) -> Self {
         let points = Profiler::new(cluster, model, policy).run();
         Self::fit_cluster_points(cluster, model, policy, &points)
@@ -104,9 +127,13 @@ impl CostModel {
             act_bytes_per_token: model.act_bytes_per_token(policy) as f64,
             model_state_bytes: model.model_state_bytes(ZeroStage::Three, cluster.num_gpus() as u64)
                 as f64,
-            capacity_bytes: cluster.gpu.mem_bytes as f64,
+            // Straggler-memory rule: size every group for the smallest
+            // per-GPU capacity present, so plans never OOM on the
+            // tightest device (the executor enforces true per-GPU
+            // budgets).
+            capacity_bytes: cluster.min_mem_bytes() as f64,
         };
-        let mut fitted = Self::fit_from_points(points, memory, cluster.topology());
+        let mut fitted = Self::fit_from_points(points, memory, cluster.topology().clone());
         // ZeRO-3 exposure term, measured exactly as the executor charges
         // it: a zero-compute probe step leaves the full un-overlapped
         // parameter-gather / gradient-scatter time exposed.
@@ -142,21 +169,34 @@ impl CostModel {
     /// Panics if `points` is empty or covers no shape.
     pub fn fit_from_points(points: &[ProfilePoint], memory: MemoryModel, topo: Topology) -> Self {
         assert!(!points.is_empty(), "no profile points");
-        // Compute fit over the whole grid: features [Σs²/d, Σs/d, 1].
-        let xs: Vec<Vec<f64>> = points
-            .iter()
-            .map(|p| {
-                let d = p.shape.degree as f64;
-                vec![p.sum_sq / d, p.tokens as f64 / d, 1.0]
-            })
-            .collect();
-        let ys: Vec<f64> = points.iter().map(|p| p.compute_s).collect();
-        let beta = lstsq(&xs, &ys);
-        let compute = ComputeFit {
-            alpha1: beta[0].max(0.0),
-            alpha2: beta[1].max(0.0),
-            beta1: beta[2].max(0.0),
-        };
+        // Per-SKU compute fit: features [Σs²/d, Σs/d, 1]. Cross-class
+        // (mixed) shapes carry the slowest member's SKU, and their even
+        // FLOP split means the straggler's compute time is what was
+        // measured — so grouping points by class SKU is exact.
+        let mut skus: Vec<SkuId> = points.iter().map(|p| p.shape.sku).collect();
+        skus.sort_unstable();
+        skus.dedup();
+        let mut compute = BTreeMap::new();
+        for sku in skus {
+            let pts: Vec<_> = points.iter().filter(|p| p.shape.sku == sku).collect();
+            let xs: Vec<Vec<f64>> = pts
+                .iter()
+                .map(|p| {
+                    let d = p.shape.degree as f64;
+                    vec![p.sum_sq / d, p.tokens as f64 / d, 1.0]
+                })
+                .collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.compute_s).collect();
+            let beta = lstsq(&xs, &ys);
+            compute.insert(
+                sku,
+                ComputeFit {
+                    alpha1: beta[0].max(0.0),
+                    alpha2: beta[1].max(0.0),
+                    beta1: beta[2].max(0.0),
+                },
+            );
+        }
 
         // Per-shape communication fit: T = slope·tokens + base.
         let mut comm = BTreeMap::new();
@@ -197,13 +237,15 @@ impl CostModel {
         }
     }
 
-    /// Builds a cost model from explicit parts (tests, what-if studies).
+    /// Builds a cost model from explicit parts (tests, what-if studies);
+    /// `compute` becomes the fit of every SKU class the topology carries.
     pub fn from_parts(
         compute: ComputeFit,
         comm: BTreeMap<GroupShape, CommFit>,
         memory: MemoryModel,
         topo: Topology,
     ) -> Self {
+        let compute = topo.skus().into_iter().map(|s| (s, compute)).collect();
         Self {
             compute,
             comm,
@@ -220,8 +262,8 @@ impl CostModel {
     }
 
     /// The node-level geometry this model was fitted for.
-    pub fn topology(&self) -> Topology {
-        self.topo
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// The placement classes with fitted coefficients, ascending by
@@ -252,17 +294,35 @@ impl CostModel {
             .unwrap_or_else(|| panic!("degree {degree} not profiled"))
     }
 
-    /// The compute coefficients.
+    /// The compute coefficients of the **primary** (fastest) SKU — the
+    /// only SKU on homogeneous clusters.
     pub fn compute_fit(&self) -> ComputeFit {
-        self.compute
+        *self
+            .compute
+            .values()
+            .next()
+            .expect("at least one compute fit")
+    }
+
+    /// The compute coefficients of SKU class `sku`. Unknown classes fall
+    /// back to the slowest fitted SKU (conservative).
+    pub fn compute_fit_of(&self, sku: SkuId) -> ComputeFit {
+        self.compute.get(&sku).copied().unwrap_or_else(|| {
+            *self
+                .compute
+                .values()
+                .next_back()
+                .expect("at least one compute fit")
+        })
     }
 
     /// The communication coefficients for `shape`.
     ///
-    /// Queries for an un-profiled span fall back to the profiled shape of
-    /// the same degree with the nearest span (placement can realize
-    /// spans — e.g. a fragmented 3-node spread — that the profiler's
-    /// canonical grid does not enumerate).
+    /// Queries for an un-profiled class fall back to the profiled shape
+    /// of the same degree that is nearest in (SKU, span) — same SKU
+    /// preferred, then nearest span (placement can realize classes — e.g.
+    /// a fragmented 3-node spread, or a SKU-mixed spill group — that the
+    /// profiler's canonical grid does not enumerate).
     ///
     /// # Panics
     ///
@@ -277,9 +337,11 @@ impl CostModel {
             .filter(|s| s.degree == shape.degree)
             .min_by_key(|s| {
                 (
+                    s.sku != shape.sku,
                     s.nodes_spanned.abs_diff(shape.nodes_spanned),
                     // Ties prefer the wider (more pessimistic) span.
                     std::cmp::Reverse(s.nodes_spanned),
+                    s.sku.0.abs_diff(shape.sku.0),
                 )
             })
             .unwrap_or_else(|| panic!("degree {} not profiled", shape.degree));
@@ -292,30 +354,35 @@ impl CostModel {
     }
 
     /// Estimated time contribution of a single sequence of length `len`
-    /// assigned to a `shape` group (excludes the group constant).
+    /// assigned to a `shape` group (excludes the group constant). Compute
+    /// is priced at the shape's SKU class — the slowest member for mixed
+    /// groups — so an A100-class group is dearer per token than an
+    /// H100-class group of the same geometry.
     pub fn seq_time(&self, len: u64, shape: GroupShape) -> f64 {
         let s = len as f64;
         let d = shape.degree as f64;
+        let cf = self.compute_fit_of(shape.sku);
         let c = self.comm_fit(shape);
-        (self.compute.alpha1 * s * s + self.compute.alpha2 * s) / d + c.per_token * s
+        (cf.alpha1 * s * s + cf.alpha2 * s) / d + c.per_token * s
     }
 
     /// Fixed per-execution overhead of a `shape` group (β₁ + β₂).
     pub fn group_overhead(&self, shape: GroupShape) -> f64 {
-        self.compute.beta1 + self.comm_fit(shape).base
+        self.compute_fit_of(shape.sku).beta1 + self.comm_fit(shape).base
     }
 
-    /// Compute-only seconds of a degree-`degree` group (no All-to-All),
-    /// the quantity ZeRO-3 traffic can overlap with.
-    fn compute_only_time(&self, lens: &[u64], degree: u32) -> f64 {
-        let d = degree as f64;
+    /// Compute-only seconds of a `shape` group (no All-to-All), the
+    /// quantity ZeRO-3 traffic can overlap with.
+    fn compute_only_time(&self, lens: &[u64], shape: GroupShape) -> f64 {
+        let d = shape.degree as f64;
+        let cf = self.compute_fit_of(shape.sku);
         lens.iter()
             .map(|&l| {
                 let s = l as f64;
-                (self.compute.alpha1 * s * s + self.compute.alpha2 * s) / d
+                (cf.alpha1 * s * s + cf.alpha2 * s) / d
             })
             .sum::<f64>()
-            + self.compute.beta1
+            + cf.beta1
     }
 
     /// Exposed (non-overlapped) ZeRO-3 traffic seconds for a group whose
@@ -349,7 +416,7 @@ impl CostModel {
     pub fn group_time(&self, lens: &[u64], shape: GroupShape) -> f64 {
         let linear =
             lens.iter().map(|&l| self.seq_time(l, shape)).sum::<f64>() + self.group_overhead(shape);
-        linear + self.zero_exposed_s(self.compute_only_time(lens, shape.degree))
+        linear + self.zero_exposed_s(self.compute_only_time(lens, shape))
     }
 
     /// Predicted per-device memory bytes for `tokens` on a degree-`degree`
@@ -510,7 +577,7 @@ mod tests {
                 &seqs,
                 Some(crate::workload::ulysses_zero_spec(&cluster, &model)),
             );
-            let group = DeviceGroup::for_shape(shape, cluster.gpus_per_node, 0);
+            let group = DeviceGroup::for_shape_on(shape, cluster.topology(), 0);
             let actual = simulate_sp_step(&cluster, &group, &spec);
             let predicted = cm.group_time(&seqs, shape);
             let rel = (predicted - actual.total_s()).abs() / actual.total_s();

@@ -118,7 +118,7 @@ pub fn fit_cp(
     while tp * cp <= n {
         let degree = tp * cp;
         let replica = DeviceGroup::aligned(0, degree);
-        let shape = GroupShape::of(&replica, cluster.gpus_per_node);
+        let shape = GroupShape::of(&replica, cluster.topology());
         for &tokens in &token_grid {
             for &len in &seq_lens {
                 if len > tokens {
@@ -142,9 +142,9 @@ pub fn fit_cp(
     let memory = MemoryModel {
         act_bytes_per_token: model.act_bytes_per_token(policy) as f64,
         model_state_bytes: model.model_state_bytes(ZeroStage::Three, n as u64) as f64,
-        capacity_bytes: cluster.gpu.mem_bytes as f64,
+        capacity_bytes: cluster.min_mem_bytes() as f64,
     };
-    CostModel::fit_from_points(&points, memory, cluster.topology())
+    CostModel::fit_from_points(&points, memory, cluster.topology().clone())
 }
 
 /// The ZeRO traffic spec shared by CP replicas (whole-cluster sharding,

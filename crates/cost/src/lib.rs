@@ -1,5 +1,7 @@
 //! α-β cost models and profiler-based coefficient fitting (paper §4.1.2,
-//! Appendix C).
+//! Appendix C). (Where this crate sits in the solve → place → execute
+//! pipeline is described in `docs/ARCHITECTURE.md` at the repository
+//! root.)
 //!
 //! FlexSP's planner needs *linear* estimates of per-group execution time and
 //! memory so the planning problem stays a MILP:
@@ -12,11 +14,14 @@
 //! The coefficients are obtained exactly as in the paper — by profiling.
 //! [`Profiler`] runs micro-benchmarks on the `flexsp-sim` cluster across a
 //! grid of sequence compositions and *placement classes*
-//! ([`flexsp_sim::GroupShape`]: degree × nodes spanned), then fits the
-//! coefficients by least squares ([`fit::lstsq`]). Keying the
+//! ([`flexsp_sim::GroupShape`]: degree × nodes spanned × SKU class), then
+//! fits the coefficients by least squares ([`fit::lstsq`]) —
+//! communication per shape, compute per SKU. Keying the
 //! communication fit by shape instead of bare degree is what lets the
 //! planner price an intra-node degree-8 group (NVLink All-to-All)
-//! differently from one straddling two nodes (NIC-bound). Because the
+//! differently from one straddling two nodes (NIC-bound), and the
+//! per-SKU compute fits are what let it price an A100-class group
+//! differently from an H100-class one on mixed clusters. Because the
 //! simulator is nonlinear (bandwidth and utilization ramps), the fit has
 //! genuine residuals; [`accuracy`] quantifies them, reproducing the
 //! paper's Appendix C claim that estimation error stays within a few

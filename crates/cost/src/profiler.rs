@@ -2,9 +2,11 @@
 //! coefficients "through profiling"; we profile the simulator).
 //!
 //! Profiling is *placement-aware*: each [`GroupShape`] — degree ×
-//! nodes-spanned — is measured at its canonical balanced layout, so the
-//! fitted communication coefficients distinguish an intra-node degree-8
-//! group (NVLink All-to-All) from one straddling two nodes (NIC-bound).
+//! nodes-spanned × SKU class — is measured at its canonical balanced
+//! layout, so the fitted communication coefficients distinguish an
+//! intra-node degree-8 group (NVLink All-to-All) from one straddling two
+//! nodes (NIC-bound), and on mixed clusters the per-SKU compute fits
+//! distinguish an A100-class group from an H100-class one.
 
 use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::{enumerate_shapes, simulate_sp_step, ClusterSpec, DeviceGroup, GroupShape};
@@ -60,20 +62,26 @@ impl<'a> Profiler<'a> {
         (0..).map(|e| 1u32 << e).take_while(|&d| d <= n).collect()
     }
 
-    /// The placement classes the profiler measures: for every degree the
-    /// tightest packing plus a two-node spanning variant where one exists.
+    /// The placement classes the profiler measures: for every degree and
+    /// every SKU class that can host it, the tightest packing plus a
+    /// two-node spanning variant where one exists (and one cross-class
+    /// shape for degrees no single class can host).
     pub fn shapes(&self) -> Vec<GroupShape> {
-        enumerate_shapes(&self.cluster.topology(), &self.degrees())
+        enumerate_shapes(self.cluster.topology(), &self.degrees())
     }
 
-    /// Profiles the full placement-aware grid.
+    /// Profiles the full placement-aware grid. Every measurement is
+    /// recorded under the class the canonical layout *realizes*
+    /// ([`GroupShape::of`]), so fitted keys always describe what was
+    /// actually measured.
     pub fn run(&self) -> Vec<ProfilePoint> {
-        let gpn = self.cluster.gpus_per_node;
+        let topo = self.cluster.topology();
         self.shapes()
             .into_iter()
             .flat_map(|shape| {
-                let group = DeviceGroup::for_shape(shape, gpn, 0);
-                self.run_group(shape, &group)
+                let group = DeviceGroup::for_shape_on(shape, topo, 0);
+                let realized = GroupShape::of(&group, topo);
+                self.run_group(realized, &group)
             })
             .collect()
     }
@@ -83,12 +91,12 @@ impl<'a> Profiler<'a> {
     /// boundaries. This reproduces the degree-keyed cost model for
     /// ablations and topology-sweep baselines.
     pub fn run_flat_aligned(&self) -> Vec<ProfilePoint> {
-        let gpn = self.cluster.gpus_per_node;
+        let topo = self.cluster.topology();
         self.degrees()
             .into_iter()
             .flat_map(|d| {
                 let group = DeviceGroup::aligned(0, d);
-                let shape = GroupShape::of(&group, gpn);
+                let shape = GroupShape::of(&group, topo);
                 self.run_group(shape, &group)
             })
             .collect()
@@ -167,6 +175,53 @@ mod tests {
             .iter()
             .filter(|p| p.shape.degree == 1)
             .all(|p| p.alltoall_s == 0.0));
+    }
+
+    #[test]
+    fn mixed_cluster_profiles_every_sku_class() {
+        use flexsp_sim::SkuId;
+        let cluster = ClusterSpec::a100_h100_mix(2, 2, 8);
+        let model = ModelConfig::gpt_7b(96 * 1024);
+        let pts = Profiler::new(&cluster, &model, ActivationPolicy::None).run();
+        let sum_compute = |shape: GroupShape| -> f64 {
+            pts.iter()
+                .filter(|p| p.shape == shape)
+                .map(|p| p.compute_s)
+                .sum()
+        };
+        // Both classes measured at intra-node degree 8; the A100 class
+        // (SkuId 1, slower) takes longer on identical workloads.
+        let h100 = sum_compute(GroupShape::intra(8));
+        let a100 = sum_compute(GroupShape::intra(8).with_sku(SkuId(1)));
+        assert!(
+            h100 > 0.0 && a100 > 1.5 * h100,
+            "a100 {a100} vs h100 {h100}"
+        );
+        // The whole-cluster degree is cross-class and classes at the
+        // slowest SKU.
+        assert!(pts
+            .iter()
+            .any(|p| p.shape.degree == 32 && p.shape.sku == SkuId(1)));
+    }
+
+    #[test]
+    fn narrow_first_node_order_profiles_fine() {
+        // Regression: a reserved cluster listing its narrow nodes first
+        // must still profile (the canonical layout picks the widest
+        // candidates, matching the min-span greedy).
+        let cluster = ClusterSpec::from_nodes(
+            vec![
+                (4, ClusterSpec::a100_gpu()),
+                (4, ClusterSpec::a100_gpu()),
+                (8, ClusterSpec::a100_gpu()),
+            ],
+            ClusterSpec::a100_net(),
+        )
+        .unwrap();
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        let prof = Profiler::new(&cluster, &model, ActivationPolicy::None);
+        let pts = prof.run();
+        assert!(pts.iter().any(|p| p.shape == GroupShape::intra(8)));
     }
 
     #[test]

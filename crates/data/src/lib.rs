@@ -1,5 +1,7 @@
 //! Synthetic long-tail LLM training corpora, sequence packing, and batching
 //! for the FlexSP reproduction.
+//! (Where this crate sits in the solve → place → execute pipeline is
+//! described in `docs/ARCHITECTURE.md` at the repository root.)
 //!
 //! The FlexSP paper's speedups are driven entirely by the *shape* of
 //! sequence-length distributions in real corpora (§3, Fig. 2): unimodal,

@@ -1,5 +1,7 @@
 //! Linear and mixed-integer linear programming for the FlexSP parallelism
 //! planner.
+//! (Where this crate sits in the solve → place → execute pipeline is
+//! described in `docs/ARCHITECTURE.md` at the repository root.)
 //!
 //! The FlexSP paper (ASPLOS 2025) formulates heterogeneous sequence-parallel
 //! group selection and sequence assignment as a mixed-integer linear program

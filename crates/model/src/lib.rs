@@ -1,5 +1,7 @@
 //! Transformer model configurations and analytic FLOPs / memory accounting
 //! for the FlexSP reproduction.
+//! (Where this crate sits in the solve → place → execute pipeline is
+//! described in `docs/ARCHITECTURE.md` at the repository root.)
 //!
 //! The FlexSP paper evaluates GPT-7B, GPT-13B and GPT-30B (Appendix B.1,
 //! Table 5). This crate provides those presets plus the analytic cost

@@ -61,6 +61,10 @@ pub enum Collective {
 ///   inter-node traffic is paid once per *node*, so their effective
 ///   inter-node bandwidth is the whole NIC, not the per-GPU share.
 /// * Intra- and inter-node phases overlap; the slower one dominates.
+/// * Node boundaries come from the cluster's [`crate::Topology`], so
+///   uneven node widths place the seams where they really are; node-level
+///   bandwidth is gated by the **narrowest participating node** (the
+///   slowest participating link dominates, per DeepSpeed-Ulysses).
 ///
 /// Single-GPU groups cost zero.
 pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: Collective) -> f64 {
@@ -68,9 +72,9 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
     if group.degree() <= 1 {
         return 0.0;
     }
-    let gpn = cluster.gpus_per_node;
-    let inter_frac = group.inter_node_fraction(gpn);
-    let intra = group.is_intra_node(gpn);
+    let topo = cluster.topology();
+    let inter_frac = group.inter_node_fraction_on(topo);
+    let intra = group.is_intra_node_on(topo);
     let latency = if intra {
         cluster.net.nvlink_latency_s
     } else {
@@ -102,9 +106,9 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
         }
         Collective::Broadcast { bytes } => {
             // Pipeline broadcast: limited by the slowest link on the path.
-            let nodes = group.nodes_spanned(gpn) as f64;
-            let inter_t = if nodes > 1.0 {
-                bytes as f64 / cluster.node_nic_eff_bw(bytes as f64)
+            let inter_t = if !intra {
+                let width = group.min_spanned_width(topo);
+                bytes as f64 / cluster.node_nic_eff_bw(width, bytes as f64)
             } else {
                 0.0
             };
@@ -128,7 +132,8 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
 
 /// Shared model for all-gather / reduce-scatter: each GPU moves
 /// `(d−1)·shard` intra-node at NVLink speed while each *node* moves the
-/// off-node shards once across its NIC.
+/// off-node shards once across its NIC (the narrowest participating node
+/// gating the span).
 fn gather_family_time(
     cluster: &ClusterSpec,
     group: &DeviceGroup,
@@ -136,20 +141,22 @@ fn gather_family_time(
     rounds: f64,
 ) -> f64 {
     let d = group.degree() as f64;
-    let gpn = cluster.gpus_per_node;
+    let topo = cluster.topology();
     let shard = shard_bytes as f64;
-    let latency = if group.is_intra_node(gpn) {
+    let intra = group.is_intra_node_on(topo);
+    let latency = if intra {
         cluster.net.nvlink_latency_s
     } else {
         cluster.net.nic_latency_s
     };
     let t_intra = (d - 1.0) * shard / cluster.nvlink_eff_bw(shard);
-    let nodes = group.nodes_spanned(gpn) as f64;
-    let t_inter = if nodes > 1.0 {
+    let t_inter = if !intra {
+        let nodes = group.nodes_spanned_on(topo) as f64;
         // A node must import every shard it does not host: (d − d/nodes)
         // shards through the whole node NIC.
         let import = (d - d / nodes) * shard;
-        import / cluster.node_nic_eff_bw(shard)
+        let width = group.min_spanned_width(topo);
+        import / cluster.node_nic_eff_bw(width, shard)
     } else {
         0.0
     };

@@ -69,7 +69,8 @@ pub fn simulate_cp_step(
         spec.tp_degree
     );
     let cp = size / spec.tp_degree;
-    let compute_s = cluster.compute_time(spec.flops_per_gpu, spec.kernels);
+    // Even FLOP split: the slowest member SKU gates the replica.
+    let compute_s = cluster.group_compute_time(replica, spec.flops_per_gpu, spec.kernels);
 
     // Megatron-SP collectives on the TP subgroup (exposed).
     let tp_comm_s = if spec.tp_degree > 1 {
@@ -100,7 +101,8 @@ pub fn simulate_cp_step(
             },
         );
         let ring_per_layer = hop * spec.ring_hops_per_layer as f64;
-        let attn_per_layer = cluster.compute_time(spec.attn_flops_per_gpu_layer, cp as u64);
+        let attn_per_layer =
+            cluster.group_compute_time(replica, spec.attn_flops_per_gpu_layer, cp as u64);
         let exposed = (ring_per_layer - attn_per_layer)
             .max(spec.ring_exposed_floor.clamp(0.0, 1.0) * ring_per_layer);
         exposed * spec.layers as f64

@@ -2,13 +2,17 @@
 
 use std::fmt;
 
-/// Global GPU index within the cluster (node-major: GPU `g` lives on node
-/// `g / gpus_per_node`).
+use crate::shape::{SkuId, Topology};
+
+/// Global GPU index within the cluster (node-major: node `n` owns the
+/// contiguous range starting at `Topology::node_start(n)`; on uniform
+/// clusters GPU `g` lives on node `g / gpus_per_node`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GpuId(pub u32);
 
 impl GpuId {
-    /// The node hosting this GPU for a given node width.
+    /// The node hosting this GPU for a given *uniform* node width.
+    /// Heterogeneous callers use [`Topology::node_of`].
     pub fn node(self, gpus_per_node: u32) -> u32 {
         self.0 / gpus_per_node
     }
@@ -67,37 +71,91 @@ impl DeviceGroup {
         self.gpus.len() as u32
     }
 
-    /// Number of distinct nodes the group touches.
+    /// Number of distinct nodes the group touches (*uniform* node width;
+    /// heterogeneous callers use [`DeviceGroup::nodes_spanned_on`]).
     pub fn nodes_spanned(&self, gpus_per_node: u32) -> u32 {
         let mut nodes: Vec<u32> = self.gpus.iter().map(|g| g.node(gpus_per_node)).collect();
         nodes.dedup();
         nodes.len() as u32
     }
 
-    /// True if every member lives on one node.
+    /// Number of distinct nodes of `topo` the group touches.
+    pub fn nodes_spanned_on(&self, topo: &Topology) -> u32 {
+        self.nodes_touched(topo).len() as u32
+    }
+
+    /// The distinct nodes of `topo` the group touches, ascending.
+    pub fn nodes_touched(&self, topo: &Topology) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self.gpus.iter().map(|&g| topo.node_of(g)).collect();
+        nodes.dedup();
+        nodes
+    }
+
+    /// True if every member lives on one node (*uniform* node width).
     pub fn is_intra_node(&self, gpus_per_node: u32) -> bool {
         self.nodes_spanned(gpus_per_node) == 1
+    }
+
+    /// True if every member lives on one node of `topo`.
+    pub fn is_intra_node_on(&self, topo: &Topology) -> bool {
+        self.nodes_spanned_on(topo) == 1
+    }
+
+    /// The narrowest node the group touches — the slowest participating
+    /// NIC for node-aware collectives (whole-node bandwidth scales with
+    /// the node's GPU contribution).
+    pub fn min_spanned_width(&self, topo: &Topology) -> u32 {
+        self.nodes_touched(topo)
+            .into_iter()
+            .map(|n| topo.node_width(n))
+            .min()
+            .expect("groups are non-empty")
+    }
+
+    /// The slowest member SKU class (largest [`SkuId`] by the
+    /// fastest-first convention) — the straggler that gates the group.
+    pub fn slowest_sku(&self, topo: &Topology) -> SkuId {
+        self.nodes_touched(topo)
+            .into_iter()
+            .map(|n| topo.node_sku(n))
+            .max()
+            .expect("groups are non-empty")
     }
 
     /// For uniform all-to-all traffic, the fraction of each GPU's egress
     /// that crosses a node boundary: with `g` co-located peers out of
     /// `d − 1`, the off-node share is `(d − g) / (d − 1)`.
+    /// (*Uniform* node width; heterogeneous callers use
+    /// [`DeviceGroup::inter_node_fraction_on`].)
     ///
     /// Returns 0 for single-GPU or single-node groups.
     pub fn inter_node_fraction(&self, gpus_per_node: u32) -> f64 {
+        self.inter_fraction_by(|g| g.node(gpus_per_node))
+    }
+
+    /// [`DeviceGroup::inter_node_fraction`] against the node boundaries
+    /// of `topo` (per-node widths respected).
+    pub fn inter_node_fraction_on(&self, topo: &Topology) -> f64 {
+        self.inter_fraction_by(|g| topo.node_of(g))
+    }
+
+    fn inter_fraction_by(&self, node_of: impl Fn(GpuId) -> u32) -> f64 {
         let d = self.degree() as f64;
-        if self.degree() <= 1 || self.is_intra_node(gpus_per_node) {
+        if self.degree() <= 1 {
             return 0.0;
         }
         // Average co-located peers (aligned groups have an equal share per
         // node; compute exactly for irregular groups).
         let mut per_node = std::collections::HashMap::new();
-        for g in &self.gpus {
-            *per_node.entry(g.node(gpus_per_node)).or_insert(0u32) += 1;
+        for &g in &self.gpus {
+            *per_node.entry(node_of(g)).or_insert(0u32) += 1;
+        }
+        if per_node.len() <= 1 {
+            return 0.0;
         }
         let mut frac = 0.0;
-        for g in &self.gpus {
-            let local = per_node[&g.node(gpus_per_node)] as f64;
+        for &g in &self.gpus {
+            let local = per_node[&node_of(g)] as f64;
             frac += (d - local) / (d - 1.0);
         }
         frac / d
@@ -161,5 +219,23 @@ mod tests {
     #[should_panic(expected = "duplicate GPU")]
     fn duplicate_rejected() {
         DeviceGroup::from_gpus(vec![GpuId(1), GpuId(1)]);
+    }
+
+    #[test]
+    fn topology_aware_spans_respect_uneven_widths() {
+        use crate::shape::{NodeSpec, Topology};
+        // Nodes of 4 + 8 GPUs: the flat `g / 8` rule would misplace the
+        // boundary at GPU 8; the topology puts it at GPU 4.
+        let topo =
+            Topology::from_nodes(vec![NodeSpec::new(4, SkuId(0)), NodeSpec::new(8, SkuId(1))]);
+        let g = DeviceGroup::aligned(2, 4); // GPUs 2..6 straddle the seam
+        assert_eq!(g.nodes_spanned_on(&topo), 2);
+        assert!(!g.is_intra_node_on(&topo));
+        assert_eq!(g.min_spanned_width(&topo), 4);
+        assert_eq!(g.slowest_sku(&topo), SkuId(1));
+        assert!(g.inter_node_fraction_on(&topo) > 0.0);
+        let intra = DeviceGroup::aligned(4, 8); // exactly the second node
+        assert!(intra.is_intra_node_on(&topo));
+        assert_eq!(intra.inter_node_fraction_on(&topo), 0.0);
     }
 }

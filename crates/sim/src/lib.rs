@@ -1,12 +1,21 @@
 //! Deterministic GPU-cluster simulator for the FlexSP reproduction.
+//! (Where this crate sits in the solve → place → execute pipeline is
+//! described in `docs/ARCHITECTURE.md` at the repository root.)
 //!
 //! The paper's testbed — 8 nodes × 8 NVIDIA A100-40GB with NVLink inside a
 //! node and 400 Gbps InfiniBand between nodes — is unavailable, so this
-//! crate rebuilds its *performance physics* from first principles:
+//! crate rebuilds its *performance physics* from first principles, then
+//! generalizes them to the clusters that exist outside the paper: the
+//! [`Topology`] is a **node list** (per-node widths and [`SkuId`]
+//! classes), so uneven nodes, partial reservations, and mixed A100/H100
+//! pools are first-class:
 //!
-//! * [`ClusterSpec`]: topology and calibrated constants (peak FLOPs with a
-//!   small-kernel utilization curve, per-message effective-bandwidth ramps,
-//!   launch/latency overheads, cluster-size-dependent inter-node bandwidth).
+//! * [`ClusterSpec`]: topology and calibrated constants (per-SKU peak
+//!   FLOPs with a small-kernel utilization curve, per-message
+//!   effective-bandwidth ramps, launch/latency overheads,
+//!   cluster-size-dependent inter-node bandwidth). Mixed-SKU groups are
+//!   gated by their slowest member ([`ClusterSpec::group_compute_time`],
+//!   the Ulysses straggler rule).
 //! * [`collective_time`]: cost models for All-to-All, All-Gather,
 //!   Reduce-Scatter, All-Reduce, Broadcast and ring Send/Recv. All-to-All
 //!   pays full per-GPU inter-node traffic (every byte is distinct), while
@@ -57,6 +66,6 @@ pub use context_parallel::{simulate_cp_step, CpStepSpec};
 pub use group::{DeviceGroup, GpuId};
 pub use memory::{MemoryTracker, OomError};
 pub use pool::{allocate_aligned, AllocError, GroupPool, PoolFetch, PoolStats};
-pub use shape::{enumerate_shapes, GroupShape, NodeSlots, Topology};
+pub use shape::{enumerate_shapes, GroupShape, NodeSlots, NodeSpec, SkuId, Topology};
 pub use spec::{ClusterSpec, GpuSpec, InterconnectSpec, SpecError};
 pub use ulysses::{simulate_sp_step, SpStepReport, SpStepSpec, ZeroTrafficSpec};

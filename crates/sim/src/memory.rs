@@ -31,7 +31,9 @@ impl fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
-/// Tracks live allocations per GPU against a fixed capacity.
+/// Tracks live allocations per GPU against a fixed capacity — uniform
+/// ([`MemoryTracker::new`]) or per-GPU ([`MemoryTracker::with_capacities`])
+/// for heterogeneous clusters mixing 40 GB and 80 GB devices.
 ///
 /// # Example
 ///
@@ -46,6 +48,8 @@ impl std::error::Error for OomError {}
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemoryTracker {
     capacity: u64,
+    /// Per-GPU overrides indexed by GPU id; empty = uniform `capacity`.
+    capacities: Vec<u64>,
     used: HashMap<GpuId, u64>,
     peak: HashMap<GpuId, u64>,
 }
@@ -55,14 +59,40 @@ impl MemoryTracker {
     pub fn new(capacity: u64) -> Self {
         Self {
             capacity,
+            capacities: Vec::new(),
             used: HashMap::new(),
             peak: HashMap::new(),
         }
     }
 
-    /// Capacity per GPU in bytes.
+    /// Creates a tracker with an explicit budget per GPU (indexed by GPU
+    /// id). GPUs beyond the vector get zero capacity.
+    pub fn with_capacities(capacities: Vec<u64>) -> Self {
+        Self {
+            capacity: 0,
+            capacities,
+            used: HashMap::new(),
+            peak: HashMap::new(),
+        }
+    }
+
+    /// Capacity of `gpu` in bytes.
+    pub fn capacity_of(&self, gpu: GpuId) -> u64 {
+        if self.capacities.is_empty() {
+            self.capacity
+        } else {
+            self.capacities.get(gpu.0 as usize).copied().unwrap_or(0)
+        }
+    }
+
+    /// Uniform capacity per GPU in bytes (the smallest per-GPU budget on
+    /// heterogeneous trackers).
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        if self.capacities.is_empty() {
+            self.capacity
+        } else {
+            self.capacities.iter().copied().min().unwrap_or(0)
+        }
     }
 
     /// Attempts to allocate `bytes` on `gpu`.
@@ -72,8 +102,9 @@ impl MemoryTracker {
     /// Returns [`OomError`] (leaving state unchanged) if the allocation
     /// would exceed capacity.
     pub fn alloc(&mut self, gpu: GpuId, bytes: u64) -> Result<(), OomError> {
+        let capacity = self.capacity_of(gpu);
         let used = self.used.entry(gpu).or_insert(0);
-        let available = self.capacity - *used;
+        let available = capacity - *used;
         if bytes > available {
             return Err(OomError {
                 gpu,
@@ -153,5 +184,16 @@ mod tests {
         mem.alloc(GpuId(0), 10).unwrap();
         mem.free(GpuId(0), 50);
         assert_eq!(mem.used(GpuId(0)), 0);
+    }
+
+    #[test]
+    fn heterogeneous_budgets_are_per_gpu() {
+        let mut mem = MemoryTracker::with_capacities(vec![100, 200]);
+        assert_eq!(mem.capacity_of(GpuId(0)), 100);
+        assert_eq!(mem.capacity_of(GpuId(1)), 200);
+        assert_eq!(mem.capacity(), 100, "uniform view is the straggler");
+        assert!(mem.alloc(GpuId(0), 150).is_err());
+        assert!(mem.alloc(GpuId(1), 150).is_ok());
+        assert!(mem.alloc(GpuId(2), 1).is_err(), "unknown GPUs have none");
     }
 }

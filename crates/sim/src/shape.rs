@@ -3,31 +3,86 @@
 //! A bare SP *degree* under-specifies a group's cost: a degree-8 group
 //! confined to one node rides NVLink for every All-to-All byte, while the
 //! same degree spread over two nodes pays the NIC for roughly half its
-//! egress. [`GroupShape`] — degree × nodes spanned — is the placement
+//! egress — and on a mixed-SKU cluster the same shape runs at the speed
+//! of its **slowest** member GPU (the Ulysses straggler rule).
+//! [`GroupShape`] — degree × nodes spanned × SKU class — is the placement
 //! class the planner stack keys its cost fits and MILP decisions by, and
 //! [`NodeSlots`] is the per-node free-GPU ledger the placement engine
 //! packs those shapes onto.
+//!
+//! [`Topology`] is a **node list**: every node carries its own width and
+//! [`SkuId`], so mixed A100/H100 clusters, uneven node widths, and
+//! partially reserved nodes are all first-class. The uniform constructors
+//! ([`Topology::new`]) are preserved for the homogeneous presets.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for how these types
+//! thread through the solve → place → execute pipeline.
 
 use std::fmt;
 
 use crate::group::{DeviceGroup, GpuId};
 use crate::spec::ClusterSpec;
 
-/// Node-level geometry of a cluster: how many nodes, how wide each one is.
+/// Identifier of a GPU SKU class within one cluster.
+///
+/// Ids are assigned by [`ClusterSpec`] constructors in **descending
+/// capability order**: `SkuId(0)` is the fastest SKU present. That makes
+/// "the slowest member of a group" simply the member with the *largest*
+/// `SkuId` — the convention [`GroupShape::of`] uses to classify groups
+/// whose members straddle SKU classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SkuId(pub u8);
+
+impl fmt::Display for SkuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One node of a (possibly heterogeneous) cluster: how many GPUs it
+/// contributes and which SKU class they belong to.
+///
+/// A partially reserved node is simply a `NodeSpec` with a smaller
+/// `width` — the planner never sees the reserved slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeSpec {
+    /// GPUs this node contributes to the cluster.
+    pub width: u32,
+    /// SKU class of those GPUs.
+    pub sku: SkuId,
+}
+
+impl NodeSpec {
+    /// Creates a node spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u32, sku: SkuId) -> Self {
+        assert!(width > 0, "nodes need at least one GPU");
+        Self { width, sku }
+    }
+}
+
+/// Node-level geometry of a cluster: an explicit **list of nodes**, each
+/// with its own width and SKU class.
 ///
 /// This is the slice of [`ClusterSpec`] that placement decisions depend
 /// on; it travels with fitted cost models so planners can reason about
 /// node capacity without dragging the full performance constants along.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// GPU ids are node-major: node `n` owns the contiguous id range
+/// `[node_start(n), node_start(n) + node_width(n))`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Topology {
-    /// Number of nodes.
-    pub num_nodes: u32,
-    /// GPUs per node.
-    pub gpus_per_node: u32,
+    nodes: Vec<NodeSpec>,
+    /// Prefix sums of widths: `starts[n]` is the first GPU id of node `n`;
+    /// `starts[num_nodes]` is the total GPU count.
+    starts: Vec<u32>,
 }
 
 impl Topology {
-    /// Creates a topology.
+    /// A uniform topology: `num_nodes` identical nodes of `gpus_per_node`
+    /// GPUs, all of SKU class 0 (the homogeneous presets).
     ///
     /// # Panics
     ///
@@ -35,55 +90,221 @@ impl Topology {
     pub fn new(num_nodes: u32, gpus_per_node: u32) -> Self {
         assert!(num_nodes > 0, "topology needs at least one node");
         assert!(gpus_per_node > 0, "nodes need at least one GPU");
-        Self {
-            num_nodes,
-            gpus_per_node,
+        Self::from_nodes(vec![
+            NodeSpec::new(gpus_per_node, SkuId(0));
+            num_nodes as usize
+        ])
+    }
+
+    /// A topology from an explicit node list (mixed SKUs, uneven widths,
+    /// partially reserved nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or any node has zero width.
+    pub fn from_nodes(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "topology needs at least one node");
+        let mut starts = Vec::with_capacity(nodes.len() + 1);
+        let mut acc = 0u32;
+        for n in &nodes {
+            assert!(n.width > 0, "nodes need at least one GPU");
+            starts.push(acc);
+            acc += n.width;
         }
+        starts.push(acc);
+        Self { nodes, starts }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.nodes.len() as u32
     }
 
     /// Total GPU count.
     pub fn num_gpus(&self) -> u32 {
-        self.num_nodes * self.gpus_per_node
+        *self.starts.last().expect("non-empty")
     }
 
-    /// The fewest nodes a degree-`degree` group can span.
+    /// The node list.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// GPUs on node `node`.
+    pub fn node_width(&self, node: u32) -> u32 {
+        self.nodes[node as usize].width
+    }
+
+    /// SKU class of node `node`.
+    pub fn node_sku(&self, node: u32) -> SkuId {
+        self.nodes[node as usize].sku
+    }
+
+    /// First GPU id of node `node`.
+    pub fn node_start(&self, node: u32) -> u32 {
+        self.starts[node as usize]
+    }
+
+    /// The node hosting `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is outside the cluster.
+    pub fn node_of(&self, gpu: GpuId) -> u32 {
+        assert!(gpu.0 < self.num_gpus(), "{gpu} outside the cluster");
+        // starts is sorted; find the last start ≤ gpu.
+        (self.starts.partition_point(|&s| s <= gpu.0) - 1) as u32
+    }
+
+    /// The widest node.
+    pub fn max_width(&self) -> u32 {
+        self.nodes.iter().map(|n| n.width).max().expect("non-empty")
+    }
+
+    /// The common node width, or `None` if widths differ.
+    pub fn uniform_width(&self) -> Option<u32> {
+        let w = self.nodes[0].width;
+        self.nodes.iter().all(|n| n.width == w).then_some(w)
+    }
+
+    /// The distinct SKU classes present, ascending (fastest first).
+    pub fn skus(&self) -> Vec<SkuId> {
+        let mut out: Vec<SkuId> = self.nodes.iter().map(|n| n.sku).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The slowest SKU class present (largest id, by the fastest-first
+    /// convention).
+    pub fn slowest_sku(&self) -> SkuId {
+        self.nodes.iter().map(|n| n.sku).max().expect("non-empty")
+    }
+
+    /// True if every node carries the same SKU.
+    pub fn is_single_sku(&self) -> bool {
+        self.skus().len() == 1
+    }
+
+    /// Total GPUs of SKU class `sku`.
+    pub fn sku_gpus(&self, sku: SkuId) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.sku == sku)
+            .map(|n| n.width)
+            .sum()
+    }
+
+    /// Number of nodes of SKU class `sku`.
+    pub fn sku_nodes(&self, sku: SkuId) -> u32 {
+        self.nodes.iter().filter(|n| n.sku == sku).count() as u32
+    }
+
+    /// The fewest nodes a degree-`degree` group can span (greedy over the
+    /// widest nodes). Saturates at the node count when `degree` exceeds
+    /// the cluster.
     pub fn min_span(&self, degree: u32) -> u32 {
-        degree.div_ceil(self.gpus_per_node)
+        min_span_over(self.nodes.iter().map(|n| n.width), degree)
+            .unwrap_or_else(|| self.num_nodes())
+    }
+
+    /// The fewest nodes of SKU class `sku` a degree-`degree` group can
+    /// span, or `None` if the class cannot host the group alone.
+    pub fn min_span_sku(&self, degree: u32, sku: SkuId) -> Option<u32> {
+        min_span_over(
+            self.nodes.iter().filter(|n| n.sku == sku).map(|n| n.width),
+            degree,
+        )
     }
 
     /// The most intra-node groups of `degree` GPUs the cluster can host.
     pub fn intra_capacity(&self, degree: u32) -> u32 {
-        self.num_nodes * (self.gpus_per_node / degree.max(1))
+        self.nodes.iter().map(|n| n.width / degree.max(1)).sum()
     }
+
+    /// The most intra-node groups of `degree` GPUs the SKU-`sku` nodes can
+    /// host.
+    pub fn intra_capacity_sku(&self, degree: u32, sku: SkuId) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.sku == sku)
+            .map(|n| n.width / degree.max(1))
+            .sum()
+    }
+}
+
+/// Minimum number of bins from `widths` whose sum covers `degree`
+/// (largest-first greedy); `None` if the total falls short.
+fn min_span_over(widths: impl Iterator<Item = u32>, degree: u32) -> Option<u32> {
+    let mut ws: Vec<u32> = widths.collect();
+    ws.sort_unstable_by(|a, b| b.cmp(a));
+    let mut remaining = degree;
+    let mut span = 0u32;
+    for w in ws {
+        if remaining == 0 {
+            break;
+        }
+        remaining = remaining.saturating_sub(w);
+        span += 1;
+    }
+    (remaining == 0).then(|| span.max(1))
 }
 
 impl From<&ClusterSpec> for Topology {
     fn from(c: &ClusterSpec) -> Self {
-        Topology::new(c.num_nodes, c.gpus_per_node)
+        c.topology().clone()
     }
 }
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", self.num_nodes, self.gpus_per_node)
+        // Collapse runs of identical nodes: "4x8", "2x8+2x8#1", "3x8+1x4".
+        let mut runs: Vec<(NodeSpec, u32)> = Vec::new();
+        for n in &self.nodes {
+            match runs.last_mut() {
+                Some((spec, c)) if spec == n => *c += 1,
+                _ => runs.push((*n, 1)),
+            }
+        }
+        let parts: Vec<String> = runs
+            .into_iter()
+            .map(|(n, c)| {
+                if n.sku == SkuId(0) {
+                    format!("{c}x{}", n.width)
+                } else {
+                    format!("{c}x{}#{}", n.width, n.sku.0)
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join("+"))
     }
 }
 
-/// A group's placement class: its parallelism degree and how many nodes
-/// its members are spread across. Two groups of equal degree but
-/// different span have very different All-to-All profiles, so the whole
-/// planner stack — cost fits, MILP variables, plans — is keyed by shape,
-/// not by bare degree.
+/// A group's placement class: its parallelism degree, how many nodes its
+/// members are spread across, and the SKU class it executes at. Two
+/// groups of equal degree but different span have very different
+/// All-to-All profiles, and two groups of equal shape on different SKUs
+/// have different compute profiles — so the whole planner stack — cost
+/// fits, MILP variables, plans — is keyed by this triple, not by bare
+/// degree.
+///
+/// The `sku` of a *mixed* group (members on nodes of several SKU classes)
+/// is the **slowest** member class: with FLOPs split evenly, the slowest
+/// GPU gates the group (the straggler rule DeepSpeed-Ulysses notes for
+/// All-to-All applies equally to compute).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupShape {
     /// Parallelism degree (member GPU count).
     pub degree: u32,
     /// Distinct nodes the members occupy (1 = intra-node).
     pub nodes_spanned: u32,
+    /// SKU class the group executes at (slowest member class).
+    pub sku: SkuId,
 }
 
 impl GroupShape {
-    /// Creates a shape.
+    /// Creates a shape of SKU class 0 (the only class on homogeneous
+    /// clusters).
     ///
     /// # Panics
     ///
@@ -98,24 +319,34 @@ impl GroupShape {
         Self {
             degree,
             nodes_spanned,
+            sku: SkuId(0),
         }
     }
 
-    /// An intra-node shape.
+    /// The same shape pinned to SKU class `sku`.
+    pub fn with_sku(mut self, sku: SkuId) -> Self {
+        self.sku = sku;
+        self
+    }
+
+    /// An intra-node shape (SKU class 0).
     pub fn intra(degree: u32) -> Self {
         Self::new(degree, 1)
     }
 
-    /// The tightest shape for `degree` on nodes of `gpus_per_node` GPUs
-    /// (spans the minimum number of nodes).
+    /// The tightest shape for `degree` on *uniform* nodes of
+    /// `gpus_per_node` GPUs (spans the minimum number of nodes; SKU
+    /// class 0). Heterogeneous portfolios come from [`enumerate_shapes`].
     pub fn packed(degree: u32, gpus_per_node: u32) -> Self {
         assert!(gpus_per_node > 0, "nodes need at least one GPU");
         Self::new(degree, degree.div_ceil(gpus_per_node))
     }
 
-    /// The shape of a concrete device group.
-    pub fn of(group: &DeviceGroup, gpus_per_node: u32) -> Self {
-        Self::new(group.degree(), group.nodes_spanned(gpus_per_node))
+    /// The placement class a concrete device group realizes on `topo`:
+    /// its degree, the distinct nodes it touches, and its **slowest**
+    /// member SKU class.
+    pub fn of(group: &DeviceGroup, topo: &Topology) -> Self {
+        Self::new(group.degree(), group.nodes_spanned_on(topo)).with_sku(group.slowest_sku(topo))
     }
 
     /// True if the shape keeps all members on one node.
@@ -128,18 +359,41 @@ impl GroupShape {
         self.degree.div_ceil(self.nodes_spanned)
     }
 
-    /// True if the shape fits `topo` at all (enough nodes, and the
-    /// balanced per-node share fits a node).
+    /// True if the shape fits `topo` at all: its SKU class can host it
+    /// (enough class nodes, balanced share within the class widths), or —
+    /// for cross-class shapes whose class cannot host them alone — the
+    /// whole cluster can.
     pub fn fits(&self, topo: &Topology) -> bool {
-        self.nodes_spanned <= topo.num_nodes && self.max_gpus_per_node() <= topo.gpus_per_node
+        if topo.min_span_sku(self.degree, self.sku).is_some() {
+            let class_max_width = topo
+                .nodes()
+                .iter()
+                .filter(|n| n.sku == self.sku)
+                .map(|n| n.width)
+                .max()
+                .unwrap_or(0);
+            self.nodes_spanned <= topo.sku_nodes(self.sku)
+                && self.max_gpus_per_node() <= class_max_width
+        } else {
+            self.degree <= topo.num_gpus()
+                && self.nodes_spanned <= topo.num_nodes()
+                && self.max_gpus_per_node() <= topo.max_width()
+        }
     }
 
-    /// Canonical label: `SP8` intra-node, `SP16/2n` spanning two nodes.
+    /// Canonical label: `SP8` intra-node, `SP16/2n` spanning two nodes,
+    /// with a `#k` suffix for SKU classes other than the fastest
+    /// (`SP8#1`, `SP16/2n#1`).
     pub fn label(&self) -> String {
-        if self.is_intra() {
+        let base = if self.is_intra() {
             format!("SP{}", self.degree)
         } else {
             format!("SP{}/{}n", self.degree, self.nodes_spanned)
+        };
+        if self.sku == SkuId(0) {
+            base
+        } else {
+            format!("{base}#{}", self.sku.0)
         }
     }
 }
@@ -151,24 +405,37 @@ impl fmt::Display for GroupShape {
 }
 
 /// The placement-class portfolio a planner should consider on `topo`: for
-/// every degree in `degrees` that fits the cluster, the tightest (packed)
-/// shape, plus — for degrees that fit a single node — a two-node spanning
-/// variant as the fragmentation fallback.
+/// every degree in `degrees` and every SKU class whose node pool can host
+/// the degree alone, the tightest (packed-within-class) shape, plus — for
+/// degrees that fit a single node of the class — a two-node spanning
+/// variant as the fragmentation fallback. Degrees larger than every
+/// single class (e.g. a whole-cluster group on a half A100 / half H100
+/// mix) get one **cross-class** shape at the cluster-wide minimal span,
+/// classed at the slowest SKU present (the straggler that will gate it).
 pub fn enumerate_shapes(topo: &Topology, degrees: &[u32]) -> Vec<GroupShape> {
     let mut shapes = Vec::new();
+    let skus = topo.skus();
     for &d in degrees {
         if d == 0 || d > topo.num_gpus() {
             continue;
         }
-        let packed = GroupShape::packed(d, topo.gpus_per_node);
-        if packed.fits(topo) {
+        let mut hosted = false;
+        for &sku in &skus {
+            let Some(span) = topo.min_span_sku(d, sku) else {
+                continue;
+            };
+            hosted = true;
+            let packed = GroupShape::new(d, span).with_sku(sku);
             shapes.push(packed);
-        }
-        if d >= 2 && packed.is_intra() && topo.num_nodes >= 2 {
-            let spanning = GroupShape::new(d, 2);
-            if spanning.fits(topo) {
-                shapes.push(spanning);
+            if d >= 2 && packed.is_intra() && topo.sku_nodes(sku) >= 2 {
+                let spanning = GroupShape::new(d, 2).with_sku(sku);
+                if spanning.fits(topo) {
+                    shapes.push(spanning);
+                }
             }
+        }
+        if !hosted {
+            shapes.push(GroupShape::new(d, topo.min_span(d)).with_sku(topo.slowest_sku()));
         }
     }
     shapes.sort_unstable();
@@ -177,11 +444,11 @@ pub fn enumerate_shapes(topo: &Topology, degrees: &[u32]) -> Vec<GroupShape> {
 }
 
 impl DeviceGroup {
-    /// A concrete group realizing `shape` with members spread as evenly
-    /// as possible over nodes `start_node .. start_node + span` of a
-    /// cluster with `gpus_per_node`-wide nodes (each node contributes its
-    /// lowest-indexed GPUs). This is the canonical layout the profiler
-    /// measures a shape at.
+    /// A concrete group realizing `shape` on *uniform* nodes of
+    /// `gpus_per_node` GPUs, members spread as evenly as possible over
+    /// nodes `start_node .. start_node + span` (each node contributes its
+    /// lowest-indexed GPUs). Heterogeneous layouts come from
+    /// [`DeviceGroup::for_shape_on`].
     ///
     /// # Panics
     ///
@@ -202,6 +469,64 @@ impl DeviceGroup {
         }
         DeviceGroup::from_gpus(gpus)
     }
+
+    /// A concrete group realizing `shape` on `topo`: members spread as
+    /// evenly as the node widths allow over `shape.nodes_spanned`
+    /// consecutive candidate nodes, starting at the `start_index`-th
+    /// candidate. Candidates are the nodes of `shape.sku` when that class
+    /// can host the shape alone, and all nodes otherwise (cross-class
+    /// shapes), ordered **widest first** — the same greedy that computed
+    /// the shape's minimal span, so a packed shape always fits its chosen
+    /// nodes regardless of how the node list is ordered. This is the
+    /// canonical layout the profiler measures a shape at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `start_index + nodes_spanned` candidate nodes
+    /// exist, or the chosen nodes cannot absorb the degree.
+    pub fn for_shape_on(shape: GroupShape, topo: &Topology, start_index: u32) -> Self {
+        let class_hosts = topo.min_span_sku(shape.degree, shape.sku).is_some();
+        let mut candidates: Vec<u32> = (0..topo.num_nodes())
+            .filter(|&n| !class_hosts || topo.node_sku(n) == shape.sku)
+            .collect();
+        candidates.sort_by_key(|&n| (std::cmp::Reverse(topo.node_width(n)), n));
+        let k = shape.nodes_spanned as usize;
+        let start = start_index as usize;
+        assert!(
+            start + k <= candidates.len(),
+            "{shape} needs {k} nodes from candidate {start} but only {} exist",
+            candidates.len()
+        );
+        let chosen = &candidates[start..start + k];
+        // Balanced split, water-filled past narrow nodes.
+        let base = shape.degree / k as u32;
+        let extra = shape.degree % k as u32;
+        let mut counts: Vec<u32> = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (base + u32::from((i as u32) < extra)).min(topo.node_width(n)))
+            .collect();
+        let mut remaining = shape.degree - counts.iter().sum::<u32>();
+        for (i, &n) in chosen.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let spare = topo.node_width(n) - counts[i];
+            let add = spare.min(remaining);
+            counts[i] += add;
+            remaining -= add;
+        }
+        assert!(
+            remaining == 0,
+            "{shape} does not fit nodes {chosen:?} of {topo}"
+        );
+        let mut gpus = Vec::with_capacity(shape.degree as usize);
+        for (i, &n) in chosen.iter().enumerate() {
+            let node_base = topo.node_start(n);
+            gpus.extend((node_base..node_base + counts[i]).map(GpuId));
+        }
+        DeviceGroup::from_gpus(gpus)
+    }
 }
 
 /// Per-node free-GPU ledger used by placement engines: which GPUs of each
@@ -215,17 +540,22 @@ pub struct NodeSlots {
 
 impl NodeSlots {
     /// A fully free cluster.
-    pub fn new(topo: Topology) -> Self {
-        let gpn = topo.gpus_per_node;
-        let free = (0..topo.num_nodes)
-            .map(|n| (n * gpn..(n + 1) * gpn).map(GpuId).collect())
+    pub fn new(topo: &Topology) -> Self {
+        let free = (0..topo.num_nodes())
+            .map(|n| {
+                let s = topo.node_start(n);
+                (s..s + topo.node_width(n)).map(GpuId).collect()
+            })
             .collect();
-        Self { topo, free }
+        Self {
+            topo: topo.clone(),
+            free,
+        }
     }
 
     /// The topology this ledger tracks.
-    pub fn topology(&self) -> Topology {
-        self.topo
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Free GPUs on `node`.
@@ -241,7 +571,7 @@ impl NodeSlots {
     /// The node with the most free GPUs (lowest index wins ties), or
     /// `None` if the cluster is fully allocated.
     pub fn most_free_node(&self) -> Option<u32> {
-        (0..self.topo.num_nodes)
+        (0..self.topo.num_nodes())
             .filter(|&n| self.free_on(n) > 0)
             .max_by_key(|&n| (self.free_on(n), std::cmp::Reverse(n)))
     }
@@ -261,29 +591,57 @@ impl NodeSlots {
         slot.drain(..count as usize).collect()
     }
 
+    /// Nodes with free GPUs in the order a packed draw visits them:
+    /// SKU-matching nodes first when a preference is given, fullest
+    /// first, lowest index breaking ties. Draining a node does not change
+    /// the others' counts, so one precomputed order describes the whole
+    /// draw — previews and commits agree by construction.
+    fn draw_order(&self, prefer: Option<SkuId>) -> Vec<u32> {
+        let mut nodes: Vec<u32> = (0..self.topo.num_nodes())
+            .filter(|&n| self.free_on(n) > 0)
+            .collect();
+        nodes.sort_by_key(|&n| {
+            (
+                prefer.is_some_and(|s| self.topo.node_sku(n) != s),
+                std::cmp::Reverse(self.free_on(n)),
+                n,
+            )
+        });
+        nodes
+    }
+
     /// The span a [`take_packed`](NodeSlots::take_packed) draw of
     /// `degree` GPUs would realize right now, without committing it —
     /// `None` if fewer than `degree` GPUs are free. Planners use this to
     /// price a prospective group at the placement class it would actually
     /// get.
     pub fn span_if_packed(&self, degree: u32) -> Option<u32> {
-        if self.total_free() < degree {
+        self.class_if_packed(degree, None).map(|s| s.nodes_spanned)
+    }
+
+    /// The full placement class — span *and* slowest-member SKU — a
+    /// [`take_packed_for`](NodeSlots::take_packed_for) draw of `degree`
+    /// GPUs preferring SKU `prefer` would realize, without committing it.
+    pub fn class_if_packed_for(&self, degree: u32, prefer: SkuId) -> Option<GroupShape> {
+        self.class_if_packed(degree, Some(prefer))
+    }
+
+    fn class_if_packed(&self, degree: u32, prefer: Option<SkuId>) -> Option<GroupShape> {
+        if degree == 0 || self.total_free() < degree {
             return None;
         }
-        // Walking the free counts in descending order reproduces the
-        // fullest-node-first draw of `take_packed` exactly.
-        let mut counts: Vec<u32> = self.free.iter().map(|f| f.len() as u32).collect();
-        counts.sort_unstable_by(|a, b| b.cmp(a));
         let mut remaining = degree;
         let mut span = 0u32;
-        for c in counts {
-            if remaining == 0 || c == 0 {
+        let mut sku = SkuId(0);
+        for n in self.draw_order(prefer) {
+            if remaining == 0 {
                 break;
             }
-            remaining -= remaining.min(c);
+            remaining -= remaining.min(self.free_on(n));
             span += 1;
+            sku = sku.max(self.topo.node_sku(n));
         }
-        Some(span.max(1))
+        Some(GroupShape::new(degree, span.max(1)).with_sku(sku))
     }
 
     /// Takes `degree` GPUs greedily from the fullest nodes — the packing
@@ -291,17 +649,34 @@ impl NodeSlots {
     /// Returns `None` (ledger untouched) if fewer than `degree` GPUs are
     /// free in total.
     pub fn take_packed(&mut self, degree: u32) -> Option<DeviceGroup> {
-        if self.total_free() < degree {
+        self.take_ordered(degree, None)
+    }
+
+    /// Takes `degree` GPUs with **SKU affinity**: nodes of class `prefer`
+    /// are drained first (fullest first), other classes only when the
+    /// preferred class runs dry — so groups stay SKU-homogeneous whenever
+    /// the preferred class has room, and mix (realizing a slower class)
+    /// only under genuine scarcity. Returns `None` (ledger untouched) if
+    /// fewer than `degree` GPUs are free in total.
+    pub fn take_packed_for(&mut self, degree: u32, prefer: SkuId) -> Option<DeviceGroup> {
+        self.take_ordered(degree, Some(prefer))
+    }
+
+    fn take_ordered(&mut self, degree: u32, prefer: Option<SkuId>) -> Option<DeviceGroup> {
+        if degree == 0 || self.total_free() < degree {
             return None;
         }
         let mut gpus = Vec::with_capacity(degree as usize);
         let mut remaining = degree;
-        while remaining > 0 {
-            let node = self.most_free_node().expect("free GPUs remain");
-            let take = remaining.min(self.free_on(node));
-            gpus.extend(self.take(node, take));
+        for n in self.draw_order(prefer) {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.free_on(n));
+            gpus.extend(self.take(n, take));
             remaining -= take;
         }
+        debug_assert_eq!(remaining, 0, "total_free checked upfront");
         Some(DeviceGroup::from_gpus(gpus))
     }
 }
@@ -309,6 +684,16 @@ impl NodeSlots {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn mixed_topo() -> Topology {
+        // Two 8-GPU fast nodes, two 8-GPU slow nodes.
+        Topology::from_nodes(vec![
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(1)),
+            NodeSpec::new(8, SkuId(1)),
+        ])
+    }
 
     #[test]
     fn packed_shapes_span_minimally() {
@@ -321,12 +706,27 @@ mod tests {
 
     #[test]
     fn shape_of_concrete_groups() {
+        let topo = Topology::new(2, 8);
         let g = DeviceGroup::for_shape(GroupShape::new(8, 2), 8, 0);
-        assert_eq!(GroupShape::of(&g, 8), GroupShape::new(8, 2));
+        assert_eq!(GroupShape::of(&g, &topo), GroupShape::new(8, 2));
         assert_eq!(g.gpus().len(), 8);
         // Balanced 4 + 4 split across nodes 0 and 1.
         assert_eq!(g.gpus()[3].0, 3);
         assert_eq!(g.gpus()[4].0, 8);
+    }
+
+    #[test]
+    fn shape_of_mixed_group_takes_slowest_sku() {
+        let topo = mixed_topo();
+        // GPUs 12..20 straddle the fast/slow boundary at GPU 16.
+        let g = DeviceGroup::from_gpus((12..20).map(GpuId).collect());
+        let s = GroupShape::of(&g, &topo);
+        assert_eq!(s.degree, 8);
+        assert_eq!(s.nodes_spanned, 2);
+        assert_eq!(s.sku, SkuId(1), "mixed groups class at the straggler");
+        // A fully slow-class group classes at the slow SKU too.
+        let slow = DeviceGroup::from_gpus((16..24).map(GpuId).collect());
+        assert_eq!(GroupShape::of(&slow, &topo).sku, SkuId(1));
     }
 
     #[test]
@@ -358,8 +758,65 @@ mod tests {
     }
 
     #[test]
+    fn enumerate_on_mixed_skus_has_class_variants() {
+        let topo = mixed_topo();
+        let shapes = enumerate_shapes(&topo, &[1, 2, 4, 8, 16, 32]);
+        // Each class gets its own intra-node degree-8 shape.
+        assert!(shapes.contains(&GroupShape::intra(8)));
+        assert!(shapes.contains(&GroupShape::intra(8).with_sku(SkuId(1))));
+        // Degree 16 fits either class alone (2 nodes each).
+        assert!(shapes.contains(&GroupShape::new(16, 2)));
+        assert!(shapes.contains(&GroupShape::new(16, 2).with_sku(SkuId(1))));
+        // Degree 32 fits no class alone: one cross-class shape at the
+        // slowest SKU.
+        let d32: Vec<_> = shapes.iter().filter(|s| s.degree == 32).collect();
+        assert_eq!(d32.len(), 1, "{d32:?}");
+        assert_eq!(d32[0].nodes_spanned, 4);
+        assert_eq!(d32[0].sku, SkuId(1));
+    }
+
+    #[test]
+    fn for_shape_on_places_within_class() {
+        let topo = mixed_topo();
+        let slow_intra = GroupShape::intra(8).with_sku(SkuId(1));
+        let g = DeviceGroup::for_shape_on(slow_intra, &topo, 0);
+        assert_eq!(g.gpus()[0].0, 16, "first slow node starts at GPU 16");
+        assert_eq!(GroupShape::of(&g, &topo), slow_intra);
+        // Cross-class whole-cluster group touches everything.
+        let all = GroupShape::new(32, 4).with_sku(SkuId(1));
+        let g = DeviceGroup::for_shape_on(all, &topo, 0);
+        assert_eq!(GroupShape::of(&g, &topo), all);
+    }
+
+    #[test]
+    fn for_shape_on_is_node_order_independent() {
+        // Narrow nodes listed first: the minimal span of degree 8 is one
+        // node (the 8-wide one), and the canonical layout must find it
+        // rather than panic on node 0.
+        let topo = Topology::from_nodes(vec![
+            NodeSpec::new(4, SkuId(0)),
+            NodeSpec::new(4, SkuId(0)),
+            NodeSpec::new(8, SkuId(0)),
+        ]);
+        let g = DeviceGroup::for_shape_on(GroupShape::intra(8), &topo, 0);
+        assert_eq!(GroupShape::of(&g, &topo), GroupShape::intra(8));
+        assert_eq!(g.gpus()[0].0, 8, "lands on the wide node");
+    }
+
+    #[test]
+    fn for_shape_on_waterfills_uneven_widths() {
+        // 4-wide + 8-wide nodes: a balanced 6+6 split of degree 12 cannot
+        // fit the narrow node; the layout spills the excess to the wide one.
+        let topo =
+            Topology::from_nodes(vec![NodeSpec::new(4, SkuId(0)), NodeSpec::new(8, SkuId(0))]);
+        let g = DeviceGroup::for_shape_on(GroupShape::new(12, 2), &topo, 0);
+        assert_eq!(g.degree(), 12);
+        assert_eq!(GroupShape::of(&g, &topo).nodes_spanned, 2);
+    }
+
+    #[test]
     fn node_slots_pack_greedily() {
-        let mut slots = NodeSlots::new(Topology::new(2, 8));
+        let mut slots = NodeSlots::new(&Topology::new(2, 8));
         let a = slots.take_packed(8).unwrap();
         assert!(a.is_intra_node(8));
         let b = slots.take_packed(4).unwrap();
@@ -372,7 +829,7 @@ mod tests {
 
     #[test]
     fn node_slots_span_when_fragmented() {
-        let mut slots = NodeSlots::new(Topology::new(2, 6));
+        let mut slots = NodeSlots::new(&Topology::new(2, 6));
         slots.take_packed(4).unwrap();
         slots.take_packed(4).unwrap();
         // 2 + 2 GPUs left on two nodes: a degree-4 group must span, and
@@ -385,6 +842,39 @@ mod tests {
     }
 
     #[test]
+    fn sku_affinity_keeps_classes_homogeneous() {
+        let topo = mixed_topo();
+        let mut slots = NodeSlots::new(&topo);
+        // Preview and commit agree, and a slow-class draw skips the
+        // (equally full) fast nodes entirely.
+        let preview = slots.class_if_packed_for(8, SkuId(1)).unwrap();
+        assert_eq!(preview, GroupShape::intra(8).with_sku(SkuId(1)));
+        let g = slots.take_packed_for(8, SkuId(1)).unwrap();
+        assert_eq!(GroupShape::of(&g, &topo), preview);
+        // Fast-class draws still have both fast nodes.
+        let g = slots.take_packed_for(16, SkuId(0)).unwrap();
+        assert_eq!(
+            GroupShape::of(&g, &topo),
+            GroupShape::new(16, 2).with_sku(SkuId(0))
+        );
+    }
+
+    #[test]
+    fn sku_affinity_spills_only_under_scarcity() {
+        let topo = mixed_topo();
+        let mut slots = NodeSlots::new(&topo);
+        slots.take_packed_for(16, SkuId(0)).unwrap(); // drain the fast class
+        let preview = slots.class_if_packed_for(8, SkuId(0)).unwrap();
+        assert_eq!(
+            preview.sku,
+            SkuId(1),
+            "spilled draw must class at the realized (slow) SKU"
+        );
+        let g = slots.take_packed_for(8, SkuId(0)).unwrap();
+        assert_eq!(GroupShape::of(&g, &topo), preview);
+    }
+
+    #[test]
     fn min_span_and_capacity() {
         let topo = Topology::new(4, 6);
         assert_eq!(topo.min_span(4), 1);
@@ -392,5 +882,29 @@ mod tests {
         assert_eq!(topo.intra_capacity(4), 4);
         assert_eq!(topo.intra_capacity(2), 12);
         assert_eq!(topo.num_gpus(), 24);
+    }
+
+    #[test]
+    fn uneven_widths_and_gpu_node_mapping() {
+        let topo = Topology::from_nodes(vec![
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(4, SkuId(0)),
+            NodeSpec::new(8, SkuId(1)),
+        ]);
+        assert_eq!(topo.num_gpus(), 20);
+        assert_eq!(topo.node_of(GpuId(0)), 0);
+        assert_eq!(topo.node_of(GpuId(7)), 0);
+        assert_eq!(topo.node_of(GpuId(8)), 1);
+        assert_eq!(topo.node_of(GpuId(11)), 1);
+        assert_eq!(topo.node_of(GpuId(12)), 2);
+        assert_eq!(topo.node_of(GpuId(19)), 2);
+        assert_eq!(topo.uniform_width(), None);
+        assert_eq!(topo.max_width(), 8);
+        assert_eq!(topo.min_span(12), 2, "two widest nodes cover 12");
+        assert_eq!(topo.min_span_sku(12, SkuId(0)), Some(2));
+        assert_eq!(topo.min_span_sku(12, SkuId(1)), None);
+        assert_eq!(topo.sku_gpus(SkuId(0)), 12);
+        assert_eq!(topo.slowest_sku(), SkuId(1));
+        assert_eq!(format!("{topo}"), "1x8+1x4+1x8#1");
     }
 }

@@ -2,19 +2,22 @@
 
 use std::fmt;
 
-use crate::shape::Topology;
+use crate::group::{DeviceGroup, GpuId};
+use crate::shape::{NodeSpec, SkuId, Topology};
 
 /// Rejected [`ClusterSpec`] parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpecError {
-    /// `num_nodes` was zero.
+    /// `num_nodes` was zero (or the node list was empty).
     NoNodes,
-    /// `gpus_per_node` was zero.
+    /// A node's GPU count was zero.
     NoGpusPerNode,
     /// A bandwidth constant was zero, negative, or non-finite.
     BadBandwidth(&'static str),
     /// A GPU compute constant was zero, negative, or non-finite.
     BadCompute(&'static str),
+    /// More distinct GPU SKUs than [`SkuId`] can index (255).
+    TooManySkus,
 }
 
 impl fmt::Display for SpecError {
@@ -28,6 +31,7 @@ impl fmt::Display for SpecError {
             SpecError::BadCompute(which) => {
                 write!(f, "GPU constant `{which}` must be positive and finite")
             }
+            SpecError::TooManySkus => write!(f, "at most 255 distinct GPU SKUs supported"),
         }
     }
 }
@@ -68,29 +72,59 @@ pub struct InterconnectSpec {
     pub nic_latency_s: f64,
 }
 
-/// A homogeneous GPU cluster: `num_nodes × gpus_per_node` devices.
+/// A GPU cluster: an explicit node list (per-node widths and SKU classes)
+/// plus per-SKU compute constants and one shared interconnect fabric.
+///
+/// Uniform clusters come from [`ClusterSpec::new`] and the presets; mixed
+/// A100/H100 or partially reserved clusters from [`ClusterSpec::from_nodes`]
+/// (or the [`ClusterSpec::a100_h100_mix`] preset). SKU ids are assigned in
+/// **descending capability order** — `SkuId(0)` is the fastest SKU — so
+/// the slowest member of any group is the one with the largest id (the
+/// straggler convention `flexsp-cost` and the planner rely on).
 ///
 /// The [`ClusterSpec::a100_cluster`] preset reproduces the paper's testbed
 /// constants; with them, the simulator re-derives Table 1 (e.g. ≈54 % of a
 /// GPT-7B iteration in All-to-All at SP = 64, ≈8 % at SP = 8, and the OOM
 /// boundary between 6K and 8K tokens per GPU).
+///
+/// # Examples
+///
+/// ```
+/// use flexsp_sim::{ClusterSpec, SkuId};
+///
+/// // The paper's homogeneous testbed: 8 nodes × 8 A100.
+/// let uniform = ClusterSpec::a100_cluster(8);
+/// assert_eq!(uniform.num_gpus(), 64);
+/// assert_eq!(uniform.topology().skus(), vec![SkuId(0)]);
+///
+/// // A mixed reservation: 2 nodes of 8 A100 plus 2 nodes of 8 H100.
+/// // SKU 0 is the faster H100, SKU 1 the A100 (fastest-first ordering).
+/// let mixed = ClusterSpec::a100_h100_mix(2, 2, 8);
+/// assert_eq!(mixed.num_gpus(), 32);
+/// assert_eq!(mixed.topology().skus(), vec![SkuId(0), SkuId(1)]);
+/// assert!(mixed.sku_spec(SkuId(0)).peak_flops > mixed.sku_spec(SkuId(1)).peak_flops);
+///
+/// // A partially reserved cluster: one node only contributes 4 GPUs.
+/// let reserved = ClusterSpec::from_nodes(
+///     vec![(8, ClusterSpec::a100_gpu()), (4, ClusterSpec::a100_gpu())],
+///     ClusterSpec::a100_net(),
+/// ).unwrap();
+/// assert_eq!(reserved.num_gpus(), 12);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
-    /// Number of nodes.
-    pub num_nodes: u32,
-    /// GPUs per node (8 on the paper's testbed).
-    pub gpus_per_node: u32,
-    /// GPU characteristics.
-    pub gpu: GpuSpec,
-    /// Link characteristics.
+    topo: Topology,
+    /// Per-SKU compute constants, indexed by [`SkuId`], fastest first.
+    skus: Vec<GpuSpec>,
+    /// Link characteristics (one shared fabric).
     pub net: InterconnectSpec,
 }
 
 impl ClusterSpec {
-    /// Validating constructor: rejects degenerate topologies
-    /// (`num_nodes == 0`, `gpus_per_node == 0`) and non-positive or
-    /// non-finite bandwidth constants before they can poison downstream
-    /// cost fits with NaNs or divide-by-zero.
+    /// Validating constructor for a **uniform** cluster: rejects
+    /// degenerate topologies (`num_nodes == 0`, `gpus_per_node == 0`) and
+    /// non-positive or non-finite bandwidth constants before they can
+    /// poison downstream cost fits with NaNs or divide-by-zero.
     ///
     /// # Errors
     ///
@@ -107,6 +141,25 @@ impl ClusterSpec {
         if gpus_per_node == 0 {
             return Err(SpecError::NoGpusPerNode);
         }
+        Self::from_nodes(vec![(gpus_per_node, gpu); num_nodes as usize], net)
+    }
+
+    /// Validating constructor from an explicit node list: each entry is
+    /// `(width, gpu_spec)`. Distinct GPU specs become SKU classes,
+    /// canonicalized **fastest first** (by peak FLOP/s, then utilization,
+    /// then memory), so `SkuId(0)` is always the fastest SKU present and
+    /// the largest id the slowest.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the first rejected parameter.
+    pub fn from_nodes(
+        nodes: Vec<(u32, GpuSpec)>,
+        net: InterconnectSpec,
+    ) -> Result<Self, SpecError> {
+        if nodes.is_empty() {
+            return Err(SpecError::NoNodes);
+        }
         let positive = |v: f64| v.is_finite() && v > 0.0;
         if !positive(net.nvlink_bw) {
             return Err(SpecError::BadBandwidth("nvlink_bw"));
@@ -114,15 +167,79 @@ impl ClusterSpec {
         if !positive(net.nic_bw_per_gpu) {
             return Err(SpecError::BadBandwidth("nic_bw_per_gpu"));
         }
-        if !positive(gpu.peak_flops) {
-            return Err(SpecError::BadCompute("peak_flops"));
+        let mut skus: Vec<GpuSpec> = Vec::new();
+        for (width, gpu) in &nodes {
+            if *width == 0 {
+                return Err(SpecError::NoGpusPerNode);
+            }
+            if !positive(gpu.peak_flops) {
+                return Err(SpecError::BadCompute("peak_flops"));
+            }
+            if !skus.contains(gpu) {
+                skus.push(*gpu);
+            }
         }
+        if skus.len() > u8::MAX as usize + 1 {
+            return Err(SpecError::TooManySkus);
+        }
+        // Canonical fastest-first SKU ordering.
+        skus.sort_by(|a, b| {
+            b.peak_flops
+                .total_cmp(&a.peak_flops)
+                .then(b.max_utilization.total_cmp(&a.max_utilization))
+                .then(b.mem_bytes.cmp(&a.mem_bytes))
+        });
+        let node_specs = nodes
+            .iter()
+            .map(|(width, gpu)| {
+                let id = skus.iter().position(|s| s == gpu).expect("collected above");
+                NodeSpec::new(*width, SkuId(id as u8))
+            })
+            .collect();
         Ok(Self {
-            num_nodes,
-            gpus_per_node,
-            gpu,
+            topo: Topology::from_nodes(node_specs),
+            skus,
             net,
         })
+    }
+
+    /// The calibrated A100-40GB constants of the paper's testbed.
+    pub fn a100_gpu() -> GpuSpec {
+        GpuSpec {
+            peak_flops: 312e12,
+            max_utilization: 0.58,
+            util_half_flops: 4e10,
+            kernel_launch_s: 6e-6,
+            // 40 GB minus ~3 GB CUDA/framework reserve.
+            mem_bytes: 37 * (1 << 30),
+        }
+    }
+
+    /// H100-80GB (SXM) constants for heterogeneous studies: ≈3× the A100's
+    /// dense bf16 peak, twice the memory, and a larger per-kernel FLOP
+    /// count needed to saturate the wider tensor cores.
+    pub fn h100_gpu() -> GpuSpec {
+        GpuSpec {
+            peak_flops: 989e12,
+            max_utilization: 0.52,
+            util_half_flops: 1.5e11,
+            kernel_launch_s: 5e-6,
+            // 80 GB minus ~4 GB CUDA/framework reserve.
+            mem_bytes: 76 * (1 << 30),
+        }
+    }
+
+    /// The paper testbed's interconnect constants (NVLink in the node,
+    /// 400 Gbps InfiniBand between nodes, per-GPU share at 8-wide nodes).
+    pub fn a100_net() -> InterconnectSpec {
+        InterconnectSpec {
+            nvlink_bw: 70e9,
+            nvlink_half_msg: 512e3,
+            nvlink_latency_s: 15e-6,
+            nic_bw_per_gpu: 6.25e9,
+            nic_half_msg: 128e3,
+            nic_latency_s: 30e-6,
+        }
     }
 
     /// The paper's testbed scaled to `num_nodes` nodes of 8× A100-40GB.
@@ -130,6 +247,13 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics if `num_nodes == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let c = flexsp_sim::ClusterSpec::a100_cluster(8);
+    /// assert_eq!(c.num_gpus(), 64);
+    /// ```
     pub fn a100_cluster(num_nodes: u32) -> Self {
         Self::a100_nodes_of(num_nodes, 8)
     }
@@ -142,37 +266,115 @@ impl ClusterSpec {
     ///
     /// Panics if either dimension is zero.
     pub fn a100_nodes_of(num_nodes: u32, gpus_per_node: u32) -> Self {
-        Self::new(
-            num_nodes,
-            gpus_per_node,
-            GpuSpec {
-                peak_flops: 312e12,
-                max_utilization: 0.58,
-                util_half_flops: 4e10,
-                kernel_launch_s: 6e-6,
-                // 40 GB minus ~3 GB CUDA/framework reserve.
-                mem_bytes: 37 * (1 << 30),
-            },
-            InterconnectSpec {
-                nvlink_bw: 70e9,
-                nvlink_half_msg: 512e3,
-                nvlink_latency_s: 15e-6,
-                nic_bw_per_gpu: 6.25e9,
-                nic_half_msg: 128e3,
-                nic_latency_s: 30e-6,
-            },
-        )
-        .expect("the A100 preset is valid for non-zero dimensions")
+        Self::new(num_nodes, gpus_per_node, Self::a100_gpu(), Self::a100_net())
+            .expect("the A100 preset is valid for non-zero dimensions")
+    }
+
+    /// An H100 cluster on the same fabric constants as the A100 preset
+    /// (the shared InfiniBand is the cluster property; NVLink generation
+    /// differences are folded into the compute constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn h100_nodes_of(num_nodes: u32, gpus_per_node: u32) -> Self {
+        Self::new(num_nodes, gpus_per_node, Self::h100_gpu(), Self::a100_net())
+            .expect("the H100 preset is valid for non-zero dimensions")
+    }
+
+    /// A mixed cluster: `a100_nodes` nodes of A100s followed by
+    /// `h100_nodes` nodes of H100s, all `gpus_per_node` wide, on the
+    /// shared fabric. The H100 is the faster SKU, so it canonicalizes to
+    /// `SkuId(0)` and the A100 to `SkuId(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both node counts are zero or the width is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flexsp_sim::{ClusterSpec, SkuId};
+    /// let c = ClusterSpec::a100_h100_mix(2, 2, 8);
+    /// assert_eq!(c.topology().sku_gpus(SkuId(0)), 16); // H100s
+    /// assert_eq!(c.topology().sku_gpus(SkuId(1)), 16); // A100s
+    /// ```
+    pub fn a100_h100_mix(a100_nodes: u32, h100_nodes: u32, gpus_per_node: u32) -> Self {
+        let mut nodes = Vec::new();
+        nodes.extend(std::iter::repeat_n(
+            (gpus_per_node, Self::a100_gpu()),
+            a100_nodes as usize,
+        ));
+        nodes.extend(std::iter::repeat_n(
+            (gpus_per_node, Self::h100_gpu()),
+            h100_nodes as usize,
+        ));
+        Self::from_nodes(nodes, Self::a100_net())
+            .expect("the mixed preset is valid for non-zero dimensions")
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.topo.num_nodes()
     }
 
     /// Total GPU count.
     pub fn num_gpus(&self) -> u32 {
-        self.num_nodes * self.gpus_per_node
+        self.topo.num_gpus()
     }
 
     /// The node-level geometry (for placement engines and cost models).
-    pub fn topology(&self) -> Topology {
-        Topology::new(self.num_nodes, self.gpus_per_node)
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The compute constants of the **primary** (fastest, `SkuId(0)`)
+    /// SKU — the only SKU on uniform clusters.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.skus[0]
+    }
+
+    /// The compute constants of SKU class `sku`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sku` is not a class of this cluster.
+    pub fn sku_spec(&self, sku: SkuId) -> &GpuSpec {
+        &self.skus[sku.0 as usize]
+    }
+
+    /// The per-SKU compute constants, fastest first.
+    pub fn sku_specs(&self) -> &[GpuSpec] {
+        &self.skus
+    }
+
+    /// SKU class of `gpu`.
+    pub fn sku_of_gpu(&self, gpu: GpuId) -> SkuId {
+        self.topo.node_sku(self.topo.node_of(gpu))
+    }
+
+    /// Usable memory of `gpu` in bytes.
+    pub fn mem_bytes_of(&self, gpu: GpuId) -> u64 {
+        self.sku_spec(self.sku_of_gpu(gpu)).mem_bytes
+    }
+
+    /// The smallest per-GPU memory across the SKUs present — the
+    /// "straggler memory" planners assume so a plan sized for the tightest
+    /// device never OOMs anywhere.
+    pub fn min_mem_bytes(&self) -> u64 {
+        self.skus
+            .iter()
+            .map(|s| s.mem_bytes)
+            .min()
+            .expect("at least one SKU")
+    }
+
+    /// Per-GPU memory budgets in GPU-id order (for executors tracking
+    /// heterogeneous capacities).
+    pub fn per_gpu_mem_budgets(&self) -> Vec<u64> {
+        (0..self.num_gpus())
+            .map(|g| self.mem_bytes_of(GpuId(g)))
+            .collect()
     }
 
     /// Effective NVLink bandwidth for per-peer messages of `msg` bytes.
@@ -192,15 +394,18 @@ impl ClusterSpec {
         )
     }
 
-    /// Whole-node NIC bandwidth (for node-aware collectives that ship each
-    /// byte across the fabric once per node).
-    pub fn node_nic_eff_bw(&self, msg: f64) -> f64 {
-        self.nic_eff_bw_per_gpu(msg) * self.gpus_per_node as f64
+    /// Whole-node NIC bandwidth for a node contributing `width` GPUs (for
+    /// node-aware collectives that ship each byte across the fabric once
+    /// per node). On heterogeneous spans, callers gate on the *narrowest*
+    /// participating node — All-to-All cost is dominated by the slowest
+    /// participating link (DeepSpeed-Ulysses).
+    pub fn node_nic_eff_bw(&self, width: u32, msg: f64) -> f64 {
+        self.nic_eff_bw_per_gpu(msg) * width as f64
     }
 
     /// Cluster-size bandwidth multiplier (≥ 1; larger on small clusters).
     pub fn inter_bw_derate(&self) -> f64 {
-        match self.num_nodes {
+        match self.num_nodes() {
             0 | 1 => 1.0, // unused intra-node
             2 => 1.6,
             3 | 4 => 1.25,
@@ -209,7 +414,9 @@ impl ClusterSpec {
     }
 
     /// Time to execute `flops` FLOPs split over `kernels` kernel launches
-    /// on one GPU, with the utilization ramp for small kernels.
+    /// on one GPU of the **primary** SKU, with the utilization ramp for
+    /// small kernels. Heterogeneous callers use
+    /// [`ClusterSpec::compute_time_on`] / [`ClusterSpec::group_compute_time`].
     ///
     /// The ramp is a *genuinely nonlinear* exponential saturation — a
     /// rational `pk/(pk+h)` ramp would make the time affine in FLOPs and
@@ -220,14 +427,37 @@ impl ClusterSpec {
     ///
     /// Panics if `flops` is negative.
     pub fn compute_time(&self, flops: f64, kernels: u64) -> f64 {
+        self.compute_time_on(SkuId(0), flops, kernels)
+    }
+
+    /// [`ClusterSpec::compute_time`] on one GPU of SKU class `sku`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flops` is negative or `sku` is not a class of this
+    /// cluster.
+    pub fn compute_time_on(&self, sku: SkuId, flops: f64, kernels: u64) -> f64 {
+        let gpu = self.sku_spec(sku);
         assert!(flops >= 0.0, "negative FLOPs");
         if flops == 0.0 {
-            return self.gpu.kernel_launch_s * kernels as f64;
+            return gpu.kernel_launch_s * kernels as f64;
         }
         let per_kernel = flops / kernels.max(1) as f64;
-        let ramp = 1.0 - (-per_kernel / self.gpu.util_half_flops).exp();
-        let util = self.gpu.max_utilization * ramp.max(1e-3);
-        flops / (self.gpu.peak_flops * util) + self.gpu.kernel_launch_s * kernels as f64
+        let ramp = 1.0 - (-per_kernel / gpu.util_half_flops).exp();
+        let util = gpu.max_utilization * ramp.max(1e-3);
+        flops / (gpu.peak_flops * util) + gpu.kernel_launch_s * kernels as f64
+    }
+
+    /// Time for a group whose members each execute `flops` FLOPs over
+    /// `kernels` launches: the **slowest member SKU** gates the group
+    /// (work is split evenly, so everyone waits for the straggler).
+    pub fn group_compute_time(&self, group: &DeviceGroup, flops: f64, kernels: u64) -> f64 {
+        let mut skus: Vec<SkuId> = group.gpus().iter().map(|&g| self.sku_of_gpu(g)).collect();
+        skus.sort_unstable();
+        skus.dedup();
+        skus.into_iter()
+            .map(|s| self.compute_time_on(s, flops, kernels))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -247,47 +477,74 @@ mod tests {
     fn preset_shape() {
         let c = ClusterSpec::a100_cluster(8);
         assert_eq!(c.num_gpus(), 64);
-        assert!(c.gpu.mem_bytes > 30 * (1 << 30));
-        assert_eq!(c.topology(), Topology::new(8, 8));
+        assert!(c.gpu().mem_bytes > 30 * (1 << 30));
+        assert_eq!(c.topology(), &Topology::new(8, 8));
     }
 
     #[test]
     fn constructor_rejects_degenerate_specs() {
         let ok = ClusterSpec::a100_cluster(2);
+        let gpu = *ok.gpu();
+        assert_eq!(ClusterSpec::new(0, 8, gpu, ok.net), Err(SpecError::NoNodes));
         assert_eq!(
-            ClusterSpec::new(0, 8, ok.gpu, ok.net),
-            Err(SpecError::NoNodes)
-        );
-        assert_eq!(
-            ClusterSpec::new(2, 0, ok.gpu, ok.net),
+            ClusterSpec::new(2, 0, gpu, ok.net),
             Err(SpecError::NoGpusPerNode)
         );
         let mut bad_net = ok.net;
         bad_net.nic_bw_per_gpu = 0.0;
         assert_eq!(
-            ClusterSpec::new(2, 8, ok.gpu, bad_net),
+            ClusterSpec::new(2, 8, gpu, bad_net),
             Err(SpecError::BadBandwidth("nic_bw_per_gpu"))
         );
         let mut bad_net = ok.net;
         bad_net.nvlink_bw = -1.0;
         assert_eq!(
-            ClusterSpec::new(2, 8, ok.gpu, bad_net),
+            ClusterSpec::new(2, 8, gpu, bad_net),
             Err(SpecError::BadBandwidth("nvlink_bw"))
         );
-        let mut bad_gpu = ok.gpu;
+        let mut bad_gpu = gpu;
         bad_gpu.peak_flops = 0.0;
         assert_eq!(
             ClusterSpec::new(2, 8, bad_gpu, ok.net),
             Err(SpecError::BadCompute("peak_flops"))
         );
-        assert!(ClusterSpec::new(2, 8, ok.gpu, ok.net).is_ok());
+        assert!(ClusterSpec::new(2, 8, gpu, ok.net).is_ok());
+        assert_eq!(
+            ClusterSpec::from_nodes(vec![], ClusterSpec::a100_net()),
+            Err(SpecError::NoNodes)
+        );
+        assert_eq!(
+            ClusterSpec::from_nodes(vec![(0, gpu)], ClusterSpec::a100_net()),
+            Err(SpecError::NoGpusPerNode)
+        );
     }
 
     #[test]
     fn custom_node_width_preset() {
         let c = ClusterSpec::a100_nodes_of(4, 6);
         assert_eq!(c.num_gpus(), 24);
-        assert_eq!(c.topology().gpus_per_node, 6);
+        assert_eq!(c.topology().uniform_width(), Some(6));
+    }
+
+    #[test]
+    fn mixed_preset_orders_skus_fastest_first() {
+        let c = ClusterSpec::a100_h100_mix(2, 2, 8);
+        assert_eq!(c.num_gpus(), 32);
+        assert_eq!(c.sku_specs().len(), 2);
+        // SkuId(0) = H100 (faster), SkuId(1) = A100.
+        assert!(c.sku_spec(SkuId(0)).peak_flops > c.sku_spec(SkuId(1)).peak_flops);
+        // Node order is A100s first, so GPU 0 is an A100 (the slow class).
+        assert_eq!(c.sku_of_gpu(GpuId(0)), SkuId(1));
+        assert_eq!(c.sku_of_gpu(GpuId(16)), SkuId(0));
+        assert_eq!(c.min_mem_bytes(), ClusterSpec::a100_gpu().mem_bytes);
+        assert_eq!(c.mem_bytes_of(GpuId(16)), ClusterSpec::h100_gpu().mem_bytes);
+        // The straggler gates a mixed group's compute.
+        let mixed = DeviceGroup::from_gpus((8..24).map(GpuId).collect());
+        let t_mixed = c.group_compute_time(&mixed, 1e14, 100);
+        let slow = c.compute_time_on(SkuId(1), 1e14, 100);
+        assert!((t_mixed - slow).abs() < 1e-15, "straggler rule");
+        let fast_only = DeviceGroup::from_gpus((16..32).map(GpuId).collect());
+        assert!(c.group_compute_time(&fast_only, 1e14, 100) < slow);
     }
 
     #[test]
@@ -312,7 +569,7 @@ mod tests {
         let c = ClusterSpec::a100_cluster(8);
         // Large workload approaches max utilization.
         let t = c.compute_time(1e15, 100);
-        let best = 1e15 / (c.gpu.peak_flops * c.gpu.max_utilization);
+        let best = 1e15 / (c.gpu().peak_flops * c.gpu().max_utilization);
         assert!(t > best && t < 1.3 * best, "t={t}, best={best}");
         // Splitting the same FLOPs into many tiny kernels is slower.
         let shredded = c.compute_time(1e12, 100_000);
@@ -321,9 +578,16 @@ mod tests {
     }
 
     #[test]
+    fn h100_outruns_a100_on_large_kernels() {
+        let a = ClusterSpec::a100_cluster(1);
+        let h = ClusterSpec::h100_nodes_of(1, 8);
+        assert!(h.compute_time(1e15, 100) < 0.5 * a.compute_time(1e15, 100));
+    }
+
+    #[test]
     fn zero_flops_costs_only_launches() {
         let c = ClusterSpec::a100_cluster(1);
         let t = c.compute_time(0.0, 10);
-        assert!((t - 10.0 * c.gpu.kernel_launch_s).abs() < 1e-15);
+        assert!((t - 10.0 * c.gpu().kernel_launch_s).abs() < 1e-15);
     }
 }

@@ -119,7 +119,9 @@ pub fn simulate_sp_step(
     group: &DeviceGroup,
     spec: &SpStepSpec,
 ) -> SpStepReport {
-    let compute_s = cluster.compute_time(spec.flops_per_gpu, spec.kernels);
+    // FLOPs split evenly over the group, so on mixed-SKU clusters the
+    // slowest member SKU gates the whole group (straggler rule).
+    let compute_s = cluster.group_compute_time(group, spec.flops_per_gpu, spec.kernels);
     let per_round = collective_time(
         cluster,
         group,

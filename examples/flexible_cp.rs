@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Disaggregated solver service (one worker per node) ===");
     let cost = CostModel::fit(&cluster, &model, policy);
     let solver = FlexSpSolver::new(cost, SolverConfig::fast());
-    let service = SolverService::spawn(solver, cluster.num_nodes as usize);
+    let service = SolverService::spawn(solver, cluster.num_nodes() as usize);
     let mut batches = loader();
     let start = std::time::Instant::now();
     for _ in 0..6 {
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "6 plans in {:.2}s wall across {} workers — solving overlaps training",
         start.elapsed().as_secs_f64(),
-        cluster.num_nodes
+        cluster.num_nodes()
     );
     service.shutdown();
     Ok(())

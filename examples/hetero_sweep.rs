@@ -1,0 +1,151 @@
+//! Heterogeneous-cluster sweep: does SKU- and width-aware planning beat
+//! the homogeneous assumption on the clusters that actually exist?
+//!
+//! For a grid of cluster geometries — uniform A100 (the control), mixed
+//! A100 + H100 reservations, and partially reserved (uneven-width) nodes —
+//! the sweep plans one mixed-length workload twice:
+//!
+//! * **sku-aware**: the heterogeneous pipeline (node-list topology,
+//!   per-SKU compute fits, SKU-affine placement, straggler-aware
+//!   executor), and
+//! * **homogeneous-assumption**: the planner is shown the closest
+//!   *uniform* cluster — identical nodes, one cluster-wide GPU spec (the
+//!   slowest SKU present, the only safe choice) — and its plan is then
+//!   re-placed onto the real topology and executed there,
+//!
+//! — and emits one JSON line per scenario. On uniform clusters the two
+//! pipelines coincide and tie; on mixed A100/H100 geometries the
+//! SKU-aware planner shifts load onto the fast class instead of feeding
+//! every group equally and letting the A100 straggler gate the step.
+//!
+//! Run with: `cargo run --release --example hetero_sweep`
+
+use flexsp::prelude::*;
+use flexsp_core::SolverConfig;
+
+/// One cluster geometry under test.
+struct Scenario {
+    name: &'static str,
+    cluster: ClusterSpec,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "uniform-4x8-a100",
+            cluster: ClusterSpec::a100_cluster(4),
+        },
+        Scenario {
+            name: "mix-2x8-a100+2x8-h100",
+            cluster: ClusterSpec::a100_h100_mix(2, 2, 8),
+        },
+        Scenario {
+            name: "mix-3x8-a100+1x8-h100",
+            cluster: ClusterSpec::a100_h100_mix(3, 1, 8),
+        },
+        Scenario {
+            name: "reserved-3x8+1x4-a100",
+            cluster: ClusterSpec::from_nodes(
+                vec![
+                    (8, ClusterSpec::a100_gpu()),
+                    (8, ClusterSpec::a100_gpu()),
+                    (8, ClusterSpec::a100_gpu()),
+                    (4, ClusterSpec::a100_gpu()),
+                ],
+                ClusterSpec::a100_net(),
+            )
+            .expect("valid reserved cluster"),
+        },
+    ]
+}
+
+/// The uniform cluster a heterogeneity-blind planner would assume:
+/// identical nodes of the average width, one cluster-wide GPU spec — the
+/// slowest SKU present, because assuming the fast one would OOM and
+/// under-provision the stragglers.
+fn homogeneous_assumption(real: &ClusterSpec) -> ClusterSpec {
+    let n = real.num_nodes();
+    assert_eq!(real.num_gpus() % n, 0, "scenarios use divisible totals");
+    let width = real.num_gpus() / n;
+    let slowest = *real.sku_spec(real.topology().slowest_sku());
+    ClusterSpec::new(n, width, slowest, real.net).expect("valid uniform assumption")
+}
+
+fn mixed_batch(max_ctx: u64) -> Vec<Sequence> {
+    // Deterministic long-tail mix: a few long sequences, many short.
+    let lens: Vec<u64> = [
+        max_ctx / 2,
+        max_ctx / 3,
+        max_ctx / 4,
+        max_ctx / 4,
+        max_ctx / 8,
+        max_ctx / 8,
+        max_ctx / 8,
+    ]
+    .into_iter()
+    .chain(std::iter::repeat_n(4096, 24))
+    .chain(std::iter::repeat_n(2048, 24))
+    .collect();
+    lens.into_iter()
+        .enumerate()
+        .map(|(i, l)| Sequence::new(i as u64, l))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy = ActivationPolicy::None;
+    let scenarios = scenarios();
+    println!("[");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let cluster = &sc.cluster;
+        // Keep the workload within what the cluster holds.
+        let max_ctx = 8 * 1024 * cluster.num_gpus() as u64 / 4;
+        let model = ModelConfig::gpt_7b(max_ctx);
+        let batch = mixed_batch(max_ctx);
+
+        // SKU-aware pipeline: solve → place → execute on the real cluster.
+        let cost = CostModel::fit(cluster, &model, policy);
+        let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+        let solved = solver.solve_iteration(&batch)?;
+        let executor = Executor::new(cluster.clone(), model.clone(), policy);
+        let aware_report = executor.execute(&solved.plan)?;
+        let aware_sig = solved.plan.shape_signature().replace('\n', "; ");
+
+        // Homogeneous-assumption baseline: plan for the closest uniform
+        // cluster, then re-place that plan onto the real topology and
+        // execute it there.
+        let assumed = homogeneous_assumption(cluster);
+        let blind_cost = CostModel::fit(&assumed, &model, policy);
+        let blind_solver = FlexSpSolver::new(blind_cost, SolverConfig::fast());
+        let blind_solved = blind_solver.solve_iteration(&batch)?;
+        let mut blind_plan = blind_solved.plan;
+        blind_plan.place(cluster.topology())?;
+        let blind_executor = Executor::new(cluster.clone(), model, policy);
+        let blind_report = blind_executor.execute(&blind_plan)?;
+        let blind_sig = blind_plan.shape_signature().replace('\n', "; ");
+
+        let speedup = blind_report.total_s / aware_report.total_s;
+        let comma = if i + 1 == scenarios.len() { "" } else { "," };
+        println!(
+            "  {{\"scenario\":\"{}\",\"topology\":\"{}\",\"gpus\":{},\
+             \"sku_aware\":{{\"signature\":\"{}\",\"predicted_s\":{:.4},\"simulated_s\":{:.4},\"alltoall_s\":{:.4}}},\
+             \"homogeneous_assumption\":{{\"assumed\":\"{}\",\"signature\":\"{}\",\"simulated_s\":{:.4},\"alltoall_s\":{:.4}}},\
+             \"speedup\":{:.4},\"plans_differ\":{}}}{comma}",
+            sc.name,
+            cluster.topology(),
+            cluster.num_gpus(),
+            aware_sig,
+            solved.predicted_s,
+            aware_report.total_s,
+            aware_report.alltoall_s,
+            assumed.topology(),
+            blind_sig,
+            blind_report.total_s,
+            blind_report.alltoall_s,
+            speedup,
+            aware_sig != blind_sig,
+        );
+    }
+    println!("]");
+    Ok(())
+}

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "cluster : {} GPUs ({} nodes)",
         cluster.num_gpus(),
-        cluster.num_nodes
+        cluster.num_nodes()
     );
     println!(
         "model   : {} ({:.2}B params)",

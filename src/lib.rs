@@ -14,6 +14,12 @@
 //! | [`cost`] (`flexsp-cost`) | α-β cost models + profiler fitting (incl. ZeRO-3 exposure) |
 //! | [`baselines`] (`flexsp-baselines`) | DeepSpeed-, Megatron-like systems, BatchAda |
 //!
+//! The repository-level docs are the front door: `README.md` (crate map,
+//! verify command, results tables), `docs/ARCHITECTURE.md` (the
+//! solve → place → execute pipeline narrative, including heterogeneous
+//! clusters — mixed GPU SKUs and uneven node widths), and
+//! `docs/BASELINES.md` (which baseline answers which question).
+//!
 //! # Why warm starts matter for the makespan binary search
 //!
 //! The planner recovers its min-max makespan by binary-searching a scalar
@@ -77,5 +83,5 @@ pub mod prelude {
     pub use flexsp_cost::CostModel;
     pub use flexsp_data::{Corpus, GlobalBatchLoader, LengthDistribution, Sequence};
     pub use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-    pub use flexsp_sim::{ClusterSpec, DeviceGroup, GroupShape, Topology};
+    pub use flexsp_sim::{ClusterSpec, DeviceGroup, GroupShape, NodeSpec, SkuId, Topology};
 }

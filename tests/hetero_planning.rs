@@ -1,0 +1,149 @@
+//! Heterogeneous-cluster planning: predicted-vs-simulated fidelity on a
+//! mixed-SKU cluster, and the SKU-aware planner's advantage over the
+//! homogeneous assumption (mirroring `examples/hetero_sweep.rs`).
+
+use flexsp::prelude::*;
+use flexsp_core::SolverConfig;
+use flexsp_sim::SkuId;
+
+fn mixed_batch(max_ctx: u64) -> Vec<Sequence> {
+    let lens: Vec<u64> = [
+        max_ctx / 2,
+        max_ctx / 3,
+        max_ctx / 4,
+        max_ctx / 4,
+        max_ctx / 8,
+        max_ctx / 8,
+        max_ctx / 8,
+    ]
+    .into_iter()
+    .chain(std::iter::repeat_n(4096, 24))
+    .chain(std::iter::repeat_n(2048, 24))
+    .collect();
+    lens.into_iter()
+        .enumerate()
+        .map(|(i, l)| Sequence::new(i as u64, l))
+        .collect()
+}
+
+/// Fidelity on a 2-SKU cluster: the per-SKU compute fits and SKU-affine
+/// placement keep planner-predicted and executor-simulated times within
+/// the same band the homogeneous pipeline holds (paper App. C reports
+/// < ~6 %; we allow 15 % for the simulator's deliberate nonlinearity).
+#[test]
+fn predicted_tracks_simulated_on_two_sku_cluster() {
+    let cluster = ClusterSpec::a100_h100_mix(2, 2, 8);
+    let max_ctx = 8 * 1024 * cluster.num_gpus() as u64 / 4;
+    let model = ModelConfig::gpt_7b(max_ctx);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+    let solved = solver.solve_iteration(&mixed_batch(max_ctx)).unwrap();
+    assert!(solved.plan.is_placed(), "solver output must be placed");
+
+    let executor = Executor::new(cluster, model, policy);
+    let report = executor.execute(&solved.plan).unwrap();
+    // The cost model deliberately excludes the fixed optimizer step.
+    let simulated = report.total_s - report.overhead_s;
+    let rel = (solved.predicted_s - simulated).abs() / simulated;
+    assert!(
+        rel < 0.15,
+        "mixed cluster: predicted {:.3}s vs simulated {simulated:.3}s (rel {rel:.3}), plan {}",
+        solved.predicted_s,
+        solved.plan.shape_signature().replace('\n', "; "),
+    );
+}
+
+/// Acceptance: on a half-A100 / half-H100 cluster, the SKU-aware plan
+/// simulates strictly faster than the plan of a planner shown the
+/// homogeneous assumption (uniform nodes, one cluster-wide A100 spec) and
+/// re-placed onto the real topology. Feeding every group equally lets the
+/// A100 stragglers gate the step; the SKU-aware planner shifts load onto
+/// the fast class.
+#[test]
+fn sku_aware_beats_homogeneous_assumption_on_mix() {
+    let policy = ActivationPolicy::None;
+    let cluster = ClusterSpec::a100_h100_mix(2, 2, 8);
+    let max_ctx = 8 * 1024 * cluster.num_gpus() as u64 / 4;
+    let model = ModelConfig::gpt_7b(max_ctx);
+    let batch = mixed_batch(max_ctx);
+
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+    let solved = solver.solve_iteration(&batch).unwrap();
+    let aware = Executor::new(cluster.clone(), model.clone(), policy)
+        .execute(&solved.plan)
+        .unwrap();
+
+    // The homogeneous assumption: same geometry, every node the slowest
+    // SKU (assuming the fast one would OOM / under-provision).
+    let assumed = ClusterSpec::a100_cluster(4);
+    let blind_cost = CostModel::fit(&assumed, &model, policy);
+    let blind_solver = FlexSpSolver::new(blind_cost, SolverConfig::fast());
+    let mut blind_plan = blind_solver.solve_iteration(&batch).unwrap().plan;
+    blind_plan.place(cluster.topology()).unwrap();
+    let blind = Executor::new(cluster, model, policy)
+        .execute(&blind_plan)
+        .unwrap();
+
+    assert!(
+        aware.total_s < 0.95 * blind.total_s,
+        "SKU-aware {:.3}s must strictly beat homogeneous-assumption {:.3}s\naware {}\nblind {}",
+        aware.total_s,
+        blind.total_s,
+        solved.plan.shape_signature(),
+        blind_plan.shape_signature(),
+    );
+}
+
+/// On a uniform cluster the SKU-aware pipeline *is* the homogeneous
+/// pipeline: same cost model, same plan, tie by construction.
+#[test]
+fn sku_aware_ties_homogeneous_assumption_on_uniform() {
+    let policy = ActivationPolicy::None;
+    let cluster = ClusterSpec::a100_cluster(2);
+    let max_ctx = 8 * 1024 * cluster.num_gpus() as u64 / 4;
+    let model = ModelConfig::gpt_7b(max_ctx);
+    let batch = mixed_batch(max_ctx);
+
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let assumed_cost = CostModel::fit(&ClusterSpec::a100_cluster(2), &model, policy);
+    assert_eq!(cost, assumed_cost, "uniform assumption is exact");
+    let solved = FlexSpSolver::new(cost, SolverConfig::fast())
+        .solve_iteration(&batch)
+        .unwrap();
+    let report = Executor::new(cluster, model, policy)
+        .execute(&solved.plan)
+        .unwrap();
+    assert!(report.total_s > 0.0);
+}
+
+/// The planner uses the fast class for what the fast class is good at:
+/// on a mixed cluster, the H100 groups carry more tokens than the A100
+/// groups of the same shape.
+#[test]
+fn fast_class_carries_more_load() {
+    let policy = ActivationPolicy::None;
+    let cluster = ClusterSpec::a100_h100_mix(2, 2, 8);
+    let max_ctx = 8 * 1024 * cluster.num_gpus() as u64 / 4;
+    let model = ModelConfig::gpt_7b(max_ctx);
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let solver = FlexSpSolver::new(cost, SolverConfig::fast());
+    let solved = solver.solve_iteration(&mixed_batch(max_ctx)).unwrap();
+
+    let mut fast_tokens = 0u64;
+    let mut slow_tokens = 0u64;
+    for mb in &solved.plan.micro_batches {
+        for g in &mb.groups {
+            match g.shape.sku {
+                SkuId(0) => fast_tokens += g.total_tokens(),
+                _ => slow_tokens += g.total_tokens(),
+            }
+        }
+    }
+    assert!(
+        fast_tokens > slow_tokens,
+        "H100 groups should carry more tokens: fast {fast_tokens} vs slow {slow_tokens}\n{}",
+        solved.plan.shape_signature(),
+    );
+}
