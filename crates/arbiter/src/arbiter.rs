@@ -1,0 +1,613 @@
+//! The cluster arbiter: the canonical free/busy slot ledger one cluster's
+//! concurrent jobs share, with epoch counting and queued admission.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use flexsp_sim::{ClusterSpec, GpuId, NodeSlots, Topology};
+use parking_lot::Mutex;
+
+use crate::lease::Lease;
+use crate::policy::{AdmissionPolicy, JobCounters, JobId, SlotRequest};
+
+/// Rejected or failed lease operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// The request asks for zero GPUs, or more than the cluster has.
+    Unsatisfiable {
+        /// GPUs requested.
+        requested: u32,
+        /// GPUs the whole cluster owns.
+        cluster: u32,
+    },
+    /// Not enough free GPUs right now (queue with
+    /// [`ClusterArbiter::request`] instead of retrying).
+    Busy {
+        /// GPUs requested.
+        requested: u32,
+        /// GPUs currently free.
+        free: u32,
+    },
+    /// A shrink asked to give back more GPUs than the lease holds.
+    ShrinkTooLarge {
+        /// GPUs the shrink wanted to release.
+        requested: u32,
+        /// GPUs the lease holds.
+        held: u32,
+    },
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaseError::Unsatisfiable { requested, cluster } => {
+                write!(f, "{requested} GPUs can never fit a {cluster}-GPU cluster")
+            }
+            LeaseError::Busy { requested, free } => {
+                write!(f, "{requested} GPUs requested but only {free} free")
+            }
+            LeaseError::ShrinkTooLarge { requested, held } => {
+                write!(f, "cannot release {requested} of {held} held GPUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// A queued lease request: claim the lease with
+/// [`ClusterArbiter::claim`] once capacity frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    /// The job that queued the request.
+    pub job: JobId,
+}
+
+/// One queued request (ticket id + ask), in arrival order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    pub(crate) ticket: u64,
+    pub(crate) request: SlotRequest,
+}
+
+/// The shared ledger every lease operation goes through.
+#[derive(Debug)]
+pub(crate) struct ArbiterState {
+    /// Cluster-wide free slots (leased slots removed).
+    pub(crate) free: NodeSlots,
+    /// Bumped on **every** ledger mutation (grant, release, grow,
+    /// shrink, renew): lease fingerprints embed it, so any plan cached
+    /// under an older epoch can never be replayed.
+    pub(crate) epoch: u64,
+    /// Live leases: id → granted GPUs (for audit and exact give-back).
+    pub(crate) live: HashMap<u64, Vec<GpuId>>,
+    /// Queued requests, arrival order.
+    pending: VecDeque<Pending>,
+    /// Granted-but-unclaimed queued requests:
+    /// ticket id → (ask, lease id, drawn GPUs).
+    granted: HashMap<u64, (SlotRequest, u64, Vec<GpuId>)>,
+    policy: AdmissionPolicy,
+    pub(crate) fairness: BTreeMap<JobId, JobCounters>,
+    next_lease: u64,
+    next_ticket: u64,
+}
+
+impl ArbiterState {
+    pub(crate) fn counters(&mut self, job: JobId) -> &mut JobCounters {
+        self.fairness.entry(job).or_default()
+    }
+
+    /// True while queued requests are waiting (capacity may not jump
+    /// over them — neither via `try_lease` nor via `Lease::grow`).
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Draws `request` from the free ledger (caller checked it fits) and
+    /// registers the lease. Returns `(lease id, gpus, epoch)`.
+    fn grant(&mut self, request: &SlotRequest) -> (u64, Vec<GpuId>, u64) {
+        let group = match request.prefer {
+            Some(sku) => self.free.take_packed_for(request.gpus, sku),
+            None => self.free.take_packed(request.gpus),
+        }
+        .expect("caller checked the request fits");
+        let gpus = group.gpus().to_vec();
+        let id = self.next_lease;
+        self.next_lease += 1;
+        self.epoch += 1;
+        self.live.insert(id, gpus.clone());
+        let c = self.counters(request.job);
+        c.granted += 1;
+        c.gpus_granted += request.gpus as u64;
+        (id, gpus, self.epoch)
+    }
+
+    /// Grants queued requests per the admission policy until nothing
+    /// (more) fits; losers accumulate a wait round per pass they sat
+    /// through while someone else was granted.
+    pub(crate) fn pump(&mut self) {
+        loop {
+            let queue: Vec<Pending> = self.pending.iter().copied().collect();
+            let Some(idx) = self.policy.pick(&queue, &self.free) else {
+                break;
+            };
+            let p = self.pending.remove(idx).expect("index from the queue");
+            let (id, gpus, _) = self.grant(&p.request);
+            self.granted.insert(p.ticket, (p.request, id, gpus));
+            for waiting in &self.pending {
+                self.fairness
+                    .entry(waiting.request.job)
+                    .or_default()
+                    .wait_rounds += 1;
+            }
+        }
+    }
+}
+
+/// The reservation arbiter: owns the canonical free/busy slot state of
+/// one cluster and grants per-job [`Lease`]s whose restricted
+/// [`NodeSlots`] views the whole planner stack consumes — so several
+/// solver services pack one cluster without ever overlapping placements.
+///
+/// Cloning is cheap (shared state); clones arbitrate the same ledger.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_arbiter::{AdmissionPolicy, ClusterArbiter, JobId, SlotRequest};
+/// use flexsp_sim::Topology;
+///
+/// let arbiter = ClusterArbiter::new(&Topology::new(4, 8), AdmissionPolicy::Fifo);
+/// let a = arbiter.try_lease(SlotRequest::new(JobId(1), 16)).unwrap();
+/// let b = arbiter.try_lease(SlotRequest::new(JobId(2), 16)).unwrap();
+/// // Leases are disjoint by construction and the cluster is now full.
+/// assert!(a.gpus().iter().all(|g| !b.gpus().contains(g)));
+/// assert_eq!(arbiter.free_gpus(), 0);
+/// drop(a); // RAII: slots return on drop
+/// assert_eq!(arbiter.free_gpus(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterArbiter {
+    topo: Topology,
+    pub(crate) state: Arc<Mutex<ArbiterState>>,
+}
+
+impl ClusterArbiter {
+    /// Creates an arbiter over `topo` with the given admission policy.
+    pub fn new(topo: &Topology, policy: AdmissionPolicy) -> Self {
+        Self {
+            topo: topo.clone(),
+            state: Arc::new(Mutex::new(ArbiterState {
+                free: NodeSlots::new(topo),
+                epoch: 0,
+                live: HashMap::new(),
+                pending: VecDeque::new(),
+                granted: HashMap::new(),
+                policy,
+                fairness: BTreeMap::new(),
+                next_lease: 0,
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// An arbiter over a cluster spec's topology.
+    pub fn for_cluster(cluster: &ClusterSpec, policy: AdmissionPolicy) -> Self {
+        Self::new(cluster.topology(), policy)
+    }
+
+    /// The arbitrated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn check(&self, request: &SlotRequest) -> Result<(), LeaseError> {
+        if request.gpus == 0 || request.gpus > self.topo.num_gpus() {
+            return Err(LeaseError::Unsatisfiable {
+                requested: request.gpus,
+                cluster: self.topo.num_gpus(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Grants a lease immediately, or fails without queueing.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::Unsatisfiable`] for impossible asks,
+    /// [`LeaseError::Busy`] when the free pool is currently short.
+    pub fn try_lease(&self, request: SlotRequest) -> Result<Lease, LeaseError> {
+        self.check(&request)?;
+        let mut state = self.state.lock();
+        state.counters(request.job).requested += 1;
+        // Queued requests keep priority: an immediate ask may not jump
+        // over a queue the policy would serve first.
+        if request.gpus > state.free.total_free() || !state.pending.is_empty() {
+            state.counters(request.job).denied += 1;
+            return Err(LeaseError::Busy {
+                requested: request.gpus,
+                free: state.free.total_free(),
+            });
+        }
+        let (id, gpus, epoch) = state.grant(&request);
+        drop(state);
+        Ok(Lease::new(self.clone(), id, request.job, gpus, epoch))
+    }
+
+    /// Queues a lease request; the admission policy decides when it is
+    /// granted. Poll with [`ClusterArbiter::claim`].
+    pub fn request(&self, request: SlotRequest) -> Result<Ticket, LeaseError> {
+        self.check(&request)?;
+        let mut state = self.state.lock();
+        state.counters(request.job).requested += 1;
+        let id = state.next_ticket;
+        state.next_ticket += 1;
+        state.pending.push_back(Pending {
+            ticket: id,
+            request,
+        });
+        state.pump();
+        Ok(Ticket {
+            id,
+            job: request.job,
+        })
+    }
+
+    /// Claims the lease a queued request was granted, or `None` while it
+    /// still waits.
+    pub fn claim(&self, ticket: &Ticket) -> Option<Lease> {
+        let mut state = self.state.lock();
+        state.pump();
+        let (request, id, gpus) = state.granted.remove(&ticket.id)?;
+        let epoch = state.epoch;
+        drop(state);
+        Some(Lease::new(self.clone(), id, request.job, gpus, epoch))
+    }
+
+    /// Abandons a queued request. If it was already granted, the slots
+    /// return to the pool.
+    pub fn cancel(&self, ticket: &Ticket) {
+        let mut state = self.state.lock();
+        state.pending.retain(|p| p.ticket != ticket.id);
+        if let Some((request, id, gpus)) = state.granted.remove(&ticket.id) {
+            state.live.remove(&id);
+            state.free.release(&gpus);
+            state.epoch += 1;
+            let c = state.counters(request.job);
+            c.released += 1;
+            c.gpus_released += gpus.len() as u64;
+            state.pump();
+        }
+    }
+
+    /// GPUs currently free (not held by any lease or unclaimed grant).
+    pub fn free_gpus(&self) -> u32 {
+        self.state.lock().free.total_free()
+    }
+
+    /// The current ledger epoch (bumped on every mutation).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Live leases (granted and not yet released), including unclaimed
+    /// grants.
+    pub fn live_leases(&self) -> usize {
+        self.state.lock().live.len()
+    }
+
+    /// Queued requests not yet granted.
+    pub fn pending_requests(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// A snapshot of the cluster-wide free ledger.
+    pub fn snapshot(&self) -> NodeSlots {
+        self.state.lock().free.clone()
+    }
+
+    /// Fairness counters of `job` (zeroes for unknown jobs).
+    pub fn fairness(&self, job: JobId) -> JobCounters {
+        self.state
+            .lock()
+            .fairness
+            .get(&job)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Fairness counters of every job ever seen, by id.
+    pub fn fairness_all(&self) -> Vec<(JobId, JobCounters)> {
+        self.state
+            .lock()
+            .fairness
+            .iter()
+            .map(|(j, c)| (*j, *c))
+            .collect()
+    }
+
+    /// Audits the ledger: every GPU is either free or held by exactly one
+    /// live lease/grant. Returns a description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        let state = self.state.lock();
+        let mut seen: HashMap<GpuId, &'static str> = HashMap::new();
+        for g in state.free.free_gpus() {
+            seen.insert(g, "free");
+        }
+        for (id, gpus) in &state.live {
+            for g in gpus {
+                if let Some(prev) = seen.insert(*g, "leased") {
+                    return Err(format!("{g} held by lease {id} is also {prev}"));
+                }
+            }
+        }
+        let total = self.topo.num_gpus() as usize;
+        if seen.len() != total {
+            return Err(format!("{} of {total} GPUs accounted for", seen.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsp_sim::{NodeSpec, SkuId};
+
+    fn topo4x8() -> Topology {
+        Topology::new(4, 8)
+    }
+
+    fn req(job: u64, gpus: u32) -> SlotRequest {
+        SlotRequest::new(JobId(job), gpus)
+    }
+
+    #[test]
+    fn raii_release_and_epoch_counting() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let e0 = arb.epoch();
+        let lease = arb.try_lease(req(1, 12)).unwrap();
+        assert_eq!(arb.free_gpus(), 20);
+        assert_eq!(arb.live_leases(), 1);
+        assert!(arb.epoch() > e0, "grants bump the epoch");
+        assert!(arb.audit().is_ok());
+        let fp = lease.fingerprint();
+        let e1 = arb.epoch();
+        drop(lease);
+        assert_eq!(arb.free_gpus(), 32, "drop returns exactly its slots");
+        assert_eq!(arb.live_leases(), 0);
+        assert!(arb.epoch() > e1, "releases bump the epoch");
+        assert!(arb.audit().is_ok());
+        // A fresh identical lease gets a different fingerprint (epoch).
+        let again = arb.try_lease(req(1, 12)).unwrap();
+        assert_ne!(again.fingerprint(), fp);
+    }
+
+    #[test]
+    fn immediate_lease_respects_capacity_and_queue_priority() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        assert!(matches!(
+            arb.try_lease(req(1, 0)),
+            Err(LeaseError::Unsatisfiable { .. })
+        ));
+        assert!(matches!(
+            arb.try_lease(req(1, 33)),
+            Err(LeaseError::Unsatisfiable { .. })
+        ));
+        let _a = arb.try_lease(req(1, 24)).unwrap();
+        assert!(matches!(
+            arb.try_lease(req(2, 16)),
+            Err(LeaseError::Busy { free: 8, .. })
+        ));
+        // Queue a request; an immediate ask that would fit may not jump it.
+        let ticket = arb.request(req(3, 16)).unwrap();
+        assert!(arb.claim(&ticket).is_none(), "still waiting");
+        assert!(matches!(
+            arb.try_lease(req(4, 4)),
+            Err(LeaseError::Busy { .. })
+        ));
+        assert_eq!(arb.fairness(JobId(4)).denied, 1);
+        drop(_a);
+        let granted = arb.claim(&ticket).expect("capacity freed");
+        assert_eq!(granted.gpu_count(), 16);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn fifo_grants_in_arrival_order() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let hold = arb.try_lease(req(0, 32)).unwrap();
+        let t1 = arb.request(req(1, 24)).unwrap();
+        let t2 = arb.request(req(2, 8)).unwrap();
+        drop(hold);
+        // Head-of-line first, then the smaller one from the remainder.
+        let l1 = arb.claim(&t1).expect("front of the queue");
+        let l2 = arb.claim(&t2).expect("fits the remainder");
+        assert_eq!(l1.gpu_count(), 24);
+        assert_eq!(l2.gpu_count(), 8);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_but_best_fit_packs() {
+        for (policy, expect_small_granted) in [
+            (AdmissionPolicy::Fifo, false),
+            (AdmissionPolicy::BestFitSkuClass, true),
+        ] {
+            let arb = ClusterArbiter::new(&topo4x8(), policy);
+            let _hold = arb.try_lease(req(0, 24)).unwrap();
+            // 8 free. The front request wants 16, the second 8.
+            let t_big = arb.request(req(1, 16)).unwrap();
+            let t_small = arb.request(req(2, 8)).unwrap();
+            assert!(arb.claim(&t_big).is_none());
+            assert_eq!(
+                arb.claim(&t_small).is_some(),
+                expect_small_granted,
+                "{policy}"
+            );
+            if expect_small_granted {
+                // The waiting big job accrued wait rounds — starvation is
+                // observable.
+                assert!(arb.fairness(JobId(1)).wait_rounds > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn best_fit_matches_sku_classes() {
+        let topo = Topology::from_nodes(vec![
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(0)),
+            NodeSpec::new(8, SkuId(1)),
+            NodeSpec::new(8, SkuId(1)),
+        ]);
+        let arb = ClusterArbiter::new(&topo, AdmissionPolicy::BestFitSkuClass);
+        let fast = arb.try_lease(req(1, 16).preferring(SkuId(0))).unwrap();
+        // The fast class is exactly drained; its GPUs are 0..16.
+        assert!(fast.gpus().iter().all(|g| g.0 < 16));
+        let slow = arb.try_lease(req(2, 16).preferring(SkuId(1))).unwrap();
+        assert!(slow.gpus().iter().all(|g| g.0 >= 16));
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn grow_shrink_renew_restamp_the_lease() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut lease = arb.try_lease(req(1, 8)).unwrap();
+        let fp0 = lease.fingerprint();
+        lease.grow(8, None).unwrap();
+        assert_eq!(lease.gpu_count(), 16);
+        assert_eq!(arb.free_gpus(), 16);
+        let fp1 = lease.fingerprint();
+        assert_ne!(fp0, fp1, "grow changes the fingerprint");
+        lease.shrink(12).unwrap();
+        assert_eq!(lease.gpu_count(), 4);
+        assert_eq!(arb.free_gpus(), 28);
+        let fp2 = lease.fingerprint();
+        assert_ne!(fp1, fp2, "shrink changes the fingerprint");
+        lease.renew();
+        assert_ne!(lease.fingerprint(), fp2, "renew re-stamps the epoch");
+        // Shrinking to zero is a drop, not a shrink.
+        assert!(matches!(
+            lease.shrink(4),
+            Err(LeaseError::ShrinkTooLarge { .. })
+        ));
+        // Growing past the pool fails cleanly.
+        assert!(matches!(lease.grow(64, None), Err(LeaseError::Busy { .. })));
+        assert_eq!(lease.gpu_count(), 4);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn grow_may_not_jump_the_admission_queue() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut small = arb.try_lease(req(1, 8)).unwrap();
+        let _mid = arb.try_lease(req(2, 16)).unwrap();
+        // 8 free; a queued job waits for 16.
+        let ticket = arb.request(req(3, 16)).unwrap();
+        assert!(arb.claim(&ticket).is_none());
+        // The incumbent may not absorb the free slots while someone
+        // queues — that would starve FIFO's head-of-line job.
+        assert!(matches!(small.grow(8, None), Err(LeaseError::Busy { .. })));
+        assert_eq!(small.gpu_count(), 8, "failed grow leaves the lease intact");
+        // Once the queue drains, growing works again.
+        arb.cancel(&ticket);
+        small.grow(8, None).unwrap();
+        assert_eq!(small.gpu_count(), 16);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn shrink_hands_capacity_to_the_queue() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut big = arb.try_lease(req(1, 32)).unwrap();
+        let ticket = arb.request(req(2, 16)).unwrap();
+        assert!(arb.claim(&ticket).is_none());
+        big.shrink(16).unwrap();
+        let small = arb.claim(&ticket).expect("shrink pumped the queue");
+        // Disjointness across the resize.
+        for g in small.gpus() {
+            assert!(!big.gpus().contains(g));
+        }
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn cancel_returns_granted_slots() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let ticket = arb.request(req(1, 32)).unwrap();
+        // Granted immediately (empty cluster) but never claimed.
+        assert_eq!(arb.free_gpus(), 0);
+        arb.cancel(&ticket);
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.claim(&ticket).is_none());
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn fairness_counters_add_up() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let a = arb.try_lease(req(1, 16)).unwrap();
+        let b = arb.try_lease(req(1, 16)).unwrap();
+        assert!(matches!(
+            arb.try_lease(req(2, 8)),
+            Err(LeaseError::Busy { .. })
+        ));
+        drop(a);
+        drop(b);
+        let c1 = arb.fairness(JobId(1));
+        assert_eq!(c1.requested, 2);
+        assert_eq!(c1.granted, 2);
+        assert_eq!(c1.released, 2);
+        assert_eq!(c1.gpus_granted, 32);
+        assert_eq!(c1.gpus_released, 32);
+        let c2 = arb.fairness(JobId(2));
+        assert_eq!((c2.requested, c2.denied, c2.granted), (1, 1, 0));
+    }
+
+    #[test]
+    fn concurrent_lease_churn_never_overlaps() {
+        // Eight threads hammer the arbiter; a shared registry checks that
+        // no GPU is ever inside two live leases at once.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let in_use: std::sync::Arc<StdMutex<HashSet<GpuId>>> = Default::default();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let arb = arb.clone();
+                let in_use = std::sync::Arc::clone(&in_use);
+                scope.spawn(move || {
+                    for round in 0..50u32 {
+                        let want = 1 + ((t as u32 + round) % 8);
+                        let Ok(lease) = arb.try_lease(req(t, want)) else {
+                            continue;
+                        };
+                        {
+                            let mut held = in_use.lock().unwrap();
+                            for g in lease.gpus() {
+                                assert!(held.insert(*g), "{g} in two live leases");
+                            }
+                        }
+                        {
+                            let mut held = in_use.lock().unwrap();
+                            for g in lease.gpus() {
+                                held.remove(g);
+                            }
+                        }
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+}

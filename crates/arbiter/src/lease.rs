@@ -1,0 +1,235 @@
+//! RAII lease handles: a job's slice of the cluster, materialized as a
+//! restricted [`NodeSlots`] view the planner stack consumes directly.
+
+use flexsp_core::FlexSpSolver;
+use flexsp_sim::{GpuId, NodeSlots};
+
+use crate::arbiter::{ClusterArbiter, LeaseError};
+use crate::policy::JobId;
+
+/// A live reservation: the GPUs a job owns until the handle drops.
+///
+/// * **RAII release** — dropping the lease returns exactly its slots to
+///   the arbiter and pumps the admission queue.
+/// * **Views** — [`Lease::view`] is the restricted [`NodeSlots`] every
+///   planner entry point (`plan_micro_batch_within`,
+///   `place_shapes_within`, a bound [`FlexSpSolver`]) consumes, so plans
+///   are placement-valid inside the lease by construction.
+/// * **Fingerprints** — [`Lease::fingerprint`] hashes the arbiter epoch
+///   the lease was (re)stamped at together with its per-node slot
+///   vector; plan caches keyed by it can never replay a plan across a
+///   grow, shrink, renewal, or any other ledger change.
+///
+/// Leases are `Send`: a job can carry its lease into its worker thread.
+#[derive(Debug)]
+pub struct Lease {
+    arbiter: ClusterArbiter,
+    id: u64,
+    job: JobId,
+    /// Owned slots, ascending.
+    gpus: Vec<GpuId>,
+    /// Arbiter epoch at grant / last renew / last resize.
+    epoch: u64,
+}
+
+impl Lease {
+    pub(crate) fn new(
+        arbiter: ClusterArbiter,
+        id: u64,
+        job: JobId,
+        mut gpus: Vec<GpuId>,
+        epoch: u64,
+    ) -> Self {
+        gpus.sort_unstable();
+        Self {
+            arbiter,
+            id,
+            job,
+            gpus,
+            epoch,
+        }
+    }
+
+    /// The owning job.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The owned GPUs, ascending.
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// Number of owned GPUs.
+    pub fn gpu_count(&self) -> u32 {
+        self.gpus.len() as u32
+    }
+
+    /// The arbiter epoch this lease was last (re)stamped at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The restricted free-slot view of this lease: exactly the owned
+    /// GPUs are free, everything else (other jobs' slots included) is
+    /// invisible.
+    pub fn view(&self) -> NodeSlots {
+        NodeSlots::restricted_to(self.arbiter.topology(), &self.gpus)
+    }
+
+    /// The availability fingerprint: ledger epoch + per-node free-slot
+    /// vector. Changes whenever the lease's slots or the stamp epoch do.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.epoch.hash(&mut h);
+        self.view().fingerprint().hash(&mut h);
+        h.finish()
+    }
+
+    /// Binds `solver` to this lease: the returned solver plans and places
+    /// only within the lease's slots, and carries the lease fingerprint
+    /// into every plan-cache key.
+    ///
+    /// The binding is a **snapshot**. After any [`Lease::grow`],
+    /// [`Lease::shrink`], or [`Lease::renew`], previously bound solvers
+    /// (and services spawned from them) hold a stale view of the slots
+    /// and must be dropped and re-bound before further planning — a
+    /// stale solver can otherwise place onto GPUs the arbiter has since
+    /// granted to another tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver's cost model describes a different cluster.
+    pub fn bind(&self, solver: FlexSpSolver) -> FlexSpSolver {
+        solver.with_availability(self.view(), self.fingerprint())
+    }
+
+    /// Re-stamps the lease at the arbiter's current epoch (bumping it),
+    /// without changing its slots. Long-lived jobs renew after observing
+    /// ledger churn so their fingerprint — and with it their plan-cache
+    /// identity — stays fresh.
+    pub fn renew(&mut self) {
+        let mut state = self.arbiter.state.lock();
+        state.epoch += 1;
+        self.epoch = state.epoch;
+    }
+
+    /// Grows the lease by `extra` GPUs drawn from the free pool (with the
+    /// lease's job-level SKU preference left to the caller via
+    /// `prefer`). The lease is re-stamped: solvers or services bound to
+    /// the pre-grow view hold a stale availability and must be re-bound
+    /// ([`Lease::bind`]) before any further planning.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::Busy`] when the pool is short **or queued requests
+    /// are waiting** — like [`ClusterArbiter::try_lease`], a grow may
+    /// not jump capacity over the admission queue (FIFO would otherwise
+    /// lose its starvation-freedom to incumbents growing in place); the
+    /// lease is unchanged.
+    pub fn grow(
+        &mut self,
+        extra: u32,
+        prefer: Option<flexsp_sim::SkuId>,
+    ) -> Result<(), LeaseError> {
+        if extra == 0 {
+            return Ok(());
+        }
+        let mut state = self.arbiter.state.lock();
+        if extra > state.free.total_free() || state.has_pending() {
+            return Err(LeaseError::Busy {
+                requested: extra,
+                free: state.free.total_free(),
+            });
+        }
+        let group = match prefer {
+            Some(sku) => state.free.take_packed_for(extra, sku),
+            None => state.free.take_packed(extra),
+        }
+        .expect("free count checked above");
+        self.gpus.extend(group.gpus());
+        self.gpus.sort_unstable();
+        state.live.insert(self.id, self.gpus.clone());
+        state.epoch += 1;
+        self.epoch = state.epoch;
+        let c = state.counters(self.job);
+        c.gpus_granted += extra as u64;
+        Ok(())
+    }
+
+    /// Shrinks the lease by `release` GPUs, giving back the slots on the
+    /// lease's least-occupied nodes first (keeping what remains packed).
+    /// The lease is re-stamped and the admission queue pumped — a shrink
+    /// is how a cooperative job hands capacity to waiting tenants.
+    ///
+    /// **Stale views:** a solver or service bound before the shrink
+    /// still sees the released GPUs as free — the fingerprint change
+    /// only keeps its *cached plans* from being replayed, it does not
+    /// stop it from planning. Drop pre-shrink bound solvers/services and
+    /// re-bind ([`Lease::bind`]) before submitting further batches;
+    /// freed slots may already belong to another tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::ShrinkTooLarge`] if `release >= gpu_count()` (drop
+    /// the lease to give back everything); the lease is unchanged.
+    pub fn shrink(&mut self, release: u32) -> Result<(), LeaseError> {
+        if release == 0 {
+            return Ok(());
+        }
+        if release >= self.gpu_count() {
+            return Err(LeaseError::ShrinkTooLarge {
+                requested: release,
+                held: self.gpu_count(),
+            });
+        }
+        // Pick victims from the least-occupied nodes of the lease's own
+        // view: the remaining slots stay as node-packed as possible.
+        let topo = self.arbiter.topology().clone();
+        let mut by_node: std::collections::BTreeMap<u32, Vec<GpuId>> = Default::default();
+        for &g in &self.gpus {
+            by_node.entry(topo.node_of(g)).or_default().push(g);
+        }
+        let mut nodes: Vec<(u32, Vec<GpuId>)> = by_node.into_iter().collect();
+        nodes.sort_by_key(|(n, held)| (held.len(), *n));
+        let mut victims: Vec<GpuId> = Vec::with_capacity(release as usize);
+        for (_, mut held) in nodes {
+            while victims.len() < release as usize {
+                // Highest ids first within a node, mirroring how partial
+                // reservations truncate nodes elsewhere in the stack.
+                match held.pop() {
+                    Some(g) => victims.push(g),
+                    None => break,
+                }
+            }
+            if victims.len() == release as usize {
+                break;
+            }
+        }
+        let mut state = self.arbiter.state.lock();
+        self.gpus.retain(|g| !victims.contains(g));
+        state.live.insert(self.id, self.gpus.clone());
+        state.free.release(&victims);
+        state.epoch += 1;
+        self.epoch = state.epoch;
+        let c = state.counters(self.job);
+        c.gpus_released += victims.len() as u64;
+        state.pump();
+        Ok(())
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut state = self.arbiter.state.lock();
+        if state.live.remove(&self.id).is_some() {
+            state.free.release(&self.gpus);
+            state.epoch += 1;
+            let c = state.counters(self.job);
+            c.released += 1;
+            c.gpus_released += self.gpus.len() as u64;
+            state.pump();
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Admission policies and per-job fairness accounting.
+
+use std::fmt;
+
+use flexsp_sim::{NodeSlots, SkuId};
+
+use crate::arbiter::Pending;
+
+/// Which pending job gets freed slots when capacity returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order with head-of-line blocking: the queue's front
+    /// request is granted as soon as it fits; nothing behind it may jump
+    /// ahead. Predictable, starvation-free, but fragments capacity when
+    /// a large request parks at the front.
+    #[default]
+    Fifo,
+    /// Best fit by SKU class: among the pending requests that fit *right
+    /// now*, grant the one leaving the fewest free GPUs in its preferred
+    /// class (ties broken by arrival order), repeating until nothing
+    /// fits. Packs mixed fleets tighter — a job preferring the H100
+    /// class is matched to H100 slack instead of blocking on A100 churn —
+    /// at the price of possible large-request starvation, which the
+    /// fairness counters make observable.
+    BestFitSkuClass,
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionPolicy::Fifo => write!(f, "fifo"),
+            AdmissionPolicy::BestFitSkuClass => write!(f, "best-fit-sku"),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The index (into `pending`) of the next request to grant given the
+    /// current free ledger, or `None` when the policy grants nothing.
+    pub(crate) fn pick(&self, pending: &[Pending], free: &NodeSlots) -> Option<usize> {
+        let fits = |p: &Pending| p.request.gpus <= free.total_free();
+        match self {
+            AdmissionPolicy::Fifo => {
+                let front = pending.first()?;
+                fits(front).then_some(0)
+            }
+            AdmissionPolicy::BestFitSkuClass => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| fits(p))
+                .min_by_key(|(i, p)| {
+                    // Leftover in the preferred class after the grant; a
+                    // class-less request is scored against the whole pool.
+                    let class_free = match p.request.prefer {
+                        Some(sku) => free.free_sku_gpus(sku),
+                        None => free.total_free(),
+                    };
+                    (class_free.saturating_sub(p.request.gpus), *i)
+                })
+                .map(|(i, _)| i),
+        }
+    }
+}
+
+/// Identifier a submitting job chooses for itself; fairness counters are
+/// keyed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A job's resource ask: how many GPUs, optionally pinned-by-preference
+/// to a SKU class (the draw spills to other classes only under
+/// scarcity, exactly like the placement engine's SKU affinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRequest {
+    /// The requesting job.
+    pub job: JobId,
+    /// GPUs requested.
+    pub gpus: u32,
+    /// Preferred SKU class (`None` = fastest-first draw).
+    pub prefer: Option<SkuId>,
+}
+
+impl SlotRequest {
+    /// A class-less request.
+    pub fn new(job: JobId, gpus: u32) -> Self {
+        Self {
+            job,
+            gpus,
+            prefer: None,
+        }
+    }
+
+    /// The same request preferring SKU class `sku`.
+    pub fn preferring(mut self, sku: SkuId) -> Self {
+        self.prefer = Some(sku);
+        self
+    }
+}
+
+/// Per-job fairness counters: how often a job asked, waited, was granted,
+/// and gave back — the observable record admission-policy tuning works
+/// from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounters {
+    /// Lease requests submitted (immediate or queued).
+    pub requested: u64,
+    /// Leases granted.
+    pub granted: u64,
+    /// Immediate requests denied for lack of capacity.
+    pub denied: u64,
+    /// Leases released (drops and shrinks both count their GPUs below).
+    pub released: u64,
+    /// Total GPUs ever granted to the job (grants + grows).
+    pub gpus_granted: u64,
+    /// Total GPUs ever returned by the job.
+    pub gpus_released: u64,
+    /// Grant passes the job's queued requests sat through without being
+    /// picked (a growing gap versus other jobs' `granted` is starvation).
+    pub wait_rounds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::Pending;
+    use flexsp_sim::{NodeSpec, Topology};
+
+    fn pending(job: u64, gpus: u32, prefer: Option<SkuId>) -> Pending {
+        Pending {
+            ticket: job,
+            request: SlotRequest {
+                job: JobId(job),
+                gpus,
+                prefer,
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_at_the_head() {
+        let topo = Topology::new(1, 8);
+        let free = NodeSlots::new(&topo);
+        let queue = vec![pending(0, 16, None), pending(1, 4, None)];
+        // The front does not fit: nothing is granted, even though the
+        // second request would.
+        assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), None);
+        let queue = vec![pending(0, 8, None), pending(1, 4, None)];
+        assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), Some(0));
+    }
+
+    #[test]
+    fn best_fit_matches_class_slack() {
+        let topo =
+            Topology::from_nodes(vec![NodeSpec::new(8, SkuId(0)), NodeSpec::new(8, SkuId(1))]);
+        let free = NodeSlots::new(&topo);
+        // 8 GPUs free in each class. The fast-class request is an exact
+        // fit for its class; the class-less request would leave slack.
+        let queue = vec![pending(0, 4, None), pending(1, 8, Some(SkuId(0)))];
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(1)
+        );
+        // Ties (equal leftover) go to arrival order.
+        let queue = vec![pending(0, 8, Some(SkuId(1))), pending(1, 8, Some(SkuId(0)))];
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(0)
+        );
+        // Unlike FIFO, a too-large front does not block the queue.
+        let queue = vec![pending(0, 32, None), pending(1, 4, None)];
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(1)
+        );
+    }
+}

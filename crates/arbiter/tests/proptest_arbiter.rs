@@ -1,0 +1,154 @@
+//! Property-based validation of the reservation arbiter: live leases are
+//! always disjoint, dropping a lease returns exactly its slots, and a
+//! plan solved under a lease never places a group outside it.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use flexsp_arbiter::{AdmissionPolicy, ClusterArbiter, JobId, Lease, SlotRequest};
+use flexsp_core::{FlexSpSolver, SolverConfig};
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::{ClusterSpec, GpuId, NodeSpec, SkuId, Topology};
+use proptest::prelude::*;
+
+/// Random mixed-SKU topology: 2–4 nodes of width 4–8, alternating classes.
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    prop::collection::vec((4u32..=8, 0u8..=1), 2..=4).prop_map(|nodes| {
+        Topology::from_nodes(
+            nodes
+                .into_iter()
+                .map(|(w, sku)| NodeSpec::new(w, SkuId(sku)))
+                .collect(),
+        )
+    })
+}
+
+/// A randomized schedule of lease operations: `(gpus, prefer_slow,
+/// release_slot)` — acquire a lease of `gpus`, and each step optionally
+/// drops one previously acquired lease (by index hint).
+fn schedule() -> impl Strategy<Value = Vec<(u32, bool, usize)>> {
+    prop::collection::vec((1u32..=12, any::<bool>(), 0usize..8), 1..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn live_leases_are_always_disjoint(
+        (topo, ops) in topo_strategy().prop_flat_map(|t| (Just(t), schedule())),
+    ) {
+        for policy in [AdmissionPolicy::Fifo, AdmissionPolicy::BestFitSkuClass] {
+            let arb = ClusterArbiter::new(&topo, policy);
+            let mut held: Vec<Lease> = Vec::new();
+            for &(gpus, prefer_slow, drop_hint) in &ops {
+                let mut req = SlotRequest::new(JobId(gpus as u64), gpus);
+                if prefer_slow {
+                    req = req.preferring(SkuId(1));
+                }
+                if let Ok(lease) = arb.try_lease(req) {
+                    held.push(lease);
+                }
+                // Invariant: no GPU in two live leases, ledger audited.
+                let mut seen: HashSet<GpuId> = HashSet::new();
+                for lease in &held {
+                    for g in lease.gpus() {
+                        prop_assert!(seen.insert(*g), "{} in two live leases", g);
+                        prop_assert!(g.0 < topo.num_gpus(), "{} outside {}", g, topo);
+                    }
+                }
+                prop_assert!(arb.audit().is_ok(), "{:?}", arb.audit());
+                if !held.is_empty() && drop_hint % 3 == 0 {
+                    held.remove(drop_hint % held.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_returns_exactly_its_slots(
+        (topo, asks) in topo_strategy()
+            .prop_flat_map(|t| (Just(t), prop::collection::vec(1u32..=10, 1..8))),
+    ) {
+        let arb = ClusterArbiter::new(&topo, AdmissionPolicy::Fifo);
+        let mut held = Vec::new();
+        for (i, &gpus) in asks.iter().enumerate() {
+            if let Ok(lease) = arb.try_lease(SlotRequest::new(JobId(i as u64), gpus)) {
+                held.push(lease);
+            }
+        }
+        // Dropping each lease restores precisely its GPU count, and the
+        // final free set is the whole cluster.
+        while let Some(lease) = held.pop() {
+            let before = arb.free_gpus();
+            let released = lease.gpu_count();
+            let gpus: Vec<GpuId> = lease.gpus().to_vec();
+            drop(lease);
+            prop_assert_eq!(arb.free_gpus(), before + released);
+            let snapshot = arb.snapshot();
+            for g in gpus {
+                prop_assert!(snapshot.is_free(g), "{} not returned", g);
+            }
+        }
+        prop_assert_eq!(arb.free_gpus(), topo.num_gpus());
+        prop_assert!(arb.audit().is_ok());
+    }
+}
+
+/// Solver-level property on a real fitted cost model (expensive to fit,
+/// so the model is shared and the case count kept low).
+fn shared_cost() -> &'static CostModel {
+    static COST: OnceLock<CostModel> = OnceLock::new();
+    COST.get_or_init(|| {
+        let cluster = ClusterSpec::a100_cluster(4); // 32 GPUs
+        let model = ModelConfig::gpt_7b(128 * 1024);
+        CostModel::fit(&cluster, &model, ActivationPolicy::None)
+    })
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<Sequence>> {
+    let len = prop_oneof![
+        3 => 512u64..4096,
+        2 => 4096u64..16_384,
+        1 => 16_384u64..64_000,
+    ];
+    prop::collection::vec(len, 1..16).prop_map(|lens| {
+        lens.into_iter()
+            .enumerate()
+            .map(|(i, l)| Sequence::new(i as u64, l))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn plans_solved_under_a_lease_never_escape_it(
+        (gpus, batch) in (8u32..=24, batch_strategy()),
+    ) {
+        let cost = shared_cost();
+        let arb = ClusterArbiter::new(cost.topology(), AdmissionPolicy::Fifo);
+        // A competing lease occupies part of the cluster so the job's
+        // lease is a genuinely restricted, possibly fragmented slice.
+        let _other = arb.try_lease(SlotRequest::new(JobId(0), 6)).unwrap();
+        let lease = arb.try_lease(SlotRequest::new(JobId(1), gpus)).unwrap();
+        let owned: HashSet<GpuId> = lease.gpus().iter().copied().collect();
+        let solver = lease.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast()));
+        let Ok(solved) = solver.solve_iteration(&batch) else {
+            // Memory-infeasible under this lease size: fine.
+            return Ok(());
+        };
+        for mb in &solved.plan.micro_batches {
+            let mut used = HashSet::new();
+            for g in &mb.groups {
+                let p = g.placement.as_ref().expect("plans arrive placed");
+                for gpu in p.gpus() {
+                    prop_assert!(owned.contains(gpu), "{} escaped the lease", gpu);
+                    prop_assert!(used.insert(*gpu), "{} reused in a micro-batch", gpu);
+                }
+            }
+        }
+    }
+}

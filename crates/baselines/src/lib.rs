@@ -19,6 +19,10 @@
 //!   cost model and flat-aligned placement, the ablation the
 //!   topology-sweep scenarios compare the placement-aware planner
 //!   against.
+//! * [`StaticPartition`] — the multi-tenant baseline: the cluster carved
+//!   into fixed node-aligned slices, one per job, versus the
+//!   `flexsp-arbiter` reservation arbiter's demand-matched leases
+//!   (`examples/multi_job_sweep.rs`).
 //!
 //! When each system is the right comparison — the full ablation ladder,
 //! including the SKU-blind homogeneous-assumption baseline of
@@ -60,6 +64,7 @@ mod degree_only;
 mod flex_cp;
 mod flexsp_adapter;
 mod megatron;
+mod partitioned;
 mod system;
 
 pub use batch_ada::FlexSpBatchAda;
@@ -68,4 +73,5 @@ pub use degree_only::DegreeOnlyFlexSp;
 pub use flex_cp::{FlexCpSystem, HomogeneousCp};
 pub use flexsp_adapter::FlexSpSystem;
 pub use megatron::{MegatronLm, MegatronStrategy};
+pub use partitioned::{PartitionError, StaticPartition};
 pub use system::{evaluate_system, BaselineError, SystemReport, SystemStats, TrainingSystem};

@@ -86,14 +86,20 @@ mod workflow;
 
 pub use error::PlanError;
 pub use executor::{ExecError, Executor, IterationReport, MicroBatchReport};
-pub use placement::{place_degrees, place_shapes, PlaceError};
+pub use placement::{
+    place_degrees, place_degrees_within, place_shapes, place_shapes_within, PlaceError,
+};
 pub use plan::{GroupAssignment, IterationPlan, MicroBatchPlan, PlanStats};
-pub use planner::{plan_homogeneous, plan_micro_batch, Formulation, PlannerConfig};
-pub use service::{CacheStats, SolverService};
+pub use planner::{
+    plan_homogeneous, plan_homogeneous_within, plan_micro_batch, plan_micro_batch_within,
+    Formulation, PlannerConfig,
+};
+pub use service::{CacheStats, SharedPlanCache, SolverService};
 pub use trainer::{IterationStats, TrainError, Trainer, TrainingStats};
 pub use workflow::{BucketingMode, FlexSpSolver, SolvedIteration, SolverConfig};
 
 // Solver internals callers commonly need alongside the planner API.
 pub use flexsp_milp::{LpEngine, SolveStats};
-// Placement vocabulary callers need alongside plans.
-pub use flexsp_sim::{GroupShape, NodeSpec, SkuId, Topology};
+// Placement vocabulary callers need alongside plans (the restricted
+// `NodeSlots` ledger is what arbiter leases materialize as).
+pub use flexsp_sim::{GroupShape, NodeSlots, NodeSpec, SkuId, Topology};

@@ -7,7 +7,7 @@
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::{Basis, LinExpr, MilpSolver, Problem, VarId, VarKind};
-use flexsp_sim::GroupShape;
+use flexsp_sim::{GroupShape, NodeSlots};
 
 use crate::bucketing::Bucket;
 use crate::plan::{GroupAssignment, MicroBatchPlan, PlanStats};
@@ -48,12 +48,13 @@ use crate::planner::{available_shapes, finalize, lpt_split, PlannerConfig};
 pub(crate) fn plan_aggregated(
     cost: &CostModel,
     buckets: &[Bucket],
-    n_gpus: u32,
+    avail: &NodeSlots,
     config: &PlannerConfig,
     warm: &MicroBatchPlan,
 ) -> (Option<MicroBatchPlan>, PlanStats) {
     let mut stats = PlanStats::default();
-    let shapes = available_shapes(cost, n_gpus);
+    let n_gpus = avail.total_free();
+    let shapes = available_shapes(cost, avail);
     if shapes.is_empty() || buckets.is_empty() {
         return (None, stats);
     }
@@ -67,7 +68,7 @@ pub(crate) fn plan_aggregated(
     let mut best: Option<MicroBatchPlan> = None;
     let mut best_time = hi0;
 
-    let mut model = AggregatedModel::build(cost, buckets, n_gpus, &shapes);
+    let mut model = AggregatedModel::build(cost, buckets, avail, &shapes);
     stats.model_builds += 1;
     // Basis of the previous step's root relaxation, carried across the
     // binary search so each re-solve starts from the last optimum.
@@ -106,7 +107,7 @@ pub(crate) fn plan_aggregated(
         };
         match feasible {
             Some((counts, assignment)) => {
-                match split_into_groups(cost, buckets, &shapes, &counts, &assignment) {
+                match split_into_groups(cost, buckets, avail, &shapes, &counts, &assignment) {
                     Some(plan) => {
                         let t = plan.predicted_time(cost);
                         if t < best_time {
@@ -164,32 +165,39 @@ struct AggregatedModel {
     time_rows: Vec<usize>,
 }
 
-/// The most shape-`s` groups the topology can host concurrently — the
-/// node-capacity cap installed as the `n_s` upper bound. Intra-node
-/// shapes are limited by their SKU class's per-node slots, spanning
-/// shapes by the class's GPU budget (cross-class shapes — whose SKU
-/// class cannot host them alone — by the whole GPU budget).
-fn shape_count_cap(cost: &CostModel, n_gpus: u32, s: GroupShape) -> f64 {
-    let topo = cost.topology();
-    let budget = (n_gpus / s.degree) as f64;
-    if topo.min_span_sku(s.degree, s.sku).is_none() {
-        return budget; // cross-class: bounded by the global GPU row
+/// The most shape-`s` groups the **free slots** can host concurrently —
+/// the node-capacity cap installed as the `n_s` upper bound. Intra-node
+/// shapes are limited by their SKU class's free per-node slots, spanning
+/// shapes by the class's free GPU budget (spill and cross-class shapes —
+/// whose SKU class cannot host them alone on the free slots — by the
+/// whole free budget). On an unrestricted ledger these are exactly the
+/// topology caps.
+fn shape_count_cap(avail: &NodeSlots, s: GroupShape) -> f64 {
+    let budget = (avail.total_free() / s.degree) as f64;
+    if avail.min_span_free_sku(s.degree, s.sku).is_none() {
+        return budget; // spill/cross-class: bounded by the global GPU row
     }
-    let class_budget = budget.min((topo.sku_gpus(s.sku) / s.degree) as f64);
+    let class_budget = budget.min((avail.free_sku_gpus(s.sku) / s.degree) as f64);
     if s.is_intra() {
-        class_budget.min(topo.intra_capacity_sku(s.degree, s.sku) as f64)
+        class_budget.min(avail.intra_capacity_free_sku(s.degree, s.sku) as f64)
     } else {
         class_budget
     }
 }
 
 impl AggregatedModel {
-    fn build(cost: &CostModel, buckets: &[Bucket], n_gpus: u32, shapes: &[GroupShape]) -> Self {
+    fn build(
+        cost: &CostModel,
+        buckets: &[Bucket],
+        avail: &NodeSlots,
+        shapes: &[GroupShape],
+    ) -> Self {
+        let n_gpus = avail.total_free();
         let q = buckets.len();
         let ns = shapes.len();
         let mut p = Problem::minimize();
 
-        // n_s: number of shape-s groups, capped by node capacity.
+        // n_s: number of shape-s groups, capped by free node capacity.
         let n_vars: Vec<_> = shapes
             .iter()
             .map(|&s| {
@@ -197,7 +205,7 @@ impl AggregatedModel {
                     format!("n_{s}"),
                     VarKind::Integer,
                     0.0,
-                    shape_count_cap(cost, n_gpus, s),
+                    shape_count_cap(avail, s),
                 )
             })
             .collect();
@@ -223,9 +231,10 @@ impl AggregatedModel {
             n_gpus as f64,
         );
         // Per-SKU-class GPU budgets (mixed clusters only): class-hosted
-        // shapes cannot jointly exceed their class's GPUs. Cross-class
-        // shapes draw from several classes and stay under the global row
-        // only; their spill pricing is handled at placement time.
+        // shapes cannot jointly exceed their class's **free** GPUs.
+        // Spill and cross-class shapes draw from several classes and stay
+        // under the global row only; their spill pricing is handled at
+        // placement time.
         let topo = cost.topology();
         if !topo.is_single_sku() {
             for sku in topo.skus() {
@@ -234,11 +243,11 @@ impl AggregatedModel {
                         .iter()
                         .zip(shapes)
                         .filter(|(_, &s)| {
-                            s.sku == sku && topo.min_span_sku(s.degree, s.sku).is_some()
+                            s.sku == sku && avail.min_span_free_sku(s.degree, s.sku).is_some()
                         })
                         .map(|(&v, &s)| (v, s.degree as f64)),
                 );
-                p.add_le(expr, topo.sku_gpus(sku).min(n_gpus) as f64);
+                p.add_le(expr, avail.free_sku_gpus(sku) as f64);
             }
         }
         // Assignment completeness (the next q rows; on mixed clusters
@@ -337,6 +346,7 @@ impl AggregatedModel {
 fn split_into_groups(
     cost: &CostModel,
     buckets: &[Bucket],
+    avail: &NodeSlots,
     shapes: &[GroupShape],
     counts: &[u64],
     assignment: &Assignment,
@@ -377,7 +387,7 @@ fn split_into_groups(
     if pools.iter().any(|p| !p.is_empty()) {
         return None;
     }
-    finalize(cost, MicroBatchPlan::new(groups))
+    finalize(MicroBatchPlan::new(groups), avail)
 }
 
 /// Paper-faithful per-group formulation (Eq. 17–22): one binary `m_p` per
@@ -393,12 +403,13 @@ fn split_into_groups(
 pub(crate) fn plan_per_group(
     cost: &CostModel,
     buckets: &[Bucket],
-    n_gpus: u32,
+    avail: &NodeSlots,
     config: &PlannerConfig,
     warm: &MicroBatchPlan,
 ) -> (Option<MicroBatchPlan>, PlanStats) {
     let mut stats = PlanStats::default();
-    let shapes = available_shapes(cost, n_gpus);
+    let n_gpus = avail.total_free();
+    let shapes = available_shapes(cost, avail);
     let q = buckets.len();
     if shapes.is_empty() || q == 0 {
         return (None, stats);
@@ -406,7 +417,7 @@ pub(crate) fn plan_per_group(
     // Virtual groups: node-capacity-capped slots per shape.
     let mut slots: Vec<GroupShape> = Vec::new(); // shape per slot
     for &s in &shapes {
-        for _ in 0..shape_count_cap(cost, n_gpus, s) as u32 {
+        for _ in 0..shape_count_cap(avail, s) as u32 {
             slots.push(s);
         }
     }
@@ -452,7 +463,7 @@ pub(crate) fn plan_per_group(
         n_gpus as f64,
     );
     // Per-SKU-class GPU budgets (mixed clusters only), as in the
-    // aggregated formulation.
+    // aggregated formulation: the caps are the classes' *free* GPUs.
     let topo = cost.topology();
     if !topo.is_single_sku() {
         for sku in topo.skus() {
@@ -460,10 +471,12 @@ pub(crate) fn plan_per_group(
                 m_vars
                     .iter()
                     .zip(&slots)
-                    .filter(|(_, &s)| s.sku == sku && topo.min_span_sku(s.degree, s.sku).is_some())
+                    .filter(|(_, &s)| {
+                        s.sku == sku && avail.min_span_free_sku(s.degree, s.sku).is_some()
+                    })
                     .map(|(&m, &s)| (m, s.degree as f64)),
             );
-            p.add_le(expr, topo.sku_gpus(sku).min(n_gpus) as f64);
+            p.add_le(expr, avail.free_sku_gpus(sku) as f64);
         }
     }
     // Eq. 22 assignment completeness.
@@ -534,7 +547,7 @@ pub(crate) fn plan_per_group(
     if pools.iter().any(|p| !p.is_empty()) {
         return (None, stats);
     }
-    (finalize(cost, MicroBatchPlan::new(groups)), stats)
+    (finalize(MicroBatchPlan::new(groups), avail), stats)
 }
 
 /// Maps a concrete plan onto the per-group decision variables

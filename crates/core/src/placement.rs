@@ -91,19 +91,35 @@ impl std::error::Error for PlaceError {}
 /// assert!(groups[3].is_intra_node(6));
 /// ```
 pub fn place_degrees(topo: &Topology, degrees: &[u32]) -> Result<Vec<DeviceGroup>, PlaceError> {
+    place_degrees_within(&NodeSlots::new(topo), degrees)
+}
+
+/// [`place_degrees`] against a **restricted** free-slot ledger: groups
+/// are drawn only from the GPUs `avail` still has free, so a job holding
+/// a lease can never place onto another job's slots. The input ledger is
+/// not mutated.
+///
+/// # Errors
+///
+/// [`PlaceError::OutOfGpus`] if `Σ degrees` exceeds the free slots;
+/// [`PlaceError::ZeroDegree`] for a zero degree.
+pub fn place_degrees_within(
+    avail: &NodeSlots,
+    degrees: &[u32],
+) -> Result<Vec<DeviceGroup>, PlaceError> {
     if degrees.contains(&0) {
         return Err(PlaceError::ZeroDegree);
     }
     let requested: u32 = degrees.iter().sum();
-    if requested > topo.num_gpus() {
+    if requested > avail.total_free() {
         return Err(PlaceError::OutOfGpus {
             requested,
-            available: topo.num_gpus(),
+            available: avail.total_free(),
         });
     }
     let mut order: Vec<usize> = (0..degrees.len()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(degrees[i]), i));
-    let mut slots = NodeSlots::new(topo);
+    let mut slots = avail.clone();
     let mut out: Vec<Option<DeviceGroup>> = vec![None; degrees.len()];
     for i in order {
         let group = slots
@@ -132,11 +148,26 @@ pub fn place_shapes(
     topo: &Topology,
     shapes: &[GroupShape],
 ) -> Result<Vec<DeviceGroup>, PlaceError> {
+    place_shapes_within(&NodeSlots::new(topo), shapes)
+}
+
+/// [`place_shapes`] against a **restricted** free-slot ledger — the
+/// placement entry point for jobs holding an arbiter lease. Every draw
+/// comes from the ledger's free GPUs only; the input ledger is not
+/// mutated (callers owning the restriction keep it authoritative).
+///
+/// # Errors
+///
+/// [`PlaceError::OutOfGpus`] if `Σ degrees` exceeds the free slots.
+pub fn place_shapes_within(
+    avail: &NodeSlots,
+    shapes: &[GroupShape],
+) -> Result<Vec<DeviceGroup>, PlaceError> {
     let requested: u32 = shapes.iter().map(|s| s.degree).sum();
-    if requested > topo.num_gpus() {
+    if requested > avail.total_free() {
         return Err(PlaceError::OutOfGpus {
             requested,
-            available: topo.num_gpus(),
+            available: avail.total_free(),
         });
     }
     let mut order: Vec<usize> = (0..shapes.len()).collect();
@@ -144,7 +175,7 @@ pub fn place_shapes(
     // degrees group by SKU class so one class's draws do not interleave
     // with (and fragment) another's.
     order.sort_by_key(|&i| (std::cmp::Reverse(shapes[i].degree), shapes[i].sku, i));
-    let mut slots = NodeSlots::new(topo);
+    let mut slots = avail.clone();
     let mut out: Vec<Option<DeviceGroup>> = vec![None; shapes.len()];
     for i in order {
         let group = slots
@@ -245,6 +276,43 @@ mod tests {
         for (g, s) in groups.iter().zip(&shapes) {
             assert_eq!(&GroupShape::of(g, &topo), s, "class preserved");
         }
+    }
+
+    #[test]
+    fn restricted_placement_stays_inside_the_lease() {
+        use flexsp_sim::GpuId;
+        let topo = Topology::new(4, 8);
+        // A lease owning nodes 1 and 2 only.
+        let owned: Vec<GpuId> = (8..24).map(GpuId).collect();
+        let avail = NodeSlots::restricted_to(&topo, &owned);
+        let shapes = vec![
+            GroupShape::intra(8),
+            GroupShape::intra(4),
+            GroupShape::intra(4),
+        ];
+        let groups = place_shapes_within(&avail, &shapes).unwrap();
+        for g in &groups {
+            for gpu in g.gpus() {
+                assert!(owned.contains(gpu), "GPU {gpu} outside the lease");
+            }
+        }
+        // The input ledger is untouched.
+        assert_eq!(avail.total_free(), 16);
+        // Oversubscribing the lease (not the cluster) is rejected.
+        let too_much = vec![GroupShape::intra(8); 3];
+        assert_eq!(
+            place_shapes_within(&avail, &too_much),
+            Err(PlaceError::OutOfGpus {
+                requested: 24,
+                available: 16
+            })
+        );
+        // Degrees path honors the restriction too.
+        let groups = place_degrees_within(&avail, &[8, 8]).unwrap();
+        assert!(groups
+            .iter()
+            .flat_map(|g| g.gpus())
+            .all(|gpu| owned.contains(gpu)));
     }
 
     #[test]

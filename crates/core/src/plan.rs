@@ -12,9 +12,9 @@ use std::fmt;
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::SolveStats;
-use flexsp_sim::{DeviceGroup, GroupShape, Topology};
+use flexsp_sim::{DeviceGroup, GroupShape, NodeSlots, Topology};
 
-use crate::placement::{place_shapes, PlaceError};
+use crate::placement::{place_shapes_within, PlaceError};
 
 /// Solver-effort counters attached to a plan so callers (and benches)
 /// can attribute planning time: how many MILP models were built, how many
@@ -165,8 +165,21 @@ impl MicroBatchPlan {
     ///
     /// [`PlaceError::OutOfGpus`] if the degrees oversubscribe `topo`.
     pub fn place(&mut self, topo: &Topology) -> Result<(), PlaceError> {
+        self.place_within(&NodeSlots::new(topo))
+    }
+
+    /// [`MicroBatchPlan::place`] against a **restricted** free-slot
+    /// ledger: groups land only on the GPUs `avail` has free, so a plan
+    /// solved under an arbiter lease is placement-valid inside that lease
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::OutOfGpus`] if the degrees oversubscribe the ledger.
+    pub fn place_within(&mut self, avail: &NodeSlots) -> Result<(), PlaceError> {
         let shapes: Vec<GroupShape> = self.groups.iter().map(|g| g.shape).collect();
-        let placements = place_shapes(topo, &shapes)?;
+        let placements = place_shapes_within(avail, &shapes)?;
+        let topo = avail.topology();
         for (g, p) in self.groups.iter_mut().zip(placements) {
             g.shape = GroupShape::of(&p, topo);
             g.placement = Some(p);
@@ -266,8 +279,19 @@ impl IterationPlan {
     ///
     /// The first [`PlaceError`] encountered.
     pub fn place(&mut self, topo: &Topology) -> Result<(), PlaceError> {
+        self.place_within(&NodeSlots::new(topo))
+    }
+
+    /// Places every micro-batch against a **restricted** free-slot ledger
+    /// (each micro-batch packs the lease's slots afresh; micro-batches
+    /// run sequentially).
+    ///
+    /// # Errors
+    ///
+    /// The first [`PlaceError`] encountered.
+    pub fn place_within(&mut self, avail: &NodeSlots) -> Result<(), PlaceError> {
         for mb in &mut self.micro_batches {
-            mb.place(topo)?;
+            mb.place_within(avail)?;
         }
         Ok(())
     }

@@ -120,7 +120,31 @@ pub fn plan_micro_batch(
     n_gpus: u32,
     config: &PlannerConfig,
 ) -> Result<MicroBatchPlan, PlanError> {
-    let shapes = available_shapes(cost, n_gpus);
+    plan_micro_batch_within(cost, buckets, &budget_slots(cost, n_gpus), config)
+}
+
+/// [`plan_micro_batch`] against a **restricted** free-slot ledger — the
+/// entry point for jobs planning under an arbiter lease. The whole stack
+/// consumes the restriction: the shape portfolio is filtered to classes
+/// the free slots can host, the heuristic prices prospective groups at
+/// the class the *restricted* ledger would realize, the MILP's GPU
+/// budget, per-SKU-class budgets and node-capacity caps are the lease's
+/// free counts, and every candidate is placed inside the ledger — so the
+/// returned plan is placement-valid within the lease by construction. On
+/// an unrestricted ledger every decision reduces exactly to the
+/// whole-cluster path.
+///
+/// # Errors
+///
+/// As [`plan_micro_batch`], judged against the ledger's free slots.
+pub fn plan_micro_batch_within(
+    cost: &CostModel,
+    buckets: &[Bucket],
+    avail: &NodeSlots,
+    config: &PlannerConfig,
+) -> Result<MicroBatchPlan, PlanError> {
+    let n_gpus = avail.total_free();
+    let shapes = available_shapes(cost, avail);
     let max_cap = shapes
         .iter()
         .map(|s| cost.max_group_tokens(s.degree))
@@ -145,9 +169,9 @@ pub fn plan_micro_batch(
     // homogeneous plans still fit, so neither failure alone is fatal.
     // Every candidate is placed before comparison, so predicted times
     // reflect realized spans.
-    let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, n_gpus)
+    let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, avail)
         .ok()
-        .and_then(|p| finalize(cost, p));
+        .and_then(|p| finalize(p, avail));
     let mut best_time = best
         .as_ref()
         .map(|p| p.predicted_time(cost))
@@ -157,7 +181,7 @@ pub fn plan_micro_batch(
         if d > n_gpus {
             continue;
         }
-        if let Ok(p) = plan_homogeneous(cost, &all_seqs, n_gpus, d) {
+        if let Ok(p) = plan_homogeneous_within(cost, &all_seqs, avail, d) {
             let t = p.predicted_time(cost);
             if t < best_time {
                 best_time = t;
@@ -167,7 +191,7 @@ pub fn plan_micro_batch(
     }
     let Some(best) = best else {
         return Err(PlanError::Infeasible(format!(
-            "no candidate plan fits {} sequences ({} tokens) on {n_gpus} GPUs",
+            "no candidate plan fits {} sequences ({} tokens) on {n_gpus} free GPUs",
             all_seqs.len(),
             all_seqs.iter().map(|s| s.len).sum::<u64>(),
         )));
@@ -175,10 +199,10 @@ pub fn plan_micro_batch(
     let (improved, stats) = match config.formulation {
         Formulation::Heuristic => (None, PlanStats::default()),
         Formulation::Aggregated => {
-            milp_formulations::plan_aggregated(cost, buckets, n_gpus, config, &best)
+            milp_formulations::plan_aggregated(cost, buckets, avail, config, &best)
         }
         Formulation::PerGroup => {
-            milp_formulations::plan_per_group(cost, buckets, n_gpus, config, &best)
+            milp_formulations::plan_per_group(cost, buckets, avail, config, &best)
         }
     };
     // Whichever candidate wins, the stats describe the solver effort this
@@ -189,10 +213,30 @@ pub fn plan_micro_batch(
     })
 }
 
-/// Places `plan` on the model's topology, realizing every group's class.
-/// Returns `None` when the degrees oversubscribe the cluster.
-pub(crate) fn finalize(cost: &CostModel, mut plan: MicroBatchPlan) -> Option<MicroBatchPlan> {
-    plan.place(cost.topology()).ok()?;
+/// The availability a bare GPU *count* denotes: the full ledger when
+/// `n_gpus` covers the cluster, otherwise the cluster with whole missing
+/// nodes removed first, then a partial node (highest indices) — the same
+/// truncation the heuristic has always modeled sub-cluster budgets with.
+pub(crate) fn budget_slots(cost: &CostModel, n_gpus: u32) -> NodeSlots {
+    let topo = cost.topology();
+    let mut slots = NodeSlots::new(topo);
+    let mut over = topo.num_gpus().saturating_sub(n_gpus);
+    for node in (0..topo.num_nodes()).rev() {
+        if over == 0 {
+            break;
+        }
+        let cut = over.min(slots.free_on(node));
+        slots.take(node, cut);
+        over -= cut;
+    }
+    slots
+}
+
+/// Places `plan` inside the free slots of `avail`, realizing every
+/// group's class. Returns `None` when the degrees oversubscribe the
+/// ledger.
+pub(crate) fn finalize(mut plan: MicroBatchPlan, avail: &NodeSlots) -> Option<MicroBatchPlan> {
+    plan.place_within(avail).ok()?;
     Some(plan)
 }
 
@@ -211,9 +255,26 @@ pub fn plan_homogeneous(
     n_gpus: u32,
     degree: u32,
 ) -> Result<MicroBatchPlan, PlanError> {
+    plan_homogeneous_within(cost, seqs, &budget_slots(cost, n_gpus), degree)
+}
+
+/// [`plan_homogeneous`] against a **restricted** free-slot ledger: the
+/// group count is the lease's free GPUs over the degree, and placement
+/// stays inside the ledger.
+///
+/// # Errors
+///
+/// As [`plan_homogeneous`], judged against the ledger's free slots.
+pub fn plan_homogeneous_within(
+    cost: &CostModel,
+    seqs: &[Sequence],
+    avail: &NodeSlots,
+    degree: u32,
+) -> Result<MicroBatchPlan, PlanError> {
+    let n_gpus = avail.total_free();
     if degree == 0 || degree > n_gpus {
         return Err(PlanError::Infeasible(format!(
-            "degree {degree} invalid for {n_gpus} GPUs"
+            "degree {degree} invalid for {n_gpus} free GPUs"
         )));
     }
     let num_groups = (n_gpus / degree) as usize;
@@ -234,37 +295,50 @@ pub fn plan_homogeneous(
             .map(|g| GroupAssignment::new(shape, g))
             .collect(),
     );
-    finalize(cost, plan)
-        .ok_or_else(|| PlanError::Infeasible(format!("SP={degree} groups exceed the cluster")))
+    finalize(plan, avail)
+        .ok_or_else(|| PlanError::Infeasible(format!("SP={degree} groups exceed the free slots")))
 }
 
 /// Placement classes the MILP should hold decision variables for: fitted
-/// shapes that fit the model's topology, capped at `n_gpus`, minus
-/// *dominated* spanning variants.
+/// shapes drawable from the free slots of `avail`, minus *dominated*
+/// spanning variants and minus spill-only variants of degrees another
+/// class still hosts.
 ///
 /// A wider-than-minimal span of a degree (within its SKU class) is slower
 /// per token at equal memory, so it can only be worth choosing when the
 /// packed shape's node-capacity cap binds (fragmented odd-width nodes).
-/// Where the class's intra capacity already covers the class's whole GPU
-/// budget — every divisible topology, e.g. the paper's 8-GPU nodes — the
-/// variant is pruned, which keeps the MILP's variable count (and
+/// Where the class's free intra capacity already covers the class's whole
+/// free budget — every divisible topology, e.g. the paper's 8-GPU nodes —
+/// the variant is pruned, which keeps the MILP's variable count (and
 /// branch-and-bound tree) at the degree-keyed formulation's size on
-/// homogeneous clusters. Realized fragmented or spill classes are still
-/// priced via the cost model's nearest-class fallback.
-pub(crate) fn available_shapes(cost: &CostModel, n_gpus: u32) -> Vec<GroupShape> {
-    let topo = cost.topology();
-    cost.shapes()
+/// homogeneous clusters. A shape whose own class can no longer host it on
+/// the free slots (its draws would spill) is kept only when *no* variant
+/// of its degree is class-hosted, so the degree stays plannable under
+/// severely skewed leases while honest class variants are preferred.
+/// Realized fragmented or spill classes are still priced via the cost
+/// model's nearest-class fallback. On an unrestricted ledger this is the
+/// pre-arbiter portfolio exactly.
+pub(crate) fn available_shapes(cost: &CostModel, avail: &NodeSlots) -> Vec<GroupShape> {
+    let shapes = cost.shapes_within(avail);
+    // Degrees with at least one class-hosted variant on the free slots.
+    let hosted: std::collections::BTreeSet<u32> = shapes
+        .iter()
+        .filter(|s| avail.min_span_free_sku(s.degree, s.sku).is_some())
+        .map(|s| s.degree)
+        .collect();
+    shapes
         .into_iter()
-        .filter(|s| s.degree <= n_gpus && s.fits(topo))
         .filter(|s| {
-            let Some(packed_span) = topo.min_span_sku(s.degree, s.sku) else {
-                return true; // cross-class shape: only one variant exists
+            let Some(packed_span) = avail.min_span_free_sku(s.degree, s.sku) else {
+                // Spill / cross-class shape: keep only when it is the
+                // degree's sole route.
+                return !hosted.contains(&s.degree);
             };
-            if s.nodes_spanned == packed_span {
+            if s.nodes_spanned <= packed_span {
                 return true; // minimal span is always needed
             }
-            let class_budget = topo.sku_gpus(s.sku).min(n_gpus) / s.degree;
-            !(packed_span == 1 && topo.intra_capacity_sku(s.degree, s.sku) >= class_budget)
+            let class_budget = avail.free_sku_gpus(s.sku) / s.degree;
+            !(packed_span == 1 && avail.intra_capacity_free_sku(s.degree, s.sku) >= class_budget)
         })
         .collect()
 }
@@ -316,22 +390,9 @@ struct HeuristicSlots {
 }
 
 impl HeuristicSlots {
-    fn new(cost: &CostModel, candidates: &[(u32, flexsp_sim::SkuId)], n_gpus: u32) -> Self {
-        let topo = cost.topology();
-        let mut slots = NodeSlots::new(topo);
-        // A budget below the full cluster is modeled by removing whole
-        // missing nodes first, then a partial node (highest indices).
-        let mut over = topo.num_gpus().saturating_sub(n_gpus);
-        for node in (0..topo.num_nodes()).rev() {
-            if over == 0 {
-                break;
-            }
-            let cut = over.min(slots.free_on(node));
-            slots.take(node, cut);
-            over -= cut;
-        }
+    fn new(avail: &NodeSlots, candidates: &[(u32, flexsp_sim::SkuId)]) -> Self {
         let mut out = Self {
-            slots,
+            slots: avail.clone(),
             classes: candidates.iter().map(|&c| (c, None)).collect(),
         };
         out.refresh();
@@ -367,18 +428,20 @@ impl HeuristicSlots {
     }
 }
 
-/// Greedy construction + local search (also the MILP warm start).
+/// Greedy construction + local search (also the MILP warm start). Prices
+/// every prospective group at the class the **restricted** ledger would
+/// realize for it right now.
 fn heuristic_plan(
     cost: &CostModel,
     buckets: &[Bucket],
-    n_gpus: u32,
+    avail: &NodeSlots,
 ) -> Result<MicroBatchPlan, PlanError> {
     // Candidate classes: every (degree, SKU) pair the fitted portfolio
     // offers. On homogeneous clusters this degenerates to the degrees.
     let mut candidates: Vec<(u32, flexsp_sim::SkuId)> = cost
         .shapes()
         .into_iter()
-        .filter(|s| s.degree <= n_gpus)
+        .filter(|s| s.degree <= avail.total_free())
         .map(|s| (s.degree, s.sku))
         .collect();
     // Shapes interleave SKUs within a degree, so adjacent-dedup is not
@@ -395,7 +458,7 @@ fn heuristic_plan(
         seqs: Vec<Sequence>,
     }
     let mut slots: Vec<Slot> = Vec::new();
-    let mut free = HeuristicSlots::new(cost, &candidates, n_gpus);
+    let mut free = HeuristicSlots::new(avail, &candidates);
 
     for s in &seqs {
         // Option A: append to an existing group with memory headroom,
@@ -759,6 +822,94 @@ mod tests {
             "plan {}",
             plan.shape_signature()
         );
+    }
+
+    #[test]
+    fn restricted_plan_stays_inside_the_lease() {
+        use flexsp_sim::{GpuId, NodeSlots};
+        let cost = cost64();
+        // A 24-GPU lease: nodes 2, 3 and half of node 4.
+        let owned: Vec<GpuId> = (16..40).map(GpuId).collect();
+        let avail = NodeSlots::restricted_to(cost.topology(), &owned);
+        let input = seqs(&[32 * 1024, 16 * 1024, 8192, 8192, 4096, 4096, 2048, 1024]);
+        let buckets = bucket_dp(&input, 8);
+        let plan = plan_micro_batch_within(&cost, &buckets, &avail, &PlannerConfig::default())
+            .expect("feasible inside the lease");
+        check_plan(&plan, &cost, &input, 24);
+        for g in &plan.groups {
+            for gpu in g.placement.as_ref().unwrap().gpus() {
+                assert!(owned.contains(gpu), "GPU {gpu} outside the lease");
+            }
+        }
+        // The heuristic-only path respects the lease too.
+        let h = plan_micro_batch_within(&cost, &buckets, &avail, &PlannerConfig::heuristic_only())
+            .unwrap();
+        assert!(h
+            .groups
+            .iter()
+            .flat_map(|g| g.placement.as_ref().unwrap().gpus())
+            .all(|gpu| owned.contains(gpu)));
+    }
+
+    #[test]
+    fn full_availability_plans_are_bit_identical_to_the_legacy_path() {
+        use flexsp_sim::NodeSlots;
+        let cost = cost64();
+        let input = seqs(&[
+            100 * 1024,
+            64 * 1024,
+            32 * 1024,
+            16 * 1024,
+            8192,
+            8192,
+            4096,
+            2048,
+            1024,
+        ]);
+        let buckets = bucket_dp(&input, 16);
+        let full = NodeSlots::new(cost.topology());
+        for cfg in [
+            PlannerConfig::default(),
+            PlannerConfig::heuristic_only(),
+            PlannerConfig::fast(),
+        ] {
+            let via_count = plan_micro_batch(&cost, &buckets, 64, &cfg).unwrap();
+            let via_slots = plan_micro_batch_within(&cost, &buckets, &full, &cfg).unwrap();
+            // Plan equality is assignment equality: identical groups,
+            // shapes, sequences and placements.
+            assert_eq!(via_count, via_slots, "cfg {cfg:?}");
+            for (a, b) in via_count.groups.iter().zip(&via_slots.groups) {
+                assert_eq!(a.placement, b.placement);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_availability_shrinks_the_shape_portfolio() {
+        use flexsp_sim::{GpuId, NodeSlots};
+        let cost = cost64();
+        let topo = cost.topology();
+        let full = NodeSlots::new(topo);
+        let all = available_shapes(&cost, &full);
+        // Legacy equivalence on the full ledger: same filter as fits().
+        assert!(all.contains(&GroupShape::intra(8)));
+        assert!(all.iter().any(|s| s.degree == 64));
+        // A 16-GPU lease drops every larger degree.
+        let lease = NodeSlots::restricted_to(topo, &(0..16).map(GpuId).collect::<Vec<_>>());
+        let restricted = available_shapes(&cost, &lease);
+        assert!(restricted.iter().all(|s| s.degree <= 16), "{restricted:?}");
+        assert!(restricted.contains(&GroupShape::intra(8)));
+        // A fragmented lease (5 GPUs on each of four nodes) cannot host
+        // intra-8 groups at all: the intra shape must vanish while the
+        // spanning variant survives.
+        let frag: Vec<GpuId> = (0..4).flat_map(|n| (n * 8..n * 8 + 5).map(GpuId)).collect();
+        let frag_slots = NodeSlots::restricted_to(topo, &frag);
+        let frag_shapes = available_shapes(&cost, &frag_slots);
+        assert!(
+            !frag_shapes.contains(&GroupShape::intra(8)),
+            "{frag_shapes:?}"
+        );
+        assert!(frag_shapes.contains(&GroupShape::new(8, 2)));
     }
 
     #[test]

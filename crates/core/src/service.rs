@@ -32,10 +32,14 @@ type Job = (u64, Vec<Sequence>);
 type JobResult = (u64, Result<SolvedIteration, PlanError>);
 
 /// Cache key: sorted sequence lengths (the batch's exact histogram), GPU
-/// count, and a fingerprint of the solver configuration *and the full
-/// cluster topology / cost model*. The GPU count alone is not a topology:
-/// two clusters with equal GPU counts but different `gpus_per_node` or
-/// interconnects fit different cost models and must never share plans.
+/// count, and a fingerprint of the solver configuration, *the full
+/// cluster topology / cost model*, and — for solvers bound to an arbiter
+/// lease — the **availability fingerprint** (ledger epoch + per-node
+/// free-slot vector). The GPU count alone is not a topology: two clusters
+/// with equal GPU counts but different `gpus_per_node` or interconnects
+/// fit different cost models and must never share plans; likewise two
+/// leases with equal GPU counts but different free sets, or the same
+/// lease before and after the free set changed, must never share plans.
 type CacheKey = (Vec<u64>, u32, u64);
 
 /// Counters for the service's plan cache.
@@ -117,6 +121,42 @@ impl PlanCache {
     }
 }
 
+/// A plan cache shareable across several [`SolverService`]s — the
+/// multi-job arrangement: every job's service keys its entries by its own
+/// solver fingerprint (topology, config, **availability**), so jobs with
+/// recurring batch shapes share capacity without ever sharing plans
+/// across different lease states.
+///
+/// # Example
+///
+/// ```no_run
+/// use flexsp_core::SharedPlanCache;
+/// let cache = SharedPlanCache::new(256);
+/// // Pass clones to SolverService::spawn_with_shared_cache for each job.
+/// let per_job = cache.clone();
+/// assert_eq!(cache.stats().entries, per_job.stats().entries);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<PlanCache>>,
+}
+
+impl SharedPlanCache {
+    /// Creates a cache holding up to `capacity` plans (`0` disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(PlanCache::new(capacity))),
+        }
+    }
+
+    /// Hit/miss/occupancy counters aggregated over every service sharing
+    /// this cache.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+}
+
 fn cache_key(batch: &[Sequence], n_gpus: u32, config_fp: u64) -> CacheKey {
     let mut lens: Vec<u64> = batch.iter().map(|s| s.len).collect();
     lens.sort_unstable();
@@ -134,6 +174,14 @@ fn config_fingerprint(solver: &FlexSpSolver) -> u64 {
     // speeds get distinct cache keys.
     format!("{:?}", solver.config()).hash(&mut h);
     format!("{:?}", solver.cost()).hash(&mut h);
+    // A lease-bound solver plans against a restricted free set: its
+    // availability fingerprint (epoch + free-slot vector) must split the
+    // cache so a plan solved under one lease state is never rebound
+    // under another — even within the same job, after a grow/shrink.
+    solver.availability_fingerprint().hash(&mut h);
+    if let Some(slots) = solver.availability() {
+        slots.fingerprint().hash(&mut h);
+    }
     h.finish()
 }
 
@@ -225,10 +273,27 @@ impl SolverService {
     ///
     /// Panics if `workers == 0`.
     pub fn spawn_with_cache(solver: FlexSpSolver, workers: usize, cache_capacity: usize) -> Self {
+        Self::spawn_with_shared_cache(solver, workers, &SharedPlanCache::new(cache_capacity))
+    }
+
+    /// Spawns the service against a [`SharedPlanCache`] several services
+    /// (one per job) may share. Entries are keyed by each service's full
+    /// solver fingerprint — including the availability fingerprint of a
+    /// lease-bound solver — so sharing capacity never shares plans across
+    /// cluster states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_with_shared_cache(
+        solver: FlexSpSolver,
+        workers: usize,
+        shared: &SharedPlanCache,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let (job_tx, job_rx) = unbounded::<Job>();
         let (res_tx, res_rx) = unbounded::<JobResult>();
-        let cache = Arc::new(Mutex::new(PlanCache::new(cache_capacity)));
+        let cache = Arc::clone(&shared.inner);
         let n_gpus = solver.cost().num_gpus();
         let config_fp = config_fingerprint(&solver);
         let handles = (0..workers)
@@ -457,6 +522,48 @@ mod tests {
     fn recv_without_submit_panics() {
         let service = SolverService::spawn(solver(), 1);
         let _ = service.recv_plan();
+    }
+
+    #[test]
+    fn shared_cache_isolates_different_availability_states() {
+        use flexsp_sim::{GpuId, NodeSlots};
+        let cluster = ClusterSpec::a100_cluster(2);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let topo = cost.topology().clone();
+        let lease_a: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let lease_b: Vec<GpuId> = (8..16).map(GpuId).collect();
+        let shared = SharedPlanCache::new(64);
+        let bind = |gpus: &[GpuId], fp: u64| {
+            FlexSpSolver::new(cost.clone(), SolverConfig::fast())
+                .with_availability(NodeSlots::restricted_to(&topo, gpus), fp)
+        };
+        let svc_a = SolverService::spawn_with_shared_cache(bind(&lease_a, 1), 1, &shared);
+        let svc_b = SolverService::spawn_with_shared_cache(bind(&lease_b, 2), 1, &shared);
+        let b = batch(9, 8);
+        // Same batch shape through both services: each must MISS (their
+        // availability states differ) and then HIT its own repeat.
+        svc_a.submit(b.clone());
+        svc_b.submit(b.clone());
+        assert!(!svc_a.recv_plan().unwrap().from_cache);
+        assert!(!svc_b.recv_plan().unwrap().from_cache);
+        svc_a.submit(b.clone());
+        svc_b.submit(b.clone());
+        assert!(svc_a.recv_plan().unwrap().from_cache);
+        assert!(svc_b.recv_plan().unwrap().from_cache);
+        assert_eq!(shared.stats().entries, 2, "one entry per lease state");
+        // A *renewed* lease (same slots, new epoch fingerprint) must not
+        // replay the stale entry.
+        let svc_a2 = SolverService::spawn_with_shared_cache(bind(&lease_a, 3), 1, &shared);
+        svc_a2.submit(b);
+        assert!(
+            !svc_a2.recv_plan().unwrap().from_cache,
+            "epoch change must invalidate cached plans"
+        );
+        assert_eq!(shared.stats().entries, 3);
+        svc_a.shutdown();
+        svc_b.shutdown();
+        svc_a2.shutdown();
     }
 
     #[test]

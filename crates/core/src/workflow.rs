@@ -10,12 +10,13 @@ use std::time::Instant;
 
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
+use flexsp_sim::NodeSlots;
 
 use crate::blaster::{blast, min_micro_batches};
 use crate::bucketing::{bucket_dp, bucket_exact, bucket_fixed_interval, Bucket};
 use crate::error::PlanError;
 use crate::plan::{IterationPlan, PlanStats};
-use crate::planner::{plan_micro_batch, PlannerConfig};
+use crate::planner::{plan_micro_batch_within, PlannerConfig};
 
 /// Sequence-bucketing strategy (§4.1.3 + the Fig. 7 / Table 4 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,12 +99,54 @@ pub struct SolvedIteration {
 pub struct FlexSpSolver {
     cost: CostModel,
     config: SolverConfig,
+    /// Restricted availability this solver plans within (multi-job
+    /// sharing): the free-slot ledger plus the fingerprint of the lease
+    /// it came from (epoch + free set). `None` = the whole cluster.
+    avail: Option<(NodeSlots, u64)>,
 }
 
 impl FlexSpSolver {
-    /// Creates a solver over a fitted cost model.
+    /// Creates a solver over a fitted cost model, planning against the
+    /// whole cluster.
     pub fn new(cost: CostModel, config: SolverConfig) -> Self {
-        Self { cost, config }
+        Self {
+            cost,
+            config,
+            avail: None,
+        }
+    }
+
+    /// Binds the solver to a **restricted** availability: every plan is
+    /// solved and placed within the free slots of `slots` (a lease's
+    /// view), and `fingerprint` — which must change whenever the lease's
+    /// free set or the arbiter's ledger epoch does — joins the solver's
+    /// cache identity so stale plans are never replayed after the free
+    /// set changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` belongs to a different topology than the cost
+    /// model, or has no free GPUs.
+    pub fn with_availability(mut self, slots: NodeSlots, fingerprint: u64) -> Self {
+        assert_eq!(
+            slots.topology(),
+            self.cost.topology(),
+            "availability and cost model must describe the same cluster"
+        );
+        assert!(slots.total_free() > 0, "an empty lease cannot plan");
+        self.avail = Some((slots, fingerprint));
+        self
+    }
+
+    /// The restricted availability this solver plans within, if bound.
+    pub fn availability(&self) -> Option<&NodeSlots> {
+        self.avail.as_ref().map(|(s, _)| s)
+    }
+
+    /// The availability fingerprint, if bound (see
+    /// [`FlexSpSolver::with_availability`]).
+    pub fn availability_fingerprint(&self) -> Option<u64> {
+        self.avail.as_ref().map(|(_, fp)| *fp)
     }
 
     /// The underlying cost model.
@@ -134,7 +177,14 @@ impl FlexSpSolver {
     /// * [`PlanError::Infeasible`] if every candidate count fails.
     pub fn solve_iteration(&self, batch: &[Sequence]) -> Result<SolvedIteration, PlanError> {
         let start = Instant::now();
-        let capacity = self.cost.cluster_token_capacity();
+        // The free slots this solver plans within: its bound lease view,
+        // or the whole cluster.
+        let slots = match &self.avail {
+            Some((s, _)) => s.clone(),
+            None => NodeSlots::new(self.cost.topology()),
+        };
+        let n_free = slots.total_free();
+        let capacity = self.cost.token_capacity_within(&slots);
         let Some(m_min) = min_micro_batches(batch, capacity) else {
             return Err(PlanError::Infeasible(
                 "cluster token capacity is zero".into(),
@@ -145,6 +195,7 @@ impl FlexSpSolver {
                 .cost
                 .degrees()
                 .iter()
+                .filter(|&&d| d <= n_free)
                 .map(|&d| self.cost.max_group_tokens(d))
                 .max()
                 .unwrap_or(0);
@@ -164,7 +215,7 @@ impl FlexSpSolver {
         // baselines' search space only partially covered; add those
         // counts (and one LPT-imbalance spare) explicitly.
         for &d in &self.cost.degrees() {
-            let groups = (self.cost.num_gpus() / d) as u64;
+            let groups = (n_free / d) as u64;
             let cap_d = self.cost.max_group_tokens(d).saturating_mul(groups);
             let Some(m_d) = min_micro_batches(batch, cap_d) else {
                 continue;
@@ -177,18 +228,14 @@ impl FlexSpSolver {
         }
         counts.sort_unstable();
         let parallel = self.config.parallel;
+        let slots = &slots;
         let solve_one = |m: usize| -> Result<(IterationPlan, f64), PlanError> {
             let micro_batches = blast(batch, m, self.config.sort_by_length);
             // Second level of the paper's two-level parallel solving: the
             // micro-batches of one trial are planned concurrently.
             let solve_mb = |mb: &Vec<flexsp_data::Sequence>| {
                 let buckets = self.bucket(mb);
-                plan_micro_batch(
-                    &self.cost,
-                    &buckets,
-                    self.cost.num_gpus(),
-                    &self.config.planner,
-                )
+                plan_micro_batch_within(&self.cost, &buckets, slots, &self.config.planner)
             };
             let results: Vec<Result<_, PlanError>> = if parallel && micro_batches.len() > 1 {
                 crossbeam::thread::scope(|scope| {
@@ -356,6 +403,52 @@ mod tests {
         let too_long = s.cost().max_group_tokens(64) + 1000;
         let err = s.solve_iteration(&seqs(&[too_long])).unwrap_err();
         assert!(matches!(err, PlanError::SequenceTooLong { .. }));
+    }
+
+    #[test]
+    fn lease_bound_solver_plans_inside_its_slots() {
+        use flexsp_sim::{GpuId, NodeSlots};
+        let cluster = ClusterSpec::a100_cluster(8);
+        let model = ModelConfig::gpt_7b(384 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        // A 24-GPU lease over nodes 5..8 (one of them half-reserved).
+        let owned: Vec<GpuId> = (40..64).map(GpuId).collect();
+        let slots = NodeSlots::restricted_to(cost.topology(), &owned);
+        let bound = FlexSpSolver::new(cost.clone(), SolverConfig::fast())
+            .with_availability(slots.clone(), 0xfeed);
+        assert_eq!(bound.availability_fingerprint(), Some(0xfeed));
+        let batch = seqs(&[32 * 1024, 16 * 1024, 8192, 8192, 4096, 4096, 2048, 1024]);
+        let out = bound.solve_iteration(&batch).unwrap();
+        assert_eq!(out.plan.num_seqs(), batch.len());
+        for mb in &out.plan.micro_batches {
+            assert!(mb.gpus_used() <= 24, "lease budget");
+            for g in &mb.groups {
+                for gpu in g.placement.as_ref().unwrap().gpus() {
+                    assert!(owned.contains(gpu), "GPU {gpu} outside the lease");
+                }
+            }
+        }
+        // The lease's capacity, not the cluster's, drives accumulation: a
+        // batch that fits the cluster once needs more micro-batches here.
+        let cap_full = cost.cluster_token_capacity();
+        let cap_lease = cost.token_capacity_within(&slots);
+        assert_eq!(cap_lease, cap_full * 24 / 64);
+        // An oversized sequence is judged against degrees the lease hosts.
+        let too_long = cost.max_group_tokens(32) + 1;
+        let err = bound.solve_iteration(&seqs(&[too_long])).unwrap_err();
+        assert!(matches!(err, PlanError::SequenceTooLong { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "same cluster")]
+    fn availability_must_match_the_cost_model() {
+        use flexsp_sim::NodeSlots;
+        let cluster = ClusterSpec::a100_cluster(2);
+        let model = ModelConfig::gpt_7b(64 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let other = flexsp_sim::Topology::new(4, 4);
+        let _ = FlexSpSolver::new(cost, SolverConfig::fast())
+            .with_availability(NodeSlots::new(&other), 1);
     }
 
     #[test]

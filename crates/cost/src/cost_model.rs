@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use flexsp_model::{ActivationPolicy, ModelConfig, ZeroStage};
-use flexsp_sim::{ClusterSpec, GroupShape, SkuId, Topology};
+use flexsp_sim::{ClusterSpec, GroupShape, NodeSlots, SkuId, Topology};
 
 use crate::fit::lstsq;
 use crate::profiler::{ProfilePoint, Profiler};
@@ -450,6 +450,28 @@ impl CostModel {
     pub fn cluster_token_capacity(&self) -> u64 {
         self.memory.tokens_per_device() * self.num_gpus() as u64
     }
+
+    /// Token capacity of the **free slots** of `avail` in one micro-batch
+    /// — the blaster's `M_min` input for a job planning against a lease's
+    /// restricted view instead of the whole cluster. On an unrestricted
+    /// ledger this equals [`CostModel::cluster_token_capacity`].
+    pub fn token_capacity_within(&self, avail: &NodeSlots) -> u64 {
+        self.memory.tokens_per_device() * avail.total_free() as u64
+    }
+
+    /// The fitted placement classes drawable from the free slots of
+    /// `avail`, ascending: shapes whose degree exceeds the free GPU count
+    /// or whose balanced layout no free-slot pattern can absorb are
+    /// dropped. On an unrestricted ledger this is exactly
+    /// [`CostModel::shapes`] filtered by topology fit — the planner's
+    /// pre-arbiter portfolio.
+    pub fn shapes_within(&self, avail: &NodeSlots) -> Vec<GroupShape> {
+        self.comm
+            .keys()
+            .filter(|s| s.degree <= avail.total_free() && s.fits_within(avail))
+            .copied()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -543,6 +565,33 @@ mod tests {
         let cm = fitted();
         assert!(cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(32 * 1024, 8));
         assert!(cm.mem_per_device_bytes(64 * 1024, 8) > cm.mem_per_device_bytes(64 * 1024, 16));
+    }
+
+    #[test]
+    fn availability_pricing_restricts_capacity_and_shapes() {
+        use flexsp_sim::GpuId;
+        let cm = fitted();
+        let topo = cm.topology().clone();
+        let full = NodeSlots::new(&topo);
+        assert_eq!(cm.token_capacity_within(&full), cm.cluster_token_capacity());
+        // A 12-GPU lease: one full node plus half a node.
+        let lease: Vec<GpuId> = (0..12).map(GpuId).collect();
+        let slots = NodeSlots::restricted_to(&topo, &lease);
+        assert_eq!(
+            cm.token_capacity_within(&slots),
+            cm.memory_model().tokens_per_device() * 12
+        );
+        let shapes = cm.shapes_within(&slots);
+        assert!(shapes.contains(&GroupShape::intra(8)));
+        assert!(shapes.contains(&GroupShape::new(8, 2)), "4+4 spanning");
+        assert!(
+            shapes.iter().all(|s| s.degree <= 12),
+            "degrees past the lease dropped: {shapes:?}"
+        );
+        // Unrestricted view recovers the full fitted portfolio.
+        let all = cm.shapes_within(&full);
+        let expect: Vec<GroupShape> = cm.shapes().into_iter().filter(|s| s.fits(&topo)).collect();
+        assert_eq!(all, expect);
     }
 
     #[test]

@@ -73,12 +73,16 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
         return 0.0;
     }
     let topo = cluster.topology();
+    // Link constants gated by the slowest participating SKU class (the
+    // shared fabric when no per-SKU overrides are installed).
+    let net = cluster.group_net_of(group);
+    let derate = cluster.inter_bw_derate();
     let inter_frac = group.inter_node_fraction_on(topo);
     let intra = group.is_intra_node_on(topo);
     let latency = if intra {
-        cluster.net.nvlink_latency_s
+        net.nvlink_latency_s
     } else {
-        cluster.net.nic_latency_s
+        net.nic_latency_s
     };
 
     match collective {
@@ -86,9 +90,9 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
             // Each GPU ships (d-1)/d of its payload, split intra/inter.
             let egress = per_gpu_bytes as f64 * (d - 1.0) / d;
             let per_peer_msg = per_gpu_bytes as f64 / d;
-            let t_intra = egress * (1.0 - inter_frac) / cluster.nvlink_eff_bw(per_peer_msg);
+            let t_intra = egress * (1.0 - inter_frac) / net.nvlink_eff(per_peer_msg);
             let t_inter = if inter_frac > 0.0 {
-                egress * inter_frac / cluster.nic_eff_bw_per_gpu(per_peer_msg)
+                egress * inter_frac / net.nic_eff_per_gpu(per_peer_msg, derate)
             } else {
                 0.0
             };
@@ -108,11 +112,11 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
             // Pipeline broadcast: limited by the slowest link on the path.
             let inter_t = if !intra {
                 let width = group.min_spanned_width(topo);
-                bytes as f64 / cluster.node_nic_eff_bw(width, bytes as f64)
+                bytes as f64 / net.node_nic_eff(width, bytes as f64, derate)
             } else {
                 0.0
             };
-            let intra_t = bytes as f64 / cluster.nvlink_eff_bw(bytes as f64);
+            let intra_t = bytes as f64 / net.nvlink_eff(bytes as f64);
             latency + intra_t.max(inter_t)
         }
         Collective::RingStep { bytes } => {
@@ -121,9 +125,9 @@ pub fn collective_time(cluster: &ClusterSpec, group: &DeviceGroup, collective: C
             // per-GPU NIC share.
             let b = bytes as f64;
             let link_bw = if intra {
-                cluster.nvlink_eff_bw(b)
+                net.nvlink_eff(b)
             } else {
-                cluster.nic_eff_bw_per_gpu(b)
+                net.nic_eff_per_gpu(b, derate)
             };
             latency + b / link_bw
         }
@@ -142,21 +146,23 @@ fn gather_family_time(
 ) -> f64 {
     let d = group.degree() as f64;
     let topo = cluster.topology();
+    let net = cluster.group_net_of(group);
+    let derate = cluster.inter_bw_derate();
     let shard = shard_bytes as f64;
     let intra = group.is_intra_node_on(topo);
     let latency = if intra {
-        cluster.net.nvlink_latency_s
+        net.nvlink_latency_s
     } else {
-        cluster.net.nic_latency_s
+        net.nic_latency_s
     };
-    let t_intra = (d - 1.0) * shard / cluster.nvlink_eff_bw(shard);
+    let t_intra = (d - 1.0) * shard / net.nvlink_eff(shard);
     let t_inter = if !intra {
         let nodes = group.nodes_spanned_on(topo) as f64;
         // A node must import every shard it does not host: (d − d/nodes)
         // shards through the whole node NIC.
         let import = (d - d / nodes) * shard;
         let width = group.min_spanned_width(topo);
-        import / cluster.node_nic_eff_bw(width, shard)
+        import / net.node_nic_eff(width, shard, derate)
     } else {
         0.0
     };
@@ -293,6 +299,35 @@ mod tests {
             Collective::RingStep { bytes },
         );
         assert!(inter > 5.0 * intra);
+    }
+
+    #[test]
+    fn sku_links_speed_up_fast_class_groups_only() {
+        use crate::group::GpuId;
+        use crate::shape::SkuId;
+        let shared = ClusterSpec::a100_h100_mix(2, 2, 8);
+        let linked = ClusterSpec::a100_h100_mix_with_links(2, 2, 8);
+        assert!(linked.net_of(SkuId(0)).nvlink_bw > shared.net.nvlink_bw);
+        let payload = Collective::AllToAll {
+            per_gpu_bytes: 64 << 20,
+        };
+        // H100-resident group: faster NVLink under per-SKU links.
+        let h100 = DeviceGroup::from_gpus((16..24).map(GpuId).collect());
+        let t_shared = collective_time(&shared, &h100, payload);
+        let t_linked = collective_time(&linked, &h100, payload);
+        assert!(t_linked < 0.8 * t_shared, "{t_linked} vs {t_shared}");
+        // A100-resident group: bit-identical (it never had fast links).
+        let a100 = DeviceGroup::from_gpus((0..8).map(GpuId).collect());
+        assert_eq!(
+            collective_time(&shared, &a100, payload),
+            collective_time(&linked, &a100, payload)
+        );
+        // Straddling group: gated at the slow class, so also identical.
+        let straddle = DeviceGroup::from_gpus((8..24).map(GpuId).collect());
+        assert_eq!(
+            collective_time(&shared, &straddle, payload),
+            collective_time(&linked, &straddle, payload)
+        );
     }
 
     #[test]

@@ -381,6 +381,38 @@ impl GroupShape {
         }
     }
 
+    /// True if the shape can be drawn from the *free* slots of `slots`:
+    /// its SKU class can host it alone on free capacity, or — when the
+    /// class's free pool falls short — the whole free set can. The exact
+    /// analogue of [`GroupShape::fits`] evaluated against an availability
+    /// ledger instead of the full topology; on a fully free ledger the two
+    /// agree.
+    pub fn fits_within(&self, slots: &NodeSlots) -> bool {
+        let topo = slots.topology();
+        if slots.min_span_free_sku(self.degree, self.sku).is_some() {
+            let class_max_free = (0..topo.num_nodes())
+                .filter(|&n| topo.node_sku(n) == self.sku)
+                .map(|n| slots.free_on(n))
+                .max()
+                .unwrap_or(0);
+            let class_nodes_free = (0..topo.num_nodes())
+                .filter(|&n| topo.node_sku(n) == self.sku && slots.free_on(n) > 0)
+                .count() as u32;
+            self.nodes_spanned <= class_nodes_free && self.max_gpus_per_node() <= class_max_free
+        } else {
+            let nodes_free = (0..topo.num_nodes())
+                .filter(|&n| slots.free_on(n) > 0)
+                .count() as u32;
+            let max_free = (0..topo.num_nodes())
+                .map(|n| slots.free_on(n))
+                .max()
+                .unwrap_or(0);
+            self.degree <= slots.total_free()
+                && self.nodes_spanned <= nodes_free
+                && self.max_gpus_per_node() <= max_free
+        }
+    }
+
     /// Canonical label: `SP8` intra-node, `SP16/2n` spanning two nodes,
     /// with a `#k` suffix for SKU classes other than the fastest
     /// (`SP8#1`, `SP16/2n#1`).
@@ -551,6 +583,122 @@ impl NodeSlots {
             topo: topo.clone(),
             free,
         }
+    }
+
+    /// A **restricted** ledger: only the listed GPUs are free — the view a
+    /// reservation arbiter hands a job whose lease owns `gpus`. Duplicate
+    /// ids are collapsed; each node's free list stays ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any GPU id is outside `topo`.
+    pub fn restricted_to(topo: &Topology, gpus: &[GpuId]) -> Self {
+        let mut free: Vec<Vec<GpuId>> = vec![Vec::new(); topo.num_nodes() as usize];
+        let mut sorted: Vec<GpuId> = gpus.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for g in sorted {
+            free[topo.node_of(g) as usize].push(g);
+        }
+        Self {
+            topo: topo.clone(),
+            free,
+        }
+    }
+
+    /// Returns `gpus` to the free lists (the inverse of a take).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GPU is outside the cluster or already free.
+    pub fn release(&mut self, gpus: &[GpuId]) {
+        for &g in gpus {
+            let node = self.topo.node_of(g) as usize;
+            let slot = &mut self.free[node];
+            let pos = slot.partition_point(|&f| f < g);
+            assert!(
+                slot.get(pos) != Some(&g),
+                "{g} released twice into the same ledger"
+            );
+            slot.insert(pos, g);
+        }
+    }
+
+    /// True if every GPU of the topology is free (an unrestricted view).
+    pub fn is_unrestricted(&self) -> bool {
+        self.total_free() == self.topo.num_gpus()
+    }
+
+    /// The free GPUs, ascending.
+    pub fn free_gpus(&self) -> Vec<GpuId> {
+        let mut out: Vec<GpuId> = self.free.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True if `gpu` is currently free in this ledger.
+    pub fn is_free(&self, gpu: GpuId) -> bool {
+        let node = self.topo.node_of(gpu) as usize;
+        self.free[node].binary_search(&gpu).is_ok()
+    }
+
+    /// Total free GPUs of SKU class `sku`.
+    pub fn free_sku_gpus(&self, sku: SkuId) -> u32 {
+        (0..self.topo.num_nodes())
+            .filter(|&n| self.topo.node_sku(n) == sku)
+            .map(|n| self.free_on(n))
+            .sum()
+    }
+
+    /// The fewest nodes a degree-`degree` group can span on the *free*
+    /// slots, or `None` if fewer than `degree` GPUs are free.
+    pub fn min_span_free(&self, degree: u32) -> Option<u32> {
+        min_span_over((0..self.topo.num_nodes()).map(|n| self.free_on(n)), degree)
+    }
+
+    /// The fewest SKU-`sku` nodes a degree-`degree` group can span on the
+    /// free slots, or `None` if the class's free pool falls short.
+    pub fn min_span_free_sku(&self, degree: u32, sku: SkuId) -> Option<u32> {
+        min_span_over(
+            (0..self.topo.num_nodes())
+                .filter(|&n| self.topo.node_sku(n) == sku)
+                .map(|n| self.free_on(n)),
+            degree,
+        )
+    }
+
+    /// The most intra-node degree-`degree` groups the free slots can host.
+    pub fn intra_capacity_free(&self, degree: u32) -> u32 {
+        (0..self.topo.num_nodes())
+            .map(|n| self.free_on(n) / degree.max(1))
+            .sum()
+    }
+
+    /// The most intra-node degree-`degree` groups the SKU-`sku` free
+    /// slots can host.
+    pub fn intra_capacity_free_sku(&self, degree: u32, sku: SkuId) -> u32 {
+        (0..self.topo.num_nodes())
+            .filter(|&n| self.topo.node_sku(n) == sku)
+            .map(|n| self.free_on(n) / degree.max(1))
+            .sum()
+    }
+
+    /// A stable fingerprint of the availability: the topology plus the
+    /// exact per-node free-slot vectors. Two ledgers agree iff the same
+    /// GPUs of the same cluster are free — the key plan caches must
+    /// include so a plan solved under one free set is never replayed
+    /// under another.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.topo.hash(&mut h);
+        for slot in &self.free {
+            slot.len().hash(&mut h);
+            for g in slot {
+                g.0.hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     /// The topology this ledger tracks.
@@ -872,6 +1020,72 @@ mod tests {
         );
         let g = slots.take_packed_for(8, SkuId(0)).unwrap();
         assert_eq!(GroupShape::of(&g, &topo), preview);
+    }
+
+    #[test]
+    fn restricted_views_and_release_roundtrip() {
+        let topo = mixed_topo();
+        // A lease owning node 0 plus half of node 2.
+        let owned: Vec<GpuId> = (0..8).chain(16..20).map(GpuId).collect();
+        let mut slots = NodeSlots::restricted_to(&topo, &owned);
+        assert_eq!(slots.total_free(), 12);
+        assert!(!slots.is_unrestricted());
+        assert_eq!(slots.free_sku_gpus(SkuId(0)), 8);
+        assert_eq!(slots.free_sku_gpus(SkuId(1)), 4);
+        assert_eq!(slots.free_gpus(), owned);
+        assert!(slots.is_free(GpuId(0)) && !slots.is_free(GpuId(8)));
+        // Free-slot analogues of the topology queries.
+        assert_eq!(slots.min_span_free(12), Some(2));
+        assert_eq!(slots.min_span_free(13), None);
+        assert_eq!(slots.min_span_free_sku(8, SkuId(0)), Some(1));
+        assert_eq!(slots.min_span_free_sku(8, SkuId(1)), None);
+        assert_eq!(slots.intra_capacity_free(4), 3);
+        assert_eq!(slots.intra_capacity_free_sku(4, SkuId(1)), 1);
+        // Draws stay inside the restriction, and release restores it.
+        let g = slots.take_packed(10).unwrap();
+        assert!(g.gpus().iter().all(|gpu| owned.contains(gpu)));
+        let fp_after_take = slots.fingerprint();
+        slots.release(g.gpus());
+        assert_eq!(slots.free_gpus(), owned);
+        assert_ne!(
+            slots.fingerprint(),
+            fp_after_take,
+            "fingerprint tracks the free set"
+        );
+        // A full ledger is unrestricted and fits agree with the topology.
+        let full = NodeSlots::new(&topo);
+        assert!(full.is_unrestricted());
+        for shape in enumerate_shapes(&topo, &[1, 2, 4, 8, 16, 32]) {
+            assert_eq!(shape.fits(&topo), shape.fits_within(&full), "{shape}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_is_rejected() {
+        let topo = Topology::new(1, 4);
+        let mut slots = NodeSlots::new(&topo);
+        slots.release(&[GpuId(0)]);
+    }
+
+    #[test]
+    fn fits_within_respects_the_restriction() {
+        let topo = mixed_topo();
+        // Only the two slow nodes are free: the fast-class intra-8 shape
+        // is no longer *class-hosted* (a draw would spill onto the slow
+        // class) but still fits via the spill path — the same permissive
+        // semantics `fits` has for cross-class shapes — while the
+        // slow-class variants are hosted outright.
+        let slots = NodeSlots::restricted_to(&topo, &(16..32).map(GpuId).collect::<Vec<_>>());
+        assert!(slots.min_span_free_sku(8, SkuId(0)).is_none());
+        assert!(GroupShape::intra(8).fits_within(&slots));
+        assert!(GroupShape::intra(8).with_sku(SkuId(1)).fits_within(&slots));
+        assert!(GroupShape::new(16, 2)
+            .with_sku(SkuId(1))
+            .fits_within(&slots));
+        assert!(!GroupShape::new(32, 4)
+            .with_sku(SkuId(1))
+            .fits_within(&slots));
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub enum SpecError {
     BadCompute(&'static str),
     /// More distinct GPU SKUs than [`SkuId`] can index (255).
     TooManySkus,
+    /// A per-SKU override named a SKU class the cluster does not have.
+    UnknownSku(SkuId),
 }
 
 impl fmt::Display for SpecError {
@@ -32,6 +34,9 @@ impl fmt::Display for SpecError {
                 write!(f, "GPU constant `{which}` must be positive and finite")
             }
             SpecError::TooManySkus => write!(f, "at most 255 distinct GPU SKUs supported"),
+            SpecError::UnknownSku(sku) => {
+                write!(f, "SKU {sku} is not a class of this cluster")
+            }
         }
     }
 }
@@ -70,6 +75,39 @@ pub struct InterconnectSpec {
     pub nic_half_msg: f64,
     /// Per-collective inter-node latency (seconds).
     pub nic_latency_s: f64,
+}
+
+impl InterconnectSpec {
+    /// Effective NVLink bandwidth for per-peer messages of `msg` bytes.
+    pub fn nvlink_eff(&self, msg: f64) -> f64 {
+        ramp(self.nvlink_bw, msg, self.nvlink_half_msg)
+    }
+
+    /// Effective per-GPU inter-node bandwidth for messages of `msg`
+    /// bytes under a cluster-size `derate` multiplier.
+    pub fn nic_eff_per_gpu(&self, msg: f64, derate: f64) -> f64 {
+        ramp(self.nic_bw_per_gpu * derate, msg, self.nic_half_msg)
+    }
+
+    /// Whole-node NIC bandwidth for a node contributing `width` GPUs.
+    pub fn node_nic_eff(&self, width: u32, msg: f64, derate: f64) -> f64 {
+        self.nic_eff_per_gpu(msg, derate) * width as f64
+    }
+
+    /// The field-wise **worst** of two link specs: minimum bandwidths,
+    /// maximum half-saturation messages and latencies. This is the link a
+    /// collective spanning both fabrics is gated by — the slowest
+    /// participating link dominates (DeepSpeed-Ulysses).
+    pub fn worst_of(&self, other: &InterconnectSpec) -> InterconnectSpec {
+        InterconnectSpec {
+            nvlink_bw: self.nvlink_bw.min(other.nvlink_bw),
+            nvlink_half_msg: self.nvlink_half_msg.max(other.nvlink_half_msg),
+            nvlink_latency_s: self.nvlink_latency_s.max(other.nvlink_latency_s),
+            nic_bw_per_gpu: self.nic_bw_per_gpu.min(other.nic_bw_per_gpu),
+            nic_half_msg: self.nic_half_msg.max(other.nic_half_msg),
+            nic_latency_s: self.nic_latency_s.max(other.nic_latency_s),
+        }
+    }
 }
 
 /// A GPU cluster: an explicit node list (per-node widths and SKU classes)
@@ -116,8 +154,12 @@ pub struct ClusterSpec {
     topo: Topology,
     /// Per-SKU compute constants, indexed by [`SkuId`], fastest first.
     skus: Vec<GpuSpec>,
-    /// Link characteristics (one shared fabric).
+    /// Link characteristics (the default fabric every SKU inherits).
     pub net: InterconnectSpec,
+    /// Per-SKU link overrides, sparse: SKUs without an entry use `net`.
+    /// Installed via [`ClusterSpec::with_sku_net`]; empty on every
+    /// uniform constructor, so homogeneous fits are unchanged.
+    sku_nets: Vec<(SkuId, InterconnectSpec)>,
 }
 
 impl ClusterSpec {
@@ -200,7 +242,75 @@ impl ClusterSpec {
             topo: Topology::from_nodes(node_specs),
             skus,
             net,
+            sku_nets: Vec::new(),
         })
+    }
+
+    /// Installs per-SKU link constants for SKU class `sku`, overriding
+    /// the shared `net` for groups placed on that class's nodes (see
+    /// [`ClusterSpec::group_net_of`]). SKUs without an override keep the
+    /// shared fabric, so a cluster with no overrides is bit-identical to
+    /// the pre-override model.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownSku`] if `sku` is not a class of this cluster;
+    /// [`SpecError::BadBandwidth`] for non-positive constants.
+    pub fn with_sku_net(mut self, sku: SkuId, net: InterconnectSpec) -> Result<Self, SpecError> {
+        if sku.0 as usize >= self.skus.len() {
+            return Err(SpecError::UnknownSku(sku));
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(net.nvlink_bw) {
+            return Err(SpecError::BadBandwidth("nvlink_bw"));
+        }
+        if !positive(net.nic_bw_per_gpu) {
+            return Err(SpecError::BadBandwidth("nic_bw_per_gpu"));
+        }
+        self.sku_nets.retain(|(s, _)| *s != sku);
+        self.sku_nets.push((sku, net));
+        self.sku_nets.sort_by_key(|(s, _)| *s);
+        Ok(self)
+    }
+
+    /// The link constants of SKU class `sku`: its override when one was
+    /// installed, the shared `net` otherwise.
+    pub fn net_of(&self, sku: SkuId) -> InterconnectSpec {
+        self.sku_nets
+            .iter()
+            .find(|(s, _)| *s == sku)
+            .map(|(_, n)| *n)
+            .unwrap_or(self.net)
+    }
+
+    /// The link constants gating a collective over `group`: the
+    /// field-wise worst across the SKU classes of its participating
+    /// nodes — the slowest participating link dominates a collective
+    /// (DeepSpeed-Ulysses). With no per-SKU overrides installed this is
+    /// exactly the shared `net`.
+    pub fn group_net_of(&self, group: &DeviceGroup) -> InterconnectSpec {
+        if self.sku_nets.is_empty() {
+            return self.net;
+        }
+        // Hot path (called per collective inside plan pricing): fold the
+        // worst spec while scanning, no allocation. Members are grouped
+        // by node, so skipping consecutive repeats elides almost every
+        // lookup; re-folding a SKU seen earlier is idempotent.
+        let mut worst: Option<InterconnectSpec> = None;
+        let mut last: Option<SkuId> = None;
+        for &g in group.gpus() {
+            let sku = self.sku_of_gpu(g);
+            if last == Some(sku) {
+                continue;
+            }
+            last = Some(sku);
+            let net = self.net_of(sku);
+            worst = Some(match worst {
+                Some(w) => w.worst_of(&net),
+                None => net,
+            });
+        }
+        worst.unwrap_or(self.net)
     }
 
     /// The calibrated A100-40GB constants of the paper's testbed.
@@ -239,6 +349,21 @@ impl ClusterSpec {
             nic_bw_per_gpu: 6.25e9,
             nic_half_msg: 128e3,
             nic_latency_s: 30e-6,
+        }
+    }
+
+    /// H100 (SXM, NVLink 4) link constants for per-SKU interconnect
+    /// studies: ≈2× the A100's effective per-GPU NVLink bandwidth for
+    /// dense collectives, slightly lower latency, and a doubled per-GPU
+    /// NIC share (rail-optimized 2×400 Gbps-class fabrics).
+    pub fn h100_net() -> InterconnectSpec {
+        InterconnectSpec {
+            nvlink_bw: 150e9,
+            nvlink_half_msg: 512e3,
+            nvlink_latency_s: 12e-6,
+            nic_bw_per_gpu: 12.5e9,
+            nic_half_msg: 128e3,
+            nic_latency_s: 25e-6,
         }
     }
 
@@ -313,6 +438,32 @@ impl ClusterSpec {
             .expect("the mixed preset is valid for non-zero dimensions")
     }
 
+    /// [`ClusterSpec::a100_h100_mix`] with **per-SKU link constants**
+    /// installed: the H100 class gets [`ClusterSpec::h100_net`] instead
+    /// of inheriting the A100 fabric, so H100-resident groups see NVLink 4
+    /// bandwidth while any group touching an A100 node is gated by the
+    /// slower class's links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both node counts are zero or the width is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flexsp_sim::{ClusterSpec, SkuId};
+    /// let c = ClusterSpec::a100_h100_mix_with_links(2, 2, 8);
+    /// // SKU 0 (H100) carries its own NVLink constants; SKU 1 (A100)
+    /// // keeps the shared fabric.
+    /// assert!(c.net_of(SkuId(0)).nvlink_bw > c.net_of(SkuId(1)).nvlink_bw);
+    /// ```
+    pub fn a100_h100_mix_with_links(a100_nodes: u32, h100_nodes: u32, gpus_per_node: u32) -> Self {
+        assert!(h100_nodes > 0, "the links preset needs an H100 class");
+        Self::a100_h100_mix(a100_nodes, h100_nodes, gpus_per_node)
+            .with_sku_net(SkuId(0), Self::h100_net())
+            .expect("SKU 0 exists and the H100 link preset is valid")
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> u32 {
         self.topo.num_nodes()
@@ -377,9 +528,11 @@ impl ClusterSpec {
             .collect()
     }
 
-    /// Effective NVLink bandwidth for per-peer messages of `msg` bytes.
+    /// Effective NVLink bandwidth for per-peer messages of `msg` bytes
+    /// on the **default** fabric (per-SKU callers go through
+    /// [`ClusterSpec::group_net_of`]).
     pub fn nvlink_eff_bw(&self, msg: f64) -> f64 {
-        ramp(self.net.nvlink_bw, msg, self.net.nvlink_half_msg)
+        self.net.nvlink_eff(msg)
     }
 
     /// Effective per-GPU inter-node bandwidth for per-peer messages of
@@ -387,11 +540,7 @@ impl ClusterSpec {
     /// less fabric oversubscription (the paper observes that its 16-GPU
     /// slice enjoys higher inter-node bandwidth than 32/64 GPUs).
     pub fn nic_eff_bw_per_gpu(&self, msg: f64) -> f64 {
-        ramp(
-            self.net.nic_bw_per_gpu * self.inter_bw_derate(),
-            msg,
-            self.net.nic_half_msg,
-        )
+        self.net.nic_eff_per_gpu(msg, self.inter_bw_derate())
     }
 
     /// Whole-node NIC bandwidth for a node contributing `width` GPUs (for
@@ -545,6 +694,52 @@ mod tests {
         assert!((t_mixed - slow).abs() < 1e-15, "straggler rule");
         let fast_only = DeviceGroup::from_gpus((16..32).map(GpuId).collect());
         assert!(c.group_compute_time(&fast_only, 1e14, 100) < slow);
+    }
+
+    #[test]
+    fn sku_nets_default_to_the_shared_fabric() {
+        let c = ClusterSpec::a100_h100_mix(2, 2, 8);
+        // No overrides installed: every class resolves to `net`, and any
+        // group's gating spec is `net` exactly.
+        assert_eq!(c.net_of(SkuId(0)), c.net);
+        assert_eq!(c.net_of(SkuId(1)), c.net);
+        let g = DeviceGroup::from_gpus((8..24).map(GpuId).collect());
+        assert_eq!(c.group_net_of(&g), c.net);
+    }
+
+    #[test]
+    fn sku_net_overrides_gate_by_slowest_participant() {
+        let c = ClusterSpec::a100_h100_mix_with_links(2, 2, 8);
+        // H100-only group rides the fast links.
+        let h = DeviceGroup::from_gpus((16..32).map(GpuId).collect());
+        assert_eq!(c.group_net_of(&h), ClusterSpec::h100_net());
+        // A100-only group keeps the shared fabric.
+        let a = DeviceGroup::from_gpus((0..16).map(GpuId).collect());
+        assert_eq!(c.group_net_of(&a), ClusterSpec::a100_net());
+        // A straddling group is gated field-wise by the worst of both.
+        let mixed = DeviceGroup::from_gpus((8..24).map(GpuId).collect());
+        let gated = c.group_net_of(&mixed);
+        assert_eq!(gated.nvlink_bw, ClusterSpec::a100_net().nvlink_bw);
+        assert_eq!(gated.nic_bw_per_gpu, ClusterSpec::a100_net().nic_bw_per_gpu);
+        assert_eq!(
+            gated.nvlink_latency_s,
+            ClusterSpec::a100_net().nvlink_latency_s
+        );
+    }
+
+    #[test]
+    fn sku_net_override_is_validated() {
+        let c = ClusterSpec::a100_cluster(2);
+        assert_eq!(
+            c.clone().with_sku_net(SkuId(3), ClusterSpec::h100_net()),
+            Err(SpecError::UnknownSku(SkuId(3)))
+        );
+        let mut bad = ClusterSpec::h100_net();
+        bad.nvlink_bw = 0.0;
+        assert_eq!(
+            c.with_sku_net(SkuId(0), bad),
+            Err(SpecError::BadBandwidth("nvlink_bw"))
+        );
     }
 
     #[test]

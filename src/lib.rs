@@ -12,7 +12,8 @@
 //! | [`data`] (`flexsp-data`) | long-tail corpora, packing, batching |
 //! | [`sim`] (`flexsp-sim`) | cluster / collective-communication simulator |
 //! | [`cost`] (`flexsp-cost`) | α-β cost models + profiler fitting (incl. ZeRO-3 exposure) |
-//! | [`baselines`] (`flexsp-baselines`) | DeepSpeed-, Megatron-like systems, BatchAda |
+//! | [`arbiter`] (`flexsp-arbiter`) | multi-job cluster sharing: epoch-counted reservation arbiter, RAII leases, admission policies |
+//! | [`baselines`] (`flexsp-baselines`) | DeepSpeed-, Megatron-like systems, BatchAda, static partitioning |
 //!
 //! The repository-level docs are the front door: `README.md` (crate map,
 //! verify command, results tables), `docs/ARCHITECTURE.md` (the
@@ -63,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use flexsp_arbiter as arbiter;
 pub use flexsp_baselines as baselines;
 pub use flexsp_core as core;
 pub use flexsp_cost as cost;
@@ -73,12 +75,14 @@ pub use flexsp_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use flexsp_arbiter::{AdmissionPolicy, ClusterArbiter, JobId, Lease, SlotRequest};
     pub use flexsp_baselines::{
         evaluate_system, DeepSpeedUlysses, DegreeOnlyFlexSp, FlexCpSystem, FlexSpBatchAda,
-        FlexSpSystem, HomogeneousCp, MegatronLm, TrainingSystem,
+        FlexSpSystem, HomogeneousCp, MegatronLm, StaticPartition, TrainingSystem,
     };
     pub use flexsp_core::{
-        Executor, FlexSpSolver, IterationPlan, PlannerConfig, SolverConfig, SolverService, Trainer,
+        Executor, FlexSpSolver, IterationPlan, PlannerConfig, SharedPlanCache, SolverConfig,
+        SolverService, Trainer,
     };
     pub use flexsp_cost::CostModel;
     pub use flexsp_data::{Corpus, GlobalBatchLoader, LengthDistribution, Sequence};

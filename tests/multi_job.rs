@@ -1,0 +1,185 @@
+//! Multi-job cluster sharing, end to end: two solver services share one
+//! cluster through the reservation arbiter, produce disjoint
+//! executor-valid placements concurrently, and a full-cluster lease
+//! changes nothing relative to the pre-arbiter single-job path.
+
+use std::collections::HashSet;
+
+use flexsp::prelude::*;
+use flexsp_core::SolvedIteration;
+use flexsp_sim::GpuId;
+
+fn batch(seed: u64, n: usize, max_len: u64) -> Vec<Sequence> {
+    (0..n as u64)
+        .map(|i| {
+            let len = 1024 + (seed * 37 + i * 911) % max_len;
+            Sequence::new(seed * 10_000 + i, len)
+        })
+        .collect()
+}
+
+fn placed_gpus(solved: &SolvedIteration) -> Vec<HashSet<GpuId>> {
+    solved
+        .plan
+        .micro_batches
+        .iter()
+        .map(|mb| {
+            mb.groups
+                .iter()
+                .flat_map(|g| g.placement.as_ref().expect("plans arrive placed").gpus())
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn two_services_share_one_cluster_disjointly() {
+    let cluster = ClusterSpec::a100_cluster(4); // 32 GPUs
+    let model = ModelConfig::gpt_7b(96 * 1024);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::BestFitSkuClass);
+    let lease_a = arbiter
+        .try_lease(SlotRequest::new(JobId(1), 20))
+        .expect("empty cluster");
+    let lease_b = arbiter
+        .try_lease(SlotRequest::new(JobId(2), 12))
+        .expect("remaining capacity");
+    assert!(arbiter.audit().is_ok());
+
+    // Per-job services against one shared plan cache, running
+    // concurrently (each service has its own worker threads).
+    let cache = SharedPlanCache::new(64);
+    let svc_a = SolverService::spawn_with_shared_cache(
+        lease_a.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())),
+        2,
+        &cache,
+    );
+    let svc_b = SolverService::spawn_with_shared_cache(
+        lease_b.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())),
+        2,
+        &cache,
+    );
+    for round in 0..3u64 {
+        svc_a.submit(batch(round, 12, 48 * 1024));
+        svc_b.submit(batch(100 + round, 16, 8 * 1024));
+    }
+
+    let own_a: HashSet<GpuId> = lease_a.gpus().iter().copied().collect();
+    let own_b: HashSet<GpuId> = lease_b.gpus().iter().copied().collect();
+    assert!(own_a.is_disjoint(&own_b), "leases overlap");
+
+    let exec_a = Executor::new(cluster.clone(), model.clone(), policy);
+    let exec_b = Executor::new(cluster.clone(), model.clone(), policy);
+    for _ in 0..3 {
+        let solved_a = svc_a.recv_plan().expect("job A plans");
+        let solved_b = svc_b.recv_plan().expect("job B plans");
+        // Placements stay inside each job's lease — so the two jobs'
+        // micro-batches are disjoint pairwise, in every combination.
+        for mb in placed_gpus(&solved_a) {
+            assert!(mb.is_subset(&own_a), "job A escaped its lease");
+        }
+        for mb in placed_gpus(&solved_b) {
+            assert!(mb.is_subset(&own_b), "job B escaped its lease");
+        }
+        // And both are executor-valid as-is: the executor validates
+        // bounds, disjointness, and span/SKU agreement per micro-batch.
+        let ra = exec_a.execute(&solved_a.plan).expect("job A executes");
+        let rb = exec_b.execute(&solved_b.plan).expect("job B executes");
+        assert!(ra.total_s > 0.0 && rb.total_s > 0.0);
+    }
+    svc_a.shutdown();
+    svc_b.shutdown();
+    drop(lease_b);
+    drop(lease_a);
+    assert_eq!(arbiter.free_gpus(), 32);
+    assert!(arbiter.audit().is_ok());
+}
+
+#[test]
+fn full_cluster_lease_is_bit_identical_to_the_pre_arbiter_path() {
+    let cluster = ClusterSpec::a100_cluster(2); // 16 GPUs, uniform
+    let model = ModelConfig::gpt_7b(64 * 1024);
+    let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    let input = batch(7, 20, 32 * 1024);
+
+    let plain = FlexSpSolver::new(cost.clone(), SolverConfig::fast());
+    let direct = plain.solve_iteration(&input).expect("solvable");
+
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+    let lease = arbiter
+        .try_lease(SlotRequest::new(JobId(1), 16))
+        .expect("whole cluster");
+    let bound = lease.bind(FlexSpSolver::new(cost, SolverConfig::fast()));
+    let via_lease = bound.solve_iteration(&input).expect("solvable");
+
+    // Identical plans: same groups, shapes, sequence assignments AND
+    // concrete placements — the arbiter path is a strict generalization.
+    assert_eq!(direct.plan, via_lease.plan);
+    for (a, b) in direct
+        .plan
+        .micro_batches
+        .iter()
+        .zip(&via_lease.plan.micro_batches)
+    {
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.placement, gb.placement);
+        }
+    }
+    assert_eq!(direct.predicted_s, via_lease.predicted_s);
+}
+
+#[test]
+fn rebinding_after_shrink_keeps_plans_inside_the_smaller_lease() {
+    // The documented resize contract: a shrink re-stamps the lease; the
+    // job drops its stale-bound solver, re-binds, and every subsequent
+    // plan stays inside the shrunken slot set (which no longer contains
+    // the GPUs handed to the next tenant).
+    let cluster = ClusterSpec::a100_cluster(2);
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+
+    let mut lease = arbiter.try_lease(SlotRequest::new(JobId(1), 16)).unwrap();
+    let stale_fp = lease.fingerprint();
+    lease.shrink(8).unwrap();
+    assert_ne!(lease.fingerprint(), stale_fp, "resize re-stamps");
+    let taker = arbiter.try_lease(SlotRequest::new(JobId(2), 8)).unwrap();
+
+    let rebound = lease.bind(FlexSpSolver::new(cost, SolverConfig::fast()));
+    let own: HashSet<GpuId> = lease.gpus().iter().copied().collect();
+    let other: HashSet<GpuId> = taker.gpus().iter().copied().collect();
+    assert!(own.is_disjoint(&other));
+    let solved = rebound.solve_iteration(&batch(11, 8, 12 * 1024)).unwrap();
+    for mb in placed_gpus(&solved) {
+        assert!(mb.is_subset(&own), "re-bound plans honor the shrink");
+        assert!(mb.is_disjoint(&other), "never touches the new tenant");
+    }
+    assert!(arbiter.audit().is_ok());
+}
+
+#[test]
+fn queued_job_takes_over_released_slots_and_replans() {
+    // A third tenant waits in the queue, claims the slots job A releases,
+    // and its plans land exactly on the handed-over GPUs.
+    let cluster = ClusterSpec::a100_cluster(2);
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+
+    let lease_a = arbiter.try_lease(SlotRequest::new(JobId(1), 12)).unwrap();
+    let ticket = arbiter.request(SlotRequest::new(JobId(2), 10)).unwrap();
+    assert!(arbiter.claim(&ticket).is_none(), "only 4 GPUs free");
+    drop(lease_a);
+    let lease_c = arbiter.claim(&ticket).expect("slots freed");
+    let own: HashSet<GpuId> = lease_c.gpus().iter().copied().collect();
+
+    let solver = lease_c.bind(FlexSpSolver::new(cost, SolverConfig::fast()));
+    let solved = solver.solve_iteration(&batch(3, 8, 16 * 1024)).unwrap();
+    for mb in placed_gpus(&solved) {
+        assert!(mb.is_subset(&own));
+    }
+    assert!(arbiter.audit().is_ok());
+}
