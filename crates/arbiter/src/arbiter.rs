@@ -1,5 +1,6 @@
 //! The cluster arbiter: the canonical free/busy slot ledger one cluster's
-//! concurrent jobs share, with epoch counting and queued admission.
+//! concurrent jobs share, with epoch counting, queued admission, lease
+//! terms, and priority preemption.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -8,8 +9,9 @@ use std::sync::Arc;
 use flexsp_sim::{ClusterSpec, GpuId, NodeSlots, Topology};
 use parking_lot::Mutex;
 
+use crate::clock::{Clock, LogicalClock};
 use crate::lease::Lease;
-use crate::policy::{AdmissionPolicy, JobCounters, JobId, SlotRequest};
+use crate::policy::{AdmissionPolicy, JobCounters, JobId, Priority, SlotRequest};
 
 /// Rejected or failed lease operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +38,10 @@ pub enum LeaseError {
         /// GPUs the lease holds.
         held: u32,
     },
+    /// The lease no longer exists arbiter-side: its term lapsed or a
+    /// revocation reclaimed it entirely. Its slots are already back in
+    /// the pool; the handle is inert.
+    Lapsed,
 }
 
 impl fmt::Display for LeaseError {
@@ -49,6 +55,9 @@ impl fmt::Display for LeaseError {
             }
             LeaseError::ShrinkTooLarge { requested, held } => {
                 write!(f, "cannot release {requested} of {held} held GPUs")
+            }
+            LeaseError::Lapsed => {
+                write!(f, "the lease lapsed (term expired or fully revoked)")
             }
         }
     }
@@ -72,23 +81,113 @@ pub(crate) struct Pending {
     pub(crate) request: SlotRequest,
 }
 
+/// An arbiter-initiated shrink demand against a lease: give back `gpus`
+/// GPUs by logical time `deadline`, or the arbiter force-reclaims them.
+///
+/// Tenants observe the demand via [`Lease::pending_demand`] and comply
+/// gracefully with [`Lease::shrink`] (a shrink of at least `gpus` clears
+/// the demand); ignoring it costs the same GPUs at the deadline, picked
+/// by the arbiter (emptiest-node-first, so the survivor stays packed),
+/// and counted as `gpus_moved` rather than a voluntary release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkDemand {
+    /// GPUs demanded back.
+    pub gpus: u32,
+    /// Logical time at which the arbiter force-reclaims.
+    pub deadline: u64,
+}
+
+/// What one [`ClusterArbiter::tick`] / [`maintain`](ClusterArbiter::maintain)
+/// pass did, per affected job: leases reaped because their term lapsed,
+/// demands force-executed after their grace window, and fresh shrink
+/// demands issued (each entry is `(job, gpus)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Leases reaped because their term expired without a renew.
+    pub expired: Vec<(JobId, u32)>,
+    /// Demands force-executed after their grace deadline passed.
+    pub reclaimed: Vec<(JobId, u32)>,
+    /// Fresh shrink demands issued this pass.
+    pub demanded: Vec<(JobId, u32)>,
+}
+
+impl TickReport {
+    /// True if the pass changed nothing (no reaps, reclaims, or demands)
+    /// — the guaranteed outcome on an arbiter whose leases carry no
+    /// priorities or terms.
+    pub fn is_quiet(&self) -> bool {
+        self.expired.is_empty() && self.reclaimed.is_empty() && self.demanded.is_empty()
+    }
+}
+
+/// Arbiter-side record of one live lease: the canonical slot list (the
+/// tenant's `Lease` handle is a mirror it must [`sync`](Lease::sync)
+/// after forced mutations), plus the term and revocation state.
+#[derive(Debug, Clone)]
+pub(crate) struct LeaseRecord {
+    /// Owned slots, ascending — canonical; forced shrinks edit this.
+    pub(crate) gpus: Vec<GpuId>,
+    pub(crate) job: JobId,
+    pub(crate) priority: Priority,
+    /// Renewal length in ticks (`None` = no term).
+    pub(crate) term: Option<u64>,
+    /// Logical time the lease lapses unless renewed.
+    pub(crate) expires_at: Option<u64>,
+    /// Pending arbiter-initiated shrink, if any.
+    pub(crate) demand: Option<ShrinkDemand>,
+    /// Ledger epoch at the last mutation touching this lease; handles
+    /// re-stamp themselves from it on sync.
+    pub(crate) stamp: u64,
+}
+
+/// Picks `count` victims from `gpus` for a shrink: emptiest node (fewest
+/// of the lease's GPUs) first, highest ids within a node — whole
+/// sparsely-held nodes drain before densely-held ones are touched, so
+/// the survivor stays concentrated where the lease already packs
+/// densest and its realized span never widens.
+pub(crate) fn select_victims(topo: &Topology, gpus: &[GpuId], count: u32) -> Vec<GpuId> {
+    let mut by_node: BTreeMap<u32, Vec<GpuId>> = BTreeMap::new();
+    for &g in gpus {
+        by_node.entry(topo.node_of(g)).or_default().push(g);
+    }
+    let mut nodes: Vec<(u32, Vec<GpuId>)> = by_node.into_iter().collect();
+    nodes.sort_by_key(|(n, held)| (held.len(), *n));
+    let mut victims: Vec<GpuId> = Vec::with_capacity(count as usize);
+    for (_, mut held) in nodes {
+        held.sort_unstable();
+        while victims.len() < count as usize {
+            match held.pop() {
+                Some(g) => victims.push(g),
+                None => break,
+            }
+        }
+        if victims.len() == count as usize {
+            break;
+        }
+    }
+    victims
+}
+
 /// The shared ledger every lease operation goes through.
 #[derive(Debug)]
 pub(crate) struct ArbiterState {
     /// Cluster-wide free slots (leased slots removed).
     pub(crate) free: NodeSlots,
     /// Bumped on **every** ledger mutation (grant, release, grow,
-    /// shrink, renew): lease fingerprints embed it, so any plan cached
-    /// under an older epoch can never be replayed.
+    /// shrink, renew, forced reclaim, reap): lease fingerprints embed
+    /// it, so any plan cached under an older epoch can never be
+    /// replayed.
     pub(crate) epoch: u64,
-    /// Live leases: id → granted GPUs (for audit and exact give-back).
-    pub(crate) live: HashMap<u64, Vec<GpuId>>,
+    /// Live leases by id (canonical slot lists + term/revocation state).
+    pub(crate) live: HashMap<u64, LeaseRecord>,
     /// Queued requests, arrival order.
     pending: VecDeque<Pending>,
-    /// Granted-but-unclaimed queued requests:
-    /// ticket id → (ask, lease id, drawn GPUs).
-    granted: HashMap<u64, (SlotRequest, u64, Vec<GpuId>)>,
+    /// Granted-but-unclaimed queued requests: ticket id → (ask, lease id).
+    granted: HashMap<u64, (SlotRequest, u64)>,
     policy: AdmissionPolicy,
+    /// Grace window, in ticks, between a shrink demand and its forced
+    /// execution.
+    grace: u64,
     pub(crate) fairness: BTreeMap<JobId, JobCounters>,
     next_lease: u64,
     next_ticket: u64,
@@ -107,17 +206,29 @@ impl ArbiterState {
 
     /// Draws `request` from the free ledger (caller checked it fits) and
     /// registers the lease. Returns `(lease id, gpus, epoch)`.
-    fn grant(&mut self, request: &SlotRequest) -> (u64, Vec<GpuId>, u64) {
+    fn grant(&mut self, request: &SlotRequest, now: u64) -> (u64, Vec<GpuId>, u64) {
         let group = match request.prefer {
             Some(sku) => self.free.take_packed_for(request.gpus, sku),
             None => self.free.take_packed(request.gpus),
         }
         .expect("caller checked the request fits");
-        let gpus = group.gpus().to_vec();
+        let mut gpus = group.gpus().to_vec();
+        gpus.sort_unstable();
         let id = self.next_lease;
         self.next_lease += 1;
         self.epoch += 1;
-        self.live.insert(id, gpus.clone());
+        self.live.insert(
+            id,
+            LeaseRecord {
+                gpus: gpus.clone(),
+                job: request.job,
+                priority: request.priority,
+                term: request.term,
+                expires_at: request.term.map(|t| now + t),
+                demand: None,
+                stamp: self.epoch,
+            },
+        );
         let c = self.counters(request.job);
         c.granted += 1;
         c.gpus_granted += request.gpus as u64;
@@ -127,15 +238,15 @@ impl ArbiterState {
     /// Grants queued requests per the admission policy until nothing
     /// (more) fits; losers accumulate a wait round per pass they sat
     /// through while someone else was granted.
-    pub(crate) fn pump(&mut self) {
+    fn pump(&mut self, now: u64) {
         loop {
             let queue: Vec<Pending> = self.pending.iter().copied().collect();
             let Some(idx) = self.policy.pick(&queue, &self.free) else {
                 break;
             };
             let p = self.pending.remove(idx).expect("index from the queue");
-            let (id, gpus, _) = self.grant(&p.request);
-            self.granted.insert(p.ticket, (p.request, id, gpus));
+            let (id, _, _) = self.grant(&p.request, now);
+            self.granted.insert(p.ticket, (p.request, id));
             for waiting in &self.pending {
                 self.fairness
                     .entry(waiting.request.job)
@@ -144,12 +255,114 @@ impl ArbiterState {
             }
         }
     }
+
+    /// Re-evaluates preemption: for the highest-priority pending request
+    /// the pump could not admit, issues shrink demands against
+    /// strictly-lower-priority lease holders (lowest priority first,
+    /// youngest lease first) until the shortfall is covered — but only
+    /// when lower-priority holdings *can* cover it, so doomed demands
+    /// never thrash tenants without admitting anyone. Demands no longer
+    /// justified (the request was admitted, cancelled, or capacity
+    /// returned another way) are withdrawn; persisting demands keep
+    /// their original deadline. Returns the freshly issued demands.
+    fn enforce(&mut self, now: u64) -> Vec<(JobId, u32)> {
+        let mut wanted: HashMap<u64, u32> = HashMap::new();
+        if let Some(target) = self
+            .pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, p)| (p.request.priority, std::cmp::Reverse(*i)))
+            .map(|(_, p)| p.request)
+        {
+            let shortfall = target.gpus.saturating_sub(self.free.total_free());
+            if shortfall > 0 {
+                let mut donors: Vec<(u64, Priority, u32)> = self
+                    .live
+                    .iter()
+                    .filter(|(_, r)| r.priority < target.priority)
+                    .map(|(id, r)| (*id, r.priority, r.gpus.len() as u32))
+                    .collect();
+                donors.sort_by_key(|&(id, pri, _)| (pri, std::cmp::Reverse(id)));
+                let reclaimable: u32 = donors.iter().map(|d| d.2).sum();
+                if reclaimable >= shortfall {
+                    let mut needed = shortfall;
+                    for (id, _, held) in donors {
+                        if needed == 0 {
+                            break;
+                        }
+                        let take = held.min(needed);
+                        wanted.insert(id, take);
+                        needed -= take;
+                    }
+                }
+            }
+        }
+        let mut fresh: Vec<(JobId, u32)> = Vec::new();
+        let grace = self.grace;
+        for (id, rec) in self.live.iter_mut() {
+            match wanted.get(id) {
+                Some(&gpus) => match &mut rec.demand {
+                    // A standing demand keeps its deadline — re-issuing
+                    // must not let the donor outrun the grace window —
+                    // unless the ask *grew*, in which case the increment
+                    // deserves its own notice and the window restarts.
+                    Some(d) => {
+                        if gpus > d.gpus {
+                            d.deadline = now + grace;
+                        }
+                        d.gpus = gpus;
+                    }
+                    None => {
+                        rec.demand = Some(ShrinkDemand {
+                            gpus,
+                            deadline: now + grace,
+                        });
+                        fresh.push((rec.job, gpus));
+                    }
+                },
+                None => rec.demand = None,
+            }
+        }
+        fresh.sort_unstable_by_key(|&(j, _)| j);
+        fresh
+    }
+
+    /// Pump + enforce: grant what fits, then (re)issue shrink demands
+    /// for what does not. Every mutation path ends here.
+    pub(crate) fn settle(&mut self, now: u64) -> Vec<(JobId, u32)> {
+        self.pump(now);
+        self.enforce(now)
+    }
+
+    /// Fully reclaims lease `id` by force (term reaping or a
+    /// whole-lease revocation): slots return to the pool, the tenant's
+    /// counters record the GPUs as moved, any unclaimed grant of the
+    /// lease is dropped. Returns `(job, gpus reclaimed)`.
+    fn reclaim_all(&mut self, id: u64) -> (JobId, u32) {
+        let rec = self.live.remove(&id).expect("caller checked liveness");
+        let n = rec.gpus.len() as u32;
+        self.free.release(&rec.gpus);
+        self.epoch += 1;
+        self.counters(rec.job).gpus_moved += n as u64;
+        self.granted.retain(|_, (_, lid)| *lid != id);
+        (rec.job, n)
+    }
 }
 
 /// The reservation arbiter: owns the canonical free/busy slot state of
 /// one cluster and grants per-job [`Lease`]s whose restricted
 /// [`NodeSlots`] views the whole planner stack consumes — so several
 /// solver services pack one cluster without ever overlapping placements.
+///
+/// Beyond cooperative sharing, the arbiter is **live** against
+/// misbehaving tenants: leases may carry a term (logical-clock expiry,
+/// reaped arbiter-side — a leaked handle cannot pin slots forever) and a
+/// [`Priority`], and a higher-priority request that cannot be admitted
+/// makes the arbiter demand a shrink from the lowest-priority holders,
+/// force-reclaiming after a grace window. Time is a caller-pumped
+/// [`Clock`]: nothing expires until [`ClusterArbiter::tick`] (or
+/// [`maintain`](ClusterArbiter::maintain) under an external clock) runs,
+/// so tests and simulations stay deterministic.
 ///
 /// Cloning is cheap (shared state); clones arbitrate the same ledger.
 ///
@@ -168,17 +381,76 @@ impl ArbiterState {
 /// drop(a); // RAII: slots return on drop
 /// assert_eq!(arbiter.free_gpus(), 16);
 /// ```
+///
+/// # Example: terms and preemption
+///
+/// ```
+/// use flexsp_arbiter::{
+///     AdmissionPolicy, ClusterArbiter, JobId, Priority, SlotRequest,
+/// };
+/// use flexsp_sim::Topology;
+///
+/// let arbiter = ClusterArbiter::new(&Topology::new(2, 8), AdmissionPolicy::Fifo);
+/// // A lease with a 2-tick term, then "crash" the tenant (leak it).
+/// let lease = arbiter
+///     .try_lease(SlotRequest::new(JobId(1), 16).with_term(2))
+///     .unwrap();
+/// std::mem::forget(lease);
+/// arbiter.tick();
+/// let report = arbiter.tick(); // now = 2: the term lapsed
+/// assert_eq!(report.expired, vec![(JobId(1), 16)]);
+/// assert_eq!(arbiter.free_gpus(), 16, "reaped arbiter-side");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ClusterArbiter {
     topo: Topology,
+    clock: ClockSource,
     pub(crate) state: Arc<Mutex<ArbiterState>>,
 }
 
+/// Where the arbiter reads logical time from.
+#[derive(Debug, Clone)]
+enum ClockSource {
+    /// The arbiter's own clock, advanced by [`ClusterArbiter::tick`].
+    Owned(LogicalClock),
+    /// A caller-provided clock the caller pumps itself.
+    External(Arc<dyn Clock>),
+}
+
+impl ClockSource {
+    fn now(&self) -> u64 {
+        match self {
+            ClockSource::Owned(c) => c.now(),
+            ClockSource::External(c) => c.now(),
+        }
+    }
+}
+
+/// Default grace window (in ticks) between a shrink demand and its
+/// forced execution: one tick, per the replan-per-iteration premise —
+/// a tenant that pumps the clock once per training iteration gets one
+/// iteration to shrink gracefully.
+pub const DEFAULT_GRACE_TICKS: u64 = 1;
+
 impl ClusterArbiter {
-    /// Creates an arbiter over `topo` with the given admission policy.
+    /// Creates an arbiter over `topo` with the given admission policy,
+    /// an internal [`LogicalClock`] (advanced by
+    /// [`tick`](ClusterArbiter::tick)), and the default grace window.
     pub fn new(topo: &Topology, policy: AdmissionPolicy) -> Self {
+        Self::build(topo, policy, ClockSource::Owned(LogicalClock::new()))
+    }
+
+    /// An arbiter reading logical time from a caller-pumped `clock`
+    /// instead of its own. [`tick`](ClusterArbiter::tick) then only runs
+    /// maintenance — advancing time is the caller's job.
+    pub fn with_clock(topo: &Topology, policy: AdmissionPolicy, clock: Arc<dyn Clock>) -> Self {
+        Self::build(topo, policy, ClockSource::External(clock))
+    }
+
+    fn build(topo: &Topology, policy: AdmissionPolicy, clock: ClockSource) -> Self {
         Self {
             topo: topo.clone(),
+            clock,
             state: Arc::new(Mutex::new(ArbiterState {
                 free: NodeSlots::new(topo),
                 epoch: 0,
@@ -186,6 +458,7 @@ impl ClusterArbiter {
                 pending: VecDeque::new(),
                 granted: HashMap::new(),
                 policy,
+                grace: DEFAULT_GRACE_TICKS,
                 fairness: BTreeMap::new(),
                 next_lease: 0,
                 next_ticket: 0,
@@ -198,9 +471,117 @@ impl ClusterArbiter {
         Self::new(cluster.topology(), policy)
     }
 
+    /// Sets the grace window (ticks between a shrink demand and its
+    /// forced execution). `0` means demands are force-executed on the
+    /// very next maintenance pass.
+    pub fn with_grace(self, ticks: u64) -> Self {
+        self.state.lock().grace = ticks;
+        self
+    }
+
     /// The arbitrated topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances the arbiter's internal logical clock one tick, then runs
+    /// [`maintain`](ClusterArbiter::maintain). Under an external clock
+    /// ([`with_clock`](ClusterArbiter::with_clock)) the clock is the
+    /// caller's to pump, so `tick` only maintains.
+    ///
+    /// An arbiter whose leases carry no priorities and no terms reports
+    /// a [quiet](TickReport::is_quiet) tick and mutates nothing — ticks
+    /// are free for tenants that never opted into either feature.
+    pub fn tick(&self) -> TickReport {
+        if let ClockSource::Owned(c) = &self.clock {
+            c.advance(1);
+        }
+        self.maintain()
+    }
+
+    /// Runs one maintenance pass at the clock's current time: reaps
+    /// leases whose term lapsed, hands the reaped capacity to the queue
+    /// (withdrawing demands the reap made unnecessary), force-executes
+    /// the still-standing shrink demands whose grace deadline passed
+    /// (victims picked emptiest-node-first so the survivor stays
+    /// packed; an *unclaimed grant* donor is reclaimed whole, so
+    /// [`claim`](ClusterArbiter::claim) can never hand out an
+    /// under-sized lease), then pumps and (re-)issues demands for what
+    /// still cannot be admitted.
+    pub fn maintain(&self) -> TickReport {
+        let now = self.clock_now();
+        let mut state = self.state.lock();
+        let mut report = TickReport::default();
+
+        // 1. Reap expired leases (deterministic order: lease id).
+        let mut expired: Vec<u64> = state
+            .live
+            .iter()
+            .filter(|(_, r)| r.expires_at.is_some_and(|e| e <= now))
+            .map(|(id, _)| *id)
+            .collect();
+        expired.sort_unstable();
+        for id in expired {
+            report.expired.push(state.reclaim_all(id));
+        }
+
+        // 2. Settle *before* forcing: a reap may have admitted the very
+        //    request a standing demand was issued for, and enforce then
+        //    withdraws the demand — donors never pay for capacity the
+        //    pool already got back another way.
+        report.demanded = state.settle(now);
+
+        // 3. Force-execute demands whose grace window lapsed.
+        let mut due: Vec<u64> = state
+            .live
+            .iter()
+            .filter(|(_, r)| r.demand.is_some_and(|d| d.deadline <= now))
+            .map(|(id, _)| *id)
+            .collect();
+        due.sort_unstable();
+        for id in due {
+            let rec = state.live.get_mut(&id).expect("collected from live");
+            let demand = rec.demand.take().expect("filtered on demand");
+            let held = rec.gpus.len() as u32;
+            let take = demand.gpus.min(held);
+            let unclaimed = state.granted.values().any(|(_, lid)| *lid == id);
+            if take >= held || unclaimed {
+                // Whole-lease revocation. An unclaimed grant is always
+                // taken whole even under a partial demand: its tenant
+                // never saw the grant, and a later claim must return
+                // `None` rather than an under-sized lease that violates
+                // the request's size contract.
+                report.reclaimed.push(state.reclaim_all(id));
+            } else {
+                let rec = state.live.get_mut(&id).expect("collected from live");
+                let victims = select_victims(&self.topo, &rec.gpus, take);
+                rec.gpus.retain(|g| !victims.contains(g));
+                let job = rec.job;
+                state.epoch += 1;
+                let epoch = state.epoch;
+                state
+                    .live
+                    .get_mut(&id)
+                    .expect("still live after partial reclaim")
+                    .stamp = epoch;
+                state.free.release(&victims);
+                state.counters(job).gpus_moved += take as u64;
+                report.reclaimed.push((job, take));
+            }
+        }
+
+        // 4. Hand reclaimed capacity to the queue; re-evaluate demands.
+        report.demanded.extend(state.settle(now));
+        report
     }
 
     fn check(&self, request: &SlotRequest) -> Result<(), LeaseError> {
@@ -213,7 +594,9 @@ impl ClusterArbiter {
         Ok(())
     }
 
-    /// Grants a lease immediately, or fails without queueing.
+    /// Grants a lease immediately, or fails without queueing. An
+    /// immediate ask never jumps the admission queue and never triggers
+    /// preemption — queue with [`ClusterArbiter::request`] for either.
     ///
     /// # Errors
     ///
@@ -221,6 +604,7 @@ impl ClusterArbiter {
     /// [`LeaseError::Busy`] when the free pool is currently short.
     pub fn try_lease(&self, request: SlotRequest) -> Result<Lease, LeaseError> {
         self.check(&request)?;
+        let now = self.clock_now();
         let mut state = self.state.lock();
         state.counters(request.job).requested += 1;
         // Queued requests keep priority: an immediate ask may not jump
@@ -232,15 +616,19 @@ impl ClusterArbiter {
                 free: state.free.total_free(),
             });
         }
-        let (id, gpus, epoch) = state.grant(&request);
+        let (id, gpus, epoch) = state.grant(&request, now);
         drop(state);
         Ok(Lease::new(self.clone(), id, request.job, gpus, epoch))
     }
 
     /// Queues a lease request; the admission policy decides when it is
-    /// granted. Poll with [`ClusterArbiter::claim`].
+    /// granted. Poll with [`ClusterArbiter::claim`]. A request whose
+    /// priority exceeds some live leases' and cannot be admitted makes
+    /// the arbiter demand shrinks from those holders (see
+    /// [`ShrinkDemand`]).
     pub fn request(&self, request: SlotRequest) -> Result<Ticket, LeaseError> {
         self.check(&request)?;
+        let now = self.clock_now();
         let mut state = self.state.lock();
         state.counters(request.job).requested += 1;
         let id = state.next_ticket;
@@ -249,7 +637,7 @@ impl ClusterArbiter {
             ticket: id,
             request,
         });
-        state.pump();
+        state.settle(now);
         Ok(Ticket {
             id,
             job: request.job,
@@ -257,11 +645,22 @@ impl ClusterArbiter {
     }
 
     /// Claims the lease a queued request was granted, or `None` while it
-    /// still waits.
+    /// still waits (or after the granted lease's term already lapsed —
+    /// its slots went back to the pool unclaimed).
     pub fn claim(&self, ticket: &Ticket) -> Option<Lease> {
+        let now = self.clock_now();
         let mut state = self.state.lock();
-        state.pump();
-        let (request, id, gpus) = state.granted.remove(&ticket.id)?;
+        state.settle(now);
+        let (request, id) = state.granted.remove(&ticket.id)?;
+        // The grant may have been reaped (term lapsed) or revoked whole
+        // (preemption donor) before the claim.
+        let rec = state.live.get(&id)?;
+        debug_assert_eq!(
+            rec.gpus.len(),
+            request.gpus as usize,
+            "an unclaimed grant is only ever reclaimed whole"
+        );
+        let gpus = rec.gpus.clone();
         let epoch = state.epoch;
         drop(state);
         Some(Lease::new(self.clone(), id, request.job, gpus, epoch))
@@ -270,17 +669,19 @@ impl ClusterArbiter {
     /// Abandons a queued request. If it was already granted, the slots
     /// return to the pool.
     pub fn cancel(&self, ticket: &Ticket) {
+        let now = self.clock_now();
         let mut state = self.state.lock();
         state.pending.retain(|p| p.ticket != ticket.id);
-        if let Some((request, id, gpus)) = state.granted.remove(&ticket.id) {
-            state.live.remove(&id);
-            state.free.release(&gpus);
-            state.epoch += 1;
-            let c = state.counters(request.job);
-            c.released += 1;
-            c.gpus_released += gpus.len() as u64;
-            state.pump();
+        if let Some((request, id)) = state.granted.remove(&ticket.id) {
+            if let Some(rec) = state.live.remove(&id) {
+                state.free.release(&rec.gpus);
+                state.epoch += 1;
+                let c = state.counters(request.job);
+                c.released += 1;
+                c.gpus_released += rec.gpus.len() as u64;
+            }
         }
+        state.settle(now);
     }
 
     /// GPUs currently free (not held by any lease or unclaimed grant).
@@ -302,6 +703,19 @@ impl ClusterArbiter {
     /// Queued requests not yet granted.
     pub fn pending_requests(&self) -> usize {
         self.state.lock().pending.len()
+    }
+
+    /// GPUs currently held by `job`'s live leases (the right-hand side
+    /// of the fairness conservation law: per job,
+    /// `gpus_granted − gpus_released − gpus_moved == leased_gpus`).
+    pub fn leased_gpus(&self, job: JobId) -> u32 {
+        self.state
+            .lock()
+            .live
+            .values()
+            .filter(|r| r.job == job)
+            .map(|r| r.gpus.len() as u32)
+            .sum()
     }
 
     /// A snapshot of the cluster-wide free ledger.
@@ -330,7 +744,10 @@ impl ClusterArbiter {
     }
 
     /// Audits the ledger: every GPU is either free or held by exactly one
-    /// live lease/grant. Returns a description of the first violation.
+    /// live lease/grant, and every job's fairness counters obey the
+    /// conservation law (`gpus_granted − gpus_released − gpus_moved` ==
+    /// GPUs currently held). Returns a description of the first
+    /// violation.
     ///
     /// # Errors
     ///
@@ -341,8 +758,8 @@ impl ClusterArbiter {
         for g in state.free.free_gpus() {
             seen.insert(g, "free");
         }
-        for (id, gpus) in &state.live {
-            for g in gpus {
+        for (id, rec) in &state.live {
+            for g in &rec.gpus {
                 if let Some(prev) = seen.insert(*g, "leased") {
                     return Err(format!("{g} held by lease {id} is also {prev}"));
                 }
@@ -351,6 +768,23 @@ impl ClusterArbiter {
         let total = self.topo.num_gpus() as usize;
         if seen.len() != total {
             return Err(format!("{} of {total} GPUs accounted for", seen.len()));
+        }
+        // Conservation: counters must reconcile with actual holdings.
+        let mut held: BTreeMap<JobId, u64> = BTreeMap::new();
+        for rec in state.live.values() {
+            *held.entry(rec.job).or_default() += rec.gpus.len() as u64;
+        }
+        for (job, c) in &state.fairness {
+            let lhs = c
+                .gpus_granted
+                .checked_sub(c.gpus_released + c.gpus_moved)
+                .ok_or_else(|| format!("{job}: released+moved exceed granted: {c:?}"))?;
+            let rhs = held.get(job).copied().unwrap_or(0);
+            if lhs != rhs {
+                return Err(format!(
+                    "{job}: granted−released−moved = {lhs} but holds {rhs} ({c:?})"
+                ));
+            }
         }
         Ok(())
     }
@@ -492,7 +926,7 @@ mod tests {
         assert_eq!(arb.free_gpus(), 28);
         let fp2 = lease.fingerprint();
         assert_ne!(fp1, fp2, "shrink changes the fingerprint");
-        lease.renew();
+        lease.renew().unwrap();
         assert_ne!(lease.fingerprint(), fp2, "renew re-stamps the epoch");
         // Shrinking to zero is a drop, not a shrink.
         assert!(matches!(
@@ -568,8 +1002,285 @@ mod tests {
         assert_eq!(c1.released, 2);
         assert_eq!(c1.gpus_granted, 32);
         assert_eq!(c1.gpus_released, 32);
+        assert_eq!(c1.gpus_moved, 0);
         let c2 = arb.fairness(JobId(2));
         assert_eq!((c2.requested, c2.denied, c2.granted), (1, 1, 0));
+    }
+
+    #[test]
+    fn counters_conserve_under_grow_shrink_preempt_and_reap_churn() {
+        // The conservation law (granted − released − moved == held)
+        // survives every mutation path: grant, grow, voluntary shrink,
+        // forced partial reclaim, term reaping, and drop.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let check = |label: &str| {
+            arb.audit().unwrap_or_else(|e| panic!("{label}: {e}"));
+            for (job, c) in arb.fairness_all() {
+                assert_eq!(
+                    c.gpus_granted - c.gpus_released - c.gpus_moved,
+                    arb.leased_gpus(job) as u64,
+                    "{label}: {job} {c:?}"
+                );
+            }
+        };
+        let mut a = arb.try_lease(req(1, 8)).unwrap();
+        check("grant");
+        a.grow(8, None).unwrap();
+        check("grow");
+        a.shrink(4).unwrap();
+        check("voluntary shrink");
+        // A term-bearing lease that gets leaked and reaped.
+        let leaked = arb.try_lease(req(2, 8).with_term(1)).unwrap();
+        std::mem::forget(leaked);
+        check("term grant");
+        arb.tick();
+        assert_eq!(arb.fairness(JobId(2)).gpus_moved, 8, "reap counts moved");
+        check("reap");
+        // A high-priority request forces a partial reclaim from job 1.
+        let t = arb
+            .request(req(3, 28).with_priority(Priority::HIGH))
+            .unwrap();
+        check("demand issued");
+        arb.tick(); // grace lapses; 8 of job 1's 12 GPUs move
+        let hp = arb.claim(&t).expect("preemption admitted the request");
+        assert_eq!(hp.gpu_count(), 28);
+        assert_eq!(arb.fairness(JobId(1)).gpus_moved, 8);
+        check("forced reclaim");
+        assert_eq!(a.sync(), crate::lease::LeaseEvent::Resized { lost: 8 });
+        drop(a);
+        drop(hp);
+        check("drops");
+        assert_eq!(arb.free_gpus(), 32);
+    }
+
+    #[test]
+    fn high_priority_request_preempts_the_lowest_priority_donor() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let low = arb.try_lease(req(1, 16)).unwrap();
+        let mid = arb
+            .try_lease(req(2, 16).with_priority(Priority(10)))
+            .unwrap();
+        // 0 free; a HIGH request for 8 must demand from the *lowest*
+        // priority holder only.
+        let t = arb
+            .request(req(3, 8).with_priority(Priority::HIGH))
+            .unwrap();
+        assert!(arb.claim(&t).is_none(), "not yet — grace first");
+        assert_eq!(
+            low.pending_demand().map(|d| d.gpus),
+            Some(8),
+            "lowest-priority lease carries the demand"
+        );
+        assert_eq!(mid.pending_demand(), None, "higher donor untouched");
+        let report = arb.tick();
+        assert_eq!(report.reclaimed, vec![(JobId(1), 8)]);
+        let hp = arb
+            .claim(&t)
+            .expect("reclaimed capacity admits the request");
+        assert_eq!(hp.gpu_count(), 8);
+        // The donor survives on its remaining slots, disjoint from hp.
+        let mut low = low;
+        assert_eq!(low.sync(), crate::lease::LeaseEvent::Resized { lost: 8 });
+        assert_eq!(low.gpu_count(), 8);
+        for g in hp.gpus() {
+            assert!(!low.gpus().contains(g));
+        }
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn graceful_shrink_clears_the_demand_without_force() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut low = arb.try_lease(req(1, 32)).unwrap();
+        let t = arb
+            .request(req(2, 16).with_priority(Priority::HIGH))
+            .unwrap();
+        let d = low.pending_demand().expect("demand issued on request");
+        assert_eq!(d.gpus, 16);
+        low.shrink(d.gpus).unwrap();
+        assert_eq!(low.pending_demand(), None, "compliance clears the demand");
+        let hp = arb.claim(&t).expect("the shrink admitted the request");
+        assert_eq!(hp.gpu_count(), 16);
+        // No force was ever applied: everything was voluntary.
+        assert_eq!(arb.fairness(JobId(1)).gpus_moved, 0);
+        assert_eq!(arb.fairness(JobId(1)).gpus_released, 16);
+        let report = arb.tick();
+        assert!(report.is_quiet(), "{report:?}");
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn equal_priority_never_preempts_and_uncovered_shortfalls_issue_no_demands() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let a = arb.try_lease(req(1, 16)).unwrap();
+        let _b = arb
+            .try_lease(req(2, 16).with_priority(Priority::HIGH))
+            .unwrap();
+        // Equal priority: no preemption among peers.
+        let _t1 = arb.request(req(3, 8)).unwrap();
+        assert_eq!(a.pending_demand(), None);
+        assert!(arb.tick().is_quiet());
+        // A HIGH request for 24 can only reclaim job 1's 16 (job 2 is a
+        // peer): the shortfall is uncoverable, so no demand is issued —
+        // doomed demands never thrash donors.
+        let _t2 = arb
+            .request(req(4, 24).with_priority(Priority::HIGH))
+            .unwrap();
+        assert_eq!(a.pending_demand(), None, "uncoverable shortfall");
+        assert!(arb.tick().is_quiet());
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn same_tick_reap_withdraws_now_unjustified_demands() {
+        // A reap and a demand deadline land on the same tick, and the
+        // reaped capacity alone admits the high-priority request: the
+        // demand must be withdrawn before force-execution, not charged
+        // to the donor while the reclaimed GPUs idle in the pool.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let termed = arb.try_lease(req(1, 24).with_term(1)).unwrap();
+        std::mem::forget(termed);
+        let c = arb.try_lease(req(2, 8)).unwrap();
+        let t = arb
+            .request(req(3, 16).with_priority(Priority::HIGH))
+            .unwrap();
+        assert!(c.pending_demand().is_some(), "c is the youngest donor");
+        let report = arb.tick();
+        assert_eq!(report.expired, vec![(JobId(1), 24)]);
+        assert!(
+            report.reclaimed.is_empty(),
+            "the reap covered the shortfall — no force: {report:?}"
+        );
+        assert_eq!(arb.fairness(JobId(2)).gpus_moved, 0);
+        assert_eq!(c.pending_demand(), None, "demand withdrawn");
+        assert_eq!(c.gpu_count(), 8, "donor untouched");
+        let hp = arb.claim(&t).expect("admitted from reaped capacity");
+        assert_eq!(hp.gpu_count(), 16);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn preempted_unclaimed_grant_is_reclaimed_whole_never_undersized() {
+        // A granted-but-unclaimed request chosen as a preemption donor
+        // is revoked entirely: claim() returns None, never a lease
+        // smaller than the request asked for.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut hold = arb.try_lease(req(1, 20)).unwrap();
+        let t_low = arb.request(req(2, 12)).unwrap();
+        assert_eq!(arb.free_gpus(), 0, "granted (unclaimed) holds 12");
+        // HIGH needs 8: the youngest donor is the unclaimed grant, and
+        // the demand against it (8) is partial.
+        let t_high = arb
+            .request(req(3, 8).with_priority(Priority::HIGH))
+            .unwrap();
+        let report = arb.tick();
+        assert_eq!(report.reclaimed, vec![(JobId(2), 12)], "taken whole");
+        assert!(
+            arb.claim(&t_low).is_none(),
+            "a revoked grant must not be claimable at the wrong size"
+        );
+        let hp = arb.claim(&t_high).expect("capacity reclaimed");
+        assert_eq!(hp.gpu_count(), 8);
+        assert_eq!(hold.sync(), crate::lease::LeaseEvent::Unchanged);
+        assert_eq!(hold.gpu_count(), 20, "the claimed lease was spared");
+        assert!(arb.audit().is_ok());
+        drop(hold);
+    }
+
+    #[test]
+    fn a_larger_demand_restarts_the_grace_window() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo).with_grace(2);
+        let a = arb.try_lease(req(1, 32)).unwrap();
+        let _t1 = arb
+            .request(req(2, 8).with_priority(Priority::HIGH))
+            .unwrap();
+        assert_eq!(
+            a.pending_demand(),
+            Some(ShrinkDemand {
+                gpus: 8,
+                deadline: 2
+            })
+        );
+        arb.tick(); // now = 1: re-enforcement of the same ask keeps the deadline
+        assert_eq!(a.pending_demand().unwrap().deadline, 2);
+        // A bigger request arrives: the enlarged demand gets fresh notice.
+        let _t2 = arb
+            .request(req(3, 16).with_priority(Priority::CRITICAL))
+            .unwrap();
+        let d = a.pending_demand().unwrap();
+        assert_eq!(d.gpus, 16);
+        assert_eq!(d.deadline, 3, "increment restarts the grace window");
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn expired_term_reaps_even_unclaimed_grants() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let t = arb.request(req(1, 32).with_term(1)).unwrap();
+        assert_eq!(arb.free_gpus(), 0, "granted (unclaimed) holds slots");
+        let report = arb.tick();
+        assert_eq!(report.expired, vec![(JobId(1), 32)]);
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.claim(&t).is_none(), "the grant lapsed before claim");
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn renew_extends_the_term() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let mut lease = arb.try_lease(req(1, 8).with_term(2)).unwrap();
+        assert_eq!(lease.expires_at(), Some(2));
+        arb.tick(); // now = 1
+        lease.renew().unwrap();
+        assert_eq!(lease.expires_at(), Some(3), "renew restarts the term");
+        arb.tick(); // now = 2: would have lapsed without the renew
+        assert!(lease.is_live());
+        arb.tick(); // now = 3: lapses
+        assert!(!lease.is_live());
+        assert_eq!(lease.sync(), crate::lease::LeaseEvent::Lapsed);
+        assert!(matches!(lease.renew(), Err(LeaseError::Lapsed)));
+        assert!(matches!(lease.grow(1, None), Err(LeaseError::Lapsed)));
+        assert!(matches!(lease.shrink(1), Err(LeaseError::Lapsed)));
+        assert_eq!(arb.free_gpus(), 32);
+        drop(lease); // lapsed drop is a no-op, not a double release
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn unconfigured_arbiter_ticks_are_quiet_and_free() {
+        // Regression: with no priorities and no terms, tick/maintain
+        // must not mutate anything — epochs (and so fingerprints and
+        // cached plans) survive arbitrary ticking, exactly the pre-term
+        // arbiter behavior.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::BestFitSkuClass);
+        let lease = arb.try_lease(req(1, 12)).unwrap();
+        let _t = arb.request(req(2, 32)).unwrap();
+        let epoch = arb.epoch();
+        let fp = lease.fingerprint();
+        for _ in 0..5 {
+            assert!(arb.tick().is_quiet());
+        }
+        assert_eq!(arb.epoch(), epoch, "quiet ticks never bump the epoch");
+        assert_eq!(lease.fingerprint(), fp);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn external_clock_drives_expiry() {
+        let clock = LogicalClock::new();
+        let arb =
+            ClusterArbiter::with_clock(&topo4x8(), AdmissionPolicy::Fifo, Arc::new(clock.clone()));
+        let lease = arb.try_lease(req(1, 8).with_term(5)).unwrap();
+        std::mem::forget(lease);
+        // The arbiter's tick does NOT advance an external clock.
+        assert!(arb.tick().is_quiet());
+        assert_eq!(arb.now(), 0);
+        clock.advance(5);
+        let report = arb.maintain();
+        assert_eq!(report.expired, vec![(JobId(1), 8)]);
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
     }
 
     #[test]

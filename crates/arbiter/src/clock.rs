@@ -1,0 +1,70 @@
+//! Logical time for lease terms: a caller-pumped [`Clock`] the arbiter
+//! reads expiry deadlines against, so tests and simulations stay fully
+//! deterministic (nothing in the arbiter ever consults wall time).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic logical clock the arbiter reads lease terms against.
+///
+/// Implementations are **caller-pumped**: the arbiter only ever reads
+/// `now()` — it never advances time itself — so a test (or a training
+/// loop that ticks once per iteration) controls exactly when leases
+/// expire and when revocation grace windows lapse. A production
+/// deployment can back this with wall-clock seconds; the arbiter does
+/// not care what a tick *means*, only that `now()` never decreases.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// The current logical time, in ticks. Must be monotonic.
+    fn now(&self) -> u64;
+}
+
+/// The default caller-pumped logical clock: a shared atomic counter.
+///
+/// Clones share the same counter, so a handle kept by the driving loop
+/// advances the clock an arbiter (or several) reads.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_arbiter::{Clock, LogicalClock};
+/// let clock = LogicalClock::new();
+/// assert_eq!(clock.now(), 0);
+/// clock.advance(3);
+/// assert_eq!(clock.now(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock(Arc<AtomicU64>);
+
+impl LogicalClock {
+    /// A clock starting at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ticks` and returns the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.0.fetch_add(ticks, Ordering::SeqCst) + ticks
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_counter() {
+        let a = LogicalClock::new();
+        let b = a.clone();
+        a.advance(2);
+        assert_eq!(b.now(), 2);
+        assert_eq!(b.advance(1), 3);
+        assert_eq!(a.now(), 3);
+    }
+}

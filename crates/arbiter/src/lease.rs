@@ -4,13 +4,32 @@
 use flexsp_core::FlexSpSolver;
 use flexsp_sim::{GpuId, NodeSlots};
 
-use crate::arbiter::{ClusterArbiter, LeaseError};
+use crate::arbiter::{select_victims, ClusterArbiter, LeaseError, ShrinkDemand};
 use crate::policy::JobId;
 
-/// A live reservation: the GPUs a job owns until the handle drops.
+/// What [`Lease::sync`] observed arbiter-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// The handle already mirrored the arbiter's record.
+    Unchanged,
+    /// The arbiter force-shrank the lease (a revocation executed after
+    /// its grace window); the handle now mirrors the survivor and its
+    /// fingerprint changed — drop stale-bound solvers and re-bind.
+    Resized {
+        /// GPUs the arbiter reclaimed since the last sync.
+        lost: u32,
+    },
+    /// The lease no longer exists arbiter-side (term lapsed or fully
+    /// revoked); the handle is inert and holds no GPUs.
+    Lapsed,
+}
+
+/// A live reservation: the GPUs a job owns until the handle drops — or
+/// until the arbiter takes them back.
 ///
-/// * **RAII release** — dropping the lease returns exactly its slots to
-///   the arbiter and pumps the admission queue.
+/// * **RAII release** — dropping the lease returns exactly its
+///   *arbiter-side* slots to the pool and pumps the admission queue
+///   (a lease already reaped or revoked drops inertly).
 /// * **Views** — [`Lease::view`] is the restricted [`NodeSlots`] every
 ///   planner entry point (`plan_micro_batch_within`,
 ///   `place_shapes_within`, a bound [`FlexSpSolver`]) consumes, so plans
@@ -18,17 +37,31 @@ use crate::policy::JobId;
 /// * **Fingerprints** — [`Lease::fingerprint`] hashes the arbiter epoch
 ///   the lease was (re)stamped at together with its per-node slot
 ///   vector; plan caches keyed by it can never replay a plan across a
-///   grow, shrink, renewal, or any other ledger change.
+///   grow, shrink, renewal, revocation, or any other ledger change.
+/// * **Revocation** — the arbiter may demand GPUs back
+///   ([`Lease::pending_demand`]) when a higher-priority job cannot be
+///   admitted, and force-reclaims at the demand's deadline; a lease
+///   granted with a term ([`SlotRequest::with_term`]) lapses outright
+///   unless renewed. The handle is a **mirror** of the arbiter's record:
+///   after any tick that could have forced a mutation, call
+///   [`Lease::sync`] — a [`LeaseEvent::Resized`] or
+///   [`LeaseEvent::Lapsed`] means previously bound solvers hold slots
+///   the job no longer owns and must be dropped and re-bound before any
+///   further planning.
 ///
 /// Leases are `Send`: a job can carry its lease into its worker thread.
+///
+/// [`SlotRequest::with_term`]: crate::SlotRequest::with_term
 #[derive(Debug)]
 pub struct Lease {
     arbiter: ClusterArbiter,
     id: u64,
     job: JobId,
-    /// Owned slots, ascending.
+    /// Mirror of the arbiter-side slot list, ascending. Canonical state
+    /// lives in the arbiter's `LeaseRecord`; [`Lease::sync`] refreshes
+    /// this after forced mutations.
     gpus: Vec<GpuId>,
-    /// Arbiter epoch at grant / last renew / last resize.
+    /// Arbiter epoch at grant / last renew / last resize / last sync.
     epoch: u64,
 }
 
@@ -55,7 +88,8 @@ impl Lease {
         self.job
     }
 
-    /// The owned GPUs, ascending.
+    /// The owned GPUs, ascending (as of the last sync — see
+    /// [`Lease::sync`] for the forced-mutation contract).
     pub fn gpus(&self) -> &[GpuId] {
         &self.gpus
     }
@@ -68,6 +102,61 @@ impl Lease {
     /// The arbiter epoch this lease was last (re)stamped at.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// True while the lease exists arbiter-side (not reaped, not fully
+    /// revoked).
+    pub fn is_live(&self) -> bool {
+        self.arbiter.state.lock().live.contains_key(&self.id)
+    }
+
+    /// The logical time this lease lapses unless renewed (`None` for
+    /// untermed or already-lapsed leases).
+    pub fn expires_at(&self) -> Option<u64> {
+        self.arbiter
+            .state
+            .lock()
+            .live
+            .get(&self.id)
+            .and_then(|r| r.expires_at)
+    }
+
+    /// The arbiter's pending shrink demand against this lease, if any:
+    /// give back [`ShrinkDemand::gpus`] GPUs before
+    /// [`ShrinkDemand::deadline`] (via [`Lease::shrink`], which clears
+    /// the demand) or the arbiter force-reclaims them.
+    pub fn pending_demand(&self) -> Option<ShrinkDemand> {
+        self.arbiter
+            .state
+            .lock()
+            .live
+            .get(&self.id)
+            .and_then(|r| r.demand)
+    }
+
+    /// Reconciles the handle with the arbiter's record after forced
+    /// mutations (revocations, reaping). On
+    /// [`LeaseEvent::Resized`]/[`LeaseEvent::Lapsed`] the handle's slot
+    /// list and fingerprint change: the job must drop solvers bound to
+    /// the old view and re-bind ([`Lease::bind`]) before planning again
+    /// — the fingerprint change keeps the plan *cache* honest on its
+    /// own, but a live pre-sync solver would still plan onto GPUs the
+    /// arbiter has since moved to another tenant.
+    pub fn sync(&mut self) -> LeaseEvent {
+        let state = self.arbiter.state.lock();
+        match state.live.get(&self.id) {
+            None => {
+                self.gpus.clear();
+                LeaseEvent::Lapsed
+            }
+            Some(rec) if rec.gpus != self.gpus => {
+                let lost = (self.gpus.len() - rec.gpus.len()) as u32;
+                self.gpus = rec.gpus.clone();
+                self.epoch = rec.stamp;
+                LeaseEvent::Resized { lost }
+            }
+            Some(_) => LeaseEvent::Unchanged,
+        }
     }
 
     /// The restricted free-slot view of this lease: exactly the owned
@@ -92,27 +181,49 @@ impl Lease {
     /// into every plan-cache key.
     ///
     /// The binding is a **snapshot**. After any [`Lease::grow`],
-    /// [`Lease::shrink`], or [`Lease::renew`], previously bound solvers
-    /// (and services spawned from them) hold a stale view of the slots
-    /// and must be dropped and re-bound before further planning — a
-    /// stale solver can otherwise place onto GPUs the arbiter has since
-    /// granted to another tenant.
+    /// [`Lease::shrink`], [`Lease::renew`], or a [`Lease::sync`] that
+    /// reported a change, previously bound solvers (and services spawned
+    /// from them) hold a stale view of the slots and must be dropped and
+    /// re-bound before further planning — a stale solver can otherwise
+    /// place onto GPUs the arbiter has since granted to another tenant.
+    /// `SolverService::rebind` is the running-service form of this step.
     ///
     /// # Panics
     ///
-    /// Panics if the solver's cost model describes a different cluster.
+    /// Panics if the solver's cost model describes a different cluster,
+    /// or if the lease has lapsed (it owns no slots to plan within).
     pub fn bind(&self, solver: FlexSpSolver) -> FlexSpSolver {
         solver.with_availability(self.view(), self.fingerprint())
     }
 
-    /// Re-stamps the lease at the arbiter's current epoch (bumping it),
-    /// without changing its slots. Long-lived jobs renew after observing
-    /// ledger churn so their fingerprint — and with it their plan-cache
-    /// identity — stays fresh.
-    pub fn renew(&mut self) {
+    /// Re-stamps the lease at the arbiter's current epoch (bumping it)
+    /// and — for term-bearing leases — restarts the term from the
+    /// clock's current time, without changing its slots. Long-lived jobs
+    /// renew after observing ledger churn so their fingerprint — and
+    /// with it their plan-cache identity — stays fresh, and once per
+    /// term window so the reaper knows they are alive.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::Lapsed`] if the lease no longer exists arbiter-side
+    /// (the handle's mirror is emptied, as a [`Lease::sync`] would).
+    pub fn renew(&mut self) -> Result<(), LeaseError> {
+        let now = self.arbiter.clock_now();
         let mut state = self.arbiter.state.lock();
+        if !state.live.contains_key(&self.id) {
+            self.gpus.clear();
+            return Err(LeaseError::Lapsed);
+        }
         state.epoch += 1;
-        self.epoch = state.epoch;
+        let epoch = state.epoch;
+        let rec = state.live.get_mut(&self.id).expect("checked above");
+        rec.stamp = epoch;
+        if let Some(term) = rec.term {
+            rec.expires_at = Some(now + term);
+        }
+        self.gpus = rec.gpus.clone();
+        self.epoch = epoch;
+        Ok(())
     }
 
     /// Grows the lease by `extra` GPUs drawn from the free pool (with the
@@ -126,17 +237,24 @@ impl Lease {
     /// [`LeaseError::Busy`] when the pool is short **or queued requests
     /// are waiting** — like [`ClusterArbiter::try_lease`], a grow may
     /// not jump capacity over the admission queue (FIFO would otherwise
-    /// lose its starvation-freedom to incumbents growing in place); the
-    /// lease is unchanged.
+    /// lose its starvation-freedom to incumbents growing in place);
+    /// [`LeaseError::Lapsed`] if the lease no longer exists arbiter-side.
+    /// The lease is unchanged on `Busy`; `Lapsed` additionally empties
+    /// the handle's mirror (exactly what a [`Lease::sync`] would
+    /// report), since the arbiter already holds its slots.
     pub fn grow(
         &mut self,
         extra: u32,
         prefer: Option<flexsp_sim::SkuId>,
     ) -> Result<(), LeaseError> {
+        let mut state = self.arbiter.state.lock();
+        if !state.live.contains_key(&self.id) {
+            self.gpus.clear();
+            return Err(LeaseError::Lapsed);
+        }
         if extra == 0 {
             return Ok(());
         }
-        let mut state = self.arbiter.state.lock();
         if extra > state.free.total_free() || state.has_pending() {
             return Err(LeaseError::Busy {
                 requested: extra,
@@ -148,88 +266,113 @@ impl Lease {
             None => state.free.take_packed(extra),
         }
         .expect("free count checked above");
-        self.gpus.extend(group.gpus());
-        self.gpus.sort_unstable();
-        state.live.insert(self.id, self.gpus.clone());
         state.epoch += 1;
-        self.epoch = state.epoch;
-        let c = state.counters(self.job);
+        let epoch = state.epoch;
+        let rec = state.live.get_mut(&self.id).expect("checked above");
+        rec.gpus.extend(group.gpus());
+        rec.gpus.sort_unstable();
+        rec.stamp = epoch;
+        self.gpus = rec.gpus.clone();
+        self.epoch = epoch;
+        let job = self.job;
+        let c = state.counters(job);
         c.gpus_granted += extra as u64;
         Ok(())
     }
 
     /// Shrinks the lease by `release` GPUs, giving back the slots on the
-    /// lease's least-occupied nodes first (keeping what remains packed).
-    /// The lease is re-stamped and the admission queue pumped — a shrink
-    /// is how a cooperative job hands capacity to waiting tenants.
+    /// lease's emptiest nodes first (whole sparsely-held nodes drain
+    /// before densely-held ones are touched, so the survivor stays
+    /// node-contiguous and its realized span never widens). The lease is
+    /// re-stamped and the admission queue pumped — a shrink is how a
+    /// cooperative job hands capacity to waiting tenants, and a shrink
+    /// of at least a pending demand's size clears the demand (graceful
+    /// compliance with a revocation).
     ///
     /// **Stale views:** a solver or service bound before the shrink
     /// still sees the released GPUs as free — the fingerprint change
     /// only keeps its *cached plans* from being replayed, it does not
     /// stop it from planning. Drop pre-shrink bound solvers/services and
-    /// re-bind ([`Lease::bind`]) before submitting further batches;
-    /// freed slots may already belong to another tenant.
+    /// re-bind ([`Lease::bind`] / `SolverService::rebind`) before
+    /// submitting further batches; freed slots may already belong to
+    /// another tenant.
     ///
     /// # Errors
     ///
     /// [`LeaseError::ShrinkTooLarge`] if `release >= gpu_count()` (drop
-    /// the lease to give back everything); the lease is unchanged.
+    /// the lease to give back everything); [`LeaseError::Lapsed`] if the
+    /// lease no longer exists arbiter-side. The lease is unchanged on
+    /// `ShrinkTooLarge`; `Lapsed` additionally empties the handle's
+    /// mirror (exactly what a [`Lease::sync`] would report), since the
+    /// arbiter already holds its slots.
     pub fn shrink(&mut self, release: u32) -> Result<(), LeaseError> {
+        let now = self.arbiter.clock_now();
+        let topo = self.arbiter.topology().clone();
+        let mut state = self.arbiter.state.lock();
+        if !state.live.contains_key(&self.id) {
+            self.gpus.clear();
+            return Err(LeaseError::Lapsed);
+        }
         if release == 0 {
             return Ok(());
         }
-        if release >= self.gpu_count() {
+        // Victims come from the *arbiter-side* record — the handle's
+        // mirror may be stale across an unobserved forced shrink, and
+        // releasing a GPU the arbiter already moved would corrupt the
+        // ledger.
+        let held: Vec<GpuId> = state.live[&self.id].gpus.clone();
+        if release as usize >= held.len() {
             return Err(LeaseError::ShrinkTooLarge {
                 requested: release,
-                held: self.gpu_count(),
+                held: held.len() as u32,
             });
         }
-        // Pick victims from the least-occupied nodes of the lease's own
-        // view: the remaining slots stay as node-packed as possible.
-        let topo = self.arbiter.topology().clone();
-        let mut by_node: std::collections::BTreeMap<u32, Vec<GpuId>> = Default::default();
-        for &g in &self.gpus {
-            by_node.entry(topo.node_of(g)).or_default().push(g);
-        }
-        let mut nodes: Vec<(u32, Vec<GpuId>)> = by_node.into_iter().collect();
-        nodes.sort_by_key(|(n, held)| (held.len(), *n));
-        let mut victims: Vec<GpuId> = Vec::with_capacity(release as usize);
-        for (_, mut held) in nodes {
-            while victims.len() < release as usize {
-                // Highest ids first within a node, mirroring how partial
-                // reservations truncate nodes elsewhere in the stack.
-                match held.pop() {
-                    Some(g) => victims.push(g),
-                    None => break,
-                }
-            }
-            if victims.len() == release as usize {
-                break;
-            }
-        }
-        let mut state = self.arbiter.state.lock();
-        self.gpus.retain(|g| !victims.contains(g));
-        state.live.insert(self.id, self.gpus.clone());
-        state.free.release(&victims);
+        let span_before = topo.span_of(&held);
+        let victims = select_victims(&topo, &held, release);
         state.epoch += 1;
-        self.epoch = state.epoch;
-        let c = state.counters(self.job);
-        c.gpus_released += victims.len() as u64;
-        state.pump();
+        let epoch = state.epoch;
+        let rec = state.live.get_mut(&self.id).expect("checked above");
+        rec.gpus.retain(|g| !victims.contains(g));
+        rec.stamp = epoch;
+        // Emptiest-node-first draining can only concentrate the
+        // survivor: its realized span must never widen.
+        debug_assert!(
+            topo.span_of(&rec.gpus) <= span_before,
+            "shrink widened the survivor's span"
+        );
+        // A voluntary shrink satisfies (part of) a pending demand.
+        if let Some(d) = &mut rec.demand {
+            if release >= d.gpus {
+                rec.demand = None;
+            } else {
+                d.gpus -= release;
+            }
+        }
+        self.gpus = rec.gpus.clone();
+        self.epoch = epoch;
+        state.free.release(&victims);
+        let job = self.job;
+        state.counters(job).gpus_released += victims.len() as u64;
+        state.settle(now);
         Ok(())
     }
 }
 
 impl Drop for Lease {
     fn drop(&mut self) {
+        let now = self.arbiter.clock_now();
         let mut state = self.arbiter.state.lock();
-        if state.live.remove(&self.id).is_some() {
-            state.free.release(&self.gpus);
+        // Release the *arbiter-side* slots: after an unobserved forced
+        // shrink the handle's mirror would double-free GPUs that already
+        // belong to another tenant; after a reap there is nothing left
+        // to release at all.
+        if let Some(rec) = state.live.remove(&self.id) {
+            state.free.release(&rec.gpus);
             state.epoch += 1;
             let c = state.counters(self.job);
             c.released += 1;
-            c.gpus_released += self.gpus.len() as u64;
-            state.pump();
+            c.gpus_released += rec.gpus.len() as u64;
+            state.settle(now);
         }
     }
 }

@@ -20,8 +20,21 @@
 //!   keys plan caches so stale plans can never be replayed after the
 //!   free set changes.
 //! * [`AdmissionPolicy`] — who gets freed slots: strict [FIFO] or
-//!   [best-fit by SKU class], with per-job [`JobCounters`] making
-//!   starvation observable.
+//!   [best-fit by SKU class], both serving higher [`Priority`] classes
+//!   first, with per-job [`JobCounters`] making starvation observable.
+//! * **Liveness** — leases are revocable and time-bounded. A request may
+//!   carry a *term* ([`SlotRequest::with_term`], measured on a
+//!   caller-pumped logical [`Clock`]): the lease lapses unless renewed,
+//!   and [`ClusterArbiter::tick`] reaps it arbiter-side — a crashed or
+//!   leaked tenant cannot pin its slots forever. A higher-priority
+//!   request that cannot be admitted makes the arbiter issue a
+//!   [`ShrinkDemand`] against the lowest-priority holders; tenants
+//!   comply gracefully within the grace window
+//!   ([`Lease::pending_demand`] + [`Lease::shrink`]) or the arbiter
+//!   force-reclaims (victims emptiest-node-first, counted as
+//!   `gpus_moved`). Tenants observe forced mutations via
+//!   [`Lease::sync`] and replan by re-binding — the availability
+//!   fingerprint guarantees no stale plan ever replays.
 //!
 //! [FIFO]: AdmissionPolicy::Fifo
 //! [best-fit by SKU class]: AdmissionPolicy::BestFitSkuClass
@@ -75,9 +88,13 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+mod clock;
 mod lease;
 mod policy;
 
-pub use arbiter::{ClusterArbiter, LeaseError, Ticket};
-pub use lease::Lease;
-pub use policy::{AdmissionPolicy, JobCounters, JobId, SlotRequest};
+pub use arbiter::{
+    ClusterArbiter, LeaseError, ShrinkDemand, TickReport, Ticket, DEFAULT_GRACE_TICKS,
+};
+pub use clock::{Clock, LogicalClock};
+pub use lease::{Lease, LeaseEvent};
+pub use policy::{AdmissionPolicy, JobCounters, JobId, Priority, SlotRequest};

@@ -1,4 +1,4 @@
-//! Admission policies and per-job fairness accounting.
+//! Admission policies, priority classes, and per-job fairness accounting.
 
 use std::fmt;
 
@@ -7,21 +7,30 @@ use flexsp_sim::{NodeSlots, SkuId};
 use crate::arbiter::Pending;
 
 /// Which pending job gets freed slots when capacity returns.
+///
+/// Both policies serve strictly by [`Priority`] first: among the pending
+/// requests, only the highest priority class present competes, and the
+/// policy's own rule orders requests *within* that class. With every
+/// request at the default priority this reduces to the policy's classic
+/// behavior.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum AdmissionPolicy {
     /// Strict arrival order with head-of-line blocking: the queue's front
-    /// request is granted as soon as it fits; nothing behind it may jump
-    /// ahead. Predictable, starvation-free, but fragments capacity when
-    /// a large request parks at the front.
+    /// request (highest priority, earliest arrival) is granted as soon as
+    /// it fits; nothing behind it may jump ahead. Predictable,
+    /// starvation-free within a priority class, but fragments capacity
+    /// when a large request parks at the front.
     #[default]
     Fifo,
     /// Best fit by SKU class: among the pending requests that fit *right
     /// now*, grant the one leaving the fewest free GPUs in its preferred
     /// class (ties broken by arrival order), repeating until nothing
-    /// fits. Packs mixed fleets tighter — a job preferring the H100
-    /// class is matched to H100 slack instead of blocking on A100 churn —
-    /// at the price of possible large-request starvation, which the
-    /// fairness counters make observable.
+    /// fits. A request whose preferred class cannot host it entirely is
+    /// scored against the whole pool and always ranks behind requests
+    /// their class can satisfy — an under-capacity class is no longer an
+    /// artificial slack-0 "exact fit". Packs mixed fleets tighter at the
+    /// price of possible large-request starvation, which the fairness
+    /// counters make observable.
     BestFitSkuClass,
 }
 
@@ -41,8 +50,14 @@ impl AdmissionPolicy {
         let fits = |p: &Pending| p.request.gpus <= free.total_free();
         match self {
             AdmissionPolicy::Fifo => {
-                let front = pending.first()?;
-                fits(front).then_some(0)
+                // The effective front: highest priority, earliest arrival
+                // (unique keys — ties on priority break to the smaller
+                // index via Reverse).
+                let (i, front) = pending
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, p)| (p.request.priority, std::cmp::Reverse(*i)))?;
+                fits(front).then_some(i)
             }
             AdmissionPolicy::BestFitSkuClass => pending
                 .iter()
@@ -50,12 +65,29 @@ impl AdmissionPolicy {
                 .filter(|(_, p)| fits(p))
                 .min_by_key(|(i, p)| {
                     // Leftover in the preferred class after the grant; a
-                    // class-less request is scored against the whole pool.
-                    let class_free = match p.request.prefer {
-                        Some(sku) => free.free_sku_gpus(sku),
-                        None => free.total_free(),
+                    // class-less request is scored against the whole
+                    // pool. A preferred class that cannot host the whole
+                    // request (free < requested) is *under capacity*:
+                    // granting would spill across classes, so it must
+                    // rank behind every request its class can satisfy
+                    // rather than tie an exact fit at slack 0.
+                    let (class_short, slack) = match p.request.prefer {
+                        Some(sku) => {
+                            let class_free = free.free_sku_gpus(sku);
+                            if class_free < p.request.gpus {
+                                (true, free.total_free() - p.request.gpus)
+                            } else {
+                                (false, class_free - p.request.gpus)
+                            }
+                        }
+                        None => (false, free.total_free() - p.request.gpus),
                     };
-                    (class_free.saturating_sub(p.request.gpus), *i)
+                    (
+                        std::cmp::Reverse(p.request.priority),
+                        class_short,
+                        slack,
+                        *i,
+                    )
                 })
                 .map(|(i, _)| i),
         }
@@ -73,9 +105,35 @@ impl fmt::Display for JobId {
     }
 }
 
+/// Priority class of a lease request: higher values are admitted first
+/// and may **preempt** strictly lower ones (the arbiter demands a shrink
+/// from the lowest-priority lease holders when a higher-priority request
+/// cannot be admitted). The default — [`Priority::LOW`], 0 — reproduces
+/// the priority-less arbiter exactly: equal-priority requests never
+/// preempt each other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The default, lowest class: batch / best-effort work.
+    pub const LOW: Priority = Priority(0);
+    /// Deadline or interactive work: admitted ahead of `LOW` and able to
+    /// reclaim capacity from it.
+    pub const HIGH: Priority = Priority(128);
+    /// Cluster-critical work: preempts everything below.
+    pub const CRITICAL: Priority = Priority(255);
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
 /// A job's resource ask: how many GPUs, optionally pinned-by-preference
 /// to a SKU class (the draw spills to other classes only under
-/// scarcity, exactly like the placement engine's SKU affinity).
+/// scarcity, exactly like the placement engine's SKU affinity), at a
+/// [`Priority`], optionally time-bounded by a lease term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotRequest {
     /// The requesting job.
@@ -84,15 +142,24 @@ pub struct SlotRequest {
     pub gpus: u32,
     /// Preferred SKU class (`None` = fastest-first draw).
     pub prefer: Option<SkuId>,
+    /// Priority class (default [`Priority::LOW`]).
+    pub priority: Priority,
+    /// Lease term in logical-clock ticks: the lease lapses `term` ticks
+    /// after grant unless renewed, and the arbiter reaps its slots on
+    /// the next [`tick`](crate::ClusterArbiter::tick). `None` = the
+    /// lease lives until dropped (the pre-term behavior).
+    pub term: Option<u64>,
 }
 
 impl SlotRequest {
-    /// A class-less request.
+    /// A class-less request at the default priority, with no term.
     pub fn new(job: JobId, gpus: u32) -> Self {
         Self {
             job,
             gpus,
             prefer: None,
+            priority: Priority::LOW,
+            term: None,
         }
     }
 
@@ -101,11 +168,32 @@ impl SlotRequest {
         self.prefer = Some(sku);
         self
     }
+
+    /// The same request at priority `priority`.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The same request with a lease term of `ticks` logical-clock
+    /// ticks. A granted lease expires `ticks` after grant (each renew
+    /// restarts the term) and is reaped arbiter-side — so a crashed or
+    /// leaked tenant cannot pin its slots forever.
+    pub fn with_term(mut self, ticks: u64) -> Self {
+        self.term = Some(ticks);
+        self
+    }
 }
 
 /// Per-job fairness counters: how often a job asked, waited, was granted,
-/// and gave back — the observable record admission-policy tuning works
-/// from.
+/// gave back, and was forcibly relieved — the observable record admission
+/// and preemption tuning works from.
+///
+/// Conservation law: per job, `gpus_granted − gpus_released − gpus_moved`
+/// always equals the GPUs its live leases currently hold — voluntary
+/// give-backs (drops, cooperative shrinks, cancels) count in
+/// `gpus_released`, forced reclaims (grace-expired revocations, term
+/// reaping) in `gpus_moved`, and never both.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounters {
     /// Lease requests submitted (immediate or queued).
@@ -118,8 +206,14 @@ pub struct JobCounters {
     pub released: u64,
     /// Total GPUs ever granted to the job (grants + grows).
     pub gpus_granted: u64,
-    /// Total GPUs ever returned by the job.
+    /// Total GPUs ever returned **voluntarily** by the job (drops,
+    /// cooperative shrinks, cancelled grants).
     pub gpus_released: u64,
+    /// Total GPUs the arbiter took back **by force**: grace-expired
+    /// revocations and expired-term reaping. Disjoint from
+    /// `gpus_released` — a forced reclaim is capacity moved by the
+    /// arbiter, not returned by the tenant.
+    pub gpus_moved: u64,
     /// Grant passes the job's queued requests sat through without being
     /// picked (a growing gap versus other jobs' `granted` is starvation).
     pub wait_rounds: u64,
@@ -129,15 +223,14 @@ pub struct JobCounters {
 mod tests {
     use super::*;
     use crate::arbiter::Pending;
-    use flexsp_sim::{NodeSpec, Topology};
+    use flexsp_sim::{GpuId, NodeSpec, Topology};
 
     fn pending(job: u64, gpus: u32, prefer: Option<SkuId>) -> Pending {
         Pending {
             ticket: job,
-            request: SlotRequest {
-                job: JobId(job),
-                gpus,
-                prefer,
+            request: match prefer {
+                Some(sku) => SlotRequest::new(JobId(job), gpus).preferring(sku),
+                None => SlotRequest::new(JobId(job), gpus),
             },
         }
     }
@@ -152,6 +245,28 @@ mod tests {
         assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), None);
         let queue = vec![pending(0, 8, None), pending(1, 4, None)];
         assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), Some(0));
+    }
+
+    #[test]
+    fn priorities_reorder_both_policies() {
+        let topo = Topology::new(1, 8);
+        let free = NodeSlots::new(&topo);
+        // A later high-priority request becomes the effective front.
+        let mut queue = vec![pending(0, 4, None), pending(1, 4, None)];
+        queue[1].request = queue[1].request.with_priority(Priority::HIGH);
+        assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), Some(1));
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(1)
+        );
+        // ...and blocks the head-of-line when it does not fit (FIFO),
+        // while best-fit only considers its class once it could fit.
+        queue[1].request.gpus = 16;
+        assert_eq!(AdmissionPolicy::Fifo.pick(&queue, &free), None);
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(0)
+        );
     }
 
     #[test]
@@ -178,5 +293,36 @@ mod tests {
             AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
             Some(1)
         );
+    }
+
+    #[test]
+    fn under_capacity_class_never_ties_an_exact_fit() {
+        // Regression: `class_free.saturating_sub(gpus)` scored a request
+        // whose preferred class was *short* (free < requested) at slack
+        // 0, tying — and by arrival order beating — a genuine exact fit.
+        let topo =
+            Topology::from_nodes(vec![NodeSpec::new(8, SkuId(0)), NodeSpec::new(4, SkuId(1))]);
+        let mut free = NodeSlots::new(&topo);
+        // Class 1 has only 4 free; a request for 8 preferring it would
+        // spill into class 0.
+        let queue = vec![pending(0, 8, Some(SkuId(1))), pending(1, 8, Some(SkuId(0)))];
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(1),
+            "the exact class fit must beat the under-capacity class"
+        );
+        // With no class-satisfiable competitor, the short request is
+        // still grantable (scored against the whole pool).
+        let queue = vec![pending(0, 8, Some(SkuId(1)))];
+        assert_eq!(
+            AdmissionPolicy::BestFitSkuClass.pick(&queue, &free),
+            Some(0)
+        );
+        // And once its class genuinely cannot be part of any grant (the
+        // whole pool is short), it is not granted at all.
+        let taken: Vec<GpuId> = free.take_packed(8).unwrap().gpus().to_vec();
+        assert_eq!(taken.len(), 8);
+        let queue = vec![pending(0, 8, Some(SkuId(1)))];
+        assert_eq!(AdmissionPolicy::BestFitSkuClass.pick(&queue, &free), None);
     }
 }

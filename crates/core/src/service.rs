@@ -157,6 +157,28 @@ impl SharedPlanCache {
     }
 }
 
+/// A solver plus the cache-identity facts derived from it, swapped
+/// atomically by [`SolverService::rebind`] so workers always pair a
+/// solver with *its own* fingerprint.
+#[derive(Debug)]
+struct BoundSolver {
+    solver: FlexSpSolver,
+    n_gpus: u32,
+    config_fp: u64,
+}
+
+impl BoundSolver {
+    fn new(solver: FlexSpSolver) -> Self {
+        let n_gpus = solver.cost().num_gpus();
+        let config_fp = config_fingerprint(&solver);
+        Self {
+            solver,
+            n_gpus,
+            config_fp,
+        }
+    }
+}
+
 fn cache_key(batch: &[Sequence], n_gpus: u32, config_fp: u64) -> CacheKey {
     let mut lens: Vec<u64> = batch.iter().map(|s| s.len).collect();
     lens.sort_unstable();
@@ -246,6 +268,7 @@ pub struct SolverService {
     results: Receiver<JobResult>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<Mutex<PlanCache>>,
+    solver: Arc<Mutex<Arc<BoundSolver>>>,
     next_submit: std::cell::Cell<u64>,
     next_deliver: std::cell::Cell<u64>,
     reorder: std::cell::RefCell<HashMap<u64, Result<SolvedIteration, PlanError>>>,
@@ -294,17 +317,23 @@ impl SolverService {
         let (job_tx, job_rx) = unbounded::<Job>();
         let (res_tx, res_rx) = unbounded::<JobResult>();
         let cache = Arc::clone(&shared.inner);
-        let n_gpus = solver.cost().num_gpus();
-        let config_fp = config_fingerprint(&solver);
+        let bound = Arc::new(Mutex::new(Arc::new(BoundSolver::new(solver))));
         let handles = (0..workers)
             .map(|_| {
                 let rx = job_rx.clone();
                 let tx = res_tx.clone();
-                let solver = solver.clone();
+                let bound = Arc::clone(&bound);
                 let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     while let Ok((idx, batch)) = rx.recv() {
-                        let key = cache_key(&batch, n_gpus, config_fp);
+                        // Read the solver at pick-up time, not spawn
+                        // time: a rebind swaps it for every *subsequent*
+                        // batch, and the fingerprint travels with it so
+                        // cache entries never cross the swap. Cloning
+                        // the Arc keeps the hot path at pointer cost —
+                        // the cost model is never deep-copied per batch.
+                        let current = Arc::clone(&*bound.lock().unwrap_or_else(|e| e.into_inner()));
+                        let key = cache_key(&batch, current.n_gpus, current.config_fp);
                         let cached = cache
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
@@ -313,7 +342,7 @@ impl SolverService {
                         let result = match cached {
                             Some(hit) => Ok(hit),
                             None => {
-                                let solved = solver.solve_iteration(&batch);
+                                let solved = current.solver.solve_iteration(&batch);
                                 if let Ok(plan) = &solved {
                                     cache
                                         .lock()
@@ -335,10 +364,35 @@ impl SolverService {
             results: res_rx,
             workers: handles,
             cache,
+            solver: bound,
             next_submit: std::cell::Cell::new(0),
             next_deliver: std::cell::Cell::new(0),
             reorder: std::cell::RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Swaps the solver every worker plans with — the **replan path** a
+    /// multi-tenant job takes after its arbiter lease changed under it
+    /// (cooperative shrink, forced revocation, grow): sync the lease,
+    /// bind a fresh solver to the surviving slots (`Lease::bind`), and
+    /// hand it here. Batches already queued are solved with whichever
+    /// solver is installed when a worker picks them up; the availability
+    /// fingerprint inside every cache key keeps pre-rebind plans from
+    /// ever being replayed post-rebind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new solver's cost model describes a different
+    /// cluster than the current one — rebinding re-scopes a service to
+    /// new *slots*, never to a new cluster.
+    pub fn rebind(&self, solver: FlexSpSolver) {
+        let mut bound = self.solver.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            solver.cost().topology(),
+            bound.solver.cost().topology(),
+            "rebind must stay on the same cluster"
+        );
+        *bound = Arc::new(BoundSolver::new(solver));
     }
 
     /// Queues a batch for solving; returns its sequence number.
@@ -564,6 +618,51 @@ mod tests {
         svc_a.shutdown();
         svc_b.shutdown();
         svc_a2.shutdown();
+    }
+
+    #[test]
+    fn rebind_scopes_subsequent_plans_to_the_new_availability() {
+        use flexsp_sim::{GpuId, NodeSlots};
+        let cluster = ClusterSpec::a100_cluster(2);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+        let topo = cost.topology().clone();
+        let service =
+            SolverService::spawn(FlexSpSolver::new(cost.clone(), SolverConfig::fast()), 2);
+        let b = batch(5, 8);
+        service.submit(b.clone());
+        assert!(service.recv_plan().is_ok());
+        // The job's lease shrank to the second node (a revocation):
+        // rebind and every subsequent plan stays on the survivors.
+        let survivors: Vec<GpuId> = (8..16).map(GpuId).collect();
+        service.rebind(
+            FlexSpSolver::new(cost, SolverConfig::fast())
+                .with_availability(NodeSlots::restricted_to(&topo, &survivors), 7),
+        );
+        service.submit(b);
+        let solved = service.recv_plan().expect("replans on the survivors");
+        assert!(
+            !solved.from_cache,
+            "the availability change must split the cache key"
+        );
+        for mb in &solved.plan.micro_batches {
+            for g in &mb.groups {
+                for gpu in g.placement.as_ref().unwrap().gpus() {
+                    assert!(survivors.contains(gpu), "{gpu} escaped the rebound lease");
+                }
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "same cluster")]
+    fn rebind_rejects_a_different_cluster() {
+        let service = SolverService::spawn(solver(), 1);
+        let other = ClusterSpec::a100_cluster(4);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        let cost = CostModel::fit(&other, &model, ActivationPolicy::None);
+        service.rebind(FlexSpSolver::new(cost, SolverConfig::fast()));
     }
 
     #[test]

@@ -231,6 +231,19 @@ impl Topology {
             .map(|n| n.width / degree.max(1))
             .sum()
     }
+
+    /// The number of distinct nodes the given GPUs touch — the realized
+    /// span of a placement, lease, or reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any GPU is outside the cluster.
+    pub fn span_of(&self, gpus: &[GpuId]) -> u32 {
+        let mut nodes: Vec<u32> = gpus.iter().map(|&g| self.node_of(g)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len() as u32
+    }
 }
 
 /// Minimum number of bins from `widths` whose sum covers `degree`

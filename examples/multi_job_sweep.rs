@@ -125,6 +125,94 @@ fn run_jobs(
     Ok((makespan, [total_l, total_s]))
 }
 
+/// What the preemption column measured.
+struct PreemptionColumn {
+    makespan: f64,
+    /// Preempted job L's total — compared against its unpreempted run
+    /// (the shared column, same batches, full lease throughout).
+    total_l: f64,
+    total_h: f64,
+    demand_gpus: u32,
+    survivor_gpus: u32,
+    highpri_gpus: u32,
+}
+
+/// Priority-preemption column: job L starts on the same demand-matched
+/// 3/4 lease, runs one round, then a high-priority job H arrives and
+/// must be carved out of it. The arbiter demands a shrink, L complies
+/// within the grace window, swaps its running service onto the
+/// survivors ([`SolverService::rebind`]), and both jobs run the
+/// remaining rounds concurrently on disjoint slots.
+fn preemption_run(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    policy: ActivationPolicy,
+    cost: &CostModel,
+    max_ctx: u64,
+    rounds: u64,
+) -> Result<PreemptionColumn, Box<dyn std::error::Error>> {
+    let topo = cluster.topology().clone();
+    let arbiter = ClusterArbiter::for_cluster(cluster, AdmissionPolicy::Fifo);
+    let want_l = 3 * cluster.num_gpus() / 4;
+    let mut ask_l = SlotRequest::new(JobId(1), want_l);
+    if !topo.is_single_sku() {
+        ask_l = ask_l.preferring(SkuId(0));
+    }
+    let mut lease_l = arbiter.try_lease(ask_l)?;
+    let svc_l = SolverService::spawn(
+        lease_l.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())),
+        2,
+    );
+    let exec_l = Executor::new(cluster.clone(), model.clone(), policy);
+    let exec_h = Executor::new(cluster.clone(), model.clone(), policy);
+
+    // Round 0: L alone on its full lease.
+    svc_l.submit(long_batch(max_ctx, 0));
+    let mut total_l = exec_l.execute(&svc_l.recv_plan()?.plan)?.total_s;
+    let mut makespan = total_l;
+
+    // The high-priority job arrives; its ask exceeds the free quarter,
+    // so the arbiter demands the shortfall back from L.
+    let want_h = 3 * cluster.num_gpus() / 8;
+    let ticket =
+        arbiter.request(SlotRequest::new(JobId(2), want_h).with_priority(Priority::HIGH))?;
+    assert!(
+        arbiter.claim(&ticket).is_none(),
+        "the free quarter cannot admit a 3/8 ask"
+    );
+    let demand = lease_l
+        .pending_demand()
+        .expect("shortfall demands a shrink");
+    lease_l.shrink(demand.gpus)?;
+    svc_l.rebind(lease_l.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())));
+    let lease_h = arbiter.claim(&ticket).expect("compliance admitted the job");
+    let svc_h = SolverService::spawn(
+        lease_h.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())),
+        2,
+    );
+
+    let mut total_h = 0.0f64;
+    for round in 1..rounds {
+        svc_l.submit(long_batch(max_ctx, round));
+        svc_h.submit(short_batch(round));
+        let t_l = exec_l.execute(&svc_l.recv_plan()?.plan)?.total_s;
+        let t_h = exec_h.execute(&svc_h.recv_plan()?.plan)?.total_s;
+        total_l += t_l;
+        total_h += t_h;
+        makespan += t_l.max(t_h);
+    }
+    svc_l.shutdown();
+    svc_h.shutdown();
+    Ok(PreemptionColumn {
+        makespan,
+        total_l,
+        total_h,
+        demand_gpus: demand.gpus,
+        survivor_gpus: lease_l.gpu_count(),
+        highpri_gpus: lease_h.gpu_count(),
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = ActivationPolicy::None;
     let rounds = 3u64;
@@ -190,6 +278,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
 
+        // Priority-preemption column: a late high-priority job reclaims
+        // capacity from job L mid-run; L replans on the survivors. Its
+        // unpreempted baseline is the shared column's job L (same
+        // batches, full lease throughout).
+        let pre = preemption_run(cluster, &model, policy, &cost, max_ctx, rounds)?;
+        let ratio = pre.total_l / shared_l;
+        assert!(
+            ratio < 2.0,
+            "{}: preempted job regressed {ratio:.2}x vs its unpreempted run \
+             (bound: 2x)",
+            sc.name
+        );
+
         let speedup = part_makespan / shared_makespan;
         let comma = if i + 1 == scenarios.len() { "" } else { "," };
         println!(
@@ -197,6 +298,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              \"partitioned\":{{\"makespan_s\":{:.4},\"job_long_s\":{:.4},\"job_short_s\":{:.4}}},\
              \"shared\":{{\"makespan_s\":{:.4},\"job_long_s\":{:.4},\"job_short_s\":{:.4},\
              \"lease_long\":{},\"lease_short\":{},\"fairness\":{{{}}}}},\
+             \"preemption\":{{\"makespan_s\":{:.4},\"job_long_s\":{:.4},\"job_high_s\":{:.4},\
+             \"demand_gpus\":{},\"survivor_gpus\":{},\"highpri_gpus\":{},\
+             \"ratio_vs_unpreempted\":{:.4}}},\
              \"speedup\":{:.4}}}{comma}",
             sc.name,
             topo,
@@ -210,6 +314,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lease_l.gpu_count(),
             lease_s.gpu_count(),
             fairness.join(","),
+            pre.makespan,
+            pre.total_l,
+            pre.total_h,
+            pre.demand_gpus,
+            pre.survivor_gpus,
+            pre.highpri_gpus,
+            ratio,
             speedup,
         );
     }

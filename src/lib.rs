@@ -12,7 +12,7 @@
 //! | [`data`] (`flexsp-data`) | long-tail corpora, packing, batching |
 //! | [`sim`] (`flexsp-sim`) | cluster / collective-communication simulator |
 //! | [`cost`] (`flexsp-cost`) | α-β cost models + profiler fitting (incl. ZeRO-3 exposure) |
-//! | [`arbiter`] (`flexsp-arbiter`) | multi-job cluster sharing: epoch-counted reservation arbiter, RAII leases, admission policies |
+//! | [`arbiter`] (`flexsp-arbiter`) | multi-job cluster sharing: epoch-counted reservation arbiter, RAII leases (revocable, time-bounded), priority preemption, admission policies |
 //! | [`baselines`] (`flexsp-baselines`) | DeepSpeed-, Megatron-like systems, BatchAda, static partitioning |
 //!
 //! The repository-level docs are the front door: `README.md` (crate map,
@@ -75,7 +75,10 @@ pub use flexsp_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use flexsp_arbiter::{AdmissionPolicy, ClusterArbiter, JobId, Lease, SlotRequest};
+    pub use flexsp_arbiter::{
+        AdmissionPolicy, Clock, ClusterArbiter, JobId, Lease, LeaseEvent, LogicalClock, Priority,
+        ShrinkDemand, SlotRequest, TickReport,
+    };
     pub use flexsp_baselines::{
         evaluate_system, DeepSpeedUlysses, DegreeOnlyFlexSp, FlexCpSystem, FlexSpBatchAda,
         FlexSpSystem, HomogeneousCp, MegatronLm, StaticPartition, TrainingSystem,

@@ -161,6 +161,164 @@ fn rebinding_after_shrink_keeps_plans_inside_the_smaller_lease() {
 }
 
 #[test]
+fn late_high_priority_job_preempts_and_both_jobs_finish() {
+    // The preemption scenario end to end: a low-priority job owns the
+    // whole cluster; a high-priority job arrives mid-run, the arbiter
+    // demands a shrink, the tenant ignores it, the grace window lapses,
+    // the arbiter force-reclaims — and both jobs finish with
+    // executor-valid, disjoint placements on their respective slots.
+    let cluster = ClusterSpec::a100_cluster(2); // 16 GPUs
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+
+    let mut lease_low = arbiter.try_lease(SlotRequest::new(JobId(1), 16)).unwrap();
+    let solver_low = lease_low.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast()));
+    let exec = Executor::new(cluster.clone(), model.clone(), policy);
+    let first = solver_low
+        .solve_iteration(&batch(1, 10, 24 * 1024))
+        .unwrap();
+    assert!(exec.execute(&first.plan).unwrap().total_s > 0.0);
+
+    // The high-priority job arrives; nothing is free.
+    let ticket = arbiter
+        .request(SlotRequest::new(JobId(2), 8).with_priority(Priority::HIGH))
+        .unwrap();
+    assert!(arbiter.claim(&ticket).is_none(), "grace window first");
+    let demand = lease_low.pending_demand().expect("demand issued");
+    assert_eq!(demand.gpus, 8);
+
+    // The tenant ignores the demand; the grace window lapses.
+    let report = arbiter.tick();
+    assert_eq!(report.reclaimed, vec![(JobId(1), 8)]);
+    let lease_high = arbiter.claim(&ticket).expect("force-reclaim admitted it");
+    assert_eq!(arbiter.fairness(JobId(1)).gpus_moved, 8);
+
+    // The survivor observes the revocation via sync + fingerprint, drops
+    // its stale solver, re-binds, and replans on the surviving slots.
+    let stale_fp = lease_low.fingerprint();
+    assert_eq!(lease_low.sync(), LeaseEvent::Resized { lost: 8 });
+    assert_ne!(lease_low.fingerprint(), stale_fp, "forced shrink re-stamps");
+    drop(solver_low);
+    let rebound = lease_low.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast()));
+    let solver_high = lease_high.bind(FlexSpSolver::new(cost, SolverConfig::fast()));
+
+    let own_low: HashSet<GpuId> = lease_low.gpus().iter().copied().collect();
+    let own_high: HashSet<GpuId> = lease_high.gpus().iter().copied().collect();
+    assert!(own_low.is_disjoint(&own_high));
+    let solved_low = rebound.solve_iteration(&batch(2, 8, 12 * 1024)).unwrap();
+    let solved_high = solver_high
+        .solve_iteration(&batch(3, 8, 12 * 1024))
+        .unwrap();
+    for mb in placed_gpus(&solved_low) {
+        assert!(mb.is_subset(&own_low), "survivor escaped its shrunk lease");
+    }
+    for mb in placed_gpus(&solved_high) {
+        assert!(mb.is_subset(&own_high), "preemptor escaped its lease");
+    }
+    assert!(exec.execute(&solved_low.plan).unwrap().total_s > 0.0);
+    assert!(exec.execute(&solved_high.plan).unwrap().total_s > 0.0);
+    assert!(arbiter.audit().is_ok());
+}
+
+#[test]
+fn graceful_shrink_replans_through_a_running_service() {
+    // The cooperative path: the tenant observes the demand, shrinks
+    // before the deadline, and swaps its running SolverService onto the
+    // surviving slots with `rebind` — no force, no stall.
+    let cluster = ClusterSpec::a100_cluster(2);
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let policy = ActivationPolicy::None;
+    let cost = CostModel::fit(&cluster, &model, policy);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+
+    let mut lease = arbiter.try_lease(SlotRequest::new(JobId(1), 16)).unwrap();
+    let svc = SolverService::spawn(
+        lease.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast())),
+        2,
+    );
+    svc.submit(batch(4, 10, 24 * 1024));
+    assert!(svc.recv_plan().is_ok());
+
+    let ticket = arbiter
+        .request(SlotRequest::new(JobId(2), 8).with_priority(Priority::HIGH))
+        .unwrap();
+    let demand = lease.pending_demand().expect("demand issued");
+    lease.shrink(demand.gpus).unwrap();
+    assert_eq!(lease.pending_demand(), None, "compliance clears the demand");
+    svc.rebind(lease.bind(FlexSpSolver::new(cost, SolverConfig::fast())));
+
+    let taker = arbiter.claim(&ticket).expect("shrink admitted the request");
+    let own: HashSet<GpuId> = lease.gpus().iter().copied().collect();
+    let other: HashSet<GpuId> = taker.gpus().iter().copied().collect();
+    assert!(own.is_disjoint(&other));
+    svc.submit(batch(5, 8, 12 * 1024));
+    let solved = svc.recv_plan().expect("replans on the survivors");
+    for mb in placed_gpus(&solved) {
+        assert!(mb.is_subset(&own), "service escaped the shrunk lease");
+        assert!(mb.is_disjoint(&other), "service touched the new tenant");
+    }
+    // Everything was voluntary: no GPUs were force-moved.
+    assert_eq!(arbiter.fairness(JobId(1)).gpus_moved, 0);
+    svc.shutdown();
+    assert!(arbiter.audit().is_ok());
+}
+
+#[test]
+fn leaked_lease_slots_return_after_its_term_lapses() {
+    // A crashed tenant: the lease handle is leaked (Drop never runs),
+    // but the lease carried a term — the arbiter reaps it and the pool
+    // survives.
+    let cluster = ClusterSpec::a100_cluster(2);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+    let leaked = arbiter
+        .try_lease(SlotRequest::new(JobId(7), 12).with_term(2))
+        .unwrap();
+    std::mem::forget(leaked);
+    assert_eq!(arbiter.free_gpus(), 4);
+
+    assert!(arbiter.tick().is_quiet(), "term not lapsed yet");
+    assert_eq!(arbiter.free_gpus(), 4);
+    let report = arbiter.tick();
+    assert_eq!(report.expired, vec![(JobId(7), 12)]);
+    assert_eq!(arbiter.free_gpus(), 16, "reaped slots return to the pool");
+    assert_eq!(arbiter.fairness(JobId(7)).gpus_moved, 12);
+    assert!(arbiter.audit().is_ok());
+
+    // The reclaimed capacity is immediately grantable.
+    let next = arbiter.try_lease(SlotRequest::new(JobId(8), 16)).unwrap();
+    assert_eq!(next.gpu_count(), 16);
+}
+
+#[test]
+fn unconfigured_leases_see_pr4_behavior_under_ticks() {
+    // Regression: an arbiter whose tenants use no priorities and no
+    // terms must be bit-identical to the pre-preemption arbiter even
+    // while the clock ticks — same epochs, same fingerprints, so every
+    // cached plan stays valid.
+    let cluster = ClusterSpec::a100_cluster(2);
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    let arbiter = ClusterArbiter::for_cluster(&cluster, AdmissionPolicy::Fifo);
+    let lease = arbiter.try_lease(SlotRequest::new(JobId(1), 16)).unwrap();
+    let fp = lease.fingerprint();
+    let epoch = arbiter.epoch();
+    let input = batch(7, 12, 16 * 1024);
+    let solver = lease.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast()));
+    let before = solver.solve_iteration(&input).expect("solvable");
+    for _ in 0..4 {
+        assert!(arbiter.tick().is_quiet());
+    }
+    assert_eq!(arbiter.epoch(), epoch, "quiet ticks never bump the epoch");
+    assert_eq!(lease.fingerprint(), fp);
+    assert_eq!(lease.pending_demand(), None);
+    assert_eq!(lease.expires_at(), None);
+    let after = solver.solve_iteration(&input).expect("still solvable");
+    assert_eq!(before.plan, after.plan, "plans unchanged across ticks");
+}
+
+#[test]
 fn queued_job_takes_over_released_slots_and_replans() {
     // A third tenant waits in the queue, claims the slots job A releases,
     // and its plans land exactly on the handed-over GPUs.
