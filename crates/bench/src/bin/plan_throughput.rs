@@ -1,0 +1,67 @@
+//! Regenerates `BENCH_plan_throughput.json` and optionally gates on it.
+//!
+//! ```text
+//! # Measure and write the JSON (repo root by default):
+//! cargo run --release -p flexsp-bench --bin plan_throughput
+//! cargo run --release -p flexsp-bench --bin plan_throughput -- --out path.json
+//!
+//! # CI gate: run fresh, compare against the checked-in baseline, exit 1
+//! # on a >20% plans/sec regression:
+//! cargo run --release -p flexsp-bench --bin plan_throughput -- --check BENCH_plan_throughput.json
+//!
+//! # Smoke mode (smaller request counts, same shape of output):
+//! cargo run --release -p flexsp-bench --bin plan_throughput -- --quick
+//! ```
+
+use flexsp_bench::plan_throughput::{regressions, run, to_json};
+
+/// Fail the gate when a plans/sec metric drops more than this fraction
+/// below the checked-in baseline.
+const GATE_TOLERANCE: f64 = 0.20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check requires a baseline path");
+            std::process::exit(2);
+        })
+    });
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let report = run(quick);
+    let json = to_json(&report);
+    print!("{json}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let failures = regressions(&report, &baseline, GATE_TOLERANCE);
+        if failures.is_empty() {
+            eprintln!(
+                "plan_throughput gate PASSED against {baseline_path} \
+                 (tolerance {:.0}%)",
+                GATE_TOLERANCE * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("plan_throughput gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let path = out.unwrap_or_else(|| "BENCH_plan_throughput.json".into());
+    std::fs::write(&path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {path}");
+}

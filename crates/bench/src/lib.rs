@@ -29,6 +29,7 @@
 //! | Fig. 9 / App. C (cost-model accuracy) | [`figure9`] |
 //! | Table 5 / App. B (model configs) | [`table5`] |
 //! | Appendix E (flexible CP, paper future work) | [`appendix_e`] |
+//! | Plan-serving throughput gate (`BENCH_plan_throughput.json`) | [`plan_throughput`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +43,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod plan_throughput;
 pub mod render;
 pub mod table1;
 pub mod table4;

@@ -1,0 +1,443 @@
+//! Plan-serving throughput gate (`BENCH_plan_throughput.json`).
+//!
+//! The ROADMAP's north star is thousands of plan requests/sec through
+//! [`SolverService`]; this module is the machine-checked measurement of
+//! that path. It reports:
+//!
+//! - **plans/sec** for three serving regimes: *cold* (first-time batch
+//!   shapes — every request runs the full MILP workflow), *warm*
+//!   (recurring shape with caching disabled — the solver's own warm
+//!   paths, no rebinding), and *cache hit* (recurring shape through the
+//!   sharded plan cache — a rebind instead of a solve);
+//! - **p50/p99 latency** under a multi-tenant mix: two services sharing
+//!   one [`SharedPlanCache`], mostly-recurring shapes with a fresh shape
+//!   every fifth request;
+//! - the **branch-and-bound thread-scaling curve** (1/2/4/8 workers) on
+//!   the same to-completion per-group instance `solver_components`
+//!   benches, asserting every thread count reproduces the serial
+//!   objective;
+//! - the cache counters (hits / misses / coalesced / evictions) behind
+//!   the numbers.
+//!
+//! `scripts/check_bench.sh` regenerates the JSON in CI and fails the
+//! build on a >20% plans/sec regression against the checked-in baseline.
+//! Thread-scaling *wall-clock* is recorded but not gated: CI containers
+//! often expose a single CPU (`host_parallelism` records what this run
+//! had), which serializes worker threads; objective agreement is always
+//! asserted.
+
+use std::time::{Duration, Instant};
+
+use flexsp_core::bucketing::bucket_dp;
+use flexsp_core::{
+    plan_micro_batch, CacheStats, FlexSpSolver, Formulation, PlannerConfig, SharedPlanCache,
+    SolverConfig, SolverService,
+};
+use flexsp_cost::CostModel;
+use flexsp_data::{GlobalBatchLoader, LengthDistribution, Sequence};
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::ClusterSpec;
+
+/// One point of the B&B thread-scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// `MilpSolver::threads` worker count.
+    pub threads: usize,
+    /// Mean wall-clock seconds per to-completion solve.
+    pub solve_s: f64,
+    /// Speedup over the 1-thread point.
+    pub speedup: f64,
+    /// Predicted makespan of the returned plan (must agree across
+    /// thread counts).
+    pub objective_s: f64,
+}
+
+/// Everything the bench measures; serialized by [`to_json`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `std::thread::available_parallelism()` of the machine that ran
+    /// the bench — scaling numbers are meaningless without it.
+    pub host_parallelism: usize,
+    /// First-time shapes through the service (every request solves).
+    pub cold_plans_per_s: f64,
+    /// Recurring shape, caching disabled (every request re-solves).
+    pub warm_plans_per_s: f64,
+    /// Recurring shape through the sharded cache (rebind, no solve).
+    pub hit_plans_per_s: f64,
+    /// Multi-tenant mix: overall plans/sec.
+    pub mixed_plans_per_s: f64,
+    /// Multi-tenant mix: median request latency (milliseconds).
+    pub mixed_p50_ms: f64,
+    /// Multi-tenant mix: 99th-percentile request latency (milliseconds).
+    pub mixed_p99_ms: f64,
+    /// Cache counters accumulated across the serving phases.
+    pub cache: CacheStats,
+    /// 1/2/4/8-thread branch-and-bound scaling.
+    pub scaling: Vec<ScalingPoint>,
+}
+
+fn service_solver(n_nodes: u32) -> FlexSpSolver {
+    let cluster = ClusterSpec::a100_cluster(n_nodes);
+    let model = ModelConfig::gpt_7b(48 * 1024);
+    FlexSpSolver::new(
+        CostModel::fit(&cluster, &model, ActivationPolicy::None),
+        SolverConfig::fast(),
+    )
+}
+
+fn batch(seed: u64, n: usize) -> Vec<Sequence> {
+    GlobalBatchLoader::new(LengthDistribution::wikipedia(), n, 48 * 1024, seed).next_batch()
+}
+
+/// Re-ids a batch so it is a *recurring shape* (same length multiset,
+/// fresh sequence ids), the pattern training corpora produce.
+fn reshape(template: &[Sequence], round: u64) -> Vec<Sequence> {
+    template
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Sequence::new(round * 10_000 + i as u64, s.len))
+        .collect()
+}
+
+/// Drives `n` sequential requests and returns (plans/sec, latencies).
+fn drive(
+    service: &SolverService,
+    mut next: impl FnMut(u64) -> Vec<Sequence>,
+    n: u64,
+) -> (f64, Vec<f64>) {
+    let mut latencies = Vec::with_capacity(n as usize);
+    let start = Instant::now();
+    for i in 0..n {
+        let t = Instant::now();
+        service.submit(next(i));
+        service
+            .recv_plan()
+            .expect("throughput workloads stay feasible");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let total = start.elapsed().as_secs_f64();
+    (n as f64 / total, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The to-completion per-group instance from `solver_components`: one
+/// MILP solve per plan, a search tree big enough that worker threads
+/// have real work.
+fn scaling_instance() -> (CostModel, Vec<Vec<Sequence>>) {
+    let cluster = ClusterSpec::a100_cluster(1);
+    let model = ModelConfig::gpt_7b(32 << 10);
+    let cost = CostModel::fit(&cluster, &model, ActivationPolicy::None);
+    let lens: [u64; 8] = [
+        16 << 10,
+        8 << 10,
+        8 << 10,
+        4 << 10,
+        2 << 10,
+        2 << 10,
+        1024,
+        1024,
+    ];
+    let batch: Vec<Sequence> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Sequence::new(i as u64, l))
+        .collect();
+    (cost, vec![batch])
+}
+
+/// Runs the full throughput suite. `quick` shrinks the request counts
+/// for smoke runs (CI gates on the full run).
+pub fn run(quick: bool) -> Report {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (n_cold, n_warm, n_hit, n_mixed) = if quick {
+        (8, 8, 64, 32)
+    } else {
+        (24, 24, 512, 128)
+    };
+
+    // Cold: a fresh shape every request — all misses, all solves.
+    let cold_svc = SolverService::spawn(service_solver(2), 2);
+    let (cold_plans_per_s, _) = drive(&cold_svc, |i| batch(100 + i, 16), n_cold);
+    let cold_stats = cold_svc.cache_stats();
+    cold_svc.shutdown();
+
+    // Warm: one recurring shape, caching disabled — the solver re-runs
+    // every time, but on a shape it has just solved (warm code paths,
+    // hot allocator, no cache shortcut).
+    let warm_svc = SolverService::spawn_with_cache(service_solver(2), 2, 0);
+    let template = batch(7, 16);
+    let (warm_plans_per_s, _) = drive(&warm_svc, |i| reshape(&template, i), n_warm);
+    warm_svc.shutdown();
+
+    // Hit: the same recurring shape with the sharded cache on — one
+    // miss, then rebinds only. Each op is microseconds, so a single
+    // pass is scheduler-noise dominated; take the best of three.
+    let hit_svc = SolverService::spawn(service_solver(2), 2);
+    hit_svc.submit(reshape(&template, 9_999));
+    hit_svc.recv_plan().expect("prime the cache");
+    let hit_plans_per_s = (0..3)
+        .map(|_| drive(&hit_svc, |i| reshape(&template, i), n_hit).0)
+        .fold(0.0, f64::max);
+    let hit_stats = hit_svc.cache_stats();
+    hit_svc.shutdown();
+
+    // Multi-tenant mix: two services share one cache; each tenant
+    // cycles three recurring shapes and injects a fresh shape every
+    // fifth request (cold tail under a mostly-warm load).
+    let shared = SharedPlanCache::new(256);
+    let tenant_a = SolverService::spawn_with_shared_cache(service_solver(2), 2, &shared);
+    let tenant_b = SolverService::spawn_with_shared_cache(service_solver(2), 2, &shared);
+    let shapes: Vec<Vec<Sequence>> = (0..3).map(|s| batch(500 + s, 16)).collect();
+    let mut latencies = Vec::new();
+    let start = Instant::now();
+    for i in 0..n_mixed {
+        let svc = if i % 2 == 0 { &tenant_a } else { &tenant_b };
+        let b = if i % 5 == 4 {
+            batch(1_000 + i, 16) // fresh shape: forced cold solve
+        } else {
+            reshape(&shapes[(i % 3) as usize], i)
+        };
+        let t = Instant::now();
+        svc.submit(b);
+        svc.recv_plan().expect("mixed workload stays feasible");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mixed_total = start.elapsed().as_secs_f64();
+    let mixed_plans_per_s = n_mixed as f64 / mixed_total;
+    let mixed_stats = shared.stats();
+    tenant_a.shutdown();
+    tenant_b.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mixed_p50_ms = percentile(&latencies, 0.50);
+    let mixed_p99_ms = percentile(&latencies, 0.99);
+
+    // Cache counters across the serving phases (cold + hit + mixed;
+    // the warm phase ran with caching off by design).
+    let mut cache = cold_stats;
+    cache.absorb(&hit_stats);
+    cache.absorb(&mixed_stats);
+
+    // Thread-scaling curve on the to-completion per-group MILP.
+    let (cost, batches) = scaling_instance();
+    let buckets = bucket_dp(&batches[0], 6);
+    let reps = if quick { 1 } else { 3 };
+    let mut scaling = Vec::new();
+    let mut t1_s = 0.0;
+    let mut t1_obj = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = PlannerConfig {
+            formulation: Formulation::PerGroup,
+            milp_time_limit: Duration::from_secs(10),
+            milp_node_limit: 200_000,
+            milp_threads: threads,
+            ..PlannerConfig::default()
+        };
+        let plan =
+            plan_micro_batch(&cost, &buckets, 8, &cfg).expect("scaling instance is feasible");
+        let objective_s = plan.predicted_time(&cost);
+        let start = Instant::now();
+        for _ in 0..reps {
+            let p = plan_micro_batch(&cost, &buckets, 8, &cfg).expect("feasible");
+            let obj = p.predicted_time(&cost);
+            assert!(
+                (obj - objective_s).abs() <= 1e-9 * objective_s.abs().max(1.0),
+                "threads={threads} drifted across reps: {obj} vs {objective_s}"
+            );
+        }
+        let solve_s = start.elapsed().as_secs_f64() / reps as f64;
+        if threads == 1 {
+            t1_s = solve_s;
+            t1_obj = objective_s;
+        } else {
+            assert!(
+                (objective_s - t1_obj).abs() <= 1e-6 * t1_obj.abs().max(1.0),
+                "threads={threads} objective {objective_s} != serial {t1_obj}"
+            );
+        }
+        scaling.push(ScalingPoint {
+            threads,
+            solve_s,
+            speedup: t1_s / solve_s,
+            objective_s,
+        });
+    }
+
+    Report {
+        host_parallelism,
+        cold_plans_per_s,
+        warm_plans_per_s,
+        hit_plans_per_s,
+        mixed_plans_per_s,
+        mixed_p50_ms,
+        mixed_p99_ms,
+        cache,
+        scaling,
+    }
+}
+
+/// Serializes the report as the `BENCH_plan_throughput.json` document.
+pub fn to_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        r.host_parallelism
+    ));
+    s.push_str(&format!(
+        "  \"cold_plans_per_s\": {:.3},\n",
+        r.cold_plans_per_s
+    ));
+    s.push_str(&format!(
+        "  \"warm_plans_per_s\": {:.3},\n",
+        r.warm_plans_per_s
+    ));
+    s.push_str(&format!(
+        "  \"hit_plans_per_s\": {:.3},\n",
+        r.hit_plans_per_s
+    ));
+    s.push_str(&format!(
+        "  \"mixed_plans_per_s\": {:.3},\n",
+        r.mixed_plans_per_s
+    ));
+    s.push_str(&format!("  \"mixed_p50_ms\": {:.4},\n", r.mixed_p50_ms));
+    s.push_str(&format!("  \"mixed_p99_ms\": {:.4},\n", r.mixed_p99_ms));
+    s.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \"entries\": {}}},\n",
+        r.cache.hits, r.cache.misses, r.cache.coalesced, r.cache.evictions, r.cache.entries
+    ));
+    s.push_str("  \"bnb_thread_scaling\": [\n");
+    for (i, p) in r.scaling.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"solve_s\": {:.6}, \"speedup\": {:.3}, \"objective_s\": {:.6}}}{}\n",
+            p.threads,
+            p.solve_s,
+            p.speedup,
+            p.objective_s,
+            if i + 1 == r.scaling.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Extracts `"key": <number>` from a flat JSON document — enough to
+/// read our own baseline back without a JSON dependency.
+pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh run against the checked-in baseline: every plans/sec
+/// metric must stay within `tolerance` (e.g. `0.20` = fail on >20%
+/// regression). Returns the failures (empty = gate passes).
+///
+/// The cache-hit metric runs in microseconds per plan, so scheduler and
+/// allocator jitter swings it far more than the solve-bound metrics; it
+/// is gated at 3x the tolerance — wide enough to ignore jitter, tight
+/// enough to catch a structural collapse (e.g. a global lock
+/// reintroduced on the hit path).
+pub fn regressions(fresh: &Report, baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let gates = [
+        ("cold_plans_per_s", fresh.cold_plans_per_s, 1.0),
+        ("warm_plans_per_s", fresh.warm_plans_per_s, 1.0),
+        ("hit_plans_per_s", fresh.hit_plans_per_s, 3.0),
+        ("mixed_plans_per_s", fresh.mixed_plans_per_s, 1.0),
+    ];
+    for (key, now, scale) in gates {
+        let Some(base) = extract_f64(baseline_json, key) else {
+            failures.push(format!("baseline is missing \"{key}\""));
+            continue;
+        };
+        let tol = (tolerance * scale).min(0.95);
+        if base > 0.0 && now < base * (1.0 - tol) {
+            failures.push(format!(
+                "{key} regressed: {now:.3} vs baseline {base:.3} \
+                 ({:.1}% below the {:.0}% gate)",
+                (1.0 - now / base) * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_the_extractor() {
+        let r = Report {
+            host_parallelism: 8,
+            cold_plans_per_s: 12.5,
+            warm_plans_per_s: 31.25,
+            hit_plans_per_s: 4096.0,
+            mixed_plans_per_s: 64.125,
+            mixed_p50_ms: 1.5,
+            mixed_p99_ms: 20.25,
+            cache: CacheStats::default(),
+            scaling: vec![ScalingPoint {
+                threads: 1,
+                solve_s: 0.5,
+                speedup: 1.0,
+                objective_s: 2.25,
+            }],
+        };
+        let json = to_json(&r);
+        assert_eq!(extract_f64(&json, "cold_plans_per_s"), Some(12.5));
+        assert_eq!(extract_f64(&json, "warm_plans_per_s"), Some(31.25));
+        assert_eq!(extract_f64(&json, "hit_plans_per_s"), Some(4096.0));
+        assert_eq!(extract_f64(&json, "mixed_plans_per_s"), Some(64.125));
+        assert_eq!(extract_f64(&json, "mixed_p99_ms"), Some(20.25));
+    }
+
+    #[test]
+    fn gate_trips_only_past_the_tolerance() {
+        let mut r = Report {
+            host_parallelism: 1,
+            cold_plans_per_s: 100.0,
+            warm_plans_per_s: 100.0,
+            hit_plans_per_s: 100.0,
+            mixed_plans_per_s: 100.0,
+            mixed_p50_ms: 1.0,
+            mixed_p99_ms: 2.0,
+            cache: CacheStats::default(),
+            scaling: Vec::new(),
+        };
+        let baseline = to_json(&r);
+        assert!(regressions(&r, &baseline, 0.20).is_empty());
+        r.cold_plans_per_s = 85.0; // -15%: within the 20% gate
+        assert!(regressions(&r, &baseline, 0.20).is_empty());
+        r.cold_plans_per_s = 75.0; // -25%: must trip
+        let fails = regressions(&r, &baseline, 0.20);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("cold_plans_per_s"));
+        r.cold_plans_per_s = 100.0;
+        // The hit metric rides a 3x band: -50% passes, -65% trips.
+        r.hit_plans_per_s = 50.0;
+        assert!(regressions(&r, &baseline, 0.20).is_empty());
+        r.hit_plans_per_s = 35.0;
+        let fails = regressions(&r, &baseline, 0.20);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("hit_plans_per_s"));
+        r.hit_plans_per_s = 100.0;
+        // A missing key in the baseline is a failure, not a silent pass.
+        assert!(!regressions(&r, "{}", 0.20).is_empty());
+    }
+}

@@ -85,7 +85,8 @@ pub(crate) fn plan_aggregated(
             .time_limit(config.milp_time_limit)
             .node_limit(config.milp_node_limit)
             .relative_gap(0.02)
-            .lp_engine(config.lp_engine);
+            .lp_engine(config.lp_engine)
+            .threads(config.milp_threads);
         if let Some(basis) = carried.clone() {
             solver = solver.root_basis(basis);
         }
@@ -505,7 +506,8 @@ pub(crate) fn plan_per_group(
         .time_limit(config.milp_time_limit)
         .node_limit(config.milp_node_limit)
         .relative_gap(config.search_rel_tol)
-        .lp_engine(config.lp_engine);
+        .lp_engine(config.lp_engine)
+        .threads(config.milp_threads);
     if let Some(ws) = warm_values {
         solver = solver.warm_start(ws);
     }

@@ -68,6 +68,11 @@ pub struct PlannerConfig {
     /// with warm-basis reuse (default), or the legacy dense tableau kept
     /// for A/B validation.
     pub lp_engine: LpEngine,
+    /// Branch-and-bound worker threads per MILP solve (`1` = the serial
+    /// search). Parallelism pays off on to-completion solves with large
+    /// trees; the default stays serial so short budgeted solves don't
+    /// spend their wall-clock on thread coordination.
+    pub milp_threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -79,6 +84,7 @@ impl Default for PlannerConfig {
             search_iters: 14,
             search_rel_tol: 0.01,
             lp_engine: LpEngine::SparseRevised,
+            milp_threads: 1,
         }
     }
 }

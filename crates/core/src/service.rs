@@ -17,9 +17,17 @@
 //! the cached [`SolvedIteration`] is rebound to the new ids instead of
 //! re-running the whole MILP workflow. Cache hits are delivered with
 //! `from_cache = true` and near-zero `solve_wall_s`.
+//!
+//! The cache is **sharded** (16 `RwLock`ed shards hashed by key) so hits
+//! never funnel through one mutex, and misses are **single-flighted**:
+//! N concurrent identical requests run exactly one solve while N−1
+//! waiters block on the leader's flight and rebind its plan — see
+//! [`ShardedPlanCache`] for the protocol.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrd};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -47,76 +55,305 @@ type CacheKey = (Vec<u64>, u32, u64);
 pub struct CacheStats {
     /// Batches answered by rebinding a cached plan.
     pub hits: u64,
-    /// Batches that required a fresh solve.
+    /// Batches that ran a fresh solve (single-flight leaders included;
+    /// `misses` always equals the number of solves actually executed).
     pub misses: u64,
+    /// Batches that piggybacked on another worker's identical in-flight
+    /// solve instead of running their own (single-flight waiters).
+    pub coalesced: u64,
+    /// Plans displaced by the LRU capacity bound.
+    pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
 }
 
-#[derive(Debug)]
-struct PlanCache {
-    capacity: usize,
-    map: HashMap<CacheKey, SolvedIteration>,
-    /// LRU order: front = coldest, back = hottest.
-    order: VecDeque<CacheKey>,
-    hits: u64,
-    misses: u64,
+impl CacheStats {
+    /// Accumulates `other` into `self` (counters add; `entries` is an
+    /// occupancy gauge, so the larger snapshot wins).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.evictions += other.evictions;
+        self.entries = self.entries.max(other.entries);
+    }
 }
 
-impl PlanCache {
+/// Shard count for the plan cache. A power of two comfortably above the
+/// worker counts the service runs with, so concurrent lookups on
+/// different shapes almost never share a lock.
+const CACHE_SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct CacheEntry {
+    value: SolvedIteration,
+    /// Global LRU stamp (larger = hotter), bumped with a relaxed atomic
+    /// store under the shard *read* lock so hits never serialize.
+    last_access: AtomicU64,
+}
+
+/// One in-flight solve other workers can wait on instead of duplicating
+/// it (single-flight miss coalescing).
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<Option<Result<SolvedIteration, PlanError>>>,
+    cv: Condvar,
+}
+
+/// Whether this worker runs the solve or waits for an identical one.
+enum FlightRole {
+    Leader(Arc<Flight>),
+    Waiter(Arc<Flight>),
+}
+
+/// A sharded, mostly-read-lock-free LRU plan cache.
+///
+/// Keys hash to one of [`CACHE_SHARDS`] independent `RwLock`ed maps, so
+/// the read path (the overwhelmingly common one for recurring batch
+/// shapes) takes a shared lock on 1/16th of the key space and never
+/// blocks readers of other shards — replacing the single global mutex
+/// every hit and miss used to funnel through. Recency is tracked with a
+/// global atomic clock stamped into each entry on access: eviction
+/// scans for the minimum stamp across shards, which keeps the *global*
+/// capacity bound and coldest-first order of the old LRU without any
+/// cross-shard lock.
+///
+/// Misses are **single-flighted**: the first worker to miss a key
+/// becomes the leader and solves; workers missing the same key while
+/// the solve is in flight become waiters, block on the flight's
+/// condvar, and rebind the leader's plan to their own sequence ids — N
+/// concurrent identical requests cost exactly one solve. Coalescing is
+/// independent of storage, so it stays active even at capacity 0.
+#[derive(Debug)]
+struct ShardedPlanCache {
+    capacity: usize,
+    shards: Vec<RwLock<HashMap<CacheKey, CacheEntry>>>,
+    /// Monotonic access clock backing the approximate-LRU stamps.
+    clock: AtomicU64,
+    /// Total entries across shards (the capacity bound is global).
+    len: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    /// In-flight solves by key (single-flight registry).
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+fn shard_index(key: &CacheKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % CACHE_SHARDS
+}
+
+impl ShardedPlanCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            hits: 0,
-            misses: 0,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            clock: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            flights: Mutex::new(HashMap::new()),
         }
     }
 
-    fn touch(&mut self, key: &CacheKey) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos).expect("position just found");
-            self.order.push_back(k);
-        }
+    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, CacheEntry>> {
+        &self.shards[shard_index(key)]
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<SolvedIteration> {
-        match self.map.get(key).cloned() {
-            Some(hit) => {
-                self.hits += 1;
-                self.touch(key);
-                Some(hit)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+    /// Read path: shared lock on one shard, recency bump via atomic
+    /// store. Does *not* count misses — a missing key proceeds to the
+    /// flight registry, where exactly one worker is charged the miss.
+    fn get(&self, key: &CacheKey) -> Option<SolvedIteration> {
+        let shard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        let entry = shard.get(key)?;
+        let stamp = self.clock.fetch_add(1, AtomicOrd::Relaxed) + 1;
+        entry.last_access.store(stamp, AtomicOrd::Relaxed);
+        self.hits.fetch_add(1, AtomicOrd::Relaxed);
+        Some(entry.value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: SolvedIteration) {
+    fn insert(&self, key: CacheKey, value: SolvedIteration) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
-        } else {
-            self.touch(&key);
+        let stamp = self.clock.fetch_add(1, AtomicOrd::Relaxed) + 1;
+        {
+            let mut shard = self.shard(&key).write().unwrap_or_else(|e| e.into_inner());
+            let fresh = shard
+                .insert(
+                    key,
+                    CacheEntry {
+                        value,
+                        last_access: AtomicU64::new(stamp),
+                    },
+                )
+                .is_none();
+            if fresh {
+                self.len.fetch_add(1, AtomicOrd::Relaxed);
+            }
         }
-        while self.map.len() > self.capacity {
-            let Some(coldest) = self.order.pop_front() else {
+        while self.len.load(AtomicOrd::Relaxed) > self.capacity {
+            if !self.evict_coldest() {
                 break;
-            };
-            self.map.remove(&coldest);
+            }
+        }
+    }
+
+    /// Evicts the entry with the globally minimal access stamp. Returns
+    /// `false` if the cache raced to empty (nothing left to evict).
+    fn evict_coldest(&self) -> bool {
+        let mut coldest: Option<(u64, usize, CacheKey)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
+            for (key, entry) in shard.iter() {
+                let stamp = entry.last_access.load(AtomicOrd::Relaxed);
+                if coldest.as_ref().is_none_or(|(s, _, _)| stamp < *s) {
+                    coldest = Some((stamp, i, key.clone()));
+                }
+            }
+        }
+        let Some((_, i, key)) = coldest else {
+            return false;
+        };
+        let mut shard = self.shards[i].write().unwrap_or_else(|e| e.into_inner());
+        if shard.remove(&key).is_some() {
+            self.len.fetch_sub(1, AtomicOrd::Relaxed);
+            self.evictions.fetch_add(1, AtomicOrd::Relaxed);
+        }
+        // Removed (or another worker got there first) — either way the
+        // caller re-checks the capacity bound.
+        true
+    }
+
+    /// Registers interest in `key`'s solve: the first caller becomes the
+    /// leader (and is charged the miss), everyone else a waiter.
+    fn join_flight(&self, key: &CacheKey) -> FlightRole {
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(f) = flights.get(key) {
+            self.coalesced.fetch_add(1, AtomicOrd::Relaxed);
+            FlightRole::Waiter(Arc::clone(f))
+        } else {
+            self.misses.fetch_add(1, AtomicOrd::Relaxed);
+            let f = Arc::new(Flight::default());
+            flights.insert(key.clone(), Arc::clone(&f));
+            FlightRole::Leader(f)
+        }
+    }
+
+    /// Publishes the leader's result: into the cache *first*, then the
+    /// flight registry entry is retired and waiters are woken — so no
+    /// request can ever miss both the cache and the flight.
+    fn finish_flight(
+        &self,
+        key: &CacheKey,
+        flight: &Flight,
+        result: Result<SolvedIteration, PlanError>,
+    ) {
+        if let Ok(plan) = &result {
+            self.insert(key.clone(), plan.clone());
+        }
+        self.flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+        let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = Some(result);
+        flight.cv.notify_all();
+    }
+
+    fn wait_flight(flight: &Flight) -> Result<SolvedIteration, PlanError> {
+        let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Full cache path for one request: hit → rebind; miss → lead the
+    /// solve or wait on the identical in-flight one.
+    fn serve(
+        &self,
+        key: &CacheKey,
+        batch: &[Sequence],
+        solve: impl FnOnce() -> Result<SolvedIteration, PlanError>,
+    ) -> Result<SolvedIteration, PlanError> {
+        if let Some(hit) = self.get(key).and_then(|hit| rebind(hit, batch)) {
+            return Ok(hit);
+        }
+        match self.join_flight(key) {
+            FlightRole::Leader(flight) => {
+                let guard = FlightGuard {
+                    cache: self,
+                    key,
+                    flight: &flight,
+                    armed: true,
+                };
+                let result = solve();
+                guard.complete(result.clone());
+                result
+            }
+            FlightRole::Waiter(flight) => match Self::wait_flight(&flight) {
+                Ok(plan) => match rebind(plan, batch) {
+                    Some(own) => Ok(own),
+                    // Defensive: identical keys imply identical length
+                    // multisets, so rebinding cannot fail — but if it
+                    // ever did, solve rather than deliver a wrong plan.
+                    None => {
+                        self.misses.fetch_add(1, AtomicOrd::Relaxed);
+                        solve()
+                    }
+                },
+                Err(e) => Err(e),
+            },
         }
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.map.len(),
+            hits: self.hits.load(AtomicOrd::Relaxed),
+            misses: self.misses.load(AtomicOrd::Relaxed),
+            coalesced: self.coalesced.load(AtomicOrd::Relaxed),
+            evictions: self.evictions.load(AtomicOrd::Relaxed),
+            entries: self.len.load(AtomicOrd::Relaxed),
+        }
+    }
+}
+
+/// Completes the flight with an error if the leader's solve panics, so
+/// waiters never hang on a flight whose leader died.
+struct FlightGuard<'a> {
+    cache: &'a ShardedPlanCache,
+    key: &'a CacheKey,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, result: Result<SolvedIteration, PlanError>) {
+        self.armed = false;
+        self.cache.finish_flight(self.key, self.flight, result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.finish_flight(
+                self.key,
+                self.flight,
+                Err(PlanError::Infeasible(
+                    "solver worker panicked mid-flight".into(),
+                )),
+            );
         }
     }
 }
@@ -138,22 +375,22 @@ impl PlanCache {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedPlanCache {
-    inner: Arc<Mutex<PlanCache>>,
+    inner: Arc<ShardedPlanCache>,
 }
 
 impl SharedPlanCache {
     /// Creates a cache holding up to `capacity` plans (`0` disables
-    /// caching).
+    /// caching; single-flight coalescing stays active).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(PlanCache::new(capacity))),
+            inner: Arc::new(ShardedPlanCache::new(capacity)),
         }
     }
 
-    /// Hit/miss/occupancy counters aggregated over every service sharing
-    /// this cache.
+    /// Hit/miss/coalesce/eviction/occupancy counters aggregated over
+    /// every service sharing this cache.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats()
+        self.inner.stats()
     }
 }
 
@@ -267,7 +504,7 @@ pub struct SolverService {
     jobs: Sender<Job>,
     results: Receiver<JobResult>,
     workers: Vec<JoinHandle<()>>,
-    cache: Arc<Mutex<PlanCache>>,
+    cache: Arc<ShardedPlanCache>,
     solver: Arc<Mutex<Arc<BoundSolver>>>,
     next_submit: std::cell::Cell<u64>,
     next_deliver: std::cell::Cell<u64>,
@@ -334,24 +571,15 @@ impl SolverService {
                         // the cost model is never deep-copied per batch.
                         let current = Arc::clone(&*bound.lock().unwrap_or_else(|e| e.into_inner()));
                         let key = cache_key(&batch, current.n_gpus, current.config_fp);
-                        let cached = cache
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .get(&key)
-                            .and_then(|hit| rebind(hit, &batch));
-                        let result = match cached {
-                            Some(hit) => Ok(hit),
-                            None => {
-                                let solved = current.solver.solve_iteration(&batch);
-                                if let Ok(plan) = &solved {
-                                    cache
-                                        .lock()
-                                        .unwrap_or_else(|e| e.into_inner())
-                                        .insert(key, plan.clone());
-                                }
-                                solved
-                            }
-                        };
+                        let mut result =
+                            cache.serve(&key, &batch, || current.solver.solve_iteration(&batch));
+                        if let Ok(plan) = &mut result {
+                            // Stamp the delivered plan with the cache
+                            // counters as of delivery, so downstream
+                            // consumers see hit/miss/coalesce totals
+                            // without holding a handle to the service.
+                            plan.stats.cache = cache.stats();
+                        }
                         if tx.send((idx, result)).is_err() {
                             break;
                         }
@@ -410,9 +638,9 @@ impl SolverService {
         self.next_submit.get() - self.next_deliver.get()
     }
 
-    /// Plan-cache hit/miss/occupancy counters.
+    /// Plan-cache hit/miss/coalesce/eviction/occupancy counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats()
+        self.cache.stats()
     }
 
     /// Blocks until the plan for the *next submission in order* is ready.
@@ -568,7 +796,92 @@ mod tests {
         let stats = service.cache_stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1, "third shape must displace the first");
         service.shutdown();
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_requests() {
+        // Deterministic hammer at the cache layer: 8 threads release on a
+        // barrier against the same key; the leader parks 50 ms before
+        // solving, so the other 7 must find its flight and wait on it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let cache = ShardedPlanCache::new(64);
+        let s = solver();
+        let b = batch(11, 8);
+        let key = cache_key(&b, s.cost().num_gpus(), config_fingerprint(&s));
+        let solves = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let result = cache.serve(&key, &b, || {
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        s.solve_iteration(&b)
+                    });
+                    assert!(result.is_ok(), "every caller receives the plan");
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve ran");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced, 7, "the other 7 piggybacked");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_service_requests_run_one_solve() {
+        // End-to-end: 8 workers, 8 identical submissions. Whether a late
+        // worker lands as a coalesced waiter or (post-insert) a cache hit
+        // is a scheduling race, but the solve count never exceeds one:
+        // the leader publishes to the cache *before* retiring its flight.
+        let service = SolverService::spawn(solver(), 8);
+        let b = batch(13, 24);
+        for _ in 0..8 {
+            service.submit(b.clone());
+        }
+        let mut fresh = 0;
+        let mut last = None;
+        for _ in 0..8 {
+            let plan = service.recv_plan().expect("every caller receives a plan");
+            fresh += u32::from(!plan.from_cache);
+            last = Some(plan);
+        }
+        let stats = service.cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "exactly one solve for 8 identical requests"
+        );
+        assert_eq!(stats.hits + stats.coalesced, 7);
+        assert_eq!(fresh, 1, "exactly one plan was freshly solved");
+        // Delivered plans carry the cache counters at delivery time.
+        assert_eq!(last.unwrap().stats.cache.misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cache_keys_spread_across_shards() {
+        use std::collections::HashSet;
+        // 64 distinct batch shapes must not pile into a few shards, or
+        // the sharding buys no concurrency.
+        let mut shards = HashSet::new();
+        for n in 1..=64u64 {
+            let lens: Vec<u64> = (0..n).map(|i| 1024 * (1 + i % 16)).collect();
+            let key: CacheKey = (lens, 16, 0xfeed);
+            let idx = shard_index(&key);
+            assert!(idx < CACHE_SHARDS);
+            shards.insert(idx);
+        }
+        assert!(
+            shards.len() >= CACHE_SHARDS / 2,
+            "64 distinct shapes landed in only {} of {CACHE_SHARDS} shards",
+            shards.len()
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::basis::Basis;
@@ -114,6 +116,7 @@ pub struct MilpSolver {
     lp_engine: LpEngine,
     reuse_bases: bool,
     root_basis: Option<Basis>,
+    threads: usize,
 }
 
 impl Default for MilpSolver {
@@ -136,6 +139,7 @@ impl MilpSolver {
             lp_engine: LpEngine::default(),
             reuse_bases: true,
             root_basis: None,
+            threads: 1,
         }
     }
 
@@ -184,6 +188,23 @@ impl MilpSolver {
     /// parent's basis (on by default with the sparse engine).
     pub fn reuse_bases(mut self, enabled: bool) -> Self {
         self.reuse_bases = enabled;
+        self
+    }
+
+    /// Sets the number of branch-and-bound worker threads.
+    ///
+    /// `threads(1)` (the default) runs the single-threaded best-first
+    /// search unchanged. With `n > 1`, `n` workers drain one shared open
+    /// node heap, share one atomic incumbent, and re-solve children warm
+    /// from their parents' bases exactly as the serial search does; the
+    /// wall-clock deadline and node budget are shared across workers.
+    /// Any thread count returns the same objective (the search only
+    /// terminates when the global bound — over open *and* in-flight
+    /// nodes — proves the incumbent optimal within the configured gap),
+    /// though tie-equivalent optimal *assignments* and effort counters
+    /// may differ. `0` is treated as `1`.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 
@@ -277,10 +298,17 @@ impl MilpSolver {
         heap.push(OpenNode {
             score: sense_sign * root.objective,
             depth: 0,
+            seq: 0,
             bounds: root_bounds,
             basis: root_basis.clone(),
         });
 
+        if self.threads > 1 {
+            return self.solve_parallel(
+                problem, &int_vars, sense_sign, incumbent, heap, stats, start, root_basis,
+            );
+        }
+        let mut next_seq: u64 = 1;
         let mut status = MilpStatus::Optimal;
         while let Some(node) = heap.pop() {
             // Global bound = best open node (best-first ⇒ the popped one).
@@ -400,9 +428,11 @@ impl MilpSolver {
                             heap.push(OpenNode {
                                 score: lp_score,
                                 depth: node.depth + 1,
+                                seq: next_seq,
                                 bounds: b,
                                 basis: child_basis.clone(),
                             });
+                            next_seq += 1;
                         }
                     }
                     let ceil = bval.ceil();
@@ -413,9 +443,11 @@ impl MilpSolver {
                             heap.push(OpenNode {
                                 score: lp_score,
                                 depth: node.depth + 1,
+                                seq: next_seq,
                                 bounds: b,
                                 basis: child_basis,
                             });
+                            next_seq += 1;
                         }
                     }
                 }
@@ -428,6 +460,90 @@ impl MilpSolver {
             status
         } else {
             MilpStatus::Infeasible
+        };
+        Ok(self.finish(
+            problem, incumbent, bound, sense_sign, status, stats, start, root_basis,
+        ))
+    }
+
+    /// Multi-threaded best-first search over the open-node heap built by
+    /// [`MilpSolver::solve`] (root already expanded). `threads` workers
+    /// drain the lock-protected heap under a condvar, share one atomic
+    /// incumbent, re-solve children warm from their parents' bases, and
+    /// respect the shared wall-clock deadline and node budget. The search
+    /// terminates only when (a) the heap drains with every worker idle,
+    /// (b) the global bound over open *and* in-flight nodes closes the
+    /// gap, or (c) a shared limit trips — so any thread count returns the
+    /// same objective as the serial search.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_parallel(
+        &self,
+        problem: &Problem,
+        int_vars: &[usize],
+        sense_sign: f64,
+        incumbent: Option<(Vec<f64>, f64)>,
+        heap: BinaryHeap<OpenNode>,
+        mut stats: SolveStats,
+        start: Instant,
+        root_basis: Option<Basis>,
+    ) -> Result<MilpSolution, SolveError> {
+        let n = self.threads;
+        let shared = SharedSearch {
+            solver: self,
+            problem,
+            int_vars,
+            sense_sign,
+            start,
+            state: Mutex::new(SearchState {
+                heap,
+                next_seq: 1,
+                claimed: 0,
+                active: 0,
+                active_scores: vec![f64::INFINITY; n],
+                incumbent: incumbent.clone(),
+                stop: None,
+                final_bound: f64::NEG_INFINITY,
+                error: None,
+            }),
+            work: Condvar::new(),
+            incumbent_score: AtomicU64::new(
+                incumbent.map(|(_, s)| s).unwrap_or(f64::INFINITY).to_bits(),
+            ),
+        };
+        let worker_stats: Vec<SolveStats> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..n)
+                .map(|w| scope.spawn(move || shared.worker(w)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("branch-and-bound worker panicked"))
+                .collect()
+        });
+        for ws in &worker_stats {
+            stats.absorb(ws);
+        }
+        let state = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        let stop = state.stop.unwrap_or(StopReason::Drained);
+        let incumbent = state.incumbent;
+        let status = match stop {
+            // `finish` downgrades Optimal to Infeasible when no incumbent
+            // exists, mirroring the serial drain path.
+            StopReason::Drained | StopReason::GapClosed => MilpStatus::Optimal,
+            StopReason::Limit => {
+                if incumbent.is_some() {
+                    MilpStatus::Feasible
+                } else {
+                    MilpStatus::Infeasible
+                }
+            }
+        };
+        let bound = match stop {
+            StopReason::Drained => incumbent.as_ref().map(|(_, s)| *s).unwrap_or(f64::INFINITY),
+            _ => state.final_bound,
         };
         Ok(self.finish(
             problem, incumbent, bound, sense_sign, status, stats, start, root_basis,
@@ -534,14 +650,29 @@ fn most_fractional(values: &[f64], int_vars: &[usize]) -> Option<(usize, f64)> {
 struct OpenNode {
     score: f64,
     depth: u32,
+    /// Heap insertion sequence number — the final, always-distinct
+    /// tie-break that makes the node order total and deterministic.
+    seq: u64,
     bounds: Vec<(f64, f64)>,
     /// Parent relaxation's optimal basis (warm start for this node).
     basis: Option<Basis>,
 }
 
+/// NaN-safe score comparison: NaN orders *after* every real score (a NaN
+/// relaxation bound is "worst", so such a node is expanded last), and two
+/// NaNs compare equal. Total over all f64 values.
+fn score_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+    }
+}
+
 impl PartialEq for OpenNode {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.depth == other.depth
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for OpenNode {}
@@ -550,16 +681,296 @@ impl PartialOrd for OpenNode {
         Some(self.cmp(other))
     }
 }
+
+/// **Documented total order** (`BinaryHeap` is a max-heap, so "greater"
+/// means "expanded sooner"):
+///
+/// 1. *Lower* score first — best-first on the relaxation bound, with NaN
+///    scores ordered last via [`score_cmp`].
+/// 2. Ties break toward *deeper* nodes, so dives finish and produce
+///    incumbents.
+/// 3. Remaining ties break toward the *older* node (lower `seq`) — FIFO
+///    among full equals, matching the order the serial search discovered
+///    them.
+///
+/// `seq` is unique per search, so the order is total and deterministic:
+/// serial and parallel runs pop equal-scored nodes in the same relative
+/// order, and heap behavior never depends on unspecified tie handling.
 impl Ord for OpenNode {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; we want the *smallest* score first
-        // (best-first for minimization), breaking ties toward deeper nodes
-        // so dives finish and produce incumbents.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+        score_cmp(other.score, self.score)
             .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Why the parallel search stopped.
+#[derive(Debug, Clone, Copy)]
+enum StopReason {
+    /// Heap drained with every worker idle — the incumbent is optimal.
+    Drained,
+    /// Global bound (open ∪ in-flight nodes) closed the relative gap.
+    GapClosed,
+    /// Wall-clock deadline or node budget tripped.
+    Limit,
+}
+
+/// Mutable search state shared by all branch-and-bound workers, guarded
+/// by a single mutex. Workers hold it only to claim a node and to push
+/// children; LP solves happen outside the lock.
+struct SearchState {
+    heap: BinaryHeap<OpenNode>,
+    /// Next heap insertion sequence number (root used 0).
+    next_seq: u64,
+    /// Total nodes claimed — the shared counter the node budget meters.
+    claimed: u64,
+    /// Workers currently expanding a node.
+    active: usize,
+    /// Per-worker score of the node being expanded (`INFINITY` = idle).
+    /// Folded into the global bound so the gap check never ignores work
+    /// still in flight.
+    active_scores: Vec<f64>,
+    /// Best feasible point: `(values, score)` in minimize-score space.
+    incumbent: Option<(Vec<f64>, f64)>,
+    stop: Option<StopReason>,
+    /// Best bound to report when stopping on `GapClosed` / `Limit`.
+    final_bound: f64,
+    /// First LP error; aborts the whole search.
+    error: Option<SolveError>,
+}
+
+/// Everything the worker pool shares. The incumbent *score* is mirrored
+/// into a lock-free bit-cast atomic so the hot pruning path inside node
+/// expansion never touches the mutex.
+struct SharedSearch<'a> {
+    solver: &'a MilpSolver,
+    problem: &'a Problem,
+    int_vars: &'a [usize],
+    sense_sign: f64,
+    start: Instant,
+    state: Mutex<SearchState>,
+    /// Signaled when children are pushed or the search stops.
+    work: Condvar,
+    /// `f64::to_bits` of the incumbent score (`INFINITY` if none).
+    /// Monotonically non-increasing via CAS in [`Self::try_improve`].
+    incumbent_score: AtomicU64,
+}
+
+impl SharedSearch<'_> {
+    /// Lock-free read of the best incumbent score seen so far.
+    fn best_score(&self) -> f64 {
+        f64::from_bits(self.incumbent_score.load(AtomicOrd::Acquire))
+    }
+
+    /// CAS-improve the atomic incumbent score, then publish the values
+    /// under the state lock. The post-CAS re-check keeps the stored
+    /// values consistent when two workers improve concurrently.
+    fn try_improve(&self, vals: Vec<f64>, score: f64) {
+        let mut cur = self.incumbent_score.load(AtomicOrd::Acquire);
+        loop {
+            if score >= f64::from_bits(cur) {
+                return;
+            }
+            match self.incumbent_score.compare_exchange_weak(
+                cur,
+                score.to_bits(),
+                AtomicOrd::AcqRel,
+                AtomicOrd::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
+            st.incumbent = Some((vals, score));
+        }
+    }
+
+    /// Valid lower bound on every undiscovered solution: the minimum
+    /// score over open nodes *and* nodes currently being expanded (a
+    /// worker may still push children scored at its claimed bound).
+    fn global_bound(st: &SearchState) -> f64 {
+        let open = st.heap.peek().map(|n| n.score).unwrap_or(f64::INFINITY);
+        st.active_scores.iter().fold(open, |acc, &s| acc.min(s))
+    }
+
+    /// Worker loop: claim a node under the lock, expand it outside the
+    /// lock, push children back, repeat. Termination mirrors the serial
+    /// loop's exits — gap closed, everything prunable, limits, or the
+    /// heap drained with all workers idle.
+    fn worker(&self, w: usize) -> SolveStats {
+        let mut stats = SolveStats::default();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.stop.is_some() || st.error.is_some() {
+                break;
+            }
+            if let Some((_, inc)) = &st.incumbent {
+                let inc = *inc;
+                // The heap top is the minimum open score; if it cannot
+                // improve the incumbent nothing in the heap can (serial:
+                // "nothing left can improve" exit). In-flight workers may
+                // still push improving children, so keep draining.
+                if st.heap.peek().is_some_and(|n| n.score >= inc - 1e-9) {
+                    st.heap.clear();
+                }
+                let bound = Self::global_bound(&st);
+                if self.solver.gap_closed(inc, bound) {
+                    st.final_bound = bound.min(inc);
+                    st.stop = Some(StopReason::GapClosed);
+                    self.work.notify_all();
+                    break;
+                }
+            }
+            if st.heap.is_empty() {
+                if st.active == 0 {
+                    st.stop = Some(StopReason::Drained);
+                    self.work.notify_all();
+                    break;
+                }
+                st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            if self.start.elapsed() > self.solver.time_limit || st.claimed >= self.solver.node_limit
+            {
+                let bound = Self::global_bound(&st);
+                st.final_bound = match &st.incumbent {
+                    Some((_, inc)) => bound.min(*inc),
+                    None => bound,
+                };
+                st.stop = Some(StopReason::Limit);
+                self.work.notify_all();
+                break;
+            }
+            let node = st.heap.pop().expect("heap checked non-empty");
+            st.claimed += 1;
+            st.active += 1;
+            st.active_scores[w] = node.score;
+            drop(st);
+
+            let expanded = self.expand(node, &mut stats);
+
+            st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.active -= 1;
+            st.active_scores[w] = f64::INFINITY;
+            match expanded {
+                Ok(children) => {
+                    for mut child in children {
+                        child.seq = st.next_seq;
+                        st.next_seq += 1;
+                        st.heap.push(child);
+                        self.work.notify_one();
+                    }
+                    // If this was the last in-flight node and it produced
+                    // nothing, the loop iteration below declares Drained.
+                }
+                Err(e) => {
+                    if st.error.is_none() {
+                        st.error = Some(e);
+                    }
+                    self.work.notify_all();
+                    break;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Expand one claimed node: warm LP re-solve from the parent basis,
+    /// prune against the lock-free incumbent score, run the rounding
+    /// heuristic, and return up to two children (`seq` is assigned by
+    /// the caller under the state lock). Runs without holding the lock.
+    fn expand(&self, node: OpenNode, stats: &mut SolveStats) -> Result<Vec<OpenNode>, SolveError> {
+        let solver = self.solver;
+        stats.nodes += 1;
+        stats.lp_solves += 1;
+        let warm = if solver.reuse_bases {
+            node.basis.as_ref()
+        } else {
+            None
+        };
+        let (outcome, lp_stats) = solve_lp_opts(
+            self.problem,
+            &LpOptions {
+                bound_overrides: Some(&node.bounds),
+                warm_basis: warm,
+                engine: solver.lp_engine,
+            },
+        )?;
+        stats.absorb_lp(&lp_stats);
+        let mut lp = match outcome {
+            LpOutcome::Optimal(s) => s,
+            // Infeasible subtree, or unbounded (root-only, handled before
+            // workers start).
+            _ => return Ok(Vec::new()),
+        };
+        let child_basis = lp.take_basis();
+        let lp_score = self.sense_sign * lp.objective;
+        if lp_score >= self.best_score() - 1e-9 {
+            return Ok(Vec::new());
+        }
+        match most_fractional(&lp.values, self.int_vars) {
+            None => {
+                // Integral: candidate incumbent.
+                let mut vals = lp.values.clone();
+                for &j in self.int_vars {
+                    vals[j] = vals[j].round();
+                }
+                let score = self.sense_sign * self.problem.objective_value(&vals);
+                self.try_improve(vals, score);
+                Ok(Vec::new())
+            }
+            Some((bvar, bval)) => {
+                if solver.rounding_heuristic {
+                    if let Some((vals, score)) = solver.fix_and_complete(
+                        self.problem,
+                        &node.bounds,
+                        &lp.values,
+                        child_basis.as_ref(),
+                        self.int_vars,
+                        self.sense_sign,
+                        stats,
+                    )? {
+                        if score < self.best_score() {
+                            stats.heuristic_incumbents += 1;
+                            self.try_improve(vals, score);
+                        }
+                    }
+                }
+                let mut children = Vec::with_capacity(2);
+                let (lo, hi) = node.bounds[bvar];
+                let floor = bval.floor();
+                if floor >= lo - FEAS_TOL {
+                    let mut b = node.bounds.clone();
+                    b[bvar] = (lo, floor.min(hi));
+                    if b[bvar].0 <= b[bvar].1 + FEAS_TOL {
+                        children.push(OpenNode {
+                            score: lp_score,
+                            depth: node.depth + 1,
+                            seq: 0, // assigned under the state lock
+                            bounds: b,
+                            basis: child_basis.clone(),
+                        });
+                    }
+                }
+                let ceil = bval.ceil();
+                if ceil <= hi + FEAS_TOL {
+                    let mut b = node.bounds.clone();
+                    b[bvar] = (ceil.max(lo), hi);
+                    if b[bvar].0 <= b[bvar].1 + FEAS_TOL {
+                        children.push(OpenNode {
+                            score: lp_score,
+                            depth: node.depth + 1,
+                            seq: 0,
+                            bounds: b,
+                            basis: child_basis,
+                        });
+                    }
+                }
+                Ok(children)
+            }
+        }
     }
 }
 
@@ -750,5 +1161,132 @@ mod tests {
         p.set_objective(LinExpr::term(c, 1.0));
         let sol = MilpSolver::new().solve(&p).unwrap();
         approx(sol.objective(), 5.0); // {5} vs {3,2}
+    }
+
+    fn open(score: f64, depth: u32, seq: u64) -> OpenNode {
+        OpenNode {
+            score,
+            depth,
+            seq,
+            bounds: Vec::new(),
+            basis: None,
+        }
+    }
+
+    #[test]
+    fn open_node_order_is_total_and_nan_safe() {
+        // Max-heap: Greater = expanded sooner. Lower score wins...
+        assert_eq!(open(1.0, 0, 0).cmp(&open(2.0, 5, 9)), Ordering::Greater);
+        // ...NaN scores are expanded last and compare equal to each other
+        // (then fall through to the depth/seq tie-breaks)...
+        assert_eq!(open(f64::NAN, 0, 0).cmp(&open(2.0, 0, 1)), Ordering::Less);
+        assert_eq!(
+            open(f64::NAN, 0, 0).cmp(&open(f64::NAN, 0, 1)),
+            Ordering::Greater
+        );
+        // ...equal scores prefer the deeper node (finish dives first)...
+        assert_eq!(open(3.0, 2, 0).cmp(&open(3.0, 1, 9)), Ordering::Greater);
+        // ...and full ties prefer the older node (FIFO among equals).
+        assert_eq!(open(3.0, 1, 2).cmp(&open(3.0, 1, 7)), Ordering::Greater);
+        // seq is unique per search, so distinct nodes never compare Equal:
+        // the order is total, antisymmetric, and deterministic.
+        let a = open(3.0, 1, 7);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(
+            open(3.0, 1, 7).cmp(&open(3.0, 1, 2)).reverse(),
+            open(3.0, 1, 2).cmp(&open(3.0, 1, 7))
+        );
+    }
+
+    #[test]
+    fn heap_pops_in_documented_order() {
+        let mut heap = BinaryHeap::new();
+        for node in [
+            open(2.0, 1, 1),
+            open(1.0, 0, 2),
+            open(1.0, 3, 3),
+            open(1.0, 3, 4),
+            open(f64::NAN, 9, 5),
+        ] {
+            heap.push(node);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|n| n.seq)).collect();
+        // Best score first; among score ties deepest first; among full
+        // ties oldest first; NaN dead last.
+        assert_eq!(order, vec![3, 4, 2, 1, 5]);
+    }
+
+    /// A knapsack big enough that every thread count has real work, with
+    /// a unique optimum so objective equality is meaningful.
+    fn wide_knapsack() -> (Problem, f64) {
+        let v = [24.0, 13.0, 23.0, 15.0, 16.0, 9.0, 7.0, 11.0, 5.0, 8.0];
+        let w = [12.0, 7.0, 11.0, 8.0, 9.0, 5.0, 4.0, 6.0, 3.0, 5.0];
+        let cap = 33.0;
+        let mut p = Problem::maximize();
+        let xs: Vec<_> = (0..v.len())
+            .map(|i| p.add_binary(format!("x{i}")))
+            .collect();
+        p.add_le(
+            LinExpr::from_terms(xs.iter().copied().zip(w.iter().copied())),
+            cap,
+        );
+        p.set_objective(LinExpr::from_terms(
+            xs.iter().copied().zip(v.iter().copied()),
+        ));
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << v.len()) {
+            let (mut tv, mut tw) = (0.0, 0.0);
+            for i in 0..v.len() {
+                if mask & (1 << i) != 0 {
+                    tv += v[i];
+                    tw += w[i];
+                }
+            }
+            if tw <= cap {
+                best = best.max(tv);
+            }
+        }
+        (p, best)
+    }
+
+    #[test]
+    fn parallel_threads_match_serial_objective() {
+        let (p, best) = wide_knapsack();
+        let serial = MilpSolver::new().solve(&p).unwrap();
+        assert_eq!(serial.status(), MilpStatus::Optimal);
+        approx(serial.objective(), best);
+        for threads in [2, 4, 8] {
+            let par = MilpSolver::new().threads(threads).solve(&p).unwrap();
+            assert_eq!(par.status(), MilpStatus::Optimal, "threads={threads}");
+            approx(par.objective(), serial.objective());
+            assert!(p.is_feasible(par.values(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn parallel_respects_zero_node_budget() {
+        let (p, _) = wide_knapsack();
+        let warm = vec![0.0; 10];
+        let sol = MilpSolver::new()
+            .threads(4)
+            .node_limit(0)
+            .warm_start(warm)
+            .solve(&p)
+            .unwrap();
+        // Budget spent before any node: the warm start survives as a
+        // feasible (not proven optimal) incumbent, as in the serial path.
+        assert_eq!(sol.status(), MilpStatus::Feasible);
+        approx(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn parallel_infeasible_matches_serial() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_ge(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), 3.0);
+        p.set_objective(LinExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = MilpSolver::new().threads(4).solve(&p).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Infeasible);
     }
 }

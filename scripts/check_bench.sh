@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Plan-throughput regression gate.
+#
+# Re-measures plan-serving throughput in release mode and compares it to
+# the checked-in baseline (BENCH_plan_throughput.json at the repo root).
+# The binary exits 1 if any plans/sec metric drops more than 20% below
+# the baseline (the microsecond-scale cache-hit metric rides a 3x band
+# since it is jitter-dominated); thread-scaling wall-clock is recorded
+# but never gated (CI runners expose varying CPU counts —
+# "host_parallelism" in the JSON says what this run had).
+#
+# Usage:
+#   scripts/check_bench.sh            # gate against the checked-in baseline
+#   scripts/check_bench.sh --refresh  # re-measure and overwrite the baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=BENCH_plan_throughput.json
+
+if [[ "${1:-}" == "--refresh" ]]; then
+  cargo run --release -p flexsp-bench --bin plan_throughput -- --out "$BASELINE"
+  echo "refreshed $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "missing $BASELINE — run scripts/check_bench.sh --refresh and commit it" >&2
+  exit 2
+fi
+
+cargo run --release -p flexsp-bench --bin plan_throughput -- --check "$BASELINE"
