@@ -1,17 +1,23 @@
 //! The cluster arbiter: the canonical free/busy slot ledger one cluster's
 //! concurrent jobs share, with epoch counting, queued admission, lease
-//! terms, and priority preemption.
+//! terms, and priority preemption — scaled out as a **sharded** concurrent
+//! subsystem: the ledger is split by node range behind per-shard locks,
+//! reads serve from lock-free published snapshots, and admission runs in
+//! batched priority-sorted waves (see [`crate::shard`] for the lock
+//! ordering rule every path follows).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use flexsp_sim::{ClusterSpec, GpuId, NodeSlots, Topology};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::clock::{Clock, LogicalClock};
 use crate::lease::Lease;
 use crate::policy::{AdmissionPolicy, JobCounters, JobId, Priority, SlotRequest};
+use crate::shard::{partition_nodes, LeaseView, Shard, ShardSnapshot, ShardState, GAUGE};
 
 /// Rejected or failed lease operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,24 +126,31 @@ impl TickReport {
     }
 }
 
-/// Arbiter-side record of one live lease: the canonical slot list (the
-/// tenant's `Lease` handle is a mirror it must [`sync`](Lease::sync)
-/// after forced mutations), plus the term and revocation state.
-#[derive(Debug, Clone)]
-pub(crate) struct LeaseRecord {
-    /// Owned slots, ascending — canonical; forced shrinks edit this.
-    pub(crate) gpus: Vec<GpuId>,
-    pub(crate) job: JobId,
-    pub(crate) priority: Priority,
-    /// Renewal length in ticks (`None` = no term).
-    pub(crate) term: Option<u64>,
-    /// Logical time the lease lapses unless renewed.
-    pub(crate) expires_at: Option<u64>,
-    /// Pending arbiter-initiated shrink, if any.
-    pub(crate) demand: Option<ShrinkDemand>,
-    /// Ledger epoch at the last mutation touching this lease; handles
-    /// re-stamp themselves from it on sync.
-    pub(crate) stamp: u64,
+/// Cheap operational counters of the arbiter, served entirely from
+/// atomics and published gauges — reading them never takes the admission
+/// queue lock or any shard lock, so monitoring can poll at any rate
+/// without perturbing grants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Leases ever granted (immediate and queued).
+    pub grants: u64,
+    /// Immediate requests denied for lack of capacity.
+    pub denials: u64,
+    /// Forced whole-lease reclaims: term reaping plus whole-lease
+    /// revocations (cancels and voluntary drops are not reaps).
+    pub reaps: u64,
+    /// Total GPUs the arbiter ever took back by force (reaps plus
+    /// partial grace-expired revocations).
+    pub gpus_moved: u64,
+    /// Queued requests currently waiting.
+    pub queue_depth: usize,
+    /// Live leases (granted and not yet released), including unclaimed
+    /// grants.
+    pub live_leases: usize,
+    /// GPUs currently free.
+    pub free_gpus: u32,
+    /// Current ledger epoch.
+    pub epoch: u64,
 }
 
 /// Picks `count` victims from `gpus` for a shrink: emptiest node (fewest
@@ -168,91 +181,301 @@ pub(crate) fn select_victims(topo: &Topology, gpus: &[GpuId], count: u32) -> Vec
     victims
 }
 
-/// The shared ledger every lease operation goes through.
+/// Fairness counters are striped across this many independently locked
+/// maps (keyed by `job id % stripes`) so per-job counter bumps from
+/// different shards' grant paths rarely contend.
+const FAIRNESS_STRIPES: usize = 16;
+
+/// The admission queue: every *queued* request flows through this single
+/// small lock, while the ledger itself lives in the shards.
 #[derive(Debug)]
-pub(crate) struct ArbiterState {
-    /// Cluster-wide free slots (leased slots removed).
-    pub(crate) free: NodeSlots,
-    /// Bumped on **every** ledger mutation (grant, release, grow,
-    /// shrink, renew, forced reclaim, reap): lease fingerprints embed
-    /// it, so any plan cached under an older epoch can never be
-    /// replayed.
-    pub(crate) epoch: u64,
-    /// Live leases by id (canonical slot lists + term/revocation state).
-    pub(crate) live: HashMap<u64, LeaseRecord>,
+pub(crate) struct QueueState {
     /// Queued requests, arrival order.
-    pending: VecDeque<Pending>,
-    /// Granted-but-unclaimed queued requests: ticket id → (ask, lease id).
-    granted: HashMap<u64, (SlotRequest, u64)>,
-    policy: AdmissionPolicy,
-    /// Grace window, in ticks, between a shrink demand and its forced
-    /// execution.
-    grace: u64,
-    pub(crate) fairness: BTreeMap<JobId, JobCounters>,
-    next_lease: u64,
+    pub(crate) pending: VecDeque<Pending>,
+    /// Granted-but-unclaimed queued requests:
+    /// ticket id → (ask, lease id, home shard).
+    pub(crate) granted: HashMap<u64, (SlotRequest, u64, usize)>,
+    pub(crate) policy: AdmissionPolicy,
     next_ticket: u64,
 }
 
-impl ArbiterState {
-    pub(crate) fn counters(&mut self, job: JobId) -> &mut JobCounters {
-        self.fairness.entry(job).or_default()
+/// What a grant registered: the lease id, its home shard (the shard of
+/// its lowest GPU — where its record lives), the drawn slots (ascending),
+/// and the epoch it was stamped at.
+pub(crate) struct GrantOut {
+    pub(crate) id: u64,
+    pub(crate) home: usize,
+    pub(crate) gpus: Vec<GpuId>,
+    pub(crate) epoch: u64,
+}
+
+/// The shared, sharded arbiter state. See [`crate::shard`] for the lock
+/// ordering rule: queue → shard locks ascending → fairness stripe →
+/// publish slot.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) topo: Topology,
+    /// The ledger shards (disjoint contiguous node ranges).
+    pub(crate) shards: Box<[Shard]>,
+    /// node index → owning shard index.
+    node_shard: Vec<usize>,
+    /// Bumped on **every** ledger mutation (grant, release, grow,
+    /// shrink, renew, forced reclaim, reap): lease fingerprints embed
+    /// it, so any plan cached under an older epoch can never be
+    /// replayed. This is also the snapshot validity token.
+    pub(crate) epoch: AtomicU64,
+    pub(crate) queue: Mutex<QueueState>,
+    fairness: Box<[Mutex<BTreeMap<JobId, JobCounters>>]>,
+    next_lease: AtomicU64,
+    /// Grace window, in ticks, between a shrink demand and its forced
+    /// execution.
+    pub(crate) grace: AtomicU64,
+    /// Gauges mirroring queue/ledger sizes for lock-free reads and the
+    /// quiet-tick fast path; exact whenever no mutation is mid-flight.
+    pub(crate) pending_count: AtomicUsize,
+    pub(crate) live_count: AtomicUsize,
+    pub(crate) termed_count: AtomicUsize,
+    pub(crate) demanded_count: AtomicUsize,
+    stat_grants: AtomicU64,
+    stat_denials: AtomicU64,
+    stat_reaps: AtomicU64,
+    stat_gpus_moved: AtomicU64,
+}
+
+impl Inner {
+    /// The shard owning `gpu`'s node.
+    pub(crate) fn shard_of(&self, gpu: GpuId) -> usize {
+        self.node_shard[self.topo.node_of(gpu) as usize]
     }
 
-    /// True while queued requests are waiting (capacity may not jump
-    /// over them — neither via `try_lease` nor via `Lease::grow`).
-    pub(crate) fn has_pending(&self) -> bool {
-        !self.pending.is_empty()
+    /// Locks every shard, ascending — the only multi-shard order allowed.
+    pub(crate) fn lock_shards(&self) -> Vec<MutexGuard<'_, ShardState>> {
+        self.shards.iter().map(|s| s.state.lock()).collect()
     }
 
-    /// Draws `request` from the free ledger (caller checked it fits) and
-    /// registers the lease. Returns `(lease id, gpus, epoch)`.
-    fn grant(&mut self, request: &SlotRequest, now: u64) -> (u64, Vec<GpuId>, u64) {
-        let group = match request.prefer {
-            Some(sku) => self.free.take_packed_for(request.gpus, sku),
-            None => self.free.take_packed(request.gpus),
+    /// A cluster-wide free ledger assembled from the locked shards (for
+    /// spanning draws and admission passes).
+    pub(crate) fn merged_free(&self, guards: &[MutexGuard<'_, ShardState>]) -> NodeSlots {
+        let mut all: Vec<GpuId> = Vec::with_capacity(self.topo.num_gpus() as usize);
+        for g in guards {
+            all.extend(g.free.free_gpus());
         }
-        .expect("caller checked the request fits");
-        let mut gpus = group.gpus().to_vec();
+        NodeSlots::restricted_to(&self.topo, &all)
+    }
+
+    /// Bumps the global epoch, returning the new value.
+    pub(crate) fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Runs `f` against `job`'s fairness counters under its stripe lock
+    /// (held only for the bump — last in the lock order).
+    pub(crate) fn with_counters<R>(&self, job: JobId, f: impl FnOnce(&mut JobCounters) -> R) -> R {
+        let mut map = self.fairness[(job.0 as usize) % FAIRNESS_STRIPES].lock();
+        f(map.entry(job).or_default())
+    }
+
+    /// Sum of the per-shard free gauges (lock-free; exact when no
+    /// mutation is mid-flight).
+    pub(crate) fn free_gauge(&self) -> u32 {
+        self.shards.iter().map(|s| s.free_count.load(GAUGE)).sum()
+    }
+
+    /// Publishes shard `idx`'s snapshot and free gauge from its locked
+    /// state. Must run before the shard lock is released after **every**
+    /// mutation — the read path depends on it.
+    pub(crate) fn publish(&self, idx: usize, state: &ShardState) {
+        self.shards[idx]
+            .free_count
+            .store(state.free.total_free(), GAUGE);
+        self.shards[idx].snap.store(Arc::new(ShardSnapshot {
+            epoch: self.epoch.load(Ordering::SeqCst),
+            free: state.free.clone(),
+            live: state.live.clone(),
+        }));
+    }
+
+    /// Publishes every shard marked dirty.
+    pub(crate) fn publish_dirty(&self, guards: &[MutexGuard<'_, ShardState>], dirty: &[bool]) {
+        for (i, g) in guards.iter().enumerate() {
+            if dirty[i] {
+                self.publish(i, g);
+            }
+        }
+    }
+
+    /// Removes `gpus` from their owning shards' free ledgers.
+    pub(crate) fn claim_into(
+        &self,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        gpus: &[GpuId],
+    ) {
+        for &g in gpus {
+            let s = self.shard_of(g);
+            guards[s].free.claim(std::slice::from_ref(&g));
+            dirty[s] = true;
+        }
+    }
+
+    /// Returns `gpus` to their owning shards' free ledgers.
+    pub(crate) fn release_into(
+        &self,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        gpus: &[GpuId],
+    ) {
+        for &g in gpus {
+            let s = self.shard_of(g);
+            guards[s].free.release(std::slice::from_ref(&g));
+            dirty[s] = true;
+        }
+    }
+
+    /// Registers a freshly drawn grant in `state` (the home shard's):
+    /// assigns the lease id, bumps the epoch, inserts the live view, and
+    /// bumps gauges and fairness counters. `gpus` are the drawn slots.
+    fn register(
+        &self,
+        state: &mut ShardState,
+        home: usize,
+        request: &SlotRequest,
+        now: u64,
+        mut gpus: Vec<GpuId>,
+    ) -> GrantOut {
         gpus.sort_unstable();
-        let id = self.next_lease;
-        self.next_lease += 1;
-        self.epoch += 1;
-        self.live.insert(
+        let id = self.next_lease.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.bump_epoch();
+        state.live.insert(
             id,
-            LeaseRecord {
+            Arc::new(LeaseView {
                 gpus: gpus.clone(),
                 job: request.job,
                 priority: request.priority,
                 term: request.term,
                 expires_at: request.term.map(|t| now + t),
                 demand: None,
-                stamp: self.epoch,
-            },
+                stamp: epoch,
+            }),
         );
-        let c = self.counters(request.job);
-        c.granted += 1;
-        c.gpus_granted += request.gpus as u64;
-        (id, gpus, self.epoch)
+        self.live_count.fetch_add(1, GAUGE);
+        if request.term.is_some() {
+            self.termed_count.fetch_add(1, GAUGE);
+        }
+        self.stat_grants.fetch_add(1, Ordering::Relaxed);
+        self.with_counters(request.job, |c| {
+            c.granted += 1;
+            c.gpus_granted += request.gpus as u64;
+        });
+        GrantOut {
+            id,
+            home,
+            gpus,
+            epoch,
+        }
     }
 
-    /// Grants queued requests per the admission policy until nothing
-    /// (more) fits; losers accumulate a wait round per pass they sat
-    /// through while someone else was granted.
-    fn pump(&mut self, now: u64) {
-        loop {
-            let queue: Vec<Pending> = self.pending.iter().copied().collect();
-            let Some(idx) = self.policy.pick(&queue, &self.free) else {
-                break;
-            };
-            let p = self.pending.remove(idx).expect("index from the queue");
-            let (id, _, _) = self.grant(&p.request, now);
-            self.granted.insert(p.ticket, (p.request, id));
-            for waiting in &self.pending {
-                self.fairness
-                    .entry(waiting.request.job)
-                    .or_default()
-                    .wait_rounds += 1;
+    /// Draws `request` entirely from one locked shard's free ledger (the
+    /// single-shard fast path). `None` if the shard cannot host it.
+    pub(crate) fn grant_single(
+        &self,
+        idx: usize,
+        state: &mut ShardState,
+        request: &SlotRequest,
+        now: u64,
+    ) -> Option<GrantOut> {
+        let group = match request.prefer {
+            Some(sku) => state.free.take_packed_for(request.gpus, sku),
+            None => state.free.take_packed(request.gpus),
+        }?;
+        let gpus = group.gpus().to_vec();
+        Some(self.register(state, idx, request, now, gpus))
+    }
+
+    /// Draws `request` from the merged cluster-wide ledger (caller
+    /// checked it fits) and commits the claim into the owning shards.
+    pub(crate) fn grant_locked(
+        &self,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        merged: &mut NodeSlots,
+        request: &SlotRequest,
+        now: u64,
+    ) -> GrantOut {
+        let group = match request.prefer {
+            Some(sku) => merged.take_packed_for(request.gpus, sku),
+            None => merged.take_packed(request.gpus),
+        }
+        .expect("caller checked the request fits");
+        let mut gpus = group.gpus().to_vec();
+        gpus.sort_unstable();
+        self.claim_into(guards, dirty, &gpus);
+        let home = self.shard_of(gpus[0]);
+        let out = self.register(&mut guards[home], home, request, now, gpus);
+        dirty[home] = true;
+        out
+    }
+
+    /// Grants queued requests until nothing (more) fits. FIFO admits a
+    /// whole **batched wave**: the grant order is fixed up front
+    /// (priority descending, arrival ascending — exactly the repeated
+    /// effective-front pick) and grants stop at the first non-fit, so
+    /// one pass over the queue replaces a re-scan per grant. Best-fit
+    /// re-scores after every grant (its rank depends on the ledger), so
+    /// it keeps the pick loop. Losers accumulate a wait round per grant
+    /// they sat through.
+    fn pump_locked(
+        &self,
+        q: &mut QueueState,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        merged: &mut NodeSlots,
+        now: u64,
+    ) {
+        match q.policy {
+            AdmissionPolicy::Fifo => {
+                let mut order: Vec<usize> = (0..q.pending.len()).collect();
+                order.sort_unstable_by_key(|&i| {
+                    (std::cmp::Reverse(q.pending[i].request.priority), i)
+                });
+                let mut granted = vec![false; q.pending.len()];
+                for &i in &order {
+                    let p = q.pending[i];
+                    if p.request.gpus > merged.total_free() {
+                        break; // head-of-line blocking: the front must go first
+                    }
+                    let out = self.grant_locked(guards, dirty, merged, &p.request, now);
+                    granted[i] = true;
+                    q.granted.insert(p.ticket, (p.request, out.id, out.home));
+                    for (j, waiting) in q.pending.iter().enumerate() {
+                        if !granted[j] {
+                            self.with_counters(waiting.request.job, |c| c.wait_rounds += 1);
+                        }
+                    }
+                }
+                if granted.iter().any(|&g| g) {
+                    let kept: VecDeque<Pending> = q
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !granted[*i])
+                        .map(|(_, p)| *p)
+                        .collect();
+                    q.pending = kept;
+                }
             }
+            AdmissionPolicy::BestFitSkuClass => loop {
+                let queue: Vec<Pending> = q.pending.iter().copied().collect();
+                let Some(idx) = q.policy.pick(&queue, merged) else {
+                    break;
+                };
+                let p = q.pending.remove(idx).expect("index from the queue");
+                let out = self.grant_locked(guards, dirty, merged, &p.request, now);
+                q.granted.insert(p.ticket, (p.request, out.id, out.home));
+                for waiting in &q.pending {
+                    self.with_counters(waiting.request.job, |c| c.wait_rounds += 1);
+                }
+            },
         }
     }
 
@@ -262,26 +485,34 @@ impl ArbiterState {
     /// youngest lease first) until the shortfall is covered — but only
     /// when lower-priority holdings *can* cover it, so doomed demands
     /// never thrash tenants without admitting anyone. Demands no longer
-    /// justified (the request was admitted, cancelled, or capacity
-    /// returned another way) are withdrawn; persisting demands keep
-    /// their original deadline. Returns the freshly issued demands.
-    fn enforce(&mut self, now: u64) -> Vec<(JobId, u32)> {
+    /// justified are withdrawn; persisting demands keep their original
+    /// deadline. Returns the freshly issued demands.
+    fn enforce_locked(
+        &self,
+        q: &QueueState,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        free_total: u32,
+        now: u64,
+    ) -> Vec<(JobId, u32)> {
         let mut wanted: HashMap<u64, u32> = HashMap::new();
-        if let Some(target) = self
+        if let Some(target) = q
             .pending
             .iter()
             .enumerate()
             .max_by_key(|(i, p)| (p.request.priority, std::cmp::Reverse(*i)))
             .map(|(_, p)| p.request)
         {
-            let shortfall = target.gpus.saturating_sub(self.free.total_free());
+            let shortfall = target.gpus.saturating_sub(free_total);
             if shortfall > 0 {
-                let mut donors: Vec<(u64, Priority, u32)> = self
-                    .live
-                    .iter()
-                    .filter(|(_, r)| r.priority < target.priority)
-                    .map(|(id, r)| (*id, r.priority, r.gpus.len() as u32))
-                    .collect();
+                let mut donors: Vec<(u64, Priority, u32)> = Vec::new();
+                for g in guards.iter() {
+                    for (id, v) in g.live.iter() {
+                        if v.priority < target.priority {
+                            donors.push((*id, v.priority, v.gpus.len() as u32));
+                        }
+                    }
+                }
                 donors.sort_by_key(|&(id, pri, _)| (pri, std::cmp::Reverse(id)));
                 let reclaimable: u32 = donors.iter().map(|d| d.2).sum();
                 if reclaimable >= shortfall {
@@ -297,30 +528,64 @@ impl ArbiterState {
                 }
             }
         }
+        // Amortized scan: when nothing is wanted and no demand stands,
+        // there is nothing to issue or withdraw — skip the live scan
+        // entirely (the common case on every quiet pass).
+        if wanted.is_empty() && self.demanded_count.load(GAUGE) == 0 {
+            return Vec::new();
+        }
+        let grace = self.grace.load(Ordering::Relaxed);
         let mut fresh: Vec<(JobId, u32)> = Vec::new();
-        let grace = self.grace;
-        for (id, rec) in self.live.iter_mut() {
-            match wanted.get(id) {
-                Some(&gpus) => match &mut rec.demand {
-                    // A standing demand keeps its deadline — re-issuing
-                    // must not let the donor outrun the grace window —
-                    // unless the ask *grew*, in which case the increment
-                    // deserves its own notice and the window restarts.
-                    Some(d) => {
-                        if gpus > d.gpus {
-                            d.deadline = now + grace;
+        for (s, g) in guards.iter_mut().enumerate() {
+            let ids: Vec<u64> = g.live.keys().copied().collect();
+            for id in ids {
+                let (cur, job) = {
+                    let v = &g.live[&id];
+                    (v.demand, v.job)
+                };
+                match wanted.get(&id) {
+                    Some(&gpus) => {
+                        // A standing demand keeps its deadline — re-issuing
+                        // must not let the donor outrun the grace window —
+                        // unless the ask *grew*, in which case the increment
+                        // deserves its own notice and the window restarts.
+                        let next = match cur {
+                            Some(d) => ShrinkDemand {
+                                gpus,
+                                deadline: if gpus > d.gpus {
+                                    now + grace
+                                } else {
+                                    d.deadline
+                                },
+                            },
+                            None => {
+                                fresh.push((job, gpus));
+                                ShrinkDemand {
+                                    gpus,
+                                    deadline: now + grace,
+                                }
+                            }
+                        };
+                        if cur != Some(next) {
+                            if cur.is_none() {
+                                self.demanded_count.fetch_add(1, GAUGE);
+                            }
+                            let mut nv = (*g.live[&id]).clone();
+                            nv.demand = Some(next);
+                            g.live.insert(id, Arc::new(nv));
+                            dirty[s] = true;
                         }
-                        d.gpus = gpus;
                     }
                     None => {
-                        rec.demand = Some(ShrinkDemand {
-                            gpus,
-                            deadline: now + grace,
-                        });
-                        fresh.push((rec.job, gpus));
+                        if cur.is_some() {
+                            let mut nv = (*g.live[&id]).clone();
+                            nv.demand = None;
+                            g.live.insert(id, Arc::new(nv));
+                            self.demanded_count.fetch_sub(1, GAUGE);
+                            dirty[s] = true;
+                        }
                     }
-                },
-                None => rec.demand = None,
+                }
             }
         }
         fresh.sort_unstable_by_key(|&(j, _)| j);
@@ -329,23 +594,64 @@ impl ArbiterState {
 
     /// Pump + enforce: grant what fits, then (re)issue shrink demands
     /// for what does not. Every mutation path ends here.
-    pub(crate) fn settle(&mut self, now: u64) -> Vec<(JobId, u32)> {
-        self.pump(now);
-        self.enforce(now)
+    pub(crate) fn settle_locked(
+        &self,
+        q: &mut QueueState,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        merged: &mut NodeSlots,
+        now: u64,
+    ) -> Vec<(JobId, u32)> {
+        self.pump_locked(q, guards, dirty, merged, now);
+        let fresh = self.enforce_locked(q, guards, dirty, merged.total_free(), now);
+        self.pending_count.store(q.pending.len(), GAUGE);
+        fresh
     }
 
-    /// Fully reclaims lease `id` by force (term reaping or a
-    /// whole-lease revocation): slots return to the pool, the tenant's
-    /// counters record the GPUs as moved, any unclaimed grant of the
-    /// lease is dropped. Returns `(job, gpus reclaimed)`.
-    fn reclaim_all(&mut self, id: u64) -> (JobId, u32) {
-        let rec = self.live.remove(&id).expect("caller checked liveness");
-        let n = rec.gpus.len() as u32;
-        self.free.release(&rec.gpus);
-        self.epoch += 1;
-        self.counters(rec.job).gpus_moved += n as u64;
-        self.granted.retain(|_, (_, lid)| *lid != id);
-        (rec.job, n)
+    /// Fully reclaims lease `id` by force (term reaping or a whole-lease
+    /// revocation): slots return to their shards (and `merged`, when the
+    /// caller is mid-pass), the tenant's counters record the GPUs as
+    /// moved, any unclaimed grant of the lease is dropped. Returns
+    /// `(job, gpus reclaimed)`.
+    pub(crate) fn reclaim_all_locked(
+        &self,
+        q: &mut QueueState,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        dirty: &mut [bool],
+        merged: Option<&mut NodeSlots>,
+        home: usize,
+        id: u64,
+    ) -> (JobId, u32) {
+        let view = guards[home]
+            .live
+            .remove(&id)
+            .expect("caller checked liveness");
+        dirty[home] = true;
+        let n = view.gpus.len() as u32;
+        self.release_into(guards, dirty, &view.gpus);
+        if let Some(m) = merged {
+            m.release(&view.gpus);
+        }
+        self.bump_epoch();
+        self.live_count.fetch_sub(1, GAUGE);
+        if view.term.is_some() {
+            self.termed_count.fetch_sub(1, GAUGE);
+        }
+        if view.demand.is_some() {
+            self.demanded_count.fetch_sub(1, GAUGE);
+        }
+        self.stat_reaps.fetch_add(1, Ordering::Relaxed);
+        self.stat_gpus_moved.fetch_add(n as u64, Ordering::Relaxed);
+        self.with_counters(view.job, |c| c.gpus_moved += n as u64);
+        q.granted.retain(|_, (_, lid, _)| *lid != id);
+        (view.job, n)
+    }
+
+    /// Records a forced partial move for stats (the fairness counter is
+    /// bumped at the call site, which knows the job).
+    pub(crate) fn note_moved(&self, gpus: u32) {
+        self.stat_gpus_moved
+            .fetch_add(gpus as u64, Ordering::Relaxed);
     }
 }
 
@@ -363,6 +669,16 @@ impl ArbiterState {
 /// [`Clock`]: nothing expires until [`ClusterArbiter::tick`] (or
 /// [`maintain`](ClusterArbiter::maintain) under an external clock) runs,
 /// so tests and simulations stay deterministic.
+///
+/// **Scale:** the ledger is sharded by node range
+/// ([`with_shards`](ClusterArbiter::with_shards)); a grant that fits one
+/// shard touches only that shard's lock, spanning grants take the shard
+/// locks in index order, and every read
+/// ([`sync`](Lease::sync), [`free_gpus`](ClusterArbiter::free_gpus),
+/// [`stats`](ClusterArbiter::stats), fairness) serves from lock-free
+/// published snapshots — readers never block behind a grant or a
+/// maintenance pass. The default is one shard, which is behaviorally
+/// identical (including placement) to the pre-sharding arbiter.
 ///
 /// Cloning is cheap (shared state); clones arbitrate the same ledger.
 ///
@@ -403,9 +719,8 @@ impl ArbiterState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClusterArbiter {
-    topo: Topology,
     clock: ClockSource,
-    pub(crate) state: Arc<Mutex<ArbiterState>>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 /// Where the arbiter reads logical time from.
@@ -435,34 +750,58 @@ pub const DEFAULT_GRACE_TICKS: u64 = 1;
 impl ClusterArbiter {
     /// Creates an arbiter over `topo` with the given admission policy,
     /// an internal [`LogicalClock`] (advanced by
-    /// [`tick`](ClusterArbiter::tick)), and the default grace window.
+    /// [`tick`](ClusterArbiter::tick)), the default grace window, and a
+    /// **single shard** — behaviorally identical to the pre-sharding
+    /// arbiter; opt into sharding with
+    /// [`with_shards`](ClusterArbiter::with_shards).
     pub fn new(topo: &Topology, policy: AdmissionPolicy) -> Self {
-        Self::build(topo, policy, ClockSource::Owned(LogicalClock::new()))
+        Self::build(topo, policy, ClockSource::Owned(LogicalClock::new()), 1)
     }
 
     /// An arbiter reading logical time from a caller-pumped `clock`
     /// instead of its own. [`tick`](ClusterArbiter::tick) then only runs
     /// maintenance — advancing time is the caller's job.
     pub fn with_clock(topo: &Topology, policy: AdmissionPolicy, clock: Arc<dyn Clock>) -> Self {
-        Self::build(topo, policy, ClockSource::External(clock))
+        Self::build(topo, policy, ClockSource::External(clock), 1)
     }
 
-    fn build(topo: &Topology, policy: AdmissionPolicy, clock: ClockSource) -> Self {
+    fn build(topo: &Topology, policy: AdmissionPolicy, clock: ClockSource, shards: u32) -> Self {
+        let ranges = partition_nodes(topo.num_nodes(), shards);
+        let mut node_shard = vec![0usize; topo.num_nodes() as usize];
+        for (i, r) in ranges.iter().enumerate() {
+            for n in r.clone() {
+                node_shard[n as usize] = i;
+            }
+        }
+        let shards: Box<[Shard]> = ranges.into_iter().map(|r| Shard::new(topo, r)).collect();
+        let fairness: Box<[Mutex<BTreeMap<JobId, JobCounters>>]> = (0..FAIRNESS_STRIPES)
+            .map(|_| Mutex::new(BTreeMap::new()))
+            .collect();
         Self {
-            topo: topo.clone(),
             clock,
-            state: Arc::new(Mutex::new(ArbiterState {
-                free: NodeSlots::new(topo),
-                epoch: 0,
-                live: HashMap::new(),
-                pending: VecDeque::new(),
-                granted: HashMap::new(),
-                policy,
-                grace: DEFAULT_GRACE_TICKS,
-                fairness: BTreeMap::new(),
-                next_lease: 0,
-                next_ticket: 0,
-            })),
+            inner: Arc::new(Inner {
+                topo: topo.clone(),
+                shards,
+                node_shard,
+                epoch: AtomicU64::new(0),
+                queue: Mutex::new(QueueState {
+                    pending: VecDeque::new(),
+                    granted: HashMap::new(),
+                    policy,
+                    next_ticket: 0,
+                }),
+                fairness,
+                next_lease: AtomicU64::new(0),
+                grace: AtomicU64::new(DEFAULT_GRACE_TICKS),
+                pending_count: AtomicUsize::new(0),
+                live_count: AtomicUsize::new(0),
+                termed_count: AtomicUsize::new(0),
+                demanded_count: AtomicUsize::new(0),
+                stat_grants: AtomicU64::new(0),
+                stat_denials: AtomicU64::new(0),
+                stat_reaps: AtomicU64::new(0),
+                stat_gpus_moved: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -471,17 +810,51 @@ impl ClusterArbiter {
         Self::new(cluster.topology(), policy)
     }
 
+    /// Rebuilds this arbiter's ledger over `shards` node-range shards
+    /// (clamped to `[1, num_nodes]`). Multi-tenant deployments want one
+    /// shard per few nodes ([`auto_shards`](ClusterArbiter::auto_shards))
+    /// so unrelated grants stop contending on one lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the arbiter is pristine (no grants, no queued
+    /// requests, epoch 0) — resharding a live ledger is not supported.
+    pub fn with_shards(self, shards: u32) -> Self {
+        assert!(
+            self.inner.epoch.load(Ordering::SeqCst) == 0
+                && self.inner.live_count.load(GAUGE) == 0
+                && self.inner.pending_count.load(GAUGE) == 0,
+            "with_shards requires a pristine arbiter (no grants or queued requests yet)"
+        );
+        let policy = self.inner.queue.lock().policy;
+        let grace = self.inner.grace.load(Ordering::Relaxed);
+        let out = Self::build(&self.inner.topo, policy, self.clock.clone(), shards);
+        out.inner.grace.store(grace, Ordering::Relaxed);
+        out
+    }
+
+    /// A reasonable shard count for `topo`: one shard per four nodes,
+    /// clamped to `[1, 64]`.
+    pub fn auto_shards(topo: &Topology) -> u32 {
+        (topo.num_nodes() / 4).clamp(1, 64)
+    }
+
+    /// Number of ledger shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     /// Sets the grace window (ticks between a shrink demand and its
     /// forced execution). `0` means demands are force-executed on the
     /// very next maintenance pass.
     pub fn with_grace(self, ticks: u64) -> Self {
-        self.state.lock().grace = ticks;
+        self.inner.grace.store(ticks, Ordering::Relaxed);
         self
     }
 
     /// The arbitrated topology.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.inner.topo
     }
 
     /// The current logical time.
@@ -517,78 +890,116 @@ impl ClusterArbiter {
     /// [`claim`](ClusterArbiter::claim) can never hand out an
     /// under-sized lease), then pumps and (re-)issues demands for what
     /// still cannot be admitted.
+    ///
+    /// With no termed leases and no standing demands the whole pass is
+    /// an O(1) gauge check — maintenance never scans a quiet ledger.
     pub fn maintain(&self) -> TickReport {
+        let inner = &*self.inner;
+        // Quiet fast path. Sound because every capacity or demand change
+        // flows through an operation that settles: a pending request
+        // that could not be admitted when capacity last changed still
+        // cannot be, and no demand or term exists to execute.
+        if inner.termed_count.load(GAUGE) == 0 && inner.demanded_count.load(GAUGE) == 0 {
+            return TickReport::default();
+        }
         let now = self.clock_now();
-        let mut state = self.state.lock();
+        let mut q = inner.queue.lock();
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
         let mut report = TickReport::default();
 
         // 1. Reap expired leases (deterministic order: lease id).
-        let mut expired: Vec<u64> = state
-            .live
-            .iter()
-            .filter(|(_, r)| r.expires_at.is_some_and(|e| e <= now))
-            .map(|(id, _)| *id)
-            .collect();
-        expired.sort_unstable();
-        for id in expired {
-            report.expired.push(state.reclaim_all(id));
+        let mut expired: Vec<(usize, u64)> = Vec::new();
+        for (s, g) in guards.iter().enumerate() {
+            for (id, v) in g.live.iter() {
+                if v.expires_at.is_some_and(|e| e <= now) {
+                    expired.push((s, *id));
+                }
+            }
+        }
+        expired.sort_unstable_by_key(|&(_, id)| id);
+        for (s, id) in expired {
+            report.expired.push(inner.reclaim_all_locked(
+                &mut q,
+                &mut guards,
+                &mut dirty,
+                Some(&mut merged),
+                s,
+                id,
+            ));
         }
 
         // 2. Settle *before* forcing: a reap may have admitted the very
         //    request a standing demand was issued for, and enforce then
         //    withdraws the demand — donors never pay for capacity the
         //    pool already got back another way.
-        report.demanded = state.settle(now);
+        report.demanded = inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
 
         // 3. Force-execute demands whose grace window lapsed.
-        let mut due: Vec<u64> = state
-            .live
-            .iter()
-            .filter(|(_, r)| r.demand.is_some_and(|d| d.deadline <= now))
-            .map(|(id, _)| *id)
-            .collect();
-        due.sort_unstable();
-        for id in due {
-            let rec = state.live.get_mut(&id).expect("collected from live");
-            let demand = rec.demand.take().expect("filtered on demand");
-            let held = rec.gpus.len() as u32;
+        let mut due: Vec<(usize, u64)> = Vec::new();
+        for (s, g) in guards.iter().enumerate() {
+            for (id, v) in g.live.iter() {
+                if v.demand.is_some_and(|d| d.deadline <= now) {
+                    due.push((s, *id));
+                }
+            }
+        }
+        due.sort_unstable_by_key(|&(_, id)| id);
+        for (s, id) in due {
+            let view = Arc::clone(guards[s].live.get(&id).expect("collected from live"));
+            let demand = view.demand.expect("filtered on demand");
+            let held = view.gpus.len() as u32;
             let take = demand.gpus.min(held);
-            let unclaimed = state.granted.values().any(|(_, lid)| *lid == id);
+            let unclaimed = q.granted.values().any(|(_, lid, _)| *lid == id);
             if take >= held || unclaimed {
                 // Whole-lease revocation. An unclaimed grant is always
                 // taken whole even under a partial demand: its tenant
                 // never saw the grant, and a later claim must return
                 // `None` rather than an under-sized lease that violates
                 // the request's size contract.
-                report.reclaimed.push(state.reclaim_all(id));
+                report.reclaimed.push(inner.reclaim_all_locked(
+                    &mut q,
+                    &mut guards,
+                    &mut dirty,
+                    Some(&mut merged),
+                    s,
+                    id,
+                ));
             } else {
-                let rec = state.live.get_mut(&id).expect("collected from live");
-                let victims = select_victims(&self.topo, &rec.gpus, take);
-                rec.gpus.retain(|g| !victims.contains(g));
-                let job = rec.job;
-                state.epoch += 1;
-                let epoch = state.epoch;
-                state
-                    .live
-                    .get_mut(&id)
-                    .expect("still live after partial reclaim")
-                    .stamp = epoch;
-                state.free.release(&victims);
-                state.counters(job).gpus_moved += take as u64;
-                report.reclaimed.push((job, take));
+                let victims = select_victims(&inner.topo, &view.gpus, take);
+                let mut nv = (*view).clone();
+                nv.gpus.retain(|g| !victims.contains(g));
+                nv.demand = None;
+                nv.stamp = inner.bump_epoch();
+                guards[s].live.insert(id, Arc::new(nv));
+                dirty[s] = true;
+                inner.demanded_count.fetch_sub(1, GAUGE);
+                inner.release_into(&mut guards, &mut dirty, &victims);
+                merged.release(&victims);
+                inner.note_moved(take);
+                inner.with_counters(view.job, |c| c.gpus_moved += take as u64);
+                report.reclaimed.push((view.job, take));
             }
         }
 
         // 4. Hand reclaimed capacity to the queue; re-evaluate demands.
-        report.demanded.extend(state.settle(now));
+        report.demanded.extend(inner.settle_locked(
+            &mut q,
+            &mut guards,
+            &mut dirty,
+            &mut merged,
+            now,
+        ));
+        inner.publish_dirty(&guards, &dirty);
         report
     }
 
     fn check(&self, request: &SlotRequest) -> Result<(), LeaseError> {
-        if request.gpus == 0 || request.gpus > self.topo.num_gpus() {
+        if request.gpus == 0 || request.gpus > self.inner.topo.num_gpus() {
             return Err(LeaseError::Unsatisfiable {
                 requested: request.gpus,
-                cluster: self.topo.num_gpus(),
+                cluster: self.inner.topo.num_gpus(),
             });
         }
         Ok(())
@@ -598,6 +1009,11 @@ impl ClusterArbiter {
     /// immediate ask never jumps the admission queue and never triggers
     /// preemption — queue with [`ClusterArbiter::request`] for either.
     ///
+    /// A request that fits a single shard takes exactly one shard lock
+    /// (candidates picked fullest-first from the lock-free gauges and
+    /// re-verified under the lock); only a spanning request takes the
+    /// ordered multi-shard path.
+    ///
     /// # Errors
     ///
     /// [`LeaseError::Unsatisfiable`] for impossible asks,
@@ -605,20 +1021,76 @@ impl ClusterArbiter {
     pub fn try_lease(&self, request: SlotRequest) -> Result<Lease, LeaseError> {
         self.check(&request)?;
         let now = self.clock_now();
-        let mut state = self.state.lock();
-        state.counters(request.job).requested += 1;
+        let inner = &*self.inner;
+        inner.with_counters(request.job, |c| c.requested += 1);
         // Queued requests keep priority: an immediate ask may not jump
         // over a queue the policy would serve first.
-        if request.gpus > state.free.total_free() || !state.pending.is_empty() {
-            state.counters(request.job).denied += 1;
+        if inner.pending_count.load(GAUGE) > 0 {
+            inner.with_counters(request.job, |c| c.denied += 1);
+            inner.stat_denials.fetch_add(1, Ordering::Relaxed);
             return Err(LeaseError::Busy {
                 requested: request.gpus,
-                free: state.free.total_free(),
+                free: inner.free_gauge(),
             });
         }
-        let (id, gpus, epoch) = state.grant(&request, now);
-        drop(state);
-        Ok(Lease::new(self.clone(), id, request.job, gpus, epoch))
+        // Single-shard fast path: fullest candidate first (the packing
+        // bias of the unsharded ledger), sku-capable shards first when a
+        // class is preferred.
+        let mut candidates: Vec<(u32, usize)> = inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.free_count.load(GAUGE), i))
+            .filter(|&(f, _)| f >= request.gpus)
+            .collect();
+        match request.prefer {
+            Some(sku) => candidates.sort_by_key(|&(f, i)| {
+                let class_free = inner.shards[i].snap.load().free.free_sku_gpus(sku);
+                (class_free < request.gpus, std::cmp::Reverse(f), i)
+            }),
+            None => candidates.sort_unstable_by_key(|&(f, i)| (std::cmp::Reverse(f), i)),
+        }
+        for (_, i) in candidates {
+            let mut st = inner.shards[i].state.lock();
+            if st.free.total_free() >= request.gpus {
+                if let Some(out) = inner.grant_single(i, &mut st, &request, now) {
+                    inner.publish(i, &st);
+                    drop(st);
+                    return Ok(Lease::new(
+                        self.clone(),
+                        out.id,
+                        request.job,
+                        out.gpus,
+                        out.epoch,
+                        i,
+                    ));
+                }
+            }
+        }
+        // Spanning path: ordered multi-shard locks, merged draw.
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
+        if request.gpus > merged.total_free() {
+            drop(guards);
+            inner.with_counters(request.job, |c| c.denied += 1);
+            inner.stat_denials.fetch_add(1, Ordering::Relaxed);
+            return Err(LeaseError::Busy {
+                requested: request.gpus,
+                free: merged.total_free(),
+            });
+        }
+        let out = inner.grant_locked(&mut guards, &mut dirty, &mut merged, &request, now);
+        inner.publish_dirty(&guards, &dirty);
+        drop(guards);
+        Ok(Lease::new(
+            self.clone(),
+            out.id,
+            request.job,
+            out.gpus,
+            out.epoch,
+            out.home,
+        ))
     }
 
     /// Queues a lease request; the admission policy decides when it is
@@ -629,15 +1101,21 @@ impl ClusterArbiter {
     pub fn request(&self, request: SlotRequest) -> Result<Ticket, LeaseError> {
         self.check(&request)?;
         let now = self.clock_now();
-        let mut state = self.state.lock();
-        state.counters(request.job).requested += 1;
-        let id = state.next_ticket;
-        state.next_ticket += 1;
-        state.pending.push_back(Pending {
+        let inner = &*self.inner;
+        inner.with_counters(request.job, |c| c.requested += 1);
+        let mut q = inner.queue.lock();
+        let id = q.next_ticket;
+        q.next_ticket += 1;
+        q.pending.push_back(Pending {
             ticket: id,
             request,
         });
-        state.settle(now);
+        inner.pending_count.store(q.pending.len(), GAUGE);
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
+        inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+        inner.publish_dirty(&guards, &dirty);
         Ok(Ticket {
             id,
             job: request.job,
@@ -649,85 +1127,170 @@ impl ClusterArbiter {
     /// its slots went back to the pool unclaimed).
     pub fn claim(&self, ticket: &Ticket) -> Option<Lease> {
         let now = self.clock_now();
-        let mut state = self.state.lock();
-        state.settle(now);
-        let (request, id) = state.granted.remove(&ticket.id)?;
-        // The grant may have been reaped (term lapsed) or revoked whole
-        // (preemption donor) before the claim.
-        let rec = state.live.get(&id)?;
-        debug_assert_eq!(
-            rec.gpus.len(),
-            request.gpus as usize,
-            "an unclaimed grant is only ever reclaimed whole"
-        );
-        let gpus = rec.gpus.clone();
-        let epoch = state.epoch;
-        drop(state);
-        Some(Lease::new(self.clone(), id, request.job, gpus, epoch))
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock();
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
+        inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+        let claimed = q
+            .granted
+            .remove(&ticket.id)
+            .and_then(|(request, id, home)| {
+                // The grant may have been reaped (term lapsed) or revoked
+                // whole (preemption donor) before the claim.
+                let view = guards[home].live.get(&id)?;
+                debug_assert_eq!(
+                    view.gpus.len(),
+                    request.gpus as usize,
+                    "an unclaimed grant is only ever reclaimed whole"
+                );
+                Some((request, id, home, view.gpus.clone()))
+            });
+        inner.publish_dirty(&guards, &dirty);
+        drop(guards);
+        drop(q);
+        claimed.map(|(request, id, home, gpus)| {
+            let epoch = inner.epoch.load(Ordering::SeqCst);
+            Lease::new(self.clone(), id, request.job, gpus, epoch, home)
+        })
     }
 
     /// Abandons a queued request. If it was already granted, the slots
     /// return to the pool.
     pub fn cancel(&self, ticket: &Ticket) {
         let now = self.clock_now();
-        let mut state = self.state.lock();
-        state.pending.retain(|p| p.ticket != ticket.id);
-        if let Some((request, id)) = state.granted.remove(&ticket.id) {
-            if let Some(rec) = state.live.remove(&id) {
-                state.free.release(&rec.gpus);
-                state.epoch += 1;
-                let c = state.counters(request.job);
-                c.released += 1;
-                c.gpus_released += rec.gpus.len() as u64;
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock();
+        q.pending.retain(|p| p.ticket != ticket.id);
+        inner.pending_count.store(q.pending.len(), GAUGE);
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
+        if let Some((request, id, home)) = q.granted.remove(&ticket.id) {
+            if let Some(view) = guards[home].live.remove(&id) {
+                dirty[home] = true;
+                inner.release_into(&mut guards, &mut dirty, &view.gpus);
+                merged.release(&view.gpus);
+                inner.bump_epoch();
+                inner.live_count.fetch_sub(1, GAUGE);
+                if view.term.is_some() {
+                    inner.termed_count.fetch_sub(1, GAUGE);
+                }
+                if view.demand.is_some() {
+                    inner.demanded_count.fetch_sub(1, GAUGE);
+                }
+                inner.with_counters(request.job, |c| {
+                    c.released += 1;
+                    c.gpus_released += view.gpus.len() as u64;
+                });
             }
         }
-        state.settle(now);
+        inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+        inner.publish_dirty(&guards, &dirty);
+    }
+
+    /// Settles the queue against the current ledger (pump + enforce).
+    /// Used by paths that returned capacity outside the full-lock path.
+    pub(crate) fn settle_now(&self) {
+        let now = self.clock_now();
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock();
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let mut merged = inner.merged_free(&guards);
+        inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+        inner.publish_dirty(&guards, &dirty);
     }
 
     /// GPUs currently free (not held by any lease or unclaimed grant).
+    /// Lock-free: served from the per-shard gauges.
     pub fn free_gpus(&self) -> u32 {
-        self.state.lock().free.total_free()
+        self.inner.free_gauge()
     }
 
-    /// The current ledger epoch (bumped on every mutation).
+    /// The current ledger epoch (bumped on every mutation). Lock-free.
     pub fn epoch(&self) -> u64 {
-        self.state.lock().epoch
+        self.inner.epoch.load(Ordering::SeqCst)
     }
 
     /// Live leases (granted and not yet released), including unclaimed
-    /// grants.
+    /// grants. Lock-free.
     pub fn live_leases(&self) -> usize {
-        self.state.lock().live.len()
+        self.inner.live_count.load(GAUGE)
     }
 
-    /// Queued requests not yet granted.
+    /// Queued requests not yet granted. Lock-free.
     pub fn pending_requests(&self) -> usize {
-        self.state.lock().pending.len()
+        self.inner.pending_count.load(GAUGE)
     }
 
     /// GPUs currently held by `job`'s live leases (the right-hand side
     /// of the fairness conservation law: per job,
     /// `gpus_granted − gpus_released − gpus_moved == leased_gpus`).
+    /// Lock-free: served from the published shard snapshots.
     pub fn leased_gpus(&self, job: JobId) -> u32 {
-        self.state
-            .lock()
-            .live
-            .values()
-            .filter(|r| r.job == job)
-            .map(|r| r.gpus.len() as u32)
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.snap
+                    .load()
+                    .live
+                    .values()
+                    .filter(|v| v.job == job)
+                    .map(|v| v.gpus.len() as u32)
+                    .sum::<u32>()
+            })
             .sum()
     }
 
-    /// A snapshot of the cluster-wide free ledger.
+    /// A snapshot of the cluster-wide free ledger, assembled from the
+    /// published shard snapshots without taking any shard lock.
     pub fn snapshot(&self) -> NodeSlots {
-        self.state.lock().free.clone()
+        let mut all: Vec<GpuId> = Vec::with_capacity(self.inner.topo.num_gpus() as usize);
+        for s in self.inner.shards.iter() {
+            all.extend(s.snap.load().free.free_gpus());
+        }
+        NodeSlots::restricted_to(&self.inner.topo, &all)
     }
 
-    /// Fairness counters of `job` (zeroes for unknown jobs).
+    /// A fingerprint of the whole ledger — the global epoch hashed with
+    /// every shard's published free fingerprint. Lock-free; two equal
+    /// fingerprints mean readers saw the same ledger.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.inner.epoch.load(Ordering::SeqCst).hash(&mut h);
+        for s in self.inner.shards.iter() {
+            let snap = s.snap.load();
+            snap.epoch.hash(&mut h);
+            snap.free.fingerprint().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Cheap operational counters (see [`ArbiterStats`]): served from
+    /// atomics and gauges, never taking the queue or a shard lock.
+    pub fn stats(&self) -> ArbiterStats {
+        let inner = &*self.inner;
+        ArbiterStats {
+            grants: inner.stat_grants.load(Ordering::Relaxed),
+            denials: inner.stat_denials.load(Ordering::Relaxed),
+            reaps: inner.stat_reaps.load(Ordering::Relaxed),
+            gpus_moved: inner.stat_gpus_moved.load(Ordering::Relaxed),
+            queue_depth: inner.pending_count.load(GAUGE),
+            live_leases: inner.live_count.load(GAUGE),
+            free_gpus: inner.free_gauge(),
+            epoch: inner.epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Fairness counters of `job` (zeroes for unknown jobs). Takes only
+    /// the job's fairness stripe lock — never the queue or a shard.
     pub fn fairness(&self, job: JobId) -> JobCounters {
-        self.state
+        self.inner.fairness[(job.0 as usize) % FAIRNESS_STRIPES]
             .lock()
-            .fairness
             .get(&job)
             .copied()
             .unwrap_or_default()
@@ -735,51 +1298,98 @@ impl ClusterArbiter {
 
     /// Fairness counters of every job ever seen, by id.
     pub fn fairness_all(&self) -> Vec<(JobId, JobCounters)> {
-        self.state
-            .lock()
-            .fairness
-            .iter()
-            .map(|(j, c)| (*j, *c))
-            .collect()
+        let mut all: BTreeMap<JobId, JobCounters> = BTreeMap::new();
+        for stripe in self.inner.fairness.iter() {
+            for (j, c) in stripe.lock().iter() {
+                all.insert(*j, *c);
+            }
+        }
+        all.into_iter().collect()
     }
 
     /// Audits the ledger: every GPU is either free or held by exactly one
-    /// live lease/grant, and every job's fairness counters obey the
-    /// conservation law (`gpus_granted − gpus_released − gpus_moved` ==
-    /// GPUs currently held). Returns a description of the first
-    /// violation.
+    /// live lease/grant, shard ledgers stay inside their node ranges, the
+    /// lock-free gauges and published snapshots agree with the locked
+    /// state, and every job's fairness counters obey the conservation law
+    /// (`gpus_granted − gpus_released − gpus_moved` == GPUs currently
+    /// held). Returns a description of the first violation.
     ///
     /// # Errors
     ///
     /// A human-readable description of the violated invariant.
     pub fn audit(&self) -> Result<(), String> {
-        let state = self.state.lock();
+        let inner = &*self.inner;
+        let q = inner.queue.lock();
+        let guards = inner.lock_shards();
         let mut seen: HashMap<GpuId, &'static str> = HashMap::new();
-        for g in state.free.free_gpus() {
-            seen.insert(g, "free");
+        for (i, g) in guards.iter().enumerate() {
+            let range = &inner.shards[i].nodes;
+            for gpu in g.free.free_gpus() {
+                let node = inner.topo.node_of(gpu);
+                if !range.contains(&node) {
+                    return Err(format!(
+                        "shard {i} ({range:?}) holds free {gpu} of node {node}"
+                    ));
+                }
+                seen.insert(gpu, "free");
+            }
         }
-        for (id, rec) in &state.live {
-            for g in &rec.gpus {
-                if let Some(prev) = seen.insert(*g, "leased") {
-                    return Err(format!("{g} held by lease {id} is also {prev}"));
+        let mut live_total = 0usize;
+        let mut termed = 0usize;
+        let mut demanded = 0usize;
+        for g in guards.iter() {
+            for (id, v) in g.live.iter() {
+                live_total += 1;
+                termed += usize::from(v.term.is_some());
+                demanded += usize::from(v.demand.is_some());
+                for gpu in &v.gpus {
+                    if let Some(prev) = seen.insert(*gpu, "leased") {
+                        return Err(format!("{gpu} held by lease {id} is also {prev}"));
+                    }
                 }
             }
         }
-        let total = self.topo.num_gpus() as usize;
+        let total = inner.topo.num_gpus() as usize;
         if seen.len() != total {
             return Err(format!("{} of {total} GPUs accounted for", seen.len()));
         }
+        // Lock-free gauges must agree with the locked state.
+        for (i, g) in guards.iter().enumerate() {
+            let gauge = inner.shards[i].free_count.load(GAUGE);
+            if gauge != g.free.total_free() {
+                return Err(format!(
+                    "shard {i} free gauge {gauge} != {}",
+                    g.free.total_free()
+                ));
+            }
+            let snap = inner.shards[i].snap.load();
+            if snap.free.fingerprint() != g.free.fingerprint() || snap.live.len() != g.live.len() {
+                return Err(format!("shard {i} snapshot is stale"));
+            }
+        }
+        for (label, gauge, actual) in [
+            ("live", inner.live_count.load(GAUGE), live_total),
+            ("pending", inner.pending_count.load(GAUGE), q.pending.len()),
+            ("termed", inner.termed_count.load(GAUGE), termed),
+            ("demanded", inner.demanded_count.load(GAUGE), demanded),
+        ] {
+            if gauge != actual {
+                return Err(format!("{label} gauge {gauge} != {actual}"));
+            }
+        }
         // Conservation: counters must reconcile with actual holdings.
         let mut held: BTreeMap<JobId, u64> = BTreeMap::new();
-        for rec in state.live.values() {
-            *held.entry(rec.job).or_default() += rec.gpus.len() as u64;
+        for g in guards.iter() {
+            for v in g.live.values() {
+                *held.entry(v.job).or_default() += v.gpus.len() as u64;
+            }
         }
-        for (job, c) in &state.fairness {
+        for (job, c) in self.fairness_all() {
             let lhs = c
                 .gpus_granted
                 .checked_sub(c.gpus_released + c.gpus_moved)
                 .ok_or_else(|| format!("{job}: released+moved exceed granted: {c:?}"))?;
-            let rhs = held.get(job).copied().unwrap_or(0);
+            let rhs = held.get(&job).copied().unwrap_or(0);
             if lhs != rhs {
                 return Err(format!(
                     "{job}: granted−released−moved = {lhs} but holds {rhs} ({c:?})"
@@ -1318,6 +1928,190 @@ mod tests {
                 });
             }
         });
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn sharded_concurrent_churn_never_overlaps() {
+        // The same hammer against a 4-shard ledger: disjointness and the
+        // final audit must hold with grants landing on different shards
+        // (and occasionally spanning them).
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo).with_shards(4);
+        let in_use: std::sync::Arc<StdMutex<HashSet<GpuId>>> = Default::default();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let arb = arb.clone();
+                let in_use = std::sync::Arc::clone(&in_use);
+                scope.spawn(move || {
+                    for round in 0..50u32 {
+                        // 1..=12 GPUs: some fit a shard, some must span.
+                        let want = 1 + ((t as u32 + round) % 12);
+                        let Ok(lease) = arb.try_lease(req(t, want)) else {
+                            continue;
+                        };
+                        {
+                            let mut held = in_use.lock().unwrap();
+                            for g in lease.gpus() {
+                                assert!(held.insert(*g), "{g} in two live leases");
+                            }
+                        }
+                        {
+                            let mut held = in_use.lock().unwrap();
+                            for g in lease.gpus() {
+                                held.remove(g);
+                            }
+                        }
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn one_shard_draws_match_the_raw_ledger() {
+        // 1-shard ≡ PR 5 placement pin: the sharded arbiter's default
+        // configuration must draw exactly what the raw NodeSlots would.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        assert_eq!(arb.num_shards(), 1);
+        let mut mirror = NodeSlots::new(&topo4x8());
+        let lease = arb.try_lease(req(1, 12)).unwrap();
+        let mut expect = mirror.take_packed(12).unwrap().gpus().to_vec();
+        expect.sort_unstable();
+        assert_eq!(lease.gpus(), &expect[..]);
+        let lease2 = arb.try_lease(req(2, 7)).unwrap();
+        let mut expect2 = mirror.take_packed(7).unwrap().gpus().to_vec();
+        expect2.sort_unstable();
+        assert_eq!(lease2.gpus(), &expect2[..]);
+    }
+
+    #[test]
+    fn spanning_grants_cross_shard_boundaries_and_release_cleanly() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo).with_shards(4);
+        assert_eq!(arb.num_shards(), 4);
+        // 12 GPUs cannot fit any single 8-GPU shard: the grant spans.
+        let lease = arb.try_lease(req(1, 12)).unwrap();
+        assert_eq!(lease.gpu_count(), 12);
+        assert_eq!(arb.free_gpus(), 20);
+        assert!(arb.audit().is_ok());
+        // The remainder spans the other shards.
+        let rest = arb.try_lease(req(2, 20)).unwrap();
+        assert_eq!(arb.free_gpus(), 0);
+        assert!(arb.audit().is_ok());
+        drop(lease);
+        assert_eq!(arb.free_gpus(), 12);
+        drop(rest);
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn sharded_grow_shrink_renew_and_preemption_stay_consistent() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo).with_shards(4);
+        let mut a = arb.try_lease(req(1, 6)).unwrap();
+        a.grow(10, None).unwrap(); // must span shards
+        assert_eq!(a.gpu_count(), 16);
+        assert!(arb.audit().is_ok());
+        a.shrink(10).unwrap();
+        assert_eq!(a.gpu_count(), 6);
+        assert!(arb.audit().is_ok());
+        a.renew().unwrap();
+        // Preemption across shards: fill the cluster, then demand back.
+        let mut b = arb.try_lease(req(2, 26)).unwrap();
+        let t = arb
+            .request(req(3, 8).with_priority(Priority::HIGH))
+            .unwrap();
+        assert!(b.pending_demand().is_some(), "b is the youngest donor");
+        arb.tick();
+        let hp = arb.claim(&t).expect("preemption crosses shards");
+        assert_eq!(hp.gpu_count(), 8);
+        assert_eq!(b.sync(), crate::lease::LeaseEvent::Resized { lost: 8 });
+        assert!(arb.audit().is_ok());
+        drop(a);
+        drop(b);
+        drop(hp);
+        assert_eq!(arb.free_gpus(), 32);
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine")]
+    fn resharding_a_live_arbiter_is_refused() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let _lease = arb.try_lease(req(1, 4)).unwrap();
+        let _ = arb.clone().with_shards(4);
+    }
+
+    #[test]
+    fn stats_track_grants_denials_reaps_and_queue_depth() {
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo);
+        let _a = arb.try_lease(req(1, 24)).unwrap();
+        assert!(arb.try_lease(req(2, 16)).is_err());
+        let _t = arb.request(req(3, 16)).unwrap();
+        let leaked = arb.try_lease(req(4, 8).with_term(1));
+        assert!(leaked.is_err(), "pending request blocks immediate asks");
+        arb.cancel(&_t);
+        let leaked = arb.try_lease(req(4, 8).with_term(1)).unwrap();
+        std::mem::forget(leaked);
+        arb.tick();
+        let s = arb.stats();
+        assert_eq!(s.grants, 2);
+        assert_eq!(s.denials, 2);
+        assert_eq!(s.reaps, 1);
+        assert_eq!(s.gpus_moved, 8);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.live_leases, 1);
+        assert_eq!(s.free_gpus, 8);
+        assert_eq!(s.epoch, arb.epoch());
+        assert!(arb.audit().is_ok());
+    }
+
+    #[test]
+    fn reads_never_block_while_the_queue_and_every_shard_lock_are_held() {
+        // The reader-latency-under-writer-storm pin, made deterministic:
+        // the "storm" is the worst case — the admission queue and every
+        // shard lock held at once — and the reader thread must still
+        // finish every lock-free read (sync included) within the
+        // watchdog window.
+        let arb = ClusterArbiter::new(&topo4x8(), AdmissionPolicy::Fifo).with_shards(4);
+        let mut lease = arb.try_lease(req(1, 4)).unwrap();
+        let q = arb.inner.queue.lock();
+        let guards: Vec<_> = arb.inner.shards.iter().map(|s| s.state.lock()).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = {
+            let arb = arb.clone();
+            std::thread::spawn(move || {
+                let _ = arb.free_gpus();
+                let _ = arb.epoch();
+                let _ = arb.live_leases();
+                let _ = arb.pending_requests();
+                let _ = arb.leased_gpus(JobId(1));
+                let _ = arb.snapshot();
+                let _ = arb.fingerprint();
+                let _ = arb.stats();
+                let _ = arb.fairness(JobId(1));
+                let _ = arb.fairness_all();
+                assert!(lease.is_live());
+                let _ = lease.pending_demand();
+                let _ = lease.fingerprint();
+                let ev = lease.sync();
+                tx.send(ev).unwrap();
+                lease // dropped by the main thread after the locks release
+            })
+        };
+        let ev = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("reads must never block behind held write locks");
+        assert_eq!(ev, crate::lease::LeaseEvent::Unchanged);
+        drop(guards);
+        drop(q);
+        let lease = reader.join().unwrap();
+        drop(lease);
         assert_eq!(arb.free_gpus(), 32);
         assert!(arb.audit().is_ok());
     }

@@ -1,11 +1,14 @@
 //! RAII lease handles: a job's slice of the cluster, materialized as a
 //! restricted [`NodeSlots`] view the planner stack consumes directly.
 
+use std::sync::Arc;
+
 use flexsp_core::FlexSpSolver;
 use flexsp_sim::{GpuId, NodeSlots};
 
 use crate::arbiter::{select_victims, ClusterArbiter, LeaseError, ShrinkDemand};
 use crate::policy::JobId;
+use crate::shard::{LeaseView, GAUGE};
 
 /// What [`Lease::sync`] observed arbiter-side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +32,8 @@ pub enum LeaseEvent {
 ///
 /// * **RAII release** — dropping the lease returns exactly its
 ///   *arbiter-side* slots to the pool and pumps the admission queue
-///   (a lease already reaped or revoked drops inertly).
+///   (a lease already reaped or revoked drops inertly). A lease living
+///   entirely inside its home shard releases under that one shard lock.
 /// * **Views** — [`Lease::view`] is the restricted [`NodeSlots`] every
 ///   planner entry point (`plan_micro_batch_within`,
 ///   `place_shapes_within`, a bound [`FlexSpSolver`]) consumes, so plans
@@ -38,6 +42,10 @@ pub enum LeaseEvent {
 ///   the lease was (re)stamped at together with its per-node slot
 ///   vector; plan caches keyed by it can never replay a plan across a
 ///   grow, shrink, renewal, revocation, or any other ledger change.
+/// * **Lock-free reads** — [`Lease::sync`], [`Lease::is_live`],
+///   [`Lease::pending_demand`], and [`Lease::expires_at`] serve from the
+///   home shard's published snapshot and never block behind a grant or
+///   a maintenance pass, no matter how many writers are mid-flight.
 /// * **Revocation** — the arbiter may demand GPUs back
 ///   ([`Lease::pending_demand`]) when a higher-priority job cannot be
 ///   admitted, and force-reclaims at the demand's deadline; a lease
@@ -58,11 +66,14 @@ pub struct Lease {
     id: u64,
     job: JobId,
     /// Mirror of the arbiter-side slot list, ascending. Canonical state
-    /// lives in the arbiter's `LeaseRecord`; [`Lease::sync`] refreshes
-    /// this after forced mutations.
+    /// lives in the home shard's [`LeaseView`]; [`Lease::sync`]
+    /// refreshes this after forced mutations.
     gpus: Vec<GpuId>,
     /// Arbiter epoch at grant / last renew / last resize / last sync.
     epoch: u64,
+    /// The shard holding this lease's record (the shard of its lowest
+    /// GPU at grant time; the record never migrates).
+    home: usize,
 }
 
 impl Lease {
@@ -72,6 +83,7 @@ impl Lease {
         job: JobId,
         mut gpus: Vec<GpuId>,
         epoch: u64,
+        home: usize,
     ) -> Self {
         gpus.sort_unstable();
         Self {
@@ -80,6 +92,7 @@ impl Lease {
             job,
             gpus,
             epoch,
+            home,
         }
     }
 
@@ -104,34 +117,35 @@ impl Lease {
         self.epoch
     }
 
+    /// The arbiter-side record, read from the home shard's published
+    /// snapshot (lock-free; `None` once reaped or fully revoked).
+    fn record(&self) -> Option<Arc<LeaseView>> {
+        self.arbiter.inner.shards[self.home]
+            .snap
+            .load()
+            .live
+            .get(&self.id)
+            .cloned()
+    }
+
     /// True while the lease exists arbiter-side (not reaped, not fully
-    /// revoked).
+    /// revoked). Lock-free.
     pub fn is_live(&self) -> bool {
-        self.arbiter.state.lock().live.contains_key(&self.id)
+        self.record().is_some()
     }
 
     /// The logical time this lease lapses unless renewed (`None` for
-    /// untermed or already-lapsed leases).
+    /// untermed or already-lapsed leases). Lock-free.
     pub fn expires_at(&self) -> Option<u64> {
-        self.arbiter
-            .state
-            .lock()
-            .live
-            .get(&self.id)
-            .and_then(|r| r.expires_at)
+        self.record().and_then(|r| r.expires_at)
     }
 
     /// The arbiter's pending shrink demand against this lease, if any:
     /// give back [`ShrinkDemand::gpus`] GPUs before
     /// [`ShrinkDemand::deadline`] (via [`Lease::shrink`], which clears
-    /// the demand) or the arbiter force-reclaims them.
+    /// the demand) or the arbiter force-reclaims them. Lock-free.
     pub fn pending_demand(&self) -> Option<ShrinkDemand> {
-        self.arbiter
-            .state
-            .lock()
-            .live
-            .get(&self.id)
-            .and_then(|r| r.demand)
+        self.record().and_then(|r| r.demand)
     }
 
     /// Reconciles the handle with the arbiter's record after forced
@@ -142,9 +156,11 @@ impl Lease {
     /// — the fingerprint change keeps the plan *cache* honest on its
     /// own, but a live pre-sync solver would still plan onto GPUs the
     /// arbiter has since moved to another tenant.
+    ///
+    /// Syncs are lock-free: they read the home shard's published
+    /// snapshot and never block, even mid-grant or mid-maintenance.
     pub fn sync(&mut self) -> LeaseEvent {
-        let state = self.arbiter.state.lock();
-        match state.live.get(&self.id) {
+        match self.record() {
             None => {
                 self.gpus.clear();
                 LeaseEvent::Lapsed
@@ -203,26 +219,32 @@ impl Lease {
     /// with it their plan-cache identity — stays fresh, and once per
     /// term window so the reaper knows they are alive.
     ///
+    /// Renewal touches only the home shard's lock: under sharding,
+    /// thousands of tenants renewing against different shards never
+    /// contend.
+    ///
     /// # Errors
     ///
     /// [`LeaseError::Lapsed`] if the lease no longer exists arbiter-side
     /// (the handle's mirror is emptied, as a [`Lease::sync`] would).
     pub fn renew(&mut self) -> Result<(), LeaseError> {
         let now = self.arbiter.clock_now();
-        let mut state = self.arbiter.state.lock();
-        if !state.live.contains_key(&self.id) {
+        let inner = Arc::clone(&self.arbiter.inner);
+        let mut state = inner.shards[self.home].state.lock();
+        let Some(view) = state.live.get(&self.id).cloned() else {
             self.gpus.clear();
             return Err(LeaseError::Lapsed);
+        };
+        let epoch = inner.bump_epoch();
+        let mut nv = (*view).clone();
+        nv.stamp = epoch;
+        if let Some(term) = nv.term {
+            nv.expires_at = Some(now + term);
         }
-        state.epoch += 1;
-        let epoch = state.epoch;
-        let rec = state.live.get_mut(&self.id).expect("checked above");
-        rec.stamp = epoch;
-        if let Some(term) = rec.term {
-            rec.expires_at = Some(now + term);
-        }
-        self.gpus = rec.gpus.clone();
+        self.gpus = nv.gpus.clone();
         self.epoch = epoch;
+        state.live.insert(self.id, Arc::new(nv));
+        inner.publish(self.home, &state);
         Ok(())
     }
 
@@ -247,36 +269,44 @@ impl Lease {
         extra: u32,
         prefer: Option<flexsp_sim::SkuId>,
     ) -> Result<(), LeaseError> {
-        let mut state = self.arbiter.state.lock();
-        if !state.live.contains_key(&self.id) {
+        let inner = Arc::clone(&self.arbiter.inner);
+        // A grow must see the whole pool (the draw may span shards) and
+        // the queue (it may not jump waiting tenants): queue lock, then
+        // every shard lock ascending.
+        let q = inner.queue.lock();
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let Some(view) = guards[self.home].live.get(&self.id).cloned() else {
             self.gpus.clear();
             return Err(LeaseError::Lapsed);
-        }
+        };
         if extra == 0 {
             return Ok(());
         }
-        if extra > state.free.total_free() || state.has_pending() {
+        let mut merged = inner.merged_free(&guards);
+        if extra > merged.total_free() || !q.pending.is_empty() {
             return Err(LeaseError::Busy {
                 requested: extra,
-                free: state.free.total_free(),
+                free: merged.total_free(),
             });
         }
         let group = match prefer {
-            Some(sku) => state.free.take_packed_for(extra, sku),
-            None => state.free.take_packed(extra),
+            Some(sku) => merged.take_packed_for(extra, sku),
+            None => merged.take_packed(extra),
         }
         .expect("free count checked above");
-        state.epoch += 1;
-        let epoch = state.epoch;
-        let rec = state.live.get_mut(&self.id).expect("checked above");
-        rec.gpus.extend(group.gpus());
-        rec.gpus.sort_unstable();
-        rec.stamp = epoch;
-        self.gpus = rec.gpus.clone();
-        self.epoch = epoch;
-        let job = self.job;
-        let c = state.counters(job);
-        c.gpus_granted += extra as u64;
+        let grown = group.gpus().to_vec();
+        inner.claim_into(&mut guards, &mut dirty, &grown);
+        let mut nv = (*view).clone();
+        nv.gpus.extend(grown);
+        nv.gpus.sort_unstable();
+        nv.stamp = inner.bump_epoch();
+        self.gpus = nv.gpus.clone();
+        self.epoch = nv.stamp;
+        guards[self.home].live.insert(self.id, Arc::new(nv));
+        dirty[self.home] = true;
+        inner.with_counters(self.job, |c| c.gpus_granted += extra as u64);
+        inner.publish_dirty(&guards, &dirty);
         Ok(())
     }
 
@@ -308,11 +338,16 @@ impl Lease {
     pub fn shrink(&mut self, release: u32) -> Result<(), LeaseError> {
         let now = self.arbiter.clock_now();
         let topo = self.arbiter.topology().clone();
-        let mut state = self.arbiter.state.lock();
-        if !state.live.contains_key(&self.id) {
+        let inner = Arc::clone(&self.arbiter.inner);
+        // The freed slots may belong to any shard and the queue must be
+        // pumped with them: queue lock, then every shard lock ascending.
+        let mut q = inner.queue.lock();
+        let mut guards = inner.lock_shards();
+        let mut dirty = vec![false; guards.len()];
+        let Some(view) = guards[self.home].live.get(&self.id).cloned() else {
             self.gpus.clear();
             return Err(LeaseError::Lapsed);
-        }
+        };
         if release == 0 {
             return Ok(());
         }
@@ -320,7 +355,7 @@ impl Lease {
         // mirror may be stale across an unobserved forced shrink, and
         // releasing a GPU the arbiter already moved would corrupt the
         // ledger.
-        let held: Vec<GpuId> = state.live[&self.id].gpus.clone();
+        let held = view.gpus.clone();
         if release as usize >= held.len() {
             return Err(LeaseError::ShrinkTooLarge {
                 requested: release,
@@ -329,50 +364,116 @@ impl Lease {
         }
         let span_before = topo.span_of(&held);
         let victims = select_victims(&topo, &held, release);
-        state.epoch += 1;
-        let epoch = state.epoch;
-        let rec = state.live.get_mut(&self.id).expect("checked above");
-        rec.gpus.retain(|g| !victims.contains(g));
-        rec.stamp = epoch;
+        let mut nv = (*view).clone();
+        nv.gpus.retain(|g| !victims.contains(g));
+        nv.stamp = inner.bump_epoch();
         // Emptiest-node-first draining can only concentrate the
         // survivor: its realized span must never widen.
         debug_assert!(
-            topo.span_of(&rec.gpus) <= span_before,
+            topo.span_of(&nv.gpus) <= span_before,
             "shrink widened the survivor's span"
         );
         // A voluntary shrink satisfies (part of) a pending demand.
-        if let Some(d) = &mut rec.demand {
-            if release >= d.gpus {
-                rec.demand = None;
-            } else {
-                d.gpus -= release;
+        match nv.demand {
+            Some(d) if release >= d.gpus => {
+                nv.demand = None;
+                inner.demanded_count.fetch_sub(1, GAUGE);
             }
+            Some(mut d) => {
+                d.gpus -= release;
+                nv.demand = Some(d);
+            }
+            None => {}
         }
-        self.gpus = rec.gpus.clone();
-        self.epoch = epoch;
-        state.free.release(&victims);
-        let job = self.job;
-        state.counters(job).gpus_released += victims.len() as u64;
-        state.settle(now);
+        self.gpus = nv.gpus.clone();
+        self.epoch = nv.stamp;
+        guards[self.home].live.insert(self.id, Arc::new(nv));
+        dirty[self.home] = true;
+        inner.release_into(&mut guards, &mut dirty, &victims);
+        inner.with_counters(self.job, |c| c.gpus_released += victims.len() as u64);
+        let mut merged = inner.merged_free(&guards);
+        inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+        inner.publish_dirty(&guards, &dirty);
         Ok(())
     }
 }
 
 impl Drop for Lease {
     fn drop(&mut self) {
-        let now = self.arbiter.clock_now();
-        let mut state = self.arbiter.state.lock();
+        let inner = Arc::clone(&self.arbiter.inner);
         // Release the *arbiter-side* slots: after an unobserved forced
         // shrink the handle's mirror would double-free GPUs that already
         // belong to another tenant; after a reap there is nothing left
-        // to release at all.
-        if let Some(rec) = state.live.remove(&self.id) {
-            state.free.release(&rec.gpus);
-            state.epoch += 1;
-            let c = state.counters(self.job);
-            c.released += 1;
-            c.gpus_released += rec.gpus.len() as u64;
-            state.settle(now);
+        // to release at all. The home snapshot decides the path: forced
+        // mutations only ever *shrink* a lease, so "all slots inside the
+        // home shard" observed here still holds under the lock.
+        let single = match self.arbiter.inner.shards[self.home]
+            .snap
+            .load()
+            .live
+            .get(&self.id)
+        {
+            None => return, // already reaped — an inert drop
+            Some(v) => v.gpus.iter().all(|&g| inner.shard_of(g) == self.home),
+        };
+        if single {
+            // Fast path: the lease lives entirely in its home shard, so
+            // the release touches one lock and one snapshot publish.
+            let mut state = inner.shards[self.home].state.lock();
+            let Some(view) = state.live.remove(&self.id) else {
+                return; // raced with a reap under the lock
+            };
+            debug_assert!(
+                view.gpus.iter().all(|&g| inner.shard_of(g) == self.home),
+                "a lease can only shrink, never migrate off its home shard"
+            );
+            state.free.release(&view.gpus);
+            inner.bump_epoch();
+            inner.live_count.fetch_sub(1, GAUGE);
+            if view.term.is_some() {
+                inner.termed_count.fetch_sub(1, GAUGE);
+            }
+            if view.demand.is_some() {
+                inner.demanded_count.fetch_sub(1, GAUGE);
+            }
+            inner.with_counters(self.job, |c| {
+                c.released += 1;
+                c.gpus_released += view.gpus.len() as u64;
+            });
+            inner.publish(self.home, &state);
+            drop(state);
+            // Freed capacity only matters to waiters and standing
+            // demands; with neither, the settle would be a no-op.
+            if inner.pending_count.load(GAUGE) > 0 || inner.demanded_count.load(GAUGE) > 0 {
+                self.arbiter.settle_now();
+            }
+        } else {
+            // Spanning lease: its slots return to several shards and the
+            // queue pumps against the merged pool.
+            let now = self.arbiter.clock_now();
+            let mut q = inner.queue.lock();
+            let mut guards = inner.lock_shards();
+            let mut dirty = vec![false; guards.len()];
+            let Some(view) = guards[self.home].live.remove(&self.id) else {
+                return;
+            };
+            dirty[self.home] = true;
+            inner.release_into(&mut guards, &mut dirty, &view.gpus);
+            inner.bump_epoch();
+            inner.live_count.fetch_sub(1, GAUGE);
+            if view.term.is_some() {
+                inner.termed_count.fetch_sub(1, GAUGE);
+            }
+            if view.demand.is_some() {
+                inner.demanded_count.fetch_sub(1, GAUGE);
+            }
+            inner.with_counters(self.job, |c| {
+                c.released += 1;
+                c.gpus_released += view.gpus.len() as u64;
+            });
+            let mut merged = inner.merged_free(&guards);
+            inner.settle_locked(&mut q, &mut guards, &mut dirty, &mut merged, now);
+            inner.publish_dirty(&guards, &dirty);
         }
     }
 }

@@ -91,9 +91,10 @@ mod arbiter;
 mod clock;
 mod lease;
 mod policy;
+mod shard;
 
 pub use arbiter::{
-    ClusterArbiter, LeaseError, ShrinkDemand, TickReport, Ticket, DEFAULT_GRACE_TICKS,
+    ArbiterStats, ClusterArbiter, LeaseError, ShrinkDemand, TickReport, Ticket, DEFAULT_GRACE_TICKS,
 };
 pub use clock::{Clock, LogicalClock};
 pub use lease::{Lease, LeaseEvent};

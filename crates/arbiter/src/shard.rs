@@ -1,0 +1,194 @@
+//! Ledger shards: the arbiter's free/busy state split by contiguous node
+//! range, each slice behind its own lock, each publishing an immutable
+//! epoch-stamped snapshot for the lock-free read path.
+//!
+//! # Lock ordering
+//!
+//! Every multi-lock path in the crate acquires in this global order and
+//! never in reverse:
+//!
+//! 1. the **admission queue** lock (`QueueState`),
+//! 2. **shard** locks in ascending shard index (a subset is fine, but
+//!    always ascending),
+//! 3. a **fairness stripe** lock (held only for one counter bump),
+//! 4. a snapshot **publish slot** (held only for one pointer swap).
+//!
+//! Single-shard fast paths take exactly one shard lock; spanning grants
+//! and admission passes take the queue lock plus every shard lock in
+//! index order, which is deadlock-free by construction.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use flexsp_sim::{GpuId, NodeSlots, Topology};
+use parking_lot::Mutex;
+
+use crate::arbiter::ShrinkDemand;
+use crate::policy::{JobId, Priority};
+
+/// A copy-on-write publication cell: writers swap in a fresh `Arc<T>`
+/// while readers clone the current one. The internal mutex is held only
+/// for the pointer copy itself — never across ledger work — so a reader
+/// can always complete in nanoseconds even while a shard lock is held
+/// through an entire grant or maintenance pass. (The offline `parking_lot`
+/// shim has no `RwLock` and the crate forbids `unsafe`, so this is the
+/// `ArcSwap` idiom built from what the workspace has.)
+#[derive(Debug)]
+pub(crate) struct Published<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> Published<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Self {
+            slot: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// The current snapshot (wait-free in practice: the lock is only
+    /// ever held for a pointer copy).
+    pub(crate) fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot.lock())
+    }
+
+    /// Publishes a new snapshot.
+    pub(crate) fn store(&self, value: Arc<T>) {
+        *self.slot.lock() = value;
+    }
+}
+
+/// The immutable, shareable view of one live lease. The shard map holds
+/// these behind `Arc`s and every mutation replaces the `Arc` wholesale
+/// (copy-on-write), so published snapshots stay internally consistent
+/// forever at zero read-side cost.
+#[derive(Debug, Clone)]
+pub(crate) struct LeaseView {
+    /// Owned slots, ascending — canonical; forced shrinks replace this.
+    pub(crate) gpus: Vec<GpuId>,
+    pub(crate) job: JobId,
+    pub(crate) priority: Priority,
+    /// Renewal length in ticks (`None` = no term).
+    pub(crate) term: Option<u64>,
+    /// Logical time the lease lapses unless renewed.
+    pub(crate) expires_at: Option<u64>,
+    /// Pending arbiter-initiated shrink, if any.
+    pub(crate) demand: Option<ShrinkDemand>,
+    /// Ledger epoch at the last mutation touching this lease; handles
+    /// re-stamp themselves from it on sync.
+    pub(crate) stamp: u64,
+}
+
+/// Mutable state of one shard, behind the shard lock: the slice of the
+/// free ledger its node range owns, plus every live lease *homed* here
+/// (a lease's home is the shard of its lowest GPU; a spanning lease's
+/// record lives in one place even though its slots touch several shards).
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// Free slots of this shard's nodes (cluster-global ids).
+    pub(crate) free: NodeSlots,
+    /// Live leases homed in this shard, by lease id.
+    pub(crate) live: HashMap<u64, Arc<LeaseView>>,
+}
+
+/// The lock-free read-side image of one shard, republished (pointer
+/// swap) before the shard lock is released after **every** mutation.
+#[derive(Debug)]
+pub(crate) struct ShardSnapshot {
+    /// Global ledger epoch at publication — the snapshot's validity
+    /// token: any two reads agreeing on the epoch saw the same ledger.
+    pub(crate) epoch: u64,
+    /// The shard's free ledger at publication.
+    pub(crate) free: NodeSlots,
+    /// The leases homed here at publication (cheap: `Arc` clones).
+    pub(crate) live: HashMap<u64, Arc<LeaseView>>,
+}
+
+/// One ledger shard: a contiguous node range, its lock, its published
+/// snapshot, and a free-GPU gauge for lock-free candidate selection.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// The nodes this shard owns.
+    pub(crate) nodes: Range<u32>,
+    pub(crate) state: Mutex<ShardState>,
+    pub(crate) snap: Published<ShardSnapshot>,
+    /// Free GPUs in this shard — a hint for picking a grant candidate
+    /// without touching any lock; the shard lock re-verifies.
+    pub(crate) free_count: AtomicU32,
+}
+
+impl Shard {
+    pub(crate) fn new(topo: &Topology, nodes: Range<u32>) -> Self {
+        let free = NodeSlots::restricted_to_nodes(topo, nodes.clone());
+        let count = free.total_free();
+        Self {
+            nodes,
+            snap: Published::new(ShardSnapshot {
+                epoch: 0,
+                free: free.clone(),
+                live: HashMap::new(),
+            }),
+            state: Mutex::new(ShardState {
+                free,
+                live: HashMap::new(),
+            }),
+            free_count: AtomicU32::new(count),
+        }
+    }
+}
+
+/// Partitions `num_nodes` nodes into `shards` contiguous, near-even
+/// ranges (the first `num_nodes % shards` ranges get one extra node).
+pub(crate) fn partition_nodes(num_nodes: u32, shards: u32) -> Vec<Range<u32>> {
+    let shards = shards.clamp(1, num_nodes.max(1));
+    let base = num_nodes / shards;
+    let extra = num_nodes % shards;
+    let mut ranges = Vec::with_capacity(shards as usize);
+    let mut start = 0;
+    for i in 0..shards {
+        let width = base + u32::from(i < extra);
+        ranges.push(start..start + width);
+        start += width;
+    }
+    debug_assert_eq!(start, num_nodes);
+    ranges
+}
+
+/// Relaxed is enough for the gauges: they are hints re-verified under
+/// the shard lock, and exact values are only asserted by `audit`, which
+/// holds every lock.
+pub(crate) const GAUGE: Ordering = Ordering::Relaxed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_contiguous_and_cover_all_nodes() {
+        for (nodes, shards) in [(1u32, 1u32), (4, 1), (7, 3), (8, 8), (1000, 64), (3, 9)] {
+            let ranges = partition_nodes(nodes, shards);
+            assert!(ranges.len() as u32 <= shards.max(1));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, nodes);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "{nodes}/{shards}");
+                assert!(!w[0].is_empty());
+            }
+            // Near-even: widths differ by at most one.
+            let widths: Vec<u32> = ranges.iter().map(|r| r.end - r.start).collect();
+            let (lo, hi) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+            assert!(hi - lo <= 1, "{widths:?}");
+        }
+    }
+
+    #[test]
+    fn published_readers_see_the_latest_store() {
+        let p = Published::new(1u64);
+        assert_eq!(*p.load(), 1);
+        let held = p.load();
+        p.store(Arc::new(2));
+        assert_eq!(*p.load(), 2);
+        assert_eq!(*held, 1, "old snapshots stay valid for their holders");
+    }
+}

@@ -302,3 +302,147 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full revocation-churn invariant suite, replayed against a
+    /// sharded ledger: disjointness, the conservation law, the audit
+    /// (which cross-checks shard ledgers, gauges, and published
+    /// snapshots), and total wind-down must all hold no matter how the
+    /// node ranges are partitioned.
+    #[test]
+    fn sharded_revocation_churn_conserves_slots_and_counters(
+        (topo, ops, shards) in topo_strategy()
+            .prop_flat_map(|t| (Just(t), churn_ops(), 2u32..=4)),
+    ) {
+        use flexsp_arbiter::{Priority, Ticket};
+        for policy in [AdmissionPolicy::Fifo, AdmissionPolicy::BestFitSkuClass] {
+            let arb = ClusterArbiter::new(&topo, policy).with_shards(shards);
+            let mut held: Vec<Lease> = Vec::new();
+            let mut tickets: Vec<Ticket> = Vec::new();
+            for &(kind, gpus, who, term, idx) in &ops {
+                let mut req = SlotRequest::new(JobId(who as u64), gpus)
+                    .with_priority(Priority(who * 100));
+                if term > 0 {
+                    req = req.with_term(term as u64);
+                }
+                match kind {
+                    0 | 1 => {
+                        if let Ok(l) = arb.try_lease(req) {
+                            held.push(l);
+                        }
+                    }
+                    2 => {
+                        if let Ok(t) = arb.request(req) {
+                            tickets.push(t);
+                        }
+                    }
+                    3 => {
+                        if !held.is_empty() {
+                            held.remove(idx % held.len());
+                        }
+                    }
+                    4 => {
+                        if !held.is_empty() {
+                            let i = idx % held.len();
+                            let _ = held[i].shrink(gpus);
+                        }
+                    }
+                    5 => {
+                        if !held.is_empty() {
+                            let i = idx % held.len();
+                            let _ = held[i].grow(gpus, None);
+                        }
+                    }
+                    _ => {
+                        arb.tick();
+                    }
+                }
+                tickets.retain(|t| match arb.claim(t) {
+                    Some(l) => {
+                        held.push(l);
+                        false
+                    }
+                    None => true,
+                });
+                held.retain_mut(|l| {
+                    l.sync();
+                    l.gpu_count() > 0
+                });
+                let mut seen: HashSet<GpuId> = HashSet::new();
+                for l in &held {
+                    for g in l.gpus() {
+                        prop_assert!(seen.insert(*g), "{} in two live leases", g);
+                    }
+                }
+                prop_assert!(arb.audit().is_ok(), "{:?}", arb.audit());
+                for (job, c) in arb.fairness_all() {
+                    prop_assert_eq!(
+                        c.gpus_granted - c.gpus_released - c.gpus_moved,
+                        arb.leased_gpus(job) as u64,
+                        "conservation broke for {} at {} shards: {:?}", job, shards, c
+                    );
+                }
+            }
+            for t in &tickets {
+                arb.cancel(t);
+            }
+            held.clear();
+            for _ in 0..8 {
+                arb.tick();
+            }
+            prop_assert_eq!(
+                arb.free_gpus(),
+                topo.num_gpus(),
+                "expired/dropped slots must all return ({policy}, {shards} shards)"
+            );
+            prop_assert!(arb.audit().is_ok());
+        }
+    }
+
+    /// No-starvation holds under sharding: a high-priority request of any
+    /// satisfiable size is admitted within the grace window even when the
+    /// reclaimable capacity is scattered across shards.
+    #[test]
+    fn sharded_high_priority_is_never_starved(
+        (topo, fills, want_pct, shards) in topo_strategy()
+            .prop_flat_map(|t| {
+                (Just(t), prop::collection::vec(1u32..=8, 1..5), 1u32..=100, 2u32..=4)
+            }),
+    ) {
+        use flexsp_arbiter::{Priority, DEFAULT_GRACE_TICKS};
+        for policy in [AdmissionPolicy::Fifo, AdmissionPolicy::BestFitSkuClass] {
+            let arb = ClusterArbiter::new(&topo, policy).with_shards(shards);
+            let mut held: Vec<Lease> = Vec::new();
+            for (i, &g) in fills.iter().enumerate() {
+                if let Ok(l) = arb.try_lease(SlotRequest::new(JobId(i as u64), g)) {
+                    held.push(l);
+                }
+            }
+            let want = 1 + (want_pct * (topo.num_gpus() - 1)) / 100;
+            let ticket = arb
+                .request(SlotRequest::new(JobId(99), want).with_priority(Priority::HIGH))
+                .expect("satisfiable size");
+            let mut lease = arb.claim(&ticket);
+            for _ in 0..DEFAULT_GRACE_TICKS + 2 {
+                if lease.is_some() {
+                    break;
+                }
+                arb.tick();
+                lease = arb.claim(&ticket);
+            }
+            let lease = lease.unwrap_or_else(|| {
+                panic!(
+                    "high-priority request for {want} of {} starved at {shards} shards",
+                    topo.num_gpus()
+                )
+            });
+            prop_assert_eq!(lease.gpu_count(), want);
+            for l in &mut held {
+                l.sync();
+            }
+            prop_assert!(arb.audit().is_ok(), "{:?}", arb.audit());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates `BENCH_arbiter_churn.json` and optionally gates on it.
+//!
+//! ```text
+//! # Measure and write the JSON (repo root by default):
+//! cargo run --release -p flexsp-bench --bin arbiter_churn
+//! cargo run --release -p flexsp-bench --bin arbiter_churn -- --out path.json
+//!
+//! # CI gate: run fresh, compare against the checked-in baseline, exit 1
+//! # on a >20% grants/sec regression or a sharded speedup below 5x:
+//! cargo run --release -p flexsp-bench --bin arbiter_churn -- --check BENCH_arbiter_churn.json
+//!
+//! # Smoke mode (smaller churn budgets, same shape of output):
+//! cargo run --release -p flexsp-bench --bin arbiter_churn -- --quick
+//! ```
+
+use flexsp_bench::arbiter_churn::{regressions, run, to_json};
+
+/// Fail the gate when a grants/sec metric drops more than this fraction
+/// below the checked-in baseline.
+const GATE_TOLERANCE: f64 = 0.20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check requires a baseline path");
+            std::process::exit(2);
+        })
+    });
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let report = run(quick);
+    let json = to_json(&report);
+    print!("{json}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let failures = regressions(&report, &baseline, GATE_TOLERANCE);
+        if failures.is_empty() {
+            eprintln!(
+                "arbiter_churn gate PASSED against {baseline_path} \
+                 (tolerance {:.0}%)",
+                GATE_TOLERANCE * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("arbiter_churn gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let path = out.unwrap_or_else(|| "BENCH_arbiter_churn.json".into());
+    std::fs::write(&path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {path}");
+}

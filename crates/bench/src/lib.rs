@@ -30,11 +30,13 @@
 //! | Table 5 / App. B (model configs) | [`table5`] |
 //! | Appendix E (flexible CP, paper future work) | [`appendix_e`] |
 //! | Plan-serving throughput gate (`BENCH_plan_throughput.json`) | [`plan_throughput`] |
+//! | Arbiter churn gate (`BENCH_arbiter_churn.json`) | [`arbiter_churn`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod appendix_e;
+pub mod arbiter_churn;
 pub mod case_study;
 pub mod common;
 pub mod figure2;

@@ -835,6 +835,54 @@ mod tests {
     }
 
     #[test]
+    fn eviction_under_many_tenant_fingerprints_never_replays_plans() {
+        // Multi-tenant churn at the cache layer: 64 tenants whose
+        // availability fingerprints all differ push the same batch shape
+        // through a capacity-8 shared cache. Every fingerprint must be
+        // keyed separately (64 misses), the entry bound must hold under
+        // eviction, resident tenants must re-serve as hits, and an
+        // evicted tenant must re-solve — never replay a survivor's plan.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ShardedPlanCache::new(8);
+        let s = solver();
+        let b = batch(21, 8);
+        let n_gpus = s.cost().num_gpus();
+        let template = s.solve_iteration(&b).expect("feasible");
+        let solves = AtomicUsize::new(0);
+        let serve = |fp: u64| {
+            cache
+                .serve(&cache_key(&b, n_gpus, fp), &b, || {
+                    solves.fetch_add(1, Ordering::SeqCst);
+                    Ok(template.clone())
+                })
+                .expect("every tenant receives a plan")
+        };
+        for fp in 0..64 {
+            serve(fp);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 64, "each fingerprint must solve its own plan");
+        assert_eq!(solves.load(Ordering::SeqCst), 64);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 8, "churn must respect the capacity bound");
+        assert_eq!(stats.evictions, 56, "56 cold tenants displaced");
+        // The eight most recently served fingerprints are resident and
+        // re-serve without invoking the solver.
+        for fp in 56..64 {
+            serve(fp);
+        }
+        assert_eq!(cache.stats().hits, 8, "resident tenants must hit");
+        assert_eq!(solves.load(Ordering::SeqCst), 64);
+        // An evicted tenant's fingerprint misses again: the cache never
+        // substitutes a resident tenant's plan for a different key.
+        serve(0);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 65, "an evicted fingerprint must re-solve");
+        assert_eq!(solves.load(Ordering::SeqCst), 65);
+        assert_eq!(stats.entries, 8);
+    }
+
+    #[test]
     fn concurrent_identical_service_requests_run_one_solve() {
         // End-to-end: 8 workers, 8 identical submissions. Whether a late
         // worker lands as a coalesced waiter or (post-insert) a cache hit

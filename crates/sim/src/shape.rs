@@ -619,6 +619,54 @@ impl NodeSlots {
         }
     }
 
+    /// A **shard** ledger: every GPU of the contiguous node range
+    /// `nodes` is free, every other node is empty — the slice of one
+    /// cluster a sharded arbiter's per-shard lock owns. The vector keeps
+    /// cluster-global node indexing (and so cluster-global [`GpuId`]s),
+    /// so shard draws, releases, and merged cross-shard views compose
+    /// without id translation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches past the topology's nodes.
+    pub fn restricted_to_nodes(topo: &Topology, nodes: std::ops::Range<u32>) -> Self {
+        assert!(
+            nodes.end <= topo.num_nodes(),
+            "shard range {nodes:?} exceeds {} nodes",
+            topo.num_nodes()
+        );
+        let mut free: Vec<Vec<GpuId>> = vec![Vec::new(); topo.num_nodes() as usize];
+        for n in nodes {
+            let s = topo.node_start(n);
+            free[n as usize] = (s..s + topo.node_width(n)).map(GpuId).collect();
+        }
+        Self {
+            topo: topo.clone(),
+            free,
+        }
+    }
+
+    /// Removes exactly the listed `gpus` from the free lists — the
+    /// *targeted* inverse of [`NodeSlots::release`]. A multi-shard grant
+    /// places on a merged view of several shard ledgers and then claims
+    /// each shard's share of the drawn GPUs back out of that shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GPU is outside the cluster or not currently free.
+    pub fn claim(&mut self, gpus: &[GpuId]) {
+        for &g in gpus {
+            let node = self.topo.node_of(g) as usize;
+            let slot = &mut self.free[node];
+            match slot.binary_search(&g) {
+                Ok(pos) => {
+                    slot.remove(pos);
+                }
+                Err(_) => panic!("{g} claimed but not free in this ledger"),
+            }
+        }
+    }
+
     /// Returns `gpus` to the free lists (the inverse of a take).
     ///
     /// # Panics
@@ -1071,6 +1119,43 @@ mod tests {
         for shape in enumerate_shapes(&topo, &[1, 2, 4, 8, 16, 32]) {
             assert_eq!(shape.fits(&topo), shape.fits_within(&full), "{shape}");
         }
+    }
+
+    #[test]
+    fn shard_views_partition_the_cluster_and_claims_commit_merged_draws() {
+        let topo = mixed_topo();
+        let lo = NodeSlots::restricted_to_nodes(&topo, 0..2);
+        let hi = NodeSlots::restricted_to_nodes(&topo, 2..4);
+        assert_eq!(lo.total_free(), 16);
+        assert_eq!(hi.total_free(), 16);
+        // Disjoint shards cover the cluster exactly.
+        let mut all: Vec<GpuId> = lo.free_gpus();
+        all.extend(hi.free_gpus());
+        all.sort_unstable();
+        assert_eq!(all, NodeSlots::new(&topo).free_gpus());
+        // A merged view places across shards; claim commits each shard's
+        // share and release round-trips it.
+        let mut merged = NodeSlots::restricted_to(&topo, &all);
+        let g = merged.take_packed(12).unwrap();
+        let (lo_share, hi_share): (Vec<GpuId>, Vec<GpuId>) =
+            g.gpus().iter().partition(|gpu| gpu.0 < 16);
+        let mut lo = lo;
+        let mut hi = hi;
+        lo.claim(&lo_share);
+        hi.claim(&hi_share);
+        assert_eq!(lo.total_free() + hi.total_free(), 20);
+        lo.release(&lo_share);
+        hi.release(&hi_share);
+        assert_eq!(lo.total_free() + hi.total_free(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed but not free")]
+    fn claiming_a_taken_gpu_is_rejected() {
+        let topo = Topology::new(1, 4);
+        let mut slots = NodeSlots::new(&topo);
+        slots.claim(&[GpuId(0)]);
+        slots.claim(&[GpuId(0)]);
     }
 
     #[test]
