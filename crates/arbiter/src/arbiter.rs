@@ -236,6 +236,13 @@ pub(crate) struct Inner {
     pub(crate) live_count: AtomicUsize,
     pub(crate) termed_count: AtomicUsize,
     pub(crate) demanded_count: AtomicUsize,
+    /// Bumped whenever a shrink demand is issued, re-issued with a new
+    /// window, or withdrawn. Demand changes republish their shard but
+    /// deliberately do **not** bump the ledger epoch (nothing about the
+    /// free set or any fingerprint moved), so deadline watchers — the
+    /// event-loop `MaintenancePump` — gate their rescans on this
+    /// counter alongside the epoch.
+    pub(crate) demand_seq: AtomicU64,
     stat_grants: AtomicU64,
     stat_denials: AtomicU64,
     stat_reaps: AtomicU64,
@@ -574,6 +581,7 @@ impl Inner {
                             nv.demand = Some(next);
                             g.live.insert(id, Arc::new(nv));
                             dirty[s] = true;
+                            self.demand_seq.fetch_add(1, GAUGE);
                         }
                     }
                     None => {
@@ -583,6 +591,7 @@ impl Inner {
                             g.live.insert(id, Arc::new(nv));
                             self.demanded_count.fetch_sub(1, GAUGE);
                             dirty[s] = true;
+                            self.demand_seq.fetch_add(1, GAUGE);
                         }
                     }
                 }
@@ -797,6 +806,7 @@ impl ClusterArbiter {
                 live_count: AtomicUsize::new(0),
                 termed_count: AtomicUsize::new(0),
                 demanded_count: AtomicUsize::new(0),
+                demand_seq: AtomicU64::new(0),
                 stat_grants: AtomicU64::new(0),
                 stat_denials: AtomicU64::new(0),
                 stat_reaps: AtomicU64::new(0),

@@ -5,6 +5,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A monotonic logical clock the arbiter reads lease terms against.
 ///
@@ -54,9 +55,101 @@ impl Clock for LogicalClock {
     }
 }
 
+/// A wall-time [`Clock`]: ticks are fixed [`Duration`] quanta elapsed
+/// since the clock's origin [`Instant`].
+///
+/// This is the production backing for lease terms: an arbiter built
+/// [`with_clock`](crate::ClusterArbiter::with_clock) over a `WallClock`
+/// measures terms and grace windows in real time, and a
+/// [`ClusterDaemon`](crate::ClusterDaemon) enforces them with no caller
+/// pumping `tick()`. Clones share the origin (an `Instant` is `Copy`),
+/// so every handle reads the same timeline.
+///
+/// `Instant` is monotonic, so `now()` never decreases — the one
+/// contract [`Clock`] demands.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_arbiter::{Clock, WallClock};
+/// use std::time::Duration;
+/// let clock = WallClock::new(Duration::from_millis(10));
+/// let t0 = clock.now();
+/// std::thread::sleep(Duration::from_millis(25));
+/// assert!(clock.now() >= t0 + 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+    tick: Duration,
+}
+
+impl WallClock {
+    /// A clock whose logical tick is `tick` of wall time, starting now
+    /// (the current instant is tick 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero.
+    pub fn new(tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "WallClock tick must be non-zero");
+        Self {
+            origin: Instant::now(),
+            tick,
+        }
+    }
+
+    /// One tick per millisecond.
+    pub fn millis() -> Self {
+        Self::new(Duration::from_millis(1))
+    }
+
+    /// One tick per second — the natural unit when a term is "renew at
+    /// least every `n` seconds".
+    pub fn seconds() -> Self {
+        Self::new(Duration::from_secs(1))
+    }
+
+    /// The wall duration of one tick.
+    pub fn tick_duration(&self) -> Duration {
+        self.tick
+    }
+
+    /// Wall time remaining until logical time `tick` is reached — zero
+    /// if it already passed. This is what a maintenance loop sleeps.
+    pub fn until(&self, tick: u64) -> Duration {
+        let target = self.tick.as_nanos().saturating_mul(u128::from(tick));
+        let remaining = target.saturating_sub(self.origin.elapsed().as_nanos());
+        Duration::from_nanos(u64::try_from(remaining).unwrap_or(u64::MAX))
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        (self.origin.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_ticks_monotonically_and_until_reaches_zero() {
+        let clock = WallClock::new(Duration::from_millis(1));
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(3));
+        let b = clock.now();
+        assert!(b >= a + 2, "expected at least 2 ticks, got {a} -> {b}");
+        assert_eq!(
+            clock.until(b),
+            Duration::ZERO,
+            "a reached tick needs no sleep"
+        );
+        assert!(clock.until(b + 1_000) > Duration::ZERO);
+        let shared = clock.clone();
+        assert!(shared.now() >= b, "clones share the origin");
+    }
 
     #[test]
     fn clones_share_one_counter() {

@@ -1,0 +1,604 @@
+//! Event-driven maintenance: a keyed deadline heap (the timer-queue
+//! idiom), an epoch-gated [`MaintenancePump`], and a background
+//! [`ClusterDaemon`] thread — so a deployment no longer depends on every
+//! caller pumping [`tick`](crate::ClusterArbiter::tick).
+//!
+//! The design splits cleanly in two:
+//!
+//! * [`DeadlineHeap`] is a pure, keyed min-heap of `(time, key)` entries
+//!   (`BinaryHeap<Reverse<_>>`). Rescheduling a key **supersedes** the
+//!   old entry (the stale heap node is skipped lazily on pop), which is
+//!   exactly what a lease renewal needs: the old expiry must never fire.
+//! * [`MaintenancePump`] owns an arbiter plus a heap keyed by lease id.
+//!   It rescans the published shard snapshots — lock-free — whenever the
+//!   ledger epoch moved, schedules each termed or demanded lease's
+//!   nearest deadline, and runs [`maintain`](crate::ClusterArbiter::maintain)
+//!   only when a deadline is actually due. Because every capacity change
+//!   in the arbiter settles at its source operation, a maintenance pass
+//!   at a time with no due deadline is observably a no-op; running
+//!   maintenance *only* at heap deadlines is therefore equivalent to
+//!   running it on every tick (`event_loop_equivalence.rs` pins this
+//!   bit-for-bit).
+//!
+//! [`ClusterDaemon`] wraps the pump in a thread sleeping on a
+//! `Condvar` until the next deadline (converted to wall time by
+//! [`WallClock`](crate::WallClock)), with a bounded idle poll so leases
+//! granted while it slept are picked up within a tick. The same pump,
+//! driven synchronously on a [`LogicalClock`](crate::LogicalClock), is
+//! the engine of the `flexsp-trace` discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::arbiter::{ClusterArbiter, TickReport};
+use crate::clock::WallClock;
+
+/// One pending `(time, key)` entry. Ordered by `(at, seq)` — `seq` is a
+/// unique insertion counter, so the order is total and deterministic
+/// without requiring `K: Ord`.
+#[derive(Debug)]
+struct Entry<K> {
+    at: u64,
+    seq: u64,
+    key: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<K> Eq for Entry<K> {}
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A keyed timer queue: a min-heap of `(deadline, key)` entries where
+/// re-[`schedule`](DeadlineHeap::schedule)-ing a key supersedes its
+/// previous deadline and [`pop_until`](DeadlineHeap::pop_until) drains
+/// everything due, in nondecreasing time order.
+///
+/// Superseded and [`cancel`](DeadlineHeap::cancel)ed entries are left in
+/// the heap and skipped lazily when they surface (each is matched
+/// against the live `(key → seq)` map), so every operation stays
+/// `O(log n)` amortized.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_arbiter::DeadlineHeap;
+/// let mut heap = DeadlineHeap::new();
+/// heap.schedule("lease-1", 5);
+/// heap.schedule("lease-2", 3);
+/// heap.schedule("lease-1", 9); // renewal: the entry at t=5 must not fire
+/// assert_eq!(heap.next_deadline(), Some(3));
+/// assert_eq!(heap.pop_until(5), vec![(3, "lease-2")]);
+/// assert_eq!(heap.pop_until(9), vec![(9, "lease-1")]);
+/// assert!(heap.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct DeadlineHeap<K> {
+    heap: BinaryHeap<Reverse<Entry<K>>>,
+    /// key → (seq, at) of the one live entry for that key.
+    live: HashMap<K, (u64, u64)>,
+    seq: u64,
+}
+
+impl<K: Eq + Hash + Clone> DeadlineHeap<K> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of live (scheduled, not superseded or canceled) deadlines.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live deadline is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `key` to fire at `at`, superseding any previous
+    /// deadline for the same key.
+    pub fn schedule(&mut self, key: K, at: u64) {
+        self.seq += 1;
+        self.live.insert(key.clone(), (self.seq, at));
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            key,
+        }));
+    }
+
+    /// Removes `key`'s deadline, if scheduled. Returns whether one was.
+    pub fn cancel(&mut self, key: &K) -> bool {
+        self.live.remove(key).is_some()
+    }
+
+    /// The scheduled deadline for `key`, if any.
+    pub fn deadline_of(&self, key: &K) -> Option<u64> {
+        self.live.get(key).map(|&(_, at)| at)
+    }
+
+    /// Whether the entry at the top of the heap is stale (superseded or
+    /// canceled) and should be discarded.
+    fn top_is_stale(&self) -> Option<bool> {
+        self.heap
+            .peek()
+            .map(|Reverse(e)| self.live.get(&e.key).map(|&(seq, _)| seq) != Some(e.seq))
+    }
+
+    /// The earliest live deadline, pruning stale heap entries.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while self.top_is_stale() == Some(true) {
+            self.heap.pop();
+        }
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops every deadline due at or before `now`, in nondecreasing time
+    /// order (ties broken by schedule order). Nothing with a deadline
+    /// after `now` ever fires.
+    pub fn pop_until(&mut self, now: u64) -> Vec<(u64, K)> {
+        let mut due = Vec::new();
+        loop {
+            match self.top_is_stale() {
+                None => break,
+                Some(true) => {
+                    self.heap.pop();
+                }
+                Some(false) => {
+                    if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
+                        let Reverse(e) = self.heap.pop().expect("peeked");
+                        self.live.remove(&e.key);
+                        due.push((e.at, e.key));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        due
+    }
+}
+
+/// An arbiter plus a [`DeadlineHeap`] of its leases' next deadlines
+/// (term expiry or shrink-demand grace), kept current by an epoch-gated
+/// rescan of the published shard snapshots.
+///
+/// [`poll`](MaintenancePump::poll) is the single step both execution
+/// styles share: the [`ClusterDaemon`] calls it from a thread on a
+/// [`WallClock`](crate::WallClock); the `flexsp-trace` simulator calls
+/// it synchronously on a [`LogicalClock`](crate::LogicalClock). It runs
+/// [`maintain`](ClusterArbiter::maintain) only when a scheduled deadline
+/// is due, which is observably equivalent to maintaining every tick
+/// because every capacity change settles at its source operation.
+#[derive(Debug)]
+pub struct MaintenancePump {
+    arbiter: ClusterArbiter,
+    heap: DeadlineHeap<u64>,
+    /// `(epoch, demand_seq)` at the last rescan — the rescan gate.
+    /// Demand issuance republishes its shard without bumping the epoch
+    /// (no fingerprint moved), so the pump also watches `demand_seq`.
+    seen: Option<(u64, u64)>,
+}
+
+impl MaintenancePump {
+    /// A pump over `arbiter`, with the heap primed from the current
+    /// ledger.
+    pub fn new(arbiter: ClusterArbiter) -> Self {
+        let mut pump = Self {
+            arbiter,
+            heap: DeadlineHeap::new(),
+            seen: None,
+        };
+        pump.refresh();
+        pump
+    }
+
+    /// The arbiter this pump maintains.
+    pub fn arbiter(&self) -> &ClusterArbiter {
+        &self.arbiter
+    }
+
+    /// Live deadlines currently scheduled (one per termed or demanded
+    /// lease).
+    pub fn scheduled(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Re-derives the heap from the published shard snapshots if the
+    /// ledger epoch or the demand sequence moved since the last scan.
+    /// Lock-free: snapshot loads are pointer copies; nothing here
+    /// touches a shard lock.
+    ///
+    /// Each lease contributes its *nearest* deadline — `min(expires_at,
+    /// demand.deadline)` — keyed by lease id, so a renewal (new
+    /// `expires_at`) or a satisfied demand supersedes the stale entry
+    /// and a reaped or dropped lease's entry is canceled.
+    fn refresh(&mut self) {
+        let inner = &self.arbiter.inner;
+        let stamp = (
+            self.arbiter.epoch(),
+            inner.demand_seq.load(Ordering::Relaxed),
+        );
+        if self.seen == Some(stamp) {
+            return;
+        }
+        self.seen = Some(stamp);
+        let mut desired: Vec<(u64, u64)> = Vec::new();
+        for shard in self.arbiter.inner.shards.iter() {
+            let snap = shard.snap.load();
+            for (&id, view) in snap.live.iter() {
+                let expiry = view.expires_at;
+                let grace = view.demand.map(|d| d.deadline);
+                let at = match (expiry, grace) {
+                    (Some(e), Some(g)) => Some(e.min(g)),
+                    (Some(e), None) => Some(e),
+                    (None, Some(g)) => Some(g),
+                    (None, None) => None,
+                };
+                if let Some(at) = at {
+                    desired.push((id, at));
+                }
+            }
+        }
+        // Deterministic schedule order (snapshot maps iterate in
+        // arbitrary order) — pop ties then break by lease id.
+        desired.sort_unstable();
+        let stale: Vec<u64> = self
+            .heap
+            .live
+            .keys()
+            .filter(|id| !desired.iter().any(|(d, _)| d == *id))
+            .copied()
+            .collect();
+        for id in stale {
+            self.heap.cancel(&id);
+        }
+        for (id, at) in desired {
+            if self.heap.deadline_of(&id) != Some(at) {
+                self.heap.schedule(id, at);
+            }
+        }
+    }
+
+    /// The earliest scheduled deadline, after refreshing from the
+    /// ledger. `None` when no lease has a term or standing demand.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        self.refresh();
+        self.heap.next_deadline()
+    }
+
+    /// One pump step at the arbiter clock's current time: refresh the
+    /// heap, and if any deadline is due, run one maintenance pass and
+    /// re-refresh (the pass mutates the ledger). Returns the pass's
+    /// report, or `None` when nothing was due and maintenance was
+    /// skipped entirely.
+    pub fn poll(&mut self) -> Option<TickReport> {
+        self.refresh();
+        let now = self.arbiter.now();
+        if self.heap.pop_until(now).is_empty() {
+            return None;
+        }
+        let report = self.arbiter.maintain();
+        self.refresh();
+        Some(report)
+    }
+}
+
+/// How long the daemon sleeps when no deadline is scheduled, and the cap
+/// on any one sleep: a lease granted *after* the daemon chose its sleep
+/// is discovered at the next wakeup, so the cap bounds that lag (callers
+/// that cannot tolerate it call [`ClusterDaemon::wake`]).
+const MAX_IDLE: Duration = Duration::from_millis(25);
+
+#[derive(Debug, Default)]
+struct DaemonShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    passes: AtomicU64,
+    maintains: AtomicU64,
+}
+
+/// A background maintenance loop: a thread running a
+/// [`MaintenancePump`] against a [`WallClock`](crate::WallClock), so
+/// lease expiry, grace windows, and renewals are enforced on wall time
+/// with **no caller pumping `tick()` at all**.
+///
+/// The thread sleeps until the next scheduled deadline (capped at a
+/// short idle poll so newly granted termed leases are noticed), runs
+/// maintenance only when a deadline is due, and exits on
+/// [`shutdown`](ClusterDaemon::shutdown) or drop.
+///
+/// # Example
+///
+/// ```
+/// use flexsp_arbiter::{
+///     AdmissionPolicy, ClusterArbiter, ClusterDaemon, JobId, SlotRequest, WallClock,
+/// };
+/// use flexsp_sim::Topology;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = WallClock::new(Duration::from_millis(2));
+/// let arbiter = ClusterArbiter::with_clock(
+///     &Topology::new(2, 8),
+///     AdmissionPolicy::Fifo,
+///     Arc::new(clock.clone()),
+/// );
+/// let daemon = ClusterDaemon::spawn(arbiter.clone(), clock);
+///
+/// // "Crash" a tenant holding a 3-tick term: nobody ticks, yet the
+/// // daemon reaps the lease once its term lapses on the wall clock.
+/// let lease = arbiter
+///     .try_lease(SlotRequest::new(JobId(7), 8).with_term(3))
+///     .unwrap();
+/// std::mem::forget(lease);
+/// let deadline = std::time::Instant::now() + Duration::from_secs(5);
+/// while arbiter.free_gpus() != 16 {
+///     assert!(std::time::Instant::now() < deadline, "daemon never reaped");
+///     std::thread::sleep(Duration::from_millis(1));
+/// }
+/// assert_eq!(arbiter.stats().reaps, 1);
+/// daemon.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ClusterDaemon {
+    shared: Arc<DaemonShared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ClusterDaemon {
+    /// Spawns the maintenance thread over `arbiter`, reading deadlines
+    /// against `clock`. The arbiter should have been built with
+    /// [`ClusterArbiter::with_clock`] over (a clone of) the same clock,
+    /// so the deadlines the pump schedules and the time maintenance runs
+    /// at agree.
+    pub fn spawn(arbiter: ClusterArbiter, clock: WallClock) -> Self {
+        let shared = Arc::new(DaemonShared::default());
+        let inner = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("flexsp-arbiter-daemon".into())
+            .spawn(move || {
+                let mut pump = MaintenancePump::new(arbiter);
+                let mut stop = inner.stop.lock().expect("daemon lock poisoned");
+                loop {
+                    if *stop {
+                        break;
+                    }
+                    drop(stop);
+                    if pump.poll().is_some() {
+                        inner.maintains.fetch_add(1, Ordering::Relaxed);
+                    }
+                    inner.passes.fetch_add(1, Ordering::Relaxed);
+                    let sleep = match pump.next_deadline() {
+                        Some(at) => clock.until(at).min(MAX_IDLE),
+                        None => MAX_IDLE,
+                    };
+                    stop = inner.stop.lock().expect("daemon lock poisoned");
+                    if *stop {
+                        break;
+                    }
+                    (stop, _) = inner
+                        .wake
+                        .wait_timeout(stop, sleep)
+                        .expect("daemon lock poisoned");
+                }
+            })
+            .expect("spawn arbiter daemon");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Prods the daemon to re-read the ledger now instead of at its next
+    /// scheduled wakeup — call after granting a termed lease if the idle
+    /// poll lag matters.
+    pub fn wake(&self) {
+        let _g = self.shared.stop.lock().expect("daemon lock poisoned");
+        self.shared.wake.notify_all();
+    }
+
+    /// Pump iterations the daemon has run (each wakeup is one pass).
+    pub fn passes(&self) -> u64 {
+        self.shared.passes.load(Ordering::Relaxed)
+    }
+
+    /// How many passes actually ran a maintenance sweep (a deadline was
+    /// due); the rest were free.
+    pub fn maintains(&self) -> u64 {
+        self.shared.maintains.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the maintenance thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            *self.shared.stop.lock().expect("daemon lock poisoned") = true;
+            self.shared.wake.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClusterDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::policy::{JobId, Priority, SlotRequest};
+    use crate::AdmissionPolicy;
+    use flexsp_sim::Topology;
+
+    #[test]
+    fn pop_until_is_nondecreasing_and_never_early() {
+        let mut h = DeadlineHeap::new();
+        h.schedule(1u32, 9);
+        h.schedule(2, 4);
+        h.schedule(3, 4);
+        h.schedule(4, 15);
+        assert_eq!(h.pop_until(3), vec![]);
+        assert_eq!(h.pop_until(9), vec![(4, 2), (4, 3), (9, 1)]);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.next_deadline(), Some(15));
+    }
+
+    #[test]
+    fn reschedule_supersedes_and_cancel_removes() {
+        let mut h = DeadlineHeap::new();
+        h.schedule("a", 2);
+        h.schedule("b", 3);
+        h.schedule("a", 10); // renewal
+        assert!(h.cancel(&"b"));
+        assert!(!h.cancel(&"b"));
+        assert_eq!(h.pop_until(5), vec![], "superseded entry must not fire");
+        assert_eq!(h.deadline_of(&"a"), Some(10));
+        assert_eq!(h.pop_until(10), vec![(10, "a")]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pump_reaps_only_at_due_deadlines() {
+        let clock = LogicalClock::new();
+        let arb = ClusterArbiter::with_clock(
+            &Topology::new(2, 8),
+            AdmissionPolicy::Fifo,
+            Arc::new(clock.clone()),
+        );
+        let mut pump = MaintenancePump::new(arb.clone());
+        assert_eq!(pump.next_deadline(), None);
+
+        let lease = arb
+            .try_lease(SlotRequest::new(JobId(1), 8).with_term(3))
+            .unwrap();
+        std::mem::forget(lease);
+        assert_eq!(pump.next_deadline(), Some(3));
+
+        clock.advance(2);
+        assert!(pump.poll().is_none(), "t=2: term not lapsed, no sweep");
+        clock.advance(1);
+        let report = pump.poll().expect("t=3: expiry due");
+        assert_eq!(report.expired, vec![(JobId(1), 8)]);
+        assert_eq!(arb.free_gpus(), 16);
+        assert_eq!(pump.next_deadline(), None, "reaped entry canceled");
+    }
+
+    #[test]
+    fn pump_renewal_supersedes_the_old_expiry() {
+        let clock = LogicalClock::new();
+        let arb = ClusterArbiter::with_clock(
+            &Topology::new(1, 8),
+            AdmissionPolicy::Fifo,
+            Arc::new(clock.clone()),
+        );
+        let mut pump = MaintenancePump::new(arb.clone());
+        let mut lease = arb
+            .try_lease(SlotRequest::new(JobId(1), 4).with_term(4))
+            .unwrap();
+        assert_eq!(pump.next_deadline(), Some(4));
+        clock.advance(3);
+        lease.renew().unwrap();
+        assert_eq!(pump.next_deadline(), Some(7), "renewal rescheduled");
+        clock.advance(1);
+        assert!(pump.poll().is_none(), "old expiry must not fire");
+        assert!(lease.is_live());
+    }
+
+    #[test]
+    fn pump_tracks_demand_grace_deadlines() {
+        let clock = LogicalClock::new();
+        let arb = ClusterArbiter::with_clock(
+            &Topology::new(2, 8),
+            AdmissionPolicy::Fifo,
+            Arc::new(clock.clone()),
+        )
+        .with_grace(2);
+        let mut pump = MaintenancePump::new(arb.clone());
+        let low = arb
+            .try_lease(SlotRequest::new(JobId(1), 16).with_priority(Priority::LOW))
+            .unwrap();
+        let ticket = arb
+            .request(SlotRequest::new(JobId(2), 8).with_priority(Priority::CRITICAL))
+            .unwrap();
+        assert_eq!(
+            pump.next_deadline(),
+            Some(2),
+            "demand grace deadline scheduled"
+        );
+        clock.advance(2);
+        let report = pump.poll().expect("grace lapsed: forced shrink due");
+        assert_eq!(report.reclaimed, vec![(JobId(1), 8)]);
+        assert!(arb.claim(&ticket).is_some());
+        drop(low);
+        pump.next_deadline();
+        assert_eq!(pump.scheduled(), 0);
+    }
+
+    #[test]
+    fn daemon_reaps_on_wall_time_without_any_tick() {
+        let clock = WallClock::new(Duration::from_millis(2));
+        let arb = ClusterArbiter::with_clock(
+            &Topology::new(2, 8),
+            AdmissionPolicy::Fifo,
+            Arc::new(clock.clone()),
+        );
+        let daemon = ClusterDaemon::spawn(arb.clone(), clock);
+        let lease = arb
+            .try_lease(SlotRequest::new(JobId(9), 12).with_term(2))
+            .unwrap();
+        std::mem::forget(lease);
+        daemon.wake();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while arb.free_gpus() != 16 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never reaped the lapsed lease"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(arb.stats().reaps, 1);
+        assert!(daemon.passes() > 0);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn daemon_shutdown_joins_cleanly_and_drop_is_idempotent() {
+        let clock = WallClock::new(Duration::from_millis(1));
+        let arb = ClusterArbiter::with_clock(
+            &Topology::new(1, 8),
+            AdmissionPolicy::Fifo,
+            Arc::new(clock.clone()),
+        );
+        let daemon = ClusterDaemon::spawn(arb, clock);
+        thread::sleep(Duration::from_millis(5));
+        daemon.shutdown();
+    }
+}

@@ -35,6 +35,13 @@
 //!   `gpus_moved`). Tenants observe forced mutations via
 //!   [`Lease::sync`] and replan by re-binding — the availability
 //!   fingerprint guarantees no stale plan ever replays.
+//! * **Event-driven maintenance** — deployments that do not want to
+//!   pump `tick()` run a [`ClusterDaemon`]: a background loop over a
+//!   [`MaintenancePump`] (a [`DeadlineHeap`] of each lease's next term
+//!   or grace deadline, rebuilt lock-free from published snapshots when
+//!   the epoch moves) on a [`WallClock`], sweeping the ledger only when
+//!   a deadline is actually due. The same pump on a [`LogicalClock`]
+//!   powers the `flexsp-trace` discrete-event simulator.
 //!
 //! [FIFO]: AdmissionPolicy::Fifo
 //! [best-fit by SKU class]: AdmissionPolicy::BestFitSkuClass
@@ -89,6 +96,7 @@
 
 mod arbiter;
 mod clock;
+mod event;
 mod lease;
 mod policy;
 mod shard;
@@ -96,6 +104,7 @@ mod shard;
 pub use arbiter::{
     ArbiterStats, ClusterArbiter, LeaseError, ShrinkDemand, TickReport, Ticket, DEFAULT_GRACE_TICKS,
 };
-pub use clock::{Clock, LogicalClock};
+pub use clock::{Clock, LogicalClock, WallClock};
+pub use event::{ClusterDaemon, DeadlineHeap, MaintenancePump};
 pub use lease::{Lease, LeaseEvent};
 pub use policy::{AdmissionPolicy, JobCounters, JobId, Priority, SlotRequest};

@@ -1,0 +1,72 @@
+//! Property tests for the deadline heap against a naive model: under
+//! arbitrary interleavings of `schedule` (including reschedules, the
+//! renewal path), `cancel`, and `pop_until`, the heap never loses a
+//! deadline, never fires one early, pops in nondecreasing time order,
+//! and a reschedule always supersedes the stale entry.
+
+use std::collections::HashMap;
+
+use flexsp_arbiter::DeadlineHeap;
+use proptest::prelude::*;
+
+/// `(op, key, time)` — op 0..=5 biases toward scheduling, 6..=7 cancels,
+/// 8..=9 pops (advancing a monotone cursor by `time`).
+fn ops() -> impl Strategy<Value = Vec<(u8, u8, u64)>> {
+    prop::collection::vec((0u8..10, 0u8..12, 0u64..30), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn heap_matches_a_naive_model(ops in ops()) {
+        let mut heap: DeadlineHeap<u8> = DeadlineHeap::new();
+        // The model: the latest scheduled deadline per key, nothing else.
+        let mut model: HashMap<u8, u64> = HashMap::new();
+        let mut now = 0u64;
+        for &(op, key, t) in &ops {
+            match op {
+                0..=5 => {
+                    // A reschedule (renewal) supersedes the old entry.
+                    let at = now + t;
+                    heap.schedule(key, at);
+                    model.insert(key, at);
+                    prop_assert_eq!(heap.deadline_of(&key), Some(at));
+                }
+                6 | 7 => {
+                    let had = model.remove(&key).is_some();
+                    prop_assert_eq!(heap.cancel(&key), had);
+                }
+                _ => {
+                    now += t;
+                    let fired = heap.pop_until(now);
+                    // Nondecreasing pop order, nothing early.
+                    for w in fired.windows(2) {
+                        prop_assert!(w[0].0 <= w[1].0, "pops out of order: {:?}", fired);
+                    }
+                    for &(at, key) in &fired {
+                        prop_assert!(at <= now, "fired early: {} at now={}", at, now);
+                        // Fired exactly what the model says is due, at
+                        // the superseding (latest) deadline.
+                        prop_assert_eq!(model.remove(&key), Some(at),
+                            "fired a lost, stale, or canceled entry");
+                    }
+                    // Nothing due was left behind.
+                    for (&key, &at) in &model {
+                        prop_assert!(at > now,
+                            "lost deadline: key {} due at {} still unfired at {}", key, at, now);
+                    }
+                    prop_assert_eq!(heap.next_deadline(), model.values().min().copied());
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+        }
+        // Drain: every surviving deadline fires exactly once.
+        let fired = heap.pop_until(u64::MAX);
+        prop_assert_eq!(fired.len(), model.len());
+        for (at, key) in fired {
+            prop_assert_eq!(model.remove(&key), Some(at));
+        }
+        prop_assert!(heap.is_empty());
+    }
+}

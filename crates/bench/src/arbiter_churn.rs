@@ -5,7 +5,10 @@
 //!
 //! - **grants/sec + p50/p99 grant latency** under lease churn (drop and
 //!   immediately re-grant) at 10 / 100 / 1000 tenants, each on the
-//!   auto-sharded ledger;
+//!   auto-sharded ledger — the tenant visit order is derived from a
+//!   generated job trace (`flexsp-trace`), so drops and re-grants hit
+//!   the ledger in the bursty, repeat-heavy order a Poisson job stream
+//!   produces instead of a fixed round-robin sweep;
 //! - the same 1000-tenant churn against a **1-shard configuration** (the
 //!   pre-sharding single-mutex arbiter) — `sharded_speedup_at_1000` is
 //!   the headline number and the gate asserts it stays ≥ 5x;
@@ -25,6 +28,7 @@ use std::time::Instant;
 
 use flexsp_arbiter::{AdmissionPolicy, ClusterArbiter, JobId, Lease, SlotRequest};
 use flexsp_sim::Topology;
+use flexsp_trace::{generate, TraceConfig};
 
 /// GPUs per tenant lease: small enough that the cluster stays half free
 /// (every re-grant succeeds), large enough to exercise real placement.
@@ -99,34 +103,53 @@ fn tenant_request(t: u64) -> SlotRequest {
     SlotRequest::new(JobId(t), GPUS_PER_LEASE)
 }
 
-/// Churns `tenants` leases for `rounds` passes (each pass drops and
-/// re-grants every tenant's lease) and returns (grants/sec, sorted grant
-/// latencies in microseconds). Setup grants run outside the clock.
-pub fn churn(arb: &ClusterArbiter, tenants: u32, rounds: u32) -> (f64, Vec<f64>) {
+/// Tenant visit order derived from a generated job trace: every trace
+/// event (arrival, grow, shrink, renewal, departure) churns the tenant
+/// its job lands on, so drops and re-grants hit the ledger in the
+/// bursty, repeat-heavy order a Poisson job stream produces instead of
+/// a fixed round-robin sweep. Cycled and truncated to exactly `grants`
+/// entries so every tenant count does comparable work, and fully
+/// deterministic in `(tenants, grants, seed)` so the sharded and
+/// 1-shard measurements replay the identical schedule.
+pub fn trace_schedule(tenants: u32, grants: usize, seed: u64) -> Vec<u32> {
+    let trace = generate(&TraceConfig::new((tenants as usize).max(8), 4, seed));
+    trace
+        .events
+        .iter()
+        .cycle()
+        .take(grants)
+        .map(|e| (e.job % u64::from(tenants)) as u32)
+        .collect()
+}
+
+/// Churns leases following `schedule` (each entry drops and re-grants
+/// that tenant's lease) and returns (grants/sec, sorted grant latencies
+/// in microseconds). Setup grants run outside the clock. The schedule
+/// comes from [`trace_schedule`]: a generated job trace's event order,
+/// not a fixed per-round sweep.
+pub fn churn(arb: &ClusterArbiter, tenants: u32, schedule: &[u32]) -> (f64, Vec<f64>) {
     let mut leases: Vec<Option<Lease>> = (0..tenants)
         .map(|t| {
             Some(
-                arb.try_lease(tenant_request(t as u64))
+                arb.try_lease(tenant_request(u64::from(t)))
                     .expect("half-free cluster"),
             )
         })
         .collect();
-    let mut lat = Vec::with_capacity((tenants * rounds) as usize);
+    let mut lat = Vec::with_capacity(schedule.len());
     let start = Instant::now();
-    for _ in 0..rounds {
-        for (t, slot) in leases.iter_mut().enumerate() {
-            *slot = None; // release...
-            let t0 = Instant::now();
-            let lease = arb
-                .try_lease(tenant_request(t as u64)) // ...and re-grant
-                .expect("churn never exhausts a half-free cluster");
-            lat.push(t0.elapsed().as_secs_f64() * 1e6);
-            *slot = Some(lease);
-        }
+    for &t in schedule {
+        leases[t as usize] = None; // release...
+        let t0 = Instant::now();
+        let lease = arb
+            .try_lease(tenant_request(u64::from(t))) // ...and re-grant
+            .expect("churn never exhausts a half-free cluster");
+        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        leases[t as usize] = Some(lease);
     }
     let total = start.elapsed().as_secs_f64();
     lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    ((tenants as u64 * rounds as u64) as f64 / total, lat)
+    (schedule.len() as f64 / total, lat)
 }
 
 /// Churn rounds sized so every tenant count does ~the same grant work.
@@ -188,7 +211,9 @@ fn sync_storm(quick: bool) -> (f64, f64) {
 }
 
 /// Aggregate grants/sec with `threads` churn threads over disjoint
-/// tenant slices of one sharded arbiter.
+/// tenant slices of one sharded arbiter. Each thread replays its own
+/// trace-derived schedule (seeded per thread so the slices don't move
+/// in lockstep); generation happens before the clock starts.
 fn caller_scaling_point(threads: usize, quick: bool) -> f64 {
     let tenants: u32 = if quick { 128 } else { 512 };
     let rounds = rounds_for(tenants, quick);
@@ -196,28 +221,37 @@ fn caller_scaling_point(threads: usize, quick: bool) -> f64 {
     let arb = ClusterArbiter::new(&topo, AdmissionPolicy::Fifo)
         .with_shards(ClusterArbiter::auto_shards(&topo));
     let per = tenants as usize / threads;
+    let slice_of = |w: usize| {
+        let lo = w * per;
+        let hi = if w + 1 == threads {
+            tenants as usize
+        } else {
+            lo + per
+        };
+        (lo, hi)
+    };
+    let schedules: Vec<Vec<u32>> = (0..threads)
+        .map(|w| {
+            let (lo, hi) = slice_of(w);
+            trace_schedule((hi - lo) as u32, (hi - lo) * rounds as usize, 7 + w as u64)
+        })
+        .collect();
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for w in 0..threads {
+        for (w, schedule) in schedules.into_iter().enumerate() {
             let arb = arb.clone();
             scope.spawn(move || {
-                let lo = w * per;
-                let hi = if w + 1 == threads {
-                    tenants as usize
-                } else {
-                    lo + per
-                };
+                let (lo, hi) = slice_of(w);
                 let mut leases: Vec<Option<Lease>> = (lo..hi)
                     .map(|t| Some(arb.try_lease(tenant_request(t as u64)).expect("half free")))
                     .collect();
-                for _ in 0..rounds {
-                    for (i, slot) in leases.iter_mut().enumerate() {
-                        *slot = None;
-                        *slot = Some(
-                            arb.try_lease(tenant_request((lo + i) as u64))
-                                .expect("half free"),
-                        );
-                    }
+                for &t in &schedule {
+                    let i = t as usize;
+                    leases[i] = None;
+                    leases[i] = Some(
+                        arb.try_lease(tenant_request((lo + i) as u64))
+                            .expect("half free"),
+                    );
                 }
             });
         }
@@ -235,11 +269,14 @@ pub fn run(quick: bool) -> Report {
         .unwrap_or(1);
 
     let mut points = Vec::new();
+    let mut schedule_1000 = Vec::new();
     for tenants in [10u32, 100, 1000] {
         let topo = cluster_for(tenants);
         let shards = ClusterArbiter::auto_shards(&topo);
         let arb = ClusterArbiter::new(&topo, AdmissionPolicy::Fifo).with_shards(shards);
-        let (grants_per_s, lat) = churn(&arb, tenants, rounds_for(tenants, quick));
+        let grants = (tenants * rounds_for(tenants, quick)) as usize;
+        let schedule = trace_schedule(tenants, grants, 2025);
+        let (grants_per_s, lat) = churn(&arb, tenants, &schedule);
         points.push(ChurnPoint {
             tenants,
             shards,
@@ -247,13 +284,17 @@ pub fn run(quick: bool) -> Report {
             p50_us: percentile(&lat, 0.50),
             p99_us: percentile(&lat, 0.99),
         });
+        if tenants == 1000 {
+            schedule_1000 = schedule;
+        }
     }
 
-    // The same 1000-tenant churn on one shard: every mutation locks (and
-    // republishes) the whole cluster's ledger — the PR 5 arbiter.
+    // The same 1000-tenant churn — the identical trace schedule — on one
+    // shard: every mutation locks (and republishes) the whole cluster's
+    // ledger — the PR 5 arbiter.
     let topo = cluster_for(1000);
     let one_shard = ClusterArbiter::new(&topo, AdmissionPolicy::Fifo);
-    let (baseline_1shard_grants_per_s, _) = churn(&one_shard, 1000, rounds_for(1000, quick));
+    let (baseline_1shard_grants_per_s, _) = churn(&one_shard, 1000, &schedule_1000);
     let at_1000 = points.last().expect("1000 is measured").grants_per_s;
     let sharded_speedup_at_1000 = at_1000 / baseline_1shard_grants_per_s;
 
@@ -485,10 +526,28 @@ mod tests {
     }
 
     #[test]
+    fn trace_schedule_is_deterministic_in_range_and_not_degenerate() {
+        let a = trace_schedule(10, 100, 3);
+        assert_eq!(a, trace_schedule(10, 100, 3));
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&t| t < 10));
+        // More than one tenant is visited, and at least one tenant
+        // repeats before the others finish — i.e. the order is bursty,
+        // not a round-robin sweep.
+        assert!(a.iter().any(|&t| t != a[0]));
+        let first_ten: &[u32] = &a[..10];
+        assert!(
+            (0..10u32).any(|t| !first_ten.contains(&t)),
+            "first 10 visits covered all 10 tenants — looks like a sweep"
+        );
+    }
+
+    #[test]
     fn churn_smoke_runs_clean_on_a_tiny_cluster() {
         let topo = cluster_for(8);
         let arb = ClusterArbiter::new(&topo, AdmissionPolicy::Fifo).with_shards(2);
-        let (grants_per_s, lat) = churn(&arb, 8, 2);
+        let schedule = trace_schedule(8, 16, 1);
+        let (grants_per_s, lat) = churn(&arb, 8, &schedule);
         assert!(grants_per_s > 0.0);
         assert_eq!(lat.len(), 16);
         assert!(arb.audit().is_ok());

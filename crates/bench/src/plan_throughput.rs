@@ -10,8 +10,12 @@
 //!   paths, no rebinding), and *cache hit* (recurring shape through the
 //!   sharded plan cache — a rebind instead of a solve);
 //! - **p50/p99 latency** under a multi-tenant mix: two services sharing
-//!   one [`SharedPlanCache`], mostly-recurring shapes with a fresh shape
-//!   every fifth request, plus an identical-burst segment (both tenants
+//!   one [`SharedPlanCache`], with the request stream derived from a
+//!   generated job trace (`flexsp-trace`) — every `Arrive` event submits
+//!   a brand-new shape (a forced cold solve) and every other event
+//!   replays a recurring shape, so the cold tail lands in the bursty
+//!   Poisson order a real training cluster produces instead of an
+//!   `i % 5` modulo loop — plus an identical-burst segment (both tenants
 //!   submit the same brand-new shape at once) so the cache's
 //!   single-flight miss coalescing is actually measured;
 //! - the **branch-and-bound thread-scaling curve** (1/2/4/8 workers) on
@@ -39,6 +43,7 @@ use flexsp_cost::CostModel;
 use flexsp_data::{GlobalBatchLoader, LengthDistribution, Sequence};
 use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::ClusterSpec;
+use flexsp_trace::{generate, TraceConfig, TraceOp};
 
 /// One point of the B&B thread-scaling curve.
 #[derive(Debug, Clone)]
@@ -192,21 +197,38 @@ pub fn run(quick: bool) -> Report {
     let hit_stats = hit_svc.cache_stats();
     hit_svc.shutdown();
 
-    // Multi-tenant mix: two services share one cache; each tenant
-    // cycles three recurring shapes and injects a fresh shape every
-    // fifth request (cold tail under a mostly-warm load).
+    // Multi-tenant mix: two services share one cache; the request
+    // stream is derived from a generated job trace instead of a
+    // hand-rolled modulo loop. Every `Arrive` event submits a brand-new
+    // shape (a forced cold solve); every other event (grow / shrink /
+    // renew / depart) replays one of three recurring shapes keyed by the
+    // job — so the cold tail arrives in the bursty Poisson order a real
+    // training cluster produces, with repeat-heavy warm traffic between
+    // arrivals. Sizing the trace at n_mixed/5 jobs keeps the cold
+    // fraction near the old 1-in-5 mix.
     let shared = SharedPlanCache::new(256);
     let tenant_a = SolverService::spawn_with_shared_cache(service_solver(2), 2, &shared);
     let tenant_b = SolverService::spawn_with_shared_cache(service_solver(2), 2, &shared);
     let shapes: Vec<Vec<Sequence>> = (0..3).map(|s| batch(500 + s, 16)).collect();
+    let stream = generate(&TraceConfig::new((n_mixed / 5).max(4) as usize, 4, 4242));
     let mut latencies = Vec::new();
     let start = Instant::now();
-    for i in 0..n_mixed {
-        let svc = if i % 2 == 0 { &tenant_a } else { &tenant_b };
-        let b = if i % 5 == 4 {
-            batch(1_000 + i, 16) // fresh shape: forced cold solve
+    for (i, ev) in stream
+        .events
+        .iter()
+        .cycle()
+        .take(n_mixed as usize)
+        .enumerate()
+    {
+        let svc = if ev.job % 2 == 0 {
+            &tenant_a
         } else {
-            reshape(&shapes[(i % 3) as usize], i)
+            &tenant_b
+        };
+        let b = if matches!(ev.op, TraceOp::Arrive { .. }) {
+            batch(1_000 + i as u64, 16) // fresh shape: forced cold solve
+        } else {
+            reshape(&shapes[(ev.job % 3) as usize], i as u64)
         };
         let t = Instant::now();
         svc.submit(b);

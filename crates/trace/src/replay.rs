@@ -1,0 +1,656 @@
+//! Discrete-event replay: drives a generated [`Trace`] through the real
+//! [`ClusterArbiter`] (and, sampled, the real [`SolverService`] planning
+//! stack) on a [`LogicalClock`], producing a deterministic observation
+//! log and per-job wait/admission/preemption/makespan statistics.
+//!
+//! Two pumping modes share one visit body:
+//!
+//! * [`Pumping::CallerTick`] advances the clock one tick at a time and
+//!   calls [`tick`](ClusterArbiter::tick) at every tick — the PR 5
+//!   caller-pumped contract.
+//! * [`Pumping::EventLoop`] jumps the clock straight to the next trace
+//!   event or [`MaintenancePump`] deadline and polls the pump there —
+//!   the event-driven daemon's schedule, run synchronously.
+//!
+//! Both modes log only *active* visits (a non-quiet maintenance report
+//! or at least one trace event), and `event_loop_equivalence.rs` pins
+//! that their logs are bit-identical: maintenance at a time with no due
+//! deadline is observably a no-op, so skipping it — the entire point of
+//! the deadline heap — changes nothing a tenant can see.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use flexsp_arbiter::{
+    AdmissionPolicy, ClusterArbiter, JobId, Lease, LeaseEvent, LogicalClock, MaintenancePump,
+    Priority, SlotRequest, Ticket,
+};
+use flexsp_core::{FlexSpSolver, SolverConfig, SolverService};
+use flexsp_cost::CostModel;
+use flexsp_data::Sequence;
+use flexsp_model::{ActivationPolicy, ModelConfig};
+use flexsp_sim::{ClusterSpec, Topology};
+
+use crate::gen::{Trace, TraceOp};
+
+/// How logical time is driven through the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pumping {
+    /// Advance one tick at a time, calling `tick()` every tick — the
+    /// caller-pumped baseline.
+    CallerTick,
+    /// Jump between trace events and deadline-heap wakeups via a
+    /// [`MaintenancePump`] — the event-driven path.
+    EventLoop,
+}
+
+/// Replay parameters (the trace itself carries the workload).
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Ledger shards for the arbiter.
+    pub shards: u32,
+    /// Admission policy.
+    pub policy: AdmissionPolicy,
+    /// How time is pumped.
+    pub pumping: Pumping,
+    /// Shrink-demand grace window (ticks; clamped to ≥ 1 so deadlines
+    /// are never due in the tick that issues them).
+    pub grace: u64,
+    /// Plan every n-th job through the real `SolverService` (jobs whose
+    /// id divides evenly); `0` disables planning. Requires 8-wide nodes.
+    pub plan_every: u64,
+    /// Assert [`ClusterArbiter::audit`] at every active visit.
+    pub audit: bool,
+}
+
+impl ReplayConfig {
+    /// Event-loop replay, no planning, no auditing.
+    pub fn new() -> Self {
+        Self {
+            shards: 1,
+            policy: AdmissionPolicy::Fifo,
+            pumping: Pumping::EventLoop,
+            grace: 1,
+            plan_every: 0,
+            audit: false,
+        }
+    }
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one job experienced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobObs {
+    /// Arrival tick.
+    pub arrived: u64,
+    /// Tick the job first held a lease, if ever admitted.
+    pub admitted: Option<u64>,
+    /// Tick the job departed (released its lease or canceled its
+    /// ticket), if it did.
+    pub departed: Option<u64>,
+    /// GPUs the arbiter force-reclaimed from it (preemption).
+    pub gpus_lost: u64,
+    /// Whether its term lapsed and the reaper freed it.
+    pub reaped: bool,
+    /// Plans solved for it through the service stack.
+    pub plans: u64,
+}
+
+/// Aggregate observations over one replay.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Jobs that arrived.
+    pub jobs: usize,
+    /// Jobs that ever held a lease.
+    pub admitted: usize,
+    /// Admissions granted immediately at arrival.
+    pub immediate_grants: usize,
+    /// Admissions via queue + claim.
+    pub queued_claims: usize,
+    /// Jobs that never held a lease.
+    pub never_admitted: usize,
+    /// Arbiter-side term reaps observed.
+    pub reaps: usize,
+    /// Jobs that lost GPUs to forced reclamation.
+    pub preempted_jobs: usize,
+    /// Total GPUs force-moved.
+    pub gpus_moved: u64,
+    /// Mean admission wait (ticks) over admitted jobs.
+    pub wait_mean: f64,
+    /// Median admission wait.
+    pub wait_p50: u64,
+    /// 99th-percentile admission wait.
+    pub wait_p99: u64,
+    /// Worst admission wait.
+    pub wait_max: u64,
+    /// Last departure minus first arrival.
+    pub makespan: u64,
+    /// Maintenance sweeps that actually ran (non-quiet).
+    pub maintains: u64,
+    /// Plans solved through the service stack.
+    pub plans: u64,
+    /// Replans forced by preemption resizes.
+    pub replans: u64,
+    /// Plans that returned an error (e.g. memory-infeasible lease).
+    pub plan_failures: u64,
+}
+
+/// One replay's full output.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The observation log: every grant, claim, sync, maintenance
+    /// report, plan, and end-of-visit ledger line.
+    pub log: Vec<String>,
+    /// FNV-1a hash of the log — the determinism token two runs of the
+    /// same seed must agree on.
+    pub log_hash: u64,
+    /// Aggregate statistics.
+    pub stats: TraceStats,
+}
+
+/// FNV-1a over the log lines (stable across runs and platforms, unlike
+/// `DefaultHasher`'s unspecified algorithm).
+pub fn log_hash(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for b in line.bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// SplitMix64 step — the deterministic per-job batch source.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic varying-length batch for job `job`'s `nth` solve.
+fn batch_for(seed: u64, job: u64, nth: u64) -> Vec<Sequence> {
+    let mut x = seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ nth.rotate_left(17);
+    let n = 4 + (splitmix(&mut x) % 5) as usize;
+    (0..n as u64)
+        .map(|i| Sequence::new(i, 1024 + splitmix(&mut x) % 7168))
+        .collect()
+}
+
+/// A job's live slice of the replay: its lease and, if sampled for
+/// planning, its solver service.
+struct Slot {
+    job: u64,
+    lease: Lease,
+    service: Option<SolverService>,
+    replans: u64,
+}
+
+struct Engine<'a> {
+    trace: &'a Trace,
+    cfg: &'a ReplayConfig,
+    clock: LogicalClock,
+    arb: ClusterArbiter,
+    pump: Option<MaintenancePump>,
+    cost: Option<CostModel>,
+    held: Vec<Slot>,
+    tickets: Vec<(u64, Ticket)>,
+    log: Vec<String>,
+    obs: BTreeMap<u64, JobObs>,
+    stats: TraceStats,
+}
+
+impl Engine<'_> {
+    /// Solves one iteration for `slot` through its service and asserts
+    /// the invariant the chaos proptest leans on: every placed GPU is
+    /// inside the lease *as last synced* — no plan ever references a
+    /// slot freed before its job's last sync.
+    fn plan(&mut self, idx: usize, now: u64) {
+        let slot = &mut self.held[idx];
+        let Some(service) = &slot.service else {
+            return;
+        };
+        let nth = slot.replans + self.obs.get(&slot.job).map_or(0, |o| o.plans);
+        service.submit(batch_for(self.trace.seed, slot.job, nth));
+        match service.recv_plan() {
+            Ok(solved) => {
+                let placed: Vec<_> = solved
+                    .plan
+                    .micro_batches
+                    .iter()
+                    .flat_map(|mb| &mb.groups)
+                    .flat_map(|g| g.placement.as_ref().expect("placed plan").gpus())
+                    .copied()
+                    .collect();
+                for gpu in &placed {
+                    assert!(
+                        slot.lease.gpus().contains(gpu),
+                        "job {} planned on {gpu:?}, outside its synced lease {:?}",
+                        slot.job,
+                        slot.lease.gpus(),
+                    );
+                }
+                self.log.push(format!(
+                    "  t={now} plan {} mb={} gpus={} pred={:.4}",
+                    slot.job,
+                    solved.plan.micro_batches.len(),
+                    placed.len(),
+                    solved.predicted_s,
+                ));
+                self.stats.plans += 1;
+                self.obs.entry(slot.job).or_default().plans += 1;
+            }
+            Err(e) => {
+                self.log
+                    .push(format!("  t={now} plan {} err {e:?}", slot.job));
+                self.stats.plan_failures += 1;
+            }
+        }
+    }
+
+    /// Installs a planning service for a newly admitted, sampled job.
+    fn admit(&mut self, job: u64, lease: Lease, now: u64, immediate: bool) {
+        let o = self.obs.entry(job).or_default();
+        if o.admitted.is_none() {
+            o.admitted = Some(now);
+        }
+        self.stats.admitted += 1;
+        if immediate {
+            self.stats.immediate_grants += 1;
+        } else {
+            self.stats.queued_claims += 1;
+        }
+        let sampled = self.cfg.plan_every > 0 && job.is_multiple_of(self.cfg.plan_every);
+        let service = match (&self.cost, sampled) {
+            (Some(cost), true) => {
+                let solver = lease.bind(FlexSpSolver::new(cost.clone(), SolverConfig::fast()));
+                Some(SolverService::spawn(solver, 1))
+            }
+            _ => None,
+        };
+        let planned = service.is_some();
+        self.held.push(Slot {
+            job,
+            lease,
+            service,
+            replans: 0,
+        });
+        if planned {
+            self.plan(self.held.len() - 1, now);
+        }
+    }
+
+    /// One visit at time `now`: pump maintenance, apply this tick's
+    /// trace events, run claims and syncs, and log — but only when the
+    /// visit was *active* (something observable happened).
+    fn visit(&mut self, now: u64, first_event: &mut usize) {
+        let report = match self.cfg.pumping {
+            Pumping::CallerTick => self.arb.tick(),
+            Pumping::EventLoop => self
+                .pump
+                .as_mut()
+                .expect("event loop has a pump")
+                .poll()
+                .unwrap_or_default(),
+        };
+        let mut evs = Vec::new();
+        while *first_event < self.trace.events.len() && self.trace.events[*first_event].at <= now {
+            evs.push(self.trace.events[*first_event]);
+            *first_event += 1;
+        }
+        if report.is_quiet() && evs.is_empty() {
+            return;
+        }
+
+        if !report.is_quiet() {
+            self.stats.maintains += 1;
+            for &(JobId(job), _) in &report.expired {
+                let o = self.obs.entry(job).or_default();
+                o.reaped = true;
+                self.stats.reaps += 1;
+            }
+            self.log.push(format!("t={now} maintain {report:?}"));
+        }
+
+        for ev in evs {
+            self.apply(ev, now);
+        }
+
+        // Claims, then syncs — exactly as a tenant fleet pumping the
+        // arbiter would run them after each step.
+        let mut claimed = Vec::new();
+        let mut waiting = Vec::new();
+        for (job, t) in std::mem::take(&mut self.tickets) {
+            match self.arb.claim(&t) {
+                Some(l) => claimed.push((job, l)),
+                None => waiting.push((job, t)),
+            }
+        }
+        self.tickets = waiting;
+        for (job, lease) in claimed {
+            self.log
+                .push(format!("  t={now} claim {job} n={}", lease.gpu_count()));
+            self.admit(job, lease, now, false);
+        }
+
+        let mut resized = Vec::new();
+        let mut lapsed = Vec::new();
+        for (i, slot) in self.held.iter_mut().enumerate() {
+            let ev = slot.lease.sync();
+            self.log.push(format!(
+                "  t={now} sync {} {ev:?} n={} fp={:016x}",
+                slot.job,
+                slot.lease.gpu_count(),
+                slot.lease.fingerprint(),
+            ));
+            match ev {
+                LeaseEvent::Resized { lost } => {
+                    let o = self.obs.entry(slot.job).or_default();
+                    if o.gpus_lost == 0 {
+                        self.stats.preempted_jobs += 1;
+                    }
+                    o.gpus_lost += u64::from(lost);
+                    self.stats.gpus_moved += u64::from(lost);
+                    resized.push(i);
+                }
+                LeaseEvent::Lapsed => lapsed.push(i),
+                LeaseEvent::Unchanged => {}
+            }
+        }
+        for i in resized {
+            if self.held[i].service.is_some() && self.held[i].lease.gpu_count() > 0 {
+                let slot = &mut self.held[i];
+                let solver = slot.lease.bind(FlexSpSolver::new(
+                    self.cost.clone().expect("planned slot has a cost model"),
+                    SolverConfig::fast(),
+                ));
+                slot.service.as_ref().expect("checked").rebind(solver);
+                slot.replans += 1;
+                self.stats.replans += 1;
+                self.plan(i, now);
+            }
+        }
+        for i in lapsed.into_iter().rev() {
+            let slot = self.held.remove(i);
+            if let Some(service) = slot.service {
+                service.shutdown();
+            }
+        }
+
+        self.log.push(format!(
+            "  t={now} free={} live={} pending={} epoch={}",
+            self.arb.free_gpus(),
+            self.arb.live_leases(),
+            self.arb.pending_requests(),
+            self.arb.epoch(),
+        ));
+        if self.cfg.audit {
+            let audit = self.arb.audit();
+            assert!(audit.is_ok(), "t={now}: {audit:?}");
+        }
+    }
+
+    fn apply(&mut self, ev: crate::gen::TraceEvent, now: u64) {
+        let job = ev.job;
+        match ev.op {
+            TraceOp::Arrive {
+                gpus,
+                priority,
+                term,
+                immediate,
+            } => {
+                self.stats.jobs += 1;
+                self.obs.entry(job).or_default().arrived = now;
+                let mut req = SlotRequest::new(JobId(job), gpus).with_priority(Priority(priority));
+                if let Some(t) = term {
+                    req = req.with_term(t);
+                }
+                if immediate {
+                    match self.arb.try_lease(req) {
+                        Ok(l) => {
+                            self.log
+                                .push(format!("t={now} lease {job} granted {}", l.gpu_count()));
+                            self.admit(job, l, now, true);
+                            return;
+                        }
+                        Err(e) => self.log.push(format!("t={now} lease {job} -> {e:?}")),
+                    }
+                }
+                match self.arb.request(req) {
+                    Ok(t) => {
+                        self.log.push(format!("t={now} queued {job}"));
+                        self.tickets.push((job, t));
+                    }
+                    Err(e) => {
+                        self.log.push(format!("t={now} request {job} -> {e:?}"));
+                        self.stats.never_admitted += 1;
+                        self.obs.entry(job).or_default().departed = Some(now);
+                    }
+                }
+            }
+            TraceOp::Grow { gpus } => match self.held.iter_mut().find(|s| s.job == job) {
+                Some(slot) => {
+                    let r = slot.lease.grow(gpus, None);
+                    self.log.push(format!(
+                        "t={now} grow {job} +{gpus} -> {r:?} n={}",
+                        slot.lease.gpu_count()
+                    ));
+                }
+                None => self.log.push(format!("t={now} grow {job} gone")),
+            },
+            TraceOp::Shrink { gpus } => match self.held.iter_mut().find(|s| s.job == job) {
+                Some(slot) => {
+                    let r = slot.lease.shrink(gpus);
+                    self.log.push(format!(
+                        "t={now} shrink {job} -{gpus} -> {r:?} n={}",
+                        slot.lease.gpu_count()
+                    ));
+                }
+                None => self.log.push(format!("t={now} shrink {job} gone")),
+            },
+            TraceOp::Renew => match self.held.iter_mut().find(|s| s.job == job) {
+                Some(slot) => {
+                    let r = slot.lease.renew();
+                    self.log.push(format!("t={now} renew {job} -> {r:?}"));
+                }
+                None => self.log.push(format!("t={now} renew {job} gone")),
+            },
+            TraceOp::Depart => {
+                if let Some(i) = self.held.iter().position(|s| s.job == job) {
+                    let slot = self.held.remove(i);
+                    self.log
+                        .push(format!("t={now} depart {job} n={}", slot.lease.gpu_count()));
+                    if let Some(service) = slot.service {
+                        service.shutdown();
+                    }
+                    drop(slot.lease);
+                    self.obs.entry(job).or_default().departed = Some(now);
+                } else if let Some(i) = self.tickets.iter().position(|(j, _)| *j == job) {
+                    let (_, t) = self.tickets.remove(i);
+                    self.arb.cancel(&t);
+                    self.log.push(format!("t={now} depart {job} canceled"));
+                    self.stats.never_admitted += 1;
+                    self.obs.entry(job).or_default().departed = Some(now);
+                } else {
+                    self.log.push(format!("t={now} depart {job} gone"));
+                    self.obs.entry(job).or_default().departed = Some(now);
+                }
+            }
+        }
+    }
+}
+
+/// Replays `trace` against a fresh arbiter per `cfg`, returning the
+/// observation log, its hash, and aggregate statistics. Deterministic:
+/// same trace + same config ⇒ bit-identical log.
+pub fn replay(trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
+    let topo = Topology::new(trace.nodes, trace.node_width);
+    let clock = LogicalClock::new();
+    let arb = ClusterArbiter::with_clock(&topo, cfg.policy, Arc::new(clock.clone()))
+        .with_shards(cfg.shards)
+        .with_grace(cfg.grace.max(1));
+    let pump = match cfg.pumping {
+        Pumping::EventLoop => Some(MaintenancePump::new(arb.clone())),
+        Pumping::CallerTick => None,
+    };
+    let cost = (cfg.plan_every > 0).then(|| {
+        assert_eq!(
+            trace.node_width, 8,
+            "planned replays model the cluster as uniform 8-GPU A100 nodes"
+        );
+        let cluster = ClusterSpec::a100_cluster(trace.nodes);
+        let model = ModelConfig::gpt_7b(48 * 1024);
+        CostModel::fit(&cluster, &model, ActivationPolicy::None)
+    });
+    let mut eng = Engine {
+        trace,
+        cfg,
+        clock,
+        arb,
+        pump,
+        cost,
+        held: Vec::new(),
+        tickets: Vec::new(),
+        log: Vec::new(),
+        obs: BTreeMap::new(),
+        stats: TraceStats::default(),
+    };
+
+    let mut first_event = 0usize;
+    let mut now = 0u64;
+    eng.visit(0, &mut first_event);
+    loop {
+        let next = match cfg.pumping {
+            Pumping::CallerTick => (now < trace.horizon).then_some(now + 1),
+            Pumping::EventLoop => {
+                let next_trace = trace
+                    .events
+                    .get(first_event)
+                    .map(|e| e.at.max(now + 1))
+                    .filter(|&t| t <= trace.horizon);
+                let next_deadline = eng
+                    .pump
+                    .as_mut()
+                    .expect("event loop has a pump")
+                    .next_deadline()
+                    .map(|d| d.max(now + 1))
+                    .filter(|&d| d <= trace.horizon);
+                match (next_trace, next_deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+        };
+        let Some(t) = next else { break };
+        eng.clock.advance(t - now);
+        now = t;
+        eng.visit(t, &mut first_event);
+    }
+
+    // Wind-down: drop whatever is still held (leaked or still pending at
+    // the horizon), cancel stale tickets, and log the final ledger.
+    for slot in std::mem::take(&mut eng.held) {
+        eng.log.push(format!(
+            "end drop {} n={}",
+            slot.job,
+            slot.lease.gpu_count()
+        ));
+        if let Some(service) = slot.service {
+            service.shutdown();
+        }
+    }
+    for (job, t) in std::mem::take(&mut eng.tickets) {
+        eng.arb.cancel(&t);
+        eng.log.push(format!("end cancel {job}"));
+    }
+    eng.log.push(format!(
+        "end free={} epoch={} fp={:016x}",
+        eng.arb.free_gpus(),
+        eng.arb.epoch(),
+        eng.arb.fingerprint(),
+    ));
+    eng.log
+        .push(format!("fairness={:?}", eng.arb.fairness_all()));
+
+    // Aggregate per-job observations into the report.
+    let mut waits: Vec<u64> = Vec::new();
+    let mut first_arrival = u64::MAX;
+    let mut last_departure = 0u64;
+    for o in eng.obs.values() {
+        first_arrival = first_arrival.min(o.arrived);
+        if let Some(d) = o.departed {
+            last_departure = last_departure.max(d);
+        }
+        if let Some(a) = o.admitted {
+            waits.push(a - o.arrived);
+        }
+    }
+    eng.stats.never_admitted = eng.stats.jobs.saturating_sub(eng.stats.admitted);
+    waits.sort_unstable();
+    if !waits.is_empty() {
+        eng.stats.wait_mean = waits.iter().sum::<u64>() as f64 / waits.len() as f64;
+        eng.stats.wait_p50 = waits[waits.len() / 2];
+        eng.stats.wait_p99 = waits[(waits.len() * 99 / 100).min(waits.len() - 1)];
+        eng.stats.wait_max = *waits.last().expect("non-empty");
+    }
+    if last_departure > 0 && first_arrival < u64::MAX {
+        eng.stats.makespan = last_departure - first_arrival;
+    }
+
+    let hash = log_hash(&eng.log);
+    ReplayReport {
+        log: eng.log,
+        log_hash: hash,
+        stats: eng.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TraceConfig};
+
+    #[test]
+    fn quick_trace_replays_deterministically() {
+        let trace = generate(&TraceConfig::quick(11));
+        let a = replay(&trace, &ReplayConfig::new());
+        let b = replay(&trace, &ReplayConfig::new());
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.log_hash, b.log_hash);
+        assert!(a.stats.jobs == 40);
+        assert!(a.stats.admitted > 0, "{:?}", a.stats);
+        assert!(a.stats.maintains > 0, "terms and demands must fire");
+    }
+
+    #[test]
+    fn audit_holds_at_every_active_visit() {
+        let trace = generate(&TraceConfig::quick(5));
+        let mut cfg = ReplayConfig::new();
+        cfg.audit = true;
+        cfg.shards = 2;
+        let r = replay(&trace, &cfg);
+        assert!(r.stats.admitted > 0);
+    }
+
+    #[test]
+    fn sampled_planning_runs_through_the_service_stack() {
+        let mut tc = TraceConfig::quick(23);
+        tc.jobs = 12;
+        let trace = generate(&tc);
+        let mut cfg = ReplayConfig::new();
+        cfg.plan_every = 4;
+        let r = replay(&trace, &cfg);
+        assert!(
+            r.stats.plans + r.stats.plan_failures > 0,
+            "sampled jobs must reach the solver: {:?}",
+            r.stats
+        );
+    }
+}
