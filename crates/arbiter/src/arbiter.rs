@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use flexsp_sim::{ClusterSpec, GpuId, NodeSlots, Topology};
+use flexsp_telemetry as tel;
+use flexsp_telemetry::Counter;
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::clock::{Clock, LogicalClock};
@@ -243,10 +245,10 @@ pub(crate) struct Inner {
     /// event-loop `MaintenancePump` — gate their rescans on this
     /// counter alongside the epoch.
     pub(crate) demand_seq: AtomicU64,
-    stat_grants: AtomicU64,
-    stat_denials: AtomicU64,
-    stat_reaps: AtomicU64,
-    stat_gpus_moved: AtomicU64,
+    stat_grants: Counter,
+    stat_denials: Counter,
+    stat_reaps: Counter,
+    stat_gpus_moved: Counter,
 }
 
 impl Inner {
@@ -300,6 +302,11 @@ impl Inner {
             free: state.free.clone(),
             live: state.live.clone(),
         }));
+        tel::gauge!("flexsp.arbiter.free_gpus", self.free_gauge() as i64);
+        tel::gauge!(
+            "flexsp.arbiter.queue_depth",
+            self.pending_count.load(GAUGE) as i64
+        );
     }
 
     /// Publishes every shard marked dirty.
@@ -369,7 +376,8 @@ impl Inner {
         if request.term.is_some() {
             self.termed_count.fetch_add(1, GAUGE);
         }
-        self.stat_grants.fetch_add(1, Ordering::Relaxed);
+        self.stat_grants.inc();
+        tel::count!("flexsp.arbiter.grants");
         self.with_counters(request.job, |c| {
             c.granted += 1;
             c.gpus_granted += request.gpus as u64;
@@ -649,8 +657,10 @@ impl Inner {
         if view.demand.is_some() {
             self.demanded_count.fetch_sub(1, GAUGE);
         }
-        self.stat_reaps.fetch_add(1, Ordering::Relaxed);
-        self.stat_gpus_moved.fetch_add(n as u64, Ordering::Relaxed);
+        self.stat_reaps.inc();
+        self.stat_gpus_moved.add(n as u64);
+        tel::count!("flexsp.arbiter.reaps");
+        tel::count!("flexsp.arbiter.gpus_moved", n as u64);
         self.with_counters(view.job, |c| c.gpus_moved += n as u64);
         q.granted.retain(|_, (_, lid, _)| *lid != id);
         (view.job, n)
@@ -659,8 +669,8 @@ impl Inner {
     /// Records a forced partial move for stats (the fairness counter is
     /// bumped at the call site, which knows the job).
     pub(crate) fn note_moved(&self, gpus: u32) {
-        self.stat_gpus_moved
-            .fetch_add(gpus as u64, Ordering::Relaxed);
+        self.stat_gpus_moved.add(gpus as u64);
+        tel::count!("flexsp.arbiter.gpus_moved", gpus as u64);
     }
 }
 
@@ -807,10 +817,10 @@ impl ClusterArbiter {
                 termed_count: AtomicUsize::new(0),
                 demanded_count: AtomicUsize::new(0),
                 demand_seq: AtomicU64::new(0),
-                stat_grants: AtomicU64::new(0),
-                stat_denials: AtomicU64::new(0),
-                stat_reaps: AtomicU64::new(0),
-                stat_gpus_moved: AtomicU64::new(0),
+                stat_grants: Counter::new(),
+                stat_denials: Counter::new(),
+                stat_reaps: Counter::new(),
+                stat_gpus_moved: Counter::new(),
             }),
         }
     }
@@ -912,6 +922,7 @@ impl ClusterArbiter {
         if inner.termed_count.load(GAUGE) == 0 && inner.demanded_count.load(GAUGE) == 0 {
             return TickReport::default();
         }
+        let _maintain_span = tel::span!(tel::Category::Arbiter, "arbiter.maintain");
         let now = self.clock_now();
         let mut q = inner.queue.lock();
         let mut guards = inner.lock_shards();
@@ -929,15 +940,20 @@ impl ClusterArbiter {
             }
         }
         expired.sort_unstable_by_key(|&(_, id)| id);
-        for (s, id) in expired {
-            report.expired.push(inner.reclaim_all_locked(
-                &mut q,
-                &mut guards,
-                &mut dirty,
-                Some(&mut merged),
-                s,
-                id,
-            ));
+        {
+            let _reap_span = tel::span!(
+                tel::Category::Arbiter, "arbiter.reap", "expired" => expired.len() as u64
+            );
+            for (s, id) in expired {
+                report.expired.push(inner.reclaim_all_locked(
+                    &mut q,
+                    &mut guards,
+                    &mut dirty,
+                    Some(&mut merged),
+                    s,
+                    id,
+                ));
+            }
         }
 
         // 2. Settle *before* forcing: a reap may have admitted the very
@@ -956,6 +972,8 @@ impl ClusterArbiter {
             }
         }
         due.sort_unstable_by_key(|&(_, id)| id);
+        let preempt_span =
+            tel::span!(tel::Category::Arbiter, "arbiter.preempt", "due" => due.len() as u64);
         for (s, id) in due {
             let view = Arc::clone(guards[s].live.get(&id).expect("collected from live"));
             let demand = view.demand.expect("filtered on demand");
@@ -992,6 +1010,7 @@ impl ClusterArbiter {
                 report.reclaimed.push((view.job, take));
             }
         }
+        drop(preempt_span);
 
         // 4. Hand reclaimed capacity to the queue; re-evaluate demands.
         report.demanded.extend(inner.settle_locked(
@@ -1030,6 +1049,8 @@ impl ClusterArbiter {
     /// [`LeaseError::Busy`] when the free pool is currently short.
     pub fn try_lease(&self, request: SlotRequest) -> Result<Lease, LeaseError> {
         self.check(&request)?;
+        let _grant_span =
+            tel::span!(tel::Category::Arbiter, "arbiter.grant", "gpus" => request.gpus as u64);
         let now = self.clock_now();
         let inner = &*self.inner;
         inner.with_counters(request.job, |c| c.requested += 1);
@@ -1037,7 +1058,8 @@ impl ClusterArbiter {
         // over a queue the policy would serve first.
         if inner.pending_count.load(GAUGE) > 0 {
             inner.with_counters(request.job, |c| c.denied += 1);
-            inner.stat_denials.fetch_add(1, Ordering::Relaxed);
+            inner.stat_denials.inc();
+            tel::count!("flexsp.arbiter.denials");
             return Err(LeaseError::Busy {
                 requested: request.gpus,
                 free: inner.free_gauge(),
@@ -1061,6 +1083,8 @@ impl ClusterArbiter {
             None => candidates.sort_unstable_by_key(|&(f, i)| (std::cmp::Reverse(f), i)),
         }
         for (_, i) in candidates {
+            let _hold_span =
+                tel::span!(tel::Category::Arbiter, "shard.lock_hold", "shard" => i as u64);
             let mut st = inner.shards[i].state.lock();
             if st.free.total_free() >= request.gpus {
                 if let Some(out) = inner.grant_single(i, &mut st, &request, now) {
@@ -1084,7 +1108,8 @@ impl ClusterArbiter {
         if request.gpus > merged.total_free() {
             drop(guards);
             inner.with_counters(request.job, |c| c.denied += 1);
-            inner.stat_denials.fetch_add(1, Ordering::Relaxed);
+            inner.stat_denials.inc();
+            tel::count!("flexsp.arbiter.denials");
             return Err(LeaseError::Busy {
                 requested: request.gpus,
                 free: merged.total_free(),
@@ -1110,6 +1135,8 @@ impl ClusterArbiter {
     /// [`ShrinkDemand`]).
     pub fn request(&self, request: SlotRequest) -> Result<Ticket, LeaseError> {
         self.check(&request)?;
+        let _span =
+            tel::span!(tel::Category::Arbiter, "arbiter.request", "gpus" => request.gpus as u64);
         let now = self.clock_now();
         let inner = &*self.inner;
         inner.with_counters(request.job, |c| c.requested += 1);
@@ -1136,6 +1163,7 @@ impl ClusterArbiter {
     /// still waits (or after the granted lease's term already lapsed —
     /// its slots went back to the pool unclaimed).
     pub fn claim(&self, ticket: &Ticket) -> Option<Lease> {
+        let _span = tel::span!(tel::Category::Arbiter, "arbiter.claim", "ticket" => ticket.id);
         let now = self.clock_now();
         let inner = &*self.inner;
         let mut q = inner.queue.lock();
@@ -1285,10 +1313,10 @@ impl ClusterArbiter {
     pub fn stats(&self) -> ArbiterStats {
         let inner = &*self.inner;
         ArbiterStats {
-            grants: inner.stat_grants.load(Ordering::Relaxed),
-            denials: inner.stat_denials.load(Ordering::Relaxed),
-            reaps: inner.stat_reaps.load(Ordering::Relaxed),
-            gpus_moved: inner.stat_gpus_moved.load(Ordering::Relaxed),
+            grants: inner.stat_grants.get(),
+            denials: inner.stat_denials.get(),
+            reaps: inner.stat_reaps.get(),
+            gpus_moved: inner.stat_gpus_moved.get(),
             queue_depth: inner.pending_count.load(GAUGE),
             live_leases: inner.live_count.load(GAUGE),
             free_gpus: inner.free_gauge(),

@@ -35,6 +35,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use flexsp_telemetry as tel;
+
 use crate::arbiter::{ClusterArbiter, TickReport};
 use crate::clock::WallClock;
 
@@ -243,6 +245,7 @@ impl MaintenancePump {
         if self.seen == Some(stamp) {
             return;
         }
+        let _rescan_span = tel::span!(tel::Category::Pump, "pump.rescan", "epoch" => stamp.0);
         self.seen = Some(stamp);
         let mut desired: Vec<(u64, u64)> = Vec::new();
         for shard in self.arbiter.inner.shards.iter() {
@@ -299,6 +302,8 @@ impl MaintenancePump {
         if self.heap.pop_until(now).is_empty() {
             return None;
         }
+        let _wakeup_span = tel::span!(tel::Category::Pump, "pump.wakeup", "now" => now);
+        tel::count!("flexsp.pump.wakeups");
         let report = self.arbiter.maintain();
         self.refresh();
         Some(report)

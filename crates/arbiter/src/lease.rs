@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use flexsp_core::FlexSpSolver;
 use flexsp_sim::{GpuId, NodeSlots};
+use flexsp_telemetry as tel;
 
 use crate::arbiter::{select_victims, ClusterArbiter, LeaseError, ShrinkDemand};
 use crate::policy::JobId;
@@ -400,6 +401,9 @@ impl Lease {
 
 impl Drop for Lease {
     fn drop(&mut self) {
+        let _release_span = tel::span!(
+            tel::Category::Arbiter, "arbiter.release", "gpus" => self.gpus.len() as u64
+        );
         let inner = Arc::clone(&self.arbiter.inner);
         // Release the *arbiter-side* slots: after an unobserved forced
         // shrink the handle's mirror would double-free GPUs that already

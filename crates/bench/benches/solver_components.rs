@@ -6,8 +6,11 @@
 //! prose.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+use flexsp_telemetry as tel;
 
 use flexsp_core::blaster::blast;
 use flexsp_core::bucketing::bucket_dp;
@@ -145,6 +148,22 @@ fn mean_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_secs_f64() / reps as f64
 }
 
+/// Runs `f` once under the span tracer and returns total span
+/// microseconds by name — the *solver's own* phase boundaries, so the
+/// trajectory JSON and a `--trace-out` timeline can never disagree.
+fn traced_span_us<T>(mut f: impl FnMut() -> T) -> BTreeMap<&'static str, u64> {
+    black_box(f()); // warm up untraced
+    let _ = tel::drain_events();
+    tel::tracing_start();
+    black_box(f());
+    tel::tracing_stop();
+    let mut us: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in tel::drain_events() {
+        *us.entry(ev.name).or_default() += ev.dur_us;
+    }
+    us
+}
+
 /// Per-phase solver trajectory on a fixed instance that the MILP solves
 /// to completion: build (bucketing), candidate portfolio (heuristic), and
 /// the MILP search under each LP engine on identical inputs, with the
@@ -160,11 +179,14 @@ fn bench_trajectory(c: &mut Criterion) {
         .collect();
     let reps = 5;
 
-    let build_s = mean_secs(reps, || bucket_dp(&input, 16));
+    // Phase timings come from the solver's telemetry spans (one traced
+    // run each), not hand-placed timers around the calls.
+    let build_us = traced_span_us(|| bucket_dp(&input, 16));
+    let build_s = build_us.get("plan.bucket_dp").copied().unwrap_or(0) as f64 / 1e6;
     let buckets = bucket_dp(&input, 16);
-    let portfolio_s = mean_secs(reps, || {
-        plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only())
-    });
+    let portfolio_us =
+        traced_span_us(|| plan_micro_batch(&cost, &buckets, 64, &PlannerConfig::heuristic_only()));
+    let portfolio_s = portfolio_us.get("plan.heuristic").copied().unwrap_or(0) as f64 / 1e6;
 
     let ample = PlannerConfig {
         milp_time_limit: Duration::from_secs(20),
@@ -177,6 +199,16 @@ fn bench_trajectory(c: &mut Criterion) {
     };
     let sparse_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &ample));
     let dense_s = mean_secs(reps, || plan_micro_batch(&cost, &buckets, 64, &dense_cfg));
+    // Span-level MILP breakdown of one sparse solve: the whole MILP
+    // improvement phase, model builds, and time inside the LP kernels.
+    let milp_us = traced_span_us(|| plan_micro_batch(&cost, &buckets, 64, &ample));
+    let milp_span_s = milp_us.get("plan.milp").copied().unwrap_or(0) as f64 / 1e6;
+    let model_build_span_s = milp_us.get("milp.build_model").copied().unwrap_or(0) as f64 / 1e6;
+    let lp_span_s = ["lp.phase1", "lp.phase2", "lp.warm"]
+        .iter()
+        .filter_map(|n| milp_us.get(*n))
+        .sum::<u64>() as f64
+        / 1e6;
     let plan = plan_micro_batch(&cost, &buckets, 64, &ample).expect("trajectory instance feasible");
     let shape_signature = plan.shape_signature();
     let stats = plan.stats;
@@ -188,6 +220,9 @@ fn bench_trajectory(c: &mut Criterion) {
          \"portfolio_s\":{portfolio_s:.6},\
          \"milp_sparse_s\":{sparse_s:.6},\
          \"milp_dense_s\":{dense_s:.6},\
+         \"milp_span_s\":{milp_span_s:.6},\
+         \"model_build_span_s\":{model_build_span_s:.6},\
+         \"lp_span_s\":{lp_span_s:.6},\
          \"speedup_sparse_vs_dense\":{speedup:.3},\
          \"model_builds\":{},\
          \"search_steps\":{},\

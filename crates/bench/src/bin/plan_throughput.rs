@@ -11,9 +11,13 @@
 //!
 //! # Smoke mode (smaller request counts, same shape of output):
 //! cargo run --release -p flexsp-bench --bin plan_throughput -- --quick
+//!
+//! # Dump a Perfetto-loadable chrome trace of the measured run:
+//! cargo run --release -p flexsp-bench --bin plan_throughput -- --quick --trace-out plan_trace.json
 //! ```
 
 use flexsp_bench::plan_throughput::{regressions, run, to_json};
+use flexsp_telemetry as tel;
 
 /// Fail the gate when a plans/sec metric drops more than this fraction
 /// below the checked-in baseline.
@@ -32,8 +36,23 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
 
+    if trace_out.is_some() {
+        tel::tracing_start();
+    }
     let report = run(quick);
+    if let Some(path) = &trace_out {
+        tel::tracing_stop();
+        std::fs::write(path, tel::drain_chrome_trace()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
     let json = to_json(&report);
     print!("{json}");
 

@@ -14,8 +14,14 @@
 //! # Knobs:
 //! cargo run --release -p flexsp-bench --bin trace_replay -- \
 //!     --jobs 2000 --nodes 32 --seed 7 --plan-every 8 --shards 4
+//!
+//! # Observability: dump a Perfetto-loadable chrome trace and a
+//! # Prometheus metrics snapshot of the second run:
+//! cargo run --release -p flexsp-bench --bin trace_replay -- \
+//!     --quick --trace-out trace.json --metrics-out metrics.prom
 //! ```
 
+use flexsp_telemetry as tel;
 use flexsp_trace::{generate, replay, ReplayConfig, TraceConfig};
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -41,6 +47,14 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1).cloned());
 
     let trace = generate(&TraceConfig::new(jobs, nodes, seed));
     let mut cfg = ReplayConfig::new();
@@ -48,7 +62,28 @@ fn main() {
     cfg.plan_every = plan_every;
 
     let first = replay(&trace, &cfg);
+    // Only the second run is traced: the span ring drains into exactly
+    // one replay's timeline, and the hash check still proves the tracer
+    // never leaks into the observation log.
+    if trace_out.is_some() {
+        tel::tracing_start();
+    }
     let second = replay(&trace, &cfg);
+    if let Some(path) = &trace_out {
+        tel::tracing_stop();
+        std::fs::write(path, tel::drain_chrome_trace()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, tel::metrics_snapshot().to_prometheus()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
     if first.log_hash != second.log_hash || first.log != second.log {
         eprintln!(
             "NONDETERMINISM: seed {seed} replayed to {:016x} then {:016x}",
@@ -94,6 +129,11 @@ fn main() {
          (hash {:016x}, {} log lines)",
         first.log_hash,
         first.log.len()
+    );
+    let a = &first.arbiter;
+    eprintln!(
+        "arbiter: grants={} denials={} reaps={} gpus_moved={}",
+        a.grants, a.denials, a.reaps, a.gpus_moved
     );
     if let Some(path) = out {
         std::fs::write(&path, &json).unwrap_or_else(|e| {

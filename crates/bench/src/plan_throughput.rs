@@ -43,6 +43,7 @@ use flexsp_cost::CostModel;
 use flexsp_data::{GlobalBatchLoader, LengthDistribution, Sequence};
 use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::ClusterSpec;
+use flexsp_telemetry as tel;
 use flexsp_trace::{generate, TraceConfig, TraceOp};
 
 /// One point of the B&B thread-scaling curve.
@@ -57,6 +58,21 @@ pub struct ScalingPoint {
     /// Predicted makespan of the returned plan (must agree across
     /// thread counts).
     pub objective_s: f64,
+}
+
+/// The warm recurring workload measured with the span tracer off, then
+/// on — the telemetry cost in its worst case (microsecond cache-path
+/// operations). Recorded in the JSON and logged to stderr, **not**
+/// gated: single-run plans/sec jitter on a CI container dwarfs the
+/// tracer's fetch_add-per-span cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TracerOverhead {
+    /// Plans/sec with the tracer inactive.
+    pub off_plans_per_s: f64,
+    /// Plans/sec with the tracer recording every span.
+    pub on_plans_per_s: f64,
+    /// `(off - on) / off`, as a percentage (negative = noise).
+    pub overhead_pct: f64,
 }
 
 /// Everything the bench measures; serialized by [`to_json`].
@@ -81,6 +97,8 @@ pub struct Report {
     pub cache: CacheStats,
     /// 1/2/4/8-thread branch-and-bound scaling.
     pub scaling: Vec<ScalingPoint>,
+    /// Span-tracer on/off comparison (logged, not gated).
+    pub tracer: TracerOverhead,
 }
 
 fn service_solver(n_nodes: u32) -> FlexSpSolver {
@@ -184,6 +202,39 @@ pub fn run(quick: bool) -> Report {
     let template = batch(7, 16);
     let (warm_plans_per_s, _) = drive(&warm_svc, |i| reshape(&template, i), n_warm);
     warm_svc.shutdown();
+
+    // Tracer overhead: the cache-hit workload (microsecond operations —
+    // the worst case for per-span cost), tracer off then on. The prior
+    // tracing state is restored afterwards so a `--trace-out` run keeps
+    // recording the rest of the suite.
+    let tracer = {
+        let ov_svc = SolverService::spawn(service_solver(2), 2);
+        ov_svc.submit(reshape(&template, 8_888));
+        ov_svc.recv_plan().expect("prime the cache");
+        let was_tracing = tel::tracing_active();
+        tel::tracing_stop();
+        let (off_plans_per_s, _) = drive(&ov_svc, |i| reshape(&template, 300 + i), n_hit);
+        tel::tracing_start();
+        let (on_plans_per_s, _) = drive(&ov_svc, |i| reshape(&template, 600 + i), n_hit);
+        if !was_tracing {
+            tel::tracing_stop();
+        }
+        ov_svc.shutdown();
+        let overhead_pct = if off_plans_per_s > 0.0 {
+            (off_plans_per_s - on_plans_per_s) / off_plans_per_s * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "tracer overhead (hit path): off {off_plans_per_s:.1} plans/s, \
+             on {on_plans_per_s:.1} plans/s ({overhead_pct:+.1}%) — logged, not gated"
+        );
+        TracerOverhead {
+            off_plans_per_s,
+            on_plans_per_s,
+            overhead_pct,
+        }
+    };
 
     // Hit: the same recurring shape with the sharded cache on — one
     // miss, then rebinds only. Each op is microseconds, so a single
@@ -335,6 +386,7 @@ pub fn run(quick: bool) -> Report {
         mixed_p99_ms,
         cache,
         scaling,
+        tracer,
     }
 }
 
@@ -367,6 +419,11 @@ pub fn to_json(r: &Report) -> String {
     s.push_str(&format!(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \"entries\": {}}},\n",
         r.cache.hits, r.cache.misses, r.cache.coalesced, r.cache.evictions, r.cache.entries
+    ));
+    s.push_str(&format!(
+        "  \"tracer_overhead\": {{\"off_plans_per_s\": {:.3}, \"on_plans_per_s\": {:.3}, \
+         \"overhead_pct\": {:.2}}},\n",
+        r.tracer.off_plans_per_s, r.tracer.on_plans_per_s, r.tracer.overhead_pct
     ));
     s.push_str("  \"bnb_thread_scaling\": [\n");
     for (i, p) in r.scaling.iter().enumerate() {
@@ -452,6 +509,7 @@ mod tests {
                 speedup: 1.0,
                 objective_s: 2.25,
             }],
+            tracer: TracerOverhead::default(),
         };
         let json = to_json(&r);
         assert_eq!(extract_f64(&json, "cold_plans_per_s"), Some(12.5));
@@ -473,6 +531,7 @@ mod tests {
             mixed_p99_ms: 2.0,
             cache: CacheStats::default(),
             scaling: Vec::new(),
+            tracer: TracerOverhead::default(),
         };
         let baseline = to_json(&r);
         assert!(regressions(&r, &baseline, 0.20).is_empty());

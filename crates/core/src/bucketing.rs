@@ -9,6 +9,7 @@
 //! fixed-width bucketing (ablated in Fig. 7 and Table 4).
 
 use flexsp_data::Sequence;
+use flexsp_telemetry as tel;
 
 /// A bucket of sequences represented by a unified upper length.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +84,7 @@ pub fn bucket_dp(seqs: &[Sequence], q: usize) -> Vec<Bucket> {
     if seqs.is_empty() {
         return Vec::new();
     }
+    let _span = tel::span!(tel::Category::Solver, "plan.bucket_dp", "seqs" => seqs.len() as u64);
     let mut sorted = seqs.to_vec();
     sorted.sort_by_key(|s| s.len);
 

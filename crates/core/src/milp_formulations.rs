@@ -8,6 +8,7 @@ use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::{Basis, LinExpr, MilpSolver, Problem, VarId, VarKind};
 use flexsp_sim::{GroupShape, NodeSlots};
+use flexsp_telemetry as tel;
 
 use crate::bucketing::Bucket;
 use crate::plan::{GroupAssignment, MicroBatchPlan, PlanStats};
@@ -68,8 +69,12 @@ pub(crate) fn plan_aggregated(
     let mut best: Option<MicroBatchPlan> = None;
     let mut best_time = hi0;
 
-    let mut model = AggregatedModel::build(cost, buckets, avail, &shapes);
+    let mut model = {
+        let _build_span = tel::span!(tel::Category::Solver, "milp.build_model", "buckets" => buckets.len() as u64);
+        AggregatedModel::build(cost, buckets, avail, &shapes)
+    };
     stats.model_builds += 1;
+    tel::count!("flexsp.milp.model_builds");
     // Basis of the previous step's root relaxation, carried across the
     // binary search so each re-solve starts from the last optimum.
     let mut carried: Option<Basis> = None;
@@ -424,6 +429,8 @@ pub(crate) fn plan_per_group(
     }
     let np = slots.len();
 
+    let build_span =
+        tel::span!(tel::Category::Solver, "milp.build_model", "buckets" => buckets.len() as u64);
     let mut p = Problem::minimize();
     let c_var = p.add_var("C", VarKind::Continuous, 0.0, f64::INFINITY);
     let m_vars: Vec<_> = (0..np).map(|pi| p.add_binary(format!("m_{pi}"))).collect();
@@ -512,7 +519,9 @@ pub(crate) fn plan_per_group(
         solver = solver.warm_start(ws);
     }
     stats.model_builds += 1;
+    tel::count!("flexsp.milp.model_builds");
     stats.search_steps += 1;
+    drop(build_span);
     let Ok(sol) = solver.solve(&p) else {
         return (None, stats);
     };

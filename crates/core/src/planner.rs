@@ -34,6 +34,7 @@ use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_milp::LpEngine;
 use flexsp_sim::{GroupShape, NodeSlots};
+use flexsp_telemetry as tel;
 
 use crate::bucketing::Bucket;
 use crate::error::PlanError;
@@ -175,6 +176,8 @@ pub fn plan_micro_batch_within(
     // homogeneous plans still fit, so neither failure alone is fatal.
     // Every candidate is placed before comparison, so predicted times
     // reflect realized spans.
+    let heuristic_span =
+        tel::span!(tel::Category::Solver, "plan.heuristic", "buckets" => buckets.len() as u64);
     let mut best: Option<MicroBatchPlan> = heuristic_plan(cost, buckets, avail)
         .ok()
         .and_then(|p| finalize(p, avail));
@@ -195,6 +198,7 @@ pub fn plan_micro_batch_within(
             }
         }
     }
+    drop(heuristic_span);
     let Some(best) = best else {
         return Err(PlanError::Infeasible(format!(
             "no candidate plan fits {} sequences ({} tokens) on {n_gpus} free GPUs",
@@ -202,13 +206,17 @@ pub fn plan_micro_batch_within(
             all_seqs.iter().map(|s| s.len).sum::<u64>(),
         )));
     };
-    let (improved, stats) = match config.formulation {
-        Formulation::Heuristic => (None, PlanStats::default()),
-        Formulation::Aggregated => {
-            milp_formulations::plan_aggregated(cost, buckets, avail, config, &best)
-        }
-        Formulation::PerGroup => {
-            milp_formulations::plan_per_group(cost, buckets, avail, config, &best)
+    let (improved, stats) = {
+        let _milp_span =
+            tel::span!(tel::Category::Solver, "plan.milp", "buckets" => buckets.len() as u64);
+        match config.formulation {
+            Formulation::Heuristic => (None, PlanStats::default()),
+            Formulation::Aggregated => {
+                milp_formulations::plan_aggregated(cost, buckets, avail, config, &best)
+            }
+            Formulation::PerGroup => {
+                milp_formulations::plan_per_group(cost, buckets, avail, config, &best)
+            }
         }
     };
     // Whichever candidate wins, the stats describe the solver effort this

@@ -32,6 +32,8 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use flexsp_data::Sequence;
+use flexsp_telemetry as tel;
+use flexsp_telemetry::Counter;
 
 use crate::error::PlanError;
 use crate::workflow::{FlexSpSolver, SolvedIteration};
@@ -50,7 +52,10 @@ type JobResult = (u64, Result<SolvedIteration, PlanError>);
 /// lease before and after the free set changed, must never share plans.
 type CacheKey = (Vec<u64>, u32, u64);
 
-/// Counters for the service's plan cache.
+/// Counters for the service's plan cache: a point-in-time view over the
+/// cache's embedded [`flexsp_telemetry::Counter`]s (the same values are
+/// mirrored into the global metrics registry under `flexsp.cache.*`
+/// when telemetry is enabled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Batches answered by rebinding a cached plan.
@@ -132,10 +137,13 @@ struct ShardedPlanCache {
     clock: AtomicU64,
     /// Total entries across shards (the capacity bound is global).
     len: AtomicUsize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    evictions: AtomicU64,
+    /// Per-instance counters behind [`CacheStats`] (telemetry
+    /// primitives — always live; the global `flexsp.cache.*` registry
+    /// mirrors are feature-gated).
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    evictions: Counter,
     /// In-flight solves by key (single-flight registry).
     flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
 }
@@ -155,10 +163,10 @@ impl ShardedPlanCache {
                 .collect(),
             clock: AtomicU64::new(0),
             len: AtomicUsize::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            coalesced: Counter::new(),
+            evictions: Counter::new(),
             flights: Mutex::new(HashMap::new()),
         }
     }
@@ -175,7 +183,8 @@ impl ShardedPlanCache {
         let entry = shard.get(key)?;
         let stamp = self.clock.fetch_add(1, AtomicOrd::Relaxed) + 1;
         entry.last_access.store(stamp, AtomicOrd::Relaxed);
-        self.hits.fetch_add(1, AtomicOrd::Relaxed);
+        self.hits.inc();
+        tel::count!("flexsp.cache.hits");
         Some(entry.value.clone())
     }
 
@@ -199,6 +208,10 @@ impl ShardedPlanCache {
                 self.len.fetch_add(1, AtomicOrd::Relaxed);
             }
         }
+        tel::gauge!(
+            "flexsp.cache.entries",
+            self.len.load(AtomicOrd::Relaxed) as i64
+        );
         while self.len.load(AtomicOrd::Relaxed) > self.capacity {
             if !self.evict_coldest() {
                 break;
@@ -225,7 +238,12 @@ impl ShardedPlanCache {
         let mut shard = self.shards[i].write().unwrap_or_else(|e| e.into_inner());
         if shard.remove(&key).is_some() {
             self.len.fetch_sub(1, AtomicOrd::Relaxed);
-            self.evictions.fetch_add(1, AtomicOrd::Relaxed);
+            self.evictions.inc();
+            tel::count!("flexsp.cache.evictions");
+            tel::gauge!(
+                "flexsp.cache.entries",
+                self.len.load(AtomicOrd::Relaxed) as i64
+            );
         }
         // Removed (or another worker got there first) — either way the
         // caller re-checks the capacity bound.
@@ -237,10 +255,12 @@ impl ShardedPlanCache {
     fn join_flight(&self, key: &CacheKey) -> FlightRole {
         let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(f) = flights.get(key) {
-            self.coalesced.fetch_add(1, AtomicOrd::Relaxed);
+            self.coalesced.inc();
+            tel::count!("flexsp.cache.coalesced");
             FlightRole::Waiter(Arc::clone(f))
         } else {
-            self.misses.fetch_add(1, AtomicOrd::Relaxed);
+            self.misses.inc();
+            tel::count!("flexsp.cache.misses");
             let f = Arc::new(Flight::default());
             flights.insert(key.clone(), Arc::clone(&f));
             FlightRole::Leader(f)
@@ -287,6 +307,7 @@ impl ShardedPlanCache {
         solve: impl FnOnce() -> Result<SolvedIteration, PlanError>,
     ) -> Result<SolvedIteration, PlanError> {
         if let Some(hit) = self.get(key).and_then(|hit| rebind(hit, batch)) {
+            tel::instant!(tel::Category::Cache, "cache.hit");
             return Ok(hit);
         }
         match self.join_flight(key) {
@@ -297,32 +318,49 @@ impl ShardedPlanCache {
                     flight: &flight,
                     armed: true,
                 };
-                let result = solve();
+                let result = {
+                    let _miss_span = tel::span!(tel::Category::Cache, "cache.miss.solve");
+                    solve()
+                };
                 guard.complete(result.clone());
                 result
             }
-            FlightRole::Waiter(flight) => match Self::wait_flight(&flight) {
-                Ok(plan) => match rebind(plan, batch) {
-                    Some(own) => Ok(own),
-                    // Defensive: identical keys imply identical length
-                    // multisets, so rebinding cannot fail — but if it
-                    // ever did, solve rather than deliver a wrong plan.
-                    None => {
-                        self.misses.fetch_add(1, AtomicOrd::Relaxed);
-                        solve()
-                    }
-                },
-                Err(e) => Err(e),
-            },
+            FlightRole::Waiter(flight) => {
+                // Single-flight wait: time spent blocked on the
+                // leader's solve (the coalescing win/loss histogram).
+                let _wait_span = tel::span!(tel::Category::Cache, "cache.flight_wait");
+                #[cfg(feature = "telemetry")]
+                let wait_t0 = std::time::Instant::now();
+                let waited = Self::wait_flight(&flight);
+                #[cfg(feature = "telemetry")]
+                tel::observe!(
+                    "flexsp.cache.flight_wait_us",
+                    wait_t0.elapsed().as_micros() as u64
+                );
+                match waited {
+                    Ok(plan) => match rebind(plan, batch) {
+                        Some(own) => Ok(own),
+                        // Defensive: identical keys imply identical length
+                        // multisets, so rebinding cannot fail — but if it
+                        // ever did, solve rather than deliver a wrong plan.
+                        None => {
+                            self.misses.inc();
+                            tel::count!("flexsp.cache.misses");
+                            solve()
+                        }
+                    },
+                    Err(e) => Err(e),
+                }
+            }
         }
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(AtomicOrd::Relaxed),
-            misses: self.misses.load(AtomicOrd::Relaxed),
-            coalesced: self.coalesced.load(AtomicOrd::Relaxed),
-            evictions: self.evictions.load(AtomicOrd::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            evictions: self.evictions.get(),
             entries: self.len.load(AtomicOrd::Relaxed),
         }
     }

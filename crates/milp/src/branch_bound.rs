@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use flexsp_telemetry as tel;
+
 use crate::basis::Basis;
 use crate::error::SolveError;
 use crate::problem::{ObjectiveSense, Problem, VarKind};
@@ -225,6 +227,8 @@ impl MilpSolver {
     /// limits / numerical breakdown).
     pub fn solve(&self, problem: &Problem) -> Result<MilpSolution, SolveError> {
         let start = Instant::now();
+        let _solve_span =
+            tel::span!(tel::Category::Solver, "milp.solve", "vars" => problem.num_vars() as u64);
         let mut stats = SolveStats::default();
         let sense_sign = match problem.sense() {
             ObjectiveSense::Minimize => 1.0,
@@ -251,14 +255,17 @@ impl MilpSolver {
         }
 
         stats.lp_solves += 1;
-        let (root_outcome, root_lp_stats) = solve_lp_opts(
-            problem,
-            &LpOptions {
-                bound_overrides: Some(&root_bounds),
-                warm_basis: self.root_basis.as_ref(),
-                engine: self.lp_engine,
-            },
-        )?;
+        let (root_outcome, root_lp_stats) = {
+            let _root_span = tel::span!(tel::Category::Solver, "milp.root_lp");
+            solve_lp_opts(
+                problem,
+                &LpOptions {
+                    bound_overrides: Some(&root_bounds),
+                    warm_basis: self.root_basis.as_ref(),
+                    engine: self.lp_engine,
+                },
+            )?
+        };
         stats.absorb_lp(&root_lp_stats);
         let mut root = match root_outcome {
             LpOutcome::Infeasible => {
@@ -399,6 +406,7 @@ impl MilpSolver {
                     let score = sense_sign * problem.objective_value(&vals);
                     if incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
                         incumbent = Some((vals, score));
+                        tel::count!("flexsp.milp.incumbents");
                     }
                 }
                 Some((bvar, bval)) => {
@@ -415,6 +423,7 @@ impl MilpSolver {
                             if incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
                                 incumbent = Some((vals, score));
                                 stats.heuristic_incumbents += 1;
+                                tel::count!("flexsp.milp.incumbents");
                             }
                         }
                     }
@@ -621,6 +630,9 @@ impl MilpSolver {
             (MilpStatus::Optimal, false) => MilpStatus::Infeasible,
             (s, _) => s,
         };
+        tel::count!("flexsp.milp.solves");
+        tel::count!("flexsp.milp.nodes", stats.nodes);
+        tel::count!("flexsp.milp.lp_solves", stats.lp_solves);
         MilpSolution {
             status,
             values,
@@ -784,6 +796,7 @@ impl SharedSearch<'_> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if st.incumbent.as_ref().is_none_or(|(_, s)| score < *s) {
             st.incumbent = Some((vals, score));
+            tel::count!("flexsp.milp.incumbents");
         }
     }
 
@@ -829,7 +842,11 @@ impl SharedSearch<'_> {
                     self.work.notify_all();
                     break;
                 }
-                st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = {
+                    let _wait_span =
+                        tel::span!(tel::Category::Solver, "bnb.claim.wait", "worker" => w as u64);
+                    self.work.wait(st).unwrap_or_else(|e| e.into_inner())
+                };
                 continue;
             }
             if self.start.elapsed() > self.solver.time_limit || st.claimed >= self.solver.node_limit
@@ -843,19 +860,30 @@ impl SharedSearch<'_> {
                 self.work.notify_all();
                 break;
             }
-            let node = st.heap.pop().expect("heap checked non-empty");
-            st.claimed += 1;
-            st.active += 1;
-            st.active_scores[w] = node.score;
+            let node = {
+                let _claim_span =
+                    tel::span!(tel::Category::Solver, "bnb.claim", "worker" => w as u64);
+                let node = st.heap.pop().expect("heap checked non-empty");
+                st.claimed += 1;
+                st.active += 1;
+                st.active_scores[w] = node.score;
+                node
+            };
             drop(st);
 
-            let expanded = self.expand(node, &mut stats);
+            let expanded = {
+                let _expand_span =
+                    tel::span!(tel::Category::Solver, "bnb.expand", "worker" => w as u64);
+                self.expand(node, &mut stats)
+            };
 
             st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             st.active -= 1;
             st.active_scores[w] = f64::INFINITY;
             match expanded {
                 Ok(children) => {
+                    let _publish_span = tel::span!(tel::Category::Solver, "bnb.publish",
+                        "children" => children.len() as u64);
                     for mut child in children {
                         child.seq = st.next_seq;
                         st.next_seq += 1;

@@ -16,6 +16,8 @@
 //! Any numerical or structural trouble falls back to a cold solve, so
 //! warm starts never compromise correctness.
 
+use flexsp_telemetry as tel;
+
 use crate::basis::{Basis, NonBasicState};
 use crate::error::SolveError;
 use crate::lu::{Factorization, REFACTOR_INTERVAL};
@@ -525,6 +527,7 @@ impl<'a> Engine<'a> {
         eng.factors = Factorization::factor(m, identity(m)).expect("identity basis is nonsingular");
 
         if m > 0 {
+            let _phase1_span = tel::span!(tel::Category::Solver, "lp.phase1", "rows" => m as u64);
             eng.cost.copy_from_slice(&phase1_cost);
             match eng.primal()? {
                 PrimalEnd::Optimal => {}
@@ -548,9 +551,12 @@ impl<'a> Engine<'a> {
 
         eng.load_objective(problem);
         eng.degenerate_streak = 0;
-        match eng.primal()? {
-            PrimalEnd::Optimal => {}
-            PrimalEnd::Unbounded => return Ok((LpOutcome::Unbounded, eng.stats)),
+        {
+            let _phase2_span = tel::span!(tel::Category::Solver, "lp.phase2", "rows" => m as u64);
+            match eng.primal()? {
+                PrimalEnd::Optimal => {}
+                PrimalEnd::Unbounded => return Ok((LpOutcome::Unbounded, eng.stats)),
+            }
         }
         let sol = eng.extract(problem, var_bounds);
         Ok((LpOutcome::Optimal(sol), eng.stats))
@@ -568,6 +574,7 @@ impl<'a> Engine<'a> {
         if !warm.fits(m, n) {
             return Err(WarmFail::NotInstallable);
         }
+        let _warm_span = tel::span!(tel::Category::Solver, "lp.warm", "rows" => m as u64);
         let mut eng = Self::scaffold(model, var_bounds);
         eng.stats.warm_attempted = true;
         eng.basis = warm.basic.clone();

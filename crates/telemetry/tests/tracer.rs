@@ -1,0 +1,90 @@
+//! Span-tracer round trip: record spans from several threads, drain,
+//! and validate both the decoded records and the chrome-trace JSON.
+//! Runs only with the `enabled` feature (the no-op build has nothing to
+//! drain — that build is covered by the trace crate's inertness test).
+
+#![cfg(feature = "enabled")]
+
+use flexsp_telemetry as tel;
+use tel::Category;
+
+#[test]
+fn spans_round_trip_through_the_ring_and_chrome_json() {
+    tel::tracing_start();
+    {
+        let _outer = tel::span!(Category::Solver, "test.outer", "n" => 7u64);
+        let _inner = tel::span!(Category::Cache, "test.inner");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    tel::instant!(Category::Pump, "test.instant", "k" => 3u64);
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _s = tel::span!(Category::Arbiter, "test.worker", "w" => i as u64);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker");
+    }
+
+    let events = tel::drain_events();
+    let find = |name: &str| events.iter().filter(|e| e.name == name).count();
+    assert!(find("test.outer") >= 1, "outer span drained");
+    assert!(find("test.inner") >= 1, "inner span drained");
+    assert!(find("test.instant") >= 1, "instant drained");
+    assert!(find("test.worker") >= 4, "all worker spans drained");
+
+    let outer = events
+        .iter()
+        .find(|e| e.name == "test.outer")
+        .expect("outer");
+    assert_eq!(outer.cat, Category::Solver);
+    assert_eq!(outer.arg, Some(("n", 7)));
+    assert!(outer.dur_us >= 1_000, "slept 2ms inside: {}", outer.dur_us);
+    let inner = events
+        .iter()
+        .find(|e| e.name == "test.inner")
+        .expect("inner");
+    assert!(
+        inner.start_us >= outer.start_us
+            && inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us + 1_000,
+        "inner nests inside outer"
+    );
+    // Worker spans come from four distinct threads (distinct rings).
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "test.worker")
+        .map(|e| e.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() >= 4, "worker spans span 4 threads: {tids:?}");
+
+    let json = tel::drain_chrome_trace();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"name\":\"test.outer\""));
+    assert!(json.contains("\"cat\":\"arbiter\""));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"thread_name\""));
+    // Cheap structural sanity: balanced braces/brackets, one top-level
+    // object (a full parse happens in the CI smoke via python).
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced braces"
+    );
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn unset_sink_records_nothing_from_fresh_threads() {
+    // `tracing_start` may have been called by the other test (shared
+    // process); gate on the flag rather than fighting test ordering.
+    if tel::tracing_active() {
+        return;
+    }
+    let _s = tel::span!(Category::Bench, "test.unset");
+    drop(_s);
+    assert!(tel::drain_events().iter().all(|e| e.name != "test.unset"));
+}

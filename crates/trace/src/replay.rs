@@ -22,14 +22,15 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use flexsp_arbiter::{
-    AdmissionPolicy, ClusterArbiter, JobId, Lease, LeaseEvent, LogicalClock, MaintenancePump,
-    Priority, SlotRequest, Ticket,
+    AdmissionPolicy, ArbiterStats, ClusterArbiter, JobId, Lease, LeaseEvent, LogicalClock,
+    MaintenancePump, Priority, SlotRequest, Ticket,
 };
 use flexsp_core::{FlexSpSolver, SolverConfig, SolverService};
 use flexsp_cost::CostModel;
 use flexsp_data::Sequence;
 use flexsp_model::{ActivationPolicy, ModelConfig};
 use flexsp_sim::{ClusterSpec, Topology};
+use flexsp_telemetry as tel;
 
 use crate::gen::{Trace, TraceOp};
 
@@ -151,6 +152,8 @@ pub struct ReplayReport {
     pub log_hash: u64,
     /// Aggregate statistics.
     pub stats: TraceStats,
+    /// The arbiter's own operational counters at the end of the run.
+    pub arbiter: ArbiterStats,
 }
 
 /// FNV-1a over the log lines (stable across runs and platforms, unlike
@@ -218,6 +221,7 @@ impl Engine<'_> {
             return;
         };
         let nth = slot.replans + self.obs.get(&slot.job).map_or(0, |o| o.plans);
+        let _plan_span = tel::span!(tel::Category::Replay, "job.plan", "job" => slot.job);
         service.submit(batch_for(self.trace.seed, slot.job, nth));
         match service.recv_plan() {
             Ok(solved) => {
@@ -257,6 +261,8 @@ impl Engine<'_> {
 
     /// Installs a planning service for a newly admitted, sampled job.
     fn admit(&mut self, job: u64, lease: Lease, now: u64, immediate: bool) {
+        tel::instant!(tel::Category::Replay, "job.admit", "job" => job);
+        tel::count!("flexsp.replay.admitted");
         let o = self.obs.entry(job).or_default();
         if o.admitted.is_none() {
             o.admitted = Some(now);
@@ -308,6 +314,8 @@ impl Engine<'_> {
         if report.is_quiet() && evs.is_empty() {
             return;
         }
+        let _visit_span =
+            tel::span!(tel::Category::Replay, "replay.visit", "events" => evs.len() as u64);
 
         if !report.is_quiet() {
             self.stats.maintains += 1;
@@ -406,6 +414,8 @@ impl Engine<'_> {
                 term,
                 immediate,
             } => {
+                tel::instant!(tel::Category::Replay, "job.arrive", "job" => job);
+                tel::count!("flexsp.replay.jobs");
                 self.stats.jobs += 1;
                 self.obs.entry(job).or_default().arrived = now;
                 let mut req = SlotRequest::new(JobId(job), gpus).with_priority(Priority(priority));
@@ -463,6 +473,7 @@ impl Engine<'_> {
                 None => self.log.push(format!("t={now} renew {job} gone")),
             },
             TraceOp::Depart => {
+                tel::instant!(tel::Category::Replay, "job.depart", "job" => job);
                 if let Some(i) = self.held.iter().position(|s| s.job == job) {
                     let slot = self.held.remove(i);
                     self.log
@@ -594,6 +605,11 @@ pub fn replay(trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
     }
     eng.stats.never_admitted = eng.stats.jobs.saturating_sub(eng.stats.admitted);
     waits.sort_unstable();
+    for &w in &waits {
+        tel::observe!("flexsp.replay.wait_ticks", w);
+    }
+    tel::count!("flexsp.replay.plans", eng.stats.plans);
+    tel::count!("flexsp.replay.reaps", eng.stats.reaps as u64);
     if !waits.is_empty() {
         eng.stats.wait_mean = waits.iter().sum::<u64>() as f64 / waits.len() as f64;
         eng.stats.wait_p50 = waits[waits.len() / 2];
@@ -605,10 +621,12 @@ pub fn replay(trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
     }
 
     let hash = log_hash(&eng.log);
+    let arbiter = eng.arb.stats();
     ReplayReport {
         log: eng.log,
         log_hash: hash,
         stats: eng.stats,
+        arbiter,
     }
 }
 

@@ -1,0 +1,38 @@
+//! Overhead guard: telemetry must be a pure observer. The replay
+//! observation log — the determinism token every equivalence test and
+//! the CI double-run gate hash — has to come out bit-identical whether
+//! the span tracer is recording or not, and whether the `telemetry`
+//! feature is compiled in or out (this test builds and passes in both
+//! modes; with the feature off `tracing_start` is a no-op and the two
+//! runs are trivially identical, which is exactly the claim).
+
+use flexsp_telemetry as tel;
+use flexsp_trace::{generate, replay, ReplayConfig, TraceConfig};
+
+#[test]
+fn tracer_never_alters_the_replay_log() {
+    let trace = generate(&TraceConfig::quick(17));
+    let mut cfg = ReplayConfig::new();
+    cfg.shards = 2;
+    cfg.plan_every = 16;
+
+    // Tracer off (or feature compiled out): the baseline log.
+    tel::tracing_stop();
+    let off = replay(&trace, &cfg);
+
+    // Tracer recording every span the stack emits.
+    tel::tracing_start();
+    let on = replay(&trace, &cfg);
+    tel::tracing_stop();
+    let _ = tel::drain_events();
+
+    assert_eq!(
+        off.log_hash, on.log_hash,
+        "tracing changed the replay log hash"
+    );
+    assert_eq!(off.log, on.log, "tracing changed the replay log lines");
+    assert_eq!(off.stats.jobs, on.stats.jobs);
+    assert_eq!(off.stats.admitted, on.stats.admitted);
+    assert_eq!(off.arbiter.grants, on.arbiter.grants);
+    assert_eq!(off.arbiter.reaps, on.arbiter.reaps);
+}

@@ -8,14 +8,20 @@
 //! Plans the paper's 100K + 4×48K scenario on 64 GPUs: first the
 //! homogeneous alternatives (Case Homo-1/2), then the heterogeneous plan
 //! FlexSP finds (Case Hetero), showing the blaster, bucketing, heuristic,
-//! and MILP stages separately.
+//! and MILP stages separately. The per-phase timing summary at the end
+//! is derived from the telemetry spans the solver itself records, so the
+//! example and the tracer can never disagree about phase boundaries.
+
+use std::collections::BTreeMap;
 
 use flexsp::core::blaster;
 use flexsp::core::bucketing::bucket_dp;
 use flexsp::core::{plan_homogeneous, plan_micro_batch, Formulation};
 use flexsp::prelude::*;
+use flexsp::telemetry as tel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    tel::tracing_start();
     let cluster = ClusterSpec::a100_cluster(8);
     let model = ModelConfig::gpt_7b(192 * 1024);
     let policy = ActivationPolicy::None;
@@ -99,5 +105,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "per-group idle (imbalance) GPU-seconds: {:.1}",
         report.micro_batches[0].idle_gpu_s
     );
+
+    // Per-phase breakdown, read back from the solver's own spans: the
+    // phase boundaries here are *the same code* the chrome-trace export
+    // sees, not a second set of hand-placed timers.
+    tel::tracing_stop();
+    let mut phases: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for ev in tel::drain_events() {
+        let e = phases.entry(ev.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += ev.dur_us;
+    }
+    println!("\nsolver phases (from telemetry spans):");
+    for (name, (calls, total_us)) in phases {
+        println!("  {name:<18} x{calls:<5} {:.3} ms", total_us as f64 / 1e3);
+    }
     Ok(())
 }

@@ -72,6 +72,7 @@ pub use flexsp_data as data;
 pub use flexsp_milp as milp;
 pub use flexsp_model as model;
 pub use flexsp_sim as sim;
+pub use flexsp_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
