@@ -19,7 +19,69 @@ use parking_lot::{Mutex, MutexGuard};
 use crate::clock::{Clock, LogicalClock};
 use crate::lease::Lease;
 use crate::policy::{AdmissionPolicy, JobCounters, JobId, Priority, SlotRequest};
+use crate::rank;
 use crate::shard::{partition_nodes, LeaseView, Shard, ShardSnapshot, ShardState, GAUGE};
+
+/// The admission-queue guard plus its lock-rank token. The token field is
+/// declared after the guard so the rank is released only once the mutex
+/// guard itself has been dropped.
+pub(crate) struct QueueGuard<'a> {
+    guard: MutexGuard<'a, QueueState>,
+    _rank: rank::RankToken,
+}
+
+impl std::ops::Deref for QueueGuard<'_> {
+    type Target = QueueState;
+    fn deref(&self) -> &QueueState {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for QueueGuard<'_> {
+    fn deref_mut(&mut self) -> &mut QueueState {
+        &mut self.guard
+    }
+}
+
+/// One shard-state guard plus its lock-rank token.
+pub(crate) struct ShardGuard<'a> {
+    guard: MutexGuard<'a, ShardState>,
+    _rank: rank::RankToken,
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardState {
+        &mut self.guard
+    }
+}
+
+/// Every shard's guard (ascending order) plus their rank tokens. Derefs
+/// to the guard vector so the `_locked` helpers keep taking plain
+/// `&mut [MutexGuard<'_, ShardState>]` slices.
+pub(crate) struct ShardGuards<'a> {
+    guards: Vec<MutexGuard<'a, ShardState>>,
+    _ranks: Vec<rank::RankToken>,
+}
+
+impl<'a> std::ops::Deref for ShardGuards<'a> {
+    type Target = Vec<MutexGuard<'a, ShardState>>;
+    fn deref(&self) -> &Self::Target {
+        &self.guards
+    }
+}
+
+impl std::ops::DerefMut for ShardGuards<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guards
+    }
+}
 
 /// Rejected or failed lease operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -257,9 +319,36 @@ impl Inner {
         self.node_shard[self.topo.node_of(gpu) as usize]
     }
 
+    /// Locks the admission queue (rank 1 — first in the lock order).
+    pub(crate) fn lock_queue(&self) -> QueueGuard<'_> {
+        let token = rank::acquire(rank::QUEUE);
+        QueueGuard {
+            guard: self.queue.lock(),
+            _rank: token,
+        }
+    }
+
+    /// Locks one shard's state (rank 2, minor = shard index).
+    pub(crate) fn lock_shard(&self, idx: usize) -> ShardGuard<'_> {
+        let token = rank::acquire(rank::shard(idx));
+        ShardGuard {
+            guard: self.shards[idx].state.lock(),
+            _rank: token,
+        }
+    }
+
     /// Locks every shard, ascending — the only multi-shard order allowed.
-    pub(crate) fn lock_shards(&self) -> Vec<MutexGuard<'_, ShardState>> {
-        self.shards.iter().map(|s| s.state.lock()).collect()
+    pub(crate) fn lock_shards(&self) -> ShardGuards<'_> {
+        let mut guards = Vec::with_capacity(self.shards.len());
+        let mut ranks = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            ranks.push(rank::acquire(rank::shard(i)));
+            guards.push(s.state.lock());
+        }
+        ShardGuards {
+            guards,
+            _ranks: ranks,
+        }
     }
 
     /// A cluster-wide free ledger assembled from the locked shards (for
@@ -280,6 +369,7 @@ impl Inner {
     /// Runs `f` against `job`'s fairness counters under its stripe lock
     /// (held only for the bump — last in the lock order).
     pub(crate) fn with_counters<R>(&self, job: JobId, f: impl FnOnce(&mut JobCounters) -> R) -> R {
+        let _rank = rank::acquire(rank::STRIPE);
         let mut map = self.fairness[(job.0 as usize) % FAIRNESS_STRIPES].lock();
         f(map.entry(job).or_default())
     }
@@ -421,6 +511,7 @@ impl Inner {
             Some(sku) => merged.take_packed_for(request.gpus, sku),
             None => merged.take_packed(request.gpus),
         }
+        // lint: allow(unwrap) admit/grow paths verify `fits` against this same merged pool under the same locks
         .expect("caller checked the request fits");
         let mut gpus = group.gpus().to_vec();
         gpus.sort_unstable();
@@ -484,6 +575,7 @@ impl Inner {
                 let Some(idx) = q.policy.pick(&queue, merged) else {
                     break;
                 };
+                // lint: allow(unwrap) `pick` returns an index into the queue snapshot taken two lines up
                 let p = q.pending.remove(idx).expect("index from the queue");
                 let out = self.grant_locked(guards, dirty, merged, &p.request, now);
                 q.granted.insert(p.ticket, (p.request, out.id, out.home));
@@ -642,6 +734,7 @@ impl Inner {
         let view = guards[home]
             .live
             .remove(&id)
+            // lint: allow(unwrap) both callers (reap, revoke) looked the id up in this map under these same guards
             .expect("caller checked liveness");
         dirty[home] = true;
         let n = view.gpus.len() as u32;
@@ -846,7 +939,7 @@ impl ClusterArbiter {
                 && self.inner.pending_count.load(GAUGE) == 0,
             "with_shards requires a pristine arbiter (no grants or queued requests yet)"
         );
-        let policy = self.inner.queue.lock().policy;
+        let policy = self.inner.lock_queue().policy;
         let grace = self.inner.grace.load(Ordering::Relaxed);
         let out = Self::build(&self.inner.topo, policy, self.clock.clone(), shards);
         out.inner.grace.store(grace, Ordering::Relaxed);
@@ -924,7 +1017,7 @@ impl ClusterArbiter {
         }
         let _maintain_span = tel::span!(tel::Category::Arbiter, "arbiter.maintain");
         let now = self.clock_now();
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         let mut guards = inner.lock_shards();
         let mut dirty = vec![false; guards.len()];
         let mut merged = inner.merged_free(&guards);
@@ -975,7 +1068,9 @@ impl ClusterArbiter {
         let preempt_span =
             tel::span!(tel::Category::Arbiter, "arbiter.preempt", "due" => due.len() as u64);
         for (s, id) in due {
+            // lint: allow(unwrap) `due` ids were collected from these same locked maps, filtered on demand
             let view = Arc::clone(guards[s].live.get(&id).expect("collected from live"));
+            // lint: allow(unwrap) `due` ids were collected from these same locked maps, filtered on demand
             let demand = view.demand.expect("filtered on demand");
             let held = view.gpus.len() as u32;
             let take = demand.gpus.min(held);
@@ -1085,7 +1180,7 @@ impl ClusterArbiter {
         for (_, i) in candidates {
             let _hold_span =
                 tel::span!(tel::Category::Arbiter, "shard.lock_hold", "shard" => i as u64);
-            let mut st = inner.shards[i].state.lock();
+            let mut st = inner.lock_shard(i);
             if st.free.total_free() >= request.gpus {
                 if let Some(out) = inner.grant_single(i, &mut st, &request, now) {
                     inner.publish(i, &st);
@@ -1140,7 +1235,7 @@ impl ClusterArbiter {
         let now = self.clock_now();
         let inner = &*self.inner;
         inner.with_counters(request.job, |c| c.requested += 1);
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         let id = q.next_ticket;
         q.next_ticket += 1;
         q.pending.push_back(Pending {
@@ -1166,7 +1261,7 @@ impl ClusterArbiter {
         let _span = tel::span!(tel::Category::Arbiter, "arbiter.claim", "ticket" => ticket.id);
         let now = self.clock_now();
         let inner = &*self.inner;
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         let mut guards = inner.lock_shards();
         let mut dirty = vec![false; guards.len()];
         let mut merged = inner.merged_free(&guards);
@@ -1199,7 +1294,7 @@ impl ClusterArbiter {
     pub fn cancel(&self, ticket: &Ticket) {
         let now = self.clock_now();
         let inner = &*self.inner;
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         q.pending.retain(|p| p.ticket != ticket.id);
         inner.pending_count.store(q.pending.len(), GAUGE);
         let mut guards = inner.lock_shards();
@@ -1233,7 +1328,7 @@ impl ClusterArbiter {
     pub(crate) fn settle_now(&self) {
         let now = self.clock_now();
         let inner = &*self.inner;
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         let mut guards = inner.lock_shards();
         let mut dirty = vec![false; guards.len()];
         let mut merged = inner.merged_free(&guards);
@@ -1243,22 +1338,26 @@ impl ClusterArbiter {
 
     /// GPUs currently free (not held by any lease or unclaimed grant).
     /// Lock-free: served from the per-shard gauges.
+    // lint: lock-free
     pub fn free_gpus(&self) -> u32 {
         self.inner.free_gauge()
     }
 
     /// The current ledger epoch (bumped on every mutation). Lock-free.
+    // lint: lock-free
     pub fn epoch(&self) -> u64 {
         self.inner.epoch.load(Ordering::SeqCst)
     }
 
     /// Live leases (granted and not yet released), including unclaimed
     /// grants. Lock-free.
+    // lint: lock-free
     pub fn live_leases(&self) -> usize {
         self.inner.live_count.load(GAUGE)
     }
 
     /// Queued requests not yet granted. Lock-free.
+    // lint: lock-free
     pub fn pending_requests(&self) -> usize {
         self.inner.pending_count.load(GAUGE)
     }
@@ -1267,6 +1366,7 @@ impl ClusterArbiter {
     /// of the fairness conservation law: per job,
     /// `gpus_granted − gpus_released − gpus_moved == leased_gpus`).
     /// Lock-free: served from the published shard snapshots.
+    // lint: lock-free
     pub fn leased_gpus(&self, job: JobId) -> u32 {
         self.inner
             .shards
@@ -1285,6 +1385,7 @@ impl ClusterArbiter {
 
     /// A snapshot of the cluster-wide free ledger, assembled from the
     /// published shard snapshots without taking any shard lock.
+    // lint: lock-free
     pub fn snapshot(&self) -> NodeSlots {
         let mut all: Vec<GpuId> = Vec::with_capacity(self.inner.topo.num_gpus() as usize);
         for s in self.inner.shards.iter() {
@@ -1296,6 +1397,7 @@ impl ClusterArbiter {
     /// A fingerprint of the whole ledger — the global epoch hashed with
     /// every shard's published free fingerprint. Lock-free; two equal
     /// fingerprints mean readers saw the same ledger.
+    // lint: lock-free
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -1310,6 +1412,7 @@ impl ClusterArbiter {
 
     /// Cheap operational counters (see [`ArbiterStats`]): served from
     /// atomics and gauges, never taking the queue or a shard lock.
+    // lint: lock-free
     pub fn stats(&self) -> ArbiterStats {
         let inner = &*self.inner;
         ArbiterStats {
@@ -1327,6 +1430,7 @@ impl ClusterArbiter {
     /// Fairness counters of `job` (zeroes for unknown jobs). Takes only
     /// the job's fairness stripe lock — never the queue or a shard.
     pub fn fairness(&self, job: JobId) -> JobCounters {
+        let _rank = rank::acquire(rank::STRIPE);
         self.inner.fairness[(job.0 as usize) % FAIRNESS_STRIPES]
             .lock()
             .get(&job)
@@ -1338,6 +1442,9 @@ impl ClusterArbiter {
     pub fn fairness_all(&self) -> Vec<(JobId, JobCounters)> {
         let mut all: BTreeMap<JobId, JobCounters> = BTreeMap::new();
         for stripe in self.inner.fairness.iter() {
+            // Stripes are visited one at a time; the rank token scopes to
+            // the iteration, so equal stripe ranks never overlap.
+            let _rank = rank::acquire(rank::STRIPE);
             for (j, c) in stripe.lock().iter() {
                 all.insert(*j, *c);
             }
@@ -1357,7 +1464,7 @@ impl ClusterArbiter {
     /// A human-readable description of the violated invariant.
     pub fn audit(&self) -> Result<(), String> {
         let inner = &*self.inner;
-        let q = inner.queue.lock();
+        let q = inner.lock_queue();
         let guards = inner.lock_shards();
         let mut seen: HashMap<GpuId, &'static str> = HashMap::new();
         for (i, g) in guards.iter().enumerate() {

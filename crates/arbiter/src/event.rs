@@ -168,13 +168,14 @@ impl<K: Eq + Hash + Clone> DeadlineHeap<K> {
                     self.heap.pop();
                 }
                 Some(false) => {
-                    if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
-                        let Reverse(e) = self.heap.pop().expect("peeked");
-                        self.live.remove(&e.key);
-                        due.push((e.at, e.key));
-                    } else {
+                    if self.heap.peek().is_none_or(|Reverse(e)| e.at > now) {
                         break;
                     }
+                    let Some(Reverse(e)) = self.heap.pop() else {
+                        break;
+                    };
+                    self.live.remove(&e.key);
+                    due.push((e.at, e.key));
                 }
             }
         }
@@ -236,6 +237,7 @@ impl MaintenancePump {
     /// demand.deadline)` — keyed by lease id, so a renewal (new
     /// `expires_at`) or a satisfied demand supersedes the stale entry
     /// and a reaped or dropped lease's entry is canceled.
+    // lint: lock-free
     fn refresh(&mut self) {
         let inner = &self.arbiter.inner;
         let stamp = (
@@ -385,7 +387,8 @@ impl ClusterDaemon {
             .name("flexsp-arbiter-daemon".into())
             .spawn(move || {
                 let mut pump = MaintenancePump::new(arbiter);
-                let mut stop = inner.stop.lock().expect("daemon lock poisoned");
+                // lint: allow(lock) daemon stop flag — never held across any ranked ledger lock
+                let mut stop = inner.stop.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if *stop {
                         break;
@@ -399,16 +402,18 @@ impl ClusterDaemon {
                         Some(at) => clock.until(at).min(MAX_IDLE),
                         None => MAX_IDLE,
                     };
-                    stop = inner.stop.lock().expect("daemon lock poisoned");
+                    // lint: allow(lock) daemon stop flag — never held across any ranked ledger lock
+                    stop = inner.stop.lock().unwrap_or_else(|e| e.into_inner());
                     if *stop {
                         break;
                     }
                     (stop, _) = inner
                         .wake
                         .wait_timeout(stop, sleep)
-                        .expect("daemon lock poisoned");
+                        .unwrap_or_else(|e| e.into_inner());
                 }
             })
+            // lint: allow(unwrap) OS thread-spawn failure at daemon startup is unrecoverable
             .expect("spawn arbiter daemon");
         Self {
             shared,
@@ -420,7 +425,8 @@ impl ClusterDaemon {
     /// scheduled wakeup — call after granting a termed lease if the idle
     /// poll lag matters.
     pub fn wake(&self) {
-        let _g = self.shared.stop.lock().expect("daemon lock poisoned");
+        // lint: allow(lock) daemon stop flag — never held across any ranked ledger lock
+        let _g = self.shared.stop.lock().unwrap_or_else(|e| e.into_inner());
         self.shared.wake.notify_all();
     }
 
@@ -442,7 +448,8 @@ impl ClusterDaemon {
 
     fn stop_and_join(&mut self) {
         if let Some(handle) = self.handle.take() {
-            *self.shared.stop.lock().expect("daemon lock poisoned") = true;
+            // lint: allow(lock) daemon stop flag — never held across any ranked ledger lock
+            *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
             self.shared.wake.notify_all();
             let _ = handle.join();
         }

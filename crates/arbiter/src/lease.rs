@@ -120,6 +120,7 @@ impl Lease {
 
     /// The arbiter-side record, read from the home shard's published
     /// snapshot (lock-free; `None` once reaped or fully revoked).
+    // lint: lock-free
     fn record(&self) -> Option<Arc<LeaseView>> {
         self.arbiter.inner.shards[self.home]
             .snap
@@ -131,12 +132,14 @@ impl Lease {
 
     /// True while the lease exists arbiter-side (not reaped, not fully
     /// revoked). Lock-free.
+    // lint: lock-free
     pub fn is_live(&self) -> bool {
         self.record().is_some()
     }
 
     /// The logical time this lease lapses unless renewed (`None` for
     /// untermed or already-lapsed leases). Lock-free.
+    // lint: lock-free
     pub fn expires_at(&self) -> Option<u64> {
         self.record().and_then(|r| r.expires_at)
     }
@@ -145,6 +148,7 @@ impl Lease {
     /// give back [`ShrinkDemand::gpus`] GPUs before
     /// [`ShrinkDemand::deadline`] (via [`Lease::shrink`], which clears
     /// the demand) or the arbiter force-reclaims them. Lock-free.
+    // lint: lock-free
     pub fn pending_demand(&self) -> Option<ShrinkDemand> {
         self.record().and_then(|r| r.demand)
     }
@@ -160,6 +164,7 @@ impl Lease {
     ///
     /// Syncs are lock-free: they read the home shard's published
     /// snapshot and never block, even mid-grant or mid-maintenance.
+    // lint: lock-free
     pub fn sync(&mut self) -> LeaseEvent {
         match self.record() {
             None => {
@@ -185,6 +190,7 @@ impl Lease {
 
     /// The availability fingerprint: ledger epoch + per-node free-slot
     /// vector. Changes whenever the lease's slots or the stamp epoch do.
+    // lint: lock-free
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -231,7 +237,7 @@ impl Lease {
     pub fn renew(&mut self) -> Result<(), LeaseError> {
         let now = self.arbiter.clock_now();
         let inner = Arc::clone(&self.arbiter.inner);
-        let mut state = inner.shards[self.home].state.lock();
+        let mut state = inner.lock_shard(self.home);
         let Some(view) = state.live.get(&self.id).cloned() else {
             self.gpus.clear();
             return Err(LeaseError::Lapsed);
@@ -274,7 +280,7 @@ impl Lease {
         // A grow must see the whole pool (the draw may span shards) and
         // the queue (it may not jump waiting tenants): queue lock, then
         // every shard lock ascending.
-        let q = inner.queue.lock();
+        let q = inner.lock_queue();
         let mut guards = inner.lock_shards();
         let mut dirty = vec![false; guards.len()];
         let Some(view) = guards[self.home].live.get(&self.id).cloned() else {
@@ -295,6 +301,7 @@ impl Lease {
             Some(sku) => merged.take_packed_for(extra, sku),
             None => merged.take_packed(extra),
         }
+        // lint: allow(unwrap) `extra <= merged.total_free()` checked above under the same locks
         .expect("free count checked above");
         let grown = group.gpus().to_vec();
         inner.claim_into(&mut guards, &mut dirty, &grown);
@@ -342,7 +349,7 @@ impl Lease {
         let inner = Arc::clone(&self.arbiter.inner);
         // The freed slots may belong to any shard and the queue must be
         // pumped with them: queue lock, then every shard lock ascending.
-        let mut q = inner.queue.lock();
+        let mut q = inner.lock_queue();
         let mut guards = inner.lock_shards();
         let mut dirty = vec![false; guards.len()];
         let Some(view) = guards[self.home].live.get(&self.id).cloned() else {
@@ -423,7 +430,7 @@ impl Drop for Lease {
         if single {
             // Fast path: the lease lives entirely in its home shard, so
             // the release touches one lock and one snapshot publish.
-            let mut state = inner.shards[self.home].state.lock();
+            let mut state = inner.lock_shard(self.home);
             let Some(view) = state.live.remove(&self.id) else {
                 return; // raced with a reap under the lock
             };
@@ -455,7 +462,7 @@ impl Drop for Lease {
             // Spanning lease: its slots return to several shards and the
             // queue pumps against the merged pool.
             let now = self.arbiter.clock_now();
-            let mut q = inner.queue.lock();
+            let mut q = inner.lock_queue();
             let mut guards = inner.lock_shards();
             let mut dirty = vec![false; guards.len()];
             let Some(view) = guards[self.home].live.remove(&self.id) else {

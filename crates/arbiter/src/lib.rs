@@ -99,6 +99,7 @@ mod clock;
 mod event;
 mod lease;
 mod policy;
+mod rank;
 mod shard;
 
 pub use arbiter::{

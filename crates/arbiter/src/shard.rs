@@ -16,6 +16,14 @@
 //! Single-shard fast paths take exactly one shard lock; spanning grants
 //! and admission passes take the queue lock plus every shard lock in
 //! index order, which is deadlock-free by construction.
+//!
+//! This order is *machine-enforced*, not just documented: `flexsp-lint`'s
+//! `lock-order` rule statically checks every acquisition site in this
+//! crate against the ranks above (with call summaries, so a helper that
+//! locks a shard propagates its rank to callers), and the
+//! `debug_assertions`-gated tracker in [`crate::rank`] panics at runtime
+//! on any out-of-order acquisition. See
+//! `docs/ARCHITECTURE.md#static-analysis--concurrency-contracts`.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -27,6 +35,7 @@ use parking_lot::Mutex;
 
 use crate::arbiter::ShrinkDemand;
 use crate::policy::{JobId, Priority};
+use crate::rank;
 
 /// A copy-on-write publication cell: writers swap in a fresh `Arc<T>`
 /// while readers clone the current one. The internal mutex is held only
@@ -50,11 +59,15 @@ impl<T> Published<T> {
     /// The current snapshot (wait-free in practice: the lock is only
     /// ever held for a pointer copy).
     pub(crate) fn load(&self) -> Arc<T> {
+        let _rank = rank::acquire(rank::PUBLISH);
+        // lint: allow(lock) pointer-copy-only ArcSwap idiom; rank "publish slot"
         Arc::clone(&self.slot.lock())
     }
 
     /// Publishes a new snapshot.
     pub(crate) fn store(&self, value: Arc<T>) {
+        let _rank = rank::acquire(rank::PUBLISH);
+        // lint: allow(lock) pointer-swap-only ArcSwap idiom; rank "publish slot"
         *self.slot.lock() = value;
     }
 }

@@ -1,6 +1,7 @@
 //! FlexSP-BatchAda: homogeneous within a batch, adaptive across batches
 //! (paper §6.1).
 
+// lint: allow(clock) wall solve time is part of SystemReport's functional output
 use std::time::Instant;
 
 use flexsp_core::{blaster, plan_homogeneous, Executor, IterationPlan};
@@ -102,6 +103,7 @@ impl TrainingSystem for FlexSpBatchAda {
     }
 
     fn run_iteration(&mut self, batch: &[Sequence]) -> Result<SystemReport, BaselineError> {
+        // lint: allow(clock) reported as SystemReport::solve_wall_s, not used for control flow
         let start = Instant::now();
         let longest = batch.iter().map(|s| s.len).max().unwrap_or(0);
         let min_degree = self.cost.min_degree_for(longest).ok_or_else(|| {

@@ -1,6 +1,7 @@
 //! DeepSpeed-like baseline: static homogeneous Ulysses SP + ZeRO-3 with
 //! Best-Fit packing (paper §6.1).
 
+// lint: allow(clock) wall solve time is part of SystemReport's functional output
 use std::time::Instant;
 
 use flexsp_cost::{sp_step_spec, ulysses_zero_spec, CostModel};
@@ -160,6 +161,7 @@ impl TrainingSystem for DeepSpeedUlysses {
     }
 
     fn run_iteration(&mut self, batch: &[Sequence]) -> Result<SystemReport, BaselineError> {
+        // lint: allow(clock) reported as SystemReport::solve_wall_s, not used for control flow
         let start = Instant::now();
         let degree = self.tune(batch)?;
         let packed = pack_best_fit_decreasing(batch, self.model.max_context);

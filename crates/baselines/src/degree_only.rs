@@ -109,6 +109,7 @@ impl TrainingSystem for DegreeOnlyFlexSp {
     }
 
     fn run_iteration(&mut self, batch: &[Sequence]) -> Result<SystemReport, BaselineError> {
+        // lint: allow(clock) reported as SystemReport::solve_wall_s, not used for control flow
         let start = std::time::Instant::now();
         let plan = self.solve_flat_aligned(batch)?;
         let solve_wall_s = start.elapsed().as_secs_f64();

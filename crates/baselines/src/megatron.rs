@@ -1,6 +1,7 @@
 //! Megatron-LM-like baseline: TP (with Megatron-style SP) × CP × DP with
 //! ZeRO-1 (paper §6.1, App. B.2, App. D).
 
+// lint: allow(clock) wall solve time is part of SystemReport's functional output
 use std::time::Instant;
 
 use flexsp_data::{pack_best_fit_decreasing, PackedInput, Sequence};
@@ -270,6 +271,7 @@ impl TrainingSystem for MegatronLm {
     }
 
     fn run_iteration(&mut self, batch: &[Sequence]) -> Result<SystemReport, BaselineError> {
+        // lint: allow(clock) reported as SystemReport::solve_wall_s, not used for control flow
         let start = Instant::now();
         let s = self.tune(batch)?;
         let packed = pack_best_fit_decreasing(batch, self.model.max_context);

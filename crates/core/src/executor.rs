@@ -197,6 +197,7 @@ impl Executor {
 
             let mut times = Vec::with_capacity(mb.groups.len());
             for g in &mb.groups {
+                // lint: allow(unwrap) plan validation above rejects unplaced groups before execution
                 let device_group = g.placement.as_ref().expect("validated above");
                 let fetch = self.pool.get_or_create(device_group);
                 report.setup_s += fetch.setup_cost_s;

@@ -124,9 +124,11 @@ pub fn place_degrees_within(
     for i in order {
         let group = slots
             .take_packed(degrees[i])
+            // lint: allow(unwrap) total degree vs free-slot budget verified before the placement loop
             .expect("budget checked upfront");
         out[i] = Some(group);
     }
+    // lint: allow(unwrap) the loop above fills every index of `out`
     Ok(out.into_iter().map(|g| g.expect("placed")).collect())
 }
 
@@ -180,9 +182,11 @@ pub fn place_shapes_within(
     for i in order {
         let group = slots
             .take_packed_for(shapes[i].degree, shapes[i].sku)
+            // lint: allow(unwrap) per-SKU degree vs free-slot budget verified before the placement loop
             .expect("budget checked upfront");
         out[i] = Some(group);
     }
+    // lint: allow(unwrap) the loop above fills every index of `out`
     Ok(out.into_iter().map(|g| g.expect("placed")).collect())
 }
 

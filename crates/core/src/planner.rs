@@ -437,6 +437,7 @@ impl HeuristicSlots {
     fn commit(&mut self, d: u32, sku: flexsp_sim::SkuId) {
         self.slots
             .take_packed_for(d, sku)
+            // lint: allow(unwrap) `class_for` just proved a degree-`d` draw of this SKU fits these slots
             .expect("class_for said it fits");
         self.refresh();
     }

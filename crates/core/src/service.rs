@@ -329,14 +329,9 @@ impl ShardedPlanCache {
                 // Single-flight wait: time spent blocked on the
                 // leader's solve (the coalescing win/loss histogram).
                 let _wait_span = tel::span!(tel::Category::Cache, "cache.flight_wait");
-                #[cfg(feature = "telemetry")]
-                let wait_t0 = std::time::Instant::now();
+                let wait_t0 = tel::Stopwatch::start();
                 let waited = Self::wait_flight(&flight);
-                #[cfg(feature = "telemetry")]
-                tel::observe!(
-                    "flexsp.cache.flight_wait_us",
-                    wait_t0.elapsed().as_micros() as u64
-                );
+                tel::observe!("flexsp.cache.flight_wait_us", wait_t0.elapsed_us());
                 match waited {
                     Ok(plan) => match rebind(plan, batch) {
                         Some(own) => Ok(own),
@@ -667,6 +662,7 @@ impl SolverService {
         self.next_submit.set(idx + 1);
         self.jobs
             .send((idx, batch))
+            // lint: allow(unwrap) send fails only after every worker dropped, which Drop does after draining
             .expect("solver workers alive while the service exists");
         idx
     }
@@ -704,6 +700,7 @@ impl SolverService {
             let (idx, res) = self
                 .results
                 .recv()
+                // lint: allow(unwrap) a pending sequence number proves at least one worker still owns a job
                 .expect("workers alive while jobs are pending");
             self.reorder.borrow_mut().insert(idx, res);
         }

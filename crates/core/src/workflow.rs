@@ -6,6 +6,7 @@
 //! predicted time. Candidate counts are explored in parallel (the paper's
 //! "two-level multi-process solving", realized with scoped threads).
 
+// lint: allow(clock) wall-clock solve time is part of SolvedIteration's functional output
 use std::time::Instant;
 
 use flexsp_cost::CostModel;
@@ -176,6 +177,7 @@ impl FlexSpSolver {
     ///   group — no micro-batch count can fix that.
     /// * [`PlanError::Infeasible`] if every candidate count fails.
     pub fn solve_iteration(&self, batch: &[Sequence]) -> Result<SolvedIteration, PlanError> {
+        // lint: allow(clock) reported as SolvedIteration::solve_time, not used for control flow
         let start = Instant::now();
         // The free slots this solver plans within: its bound lease view,
         // or the whole cluster.
@@ -245,9 +247,11 @@ impl FlexSpSolver {
                         .collect();
                     handles
                         .into_iter()
+                        // lint: allow(unwrap) join fails only on a child panic; re-raise it, don't swallow it
                         .map(|h| h.join().expect("micro-batch planner panicked"))
                         .collect()
                 })
+                // lint: allow(unwrap) scope fails only on a child panic; re-raise it, don't swallow it
                 .expect("micro-batch scope panicked")
             } else {
                 micro_batches.iter().map(solve_mb).collect()
@@ -271,9 +275,11 @@ impl FlexSpSolver {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(unwrap) join fails only on a child panic; re-raise it, don't swallow it
                     .map(|h| h.join().expect("solver thread panicked"))
                     .collect()
             })
+            // lint: allow(unwrap) scope fails only on a child panic; re-raise it, don't swallow it
             .expect("solver scope panicked")
         } else {
             counts.iter().map(|&m| (m, solve_one(m))).collect()

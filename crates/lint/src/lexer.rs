@@ -1,0 +1,338 @@
+//! A minimal Rust lexer: good enough to tokenize the workspace without
+//! `syn`, not a full implementation of the reference grammar.
+//!
+//! Produces a flat stream of [`Tok`]s (identifiers, punctuation, literals)
+//! tagged with 1-based line numbers. Comments are stripped from the token
+//! stream but scanned for `// lint:` control markers, which are returned
+//! separately as [`Marker`]s. String/char literals are kept as single
+//! tokens (with their quotes) so rules can match literal text such as
+//! `"telemetry"` without ever confusing code inside a string for code.
+
+/// One lexical token plus the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Raw token text. Identifiers/keywords are bare (`fn`, `lock`),
+    /// punctuation is one character per token (`.`, `{`), literals keep
+    /// their delimiters (`"telemetry"`, `'a'`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `// lint: ...` control comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Everything after `lint:`, trimmed (e.g. `lock-free`,
+    /// `allow(unwrap) len checked above`).
+    pub directive: String,
+}
+
+/// Lexer output: the token stream and any lint markers found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All `// lint:` markers in source order.
+    pub markers: Vec<Marker>,
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become single-character
+/// punctuation tokens, which is safe because every rule matches explicit
+/// token patterns.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($text:expr, $line:expr) => {
+            out.tokens.push(Tok {
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            // Line comment (incl. doc comments). Scan for a lint marker.
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+                if let Some(rest) = body.strip_prefix("lint:") {
+                    out.markers.push(Marker {
+                        line,
+                        directive: rest.trim().to_string(),
+                    });
+                }
+            }
+            // Block comment, possibly nested. Lint markers are line-comment
+            // only; block comments are simply skipped.
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Raw string literal r"..." / r#"..."# (and br variants below
+            // via the identifier path falling through here).
+            b'r' if starts_raw_string(bytes, i) => {
+                let tok_line = line;
+                let (end, newlines) = scan_raw_string(bytes, i);
+                push!(src[i..end].to_string(), tok_line);
+                line += newlines;
+                i = end;
+            }
+            b'"' => {
+                let tok_line = line;
+                let (end, newlines) = scan_string(bytes, i);
+                push!(src[i..end].to_string(), tok_line);
+                line += newlines;
+                i = end;
+            }
+            // Either a char literal ('x', '\n') or a lifetime ('a). A
+            // lifetime is a quote followed by an identifier NOT closed by
+            // another quote.
+            b'\'' => {
+                if is_lifetime(bytes, i) {
+                    let start = i;
+                    i += 1;
+                    while i < n && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    push!(src[start..i].to_string(), line);
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < n {
+                        if bytes[i] == b'\\' {
+                            i += 2;
+                        } else if bytes[i] == b'\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    push!(src[start..i].to_string(), line);
+                }
+            }
+            _ if is_ident_start(c) => {
+                // b"..." / b'x' byte literals route through the string
+                // scanners so their contents stay opaque.
+                if c == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
+                    let tok_line = line;
+                    let (end, newlines) = scan_string(bytes, i + 1);
+                    push!(src[i..end].to_string(), tok_line);
+                    line += newlines;
+                    i = end;
+                    continue;
+                }
+                if c == b'b' && i + 1 < n && starts_raw_string(bytes, i + 1) {
+                    let tok_line = line;
+                    let (end, newlines) = scan_raw_string(bytes, i + 1);
+                    push!(src[i..end].to_string(), tok_line);
+                    line += newlines;
+                    i = end;
+                    continue;
+                }
+                let start = i;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push!(src[start..i].to_string(), line);
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (is_ident_continue(bytes[i]) || bytes[i] == b'.') {
+                    // `1.5` consumes the dot; `0..n` and `x.0.lock()` must
+                    // not — only a digit may follow a dot inside a number.
+                    if bytes[i] == b'.' && !(i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                push!(src[start..i].to_string(), line);
+            }
+            _ => {
+                push!((c as char).to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Is `bytes[i] == 'r'` the start of a raw string (`r"` or `r#...#"`)?
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    if bytes[i] != b'r' {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"' && j > i
+}
+
+/// Scan a raw string starting at `r`. Returns (end index, newline count).
+fn scan_raw_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, newlines);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, newlines)
+}
+
+/// Scan a normal string starting at the opening quote. Returns
+/// (end index, newline count).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Distinguish `'a` (lifetime) from `'a'` (char literal) at a quote.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let n = bytes.len();
+    if i + 1 >= n || !is_ident_start(bytes[i + 1]) {
+        return false;
+    }
+    // 'x' (char) has a closing quote right after one ident char; 'ab or
+    // 'a followed by non-quote is a lifetime.
+    let mut j = i + 1;
+    while j < n && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    !(j < n && bytes[j] == b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            texts("self.queue.lock()"),
+            vec!["self", ".", "queue", ".", "lock", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        assert_eq!(
+            texts(r#"let s = "a.lock()";"#),
+            vec!["let", "s", "=", "\"a.lock()\"", ";"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(texts("&'a str"), vec!["&", "'a", "str"]);
+        assert_eq!(texts("let c = 'x';"), vec!["let", "c", "=", "'x'", ";"]);
+    }
+
+    #[test]
+    fn markers_collected() {
+        let lexed = lex("// lint: allow(unwrap) checked above\nx.unwrap();");
+        assert_eq!(lexed.markers.len(), 1);
+        assert_eq!(lexed.markers[0].line, 1);
+        assert_eq!(lexed.markers[0].directive, "allow(unwrap) checked above");
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn comments_stripped_raw_strings_opaque() {
+        let lexed = lex("/* a.lock() */ r#\"x.unwrap()\"# // trailing");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert!(lexed.tokens[0].text.starts_with("r#"));
+        assert!(lexed.markers.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let lexed = lex("let a = \"x\ny\";\nfoo");
+        let foo = lexed.tokens.last().unwrap();
+        assert_eq!(foo.text, "foo");
+        assert_eq!(foo.line, 3);
+    }
+
+    #[test]
+    fn numeric_dots_do_not_break_ranges() {
+        assert_eq!(texts("0..n"), vec!["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e3"), vec!["1.5e3"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! The `flexsp-lint` binary: walk the workspace, run the five rules,
+//! print `file:line:` diagnostics, exit 1 on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "flexsp-lint: workspace invariant checker\n\n\
+                     USAGE: flexsp-lint [--root <workspace-dir>]\n\n\
+                     Rules: lock-order, lock-free, clock-containment,\n\
+                     telemetry-hygiene, unwrap-ban. See {}.",
+                    flexsp_lint::DOC_ANCHOR
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("flexsp-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| flexsp_lint::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("flexsp-lint: could not locate a [workspace] Cargo.toml (use --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match flexsp_lint::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("flexsp-lint: 0 violations");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("flexsp-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("flexsp-lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

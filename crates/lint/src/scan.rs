@@ -1,0 +1,671 @@
+//! Item-level scanner: walks the token stream from [`crate::lexer`] and
+//! recovers just enough structure for the rules — function items with
+//! body ranges, the impl type each method belongs to, struct field types
+//! (for `self.field.method()` call resolution), and which regions of the
+//! file are `#[cfg(test)]`-gated.
+//!
+//! This is a brace-matcher, not a parser: it never builds an AST, it
+//! tracks nesting depth and records token index ranges.
+
+use crate::lexer::{lex, Lexed, Marker, Tok};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// What part of a crate a file belongs to. Rules scope themselves by kind:
+/// the concurrency/determinism rules apply to `Src` only, while telemetry
+/// hygiene applies everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a crate (includes `src/bin`).
+    Src,
+    /// `tests/` integration tests.
+    Test,
+    /// `examples/`.
+    Example,
+    /// `benches/`.
+    Bench,
+}
+
+/// One `fn` item (free function, inherent/trait method, or trait default
+/// method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self-type, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the signature: `[fn_kw, body_open)`.
+    pub sig: (usize, usize),
+    /// Token index range of the body, inclusive of both braces, if the
+    /// item has one (trait method signatures don't).
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` / `#[test]` context.
+    pub is_test: bool,
+    /// `// lint: lock-free` marker attached above this fn.
+    pub lock_free: bool,
+}
+
+/// A scanned source file, ready for the rules.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (diagnostic key).
+    pub rel: String,
+    /// Cargo package name owning the file (e.g. `flexsp-arbiter`).
+    pub crate_name: String,
+    /// Which target tree the file sits in.
+    pub kind: FileKind,
+    /// Full token stream.
+    pub tokens: Vec<Tok>,
+    /// `// lint:` markers in source order.
+    pub markers: Vec<Marker>,
+    /// All fn items, in source order.
+    pub fns: Vec<FnItem>,
+    /// struct name -> field name -> field type (outer type ident, with
+    /// `Arc`/`Box`/`Rc`/`Option`/`Vec` wrappers stripped).
+    pub field_types: HashMap<String, HashMap<String, String>>,
+    /// 1-based (start, end) line ranges covered by test-gated code.
+    pub test_lines: Vec<(u32, u32)>,
+}
+
+impl ScannedFile {
+    /// Is `line` inside a `#[cfg(test)]`-gated region?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Scan one file's source text.
+pub fn scan_file(
+    path: PathBuf,
+    rel: String,
+    crate_name: String,
+    kind: FileKind,
+    src: &str,
+) -> ScannedFile {
+    let Lexed { tokens, markers } = lex(src);
+    let mut file = ScannedFile {
+        path,
+        rel,
+        crate_name,
+        kind,
+        tokens,
+        markers,
+        fns: Vec::new(),
+        field_types: HashMap::new(),
+        test_lines: Vec::new(),
+    };
+    let end = file.tokens.len();
+    let mut scanner = Scanner { file: &mut file };
+    scanner.items(0, end, None, false);
+    file.fns.sort_by_key(|f| f.line);
+    attach_lock_free_markers(&mut file);
+    file
+}
+
+/// Attach each `// lint: lock-free` marker to the first fn item starting
+/// at or below the marker's line.
+fn attach_lock_free_markers(file: &mut ScannedFile) {
+    let marker_lines: Vec<u32> = file
+        .markers
+        .iter()
+        .filter(|m| m.directive == "lock-free")
+        .map(|m| m.line)
+        .collect();
+    for line in marker_lines {
+        if let Some(f) = file.fns.iter_mut().find(|f| f.line >= line) {
+            f.lock_free = true;
+        }
+    }
+}
+
+struct Scanner<'a> {
+    file: &'a mut ScannedFile,
+}
+
+impl Scanner<'_> {
+    fn text(&self, i: usize) -> &str {
+        &self.file.tokens[i].text
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.file.tokens[i].line
+    }
+
+    /// Index just past the `]` closing an attribute whose `[` is at `i`.
+    fn skip_balanced(&self, mut i: usize, end: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        while i < end {
+            let t = self.text(i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Scan items in `[start, end)`. `impl_ty` is the enclosing
+    /// impl/trait self-type; `in_test` marks an enclosing cfg(test).
+    fn items(&mut self, start: usize, end: usize, impl_ty: Option<&str>, in_test: bool) {
+        let mut i = start;
+        // Attribute state for the *next* item.
+        let mut pending_test = false;
+        while i < end {
+            let t = self.text(i).to_string();
+            match t.as_str() {
+                "#" => {
+                    // `#![...]` inner attribute: applies to the enclosing
+                    // scope, not the next item — skip without touching
+                    // pending state.
+                    let inner = i + 1 < end && self.text(i + 1) == "!";
+                    let open = if inner { i + 2 } else { i + 1 };
+                    if open < end && self.text(open) == "[" {
+                        let after = self.skip_balanced(open, end, "[", "]");
+                        if !inner && attr_is_test(&self.file.tokens[open..after]) {
+                            pending_test = true;
+                        }
+                        i = after;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "mod" => {
+                    i += 1; // name
+                    i += 1;
+                    if i < end && self.text(i) == "{" {
+                        let close = self.skip_balanced(i, end, "{", "}") - 1;
+                        let test = in_test || pending_test;
+                        if test {
+                            self.file.test_lines.push((self.line(i), self.line(close)));
+                        }
+                        self.items(i + 1, close, None, test);
+                        i = close + 1;
+                    } else {
+                        // `mod name;`
+                        i += 1;
+                    }
+                    pending_test = false;
+                }
+                "impl" | "trait" => {
+                    let (ty, body_open) = self.parse_impl_header(i, end, t == "trait");
+                    if body_open >= end || self.text(body_open) != "{" {
+                        i = body_open + 1;
+                        pending_test = false;
+                        continue;
+                    }
+                    let close = self.skip_balanced(body_open, end, "{", "}") - 1;
+                    let test = in_test || pending_test;
+                    if test && !in_test {
+                        self.file
+                            .test_lines
+                            .push((self.line(body_open), self.line(close)));
+                    }
+                    self.items(body_open + 1, close, ty.as_deref(), test);
+                    i = close + 1;
+                    pending_test = false;
+                }
+                "struct" => {
+                    i = self.parse_struct(i, end);
+                    pending_test = false;
+                }
+                "enum" | "union" => {
+                    // Skip the body; variants carry no executable code.
+                    i += 1;
+                    while i < end && self.text(i) != "{" && self.text(i) != ";" {
+                        i += 1;
+                    }
+                    if i < end && self.text(i) == "{" {
+                        i = self.skip_balanced(i, end, "{", "}");
+                    } else {
+                        i += 1;
+                    }
+                    pending_test = false;
+                }
+                "fn" => {
+                    i = self.parse_fn(i, end, impl_ty, in_test || pending_test);
+                    pending_test = false;
+                }
+                "use" | "type" => {
+                    while i < end && self.text(i) != ";" {
+                        i += 1;
+                    }
+                    i += 1;
+                    pending_test = false;
+                }
+                "const" | "static" => {
+                    // `const X: T = expr;` — the expr may contain braces
+                    // (and those braces may contain semicolons), so track
+                    // depth. An associated `const fn` never reaches here:
+                    // `fn` is matched first only when it's the leading
+                    // token, so peek for `const fn`.
+                    if i + 1 < end && self.text(i + 1) == "fn" {
+                        i += 1;
+                        continue;
+                    }
+                    let mut depth = 0usize;
+                    while i < end {
+                        match self.text(i) {
+                            "{" | "(" | "[" => depth += 1,
+                            "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    pending_test = false;
+                }
+                "macro_rules" => {
+                    // macro_rules! name { ... }
+                    i += 1;
+                    while i < end && self.text(i) != "{" {
+                        i += 1;
+                    }
+                    if i < end {
+                        i = self.skip_balanced(i, end, "{", "}");
+                    }
+                    pending_test = false;
+                }
+                // Item-prefix keywords: keep pending attrs armed.
+                "pub" => {
+                    i += 1;
+                    if i < end && self.text(i) == "(" {
+                        i = self.skip_balanced(i, end, "(", ")");
+                    }
+                }
+                "unsafe" | "async" | "extern" | "default" => i += 1,
+                _ => {
+                    // Stray token at item level (shouldn't happen in
+                    // well-formed code): advance.
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Parse `impl<G> Type`, `impl Trait for Type`, or `trait Name`,
+    /// returning (self type, index of the body `{`).
+    fn parse_impl_header(
+        &self,
+        start: usize,
+        end: usize,
+        is_trait: bool,
+    ) -> (Option<String>, usize) {
+        let mut i = start + 1;
+        let mut angle = 0i32;
+        let mut ty: Option<String> = None;
+        let mut after_for = false;
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "<" => angle += 1,
+                ">" => {
+                    // `->` in generic bounds (e.g. `FnMut(..) -> bool`).
+                    if i > start && self.text(i - 1) == "-" {
+                        // not a closing angle
+                    } else {
+                        angle -= 1;
+                    }
+                }
+                "{" if angle == 0 => return (ty, i),
+                ";" if angle == 0 => return (ty, i), // e.g. `impl Foo;` won't occur, safety
+                "for" if angle == 0 && !is_trait => {
+                    after_for = true;
+                    ty = None;
+                }
+                _ => {
+                    if angle == 0 && ty.is_none() && is_ident_tok(t) && t != "dyn" && t != "where" {
+                        // First path ident at angle depth 0: remember the
+                        // *last* segment of the path (skip `a::b` heads).
+                        let mut j = i;
+                        let mut last = t.to_string();
+                        while j + 2 < end && self.text(j + 1) == ":" && self.text(j + 2) == ":" {
+                            j += 3;
+                            if j < end && is_ident_tok(self.text(j)) {
+                                last = self.text(j).to_string();
+                            }
+                        }
+                        ty = Some(last);
+                        // For `impl Trait for Type`, the trait name parses
+                        // first and is discarded when `for` is seen.
+                        let _ = after_for;
+                        i = j;
+                    } else if angle == 0 && t == "where" {
+                        // where-clause before body: scan on for `{`.
+                    }
+                }
+            }
+            i += 1;
+        }
+        (ty, end)
+    }
+
+    /// Parse a struct item starting at the `struct` keyword; records field
+    /// types for named-field structs. Returns the index just past the item.
+    fn parse_struct(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start + 1;
+        let name = if i < end {
+            self.text(i).to_string()
+        } else {
+            return end;
+        };
+        i += 1;
+        // Skip generics.
+        if i < end && self.text(i) == "<" {
+            let mut angle = 0i32;
+            while i < end {
+                match self.text(i) {
+                    "<" => angle += 1,
+                    ">" if self.text(i - 1) != "-" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // Skip a where-clause if present.
+        while i < end && self.text(i) != "{" && self.text(i) != "(" && self.text(i) != ";" {
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        match self.text(i) {
+            "(" => {
+                // Tuple struct: skip to `;`.
+                let after = self.skip_balanced(i, end, "(", ")");
+                after + 1
+            }
+            ";" => i + 1,
+            "{" => {
+                let close = self.skip_balanced(i, end, "{", "}") - 1;
+                let mut fields = HashMap::new();
+                let mut j = i + 1;
+                while j < close {
+                    // Skip attributes and visibility.
+                    match self.text(j) {
+                        "#" => {
+                            if j + 1 < close && self.text(j + 1) == "[" {
+                                j = self.skip_balanced(j + 1, close, "[", "]");
+                            } else {
+                                j += 1;
+                            }
+                            continue;
+                        }
+                        "pub" => {
+                            j += 1;
+                            if j < close && self.text(j) == "(" {
+                                j = self.skip_balanced(j, close, "(", ")");
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    // Expect `name : type , `
+                    if j + 1 < close && is_ident_tok(self.text(j)) && self.text(j + 1) == ":" {
+                        let fname = self.text(j).to_string();
+                        let (fty, next) = self.parse_field_type(j + 2, close);
+                        if let Some(fty) = fty {
+                            fields.insert(fname, fty);
+                        }
+                        j = next;
+                    } else {
+                        j += 1;
+                    }
+                }
+                self.file.field_types.insert(name, fields);
+                close + 1
+            }
+            _ => i + 1,
+        }
+    }
+
+    /// Parse a field type starting at `start`, returning the outer type
+    /// ident (wrappers stripped) and the index just past the terminating
+    /// comma (or at the closing brace).
+    fn parse_field_type(&self, start: usize, end: usize) -> (Option<String>, usize) {
+        const WRAPPERS: [&str; 5] = ["Arc", "Box", "Rc", "Option", "Vec"];
+        let mut i = start;
+        let mut depth = 0i32; // <> () [] combined
+        let mut ty: Option<String> = None;
+        let mut expect_inner = false;
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "<" | "(" | "[" => {
+                    if t == "<" && expect_inner {
+                        // descend into the wrapper's parameter without
+                        // bumping depth so the inner ident is still "ours"
+                        expect_inner = false;
+                    } else {
+                        depth += 1;
+                    }
+                }
+                ">" | ")" | "]" => {
+                    if self.text(i.saturating_sub(1)) == "-" && t == ">" {
+                        // `fn() -> T` inside a field type
+                    } else {
+                        depth -= 1;
+                    }
+                }
+                "," if depth <= 0 => return (ty, i + 1),
+                _ => {
+                    if depth <= 0 && ty.is_none() && is_ident_tok(t) {
+                        // Resolve path segments: take the last ident of
+                        // `a::b::C`.
+                        let mut j = i;
+                        let mut last = t.to_string();
+                        while j + 2 < end && self.text(j + 1) == ":" && self.text(j + 2) == ":" {
+                            j += 3;
+                            if j < end && is_ident_tok(self.text(j)) {
+                                last = self.text(j).to_string();
+                            }
+                        }
+                        i = j;
+                        if WRAPPERS.contains(&last.as_str()) {
+                            // `Arc<Inner>` — keep looking inside.
+                            expect_inner = true;
+                        } else if !matches!(last.as_str(), "dyn" | "mut" | "const") {
+                            ty = Some(last);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        (ty, end)
+    }
+
+    /// Parse a fn item starting at the `fn` keyword. Returns the index
+    /// just past the item.
+    fn parse_fn(
+        &mut self,
+        start: usize,
+        end: usize,
+        impl_ty: Option<&str>,
+        is_test: bool,
+    ) -> usize {
+        let fn_line = self.line(start);
+        let name = if start + 1 < end {
+            self.text(start + 1).to_string()
+        } else {
+            return end;
+        };
+        // Find the body `{` or terminating `;`, angle-aware.
+        let mut i = start + 2;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while i < end {
+            match self.text(i) {
+                "<" => angle += 1,
+                ">" if self.text(i - 1) != "-" => angle -= 1,
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if angle <= 0 && paren == 0 => break,
+                ";" if angle <= 0 && paren == 0 => {
+                    // Bodyless trait method signature.
+                    self.file.fns.push(FnItem {
+                        name,
+                        impl_type: impl_ty.map(str::to_string),
+                        line: fn_line,
+                        sig: (start, i),
+                        body: None,
+                        is_test,
+                        lock_free: false,
+                    });
+                    return i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        let close = self.skip_balanced(i, end, "{", "}") - 1;
+        if is_test {
+            self.file.test_lines.push((fn_line, self.line(close)));
+        }
+        self.file.fns.push(FnItem {
+            name,
+            impl_type: impl_ty.map(str::to_string),
+            line: fn_line,
+            sig: (start, i),
+            body: Some((i, close)),
+            is_test,
+            lock_free: false,
+        });
+        close + 1
+    }
+}
+
+/// Does an attribute token slice (starting at `[`) gate the next item on
+/// test builds? Matches `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`
+/// and friends; `#[cfg(not(test))]` is live in normal builds and is NOT
+/// treated as test-gated.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .map(|t| t.text.as_str())
+        .filter(|t| is_ident_tok(t))
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        // `#[cfg(test)]`, `#[cfg(all(test, ..))]`; `#[cfg(not(test))]` is
+        // live in normal builds. `#[cfg_attr(test, ..)]` does not gate the
+        // item itself.
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+fn is_ident_tok(t: &str) -> bool {
+    t.chars()
+        .next()
+        .map(|c| c == '_' || c.is_ascii_alphabetic())
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        scan_file(
+            PathBuf::from("/x/test.rs"),
+            "x/test.rs".into(),
+            "x".into(),
+            FileKind::Src,
+            src,
+        )
+    }
+
+    #[test]
+    fn finds_free_and_method_fns() {
+        let f = scan(
+            "fn top() { body(); }\n\
+             impl Widget {\n    fn method(&self) -> u32 { 7 }\n}\n\
+             impl Drop for Widget {\n    fn drop(&mut self) {}\n}\n",
+        );
+        let names: Vec<(Option<&str>, &str)> = f
+            .fns
+            .iter()
+            .map(|x| (x.impl_type.as_deref(), x.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (None, "top"),
+                (Some("Widget"), "method"),
+                (Some("Widget"), "drop"),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_resolves_self_type() {
+        let f = scan("impl<T: Clone> fmt::Debug for Published<T> {\n    fn fmt(&self) {}\n}\n");
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("Published"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_and_lines() {
+        let f = scan(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { live(); }\n}\n",
+        );
+        assert!(!f.fns.iter().find(|x| x.name == "live").unwrap().is_test);
+        assert!(f.fns.iter().find(|x| x.name == "t").unwrap().is_test);
+        assert!(f.is_test_line(4)); // the `use super::*;` line
+        assert!(!f.is_test_line(1));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let f = scan("#[cfg(not(test))]\nfn shipping() {}\n");
+        assert!(!f.fns[0].is_test);
+    }
+
+    #[test]
+    fn struct_fields_strip_wrappers() {
+        let f = scan(
+            "pub struct Pump {\n    arbiter: ClusterArbiter,\n    heap: DeadlineHeap<u64>,\n    inner: Arc<Inner>,\n    shards: Vec<Shard>,\n}\n",
+        );
+        let fields = &f.field_types["Pump"];
+        assert_eq!(fields["arbiter"], "ClusterArbiter");
+        assert_eq!(fields["heap"], "DeadlineHeap");
+        assert_eq!(fields["inner"], "Inner");
+        assert_eq!(fields["shards"], "Shard");
+    }
+
+    #[test]
+    fn lock_free_marker_attaches_to_next_fn() {
+        let f =
+            scan("// lint: lock-free\npub fn sync(&self) -> u64 { 0 }\npub fn other(&self) {}\n");
+        assert!(f.fns.iter().find(|x| x.name == "sync").unwrap().lock_free);
+        assert!(!f.fns.iter().find(|x| x.name == "other").unwrap().lock_free);
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_braces() {
+        let f = scan("fn a() { if x { y(); } }");
+        let (open, close) = f.fns[0].body.unwrap();
+        assert_eq!(f.tokens[open].text, "{");
+        assert_eq!(f.tokens[close].text, "}");
+        assert_eq!(close, f.tokens.len() - 1);
+    }
+}

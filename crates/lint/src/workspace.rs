@@ -1,0 +1,121 @@
+//! Workspace walker: finds every `.rs` file, maps it to its Cargo
+//! package, classifies it (src/tests/examples/benches), and scans it.
+
+use crate::rules::{analyze, Violation};
+use crate::scan::{scan_file, FileKind, ScannedFile};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories that the walker never descends into. `crates/compat` is
+/// third-party-stub territory and `crates/lint/tests/fixtures` holds
+/// deliberately-violating corpus files.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", "fixtures"];
+
+/// Walk the workspace at `root`, scan every `.rs` file, and run the rules.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = scan_workspace(root)?;
+    Ok(analyze(&files))
+}
+
+/// Scan (but don't check) the workspace — exposed for tests.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<ScannedFile>> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths)?;
+    paths.sort();
+    let mut crate_names: HashMap<PathBuf, String> = HashMap::new();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/compat/") {
+            continue;
+        }
+        let (crate_dir, in_crate) = match rel.strip_prefix("crates/") {
+            Some(rest) => {
+                let name = rest.split('/').next().unwrap_or_default();
+                (
+                    root.join("crates").join(name),
+                    rest.split_once('/').map(|x| x.1).unwrap_or("").to_string(),
+                )
+            }
+            None => (root.to_path_buf(), rel.clone()),
+        };
+        let crate_name = crate_names
+            .entry(crate_dir.clone())
+            .or_insert_with(|| package_name(&crate_dir).unwrap_or_else(|| "unknown".into()))
+            .clone();
+        let kind = if in_crate.starts_with("tests/") {
+            FileKind::Test
+        } else if in_crate.starts_with("examples/") {
+            FileKind::Example
+        } else if in_crate.starts_with("benches/") {
+            FileKind::Bench
+        } else {
+            FileKind::Src
+        };
+        let src = fs::read_to_string(&path)?;
+        files.push(scan_file(path, rel, crate_name, kind, &src));
+    }
+    Ok(files)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse `name = "..."` out of a crate directory's Cargo.toml.
+fn package_name(crate_dir: &Path) -> Option<String> {
+    let manifest = fs::read_to_string(crate_dir.join("Cargo.toml")).ok()?;
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Locate the workspace root: walk up from `start` until a Cargo.toml
+/// containing a `[workspace]` section is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: a raw `Instant` in planner code outside the clock
+//! allowlist (time must flow through the `Clock` trait so replays and
+//! the trace simulator stay deterministic).
+
+use std::time::Instant;
+
+pub fn plan_with_deadline(budget_ms: u64) -> bool {
+    let start = Instant::now(); // line 8: second sighting, same file
+    work();
+    start.elapsed().as_millis() as u64 <= budget_ms
+}
+
+fn work() {}

@@ -1,0 +1,9 @@
+//! Clean twin of `clock_bad.rs`: the deadline arrives as logical time
+//! from the caller's `Clock`, so the function is replay-deterministic.
+
+pub fn plan_with_deadline(now: u64, deadline: u64) -> bool {
+    work();
+    now <= deadline
+}
+
+fn work() {}

@@ -1,0 +1,19 @@
+//! Seeded violation: a function marked `// lint: lock-free` reaches a
+//! `.lock()` transitively through a crate-local helper. The diagnostic
+//! must land on the `.lock()` line inside the helper and name the chain.
+
+struct Fixture {
+    state: Mutex<LedgerState>,
+}
+
+impl Fixture {
+    // lint: lock-free
+    fn fingerprint(&self) -> u64 {
+        self.helper()
+    }
+
+    fn helper(&self) -> u64 {
+        let guard = self.state.lock(); // line 16: reached from a lock-free fn
+        guard.epoch
+    }
+}

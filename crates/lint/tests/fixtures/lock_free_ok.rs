@@ -1,0 +1,23 @@
+//! Clean twin of `lock_free_bad.rs`: the marked function serves from an
+//! atomic gauge and never reaches a lock.
+
+struct Fixture {
+    epoch: AtomicU64,
+    state: Mutex<LedgerState>,
+}
+
+impl Fixture {
+    // lint: lock-free
+    fn fingerprint(&self) -> u64 {
+        self.gauge()
+    }
+
+    fn gauge(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    fn mutate(&self) {
+        let mut guard = self.state.lock();
+        guard.epoch += 1;
+    }
+}

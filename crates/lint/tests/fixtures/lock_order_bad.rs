@@ -1,0 +1,17 @@
+//! Seeded violation: the queue lock acquired while a shard lock is held
+//! (the reverse of the documented queue -> shards -> stripe -> slot
+//! order). The diagnostic must land on the `self.queue.lock()` line.
+
+struct Fixture {
+    queue: Mutex<QueueState>,
+    shards: Vec<Shard>,
+}
+
+impl Fixture {
+    fn backwards(&self) -> u32 {
+        let mut state = self.shards[0].state.lock();
+        let q = self.queue.lock(); // line 13: queue after shard
+        state.free += q.pending;
+        state.free
+    }
+}

@@ -1,0 +1,16 @@
+//! Clean twin of `lock_order_bad.rs`: the same two locks taken in the
+//! documented order (queue first, then the shard).
+
+struct Fixture {
+    queue: Mutex<QueueState>,
+    shards: Vec<Shard>,
+}
+
+impl Fixture {
+    fn forwards(&self) -> u32 {
+        let q = self.queue.lock();
+        let mut state = self.shards[0].state.lock();
+        state.free += q.pending;
+        state.free
+    }
+}

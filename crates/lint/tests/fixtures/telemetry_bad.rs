@@ -1,0 +1,13 @@
+//! Seeded violation: a `cfg(feature = "telemetry")` gate leaking into an
+//! instrumented crate. Downstream crates must use cfg-gated helpers from
+//! flexsp-telemetry (e.g. `Stopwatch`) instead of gating inline.
+
+pub fn serve() {
+    #[cfg(feature = "telemetry")] // line 6: inline telemetry gate
+    let t0 = crate::now_us();
+    work();
+    #[cfg(feature = "telemetry")] // line 9: inline telemetry gate
+    crate::record(t0);
+}
+
+fn work() {}

@@ -1,0 +1,11 @@
+//! Clean twin of `telemetry_bad.rs`: the timing probe comes from
+//! flexsp-telemetry, which owns the feature gate, so this file compiles
+//! identically with telemetry on or off.
+
+pub fn serve() {
+    let t0 = tel::Stopwatch::start();
+    work();
+    tel::observe!("fixture.serve_us", t0.elapsed_us());
+}
+
+fn work() {}

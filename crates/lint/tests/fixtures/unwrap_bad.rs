@@ -1,0 +1,15 @@
+//! Seeded violation: a bare `.unwrap()` in hot-path (non-test) code of a
+//! banned crate, with no `// lint: allow(unwrap) <reason>` annotation.
+
+pub fn first_gpu(gpus: &[u32]) -> u32 {
+    *gpus.first().unwrap() // line 5: bare unwrap in hot-path code
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let gpus = vec![3u32];
+        assert_eq!(*gpus.first().unwrap(), 3);
+    }
+}

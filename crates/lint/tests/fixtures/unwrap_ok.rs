@@ -1,0 +1,12 @@
+//! Clean twin of `unwrap_bad.rs`: the fallible path returns an error,
+//! and the one invariant-backed expect carries an annotation.
+
+pub fn first_gpu(gpus: &[u32]) -> Result<u32, EmptyLease> {
+    gpus.first().copied().ok_or(EmptyLease)
+}
+
+pub fn first_gpu_nonempty(gpus: &[u32]) -> u32 {
+    assert!(!gpus.is_empty(), "caller guarantees a non-empty lease");
+    // lint: allow(unwrap) asserted non-empty on the line above
+    *gpus.first().unwrap()
+}

@@ -1,0 +1,31 @@
+//! The real workspace must pass its own lint: zero violations. This is
+//! the canary that keeps the contracts (lock order, lock-free reads,
+//! clock containment, telemetry hygiene, unwrap discipline) enforced on
+//! every `cargo test`, not just in the CI lint step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let violations = flexsp_lint::check_workspace(&root).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "flexsp-lint found {} violation(s) in the workspace:\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -526,6 +526,7 @@ impl MilpSolver {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(unwrap) join fails only on a worker panic; re-raise it, don't swallow it
                 .map(|h| h.join().expect("branch-and-bound worker panicked"))
                 .collect()
         });
@@ -678,6 +679,7 @@ fn score_cmp(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
+        // lint: allow(unwrap) both NaN cases are handled in the arms above
         (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
     }
 }
@@ -863,6 +865,7 @@ impl SharedSearch<'_> {
             let node = {
                 let _claim_span =
                     tel::span!(tel::Category::Solver, "bnb.claim", "worker" => w as u64);
+                // lint: allow(unwrap) the claim loop only reaches here after observing a non-empty heap
                 let node = st.heap.pop().expect("heap checked non-empty");
                 st.claimed += 1;
                 st.active += 1;

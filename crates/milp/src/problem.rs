@@ -163,6 +163,7 @@ impl Problem {
             "empty domain for variable {:?}: [{lower}, {upper}]",
             name.into()
         );
+        // lint: allow(unwrap) u32 overflow needs 4 billion variables — far past any solvable model
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(VarDef {
             name: name.into(),

@@ -113,6 +113,7 @@ impl<'a> Engine<'a> {
             basis: Vec::new(),
             barred: vec![false; n],
             xb: Vec::new(),
+            // lint: allow(unwrap) the 0x0 factorization is trivially nonsingular
             factors: Factorization::factor(0, Vec::new()).expect("empty basis"),
             degenerate_streak: 0,
             iterations: 0,
@@ -524,6 +525,7 @@ impl<'a> Engine<'a> {
         }
         eng.xb = residual;
         // B is the identity over the artificial columns.
+        // lint: allow(unwrap) the identity matrix is nonsingular by construction
         eng.factors = Factorization::factor(m, identity(m)).expect("identity basis is nonsingular");
 
         if m > 0 {

@@ -48,7 +48,7 @@ pub mod registry;
 pub mod trace;
 
 pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{metrics_snapshot, registry, MetricsSnapshot, Registry};
+pub use registry::{metrics_snapshot, registry, MetricsSnapshot, Registry, Stopwatch};
 pub use trace::{
     drain_chrome_trace, drain_events, dropped_events, tracing_active, tracing_start, tracing_stop,
     Category, SpanGuard, SpanRecord, RING_CAP,

@@ -213,6 +213,62 @@ pub fn __observe(cell: &OnceLock<&'static Histogram>, name: &'static str, v: u64
 #[inline(always)]
 pub fn __observe(_cell: &OnceLock<&'static Histogram>, _name: &'static str, _v: u64) {}
 
+/// An elapsed-time probe for feeding duration histograms from
+/// instrumented crates without leaking either `cfg(feature = …)` or a
+/// clock type into them: [`Stopwatch::start`] captures
+/// `std::time::Instant::now()` when `enabled` is on and is a zero-sized
+/// no-op otherwise, so call sites read
+///
+/// ```
+/// use flexsp_telemetry as tel;
+/// let t = tel::Stopwatch::start();
+/// // … the work being timed …
+/// tel::observe!("flexsp.example.us", t.elapsed_us());
+/// ```
+///
+/// unconditionally. (`flexsp-lint`'s `telemetry-hygiene` rule forbids
+/// the inline `cfg` + `Instant` spelling outside this crate; this is
+/// the sanctioned replacement.)
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+#[cfg(feature = "enabled")]
+impl Stopwatch {
+    /// Starts the clock.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Microseconds since [`Stopwatch::start`], saturating.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Zero-sized stand-in with the `enabled` feature off: the paired
+/// `observe!` is a no-op, so the value never matters.
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch;
+
+#[cfg(not(feature = "enabled"))]
+impl Stopwatch {
+    /// Starts nothing.
+    #[inline(always)]
+    pub fn start() -> Self {
+        Stopwatch
+    }
+
+    /// Always zero (the paired `observe!` is a no-op too).
+    #[inline(always)]
+    pub fn elapsed_us(&self) -> u64 {
+        0
+    }
+}
+
 /// Bumps the global counter `$name` by `$n` (default 1). One `Relaxed`
 /// `fetch_add` after the first call per site; a no-op with the
 /// `enabled` feature off.
